@@ -1,0 +1,96 @@
+// Ablation bench (beyond the paper's tables): quantifies the design
+// choices DESIGN.md calls out, on a representative circuit subset at the
+// 5% penalty:
+//   1. pin reordering (paper Sec. 3, Fig. 2(d)/(e)) on vs off,
+//   2. the greedy gate visiting order (by-savings vs topological),
+//   3. the nitrided-oxide technology extension (PMOS Igate appreciable),
+//      where thick-Tox PMOS assignment becomes worthwhile.
+#include "bench/common.hpp"
+#include "opt/annealing.hpp"
+#include "opt/state_search.hpp"
+#include "opt/unknown_state.hpp"
+
+int main() {
+  using namespace svtox;
+  bench::print_header("Ablations -- pin reorder, gate order, nitrided oxide",
+                      "svtox DESIGN.md Sec. 5 (not a paper table)");
+
+  const auto& tech = model::TechParams::nominal();
+  const auto library = liberty::Library::build(tech, {});
+  const auto& nitrided_tech = model::TechParams::nitrided();
+  const auto nitrided_library = liberty::Library::build(nitrided_tech, {});
+
+  std::vector<std::string> names = bench::circuit_names();
+  if (std::getenv("SVTOX_CIRCUITS") == nullptr) {
+    names = {"c432", "c880", "c1908", "c3540", "alu64"};  // representative subset
+  }
+
+  AsciiTable table;
+  table.set_header({"circuit", "heu1 X (full method)", "no pin reorder X",
+                    "topological order X", "reverse topo X", "annealing X",
+                    "unknown-state X", "nitrided-oxide X"});
+
+  double sum_full = 0, sum_noreorder = 0, sum_topo = 0, sum_rtopo = 0, sum_sa = 0,
+         sum_unknown = 0, sum_nit = 0;
+  for (const std::string& name : names) {
+    const auto circuit = netlist::make_benchmark(name, library);
+    const double avg =
+        sim::monte_carlo_leakage(circuit, sim::fastest_config(circuit),
+                                 bench::mc_vectors(), 2004)
+            .mean_na;
+
+    const opt::AssignmentProblem full(circuit, 0.05);
+    opt::ProblemOptions no_reorder_opts;
+    no_reorder_opts.use_pin_reorder = false;
+    const opt::AssignmentProblem no_reorder(circuit, 0.05, no_reorder_opts);
+
+    const double full_x = avg / opt::heuristic1(full).leakage_na;
+    const double nr_x = avg / opt::heuristic1(no_reorder).leakage_na;
+    const double topo_x =
+        avg / opt::heuristic1(full, opt::GateOrder::kTopological).leakage_na;
+    const double rtopo_x =
+        avg / opt::heuristic1(full, opt::GateOrder::kReverseTopological).leakage_na;
+    opt::AnnealingOptions sa;
+    sa.time_limit_s = bench::time_limit_s();
+    const double sa_x = avg / opt::simulated_annealing(full, sa).leakage_na;
+
+    // The paper's strawman: the best Vt/Tox assignment with *unknown*
+    // standby state, judged by its average leakage at the same budget.
+    const auto unknown = opt::assign_unknown_state(full);
+    const double unknown_x = avg / unknown.average_leakage_na;
+
+    // Nitrided oxide: both the average and the optimized numbers move.
+    const auto nit_circuit = netlist::rebind(circuit, nitrided_library);
+    const double nit_avg =
+        sim::monte_carlo_leakage(nit_circuit, sim::fastest_config(nit_circuit),
+                                 bench::mc_vectors(), 2004)
+            .mean_na;
+    const opt::AssignmentProblem nit_problem(nit_circuit, 0.05);
+    const double nit_x = nit_avg / opt::heuristic1(nit_problem).leakage_na;
+
+    table.add_row({name, report::format_x(full_x), report::format_x(nr_x),
+                   report::format_x(topo_x), report::format_x(rtopo_x),
+                   report::format_x(sa_x), report::format_x(unknown_x),
+                   report::format_x(nit_x)});
+    sum_full += full_x;
+    sum_noreorder += nr_x;
+    sum_topo += topo_x;
+    sum_rtopo += rtopo_x;
+    sum_sa += sa_x;
+    sum_unknown += unknown_x;
+    sum_nit += nit_x;
+  }
+  const double n = static_cast<double>(names.size());
+  table.add_separator();
+  table.add_row({"AVG", report::format_x(sum_full / n), report::format_x(sum_noreorder / n),
+                 report::format_x(sum_topo / n), report::format_x(sum_rtopo / n),
+                 report::format_x(sum_sa / n), report::format_x(sum_unknown / n),
+                 report::format_x(sum_nit / n)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("readings: pin reordering buys its share of the reduction for free\n"
+              "(no delay cost at the fastest version); the by-savings gate order is\n"
+              "the default because it spends the delay budget on the leakiest gates\n"
+              "first; under nitrided oxide the library also thickens PMOS devices\n"
+              "and the method keeps working (the paper's Sec. 2 extension).\n");
+  return 0;
+}

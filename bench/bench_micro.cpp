@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the engine kernels (not a paper
+// table; engineering due diligence for the hot paths the heuristics lean
+// on: bit-parallel simulation, NLDM interpolation, incremental STA, and
+// the ternary bound).
+#include <benchmark/benchmark.h>
+
+#include "liberty/library.hpp"
+#include "model/tech.hpp"
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
+#include "sim/leakage_eval.hpp"
+#include "sim/sim.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svtox;
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+const netlist::Netlist& circuit() {
+  static const netlist::Netlist n =
+      netlist::random_circuit(lib(), "micro", 64, 1000, 7);
+  return n;
+}
+
+void BM_Simulate64(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(circuit().num_inputs()));
+  for (auto& w : words) w = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate64(circuit(), words));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Simulate64);
+
+void BM_ScalarSimulate(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<bool> in(static_cast<std::size_t>(circuit().num_inputs()));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.next_bool();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(circuit(), in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarSimulate);
+
+void BM_MonteCarlo1k(benchmark::State& state) {
+  const sim::CircuitConfig config = sim::fastest_config(circuit());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::monte_carlo_leakage(circuit(), config, 1024, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MonteCarlo1k);
+
+void BM_NldmLookup(benchmark::State& state) {
+  const auto& cell = lib().cell("NAND2");
+  const auto& table = cell.variant(0).pins[0].delay_rise;
+  double slew = 7.0;
+  for (auto _ : state) {
+    slew = slew < 200.0 ? slew * 1.1 : 7.0;
+    benchmark::DoNotOptimize(table.lookup(slew, 5.0));
+  }
+}
+BENCHMARK(BM_NldmLookup);
+
+void BM_FullSta(benchmark::State& state) {
+  const sim::CircuitConfig config = sim::fastest_config(circuit());
+  sta::TimingState timing(circuit());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing.analyze(config));
+  }
+}
+BENCHMARK(BM_FullSta);
+
+void BM_IncrementalSta(benchmark::State& state) {
+  sim::CircuitConfig config = sim::fastest_config(circuit());
+  sta::TimingState timing(circuit());
+  timing.analyze(config);
+  Rng rng(4);
+  for (auto _ : state) {
+    const int g =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(circuit().num_gates())));
+    const int v = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(circuit().cell_of(g).num_variants())));
+    config[static_cast<std::size_t>(g)].variant = v;
+    sta::TimingUndo undo;
+    benchmark::DoNotOptimize(timing.update_after_gate_change(config, g, &undo));
+    timing.revert(undo);
+    config[static_cast<std::size_t>(g)].variant = circuit().cell_of(g).fastest_variant();
+  }
+}
+BENCHMARK(BM_IncrementalSta);
+
+void BM_TernaryBound(benchmark::State& state) {
+  const opt::AssignmentProblem problem(circuit(), 0.05);
+  std::vector<sim::Tri> partial(static_cast<std::size_t>(circuit().num_inputs()),
+                                sim::Tri::kX);
+  for (std::size_t i = 0; i < partial.size() / 2; ++i) partial[i] = sim::Tri::kOne;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::leakage_lower_bound_na(problem, partial, opt::BoundKind::kMinVariant));
+  }
+}
+BENCHMARK(BM_TernaryBound);
+
+void BM_GreedyGateAssign(benchmark::State& state) {
+  const opt::AssignmentProblem problem(circuit(), 0.05);
+  Rng rng(5);
+  std::vector<bool> vec(static_cast<std::size_t>(circuit().num_inputs()));
+  for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::assign_gates_greedy(problem, vec));
+  }
+}
+BENCHMARK(BM_GreedyGateAssign);
+
+void BM_LibraryBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        liberty::Library::build(model::TechParams::nominal(), {}));
+  }
+}
+BENCHMARK(BM_LibraryBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Reproduces Table 2: the number of library cell versions required per
+// archetype for 4 and 2 trade-off points.
+#include "bench/common.hpp"
+#include "cellkit/variants.hpp"
+
+int main() {
+  using namespace svtox;
+  bench::print_header("Table 2 -- number of needed library cells",
+                      "Lee et al., DATE 2004, Table 2");
+
+  struct PaperRow {
+    const char* cell;
+    int four;
+    int two;
+  };
+  constexpr PaperRow kPaper[] = {
+      {"INV", 5, 3}, {"NAND2", 5, 3}, {"NAND3", 5, 3}, {"NOR2", 8, 4}, {"NOR3", 9, 5},
+  };
+
+  const auto& tech = model::TechParams::nominal();
+  AsciiTable table;
+  table.set_header({"cell", "4 trade-off points (paper/ours)",
+                    "2 trade-off points (paper/ours)"});
+  for (const PaperRow& row : kPaper) {
+    const cellkit::CellTopology topo = cellkit::make_standard_cell(row.cell, tech);
+    cellkit::VariantOptions four;
+    cellkit::VariantOptions two;
+    two.four_point = false;
+    const int ours4 = cellkit::generate_versions(topo, tech, four).num_versions();
+    const int ours2 = cellkit::generate_versions(topo, tech, two).num_versions();
+    table.add_row({row.cell, std::to_string(row.four) + " / " + std::to_string(ours4),
+                   std::to_string(row.two) + " / " + std::to_string(ours2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Extension beyond the paper's table: the archetypes it does not list.
+  AsciiTable extra;
+  extra.set_header({"cell (not in paper's table)", "4-point versions", "2-point versions"});
+  for (const char* name : {"NAND4", "NOR4", "AOI21", "OAI21", "AOI22", "OAI22"}) {
+    const cellkit::CellTopology topo = cellkit::make_standard_cell(name, tech);
+    cellkit::VariantOptions four;
+    cellkit::VariantOptions two;
+    two.four_point = false;
+    extra.add_row({name,
+                   std::to_string(cellkit::generate_versions(topo, tech, four).num_versions()),
+                   std::to_string(cellkit::generate_versions(topo, tech, two).num_versions())});
+  }
+  std::printf("%s\n", extra.render().c_str());
+  std::printf(
+      "deviation: NOR2 4-option is 7 here vs the paper's 8 -- our pin-reorder\n"
+      "canonicalization also shares the state-11 fast-fall version with state\n"
+      "01's, one version fewer with the same trade-off points (see DESIGN.md).\n");
+  return 0;
+}

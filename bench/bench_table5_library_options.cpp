@@ -1,0 +1,96 @@
+// Reproduces Table 5: the impact of library options at a 5% delay penalty
+// (Heu1): 4-option vs 2-option trade-off points, individual vs uniform
+// stack Vt control.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace svtox;
+  bench::print_header("Table 5 -- leakage under different cell-library options",
+                      "Lee et al., DATE 2004, Table 5");
+
+  const auto& tech = model::TechParams::nominal();
+
+  struct LibBuild {
+    const char* label;
+    liberty::Library library;
+  };
+  auto build = [&](bool four_point, bool uniform) {
+    liberty::LibraryOptions options;
+    options.variant_options.four_point = four_point;
+    options.variant_options.uniform_stack = uniform;
+    return liberty::Library::build(tech, options);
+  };
+  LibBuild builds[] = {
+      {"4-option", build(true, false)},
+      {"2-option", build(false, false)},
+      {"4-option uniform", build(true, true)},
+      {"2-option uniform", build(false, true)},
+  };
+
+  AsciiTable table;
+  table.set_header({"circuit", "avg (p/o uA)", "4-opt X (p/o)", "2-opt X (p/o)",
+                    "4-opt uniform X (p/o)", "2-opt uniform X (p/o)"});
+
+  double sums[4] = {0, 0, 0, 0};
+  double paper_sums[4] = {0, 0, 0, 0};
+  double area_sums[4] = {0, 0, 0, 0};
+  int rows = 0;
+
+  for (const std::string& name : bench::circuit_names()) {
+    const auto& spec = netlist::benchmark_spec(name);
+    // Build the circuit once against the first library and rebind for the
+    // others so all four see the identical structure.
+    const auto circuit = netlist::make_benchmark(name, builds[0].library);
+
+    const double paper_x[4] = {
+        spec.paper.avg_random_ua / spec.paper.heu1_5_ua,
+        spec.paper.avg_random_ua / spec.paper.opt2_5_ua,
+        spec.paper.avg_random_ua / spec.paper.uniform4_5_ua,
+        spec.paper.avg_random_ua / spec.paper.uniform2_5_ua,
+    };
+
+    std::vector<std::string> row = {name};
+    double measured_x[4];
+    double area_overhead_pct[4];
+    double avg_ua = 0.0;
+    for (int b = 0; b < 4; ++b) {
+      const auto bound =
+          b == 0 ? circuit : netlist::rebind(circuit, builds[b].library);
+      core::StandbyOptimizer optimizer(bound);
+      const auto result = optimizer.run(core::Method::kHeu1, bench::run_config(0.05));
+      measured_x[b] = result.reduction_x;
+      const double base_area = sim::circuit_area(bound, sim::fastest_config(bound));
+      area_overhead_pct[b] =
+          100.0 * (sim::circuit_area(bound, result.solution.config) / base_area - 1.0);
+      if (b == 0) {
+        avg_ua =
+            optimizer.run(core::Method::kAverageRandom, bench::run_config(0.05)).leakage_ua;
+      }
+    }
+    row.push_back(report::paper_vs_measured(spec.paper.avg_random_ua, avg_ua));
+    for (int b = 0; b < 4; ++b) {
+      row.push_back(report::paper_vs_measured(paper_x[b], measured_x[b]) + "  (+" +
+                    format_double(area_overhead_pct[b], 1) + "% area)");
+      sums[b] += measured_x[b];
+      paper_sums[b] += paper_x[b];
+      area_sums[b] += area_overhead_pct[b];
+    }
+    table.add_row(row);
+    ++rows;
+  }
+  if (rows > 0) {
+    table.add_separator();
+    std::vector<std::string> avg_row = {"AVG", ""};
+    for (int b = 0; b < 4; ++b) {
+      avg_row.push_back(report::paper_vs_measured(paper_sums[b] / rows, sums[b] / rows, 2) +
+                        "  (+" + format_double(area_sums[b] / rows, 1) + "% area)");
+    }
+    table.add_row(avg_row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper headline: 2-option ~= 4-option (5.27 vs 5.28 average X);\n"
+              "uniform stacks cost ~10%% leakage (4.91X) but, as the paper's area\n"
+              "discussion expects, remove the intra-stack spacing overhead -- the\n"
+              "(+x%% area) annotations quantify that trade-off with our area rules.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Environment knobs (all optional):
+//   SVTOX_TIME_LIMIT   seconds per Heu2/state-only search   (default 1.0)
+//   SVTOX_VECTORS      Monte-Carlo vectors                  (default 10000)
+//   SVTOX_CIRCUITS     comma-separated subset of the suite  (default all)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "liberty/library.hpp"
+#include "model/tech.hpp"
+#include "netlist/benchmarks.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? parse_double(value) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<int>(parse_size(value)) : fallback;
+}
+
+inline double time_limit_s() { return env_double("SVTOX_TIME_LIMIT", 1.0); }
+inline int mc_vectors() { return env_int("SVTOX_VECTORS", 10000); }
+
+/// The circuits to run: the full paper suite, or the SVTOX_CIRCUITS subset.
+inline std::vector<std::string> circuit_names() {
+  std::vector<std::string> names;
+  if (const char* env = std::getenv("SVTOX_CIRCUITS")) {
+    for (auto part : split(env, ',')) {
+      if (!trim(part).empty()) names.emplace_back(trim(part));
+    }
+    return names;
+  }
+  for (const auto& spec : netlist::benchmark_suite()) names.push_back(spec.name);
+  return names;
+}
+
+/// Default RunConfig shared by the benches.
+inline core::RunConfig run_config(double penalty) {
+  core::RunConfig config;
+  config.penalty_fraction = penalty;
+  config.time_limit_s = time_limit_s();
+  config.random_vectors = mc_vectors();
+  return config;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("== svtox reproduction: %s ==\n", what);
+  std::printf("   paper reference: %s\n", paper_ref);
+  std::printf("   (columns named 'paper/ours' show the published value next to this run)\n\n");
+}
+
+}  // namespace svtox::bench

@@ -1,0 +1,85 @@
+// Scenario: a mobile SoC datapath (64-bit ALU) that spends most of its life
+// in standby. The paper's motivation -- a cell phone's standby current sets
+// its shelf life -- maps exactly onto this block.
+//
+// The example computes the standby solution at a tight 5% delay penalty,
+// reports the expected battery-life multiplier, and emits the cell-swap
+// list (ECO-style) that implements the solution in a library-based flow.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "liberty/library.hpp"
+#include "netlist/generators.hpp"
+#include "report/breakdown.hpp"
+#include "report/report.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace svtox;
+
+  const auto& tech = model::TechParams::nominal();
+  const auto library = liberty::Library::build(tech, {});
+  const auto alu = netlist::alu64(library);
+  std::printf("block: %s -- %d inputs, %d gates, logic depth %d\n",
+              alu.name().c_str(), alu.num_inputs(), alu.num_gates(), alu.depth());
+
+  core::StandbyOptimizer optimizer(alu);
+  core::RunConfig config;
+  config.penalty_fraction = 0.05;
+  config.time_limit_s = 3.0;
+
+  const auto baseline = optimizer.run(core::Method::kAverageRandom, config);
+  const auto solution = optimizer.run(core::Method::kHeu2, config);
+
+  std::printf("\nstandby leakage without any technique: %s uA (random-state average)\n",
+              report::format_ua(baseline.leakage_ua).c_str());
+  std::printf("standby leakage with state+Vt+Tox:      %s uA (%.1fX lower)\n",
+              report::format_ua(solution.leakage_ua).c_str(), solution.reduction_x);
+  std::printf("active-mode delay cost:                 %.1f%% of the max penalty "
+              "(%.0f ps vs %.0f ps all-fast)\n",
+              config.penalty_fraction * 100.0, solution.solution.delay_ps,
+              optimizer.delay_budget().fast_delay_ps);
+  std::printf("=> standby battery life scales by ~%.1fX for this block\n",
+              solution.reduction_x);
+
+  // The sleep vector the power-management unit scans in on standby entry.
+  std::string vector;
+  for (bool bit : solution.solution.sleep_vector) vector += bit ? '1' : '0';
+  std::printf("\nsleep vector (a[63:0], b[63:0], sel1, sel0, cin order of PIs):\n%s\n",
+              vector.c_str());
+
+  // The ECO swap list: how many instances moved to which cell version.
+  std::map<std::string, int> swaps;
+  int swapped = 0;
+  int reordered = 0;
+  for (int g = 0; g < alu.num_gates(); ++g) {
+    const auto& gc = solution.solution.config[static_cast<std::size_t>(g)];
+    const auto& cell = alu.cell_of(g);
+    if (gc.variant != cell.fastest_variant()) {
+      ++swapped;
+      ++swaps[cell.variant(gc.variant).name];
+    }
+    if (!gc.mapping.logical_to_physical.empty() && !gc.mapping.is_identity()) ++reordered;
+  }
+  // Component view: the dual-knob method must suppress both Isub and Igate.
+  const auto before = report::leakage_breakdown(alu, sim::fastest_config(alu),
+                                                solution.solution.sleep_vector);
+  const auto after = report::leakage_breakdown(alu, solution.solution.config,
+                                               solution.solution.sleep_vector);
+  std::printf("\nat the chosen sleep state, before: Isub %.1f uA + Igate %.1f uA; "
+              "after: Isub %.1f uA + Igate %.1f uA\n",
+              before.total.isub_na / 1e3, before.total.igate_na / 1e3,
+              after.total.isub_na / 1e3, after.total.igate_na / 1e3);
+
+  std::printf("\ncell swaps: %d of %d instances (%d also pin-reordered)\n", swapped,
+              alu.num_gates(), reordered);
+  AsciiTable table;
+  table.set_header({"target cell version", "instances"});
+  for (const auto& [name, count] : swaps) {
+    table.add_row({name, std::to_string(count)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Sweeps the delay constraint on one circuit and emits the leakage/delay
+// trade-off curve as a table and a CSV -- the data behind a Figure-5-style
+// plot for any circuit in the suite.
+//
+//   ./delay_leakage_tradeoff [circuit] [csv_path]
+//
+// Defaults: c880, curve written to tradeoff.csv.
+#include <cstdio>
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "liberty/library.hpp"
+#include "netlist/benchmarks.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svtox;
+  const std::string circuit_name = argc > 1 ? argv[1] : "c880";
+  const std::string csv_path = argc > 2 ? argv[2] : "tradeoff.csv";
+
+  const auto& tech = model::TechParams::nominal();
+  const auto library = liberty::Library::build(tech, {});
+  const auto circuit = netlist::make_benchmark(circuit_name, library);
+  core::StandbyOptimizer optimizer(circuit);
+
+  AsciiTable table;
+  table.set_header({"penalty %", "constraint ps", "heu1 leakage uA", "reduction X",
+                    "achieved delay ps"});
+
+  for (double p : {0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.25, 0.50, 1.0}) {
+    core::RunConfig config;
+    config.penalty_fraction = p;
+    const auto result = optimizer.run(core::Method::kHeu1, config);
+    table.add_row({format_double(p * 100.0, 0),
+                   format_double(optimizer.delay_budget().constraint_ps(p), 0),
+                   report::format_ua(result.leakage_ua),
+                   report::format_x(result.reduction_x),
+                   format_double(result.solution.delay_ps, 0)});
+  }
+
+  std::printf("delay/leakage trade-off for %s (%d gates):\n%s", circuit_name.c_str(),
+              circuit.num_gates(), table.render().c_str());
+  if (report::save_table(table, csv_path)) {
+    std::printf("curve written to %s and %s.csv\n", csv_path.c_str(), csv_path.c_str());
+  }
+  std::printf("\nreading the curve: leakage drops steeply in the first few percent\n"
+              "and saturates -- the paper's conclusion that the method is best used\n"
+              "at ~5%% or even 0%% delay cost.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Explores the characterized dual-Vt/dual-Tox swap library: per-cell
+// version counts, per-state leakage of every version, and delay factors.
+// Also writes the library to `svtox_library.svlib` so other tools (or a
+// later run) can load the identical characterization.
+//
+//   ./library_explorer [cell]     (default: show every cell briefly,
+//                                  detail for NAND2)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cellkit/delay.hpp"
+#include "cellkit/state.hpp"
+#include "liberty/library.hpp"
+#include "liberty/serialize.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svtox;
+  const std::string detail_cell = argc > 1 ? argv[1] : "NAND2";
+
+  const auto& tech = model::TechParams::nominal();
+  const auto library = liberty::Library::build(tech, {});
+
+  AsciiTable overview;
+  overview.set_header({"cell", "inputs", "versions", "min state leak nA", "max state leak nA"});
+  for (const auto& cell : library.cells()) {
+    double min_leak = 1e300;
+    double max_leak = 0.0;
+    for (std::uint32_t s = 0; s < cell.topology().num_states(); ++s) {
+      for (const auto& variant : cell.variants()) {
+        min_leak = std::min(min_leak, variant.leakage_na[s]);
+        max_leak = std::max(max_leak, variant.leakage_na[s]);
+      }
+    }
+    overview.add_row({cell.name(), std::to_string(cell.num_inputs()),
+                      std::to_string(cell.num_variants()), format_double(min_leak, 1),
+                      format_double(max_leak, 1)});
+  }
+  std::printf("library overview (%d versions total):\n%s\n", library.total_versions(),
+              overview.render().c_str());
+
+  const auto& cell = library.cell(detail_cell);
+  std::printf("detail: %s\n", cell.name().c_str());
+  AsciiTable detail;
+  std::vector<std::string> header = {"version", "devices (vt:tox)"};
+  for (std::uint32_t s = 0; s < cell.topology().num_states(); ++s) {
+    header.push_back("leak@" + cellkit::state_to_string(s, cell.num_inputs()) + " nA");
+  }
+  header.push_back("worst rise factor");
+  header.push_back("worst fall factor");
+  detail.set_header(header);
+
+  for (const auto& variant : cell.variants()) {
+    std::vector<std::string> row = {variant.name};
+    std::string devices;
+    for (const auto& a : variant.assignment) {
+      if (!devices.empty()) devices += ' ';
+      devices += std::string(model::to_string(a.vt)) + ":" + model::to_string(a.tox);
+    }
+    row.push_back(devices);
+    for (std::uint32_t s = 0; s < cell.topology().num_states(); ++s) {
+      row.push_back(format_double(variant.leakage_na[s], 1));
+    }
+    double worst_rise = 1.0;
+    double worst_fall = 1.0;
+    for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+      worst_rise = std::max(worst_rise,
+                            cellkit::delay_factor(cell.topology(), tech,
+                                                  variant.assignment, pin,
+                                                  cellkit::Edge::kRise));
+      worst_fall = std::max(worst_fall,
+                            cellkit::delay_factor(cell.topology(), tech,
+                                                  variant.assignment, pin,
+                                                  cellkit::Edge::kFall));
+    }
+    row.push_back(format_double(worst_rise, 2));
+    row.push_back(format_double(worst_fall, 2));
+    detail.add_row(row);
+  }
+  std::printf("%s\n", detail.render().c_str());
+
+  const std::string path = "svtox_library.svlib";
+  std::ofstream out(path);
+  if (out) {
+    liberty::write_library(library, out);
+    std::printf("full characterization written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Temperature study -- making the paper's footnote quantitative.
+//
+// The paper analyzes at room temperature, arguing that "junction
+// temperatures during these idle periods [are] lower than under normal
+// operating conditions". This example re-characterizes the library across
+// junction temperatures and shows (1) how the Igate share of total leakage
+// collapses as Isub grows exponentially on a hot die, and (2) that the
+// proposed method keeps winning at every corner, with the reduction factor
+// growing at high temperature (more Isub to suppress).
+#include <cstdio>
+
+#include "core/optimizer.hpp"
+#include "liberty/library.hpp"
+#include "netlist/benchmarks.hpp"
+#include "report/breakdown.hpp"
+#include "report/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svtox;
+  const std::string circuit_name = argc > 1 ? argv[1] : "c880";
+
+  AsciiTable table;
+  table.set_header({"junction temp", "avg leakage uA", "Igate share %",
+                    "heu1@5% uA", "reduction X"});
+
+  for (double celsius : {27.0, 55.0, 85.0, 110.0}) {
+    const model::TechParams tech =
+        model::TechParams::nominal().at_temperature(273.15 + celsius);
+    const auto library = liberty::Library::build(tech, {});
+    const auto circuit = netlist::make_benchmark(circuit_name, library);
+
+    core::StandbyOptimizer optimizer(circuit);
+    core::RunConfig config;
+    config.penalty_fraction = 0.05;
+    config.random_vectors = 4000;
+
+    const auto avg = optimizer.run(core::Method::kAverageRandom, config);
+    const auto h1 = optimizer.run(core::Method::kHeu1, config);
+    const auto breakdown = report::leakage_breakdown(
+        circuit, sim::fastest_config(circuit), h1.solution.sleep_vector);
+
+    table.add_row({svtox::format_double(celsius, 0) + " C",
+                   report::format_ua(avg.leakage_ua),
+                   svtox::format_double(100.0 * breakdown.total.igate_fraction(), 1),
+                   report::format_ua(h1.leakage_ua), report::format_x(h1.reduction_x)});
+  }
+  std::printf("temperature sensitivity for %s:\n%s", circuit_name.c_str(),
+              table.render().c_str());
+  std::printf(
+      "\nreading: at idle (cool) junctions Igate is a large share and the\n"
+      "dual-Tox knob is essential; on a hot die Isub dominates and the Vt\n"
+      "knob does more of the work -- the method adapts because the library\n"
+      "is re-characterized, not re-designed.\n");
+  return 0;
+}

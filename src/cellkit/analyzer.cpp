@@ -1,0 +1,346 @@
+#include "cellkit/analyzer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Explicit node/edge view of one network, for rail reachability analysis.
+/// Node 0 is the cell output; node 1 is the network's rail (GND for the
+/// pull-down network, VDD for the pull-up network).
+struct NetGraph {
+  struct Edge {
+    int a = 0;          ///< Output-side node.
+    int b = 0;          ///< Rail-side node.
+    int device = 0;     ///< Global device index.
+  };
+  static constexpr int kOutputNode = 0;
+  static constexpr int kRailNode = 1;
+  int num_nodes = 2;
+  std::vector<Edge> edges;
+};
+
+void build_graph(const SpNode& node, int a, int b, int& device_cursor, NetGraph& graph) {
+  switch (node.kind) {
+    case SpNode::Kind::kDevice:
+      graph.edges.push_back({a, b, device_cursor++});
+      return;
+    case SpNode::Kind::kSeries: {
+      int prev = a;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        const bool last = i + 1 == node.children.size();
+        const int next = last ? b : graph.num_nodes++;
+        build_graph(node.children[i], prev, next, device_cursor, graph);
+        prev = next;
+      }
+      return;
+    }
+    case SpNode::Kind::kParallel:
+      for (const SpNode& child : node.children) {
+        build_graph(child, a, b, device_cursor, graph);
+      }
+      return;
+  }
+}
+
+NetGraph make_graph(const SpNode& network, int first_device_index) {
+  NetGraph graph;
+  int cursor = first_device_index;
+  build_graph(network, NetGraph::kOutputNode, NetGraph::kRailNode, cursor, graph);
+  return graph;
+}
+
+/// Flood-fills node reachability through conducting devices from `seeds`.
+std::vector<bool> reach(const NetGraph& graph, const std::vector<bool>& on_by_device,
+                        const std::vector<int>& seeds) {
+  std::vector<bool> reached(graph.num_nodes, false);
+  for (int s : seeds) reached[s] = true;
+  // Small graphs (<= ~10 edges): iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const NetGraph::Edge& e : graph.edges) {
+      if (!on_by_device[e.device]) continue;
+      if (reached[e.a] != reached[e.b]) {
+        reached[e.a] = reached[e.b] = true;
+        changed = true;
+      }
+    }
+  }
+  return reached;
+}
+
+/// Result of the recursive subthreshold analysis of a (possibly blocking)
+/// network expression.
+struct SubLeak {
+  bool conducting = false;
+  double current_na = 0.0;  ///< Effective Isub through this subtree [nA].
+  int off_depth = 0;        ///< Series depth of OFF devices along the path.
+};
+
+double stack_factor(const model::TechParams& tech, int depth) {
+  return tech.stack_factor[std::min(depth, 4) - 1];
+}
+
+}  // namespace
+
+CellAssignment nominal_assignment(const CellTopology& topo) {
+  return CellAssignment(static_cast<std::size_t>(topo.num_devices()));
+}
+
+CellStateAnalysis classify(const CellTopology& topo, std::uint32_t state) {
+  if (state >= topo.num_states()) throw ContractError("classify: state out of range");
+
+  CellStateAnalysis analysis;
+  analysis.output = topo.output(state);
+  analysis.devices.resize(static_cast<std::size_t>(topo.num_devices()));
+
+  std::vector<bool> on(static_cast<std::size_t>(topo.num_devices()));
+  for (int d = 0; d < topo.num_devices(); ++d) on[d] = topo.device_on(d, state);
+
+  const NetGraph pdn = make_graph(topo.pull_down(), 0);
+  const NetGraph pun = make_graph(topo.pull_up(), topo.num_pull_down_devices());
+
+  // Rail/output potential seeds. The PDN's rail is GND (low); the PUN's rail
+  // is VDD (high); the shared output node takes the logic value.
+  auto classify_network = [&](const NetGraph& graph, bool is_pdn) {
+    std::vector<int> low_seeds;
+    std::vector<int> high_seeds;
+    (is_pdn ? low_seeds : high_seeds).push_back(NetGraph::kRailNode);
+    (analysis.output ? high_seeds : low_seeds).push_back(NetGraph::kOutputNode);
+
+    const std::vector<bool> reach_low = reach(graph, on, low_seeds);
+    const std::vector<bool> reach_high = reach(graph, on, high_seeds);
+    const bool network_conducts = is_pdn ? !analysis.output : analysis.output;
+
+    for (const NetGraph::Edge& e : graph.edges) {
+      DeviceSituation& sit = analysis.devices[e.device];
+      const model::DeviceType type = topo.devices()[e.device].type;
+      sit.on = on[e.device];
+      sit.in_conducting_network = network_conducts;
+
+      if (sit.on) {
+        // Full channel tunneling only when the channel can reach the
+        // device's strong rail (GND for NMOS, VDD for PMOS) -- otherwise the
+        // channel floats to within one Vt of the gate and tunneling is
+        // negligible (paper Fig. 3(f)).
+        const bool strong = type == model::DeviceType::kNmos
+                                ? (reach_low[e.a] || reach_low[e.b])
+                                : (reach_high[e.a] || reach_high[e.b]);
+        sit.gate_bias = strong ? model::GateBias::kFullChannel
+                               : model::GateBias::kReducedChannel;
+      } else {
+        // Reverse overlap tunneling when the drain sits at the far rail.
+        const bool far_rail = type == model::DeviceType::kNmos
+                                  ? (reach_high[e.a] || reach_high[e.b])
+                                  : (reach_low[e.a] || reach_low[e.b]);
+        sit.gate_bias =
+            far_rail ? model::GateBias::kReverseOverlap : model::GateBias::kNone;
+        // An OFF device still sees drain bias unless both terminals are tied
+        // to its own network's driven potential (conducting network) --
+        // blocking-path devices are handled by the series/parallel current
+        // analysis and marked kFullVds here.
+        const bool both_tied = (reach_low[e.a] || reach_high[e.a]) &&
+                               (reach_low[e.b] || reach_high[e.b]) && network_conducts;
+        sit.sub_bias = both_tied ? model::SubthresholdBias::kZeroVds
+                                 : model::SubthresholdBias::kFullVds;
+      }
+    }
+  };
+
+  classify_network(pdn, /*is_pdn=*/true);
+  classify_network(pun, /*is_pdn=*/false);
+  return analysis;
+}
+
+namespace {
+
+/// Recursive subthreshold current of a network expression under `state` and
+/// `assignment`. `device_cursor` walks the device table in leaf order.
+SubLeak network_isub(const SpNode& node, const CellTopology& topo,
+                     const model::TechParams& tech, std::uint32_t state,
+                     const CellAssignment& assignment, int& device_cursor) {
+  if (node.is_device()) {
+    const int dev_index = device_cursor++;
+    const Device& dev = topo.devices()[dev_index];
+    if (topo.device_on(dev_index, state)) return {true, kInf, 0};
+    const double full = model::isub_na(tech, dev.type, assignment[dev_index].vt,
+                                       dev.width, model::SubthresholdBias::kFullVds,
+                                       /*series_off_depth=*/1);
+    return {false, full, 1};
+  }
+
+  std::vector<SubLeak> children;
+  children.reserve(node.children.size());
+  for (const SpNode& child : node.children) {
+    children.push_back(network_isub(child, topo, tech, state, assignment, device_cursor));
+  }
+
+  if (node.kind == SpNode::Kind::kSeries) {
+    bool all_conduct = true;
+    int depth = 0;
+    double min_unstacked = kInf;
+    for (const SubLeak& c : children) {
+      if (c.conducting) continue;
+      all_conduct = false;
+      depth += c.off_depth;
+      min_unstacked = std::min(min_unstacked, c.current_na / stack_factor(tech, c.off_depth));
+    }
+    if (all_conduct) return {true, kInf, 0};
+    return {false, min_unstacked * stack_factor(tech, depth), depth};
+  }
+
+  // Parallel: any conducting branch shorts the group; otherwise branch
+  // currents add and the shallowest branch dominates the stack depth.
+  bool any_conduct = false;
+  double sum = 0.0;
+  int depth = std::numeric_limits<int>::max();
+  for (const SubLeak& c : children) {
+    if (c.conducting) {
+      any_conduct = true;
+    } else {
+      sum += c.current_na;
+      depth = std::min(depth, c.off_depth);
+    }
+  }
+  if (any_conduct) return {true, kInf, 0};
+  return {false, sum, depth};
+}
+
+}  // namespace
+
+model::LeakageBreakdown cell_leakage(const CellTopology& topo,
+                                     const model::TechParams& tech,
+                                     std::uint32_t state,
+                                     const CellAssignment& assignment) {
+  if (assignment.size() != static_cast<std::size_t>(topo.num_devices())) {
+    throw ContractError("cell_leakage: assignment size mismatch");
+  }
+  const CellStateAnalysis analysis = classify(topo, state);
+
+  model::LeakageBreakdown total;
+
+  // Subthreshold: the blocking network carries the stacked path current...
+  const bool pdn_blocks = analysis.output;  // output high => pull-down blocks
+  const SpNode& blocking = pdn_blocks ? topo.pull_down() : topo.pull_up();
+  int cursor = pdn_blocks ? 0 : topo.num_pull_down_devices();
+  const SubLeak blocked = network_isub(blocking, topo, tech, state, assignment, cursor);
+  if (!blocked.conducting) total.isub_na += blocked.current_na;
+
+  // ...plus residual Vds~0 leakage of OFF devices in the conducting network.
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    const DeviceSituation& sit = analysis.devices[d];
+    if (sit.on || !sit.in_conducting_network) continue;
+    if (sit.sub_bias != model::SubthresholdBias::kZeroVds) continue;
+    const Device& dev = topo.devices()[d];
+    total.isub_na += model::isub_na(tech, dev.type, assignment[d].vt, dev.width,
+                                    model::SubthresholdBias::kZeroVds, 1);
+  }
+
+  // Gate tunneling of every device per its bias classification.
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    const Device& dev = topo.devices()[d];
+    total.igate_na += model::igate_na(tech, dev.type, assignment[d].tox, dev.width,
+                                      analysis.devices[d].gate_bias);
+  }
+  return total;
+}
+
+namespace {
+
+/// Minimal high-Vt set that suppresses every blocking path: one device per
+/// series group, every branch of parallel groups.
+///
+/// Which series device gets the assignment matters for version sharing
+/// (paper Table 2): the choice must land on the same physical stack position
+/// across all blocking input states. The pin-reorder canonicalization moves
+/// conducting devices to the low positions of every series-stacked symmetric
+/// group (ones-first for NMOS-series, zeros-first for PMOS-series), so OFF
+/// devices always fill a stack from its *last* position -- picking the last
+/// blocking child reproduces the paper's NAND2 Fig. 3(e)/(f) sharing (state
+/// 00's high-Vt device is the same bottom transistor that state 10 needs)
+/// and the NOR3 count of 9.
+void minimal_vt_set(const SpNode& node, const CellTopology& topo, std::uint32_t state,
+                    int& device_cursor, std::vector<int>& out) {
+  struct Child {
+    const SpNode* node;
+    int first_device;
+    bool conducting;
+    int device_count;
+  };
+
+  if (node.is_device()) {
+    const int dev_index = device_cursor++;
+    if (!topo.device_on(dev_index, state)) out.push_back(dev_index);
+    return;
+  }
+
+  // Pre-scan children for conduction and device spans.
+  std::vector<Child> children;
+  int scan_cursor = device_cursor;
+  for (const SpNode& child : node.children) {
+    Child c{&child, scan_cursor, false, device_count(child)};
+    std::vector<bool> on(static_cast<std::size_t>(c.device_count));
+    for (int i = 0; i < c.device_count; ++i) on[i] = topo.device_on(scan_cursor + i, state);
+    c.conducting = conducts(child, on);
+    scan_cursor += c.device_count;
+    children.push_back(c);
+  }
+
+  if (node.kind == SpNode::Kind::kParallel) {
+    // All blocking branches must be suppressed.
+    for (const Child& c : children) {
+      int cursor = c.first_device;
+      if (!c.conducting) {
+        minimal_vt_set(*c.node, topo, state, cursor, out);
+      }
+    }
+  } else {
+    // Series: one blocking child suffices; take the last one -- the
+    // position that stays blocked across all blocking states of this stack
+    // under the canonicalization.
+    const Child* chosen = nullptr;
+    for (const Child& c : children) {
+      if (!c.conducting) chosen = &c;
+    }
+    if (chosen != nullptr) {
+      int cursor = chosen->first_device;
+      minimal_vt_set(*chosen->node, topo, state, cursor, out);
+    }
+  }
+  device_cursor = scan_cursor;
+}
+
+}  // namespace
+
+LeakyDevices find_leaky_devices(const CellTopology& topo, const model::TechParams& tech,
+                                std::uint32_t state) {
+  LeakyDevices leaky;
+  const CellStateAnalysis analysis = classify(topo, state);
+
+  // Thick-oxide targets: full-channel tunneling devices of a type whose
+  // Igate is worth suppressing (PMOS under SiO2 is an order of magnitude
+  // down and is skipped, exactly as the paper argues in Sec. 2/4).
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    if (analysis.devices[d].gate_bias != model::GateBias::kFullChannel) continue;
+    const Device& dev = topo.devices()[d];
+    const bool worthwhile =
+        dev.type == model::DeviceType::kNmos || tech.igate_p_ratio >= 0.25;
+    if (worthwhile) leaky.tox_targets.push_back(d);
+  }
+
+  // High-Vt targets: minimal blocking set of the non-conducting network.
+  const bool pdn_blocks = analysis.output;
+  const SpNode& blocking = pdn_blocks ? topo.pull_down() : topo.pull_up();
+  int cursor = pdn_blocks ? 0 : topo.num_pull_down_devices();
+  minimal_vt_set(blocking, topo, state, cursor, leaky.vt_targets);
+  return leaky;
+}
+
+}  // namespace svtox::cellkit

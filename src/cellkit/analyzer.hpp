@@ -1,0 +1,81 @@
+// State-dependent electrical analysis of a cell.
+//
+// Given a cell topology and an input state, classifies every transistor's
+// leakage situation (paper Sec. 2-3):
+//   * OFF transistors on the blocking network carry subthreshold current,
+//     suppressed super-linearly by series stacking;
+//   * ON transistors whose channel reaches their "strong" rail tunnel at the
+//     full gate bias; ON transistors stacked above a non-conducting device
+//     see only ~one Vt of bias and tunnel negligibly;
+//   * OFF transistors with a terminal at the far rail exhibit small reverse
+//     gate-drain overlap tunneling (EDT);
+//   * OFF transistors whose Vds collapsed to ~0 leak only residually.
+//
+// The classification is purely structural; `cell_leakage` folds it with the
+// model's calibrated currents and a per-device Vt/Tox assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellkit/topology.hpp"
+#include "model/leakage.hpp"
+
+namespace svtox::cellkit {
+
+/// Vt/Tox corner of one transistor.
+struct DeviceAssign {
+  model::VtClass vt = model::VtClass::kLow;
+  model::ToxClass tox = model::ToxClass::kThin;
+
+  bool operator==(const DeviceAssign&) const = default;
+  bool is_nominal() const {
+    return vt == model::VtClass::kLow && tox == model::ToxClass::kThin;
+  }
+};
+
+/// Per-device corner choice for a whole cell, indexed by device index.
+using CellAssignment = std::vector<DeviceAssign>;
+
+/// Returns an all-low-Vt / all-thin assignment for the cell.
+CellAssignment nominal_assignment(const CellTopology& topo);
+
+/// Electrical situation of one transistor in one input state.
+struct DeviceSituation {
+  bool on = false;
+  bool in_conducting_network = false;
+  model::GateBias gate_bias = model::GateBias::kNone;
+  /// Valid for OFF devices only: whether the device still sees drain bias.
+  model::SubthresholdBias sub_bias = model::SubthresholdBias::kZeroVds;
+};
+
+/// Full classification of a cell at one input state.
+struct CellStateAnalysis {
+  bool output = false;
+  std::vector<DeviceSituation> devices;  ///< Indexed by device index.
+};
+
+/// Classifies every transistor of `topo` at input `state`.
+CellStateAnalysis classify(const CellTopology& topo, std::uint32_t state);
+
+/// Total standby leakage of the cell at `state` under `assignment`.
+model::LeakageBreakdown cell_leakage(const CellTopology& topo,
+                                     const model::TechParams& tech,
+                                     std::uint32_t state,
+                                     const CellAssignment& assignment);
+
+/// The transistors that carry *significant* leakage at `state` and would be
+/// targeted by the paper's minimum-leakage version:
+///  * `tox_targets` — ON devices with full-channel tunneling whose device
+///    type has non-negligible Igate (NMOS under SiO2);
+///  * `vt_targets` — a minimal set of OFF devices whose high-Vt assignment
+///    suppresses every blocking path (one device per series group, all
+///    branches of parallel groups).
+struct LeakyDevices {
+  std::vector<int> tox_targets;
+  std::vector<int> vt_targets;
+};
+LeakyDevices find_leaky_devices(const CellTopology& topo, const model::TechParams& tech,
+                                std::uint32_t state);
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,79 @@
+#include "cellkit/area.hpp"
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+namespace {
+
+/// Walks an SP expression tracking, for each subtree, its first and last
+/// device leaf (the devices that abut neighbouring subtrees in a series
+/// chain). Series nodes add the adjacency between consecutive children.
+struct Span {
+  int first = -1;
+  int last = -1;
+};
+
+Span walk(const SpNode& node, int& cursor,
+          std::vector<std::pair<int, int>>& adjacent) {
+  if (node.is_device()) {
+    const int index = cursor++;
+    return {index, index};
+  }
+  Span span;
+  Span prev{-1, -1};
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const Span child = walk(node.children[i], cursor, adjacent);
+    if (node.kind == SpNode::Kind::kSeries) {
+      if (i > 0 && prev.last >= 0 && child.first >= 0) {
+        adjacent.push_back({prev.last, child.first});
+      }
+      if (span.first < 0) span.first = child.first;
+      span.last = child.last;
+      prev = child;
+    } else {
+      // Parallel fingers: no shared-diffusion boundary modeled; the group
+      // abuts its series neighbours through its first branch.
+      if (span.first < 0) span.first = child.first;
+      span.last = child.last;
+    }
+  }
+  return span;
+}
+
+}  // namespace
+
+BoundaryCount count_boundaries(const CellTopology& topo, const CellAssignment& assignment) {
+  if (assignment.size() != static_cast<std::size_t>(topo.num_devices())) {
+    throw ContractError("count_boundaries: assignment size mismatch");
+  }
+  std::vector<std::pair<int, int>> adjacent;
+  int cursor = 0;
+  walk(topo.pull_down(), cursor, adjacent);
+  walk(topo.pull_up(), cursor, adjacent);
+
+  BoundaryCount count;
+  for (const auto& [a, b] : adjacent) {
+    if (assignment[static_cast<std::size_t>(a)].vt !=
+        assignment[static_cast<std::size_t>(b)].vt) {
+      ++count.vt;
+    }
+    if (assignment[static_cast<std::size_t>(a)].tox !=
+        assignment[static_cast<std::size_t>(b)].tox) {
+      ++count.tox;
+    }
+  }
+  return count;
+}
+
+double cell_area(const CellTopology& topo, const AreaRules& rules,
+                 const CellAssignment& assignment) {
+  double area = 0.0;
+  for (const Device& dev : topo.devices()) area += rules.area_per_unit_width * dev.width;
+  const BoundaryCount count = count_boundaries(topo, assignment);
+  area += count.vt * rules.vt_boundary_area;
+  area += count.tox * rules.tox_boundary_area;
+  return area;
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,46 @@
+// Cell area estimation under mixed Vt/Tox assignments.
+//
+// The paper (Sec. 4, citing design-rule guidance [17]) notes that assigning
+// Vt or Tox per-transistor inside a stack "may result in the need for
+// increased spacing between the transistors in order not to violate design
+// rules", that Tox spacing rules "are expected to be more severe" than Vt
+// ones, and that uniform-stack control trades slightly higher leakage for
+// slightly lower cell area. This model makes that trade-off measurable:
+//
+//   area(version) = sum(device gate areas)
+//                 + vt_boundary_area  per adjacent series pair with mixed Vt
+//                 + tox_boundary_area per adjacent series pair with mixed Tox
+//
+// Adjacency is shared-diffusion adjacency along series chains (where
+// abutment is broken by an implant/oxide boundary). Areas are in normalized
+// unit-transistor areas.
+#pragma once
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/topology.hpp"
+
+namespace svtox::cellkit {
+
+/// Area rules for mixed-assignment spacing.
+struct AreaRules {
+  double area_per_unit_width = 1.0;
+  /// Extra area where two series-adjacent devices differ in Vt.
+  double vt_boundary_area = 0.4;
+  /// Extra area where two series-adjacent devices differ in Tox
+  /// (paper: "more severe" than the Vt rule).
+  double tox_boundary_area = 1.2;
+};
+
+/// Area of one cell under a per-device assignment [unit areas].
+double cell_area(const CellTopology& topo, const AreaRules& rules,
+                 const CellAssignment& assignment);
+
+/// Number of series-adjacent device pairs with mismatched Vt (first) and
+/// Tox (second) -- exposed for tests and reporting.
+struct BoundaryCount {
+  int vt = 0;
+  int tox = 0;
+};
+BoundaryCount count_boundaries(const CellTopology& topo, const CellAssignment& assignment);
+
+}  // namespace svtox::cellkit

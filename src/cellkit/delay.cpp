@@ -1,0 +1,136 @@
+#include "cellkit/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// Per-device drive resistance [kOhm] at a corner.
+double device_r_kohm(const model::TechParams& tech, const Device& dev,
+                     const DeviceAssign& assign) {
+  double r = tech.r_unit_kohm / dev.width;
+  if (dev.type == model::DeviceType::kPmos) r *= tech.pmos_r_mult;
+  return r * model::resistance_factor(tech, assign.vt, assign.tox);
+}
+
+/// Minimum conducting-path resistance through a subtree, assuming all of its
+/// devices can be turned on (the non-switching side conditions).
+double min_subtree_r(const SpNode& node, const CellTopology& topo,
+                     const model::TechParams& tech, const CellAssignment& assignment,
+                     int& device_cursor, double weight) {
+  if (node.is_device()) {
+    const int dev_index = device_cursor++;
+    return weight * device_r_kohm(tech, topo.devices()[dev_index], assignment[dev_index]);
+  }
+  if (node.kind == SpNode::Kind::kSeries) {
+    double sum = 0.0;
+    for (const SpNode& child : node.children) {
+      sum += min_subtree_r(child, topo, tech, assignment, device_cursor, weight);
+    }
+    return sum;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const SpNode& child : node.children) {
+    best = std::min(best, min_subtree_r(child, topo, tech, assignment, device_cursor, weight));
+  }
+  return best;
+}
+
+/// Resistance of the switching path through `pin`'s device: the device
+/// itself at full weight, series companions at tech.series_other_weight,
+/// parallel siblings ignored (single-input switching, worst case).
+/// Returns a negative value if the subtree does not contain the pin.
+double switching_path_r(const SpNode& node, const CellTopology& topo,
+                        const model::TechParams& tech, const CellAssignment& assignment,
+                        int pin, int& device_cursor) {
+  if (node.is_device()) {
+    const int dev_index = device_cursor++;
+    if (topo.devices()[dev_index].pin != pin) return -1.0;
+    return device_r_kohm(tech, topo.devices()[dev_index], assignment[dev_index]);
+  }
+  if (node.kind == SpNode::Kind::kSeries) {
+    double through = -1.0;
+    double others = 0.0;
+    for (const SpNode& child : node.children) {
+      // Peek: compute both possibilities with a scratch cursor to keep the
+      // device numbering consistent.
+      int scratch = device_cursor;
+      const double sub = switching_path_r(child, topo, tech, assignment, pin, scratch);
+      if (sub >= 0.0) {
+        through = sub;
+        device_cursor = scratch;
+      } else {
+        int cursor2 = device_cursor;
+        others += min_subtree_r(child, topo, tech, assignment, cursor2,
+                                tech.series_other_weight);
+        device_cursor = cursor2;
+      }
+    }
+    return through >= 0.0 ? through + others : -1.0;
+  }
+  // Parallel: only the branch containing the pin carries the transition.
+  double through = -1.0;
+  for (const SpNode& child : node.children) {
+    const double sub = switching_path_r(child, topo, tech, assignment, pin, device_cursor);
+    if (sub >= 0.0) through = sub;
+  }
+  return through;
+}
+
+double network_path_r(const CellTopology& topo, const model::TechParams& tech,
+                      const CellAssignment& assignment, int pin, Edge edge) {
+  const bool fall = edge == Edge::kFall;
+  const SpNode& network = fall ? topo.pull_down() : topo.pull_up();
+  int cursor = fall ? 0 : topo.num_pull_down_devices();
+  const double r = switching_path_r(network, topo, tech, assignment, pin, cursor);
+  if (r < 0.0) throw ContractError("path_resistance: pin not present in network");
+  return r;
+}
+
+}  // namespace
+
+double path_resistance_kohm(const CellTopology& topo, const model::TechParams& tech,
+                            const CellAssignment& assignment, int pin, Edge edge) {
+  if (pin < 0 || pin >= topo.num_inputs()) {
+    throw ContractError("path_resistance_kohm: pin out of range");
+  }
+  if (assignment.size() != static_cast<std::size_t>(topo.num_devices())) {
+    throw ContractError("path_resistance_kohm: assignment size mismatch");
+  }
+  return network_path_r(topo, tech, assignment, pin, edge);
+}
+
+double delay_factor(const CellTopology& topo, const model::TechParams& tech,
+                    const CellAssignment& assignment, int pin, Edge edge) {
+  const double nominal =
+      path_resistance_kohm(topo, tech, nominal_assignment(topo), pin, edge);
+  return path_resistance_kohm(topo, tech, assignment, pin, edge) / nominal;
+}
+
+double nominal_delay_ps(const CellTopology& topo, const model::TechParams& tech,
+                        int pin, Edge edge, double input_slew_ps, double load_ff) {
+  const double r =
+      path_resistance_kohm(topo, tech, nominal_assignment(topo), pin, edge);
+  const double c = load_ff + tech.cout_self_ff;
+  // R[kOhm] * C[fF] = ps.
+  return kLn2 * r * c + tech.slew_derate * input_slew_ps;
+}
+
+double nominal_output_slew_ps(const CellTopology& topo, const model::TechParams& tech,
+                              int pin, Edge edge, double input_slew_ps, double load_ff) {
+  const double r =
+      path_resistance_kohm(topo, tech, nominal_assignment(topo), pin, edge);
+  const double c = load_ff + tech.cout_self_ff;
+  // The driving slew degrades slowly through a gate; a small input-slew term
+  // keeps slews monotone without letting them blow up along long paths.
+  return tech.output_slew_factor * r * c + 0.1 * input_slew_ps;
+}
+
+}  // namespace svtox::cellkit

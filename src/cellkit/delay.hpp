@@ -1,0 +1,43 @@
+// Drive-resistance / delay modeling of cell variants.
+//
+// Delay is modeled through switching-path resistance: the transition driven
+// by input pin `pin` flows through that pin's device and, for series
+// structures, through its series neighbours. High-Vt and thick-Tox devices
+// multiply their drive resistance by calibrated factors (TechParams), so a
+// variant's delay is the nominal NLDM delay scaled by the ratio of assigned
+// to nominal path resistance. Non-switching series devices are weighted
+// below the switching device, which reproduces the pin-position delay
+// asymmetry of the paper's Table 1.
+#pragma once
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/topology.hpp"
+
+namespace svtox::cellkit {
+
+/// Output transition edge.
+enum class Edge : std::uint8_t { kRise, kFall };
+
+/// Switching-path resistance [kOhm] seen when `pin` drives an output `edge`,
+/// under the given per-device corner assignment. Rise transitions pull
+/// through the PUN, fall transitions through the PDN.
+double path_resistance_kohm(const CellTopology& topo, const model::TechParams& tech,
+                            const CellAssignment& assignment, int pin, Edge edge);
+
+/// Ratio of assigned to nominal path resistance for (pin, edge); this is the
+/// variant's delay multiplier relative to the minimum-delay version (the
+/// "normalized delay" of the paper's Table 1).
+double delay_factor(const CellTopology& topo, const model::TechParams& tech,
+                    const CellAssignment& assignment, int pin, Edge edge);
+
+/// Nominal (all low-Vt, thin-Tox) intrinsic delay [ps] of (pin, edge) for a
+/// given input slew [ps] and output load [fF]. The NLDM characterizer
+/// samples this function.
+double nominal_delay_ps(const CellTopology& topo, const model::TechParams& tech,
+                        int pin, Edge edge, double input_slew_ps, double load_ff);
+
+/// Nominal output slew [ps] of (pin, edge) at the given input slew and load.
+double nominal_output_slew_ps(const CellTopology& topo, const model::TechParams& tech,
+                              int pin, Edge edge, double input_slew_ps, double load_ff);
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,128 @@
+#include "cellkit/sp_network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+SpNode SpNode::device(int pin_index) {
+  SpNode node;
+  node.kind = Kind::kDevice;
+  node.pin = pin_index;
+  return node;
+}
+
+SpNode SpNode::series(std::vector<SpNode> children) {
+  if (children.empty()) throw ContractError("SpNode::series: empty child list");
+  if (children.size() == 1) return std::move(children.front());
+  SpNode node;
+  node.kind = Kind::kSeries;
+  node.children = std::move(children);
+  return node;
+}
+
+SpNode SpNode::parallel(std::vector<SpNode> children) {
+  if (children.empty()) throw ContractError("SpNode::parallel: empty child list");
+  if (children.size() == 1) return std::move(children.front());
+  SpNode node;
+  node.kind = Kind::kParallel;
+  node.children = std::move(children);
+  return node;
+}
+
+int device_count(const SpNode& node) {
+  if (node.is_device()) return 1;
+  int count = 0;
+  for (const SpNode& child : node.children) count += device_count(child);
+  return count;
+}
+
+void collect_pins(const SpNode& node, std::vector<int>& pins) {
+  if (node.is_device()) {
+    pins.push_back(node.pin);
+    return;
+  }
+  for (const SpNode& child : node.children) collect_pins(child, pins);
+}
+
+int longest_path(const SpNode& node) {
+  if (node.is_device()) return 1;
+  int length = 0;
+  if (node.kind == SpNode::Kind::kSeries) {
+    for (const SpNode& child : node.children) length += longest_path(child);
+  } else {
+    for (const SpNode& child : node.children) length = std::max(length, longest_path(child));
+  }
+  return length;
+}
+
+namespace {
+
+// Returns the longest path through the target leaf if it lives in this
+// subtree, or -1 otherwise. `leaf_cursor` advances over leaves in
+// collect_pins order.
+int longest_through_impl(const SpNode& node, int target_leaf, int& leaf_cursor) {
+  if (node.is_device()) {
+    const int index = leaf_cursor++;
+    return index == target_leaf ? 1 : -1;
+  }
+  if (node.kind == SpNode::Kind::kSeries) {
+    int through = -1;
+    int others = 0;
+    for (const SpNode& child : node.children) {
+      const int sub = longest_through_impl(child, target_leaf, leaf_cursor);
+      if (sub >= 0) {
+        through = sub;
+      } else {
+        others += longest_path(child);
+      }
+    }
+    return through >= 0 ? through + others : -1;
+  }
+  // Parallel: only the branch containing the target matters.
+  int through = -1;
+  for (const SpNode& child : node.children) {
+    const int sub = longest_through_impl(child, target_leaf, leaf_cursor);
+    if (sub >= 0) through = sub;
+  }
+  return through;
+}
+
+}  // namespace
+
+int longest_path_through(const SpNode& node, int target_leaf) {
+  int cursor = 0;
+  const int result = longest_through_impl(node, target_leaf, cursor);
+  if (result < 0) throw ContractError("longest_path_through: leaf index out of range");
+  return result;
+}
+
+namespace {
+
+bool conducts_impl(const SpNode& node, const std::vector<bool>& device_on,
+                   int& leaf_cursor) {
+  if (node.is_device()) return device_on.at(leaf_cursor++);
+  if (node.kind == SpNode::Kind::kSeries) {
+    bool all = true;
+    for (const SpNode& child : node.children) {
+      // No short-circuiting: the cursor must advance over every leaf.
+      all = conducts_impl(child, device_on, leaf_cursor) && all;
+    }
+    return all;
+  }
+  bool any = false;
+  for (const SpNode& child : node.children) {
+    any = conducts_impl(child, device_on, leaf_cursor) || any;
+  }
+  return any;
+}
+
+}  // namespace
+
+bool conducts(const SpNode& node, const std::vector<bool>& device_on) {
+  int cursor = 0;
+  return conducts_impl(node, device_on, cursor);
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,57 @@
+// Series/parallel transistor network expressions.
+//
+// Static CMOS cells are modeled as a pull-down network (NMOS) and a
+// complementary pull-up network (PMOS), each a series/parallel expression
+// over the input pins. This is sufficient for the cell families the paper
+// uses (INV, NAND, NOR, AOI, OAI) and keeps the electrical analysis exact.
+//
+// Conventions:
+//  * A series node lists its children *from the output side towards the
+//    rail*: child 0 of a pull-down series stack is the topmost transistor
+//    (adjacent to the output), the last child touches GND. This ordering is
+//    what makes "position in the stack" meaningful for the paper's
+//    pin-reordering argument (Sec. 3, Fig. 2(d)/(e)).
+//  * A device leaf carries the index of the input pin driving its gate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace svtox::cellkit {
+
+/// One node of a series/parallel network expression.
+struct SpNode {
+  enum class Kind : std::uint8_t { kDevice, kSeries, kParallel };
+
+  Kind kind = Kind::kDevice;
+  int pin = -1;                   ///< Input pin index (device leaves only).
+  std::vector<SpNode> children;   ///< Sub-expressions (series/parallel only).
+
+  static SpNode device(int pin_index);
+  static SpNode series(std::vector<SpNode> children);
+  static SpNode parallel(std::vector<SpNode> children);
+
+  bool is_device() const { return kind == Kind::kDevice; }
+};
+
+/// Number of device leaves in the expression.
+int device_count(const SpNode& node);
+
+/// Appends the pin index of every device leaf in expression order
+/// (series children visited output-side first).
+void collect_pins(const SpNode& node, std::vector<int>& pins);
+
+/// Length (device count) of the longest rail-to-output path through the
+/// network: series sums, parallel takes the max.
+int longest_path(const SpNode& node);
+
+/// Length of the longest rail-to-output path that passes through the
+/// `target`-th device leaf (leaves numbered in collect_pins order).
+/// Used for stack-aware device sizing.
+int longest_path_through(const SpNode& node, int target_leaf);
+
+/// True if the network conducts when `device_on[leaf]` tells whether each
+/// device leaf (in collect_pins order) is conducting.
+bool conducts(const SpNode& node, const std::vector<bool>& device_on);
+
+}  // namespace svtox::cellkit

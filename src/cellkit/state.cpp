@@ -1,0 +1,68 @@
+#include "cellkit/state.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+PinMapping canonicalize(const CellTopology& topo, std::uint32_t state) {
+  if (state >= topo.num_states()) throw ContractError("canonicalize: state out of range");
+
+  PinMapping mapping;
+  mapping.logical_to_physical.resize(topo.num_inputs());
+  for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+    mapping.logical_to_physical[pin] = pin;
+  }
+
+  for (std::size_t g = 0; g < topo.symmetric_groups().size(); ++g) {
+    const std::vector<int>& group = topo.symmetric_groups()[g];
+    // The group's conducting devices move above its blocking ones in the
+    // series network that contains it: ones-first for NMOS-series (NAND)
+    // groups, zeros-first for PMOS-series (NOR) groups. Stable within equal
+    // bits for determinism.
+    const bool ones_first = topo.group_ones_first(g);
+    std::vector<int> leaders;
+    std::vector<int> trailers;
+    for (int pin : group) {
+      const bool is_one = (state >> pin) & 1u;
+      (is_one == ones_first ? leaders : trailers).push_back(pin);
+    }
+    std::size_t slot = 0;
+    for (int pin : leaders) mapping.logical_to_physical[pin] = group[slot++];
+    for (int pin : trailers) mapping.logical_to_physical[pin] = group[slot++];
+  }
+
+  mapping.canonical_state = map_state(mapping, state);
+  return mapping;
+}
+
+std::uint32_t map_state(const PinMapping& mapping, std::uint32_t logical_state) {
+  std::uint32_t physical = 0;
+  for (std::size_t i = 0; i < mapping.logical_to_physical.size(); ++i) {
+    if ((logical_state >> i) & 1u) physical |= 1u << mapping.logical_to_physical[i];
+  }
+  return physical;
+}
+
+std::string state_to_string(std::uint32_t state, int num_inputs) {
+  std::string out(static_cast<std::size_t>(num_inputs), '0');
+  for (int pin = 0; pin < num_inputs; ++pin) {
+    if ((state >> pin) & 1u) out[pin] = '1';
+  }
+  return out;
+}
+
+std::uint32_t state_from_string(const std::string& bits) {
+  std::uint32_t state = 0;
+  for (std::size_t pin = 0; pin < bits.size(); ++pin) {
+    if (bits[pin] == '1') {
+      state |= 1u << pin;
+    } else if (bits[pin] != '0') {
+      throw ContractError("state_from_string: bad bit character");
+    }
+  }
+  return state;
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,53 @@
+// Input-state canonicalization via pin reordering.
+//
+// The paper (Sec. 3, Fig. 2(d)/(e)) exploits that functionally symmetric
+// pins can be reordered so that, in a series NMOS stack, conducting
+// transistors sit *above* non-conducting ones. The device above an OFF
+// device sees only ~one Vt of gate bias, so its tunneling current becomes
+// negligible and no thick-oxide assignment is needed. Reordered states then
+// share cell versions (Sec. 4: NAND2 state 01 needs no version beyond 10's).
+//
+// We implement reordering as state canonicalization: within each symmetric
+// pin group, logical inputs carrying a 1 are mapped to the lowest physical
+// pin positions — which, by the SpNode series convention (child 0 adjacent
+// to the output), places ON devices at the top of pull-down stacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellkit/topology.hpp"
+
+namespace svtox::cellkit {
+
+/// Result of canonicalizing a gate's local input state.
+struct PinMapping {
+  /// The canonical state the cell versions are generated for.
+  std::uint32_t canonical_state = 0;
+  /// logical_to_physical[i] = physical pin position that logical input i
+  /// drives after reordering. Identity when no reordering is needed.
+  std::vector<int> logical_to_physical;
+
+  bool is_identity() const {
+    for (std::size_t i = 0; i < logical_to_physical.size(); ++i) {
+      if (logical_to_physical[i] != static_cast<int>(i)) return false;
+    }
+    return true;
+  }
+};
+
+/// Canonicalizes `state` under the cell's pin symmetries.
+PinMapping canonicalize(const CellTopology& topo, std::uint32_t state);
+
+/// Applies a logical->physical mapping to a logical state, producing the
+/// state as seen at the physical pins.
+std::uint32_t map_state(const PinMapping& mapping, std::uint32_t logical_state);
+
+/// Renders a state as a bit string "b0b1..bk" (pin 0 first), e.g. NAND2
+/// state with pin0=1, pin1=0 renders as "10".
+std::string state_to_string(std::uint32_t state, int num_inputs);
+
+/// Parses the output of state_to_string.
+std::uint32_t state_from_string(const std::string& bits);
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,252 @@
+#include "cellkit/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+namespace {
+
+/// Flattens one network's device leaves into the device table.
+void flatten_network(const SpNode& network, model::DeviceType type, double base_width,
+                     const model::TechParams& tech, std::vector<Device>& devices) {
+  std::vector<int> pins;
+  collect_pins(network, pins);
+  for (std::size_t leaf = 0; leaf < pins.size(); ++leaf) {
+    Device dev;
+    dev.type = type;
+    dev.pin = pins[leaf];
+    // Partial stack up-sizing: a device on a k-deep series path is widened
+    // to recover part of the stacked drive strength (full compensation is
+    // too area-expensive in practice).
+    const int k = longest_path_through(network, static_cast<int>(leaf));
+    dev.width = base_width * (1.0 + tech.stack_upsize_slope * (k - 1));
+    dev.leaf_index = static_cast<int>(leaf);
+    devices.push_back(dev);
+  }
+}
+
+}  // namespace
+
+CellTopology::CellTopology(std::string name, int num_inputs, SpNode pull_down,
+                           SpNode pull_up, std::vector<std::vector<int>> symmetric_groups,
+                           const model::TechParams& tech)
+    : name_(std::move(name)),
+      num_inputs_(num_inputs),
+      pull_down_(std::move(pull_down)),
+      pull_up_(std::move(pull_up)),
+      symmetric_groups_(std::move(symmetric_groups)) {
+  if (num_inputs_ < 1 || num_inputs_ > 6) {
+    throw ContractError("CellTopology: inputs must be in [1, 6]");
+  }
+
+  // Unit NMOS width 1; PMOS gets the mobility compensation factor so an
+  // inverter has balanced rise/fall drive.
+  flatten_network(pull_down_, model::DeviceType::kNmos, 1.0, tech, devices_);
+  num_pdn_devices_ = static_cast<int>(devices_.size());
+  flatten_network(pull_up_, model::DeviceType::kPmos, tech.pmos_r_mult, tech, devices_);
+
+  // Every pin must appear in both networks exactly once for a complementary
+  // static gate of the families we support.
+  std::vector<int> pdn_count(num_inputs_, 0);
+  std::vector<int> pun_count(num_inputs_, 0);
+  for (int d = 0; d < num_pdn_devices_; ++d) pdn_count.at(devices_[d].pin)++;
+  for (int d = num_pdn_devices_; d < num_devices(); ++d) pun_count.at(devices_[d].pin)++;
+  for (int pin = 0; pin < num_inputs_; ++pin) {
+    if (pdn_count[pin] != 1 || pun_count[pin] != 1) {
+      throw ContractError("CellTopology '" + name_ +
+                          "': every pin must drive exactly one device per network");
+    }
+  }
+
+  // Canonicalization direction per symmetric group: follow whichever
+  // network stacks the group's devices in series *with each other* -- i.e.
+  // whose lowest common series/parallel ancestor of the group's leaves is a
+  // series node (reordering within the group then changes stack positions).
+  struct GroupScan {
+    // Returns how many group leaves the subtree contains, and records the
+    // kind of the lowest node containing all of them.
+    static int scan(const SpNode& node, const std::vector<bool>& pin_in_group,
+                    int group_size, int& cursor, SpNode::Kind& ancestor_kind,
+                    bool& found) {
+      if (node.is_device()) {
+        ++cursor;
+        return pin_in_group[static_cast<std::size_t>(node.pin)] ? 1 : 0;
+      }
+      int count = 0;
+      for (const SpNode& child : node.children) {
+        count += scan(child, pin_in_group, group_size, cursor, ancestor_kind, found);
+      }
+      if (!found && count == group_size) {
+        ancestor_kind = node.kind;
+        found = true;
+      }
+      return count;
+    }
+  };
+
+  for (const std::vector<int>& group : symmetric_groups_) {
+    std::vector<bool> pin_in_group(static_cast<std::size_t>(num_inputs_), false);
+    for (int pin : group) pin_in_group[static_cast<std::size_t>(pin)] = true;
+
+    auto ancestor = [&](const SpNode& net) {
+      SpNode::Kind kind = SpNode::Kind::kParallel;
+      bool found = false;
+      int cursor = 0;
+      GroupScan::scan(net, pin_in_group, static_cast<int>(group.size()), cursor, kind,
+                      found);
+      return kind;
+    };
+    const bool nmos_series = ancestor(pull_down_) == SpNode::Kind::kSeries;
+    const bool pmos_series = ancestor(pull_up_) == SpNode::Kind::kSeries;
+    // NMOS-series groups sort ones first; PMOS-series-only groups sort
+    // zeros first; fully parallel groups default to ones-first.
+    group_ones_first_.push_back(nmos_series || !pmos_series);
+  }
+
+  // Input capacitance: NMOS gate cap + PMOS gate cap on the pin.
+  pin_cap_ff_.assign(num_inputs_, 0.0);
+  for (const Device& dev : devices_) {
+    pin_cap_ff_[dev.pin] += tech.cin_ff_per_unit_w * dev.width;
+  }
+
+  // Truth table, and a consistency check that the networks are complementary
+  // (exactly one conducts in every state).
+  truth_.resize(num_states());
+  for (std::uint32_t state = 0; state < num_states(); ++state) {
+    std::vector<bool> pdn_on(num_pdn_devices_);
+    for (int d = 0; d < num_pdn_devices_; ++d) {
+      pdn_on[d] = (state >> devices_[d].pin) & 1u;  // NMOS on when input high
+    }
+    std::vector<bool> pun_on(num_devices() - num_pdn_devices_);
+    for (int d = num_pdn_devices_; d < num_devices(); ++d) {
+      pun_on[d - num_pdn_devices_] = !((state >> devices_[d].pin) & 1u);
+    }
+    const bool down = conducts(pull_down_, pdn_on);
+    const bool up = conducts(pull_up_, pun_on);
+    if (down == up) {
+      throw ContractError("CellTopology '" + name_ +
+                          "': networks are not complementary");
+    }
+    truth_[state] = up;
+  }
+}
+
+bool CellTopology::output(std::uint32_t state) const {
+  if (state >= num_states()) throw ContractError("CellTopology::output: state out of range");
+  return truth_[state];
+}
+
+bool CellTopology::device_on(int device_index, std::uint32_t state) const {
+  const Device& dev = devices_.at(device_index);
+  const bool input_high = (state >> dev.pin) & 1u;
+  return dev.type == model::DeviceType::kNmos ? input_high : !input_high;
+}
+
+double CellTopology::pin_capacitance_ff(int pin) const { return pin_cap_ff_.at(pin); }
+
+double CellTopology::max_pin_capacitance_ff() const {
+  return *std::max_element(pin_cap_ff_.begin(), pin_cap_ff_.end());
+}
+
+namespace {
+
+/// NAND-k: k NMOS in series (pin 0 on top, adjacent to the output),
+/// k PMOS in parallel.
+CellTopology make_nand(const std::string& name, int k, const model::TechParams& tech) {
+  std::vector<SpNode> series_devs;
+  std::vector<SpNode> parallel_devs;
+  std::vector<int> all_pins;
+  for (int pin = 0; pin < k; ++pin) {
+    series_devs.push_back(SpNode::device(pin));
+    parallel_devs.push_back(SpNode::device(pin));
+    all_pins.push_back(pin);
+  }
+  return CellTopology(name, k, SpNode::series(std::move(series_devs)),
+                      SpNode::parallel(std::move(parallel_devs)), {all_pins}, tech);
+}
+
+/// NOR-k: k NMOS in parallel, k PMOS in series (pin 0 on top, adjacent to
+/// the VDD rail -- series children are listed output-side first, so child 0
+/// of the pull-up stack is adjacent to the *output*).
+CellTopology make_nor(const std::string& name, int k, const model::TechParams& tech) {
+  std::vector<SpNode> series_devs;
+  std::vector<SpNode> parallel_devs;
+  std::vector<int> all_pins;
+  for (int pin = 0; pin < k; ++pin) {
+    series_devs.push_back(SpNode::device(pin));
+    parallel_devs.push_back(SpNode::device(pin));
+    all_pins.push_back(pin);
+  }
+  return CellTopology(name, k, SpNode::parallel(std::move(parallel_devs)),
+                      SpNode::series(std::move(series_devs)), {all_pins}, tech);
+}
+
+/// INV: single NMOS / single PMOS.
+CellTopology make_inv(const model::TechParams& tech) {
+  return CellTopology("INV", 1, SpNode::device(0), SpNode::device(0), {}, tech);
+}
+
+/// AOI21: out = !(A*B + C). Pins: 0=A, 1=B, 2=C; A and B are symmetric.
+CellTopology make_aoi21(const model::TechParams& tech) {
+  SpNode pdn = SpNode::parallel(
+      {SpNode::series({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  SpNode pun = SpNode::series(
+      {SpNode::parallel({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  return CellTopology("AOI21", 3, std::move(pdn), std::move(pun), {{0, 1}}, tech);
+}
+
+/// OAI21: out = !((A+B) * C). Pins: 0=A, 1=B, 2=C; A and B are symmetric.
+CellTopology make_oai21(const model::TechParams& tech) {
+  SpNode pdn = SpNode::series(
+      {SpNode::parallel({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  SpNode pun = SpNode::parallel(
+      {SpNode::series({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  return CellTopology("OAI21", 3, std::move(pdn), std::move(pun), {{0, 1}}, tech);
+}
+
+/// AOI22: out = !(A*B + C*D). Pins: 0=A, 1=B, 2=C, 3=D; {A,B} and {C,D}
+/// are symmetric pairs.
+CellTopology make_aoi22(const model::TechParams& tech) {
+  SpNode pdn = SpNode::parallel({SpNode::series({SpNode::device(0), SpNode::device(1)}),
+                                 SpNode::series({SpNode::device(2), SpNode::device(3)})});
+  SpNode pun = SpNode::series({SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+                               SpNode::parallel({SpNode::device(2), SpNode::device(3)})});
+  return CellTopology("AOI22", 4, std::move(pdn), std::move(pun), {{0, 1}, {2, 3}}, tech);
+}
+
+/// OAI22: out = !((A+B) * (C+D)).
+CellTopology make_oai22(const model::TechParams& tech) {
+  SpNode pdn = SpNode::series({SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+                               SpNode::parallel({SpNode::device(2), SpNode::device(3)})});
+  SpNode pun = SpNode::parallel({SpNode::series({SpNode::device(0), SpNode::device(1)}),
+                                 SpNode::series({SpNode::device(2), SpNode::device(3)})});
+  return CellTopology("OAI22", 4, std::move(pdn), std::move(pun), {{0, 1}, {2, 3}}, tech);
+}
+
+}  // namespace
+
+CellTopology make_standard_cell(const std::string& name, const model::TechParams& tech) {
+  if (name == "INV") return make_inv(tech);
+  if (name == "NAND2") return make_nand(name, 2, tech);
+  if (name == "NAND3") return make_nand(name, 3, tech);
+  if (name == "NAND4") return make_nand(name, 4, tech);
+  if (name == "NOR2") return make_nor(name, 2, tech);
+  if (name == "NOR3") return make_nor(name, 3, tech);
+  if (name == "NOR4") return make_nor(name, 4, tech);
+  if (name == "AOI21") return make_aoi21(tech);
+  if (name == "OAI21") return make_oai21(tech);
+  if (name == "AOI22") return make_aoi22(tech);
+  if (name == "OAI22") return make_oai22(tech);
+  throw ContractError("make_standard_cell: unknown cell '" + name + "'");
+}
+
+const std::vector<std::string>& standard_cell_names() {
+  static const std::vector<std::string> names = {
+      "INV",  "NAND2", "NAND3", "NAND4", "NOR2",  "NOR3",
+      "NOR4", "AOI21", "OAI21", "AOI22", "OAI22"};
+  return names;
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,94 @@
+// Transistor-level topology of a static CMOS library cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellkit/sp_network.hpp"
+#include "model/tech.hpp"
+
+namespace svtox::cellkit {
+
+/// One transistor of a cell, flattened out of the SP expressions.
+/// Devices are numbered with all pull-down (NMOS) devices first, in
+/// collect_pins order, followed by all pull-up (PMOS) devices.
+struct Device {
+  model::DeviceType type = model::DeviceType::kNmos;
+  int pin = -1;        ///< Input pin driving the gate.
+  double width = 1.0;  ///< In unit widths; includes stack up-sizing.
+  int leaf_index = 0;  ///< Leaf position within its own network.
+};
+
+/// The logic function and transistor structure of one cell archetype
+/// (e.g. NAND2). Immutable after construction.
+class CellTopology {
+ public:
+  /// Builds a complementary static gate from its pull-down expression.
+  /// The pull-up network must be supplied explicitly (it is the structural
+  /// dual, but AOI/OAI cells have specific stack orderings).
+  /// `symmetric_groups` lists sets of mutually interchangeable pins.
+  CellTopology(std::string name, int num_inputs, SpNode pull_down, SpNode pull_up,
+               std::vector<std::vector<int>> symmetric_groups,
+               const model::TechParams& tech);
+
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return num_inputs_; }
+  std::uint32_t num_states() const { return 1u << num_inputs_; }
+
+  const SpNode& pull_down() const { return pull_down_; }
+  const SpNode& pull_up() const { return pull_up_; }
+
+  /// All devices; pull-down devices first.
+  const std::vector<Device>& devices() const { return devices_; }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  int num_pull_down_devices() const { return num_pdn_devices_; }
+
+  /// Pin-symmetry groups (each a set of interchangeable pin indices).
+  const std::vector<std::vector<int>>& symmetric_groups() const {
+    return symmetric_groups_;
+  }
+
+  /// Canonicalization direction of symmetric group `g`: true = inputs
+  /// carrying 1 take the group's lowest pin positions. Chosen so that ON
+  /// devices sit *above* OFF devices in whichever network stacks the group
+  /// in series: ones-first when the group is series in the pull-down
+  /// (NAND-like), zeros-first when series in the pull-up (NOR-like). Either
+  /// way the conducting devices end up with reduced gate bias.
+  bool group_ones_first(std::size_t g) const { return group_ones_first_.at(g); }
+
+  /// Logic value of the output for an input state (bit i of `state` is the
+  /// value at pin i).
+  bool output(std::uint32_t state) const;
+
+  /// True if `device_index`'s transistor conducts in `state`.
+  bool device_on(int device_index, std::uint32_t state) const;
+
+  /// Total input capacitance presented at `pin` [fF].
+  double pin_capacitance_ff(int pin) const;
+
+  /// Worst-case (largest) input pin capacitance [fF].
+  double max_pin_capacitance_ff() const;
+
+ private:
+  std::string name_;
+  int num_inputs_;
+  SpNode pull_down_;
+  SpNode pull_up_;
+  std::vector<std::vector<int>> symmetric_groups_;
+  std::vector<bool> group_ones_first_;
+  std::vector<Device> devices_;
+  int num_pdn_devices_ = 0;
+  std::vector<double> pin_cap_ff_;
+  std::vector<bool> truth_;  ///< Output per state, indexed by state.
+};
+
+/// Factory for the standard-cell archetypes used throughout the paper.
+/// Supported names: INV, NAND2, NAND3, NAND4, NOR2, NOR3, NOR4, AOI21, OAI21.
+/// Throws ContractError for unknown names.
+CellTopology make_standard_cell(const std::string& name, const model::TechParams& tech);
+
+/// All supported archetype names, in library order.
+const std::vector<std::string>& standard_cell_names();
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,152 @@
+#include "cellkit/variants.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+const char* to_string(TradeoffPoint point) {
+  switch (point) {
+    case TradeoffPoint::kMinDelay: return "min_delay";
+    case TradeoffPoint::kFastRise: return "fast_rise";
+    case TradeoffPoint::kFastFall: return "fast_fall";
+    case TradeoffPoint::kMinLeakage: return "min_leakage";
+  }
+  return "?";
+}
+
+std::vector<int> StateTradeoffs::distinct_versions() const {
+  std::vector<int> out;
+  for (int idx : version_index) {
+    if (idx < 0) continue;
+    if (std::find(out.begin(), out.end(), idx) == out.end()) out.push_back(idx);
+  }
+  return out;
+}
+
+CellVersionSet::CellVersionSet(const CellTopology* topo, std::vector<CellVersion> versions,
+                               std::vector<StateTradeoffs> by_state)
+    : topo_(topo), versions_(std::move(versions)), by_state_(std::move(by_state)) {
+  state_lookup_.assign(topo_->num_states(), -1);
+  for (std::size_t i = 0; i < by_state_.size(); ++i) {
+    state_lookup_.at(by_state_[i].canonical_state) = static_cast<int>(i);
+  }
+  fastest_ = -1;
+  for (std::size_t v = 0; v < versions_.size(); ++v) {
+    if (versions_[v].is_fastest()) fastest_ = static_cast<int>(v);
+  }
+  if (fastest_ < 0) throw ContractError("CellVersionSet: missing all-fast version");
+}
+
+const StateTradeoffs& CellVersionSet::tradeoffs(std::uint32_t canonical_state) const {
+  if (canonical_state >= state_lookup_.size() || state_lookup_[canonical_state] < 0) {
+    throw ContractError("CellVersionSet::tradeoffs: state is not canonical for " +
+                        topo_->name());
+  }
+  return by_state_[static_cast<std::size_t>(state_lookup_[canonical_state])];
+}
+
+namespace {
+
+/// Expands an assignment so every series-structured network with any high-Vt
+/// device becomes uniformly high-Vt (manufacturing-friendly stacks,
+/// paper Sec. 4 / Table 5).
+void make_stack_uniform(const CellTopology& topo, CellAssignment& assignment) {
+  struct Span {
+    int first;
+    int count;
+    const SpNode* net;
+  };
+  const Span spans[2] = {
+      {0, topo.num_pull_down_devices(), &topo.pull_down()},
+      {topo.num_pull_down_devices(), topo.num_devices() - topo.num_pull_down_devices(),
+       &topo.pull_up()},
+  };
+  for (const Span& span : spans) {
+    if (longest_path(*span.net) <= 1) continue;  // no stacking in this network
+    bool any_high = false;
+    for (int d = span.first; d < span.first + span.count; ++d) {
+      any_high = any_high || assignment[d].vt == model::VtClass::kHigh;
+    }
+    if (!any_high) continue;
+    for (int d = span.first; d < span.first + span.count; ++d) {
+      assignment[d].vt = model::VtClass::kHigh;
+    }
+  }
+}
+
+}  // namespace
+
+CellVersionSet generate_versions(const CellTopology& topo, const model::TechParams& tech,
+                                 const VariantOptions& options) {
+  std::vector<CellVersion> versions;
+  auto intern = [&](CellAssignment assignment) {
+    for (std::size_t v = 0; v < versions.size(); ++v) {
+      if (versions[v].assignment == assignment) return static_cast<int>(v);
+    }
+    CellVersion version;
+    version.name = topo.name() + "_v" + std::to_string(versions.size());
+    version.assignment = std::move(assignment);
+    versions.push_back(std::move(version));
+    return static_cast<int>(versions.size() - 1);
+  };
+
+  // Version 0 is always the all-fast cell, shared by every state.
+  const int fast_index = intern(nominal_assignment(topo));
+
+  // Enumerate canonical states only; non-canonical states reach their
+  // versions through pin reordering.
+  std::vector<bool> seen(topo.num_states(), false);
+  std::vector<StateTradeoffs> by_state;
+  for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+    const PinMapping mapping = canonicalize(topo, state);
+    if (seen[mapping.canonical_state]) continue;
+    seen[mapping.canonical_state] = true;
+    const std::uint32_t canon = mapping.canonical_state;
+
+    const LeakyDevices leaky = find_leaky_devices(topo, tech, canon);
+
+    CellAssignment min_leak = nominal_assignment(topo);
+    for (int d : leaky.vt_targets) min_leak[d].vt = model::VtClass::kHigh;
+    if (!options.vt_only) {
+      for (int d : leaky.tox_targets) min_leak[d].tox = model::ToxClass::kThick;
+    }
+    if (options.uniform_stack) make_stack_uniform(topo, min_leak);
+
+    StateTradeoffs record;
+    record.canonical_state = canon;
+    record.version_index[static_cast<int>(TradeoffPoint::kMinDelay)] = fast_index;
+
+    const int min_leak_index = intern(min_leak);
+    record.version_index[static_cast<int>(TradeoffPoint::kMinLeakage)] = min_leak_index;
+
+    if (options.four_point) {
+      // Fast rise: only pull-down (NMOS) assignments -> the pull-up path is
+      // untouched. Fast fall: only pull-up (PMOS) assignments.
+      CellAssignment fast_rise = nominal_assignment(topo);
+      CellAssignment fast_fall = nominal_assignment(topo);
+      for (int d = 0; d < topo.num_devices(); ++d) {
+        if (d < topo.num_pull_down_devices()) {
+          fast_rise[d] = min_leak[d];
+        } else {
+          fast_fall[d] = min_leak[d];
+        }
+      }
+      // Intermediate points that degenerate into (a) or (b) add no version.
+      if (fast_rise != min_leak && fast_rise != versions[fast_index].assignment) {
+        record.version_index[static_cast<int>(TradeoffPoint::kFastRise)] =
+            intern(std::move(fast_rise));
+      }
+      if (fast_fall != min_leak && fast_fall != versions[fast_index].assignment) {
+        record.version_index[static_cast<int>(TradeoffPoint::kFastFall)] =
+            intern(std::move(fast_fall));
+      }
+    }
+    by_state.push_back(record);
+  }
+
+  return CellVersionSet(&topo, std::move(versions), std::move(by_state));
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,100 @@
+// Cell version (variant) generation -- the paper's Section 4.
+//
+// For every canonical input state of a cell we construct up to four
+// delay/leakage trade-off points:
+//   (a) minimum delay    -- all low-Vt, thin-Tox (shared across states),
+//   (b) minimum leakage  -- every significant leakage path suppressed,
+//   (c) fast fall        -- only pull-up (PMOS) assignments from (b),
+//   (d) fast rise        -- only pull-down (NMOS) assignments from (b).
+// Identical assignments are shared between states, which is what reduces
+// the NAND2 to 5 versions and the NOR2 to 8 (paper Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/state.hpp"
+#include "cellkit/topology.hpp"
+
+namespace svtox::cellkit {
+
+/// Which trade-off point a version realizes for some state.
+enum class TradeoffPoint : std::uint8_t {
+  kMinDelay = 0,
+  kFastRise = 1,
+  kFastFall = 2,
+  kMinLeakage = 3,
+};
+
+const char* to_string(TradeoffPoint point);
+
+/// One manufacturable version of a cell (a member of the swap library).
+struct CellVersion {
+  std::string name;           ///< e.g. "NAND2_v2".
+  CellAssignment assignment;  ///< Per-device Vt/Tox corners.
+
+  bool is_fastest() const {
+    for (const DeviceAssign& a : assignment) {
+      if (!a.is_nominal()) return false;
+    }
+    return true;
+  }
+};
+
+/// The trade-off points applicable to one canonical input state.
+struct StateTradeoffs {
+  std::uint32_t canonical_state = 0;
+  /// version_index[point] = index into CellVersionSet::versions, or -1 when
+  /// the point degenerated into another one and was dropped.
+  int version_index[4] = {-1, -1, -1, -1};
+
+  /// Distinct applicable versions, in trade-off-point order.
+  std::vector<int> distinct_versions() const;
+};
+
+/// Library-generation options (paper Sections 4 and 6 / Table 5).
+struct VariantOptions {
+  /// 4 trade-off points per state when true, else 2 (min-delay, min-leak).
+  bool four_point = true;
+  /// Force every series-stacked network to share one Vt assignment.
+  bool uniform_stack = false;
+  /// Strip all thick-Tox assignments; yields the dual-Vt-only library used
+  /// by the state+Vt baseline [12].
+  bool vt_only = false;
+};
+
+/// The complete version set of one cell archetype.
+class CellVersionSet {
+ public:
+  CellVersionSet(const CellTopology* topo, std::vector<CellVersion> versions,
+                 std::vector<StateTradeoffs> by_state);
+
+  const CellTopology& topology() const { return *topo_; }
+  const std::vector<CellVersion>& versions() const { return versions_; }
+  int num_versions() const { return static_cast<int>(versions_.size()); }
+
+  /// Index of the all-fast version (always present).
+  int fastest_version() const { return fastest_; }
+
+  /// Trade-off points for a canonical state. The state must be canonical
+  /// (i.e. PinMapping::canonical_state of some input state).
+  const StateTradeoffs& tradeoffs(std::uint32_t canonical_state) const;
+
+  /// All per-canonical-state records.
+  const std::vector<StateTradeoffs>& all_tradeoffs() const { return by_state_; }
+
+ private:
+  const CellTopology* topo_;
+  std::vector<CellVersion> versions_;
+  std::vector<StateTradeoffs> by_state_;
+  std::vector<int> state_lookup_;  ///< canonical state -> by_state_ index.
+  int fastest_ = 0;
+};
+
+/// Generates the version set of `topo` under `options`.
+CellVersionSet generate_versions(const CellTopology& topo, const model::TechParams& tech,
+                                 const VariantOptions& options);
+
+}  // namespace svtox::cellkit

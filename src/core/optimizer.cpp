@@ -1,0 +1,128 @@
+#include "core/optimizer.hpp"
+
+#include "sim/leakage_eval.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::core {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kAverageRandom: return "average_random";
+    case Method::kStateOnly: return "state_only";
+    case Method::kVtState: return "vt_state";
+    case Method::kHeu1: return "heu1";
+    case Method::kHeu2: return "heu2";
+    case Method::kExact: return "exact";
+  }
+  return "?";
+}
+
+StandbyOptimizer::StandbyOptimizer(const netlist::Netlist& netlist)
+    : netlist_(&netlist) {
+  if (!netlist.finalized()) throw ContractError("StandbyOptimizer: netlist not finalized");
+}
+
+StandbyOptimizer::~StandbyOptimizer() = default;
+
+const opt::AssignmentProblem& StandbyOptimizer::problem_for(double penalty) {
+  auto it = problems_.find(penalty);
+  if (it == problems_.end()) {
+    it = problems_
+             .emplace(penalty,
+                      std::make_unique<opt::AssignmentProblem>(*netlist_, penalty))
+             .first;
+  }
+  return *it->second;
+}
+
+const opt::AssignmentProblem& StandbyOptimizer::vt_problem_for(double penalty) {
+  if (vt_library_ == nullptr) {
+    // The Vt+state baseline [12] sees the same circuit through a dual-Vt
+    // library with no thick-oxide versions.
+    liberty::LibraryOptions options = netlist_->library().options();
+    options.variant_options.vt_only = true;
+    options.cell_names.clear();
+    vt_library_ = std::make_unique<liberty::Library>(
+        liberty::Library::build(netlist_->library().tech(), options));
+    vt_netlist_ = std::make_unique<netlist::Netlist>(
+        netlist::rebind(*netlist_, *vt_library_));
+  }
+  auto it = vt_problems_.find(penalty);
+  if (it == vt_problems_.end()) {
+    it = vt_problems_
+             .emplace(penalty,
+                      std::make_unique<opt::AssignmentProblem>(*vt_netlist_, penalty))
+             .first;
+  }
+  return *it->second;
+}
+
+const sta::DelayBudget& StandbyOptimizer::delay_budget() {
+  if (!budget_) budget_ = sta::compute_delay_budget(*netlist_);
+  return *budget_;
+}
+
+double StandbyOptimizer::average_random_leakage_ua(int vectors, std::uint64_t seed) {
+  const auto key = std::make_pair(vectors, seed);
+  auto it = random_cache_ua_.find(key);
+  if (it != random_cache_ua_.end()) return it->second;
+  const sim::MonteCarloResult mc = sim::monte_carlo_leakage(
+      *netlist_, sim::fastest_config(*netlist_), vectors, seed);
+  const double ua = mc.mean_na / 1e3;
+  random_cache_ua_.emplace(key, ua);
+  return ua;
+}
+
+MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
+  Timer timer;
+  MethodResult result;
+  result.method = method;
+
+  const double avg_ua = average_random_leakage_ua(config.random_vectors, config.seed);
+
+  switch (method) {
+    case Method::kAverageRandom:
+      result.leakage_ua = avg_ua;
+      break;
+    case Method::kStateOnly:
+      result.solution =
+          opt::state_only_search(problem_for(config.penalty_fraction),
+                                 config.time_limit_s);
+      break;
+    case Method::kVtState:
+      result.solution = opt::heuristic2(vt_problem_for(config.penalty_fraction),
+                                        config.time_limit_s, config.gate_order);
+      break;
+    case Method::kHeu1:
+      result.solution =
+          opt::heuristic1(problem_for(config.penalty_fraction), config.gate_order);
+      break;
+    case Method::kHeu2:
+      result.solution = opt::heuristic2(problem_for(config.penalty_fraction),
+                                        config.time_limit_s, config.gate_order);
+      break;
+    case Method::kExact: {
+      opt::SearchOptions options;
+      options.time_limit_s = config.time_limit_s;
+      options.gate_order = config.gate_order;
+      result.solution = opt::exact_search(problem_for(config.penalty_fraction), options);
+      break;
+    }
+  }
+
+  if (method != Method::kAverageRandom) {
+    result.leakage_ua = result.solution.leakage_na / 1e3;
+  }
+  result.reduction_x = result.leakage_ua > 0.0 ? avg_ua / result.leakage_ua : 0.0;
+  result.runtime_s = timer.seconds();
+  log_info(netlist_->name() + ": " + to_string(method) + " -> " +
+           format_double(result.leakage_ua, 2) + " uA (" +
+           format_double(result.reduction_x, 1) + "X) in " +
+           format_double(result.runtime_s, 2) + " s");
+  return result;
+}
+
+}  // namespace svtox::core

@@ -1,0 +1,97 @@
+// StandbyOptimizer -- the public facade of the svtox library.
+//
+// Typical use:
+//
+//   const auto& tech = svtox::model::TechParams::nominal();
+//   auto library = svtox::liberty::Library::build(tech, {});
+//   auto circuit = svtox::netlist::make_benchmark("c432", library);
+//   svtox::core::StandbyOptimizer optimizer(circuit);
+//   auto result = optimizer.run(svtox::core::Method::kHeu1,
+//                               {.penalty_fraction = 0.05});
+//   // result.solution.sleep_vector is the standby state to scan in;
+//   // result.solution.config is the per-gate cell-version swap list.
+//
+// The facade owns the delay-budget computation, caches one
+// AssignmentProblem per penalty value, and knows how to run every method
+// the paper evaluates (including the state-only and Vt+state baselines).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "opt/state_search.hpp"
+
+namespace svtox::core {
+
+/// The methods compared in the paper's Tables 3-5 and Figure 5.
+enum class Method {
+  kAverageRandom,  ///< 10K-random-vector average; no technique (baseline).
+  kStateOnly,      ///< Sleep-state assignment alone [1].
+  kVtState,        ///< Simultaneous state + Vt assignment [12] (no dual-Tox).
+  kHeu1,           ///< Proposed heuristic 1 (single traversal).
+  kHeu2,           ///< Proposed heuristic 2 (time-limited state search).
+  kExact,          ///< Exact branch-and-bound (small circuits only).
+};
+
+const char* to_string(Method method);
+
+/// Per-run knobs.
+struct RunConfig {
+  double penalty_fraction = 0.05;  ///< Delay penalty (paper: 5/10/25%).
+  double time_limit_s = 5.0;       ///< Heu2 / state-only search budget.
+  int random_vectors = 10000;      ///< Monte-Carlo vector count.
+  std::uint64_t seed = 2004;       ///< Monte-Carlo seed.
+  opt::GateOrder gate_order = opt::GateOrder::kBySavings;
+};
+
+/// Outcome of one method run.
+struct MethodResult {
+  Method method = Method::kHeu1;
+  opt::Solution solution;      ///< Empty for kAverageRandom.
+  double leakage_ua = 0.0;     ///< Total standby leakage [uA].
+  double reduction_x = 0.0;    ///< Average-random leakage / this leakage.
+  double runtime_s = 0.0;
+};
+
+/// Facade tying netlist + library + optimizer together.
+class StandbyOptimizer {
+ public:
+  /// `netlist` must outlive the optimizer. For kVtState a Vt-only twin
+  /// library and rebound netlist are built internally.
+  explicit StandbyOptimizer(const netlist::Netlist& netlist);
+  ~StandbyOptimizer();
+
+  StandbyOptimizer(const StandbyOptimizer&) = delete;
+  StandbyOptimizer& operator=(const StandbyOptimizer&) = delete;
+
+  const netlist::Netlist& circuit() const { return *netlist_; }
+
+  /// The delay-budget endpoints (all-fast and all-slow delays).
+  const sta::DelayBudget& delay_budget();
+
+  /// Average leakage over random vectors [uA] (cached per (vectors, seed)).
+  double average_random_leakage_ua(int vectors, std::uint64_t seed);
+
+  /// Runs one method. kAverageRandom ignores the penalty.
+  MethodResult run(Method method, const RunConfig& config = {});
+
+ private:
+  const opt::AssignmentProblem& problem_for(double penalty);
+  const opt::AssignmentProblem& vt_problem_for(double penalty);
+
+  const netlist::Netlist* netlist_;
+  std::map<double, std::unique_ptr<opt::AssignmentProblem>> problems_;
+
+  // Lazy Vt-only twin (for the kVtState baseline).
+  std::unique_ptr<liberty::Library> vt_library_;
+  std::unique_ptr<netlist::Netlist> vt_netlist_;
+  std::map<double, std::unique_ptr<opt::AssignmentProblem>> vt_problems_;
+
+  std::map<std::pair<int, std::uint64_t>, double> random_cache_ua_;
+  std::optional<sta::DelayBudget> budget_;
+};
+
+}  // namespace svtox::core

@@ -1,0 +1,153 @@
+#include "core/solution_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace svtox::core {
+
+namespace {
+constexpr const char* kMagic = "svtox_solution";
+}
+
+void write_solution(const opt::Solution& solution, const netlist::Netlist& netlist,
+                    std::ostream& out) {
+  if (static_cast<int>(solution.config.size()) != netlist.num_gates()) {
+    throw ContractError("write_solution: config/netlist mismatch");
+  }
+  out << kMagic << " v1 " << netlist.name() << '\n';
+  out << "leakage_na " << format_double(solution.leakage_na, 6) << '\n';
+  out << "delay_ps " << format_double(solution.delay_ps, 6) << '\n';
+
+  out << "sleep_vector";
+  for (std::size_t i = 0; i < solution.sleep_vector.size(); ++i) {
+    out << ' ' << netlist.signal_name(netlist.control_points()[static_cast<int>(i)]) << '='
+        << (solution.sleep_vector[i] ? '1' : '0');
+  }
+  out << '\n';
+
+  // Only non-default gate configurations are listed (swap list semantics).
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const sim::GateConfig& gc = solution.config[static_cast<std::size_t>(g)];
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    const bool swapped = gc.variant != cell.fastest_variant();
+    const bool reordered =
+        !gc.mapping.logical_to_physical.empty() && !gc.mapping.is_identity();
+    if (!swapped && !reordered) continue;
+    out << "gate " << netlist.gate(g).name << ' ' << cell.variant(gc.variant).name;
+    out << " pins";
+    for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+      const int phys = gc.mapping.logical_to_physical.empty()
+                           ? pin
+                           : gc.mapping.logical_to_physical[static_cast<std::size_t>(pin)];
+      out << ' ' << phys;
+    }
+    out << '\n';
+  }
+  out << "end\n";
+}
+
+std::string write_solution(const opt::Solution& solution, const netlist::Netlist& netlist) {
+  std::ostringstream out;
+  write_solution(solution, netlist, out);
+  return out.str();
+}
+
+opt::Solution read_solution(std::istream& in, const netlist::Netlist& netlist) {
+  opt::Solution solution;
+  solution.config.assign(static_cast<std::size_t>(netlist.num_gates()), {});
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    solution.config[static_cast<std::size_t>(g)].variant =
+        netlist.cell_of(g).fastest_variant();
+  }
+  solution.sleep_vector.assign(static_cast<std::size_t>(netlist.num_control_points()),
+                               false);
+
+  // Gate and variant lookup tables.
+  auto gate_by_name = [&](const std::string& name) {
+    for (int g = 0; g < netlist.num_gates(); ++g) {
+      if (netlist.gate(g).name == name) return g;
+    }
+    throw ContractError("read_solution: unknown gate '" + name + "'");
+  };
+  auto pi_index_by_name = [&](const std::string& name) {
+    for (int i = 0; i < netlist.num_control_points(); ++i) {
+      if (netlist.signal_name(netlist.control_points()[i]) == name) return i;
+    }
+    throw ContractError("read_solution: unknown control point '" + name + "'");
+  };
+
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    auto fail = [&](const std::string& what) -> void {
+      throw ParseError("<solution>", line_no, what);
+    };
+
+    if (!saw_header) {
+      if (tokens.size() < 2 || tokens[0] != kMagic || tokens[1] != "v1") {
+        fail("not an svtox solution file");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (tokens[0] == "leakage_na" && tokens.size() == 2) {
+      solution.leakage_na = parse_double(tokens[1]);
+    } else if (tokens[0] == "delay_ps" && tokens.size() == 2) {
+      solution.delay_ps = parse_double(tokens[1]);
+    } else if (tokens[0] == "sleep_vector") {
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        const auto parts = split(tokens[t], '=');
+        if (parts.size() != 2) fail("bad sleep_vector entry");
+        const int index = pi_index_by_name(std::string(parts[0]));
+        solution.sleep_vector[static_cast<std::size_t>(index)] = parts[1] == "1";
+      }
+    } else if (tokens[0] == "gate") {
+      if (tokens.size() < 4 || tokens[3] != "pins") fail("bad gate record");
+      const int g = gate_by_name(std::string(tokens[1]));
+      const liberty::LibCell& cell = netlist.cell_of(g);
+      int variant = -1;
+      for (int v = 0; v < cell.num_variants(); ++v) {
+        if (cell.variant(v).name == tokens[2]) variant = v;
+      }
+      if (variant < 0) {
+        throw ContractError("read_solution: unknown variant '" + std::string(tokens[2]) +
+                            "' for " + cell.name());
+      }
+      sim::GateConfig& gc = solution.config[static_cast<std::size_t>(g)];
+      gc.variant = variant;
+      if (static_cast<int>(tokens.size()) != 4 + cell.num_inputs()) {
+        fail("pin permutation arity mismatch");
+      }
+      gc.mapping.logical_to_physical.resize(static_cast<std::size_t>(cell.num_inputs()));
+      for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+        gc.mapping.logical_to_physical[static_cast<std::size_t>(pin)] =
+            static_cast<int>(parse_size(tokens[static_cast<std::size_t>(4 + pin)]));
+      }
+    } else if (tokens[0] == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail("unknown record '" + std::string(tokens[0]) + "'");
+    }
+  }
+  if (!saw_header || !saw_end) {
+    throw ParseError("<solution>", line_no, "truncated solution file");
+  }
+  return solution;
+}
+
+opt::Solution read_solution(const std::string& text, const netlist::Netlist& netlist) {
+  std::istringstream in(text);
+  return read_solution(in, netlist);
+}
+
+}  // namespace svtox::core

@@ -1,0 +1,26 @@
+// Standby-solution serialization: the hand-off artifact between the
+// optimizer and a physical-design flow. The format records the sleep
+// vector (what the power-management unit scans in) and the per-gate cell
+// version + pin order (the ECO swap list).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "opt/solution.hpp"
+
+namespace svtox::core {
+
+/// Writes `solution` for `netlist` as a line-oriented text report.
+void write_solution(const opt::Solution& solution, const netlist::Netlist& netlist,
+                    std::ostream& out);
+std::string write_solution(const opt::Solution& solution, const netlist::Netlist& netlist);
+
+/// Parses a solution previously written by write_solution against the same
+/// netlist/library. Recomputed fields (leakage, delay) are restored from
+/// the file header; throws ParseError / ContractError on mismatch.
+opt::Solution read_solution(std::istream& in, const netlist::Netlist& netlist);
+opt::Solution read_solution(const std::string& text, const netlist::Netlist& netlist);
+
+}  // namespace svtox::core

@@ -1,0 +1,33 @@
+// Industry Liberty (.lib) export of the characterized swap library.
+//
+// The paper's flow is "compatible with existing library-based design
+// flows"; this writer makes that concrete by emitting the characterization
+// in the de-facto exchange format: per-version cells with area,
+// state-dependent leakage_power groups (when-conditions over the input
+// pins), pin capacitances, output function strings, and NLDM timing groups
+// over a shared lu_table_template. Export-only: svtox itself round-trips
+// through the denser .svlib format (serialize.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace svtox::liberty {
+
+/// Writes `lib` in Liberty syntax. `library_name` defaults to "svtox_65nm".
+void write_liberty_format(const Library& lib, std::ostream& out,
+                          const std::string& library_name = "svtox_65nm");
+
+std::string write_liberty_format(const Library& lib,
+                                 const std::string& library_name = "svtox_65nm");
+
+/// The Liberty pin name of input `pin` (A1, A2, ...) and the output (Y).
+std::string liberty_pin_name(int pin);
+
+/// Boolean function string of a cell archetype in Liberty syntax,
+/// e.g. NAND2 -> "!(A1&A2)". Throws ContractError for unknown archetypes.
+std::string liberty_function(const std::string& cell_name);
+
+}  // namespace svtox::liberty

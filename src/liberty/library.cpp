@@ -1,0 +1,115 @@
+#include "liberty/library.hpp"
+
+#include <utility>
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/area.hpp"
+#include "cellkit/delay.hpp"
+#include "util/error.hpp"
+
+namespace svtox::liberty {
+
+LibCell::LibCell(std::unique_ptr<cellkit::CellTopology> topo,
+                 cellkit::CellVersionSet versions, std::vector<LibCellVariant> variants)
+    : topo_(std::move(topo)),
+      versions_(std::move(versions)),
+      variants_(std::move(variants)) {
+  if (variants_.size() != static_cast<std::size_t>(versions_.num_versions())) {
+    throw ContractError("LibCell: variant/version count mismatch");
+  }
+}
+
+Library::Library(const model::TechParams& tech, LibraryOptions options)
+    : tech_(tech), options_(std::move(options)) {}
+
+Library Library::build(const model::TechParams& tech, const LibraryOptions& options) {
+  Library lib(tech, options);
+  const std::vector<std::string>& names =
+      options.cell_names.empty() ? cellkit::standard_cell_names() : options.cell_names;
+
+  for (const std::string& name : names) {
+    auto topo = std::make_unique<cellkit::CellTopology>(
+        cellkit::make_standard_cell(name, tech));
+    cellkit::CellVersionSet versions =
+        cellkit::generate_versions(*topo, tech, options.variant_options);
+
+    std::vector<LibCellVariant> variants;
+    variants.reserve(static_cast<std::size_t>(versions.num_versions()));
+    for (const cellkit::CellVersion& version : versions.versions()) {
+      LibCellVariant variant;
+      variant.name = version.name;
+      variant.assignment = version.assignment;
+      variant.area = cellkit::cell_area(*topo, cellkit::AreaRules{}, version.assignment);
+
+      // Per-state leakage table (the SPICE sweep of the paper's Sec. 2).
+      variant.leakage_na.resize(topo->num_states());
+      for (std::uint32_t state = 0; state < topo->num_states(); ++state) {
+        variant.leakage_na[state] =
+            cellkit::cell_leakage(*topo, tech, state, version.assignment).total_na();
+      }
+
+      // Per-pin NLDM timing: the nominal characterization scaled by the
+      // variant's path-resistance factor for each (pin, edge).
+      for (int pin = 0; pin < topo->num_inputs(); ++pin) {
+        PinTiming timing;
+        const std::size_t ns = options.slew_axis_ps.size();
+        const std::size_t nl = options.load_axis_ff.size();
+        std::vector<double> delay_r(ns * nl), delay_f(ns * nl);
+        std::vector<double> slew_r(ns * nl), slew_f(ns * nl);
+        const double factor_r = cellkit::delay_factor(*topo, tech, version.assignment,
+                                                      pin, cellkit::Edge::kRise);
+        const double factor_f = cellkit::delay_factor(*topo, tech, version.assignment,
+                                                      pin, cellkit::Edge::kFall);
+        for (std::size_t si = 0; si < ns; ++si) {
+          for (std::size_t li = 0; li < nl; ++li) {
+            const double slew = options.slew_axis_ps[si];
+            const double load = options.load_axis_ff[li];
+            const std::size_t idx = si * nl + li;
+            delay_r[idx] = factor_r * cellkit::nominal_delay_ps(
+                                          *topo, tech, pin, cellkit::Edge::kRise, slew, load);
+            delay_f[idx] = factor_f * cellkit::nominal_delay_ps(
+                                          *topo, tech, pin, cellkit::Edge::kFall, slew, load);
+            slew_r[idx] = factor_r * cellkit::nominal_output_slew_ps(
+                                         *topo, tech, pin, cellkit::Edge::kRise, slew, load);
+            slew_f[idx] = factor_f * cellkit::nominal_output_slew_ps(
+                                         *topo, tech, pin, cellkit::Edge::kFall, slew, load);
+          }
+        }
+        timing.delay_rise = NldmTable(options.slew_axis_ps, options.load_axis_ff, delay_r);
+        timing.delay_fall = NldmTable(options.slew_axis_ps, options.load_axis_ff, delay_f);
+        timing.slew_rise = NldmTable(options.slew_axis_ps, options.load_axis_ff, slew_r);
+        timing.slew_fall = NldmTable(options.slew_axis_ps, options.load_axis_ff, slew_f);
+        variant.pins.push_back(std::move(timing));
+      }
+      variants.push_back(std::move(variant));
+    }
+    lib.cells_.emplace_back(std::move(topo), std::move(versions), std::move(variants));
+  }
+  return lib;
+}
+
+bool Library::has_cell(const std::string& name) const {
+  for (const LibCell& cell : cells_) {
+    if (cell.name() == name) return true;
+  }
+  return false;
+}
+
+const LibCell& Library::cell(const std::string& name) const {
+  return cells_.at(static_cast<std::size_t>(cell_index(name)));
+}
+
+int Library::cell_index(const std::string& name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name() == name) return static_cast<int>(i);
+  }
+  throw ContractError("Library: unknown cell '" + name + "'");
+}
+
+int Library::total_versions() const {
+  int total = 0;
+  for (const LibCell& cell : cells_) total += cell.num_variants();
+  return total;
+}
+
+}  // namespace svtox::liberty

@@ -1,0 +1,119 @@
+// The swap library: every cell archetype with its full set of Vt/Tox
+// versions, pre-characterized leakage-per-state tables and NLDM timing.
+//
+// This is the artifact the paper's flow assumes ("the proposed method is
+// compatible with existing library-based design flows"): optimization is
+// cell swapping, and the optimizer only reads the numbers stored here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellkit/state.hpp"
+#include "cellkit/topology.hpp"
+#include "cellkit/variants.hpp"
+#include "liberty/nldm.hpp"
+#include "model/tech.hpp"
+
+namespace svtox::liberty {
+
+/// Timing of one input pin of one cell variant.
+struct PinTiming {
+  NldmTable delay_rise;     ///< Output rise driven by this pin.
+  NldmTable delay_fall;     ///< Output fall driven by this pin.
+  NldmTable slew_rise;      ///< Output rise slew.
+  NldmTable slew_fall;      ///< Output fall slew.
+};
+
+/// One characterized cell version (library member).
+struct LibCellVariant {
+  std::string name;                    ///< e.g. "NAND2_v2".
+  cellkit::CellAssignment assignment;  ///< Per-device corners.
+  std::vector<double> leakage_na;      ///< Indexed by raw input state.
+  std::vector<PinTiming> pins;         ///< Indexed by input pin.
+  double area = 0.0;                   ///< Cell area incl. mixed-rule spacing.
+};
+
+/// One cell archetype with its versions and per-state trade-off map.
+class LibCell {
+ public:
+  LibCell(std::unique_ptr<cellkit::CellTopology> topo,
+          cellkit::CellVersionSet versions, std::vector<LibCellVariant> variants);
+
+  const cellkit::CellTopology& topology() const { return *topo_; }
+  const std::string& name() const { return topo_->name(); }
+  int num_inputs() const { return topo_->num_inputs(); }
+
+  const std::vector<LibCellVariant>& variants() const { return variants_; }
+  const LibCellVariant& variant(int index) const { return variants_.at(index); }
+  int num_variants() const { return static_cast<int>(variants_.size()); }
+  int fastest_variant() const { return versions_.fastest_version(); }
+
+  /// The trade-off record for a *canonical* state.
+  const cellkit::StateTradeoffs& tradeoffs(std::uint32_t canonical_state) const {
+    return versions_.tradeoffs(canonical_state);
+  }
+
+  /// Canonicalizes a raw local input state (pin reordering).
+  cellkit::PinMapping canonicalize(std::uint32_t state) const {
+    return cellkit::canonicalize(*topo_, state);
+  }
+
+  /// Leakage of `variant_index` when the *canonical* local state is
+  /// `canonical_state` [nA].
+  double leakage_na(int variant_index, std::uint32_t canonical_state) const {
+    return variants_.at(variant_index).leakage_na.at(canonical_state);
+  }
+
+  /// Mutable variant access for table overlay during deserialization.
+  LibCellVariant& variant_mut(int index) { return variants_.at(index); }
+
+ private:
+  std::unique_ptr<cellkit::CellTopology> topo_;
+  cellkit::CellVersionSet versions_;
+  std::vector<LibCellVariant> variants_;
+};
+
+/// Options controlling library construction (paper Sec. 4 / Table 5).
+struct LibraryOptions {
+  cellkit::VariantOptions variant_options;
+  std::vector<double> slew_axis_ps = default_slew_axis_ps();
+  std::vector<double> load_axis_ff = default_load_axis_ff();
+  /// Cell archetypes to include; empty = all standard cells.
+  std::vector<std::string> cell_names;
+};
+
+/// The full library.
+class Library {
+ public:
+  /// Characterizes all requested archetypes under `tech`. This is the
+  /// SPICE-replacement step: every (variant, state) leakage and every
+  /// (variant, pin, edge, slew, load) delay is tabulated here once.
+  static Library build(const model::TechParams& tech, const LibraryOptions& options);
+
+  const model::TechParams& tech() const { return tech_; }
+  const LibraryOptions& options() const { return options_; }
+
+  const std::vector<LibCell>& cells() const { return cells_; }
+  bool has_cell(const std::string& name) const;
+  const LibCell& cell(const std::string& name) const;
+  int cell_index(const std::string& name) const;
+  const LibCell& cell_at(int index) const { return cells_.at(index); }
+
+  /// Mutable cell access for table overlay during deserialization.
+  LibCell& cell_at_mut(int index) { return cells_.at(index); }
+
+  /// Total number of versions across all cells (library size, Table 2's
+  /// bottom-line concern).
+  int total_versions() const;
+
+ private:
+  Library(const model::TechParams& tech, LibraryOptions options);
+
+  model::TechParams tech_;
+  LibraryOptions options_;
+  std::vector<LibCell> cells_;
+};
+
+}  // namespace svtox::liberty

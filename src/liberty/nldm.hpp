@@ -1,0 +1,52 @@
+// Non-linear delay model (NLDM) lookup tables.
+//
+// Exactly like a commercial .lib, timing is stored as a 2-D grid over
+// (input slew, output load) and interpolated bilinearly at query time. The
+// optimizer and STA consume only these tables -- they never see the
+// analytical delay model that characterized them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svtox::liberty {
+
+/// A 2-D characterization table over input slew [ps] x output load [fF].
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Axes must be strictly ascending and non-empty; values has
+  /// slew_axis.size() * load_axis.size() entries, row-major by slew.
+  NldmTable(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff,
+            std::vector<double> values);
+
+  /// Bilinear interpolation inside the grid; linear extrapolation from the
+  /// outermost segments when the query falls outside (delay grows ~linearly
+  /// in load, so clamping would systematically underestimate).
+  double lookup(double slew_ps, double load_ff) const;
+
+  const std::vector<double>& slew_axis_ps() const { return slew_axis_; }
+  const std::vector<double>& load_axis_ff() const { return load_axis_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double at(std::size_t slew_idx, std::size_t load_idx) const {
+    return values_[slew_idx * load_axis_.size() + load_idx];
+  }
+
+  bool empty() const { return values_.empty(); }
+
+  /// Multiplies every table entry by `factor` (variant scaling).
+  NldmTable scaled(double factor) const;
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;
+};
+
+/// Default characterization axes used by the library builder.
+std::vector<double> default_slew_axis_ps();
+std::vector<double> default_load_axis_ff();
+
+}  // namespace svtox::liberty

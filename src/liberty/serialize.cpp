@@ -1,0 +1,252 @@
+#include "liberty/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace svtox::liberty {
+
+namespace {
+
+constexpr const char* kMagic = "svtox_library";
+constexpr int kFormatVersion = 1;
+
+void write_doubles(std::ostream& out, const std::vector<double>& values) {
+  for (double v : values) out << ' ' << format_double(v, 6);
+  out << '\n';
+}
+
+void write_table(std::ostream& out, const char* tag, int pin, const NldmTable& table) {
+  out << "    " << tag << ' ' << pin;
+  write_doubles(out, table.values());
+}
+
+}  // namespace
+
+void write_library(const Library& lib, std::ostream& out) {
+  const cellkit::VariantOptions& vo = lib.options().variant_options;
+  out << kMagic << " v" << kFormatVersion << '\n';
+  out << "options four_point " << vo.four_point << " uniform_stack " << vo.uniform_stack
+      << " vt_only " << vo.vt_only << '\n';
+  out << "slew_axis_ps";
+  write_doubles(out, lib.options().slew_axis_ps);
+  out << "load_axis_ff";
+  write_doubles(out, lib.options().load_axis_ff);
+
+  for (const LibCell& cell : lib.cells()) {
+    out << "cell " << cell.name() << " variants " << cell.num_variants() << '\n';
+    for (const LibCellVariant& variant : cell.variants()) {
+      out << "  variant " << variant.name << '\n';
+      out << "    assign";
+      for (const cellkit::DeviceAssign& a : variant.assignment) {
+        out << ' ' << model::to_string(a.vt) << ':' << model::to_string(a.tox);
+      }
+      out << '\n';
+      out << "    area " << format_double(variant.area, 6) << '\n';
+      out << "    leakage_na";
+      write_doubles(out, variant.leakage_na);
+      for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+        write_table(out, "delay_rise", pin, variant.pins[pin].delay_rise);
+        write_table(out, "delay_fall", pin, variant.pins[pin].delay_fall);
+        write_table(out, "slew_rise", pin, variant.pins[pin].slew_rise);
+        write_table(out, "slew_fall", pin, variant.pins[pin].slew_fall);
+      }
+    }
+  }
+  out << "end\n";
+}
+
+std::string write_library(const Library& lib) {
+  std::ostringstream out;
+  write_library(lib, out);
+  return out.str();
+}
+
+namespace {
+
+/// Line-based reader with position tracking for error messages.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  /// Next non-empty line, tokenized on whitespace.
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      const auto views = split_ws(line);
+      if (views.empty()) continue;
+      std::vector<std::string> tokens;
+      tokens.reserve(views.size());
+      for (auto v : views) tokens.emplace_back(v);
+      return tokens;
+    }
+    throw ParseError("<svlib>", line_no_, "unexpected end of file");
+  }
+
+  int line() const { return line_no_; }
+
+ private:
+  std::istream& in_;
+  int line_no_ = 0;
+};
+
+[[noreturn]] void fail(const Reader& r, const std::string& what) {
+  throw ParseError("<svlib>", r.line(), what);
+}
+
+std::vector<double> parse_doubles(const std::vector<std::string>& tokens,
+                                  std::size_t first) {
+  std::vector<double> out;
+  out.reserve(tokens.size() - first);
+  for (std::size_t i = first; i < tokens.size(); ++i) out.push_back(parse_double(tokens[i]));
+  return out;
+}
+
+cellkit::DeviceAssign parse_assign(const Reader& r, const std::string& token) {
+  const auto parts = split(token, ':');
+  if (parts.size() != 2) fail(r, "bad assignment token '" + token + "'");
+  cellkit::DeviceAssign a;
+  if (parts[0] == "lvt") {
+    a.vt = model::VtClass::kLow;
+  } else if (parts[0] == "hvt") {
+    a.vt = model::VtClass::kHigh;
+  } else {
+    fail(r, "bad Vt class '" + std::string(parts[0]) + "'");
+  }
+  if (parts[1] == "thin") {
+    a.tox = model::ToxClass::kThin;
+  } else if (parts[1] == "thick") {
+    a.tox = model::ToxClass::kThick;
+  } else {
+    fail(r, "bad Tox class '" + std::string(parts[1]) + "'");
+  }
+  return a;
+}
+
+}  // namespace
+
+Library read_library(std::istream& in, const model::TechParams& tech) {
+  Reader r(in);
+
+  auto header = r.next();
+  if (header.size() != 2 || header[0] != kMagic || header[1] != "v1") {
+    fail(r, "not an svtox library file");
+  }
+
+  auto opts_line = r.next();
+  if (opts_line.size() != 7 || opts_line[0] != "options") fail(r, "missing options line");
+  LibraryOptions options;
+  options.variant_options.four_point = parse_size(opts_line[2]) != 0;
+  options.variant_options.uniform_stack = parse_size(opts_line[4]) != 0;
+  options.variant_options.vt_only = parse_size(opts_line[6]) != 0;
+
+  auto slew_line = r.next();
+  if (slew_line[0] != "slew_axis_ps") fail(r, "missing slew axis");
+  options.slew_axis_ps = parse_doubles(slew_line, 1);
+  auto load_line = r.next();
+  if (load_line[0] != "load_axis_ff") fail(r, "missing load axis");
+  options.load_axis_ff = parse_doubles(load_line, 1);
+
+  // Collect cell names in file order, then regenerate the library structure
+  // and overlay the serialized tables.
+  struct VariantData {
+    std::string name;
+    cellkit::CellAssignment assignment;
+    double area = 0.0;
+    std::vector<double> leakage;
+    std::vector<std::vector<double>> tables;  // 4 per pin: dr, df, sr, sf
+  };
+  struct CellData {
+    std::string name;
+    std::vector<VariantData> variants;
+  };
+  std::vector<CellData> file_cells;
+
+  for (auto tokens = r.next(); tokens[0] != "end"; tokens = r.next()) {
+    if (tokens[0] != "cell" || tokens.size() != 4) fail(r, "expected 'cell' record");
+    CellData cell;
+    cell.name = tokens[1];
+    const std::size_t variant_count = parse_size(tokens[3]);
+    for (std::size_t v = 0; v < variant_count; ++v) {
+      auto vline = r.next();
+      if (vline[0] != "variant" || vline.size() != 2) fail(r, "expected 'variant'");
+      VariantData data;
+      data.name = vline[1];
+      auto aline = r.next();
+      if (aline[0] != "assign") fail(r, "expected 'assign'");
+      for (std::size_t i = 1; i < aline.size(); ++i) {
+        data.assignment.push_back(parse_assign(r, aline[i]));
+      }
+      auto area_line = r.next();
+      if (area_line[0] != "area" || area_line.size() != 2) fail(r, "expected 'area'");
+      data.area = parse_double(area_line[1]);
+      auto lline = r.next();
+      if (lline[0] != "leakage_na") fail(r, "expected 'leakage_na'");
+      data.leakage = parse_doubles(lline, 1);
+      // Tables arrive in a fixed order per pin; infer the pin count from the
+      // device assignment (devices = 2 * pins for our complementary cells).
+      const std::size_t num_pins = data.assignment.size() / 2;
+      for (std::size_t pin = 0; pin < num_pins; ++pin) {
+        for (const char* tag : {"delay_rise", "delay_fall", "slew_rise", "slew_fall"}) {
+          auto tline = r.next();
+          if (tline[0] != tag) fail(r, std::string("expected '") + tag + "'");
+          if (parse_size(tline[1]) != pin) fail(r, "table pin index mismatch");
+          data.tables.push_back(parse_doubles(tline, 2));
+        }
+      }
+      cell.variants.push_back(std::move(data));
+    }
+    file_cells.push_back(std::move(cell));
+  }
+
+  for (const CellData& cd : file_cells) options.cell_names.push_back(cd.name);
+
+  // Regenerate the structure, then overlay and validate.
+  Library lib = Library::build(tech, options);
+  if (lib.cells().size() != file_cells.size()) {
+    throw ContractError("read_library: cell count mismatch after regeneration");
+  }
+  for (std::size_t c = 0; c < file_cells.size(); ++c) {
+    const CellData& cd = file_cells[c];
+    LibCell& cell = lib.cell_at_mut(static_cast<int>(c));
+    if (cell.num_variants() != static_cast<int>(cd.variants.size())) {
+      throw ContractError("read_library: variant count mismatch for " + cd.name);
+    }
+    for (int v = 0; v < cell.num_variants(); ++v) {
+      const VariantData& data = cd.variants[static_cast<std::size_t>(v)];
+      LibCellVariant& variant = cell.variant_mut(v);
+      if (variant.assignment != data.assignment) {
+        throw ContractError("read_library: assignment mismatch for " + data.name);
+      }
+      if (data.leakage.size() != variant.leakage_na.size()) {
+        throw ContractError("read_library: leakage table size mismatch for " + data.name);
+      }
+      variant.name = data.name;
+      variant.area = data.area;
+      variant.leakage_na = data.leakage;
+      const std::size_t num_pins = variant.pins.size();
+      for (std::size_t pin = 0; pin < num_pins; ++pin) {
+        auto table = [&](std::size_t k) {
+          return NldmTable(options.slew_axis_ps, options.load_axis_ff,
+                           data.tables.at(pin * 4 + k));
+        };
+        variant.pins[pin].delay_rise = table(0);
+        variant.pins[pin].delay_fall = table(1);
+        variant.pins[pin].slew_rise = table(2);
+        variant.pins[pin].slew_fall = table(3);
+      }
+    }
+  }
+  return lib;
+}
+
+Library read_library(const std::string& text, const model::TechParams& tech) {
+  std::istringstream in(text);
+  return read_library(in, tech);
+}
+
+}  // namespace svtox::liberty

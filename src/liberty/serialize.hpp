@@ -1,0 +1,32 @@
+// Text serialization of a characterized library.
+//
+// The format (".svlib") is a line-oriented dump of every variant's
+// assignment, per-state leakage vector, and NLDM tables. A written library
+// reloads bit-identically, which lets a characterization run be shared
+// across tools exactly like a .lib hand-off in a commercial flow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace svtox::liberty {
+
+/// Serializes `lib` to the stream.
+void write_library(const Library& lib, std::ostream& out);
+
+/// Convenience: serializes to a string.
+std::string write_library(const Library& lib);
+
+/// Parses a library previously produced by write_library. The cell
+/// topologies and version structure are regenerated from the recorded
+/// options (generation is deterministic); the numeric tables are taken from
+/// the file and validated against the regenerated structure. Throws
+/// ParseError on malformed input and ContractError on structural mismatch.
+Library read_library(std::istream& in, const model::TechParams& tech);
+
+/// Convenience: parses from a string.
+Library read_library(const std::string& text, const model::TechParams& tech);
+
+}  // namespace svtox::liberty

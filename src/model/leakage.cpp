@@ -1,0 +1,43 @@
+#include "model/leakage.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::model {
+
+double isub_na(const TechParams& tech, DeviceType type, VtClass vt, double width,
+               SubthresholdBias bias, int series_off_depth) {
+  if (width <= 0.0) throw ContractError("isub_na: non-positive device width");
+  if (series_off_depth < 1) throw ContractError("isub_na: stack depth must be >= 1");
+
+  double current =
+      (type == DeviceType::kNmos ? tech.isub_n_low : tech.isub_p_low) * width;
+  if (vt == VtClass::kHigh) current /= vt_ratio(tech, type);
+  if (bias == SubthresholdBias::kZeroVds) {
+    current *= tech.isub_vds_zero_factor;
+  } else {
+    const int idx = std::min(series_off_depth, 4) - 1;
+    current *= tech.stack_factor[idx];
+  }
+  return current;
+}
+
+double igate_na(const TechParams& tech, DeviceType type, ToxClass tox, double width,
+                GateBias bias) {
+  if (width <= 0.0) throw ContractError("igate_na: non-positive device width");
+  if (bias == GateBias::kNone) return 0.0;
+
+  double current = tech.igate_n_thin * width;
+  if (type == DeviceType::kPmos) current *= tech.igate_p_ratio;
+  if (tox == ToxClass::kThick) current /= tech.tox_ratio;
+  switch (bias) {
+    case GateBias::kFullChannel: break;
+    case GateBias::kReducedChannel: current *= tech.igate_reduced_factor; break;
+    case GateBias::kReverseOverlap: current *= tech.edt_factor; break;
+    case GateBias::kNone: return 0.0;
+  }
+  return current;
+}
+
+}  // namespace svtox::model

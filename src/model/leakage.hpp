@@ -1,0 +1,64 @@
+// Primitive per-device leakage currents.
+//
+// `cellkit` performs the electrical classification (ON/OFF, bias situation,
+// stack depth) from the cell topology and input state; this header turns a
+// classified situation into nanoamperes. Keeping the two separated lets the
+// classification logic be tested against the paper's Figure 2/3 claims
+// independently of the calibration constants.
+#pragma once
+
+#include "model/tech.hpp"
+
+namespace svtox::model {
+
+/// Drain-source bias situation of an OFF device, as seen in standby.
+enum class SubthresholdBias : std::uint8_t {
+  kFullVds,   ///< The device blocks (a share of) the full rail-to-rail drop.
+  kZeroVds,   ///< Both terminals sit at the same rail; only residual leakage.
+};
+
+/// Gate bias situation of a device's tunneling current.
+enum class GateBias : std::uint8_t {
+  kFullChannel,    ///< ON, Vgs = Vgd = Vdd: maximum channel tunneling.
+  kReducedChannel, ///< ON above a non-conducting device: Vgs ~ one Vt drop.
+  kReverseOverlap, ///< OFF with drain at the far rail: overlap-region EDT.
+  kNone,           ///< No meaningful tunneling path.
+};
+
+/// Subthreshold current of one OFF device [nA].
+///
+/// `series_off_depth` is the number of OFF devices stacked in series on the
+/// blocking path this device belongs to (>= 1); the stack effect divides the
+/// current super-linearly with depth (TechParams::stack_factor).
+double isub_na(const TechParams& tech, DeviceType type, VtClass vt, double width,
+               SubthresholdBias bias, int series_off_depth);
+
+/// Gate tunneling current of one device [nA] for the given bias situation.
+double igate_na(const TechParams& tech, DeviceType type, ToxClass tox, double width,
+                GateBias bias);
+
+/// Components of a cell- or circuit-level leakage total [nA].
+struct LeakageBreakdown {
+  double isub_na = 0.0;
+  double igate_na = 0.0;
+
+  double total_na() const { return isub_na + igate_na; }
+  /// Fraction of the total contributed by gate tunneling (0 if total is 0).
+  double igate_fraction() const {
+    const double t = total_na();
+    return t > 0.0 ? igate_na / t : 0.0;
+  }
+
+  LeakageBreakdown& operator+=(const LeakageBreakdown& other) {
+    isub_na += other.isub_na;
+    igate_na += other.igate_na;
+    return *this;
+  }
+};
+
+inline LeakageBreakdown operator+(LeakageBreakdown a, const LeakageBreakdown& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace svtox::model

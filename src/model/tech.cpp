@@ -1,0 +1,65 @@
+#include "model/tech.hpp"
+
+#include <cmath>
+
+namespace svtox::model {
+
+const TechParams& TechParams::nominal() {
+  static const TechParams params{};
+  return params;
+}
+
+TechParams TechParams::at_temperature(double kelvin) const {
+  TechParams p = *this;
+  p.temp_kelvin = kelvin;
+  const double t0 = temp_kelvin;
+  // Isub ~ exp(T/T0) with T0 calibrated to ~2X per 12K (a typical 65nm
+  // subthreshold slope at these Vt values).
+  const double isub_scale = std::exp((kelvin - t0) / 17.3);
+  p.isub_n_low = isub_n_low * isub_scale;
+  p.isub_p_low = isub_p_low * isub_scale;
+  // The high/low-Vt ratio is exp(dVt / (n*vT)); vT grows linearly with T,
+  // so the exponent -- and hence log(ratio) -- compresses as t0/T.
+  p.vt_ratio_n = std::pow(vt_ratio_n, t0 / kelvin);
+  p.vt_ratio_p = std::pow(vt_ratio_p, t0 / kelvin);
+  // Direct tunneling is nearly athermal; keep a token linear term.
+  const double igate_scale = 1.0 + 5e-4 * (kelvin - t0);
+  p.igate_n_thin = igate_n_thin * igate_scale;
+  return p;
+}
+
+const TechParams& TechParams::nitrided() {
+  static const TechParams params = [] {
+    TechParams p{};
+    // Hole tunneling through nitrided oxide is no longer an order of
+    // magnitude below electron tunneling (Yeo et al., EDL 2000).
+    p.igate_p_ratio = 1.2;
+    return p;
+  }();
+  return params;
+}
+
+double vt_ratio(const TechParams& tech, DeviceType type) {
+  return type == DeviceType::kNmos ? tech.vt_ratio_n : tech.vt_ratio_p;
+}
+
+double resistance_factor(const TechParams& tech, VtClass vt, ToxClass tox) {
+  double factor = 1.0;
+  if (vt == VtClass::kHigh) factor *= tech.r_vt_factor;
+  if (tox == ToxClass::kThick) factor *= tech.r_tox_factor;
+  return factor;
+}
+
+const char* to_string(DeviceType type) {
+  return type == DeviceType::kNmos ? "nmos" : "pmos";
+}
+
+const char* to_string(VtClass vt) {
+  return vt == VtClass::kLow ? "lvt" : "hvt";
+}
+
+const char* to_string(ToxClass tox) {
+  return tox == ToxClass::kThin ? "thin" : "thick";
+}
+
+}  // namespace svtox::model

@@ -1,0 +1,38 @@
+// ISCAS-85/89 ".bench" reader/writer with naive technology mapping.
+//
+// The paper evaluates on the ISCAS-85 set "synthesized using an industrial
+// cell library". The authentic netlists use abstract AND/OR/NAND/NOR/NOT/
+// BUFF/XOR/XNOR primitives; the reader maps them structurally onto our
+// library cells (AND -> NAND+INV, XOR -> 4-NAND tree, wide gates -> trees),
+// which is the classic naive mapping every academic flow starts from.
+// ISCAS-89 `Q = DFF(D)` state elements are also accepted: flip-flop outputs
+// become controllable sleep-vector bits (paper refs [1][3]) and D inputs
+// become timing endpoints.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace svtox::netlist {
+
+/// Parses a .bench stream into a finalized, mapped netlist.
+/// Throws ParseError on malformed input.
+Netlist read_bench(std::istream& in, const std::string& name,
+                   const liberty::Library& library);
+
+/// Convenience: parses from a string.
+Netlist read_bench(const std::string& text, const std::string& name,
+                   const liberty::Library& library);
+
+/// Reads a .bench file from disk.
+Netlist read_bench_file(const std::string& path, const liberty::Library& library);
+
+/// Writes a mapped netlist back out as .bench. Cells representable as bench
+/// primitives (INV -> NOT, NANDk, NORk) are emitted directly; AOI/OAI cells
+/// are rejected with ContractError (write the generator output instead).
+void write_bench(const Netlist& netlist, std::ostream& out);
+std::string write_bench(const Netlist& netlist);
+
+}  // namespace svtox::netlist

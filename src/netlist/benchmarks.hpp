@@ -1,0 +1,55 @@
+// The evaluation benchmark suite (paper Sec. 6, Tables 3-5).
+//
+// Each entry mirrors one row of the paper's Table 4: same name, same number
+// of primary inputs, and (for the seeded random stand-ins) exactly the same
+// gate count. The paper's reference currents are stored alongside so the
+// bench harnesses can print paper-vs-measured columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace svtox::netlist {
+
+/// Reference data from the paper's tables for one circuit.
+struct PaperRow {
+  // Table 4 circuit statistics.
+  int inputs = 0;
+  int gates = 0;
+  // Table 3/4 currents [uA].
+  double avg_random_ua = 0.0;       ///< 10K random vectors, no technique.
+  double state_only_ua = 0.0;       ///< State assignment alone.
+  double vt_state_5_ua = 0.0;       ///< Vt+state [12] at 5% delay penalty.
+  double vt_state_10_ua = 0.0;      ///< Vt+state at 10%.
+  double vt_state_25_ua = 0.0;      ///< Vt+state at 25%.
+  double heu1_5_ua = 0.0;           ///< Proposed Heu1 at 5%.
+  double heu2_5_ua = 0.0;           ///< Proposed Heu2 at 5%.
+  double heu1_10_ua = 0.0;          ///< Heu1 at 10%.
+  double heu1_25_ua = 0.0;          ///< Heu1 at 25%.
+  // Table 5 library-option currents at 5% [uA].
+  double opt2_5_ua = 0.0;           ///< 2-option library.
+  double uniform4_5_ua = 0.0;       ///< 4-option, uniform stacks.
+  double uniform2_5_ua = 0.0;       ///< 2-option, uniform stacks.
+};
+
+/// One benchmark: its name, how to build it, and the paper's numbers.
+struct BenchmarkSpec {
+  std::string name;
+  PaperRow paper;
+};
+
+/// All 11 circuits of the paper's evaluation, in table order.
+const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Builds the named benchmark circuit against `library`. Structure-true
+/// generators are used for c499 (SEC parity), c6288 (16x16 multiplier) and
+/// alu64; the rest are seeded random mapped DAGs with the paper's (inputs,
+/// gates) statistics. Throws ContractError for unknown names.
+Netlist make_benchmark(const std::string& name, const liberty::Library& library);
+
+/// The spec for one circuit; throws ContractError for unknown names.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+}  // namespace svtox::netlist

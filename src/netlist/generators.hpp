@@ -1,0 +1,63 @@
+// Circuit generators.
+//
+// The authentic ISCAS-85 netlists are not redistributable inside this
+// repository, so the benchmark suite is built from two kinds of stand-ins
+// (see DESIGN.md, "Substitutions"):
+//   * structure-true generators for circuits whose function is known
+//     (c6288 is a 16x16 array multiplier; c499/c1355 are a 32-bit
+//     single-error-correcting code; alu64 is a 64-bit ALU), and
+//   * seeded random mapped DAGs matched to the published (inputs, gates)
+//     statistics for the rest.
+// A .bench reader (bench_io.hpp) accepts the authentic netlists when
+// available.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace svtox::netlist {
+
+/// Relative frequency of each cell archetype in random circuits.
+using GateMix = std::map<std::string, double>;
+
+/// A representative post-synthesis mix (NAND-rich, some complex cells).
+GateMix default_gate_mix();
+
+/// Generates a random mapped DAG with exactly `num_inputs` primary inputs
+/// and `num_gates` gates. Fanins are drawn with temporal locality so the
+/// circuit has realistic logic depth; every primary input is used; signals
+/// without fanout become primary outputs. Deterministic in `seed`.
+Netlist random_circuit(const liberty::Library& library, const std::string& name,
+                       int num_inputs, int num_gates, std::uint64_t seed,
+                       const GateMix& mix = default_gate_mix());
+
+/// `bits`-wide ripple-carry adder built from 9-NAND2 full adders.
+/// Inputs: a[bits], b[bits], cin. Outputs: sum[bits], cout.
+Netlist ripple_carry_adder(const liberty::Library& library, int bits);
+
+/// n x n array multiplier (AND partial products, half/full adder array).
+/// n = 16 is the structural stand-in for ISCAS-85 c6288.
+Netlist array_multiplier(const liberty::Library& library, int n);
+
+/// 64-bit ALU: a[64], b[64], 2 select lines, carry-in (131 inputs, matching
+/// the paper's alu64 row). Ops: AND, OR, XOR, ADD, selected per-bit through
+/// a NAND-mux.
+Netlist alu64(const liberty::Library& library);
+
+/// Single-error-correction-style parity network: `data_bits` data inputs,
+/// `check_bits` check inputs and one enable, producing gated syndrome
+/// outputs through XOR trees. (32, 8) is the stand-in for c499.
+Netlist parity_checker(const liberty::Library& library, int data_bits, int check_bits);
+
+/// Sequential pipeline: `stages` ranks of random mapped logic separated by
+/// flip-flop banks of `width` bits (ISCAS-89-style). The sleep vector then
+/// covers primary inputs *and* register states -- the scan-based standby
+/// entry of the paper's refs [1][3]. Deterministic in `seed`.
+Netlist sequential_pipeline(const liberty::Library& library, const std::string& name,
+                            int width, int stages, int gates_per_stage,
+                            std::uint64_t seed);
+
+}  // namespace svtox::netlist

@@ -1,0 +1,199 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace svtox::netlist {
+
+Netlist::Netlist(std::string name, const liberty::Library* library)
+    : name_(std::move(name)), library_(library) {
+  if (library_ == nullptr) throw ContractError("Netlist: null library");
+}
+
+int Netlist::add_signal(const std::string& signal_name) {
+  if (finalized_) throw ContractError("Netlist: add_signal after finalize");
+  signal_names_.push_back(signal_name);
+  return static_cast<int>(signal_names_.size()) - 1;
+}
+
+void Netlist::mark_input(int signal) {
+  if (finalized_) throw ContractError("Netlist: mark_input after finalize");
+  if (signal < 0 || signal >= num_signals()) throw ContractError("Netlist: bad signal id");
+  primary_inputs_.push_back(signal);
+}
+
+void Netlist::mark_output(int signal) {
+  if (finalized_) throw ContractError("Netlist: mark_output after finalize");
+  if (signal < 0 || signal >= num_signals()) throw ContractError("Netlist: bad signal id");
+  primary_outputs_.push_back(signal);
+}
+
+int Netlist::add_gate(const std::string& gate_name, const std::string& cell_name,
+                      std::vector<int> fanins, int output) {
+  if (finalized_) throw ContractError("Netlist: add_gate after finalize");
+  const int cell_index = library_->cell_index(cell_name);
+  const liberty::LibCell& cell = library_->cell_at(cell_index);
+  if (static_cast<int>(fanins.size()) != cell.num_inputs()) {
+    throw ContractError("Netlist: gate '" + gate_name + "' arity mismatch for " +
+                        cell_name);
+  }
+  for (int f : fanins) {
+    if (f < 0 || f >= num_signals()) throw ContractError("Netlist: bad fanin id");
+  }
+  if (output < 0 || output >= num_signals()) throw ContractError("Netlist: bad output id");
+
+  Gate gate;
+  gate.name = gate_name;
+  gate.cell_index = cell_index;
+  gate.fanins = std::move(fanins);
+  gate.output = output;
+  gates_.push_back(std::move(gate));
+  return num_gates() - 1;
+}
+
+int Netlist::add_flip_flop(const std::string& ff_name, int d, int q) {
+  if (finalized_) throw ContractError("Netlist: add_flip_flop after finalize");
+  if (d < 0 || d >= num_signals() || q < 0 || q >= num_signals()) {
+    throw ContractError("Netlist: bad flip-flop signal id");
+  }
+  flip_flops_.push_back({ff_name, d, q});
+  return num_flip_flops() - 1;
+}
+
+void Netlist::finalize() {
+  if (finalized_) throw ContractError("Netlist: finalize called twice");
+
+  driver_.assign(num_signals(), -1);
+  sinks_.assign(num_signals(), {});
+  is_po_.assign(num_signals(), false);
+
+  for (int g = 0; g < num_gates(); ++g) {
+    const Gate& gate = gates_[g];
+    if (driver_[gate.output] != -1) {
+      throw ContractError("Netlist: multiple drivers on signal '" +
+                          signal_names_[gate.output] + "'");
+    }
+    driver_[gate.output] = g;
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      sinks_[gate.fanins[pin]].push_back({g, static_cast<int>(pin)});
+    }
+  }
+
+  std::vector<bool> is_source(num_signals(), false);
+  for (int s : primary_inputs_) {
+    if (driver_[s] != -1) {
+      throw ContractError("Netlist: primary input '" + signal_names_[s] + "' is driven");
+    }
+    is_source[s] = true;
+  }
+  for (const FlipFlop& ff : flip_flops_) {
+    if (driver_[ff.q] != -1) {
+      throw ContractError("Netlist: flip-flop output '" + signal_names_[ff.q] +
+                          "' is driven by a gate");
+    }
+    if (is_source[ff.q]) {
+      throw ContractError("Netlist: flip-flop output '" + signal_names_[ff.q] +
+                          "' is also a primary input or another FF output");
+    }
+    is_source[ff.q] = true;
+  }
+  for (int s = 0; s < num_signals(); ++s) {
+    if (driver_[s] == -1 && !is_source[s]) {
+      throw ContractError("Netlist: signal '" + signal_names_[s] +
+                          "' has no driver and is not an input");
+    }
+  }
+  for (int s : primary_outputs_) is_po_[s] = true;
+
+  control_points_ = primary_inputs_;
+  for (const FlipFlop& ff : flip_flops_) control_points_.push_back(ff.q);
+  observe_points_ = primary_outputs_;
+  for (const FlipFlop& ff : flip_flops_) observe_points_.push_back(ff.d);
+
+  // Kahn topological sort over gates.
+  std::vector<int> pending(num_gates(), 0);
+  std::vector<int> ready;
+  for (int g = 0; g < num_gates(); ++g) {
+    int count = 0;
+    for (int f : gates_[g].fanins) count += driver_[f] != -1;
+    pending[g] = count;
+    if (count == 0) ready.push_back(g);
+  }
+  topo_order_.clear();
+  topo_order_.reserve(num_gates());
+  gate_level_.assign(num_gates(), 0);
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const int g = ready[head++];
+    topo_order_.push_back(g);
+    int level = 1;
+    for (int f : gates_[g].fanins) {
+      if (driver_[f] != -1) level = std::max(level, gate_level_[driver_[f]] + 1);
+    }
+    gate_level_[g] = level;
+    for (const Sink& sink : sinks_[gates_[g].output]) {
+      if (--pending[sink.gate] == 0) ready.push_back(sink.gate);
+    }
+  }
+  if (static_cast<int>(topo_order_.size()) != num_gates()) {
+    throw ContractError("Netlist '" + name_ + "': combinational cycle detected");
+  }
+  depth_ = 0;
+  for (int level : gate_level_) depth_ = std::max(depth_, level);
+
+  finalized_ = true;
+}
+
+int Netlist::find_signal(const std::string& signal_name) const {
+  for (int s = 0; s < num_signals(); ++s) {
+    if (signal_names_[s] == signal_name) return s;
+  }
+  return -1;
+}
+
+double Netlist::signal_load_ff(int signal) const {
+  if (!finalized_) throw ContractError("Netlist: query before finalize");
+  const model::TechParams& tech = library_->tech();
+  double load = 0.0;
+  for (const Sink& sink : sinks_.at(signal)) {
+    load += cell_of(sink.gate).topology().pin_capacitance_ff(sink.pin);
+  }
+  load += tech.wire_ff_per_fanout * static_cast<double>(sinks_.at(signal).size());
+  if (is_po_.at(signal)) load += tech.default_po_load_ff;
+  // Flip-flop D pins load their drivers like a PO-sized endpoint.
+  for (const FlipFlop& ff : flip_flops_) {
+    if (ff.d == signal) load += tech.default_po_load_ff;
+  }
+  return load;
+}
+
+Netlist rebind(const Netlist& netlist, const liberty::Library& library) {
+  Netlist out(netlist.name(), &library);
+  for (int s = 0; s < netlist.num_signals(); ++s) out.add_signal(netlist.signal_name(s));
+  for (int s : netlist.primary_inputs()) out.mark_input(s);
+  for (int s : netlist.primary_outputs()) out.mark_output(s);
+  for (const Gate& gate : netlist.gates()) {
+    const std::string& cell_name =
+        netlist.library().cell_at(gate.cell_index).name();
+    out.add_gate(gate.name, cell_name, gate.fanins, gate.output);
+  }
+  for (const FlipFlop& ff : netlist.flip_flops()) {
+    out.add_flip_flop(ff.name, ff.d, ff.q);
+  }
+  out.finalize();
+  return out;
+}
+
+NetlistStats stats(const Netlist& netlist) {
+  NetlistStats s;
+  s.inputs = netlist.num_inputs();
+  s.outputs = netlist.num_outputs();
+  s.gates = netlist.num_gates();
+  s.depth = netlist.depth();
+  s.flip_flops = netlist.num_flip_flops();
+  return s;
+}
+
+}  // namespace svtox::netlist

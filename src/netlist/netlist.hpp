@@ -1,0 +1,152 @@
+// Gate-level mapped netlist.
+//
+// A netlist is a DAG of library-cell instances over single-driver signals.
+// Signals are dense integer ids; gates reference the Library by cell index
+// so the optimizer can swap variants without touching the structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+
+namespace svtox::netlist {
+
+/// One cell instance.
+struct Gate {
+  std::string name;
+  int cell_index = -1;        ///< Index into Library::cells().
+  std::vector<int> fanins;    ///< Signal id per input pin, in pin order.
+  int output = -1;            ///< Driven signal id.
+};
+
+/// One D flip-flop. In standby analysis the FF is a *state element*: its Q
+/// output is a controllable source (the sleep vector is scanned or forced
+/// into the registers, paper refs [1][3]) and its D input is a timing
+/// endpoint.
+struct FlipFlop {
+  std::string name;
+  int d = -1;  ///< Data input signal.
+  int q = -1;  ///< Output signal (undriven by combinational logic).
+};
+
+/// A (gate, pin) sink of a signal.
+struct Sink {
+  int gate = -1;
+  int pin = -1;
+};
+
+/// Immutable-after-finalize gate-level netlist.
+class Netlist {
+ public:
+  explicit Netlist(std::string name, const liberty::Library* library);
+
+  const std::string& name() const { return name_; }
+  const liberty::Library& library() const { return *library_; }
+
+  // --- Construction (before finalize) ---------------------------------
+  /// Creates a new signal; returns its id.
+  int add_signal(const std::string& signal_name);
+  /// Marks an existing signal as a primary input (it must stay driverless).
+  void mark_input(int signal);
+  /// Marks an existing signal as a primary output.
+  void mark_output(int signal);
+  /// Adds a gate driving `output` from `fanins`; arity must match the cell.
+  int add_gate(const std::string& gate_name, const std::string& cell_name,
+               std::vector<int> fanins, int output);
+  /// Adds a D flip-flop with data input `d` and output `q`. `q` must not be
+  /// driven by any gate and must not be a primary input.
+  int add_flip_flop(const std::string& ff_name, int d, int q);
+  /// Validates the structure (single drivers, no cycles, everything driven)
+  /// and computes topological order, fanouts, and levels. Must be called
+  /// exactly once before any query below.
+  void finalize();
+
+  // --- Queries (after finalize) ----------------------------------------
+  bool finalized() const { return finalized_; }
+  int num_signals() const { return static_cast<int>(signal_names_.size()); }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  int num_inputs() const { return static_cast<int>(primary_inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(primary_outputs_.size()); }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(int index) const { return gates_.at(index); }
+  const std::vector<int>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<int>& primary_outputs() const { return primary_outputs_; }
+  const std::vector<FlipFlop>& flip_flops() const { return flip_flops_; }
+  int num_flip_flops() const { return static_cast<int>(flip_flops_.size()); }
+  bool is_sequential() const { return !flip_flops_.empty(); }
+
+  /// Controllable sources of the combinational core: primary inputs
+  /// followed by flip-flop Q outputs. This is the domain of the sleep
+  /// vector; for purely combinational circuits it equals primary_inputs().
+  const std::vector<int>& control_points() const { return control_points_; }
+  int num_control_points() const { return static_cast<int>(control_points_.size()); }
+
+  /// Timing/observation endpoints: primary outputs followed by flip-flop D
+  /// inputs. For combinational circuits it equals primary_outputs().
+  const std::vector<int>& observe_points() const { return observe_points_; }
+  const std::string& signal_name(int signal) const { return signal_names_.at(signal); }
+  /// Signal id by name; -1 when absent.
+  int find_signal(const std::string& signal_name) const;
+
+  /// Driving gate of a signal, or -1 for primary inputs.
+  int driver(int signal) const { return driver_.at(signal); }
+  /// All (gate, pin) sinks of a signal.
+  const std::vector<Sink>& sinks(int signal) const { return sinks_.at(signal); }
+  bool is_primary_output(int signal) const { return is_po_.at(signal); }
+
+  /// Gate indices in topological (fanin-before-fanout) order.
+  const std::vector<int>& topological_order() const { return topo_order_; }
+  /// Logic level of a gate (max fanin level + 1; PIs are level 0).
+  int gate_level(int gate) const { return gate_level_.at(gate); }
+  /// Maximum gate level (logic depth).
+  int depth() const { return depth_; }
+
+  /// The LibCell of a gate.
+  const liberty::LibCell& cell_of(int gate) const {
+    return library_->cell_at(gates_.at(gate).cell_index);
+  }
+
+  /// Capacitive load on a signal [fF]: sink pin caps + wire (per-fanout)
+  /// + primary-output load.
+  double signal_load_ff(int signal) const;
+
+ private:
+  std::string name_;
+  const liberty::Library* library_;
+  std::vector<std::string> signal_names_;
+  std::vector<int> primary_inputs_;
+  std::vector<int> primary_outputs_;
+  std::vector<Gate> gates_;
+  std::vector<FlipFlop> flip_flops_;
+  std::vector<int> control_points_;
+  std::vector<int> observe_points_;
+  bool finalized_ = false;
+
+  // Derived on finalize().
+  std::vector<int> driver_;
+  std::vector<std::vector<Sink>> sinks_;
+  std::vector<bool> is_po_;
+  std::vector<int> topo_order_;
+  std::vector<int> gate_level_;
+  int depth_ = 0;
+};
+
+/// Summary statistics used by the result tables.
+struct NetlistStats {
+  int inputs = 0;
+  int outputs = 0;
+  int gates = 0;
+  int depth = 0;
+  int flip_flops = 0;
+};
+NetlistStats stats(const Netlist& netlist);
+
+/// Clones the structure of `netlist` against a different library (cells are
+/// matched by archetype name). Used to evaluate the same circuit under
+/// alternative library builds (2-option, uniform-stack, Vt-only).
+Netlist rebind(const Netlist& netlist, const liberty::Library& library);
+
+}  // namespace svtox::netlist

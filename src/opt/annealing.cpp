@@ -1,0 +1,70 @@
+#include "opt/annealing.hpp"
+
+#include <cmath>
+
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::opt {
+
+namespace {
+
+/// State-only leakage of a sleep vector: one topological simulation plus
+/// per-gate fastest-version table lookups.
+double state_cost_na(const AssignmentProblem& problem, const std::vector<bool>& vector) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<bool> values = sim::simulate(netlist, vector);
+  double total = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    total += problem.fastest_gate_leak_na(g, sim::local_state(netlist, values, g));
+  }
+  return total;
+}
+
+}  // namespace
+
+Solution simulated_annealing(const AssignmentProblem& problem,
+                             const AnnealingOptions& options) {
+  Timer timer;
+  const netlist::Netlist& netlist = problem.netlist();
+  Rng rng(options.seed);
+  Deadline deadline(options.time_limit_s);
+
+  std::vector<bool> current(static_cast<std::size_t>(netlist.num_control_points()));
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] = rng.next_bool();
+  double current_cost = state_cost_na(problem, current);
+
+  std::vector<bool> best = current;
+  double best_cost = current_cost;
+
+  double temperature = options.t_start_fraction * current_cost;
+  std::uint64_t moves = 0;
+  while (!deadline.expired()) {
+    // Single-bit flip move.
+    const std::size_t bit = rng.next_below(current.size());
+    current[bit] = !current[bit];
+    const double cost = state_cost_na(problem, current);
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature))) {
+      current_cost = cost;  // accept
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+      }
+    } else {
+      current[bit] = !current[bit];  // reject
+    }
+    temperature *= options.cooling;
+    ++moves;
+  }
+
+  // The annealed sleep vector gets the full simultaneous treatment.
+  Solution solution = assign_gates_greedy(problem, best, options.gate_order);
+  solution.states_explored = moves + 1;
+  solution.runtime_s = timer.seconds();
+  return solution;
+}
+
+}  // namespace svtox::opt

@@ -1,0 +1,34 @@
+// Simulated-annealing state search -- an alternative optimizer beyond the
+// paper's branch-and-bound family, useful as a cross-check and on circuits
+// whose ternary bound is flat (XOR-dominated logic).
+//
+// The walk operates on the sleep vector with single-bit flip moves; move
+// cost is the cheap state-only leakage (one O(G) simulation), so tens of
+// thousands of moves fit in a short budget. The best visited state then
+// receives the full greedy gate-tree assignment, exactly like a Heu2 leaf.
+#pragma once
+
+#include <cstdint>
+
+#include "opt/gate_assign.hpp"
+#include "opt/problem.hpp"
+#include "opt/solution.hpp"
+
+namespace svtox::opt {
+
+struct AnnealingOptions {
+  double time_limit_s = 2.0;
+  std::uint64_t seed = 1;
+  /// Initial temperature as a fraction of the starting state-only leakage.
+  double t_start_fraction = 0.05;
+  /// Geometric cooling applied once per accepted-or-rejected move batch.
+  double cooling = 0.9995;
+  GateOrder gate_order = GateOrder::kBySavings;
+};
+
+/// Runs the annealing walk and returns the greedy-assigned solution of the
+/// best sleep vector found. Deterministic in options.seed.
+Solution simulated_annealing(const AssignmentProblem& problem,
+                             const AnnealingOptions& options = {});
+
+}  // namespace svtox::opt

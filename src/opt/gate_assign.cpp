@@ -1,0 +1,263 @@
+#include "opt/gate_assign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/sim.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::opt {
+
+namespace {
+
+constexpr double kDelaySlackEps = 1e-6;
+
+/// Per-gate context shared by the gate-tree searches.
+struct GateContext {
+  std::uint32_t raw_state = 0;
+  std::uint32_t canonical_state = 0;
+  cellkit::PinMapping mapping;
+};
+
+std::vector<GateContext> build_contexts(const AssignmentProblem& problem,
+                                        const std::vector<bool>& sleep_vector) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<bool> values = sim::simulate(netlist, sleep_vector);
+  std::vector<GateContext> contexts(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    GateContext& ctx = contexts[static_cast<std::size_t>(g)];
+    ctx.raw_state = sim::local_state(netlist, values, g);
+    if (problem.use_pin_reorder()) {
+      ctx.mapping = netlist.cell_of(g).canonicalize(ctx.raw_state);
+      ctx.canonical_state = ctx.mapping.canonical_state;
+    } else {
+      // Ablation: keep wiring; menus and leakage use the raw state.
+      ctx.canonical_state = ctx.raw_state;
+    }
+  }
+  return contexts;
+}
+
+std::vector<int> gate_visit_order(const AssignmentProblem& problem,
+                                  const std::vector<GateContext>& contexts,
+                                  GateOrder order) {
+  const netlist::Netlist& netlist = problem.netlist();
+  std::vector<int> gates(static_cast<std::size_t>(netlist.num_gates()));
+  std::iota(gates.begin(), gates.end(), 0);
+  switch (order) {
+    case GateOrder::kTopological:
+      return netlist.topological_order();
+    case GateOrder::kReverseTopological: {
+      std::vector<int> rev = netlist.topological_order();
+      std::reverse(rev.begin(), rev.end());
+      return rev;
+    }
+    case GateOrder::kBySavings: {
+      std::vector<double> savings(gates.size());
+      for (int g = 0; g < netlist.num_gates(); ++g) {
+        const GateContext& ctx = contexts[static_cast<std::size_t>(g)];
+        savings[static_cast<std::size_t>(g)] =
+            problem.fastest_gate_leak_na(g, ctx.raw_state) -
+            problem.min_gate_leak_na(g, ctx.raw_state);
+      }
+      std::stable_sort(gates.begin(), gates.end(), [&](int a, int b) {
+        return savings[static_cast<std::size_t>(a)] > savings[static_cast<std::size_t>(b)];
+      });
+      return gates;
+    }
+  }
+  return gates;
+}
+
+sim::CircuitConfig initial_config(const netlist::Netlist& netlist,
+                                  const std::vector<GateContext>& contexts) {
+  sim::CircuitConfig config(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    config[static_cast<std::size_t>(g)].variant = netlist.cell_of(g).fastest_variant();
+    // Pin reordering is applied from the start; it is timing- and
+    // leakage-neutral for the fastest version (symmetric pins) and makes
+    // every later swap see its canonical state.
+    config[static_cast<std::size_t>(g)].mapping = contexts[static_cast<std::size_t>(g)].mapping;
+  }
+  return config;
+}
+
+double config_leakage_na(const netlist::Netlist& netlist,
+                         const std::vector<GateContext>& contexts,
+                         const sim::CircuitConfig& config) {
+  double total = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    total += netlist.cell_of(g).leakage_na(
+        config[static_cast<std::size_t>(g)].variant,
+        contexts[static_cast<std::size_t>(g)].canonical_state);
+  }
+  return total;
+}
+
+}  // namespace
+
+Solution assign_gates_greedy(const AssignmentProblem& problem,
+                             const std::vector<bool>& sleep_vector, GateOrder order) {
+  Timer timer;
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
+  sim::CircuitConfig config = initial_config(netlist, contexts);
+
+  sta::TimingState timing(netlist);
+  double delay = timing.analyze(config);
+
+  for (int g : gate_visit_order(problem, contexts, order)) {
+    const GateContext& ctx = contexts[static_cast<std::size_t>(g)];
+    const VariantMenu& menu = problem.menu(g, ctx.canonical_state);
+    const int fastest = netlist.cell_of(g).fastest_variant();
+    // Ascending leakage: the first delay-feasible variant wins.
+    for (int v : menu.by_leakage) {
+      if (v == fastest) break;  // current selection; nothing left to gain
+      config[static_cast<std::size_t>(g)].variant = v;
+      sta::TimingUndo undo;
+      const double new_delay = timing.update_after_gate_change(config, g, &undo);
+      if (new_delay <= problem.constraint_ps() + kDelaySlackEps) {
+        delay = new_delay;
+        break;
+      }
+      timing.revert(undo);
+      config[static_cast<std::size_t>(g)].variant = fastest;
+    }
+  }
+
+  Solution solution;
+  solution.sleep_vector = sleep_vector;
+  solution.config = std::move(config);
+  solution.leakage_na = config_leakage_na(netlist, contexts, solution.config);
+  solution.delay_ps = delay;
+  solution.states_explored = 1;
+  solution.runtime_s = timer.seconds();
+  return solution;
+}
+
+namespace {
+
+/// Depth-first exact search state.
+struct ExactSearch {
+  const AssignmentProblem* problem;
+  const netlist::Netlist* netlist;
+  const std::vector<GateContext>* contexts;
+  const std::vector<int>* order;
+  std::vector<double> suffix_min;  ///< Optimistic leakage of gates order[i..).
+  sim::CircuitConfig config;
+  sta::TimingState* timing;
+  double partial_leak = 0.0;
+  Solution best;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool aborted = false;
+
+  void dfs(std::size_t depth) {
+    if (aborted) return;
+    if (max_nodes != 0 && ++nodes > max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (depth == order->size()) {
+      if (partial_leak < best.leakage_na) {
+        best.config = config;
+        best.leakage_na = partial_leak;
+        best.delay_ps = timing->circuit_delay_ps();
+      }
+      return;
+    }
+    const int g = (*order)[depth];
+    const GateContext& ctx = (*contexts)[static_cast<std::size_t>(g)];
+    const VariantMenu& menu = problem->menu(g, ctx.canonical_state);
+    const int fastest = netlist->cell_of(g).fastest_variant();
+
+    for (int v : menu.by_leakage) {
+      const double leak = netlist->cell_of(g).leakage_na(v, ctx.canonical_state);
+      // Edges are sorted ascending: once the optimistic completion cannot
+      // beat the incumbent, no later edge can either.
+      if (partial_leak + leak + suffix_min[depth + 1] >= best.leakage_na - 1e-12) break;
+
+      config[static_cast<std::size_t>(g)].variant = v;
+      sta::TimingUndo undo;
+      const double d = timing->update_after_gate_change(config, g, &undo);
+      // Remaining gates sit at their fastest versions, so `d` is the
+      // minimum delay of any completion: infeasible => prune this edge (but
+      // a later, leakier edge can be faster -- keep scanning).
+      if (d <= problem->constraint_ps() + kDelaySlackEps) {
+        partial_leak += leak;
+        dfs(depth + 1);
+        partial_leak -= leak;
+      }
+      timing->revert(undo);
+      config[static_cast<std::size_t>(g)].variant = fastest;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+Solution assign_gates_exact(const AssignmentProblem& problem,
+                            const std::vector<bool>& sleep_vector,
+                            std::uint64_t max_nodes) {
+  Timer timer;
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
+
+  ExactSearch search;
+  search.problem = &problem;
+  search.netlist = &netlist;
+  search.contexts = &contexts;
+  const std::vector<int> order = gate_visit_order(problem, contexts, GateOrder::kBySavings);
+  search.order = &order;
+  search.max_nodes = max_nodes;
+
+  // Optimistic suffix sums for pruning.
+  search.suffix_min.assign(order.size() + 1, 0.0);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const int g = order[i];
+    search.suffix_min[i] =
+        search.suffix_min[i + 1] +
+        problem.min_gate_leak_na(g, contexts[static_cast<std::size_t>(g)].raw_state);
+  }
+
+  // Incumbent: the greedy solution (this is also the paper's observation
+  // that the first sorted descent establishes a good lower bound).
+  search.best = assign_gates_greedy(problem, sleep_vector);
+
+  search.config = initial_config(netlist, contexts);
+  sta::TimingState timing(netlist);
+  timing.analyze(search.config);
+  search.timing = &timing;
+  search.dfs(0);
+
+  search.best.sleep_vector = sleep_vector;
+  search.best.leakage_na = config_leakage_na(netlist, contexts, search.best.config);
+  search.best.states_explored = 1;
+  search.best.nodes_visited = search.nodes;
+  search.best.runtime_s = timer.seconds();
+  return search.best;
+}
+
+Solution evaluate_state_only(const AssignmentProblem& problem,
+                             const std::vector<bool>& sleep_vector) {
+  Timer timer;
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<bool> values = sim::simulate(netlist, sleep_vector);
+
+  Solution solution;
+  solution.sleep_vector = sleep_vector;
+  solution.config = sim::fastest_config(netlist);
+  double total = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    total += problem.fastest_gate_leak_na(g, sim::local_state(netlist, values, g));
+  }
+  solution.leakage_na = total;
+  solution.delay_ps = problem.budget().fast_delay_ps;
+  solution.states_explored = 1;
+  solution.runtime_s = timer.seconds();
+  return solution;
+}
+
+}  // namespace svtox::opt

@@ -1,0 +1,46 @@
+// Gate-tree search: per-gate cell-version selection for a fixed sleep
+// vector, under the circuit delay constraint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/problem.hpp"
+#include "opt/solution.hpp"
+
+namespace svtox::opt {
+
+/// Order in which the greedy traversal visits gates.
+enum class GateOrder : std::uint8_t {
+  kBySavings,     ///< Descending potential leakage savings (default).
+  kTopological,   ///< Netlist topological order.
+  kReverseTopological,
+};
+
+/// The paper's single downward gate-tree traversal: gates are visited once;
+/// at each gate the variants applicable to its (canonicalized) local state
+/// are tried in ascending leakage order and the first one that keeps the
+/// circuit delay within the constraint is kept. Delay feasibility is checked
+/// with incremental STA (accepting a variant never revisits earlier gates).
+///
+/// Returns the full Solution for `sleep_vector` (config, leakage, delay).
+Solution assign_gates_greedy(const AssignmentProblem& problem,
+                             const std::vector<bool>& sleep_vector,
+                             GateOrder order = GateOrder::kBySavings);
+
+/// Exact gate-tree branch-and-bound for a fixed sleep vector: explores
+/// variant choices depth-first with edges sorted by leakage, pruning on
+/// (partial leakage + optimistic remainder) against the incumbent and on
+/// delay infeasibility of the fastest completion. Exponential; intended for
+/// small circuits and for validating the greedy. `max_nodes` caps the
+/// search (0 = unlimited).
+Solution assign_gates_exact(const AssignmentProblem& problem,
+                            const std::vector<bool>& sleep_vector,
+                            std::uint64_t max_nodes = 0);
+
+/// No-assignment evaluation: every gate at its fastest version; reports the
+/// leakage of `sleep_vector` alone (the state-only baseline's leaf).
+Solution evaluate_state_only(const AssignmentProblem& problem,
+                             const std::vector<bool>& sleep_vector);
+
+}  // namespace svtox::opt

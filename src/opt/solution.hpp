@@ -1,0 +1,25 @@
+// Result types of the standby-leakage optimization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/leakage_eval.hpp"
+
+namespace svtox::opt {
+
+/// A complete standby solution: the sleep vector applied at the primary
+/// inputs plus the per-gate cell-version selection (with pin reordering).
+struct Solution {
+  std::vector<bool> sleep_vector;   ///< Per primary input, PI order.
+  sim::CircuitConfig config;        ///< Per gate.
+  double leakage_na = 0.0;          ///< Total standby leakage.
+  double delay_ps = 0.0;            ///< Circuit delay under `config`.
+
+  // Search statistics.
+  std::uint64_t states_explored = 0;  ///< State-tree leaves evaluated.
+  std::uint64_t nodes_visited = 0;    ///< State-tree nodes (incl. interior).
+  double runtime_s = 0.0;
+};
+
+}  // namespace svtox::opt

@@ -1,0 +1,167 @@
+#include "opt/state_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::opt {
+
+double leakage_lower_bound_na(const AssignmentProblem& problem,
+                              const std::vector<sim::Tri>& input_values,
+                              BoundKind kind) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<sim::Tri> values = sim::simulate_ternary(netlist, input_values);
+  double bound = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const std::vector<sim::Tri> pins = sim::local_ternary(netlist, values, g);
+    double gate_min = 1e300;
+    for (std::uint32_t state : sim::compatible_states(pins)) {
+      const double leak = kind == BoundKind::kMinVariant
+                              ? problem.min_gate_leak_na(g, state)
+                              : problem.fastest_gate_leak_na(g, state);
+      gate_min = std::min(gate_min, leak);
+    }
+    bound += gate_min;
+  }
+  return bound;
+}
+
+namespace {
+
+/// Shared DFS driver for Heu1/Heu2/exact/state-only. Performs the bounded
+/// depth-first state-tree search with branch ordering by bound; the leaf
+/// evaluator and bound kind differ per mode.
+class StateSearch {
+ public:
+  StateSearch(const AssignmentProblem& problem, const SearchOptions& options,
+              BoundKind bound_kind, bool state_only)
+      : problem_(problem),
+        options_(options),
+        bound_kind_(bound_kind),
+        state_only_(state_only),
+        deadline_(options.time_limit_s) {}
+
+  Solution run() {
+    Timer timer;
+    const netlist::Netlist& netlist = problem_.netlist();
+    best_.leakage_na = 1e300;
+    inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), sim::Tri::kX);
+    dfs(0);
+    // Probe random vectors after the first descent so the descent result is
+    // never displaced by luck when equal, only by strictly better vectors.
+    if (options_.random_probes > 0) {
+      Rng rng(0x5eedbeefcafe0001ULL);
+      for (int probe = 0; probe < options_.random_probes; ++probe) {
+        std::vector<bool> vector(static_cast<std::size_t>(netlist.num_control_points()));
+        for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
+        Solution leaf = state_only_ ? evaluate_state_only(problem_, vector)
+                                    : assign_gates_greedy(problem_, vector,
+                                                          options_.gate_order);
+        ++leaves_;
+        if (leaf.leakage_na < best_.leakage_na) best_ = std::move(leaf);
+      }
+    }
+    best_.nodes_visited = nodes_;
+    best_.states_explored = leaves_;
+    best_.runtime_s = timer.seconds();
+    return std::move(best_);
+  }
+
+ private:
+  bool out_of_budget() const {
+    if (options_.max_leaves != 0 && leaves_ >= options_.max_leaves) return true;
+    // The very first leaf (Heu1's descent) always completes.
+    return leaves_ > 0 && deadline_.expired();
+  }
+
+  void evaluate_leaf() {
+    ++leaves_;
+    std::vector<bool> vector(inputs_.size());
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      vector[i] = inputs_[i] == sim::Tri::kOne;
+    }
+    Solution leaf;
+    if (state_only_) {
+      leaf = evaluate_state_only(problem_, vector);
+    } else if (options_.exact_leaves) {
+      leaf = assign_gates_exact(problem_, vector, options_.max_gate_nodes);
+    } else {
+      leaf = assign_gates_greedy(problem_, vector, options_.gate_order);
+    }
+    if (leaf.leakage_na < best_.leakage_na) best_ = std::move(leaf);
+  }
+
+  void dfs(std::size_t depth) {
+    ++nodes_;
+    if (depth == inputs_.size()) {
+      evaluate_leaf();
+      return;
+    }
+    if (out_of_budget()) return;
+
+    const int pi = problem_.input_order()[depth];
+    // Bound both branches to order (and, beyond the first descent, prune).
+    double bounds[2];
+    for (int v = 0; v < 2; ++v) {
+      inputs_[static_cast<std::size_t>(pi)] = v == 0 ? sim::Tri::kZero : sim::Tri::kOne;
+      bounds[v] = leakage_lower_bound_na(problem_, inputs_, bound_kind_);
+    }
+    const int first = bounds[0] <= bounds[1] ? 0 : 1;
+    for (int k = 0; k < 2; ++k) {
+      const int v = k == 0 ? first : 1 - first;
+      if (leaves_ > 0 && bounds[v] >= best_.leakage_na - 1e-12) continue;  // prune
+      if (k == 1 && out_of_budget()) break;
+      inputs_[static_cast<std::size_t>(pi)] = v == 0 ? sim::Tri::kZero : sim::Tri::kOne;
+      dfs(depth + 1);
+      if (options_.max_leaves != 0 && leaves_ >= options_.max_leaves) break;
+    }
+    inputs_[static_cast<std::size_t>(pi)] = sim::Tri::kX;
+  }
+
+  const AssignmentProblem& problem_;
+  SearchOptions options_;
+  BoundKind bound_kind_;
+  bool state_only_;
+  Deadline deadline_;
+  std::vector<sim::Tri> inputs_;
+  Solution best_;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+}  // namespace
+
+Solution heuristic1(const AssignmentProblem& problem, GateOrder gate_order) {
+  SearchOptions options;
+  options.max_leaves = 1;
+  options.time_limit_s = 0.0;
+  options.gate_order = gate_order;
+  return StateSearch(problem, options, BoundKind::kMinVariant, /*state_only=*/false).run();
+}
+
+Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
+                    GateOrder gate_order) {
+  SearchOptions options;
+  options.time_limit_s = time_limit_s;
+  options.gate_order = gate_order;
+  return StateSearch(problem, options, BoundKind::kMinVariant, /*state_only=*/false).run();
+}
+
+Solution exact_search(const AssignmentProblem& problem, const SearchOptions& options) {
+  SearchOptions exact = options;
+  exact.exact_leaves = true;
+  exact.time_limit_s = options.time_limit_s > 0 ? options.time_limit_s : 1e9;
+  return StateSearch(problem, exact, BoundKind::kMinVariant, /*state_only=*/false).run();
+}
+
+Solution state_only_search(const AssignmentProblem& problem, double time_limit_s) {
+  SearchOptions options;
+  options.time_limit_s = time_limit_s;
+  options.random_probes = 256;  // leaf evaluation is a single O(G) simulation
+  return StateSearch(problem, options, BoundKind::kFastestVariant, /*state_only=*/true)
+      .run();
+}
+
+}  // namespace svtox::opt

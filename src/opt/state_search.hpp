@@ -1,0 +1,75 @@
+// State-tree search: choosing the standby sleep vector.
+//
+// The paper's Section 5 search structure: a binary tree over the primary
+// inputs (ordered most-influential first), each leaf evaluated by a
+// gate-tree search. Interior nodes are bounded by a ternary-simulation
+// leakage lower bound, which both orders the branches and prunes.
+//
+//  * Heuristic 1  -- a single downward traversal of both trees.
+//  * Heuristic 2  -- Heu1's descent plus continued bounded DFS until a time
+//                    limit expires.
+//  * exact        -- full branch-and-bound over both trees (small circuits).
+//  * state-only   -- the same state search with all gates pinned to their
+//                    fastest version (the paper's "Only State Assignment"
+//                    baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "opt/gate_assign.hpp"
+#include "opt/problem.hpp"
+#include "opt/solution.hpp"
+#include "sim/sim.hpp"
+
+namespace svtox::opt {
+
+/// What the per-gate bound assumes about cell versions.
+enum class BoundKind : std::uint8_t {
+  kMinVariant,      ///< Gates may take their best version (proposed method).
+  kFastestVariant,  ///< Gates stay at the fastest version (state-only).
+};
+
+/// Admissible leakage lower bound for a partial input assignment: ternary
+/// simulation followed by a per-gate minimum over all local states
+/// compatible with the propagated 0/1/X values. Ignores the delay
+/// constraint, hence never overestimates the best completion.
+double leakage_lower_bound_na(const AssignmentProblem& problem,
+                              const std::vector<sim::Tri>& input_values,
+                              BoundKind kind);
+
+/// Tuning for the state search.
+struct SearchOptions {
+  /// Wall-clock limit for the continued search (Heu2); the first descent
+  /// always completes regardless.
+  double time_limit_s = 5.0;
+  /// Cap on leaf evaluations; 0 = unlimited. Heuristic 1 is max_leaves = 1.
+  std::uint64_t max_leaves = 0;
+  /// Gate visiting order inside each leaf's greedy assignment.
+  GateOrder gate_order = GateOrder::kBySavings;
+  /// Use the exact gate-tree search at leaves (exact mode only).
+  bool exact_leaves = false;
+  std::uint64_t max_gate_nodes = 0;  ///< Node cap for exact leaves.
+  /// Cheap random sleep vectors evaluated before the tree search to seed
+  /// the incumbent. Useful when the ternary bound is flat (XOR-dominated
+  /// circuits); only worthwhile when leaf evaluation is cheap, so it
+  /// defaults on for the state-only mode and off elsewhere.
+  int random_probes = 0;
+};
+
+/// Heuristic 1: single downward traversal (paper Sec. 5).
+Solution heuristic1(const AssignmentProblem& problem,
+                    GateOrder gate_order = GateOrder::kBySavings);
+
+/// Heuristic 2: Heu1 plus time-limited continued state search.
+Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
+                    GateOrder gate_order = GateOrder::kBySavings);
+
+/// Exact simultaneous search over both trees. Exponential -- use only on
+/// small circuits or with caps via `options`.
+Solution exact_search(const AssignmentProblem& problem, const SearchOptions& options);
+
+/// State assignment alone: searches the state tree with every gate fixed to
+/// its fastest version (time-limited like Heu2).
+Solution state_only_search(const AssignmentProblem& problem, double time_limit_s);
+
+}  // namespace svtox::opt

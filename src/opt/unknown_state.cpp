@@ -1,0 +1,122 @@
+#include "opt/unknown_state.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/sim.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::opt {
+
+namespace {
+
+constexpr double kDelaySlackEps = 1e-6;
+
+/// Per-gate local-state probability estimates from bit-parallel random
+/// simulation.
+std::vector<std::vector<double>> estimate_state_probabilities(
+    const netlist::Netlist& netlist, int vectors, std::uint64_t seed) {
+  std::vector<std::vector<double>> counts(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    counts[static_cast<std::size_t>(g)].assign(
+        netlist.cell_of(g).topology().num_states(), 0.0);
+  }
+
+  Rng rng(seed);
+  int remaining = vectors;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(netlist.num_control_points()));
+  while (remaining > 0) {
+    const int lanes = std::min(remaining, 64);
+    for (auto& w : words) w = rng.next_u64();
+    const auto values = sim::simulate64(netlist, words);
+    for (int g = 0; g < netlist.num_gates(); ++g) {
+      for (int lane = 0; lane < lanes; ++lane) {
+        counts[static_cast<std::size_t>(g)][sim::local_state64(netlist, values, g, lane)] +=
+            1.0;
+      }
+    }
+    remaining -= lanes;
+  }
+  for (auto& gate_counts : counts) {
+    for (double& c : gate_counts) c /= vectors;
+  }
+  return counts;
+}
+
+}  // namespace
+
+UnknownStateResult assign_unknown_state(const AssignmentProblem& problem,
+                                        const UnknownStateOptions& options) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const auto probabilities = estimate_state_probabilities(
+      netlist, options.probability_vectors, options.seed);
+
+  // Expected leakage of every variant of every gate; menus sorted by it.
+  auto expected_leak = [&](int g, int variant) {
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    double expected = 0.0;
+    for (std::uint32_t s = 0; s < cell.topology().num_states(); ++s) {
+      expected += probabilities[static_cast<std::size_t>(g)][s] *
+                  cell.variant(variant).leakage_na[s];
+    }
+    return expected;
+  };
+
+  UnknownStateResult result;
+  result.config = sim::fastest_config(netlist);
+  sta::TimingState timing(netlist);
+  double delay = timing.analyze(result.config);
+
+  // Visit gates by expected savings, mirroring the state-aware greedy.
+  std::vector<int> order(static_cast<std::size_t>(netlist.num_gates()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> savings(order.size());
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    double best = 1e300;
+    for (int v = 0; v < cell.num_variants(); ++v) best = std::min(best, expected_leak(g, v));
+    savings[static_cast<std::size_t>(g)] =
+        expected_leak(g, cell.fastest_variant()) - best;
+  }
+  if (options.gate_order == GateOrder::kBySavings) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return savings[static_cast<std::size_t>(a)] > savings[static_cast<std::size_t>(b)];
+    });
+  }
+
+  for (int g : order) {
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    std::vector<int> menu(static_cast<std::size_t>(cell.num_variants()));
+    std::iota(menu.begin(), menu.end(), 0);
+    std::stable_sort(menu.begin(), menu.end(), [&](int a, int b) {
+      return expected_leak(g, a) < expected_leak(g, b);
+    });
+    const int fastest = cell.fastest_variant();
+    for (int v : menu) {
+      if (v == fastest) break;
+      result.config[static_cast<std::size_t>(g)].variant = v;
+      sta::TimingUndo undo;
+      const double new_delay = timing.update_after_gate_change(result.config, g, &undo);
+      if (new_delay <= problem.constraint_ps() + kDelaySlackEps) {
+        delay = new_delay;
+        break;
+      }
+      timing.revert(undo);
+      result.config[static_cast<std::size_t>(g)].variant = fastest;
+    }
+  }
+
+  result.delay_ps = delay;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    result.expected_leakage_na +=
+        expected_leak(g, result.config[static_cast<std::size_t>(g)].variant);
+  }
+  result.average_leakage_na =
+      sim::monte_carlo_leakage(netlist, result.config, options.probability_vectors,
+                               options.seed + 1)
+          .mean_na;
+  return result;
+}
+
+}  // namespace svtox::opt

@@ -1,0 +1,40 @@
+// Unknown-state Vt/Tox assignment -- the strawman the paper argues against.
+//
+// Without a known standby state (paper Sec. 1/3), a transistor may be ON or
+// OFF depending on data, so suppressing its leakage requires covering both
+// cases and gates must be judged by their *expected* leakage. This module
+// implements that flow: per-gate local-state distributions are estimated by
+// random simulation, variants are ranked by expected leakage, and the same
+// delay-constrained greedy selects versions. Comparing its achieved
+// *average* leakage against the state-aware methods quantifies exactly how
+// much the known sleep state buys (the paper's central motivation).
+#pragma once
+
+#include <cstdint>
+
+#include "opt/gate_assign.hpp"
+#include "opt/problem.hpp"
+#include "opt/solution.hpp"
+
+namespace svtox::opt {
+
+struct UnknownStateOptions {
+  /// Vectors used to estimate per-gate local-state probabilities.
+  int probability_vectors = 2048;
+  std::uint64_t seed = 2004;
+  GateOrder gate_order = GateOrder::kBySavings;
+};
+
+/// Result of the unknown-state assignment. There is no sleep vector; the
+/// figure of merit is the average leakage of `config` over random states.
+struct UnknownStateResult {
+  sim::CircuitConfig config;
+  double expected_leakage_na = 0.0;  ///< Model-side expectation.
+  double average_leakage_na = 0.0;   ///< Monte-Carlo average under config.
+  double delay_ps = 0.0;
+};
+
+UnknownStateResult assign_unknown_state(const AssignmentProblem& problem,
+                                        const UnknownStateOptions& options = {});
+
+}  // namespace svtox::opt

@@ -1,0 +1,66 @@
+#include "report/breakdown.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cellkit/analyzer.hpp"
+#include "sim/sim.hpp"
+#include "util/strings.hpp"
+
+namespace svtox::report {
+
+LeakageBreakdownReport leakage_breakdown(const netlist::Netlist& netlist,
+                                         const sim::CircuitConfig& config,
+                                         const std::vector<bool>& input_values,
+                                         int top_n) {
+  const std::vector<bool> values = sim::simulate(netlist, input_values);
+  const model::TechParams& tech = netlist.library().tech();
+
+  LeakageBreakdownReport report;
+  std::vector<std::pair<int, model::LeakageBreakdown>> per_gate;
+  per_gate.reserve(static_cast<std::size_t>(netlist.num_gates()));
+
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const sim::GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    const std::uint32_t physical =
+        gc.physical_state(sim::local_state(netlist, values, g));
+    const model::LeakageBreakdown leak = cellkit::cell_leakage(
+        cell.topology(), tech, physical, cell.variant(gc.variant).assignment);
+    report.total += leak;
+    report.by_cell_type[cell.name()] += leak;
+    per_gate.push_back({g, leak});
+  }
+
+  std::stable_sort(per_gate.begin(), per_gate.end(), [](const auto& a, const auto& b) {
+    return a.second.total_na() > b.second.total_na();
+  });
+  if (static_cast<int>(per_gate.size()) > top_n) {
+    per_gate.resize(static_cast<std::size_t>(top_n));
+  }
+  report.top_gates = std::move(per_gate);
+  return report;
+}
+
+std::string render_breakdown(const netlist::Netlist& netlist,
+                             const LeakageBreakdownReport& report) {
+  std::ostringstream out;
+  out << "leakage breakdown (" << netlist.name() << "): total "
+      << format_double(report.total.total_na() / 1e3, 2) << " uA = Isub "
+      << format_double(report.total.isub_na / 1e3, 2) << " uA + Igate "
+      << format_double(report.total.igate_na / 1e3, 2) << " uA ("
+      << format_double(100.0 * report.total.igate_fraction(), 1) << "% tunneling)\n";
+  out << "by cell type:\n";
+  for (const auto& [name, leak] : report.by_cell_type) {
+    out << "  " << name << ": " << format_double(leak.total_na() / 1e3, 2) << " uA ("
+        << format_double(100.0 * leak.igate_fraction(), 1) << "% Igate)\n";
+  }
+  out << "leakiest gates:\n";
+  for (const auto& [g, leak] : report.top_gates) {
+    out << "  " << netlist.gate(g).name << " (" << netlist.cell_of(g).name() << "): "
+        << format_double(leak.total_na(), 1) << " nA\n";
+  }
+  return out.str();
+}
+
+}  // namespace svtox::report

@@ -1,0 +1,25 @@
+// Graphviz DOT export of a netlist, optionally annotated with a standby
+// solution (swapped gates highlighted, sleep values on the sources).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "sim/leakage_eval.hpp"
+
+namespace svtox::report {
+
+/// Writes a `digraph` of the circuit. When `config` is non-null, gates
+/// whose version differs from the fastest are filled and labeled with the
+/// version name; when `sleep_vector` is non-null (control-point order),
+/// source nodes carry their standby value.
+void write_dot(const netlist::Netlist& netlist, std::ostream& out,
+               const sim::CircuitConfig* config = nullptr,
+               const std::vector<bool>* sleep_vector = nullptr);
+
+std::string write_dot(const netlist::Netlist& netlist,
+                      const sim::CircuitConfig* config = nullptr,
+                      const std::vector<bool>* sleep_vector = nullptr);
+
+}  // namespace svtox::report

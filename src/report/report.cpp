@@ -1,0 +1,33 @@
+#include "report/report.hpp"
+
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace svtox::report {
+
+std::string format_ua(double ua) { return format_double(ua, 1); }
+
+std::string format_x(double x) { return format_double(x, 1); }
+
+std::string format_seconds(double s) {
+  if (s < 0.01) return format_double(s * 1e3, 2) + "ms";
+  if (s < 1.0) return format_double(s * 1e3, 0) + "ms";
+  return format_double(s, 1) + "s";
+}
+
+std::string paper_vs_measured(double paper, double measured, int precision) {
+  return format_double(paper, precision) + " / " + format_double(measured, precision);
+}
+
+bool save_table(const AsciiTable& table, const std::string& path) {
+  std::ofstream txt(path);
+  if (!txt) return false;
+  txt << table.render();
+  std::ofstream csv(path + ".csv");
+  if (!csv) return false;
+  csv << table.to_csv();
+  return true;
+}
+
+}  // namespace svtox::report

@@ -1,0 +1,26 @@
+// Formatting helpers for the paper-style result tables.
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace svtox::report {
+
+/// Formats a leakage value in uA with one decimal (paper table style).
+std::string format_ua(double ua);
+
+/// Formats a reduction factor "X" with one decimal.
+std::string format_x(double x);
+
+/// Formats seconds with an adaptive precision.
+std::string format_seconds(double s);
+
+/// Formats a paper-vs-measured pair, e.g. "24.5 / 26.1".
+std::string paper_vs_measured(double paper, double measured, int precision = 1);
+
+/// Writes a rendered table (and its CSV twin) under `path` and `path`.csv.
+/// Returns false (without throwing) if the location is not writable.
+bool save_table(const AsciiTable& table, const std::string& path);
+
+}  // namespace svtox::report

@@ -1,0 +1,90 @@
+#include "sim/equivalence.hpp"
+
+#include <algorithm>
+
+#include "sim/sim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::sim {
+
+namespace {
+
+/// Maps b's primary input/output positions onto a's, by signal name.
+std::vector<int> match_by_name(const netlist::Netlist& a, const netlist::Netlist& b,
+                               const std::vector<int>& a_signals,
+                               const std::vector<int>& b_signals, const char* what) {
+  if (a_signals.size() != b_signals.size()) {
+    throw ContractError(std::string("check_equivalence: ") + what + " count mismatch");
+  }
+  std::vector<int> b_index_for_a(a_signals.size(), -1);
+  for (std::size_t i = 0; i < a_signals.size(); ++i) {
+    const std::string& name = a.signal_name(a_signals[i]);
+    for (std::size_t j = 0; j < b_signals.size(); ++j) {
+      if (b.signal_name(b_signals[j]) == name) {
+        b_index_for_a[i] = static_cast<int>(j);
+        break;
+      }
+    }
+    if (b_index_for_a[i] < 0) {
+      throw ContractError(std::string("check_equivalence: ") + what + " '" + name +
+                          "' missing in second netlist");
+    }
+  }
+  return b_index_for_a;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const netlist::Netlist& a, const netlist::Netlist& b,
+                                    int num_vectors, std::uint64_t seed) {
+  const std::vector<int> pi_map =
+      match_by_name(a, b, a.control_points(), b.control_points(), "control point");
+  const std::vector<int> po_map =
+      match_by_name(a, b, a.observe_points(), b.observe_points(), "observe point");
+
+  EquivalenceResult result;
+  Rng rng(seed);
+  int remaining = num_vectors;
+  std::vector<std::uint64_t> words_a(a.control_points().size());
+  std::vector<std::uint64_t> words_b(b.control_points().size());
+
+  while (remaining > 0) {
+    const int lanes = std::min(remaining, 64);
+    for (std::size_t i = 0; i < words_a.size(); ++i) {
+      words_a[i] = rng.next_u64();
+      words_b[static_cast<std::size_t>(pi_map[i])] = words_a[i];
+    }
+    const auto values_a = simulate64(a, words_a);
+    const auto values_b = simulate64(b, words_b);
+
+    for (std::size_t o = 0; o < a.observe_points().size(); ++o) {
+      const std::uint64_t wa =
+          values_a[static_cast<std::size_t>(a.observe_points()[o])];
+      const std::uint64_t wb = values_b[static_cast<std::size_t>(
+          b.observe_points()[static_cast<std::size_t>(po_map[o])])];
+      std::uint64_t diff = wa ^ wb;
+      if (lanes < 64) diff &= (1ULL << lanes) - 1;
+      if (diff == 0) continue;
+
+      const int lane = __builtin_ctzll(diff);
+      Counterexample cex;
+      cex.inputs.resize(words_a.size());
+      for (std::size_t i = 0; i < words_a.size(); ++i) {
+        cex.inputs[i] = (words_a[i] >> lane) & 1;
+      }
+      cex.output_name = a.signal_name(a.observe_points()[o]);
+      cex.value_a = (wa >> lane) & 1;
+      cex.value_b = (wb >> lane) & 1;
+      result.counterexample = std::move(cex);
+      result.vectors_checked += lane + 1;
+      return result;
+    }
+    result.vectors_checked += lanes;
+    remaining -= lanes;
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace svtox::sim

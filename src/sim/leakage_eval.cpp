@@ -1,0 +1,151 @@
+#include "sim/leakage_eval.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::sim {
+
+CircuitConfig fastest_config(const netlist::Netlist& netlist) {
+  CircuitConfig config(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    config[static_cast<std::size_t>(g)].variant = netlist.cell_of(g).fastest_variant();
+  }
+  return config;
+}
+
+double circuit_leakage_from_values_na(const netlist::Netlist& netlist,
+                                      const CircuitConfig& config,
+                                      const std::vector<bool>& signal_values) {
+  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
+    throw ContractError("circuit_leakage: config size mismatch");
+  }
+  double total = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const std::uint32_t logical = local_state(netlist, signal_values, g);
+    total += netlist.cell_of(g).variant(gc.variant).leakage_na.at(
+        gc.physical_state(logical));
+  }
+  return total;
+}
+
+double circuit_leakage_na(const netlist::Netlist& netlist, const CircuitConfig& config,
+                          const std::vector<bool>& input_values) {
+  return circuit_leakage_from_values_na(netlist, config,
+                                        simulate(netlist, input_values));
+}
+
+double circuit_area(const netlist::Netlist& netlist, const CircuitConfig& config) {
+  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
+    throw ContractError("circuit_area: config size mismatch");
+  }
+  double area = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    area += netlist.cell_of(g).variant(config[static_cast<std::size_t>(g)].variant).area;
+  }
+  return area;
+}
+
+MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
+                                     const CircuitConfig& config, int num_vectors,
+                                     std::uint64_t seed) {
+  if (num_vectors < 1) throw ContractError("monte_carlo_leakage: need >= 1 vector");
+  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
+    throw ContractError("monte_carlo_leakage: config size mismatch");
+  }
+
+  Rng rng(seed);
+  MonteCarloResult result;
+  result.vectors = num_vectors;
+  result.min_na = 1e300;
+  result.max_na = -1e300;
+  double sum = 0.0;
+
+  int remaining = num_vectors;
+  std::vector<std::uint64_t> pi_words(static_cast<std::size_t>(netlist.num_control_points()));
+  while (remaining > 0) {
+    const int lanes = std::min(remaining, 64);
+    for (auto& word : pi_words) word = rng.next_u64();
+    const std::vector<std::uint64_t> words = simulate64(netlist, pi_words);
+
+    for (int lane = 0; lane < lanes; ++lane) {
+      double total = 0.0;
+      for (int g = 0; g < netlist.num_gates(); ++g) {
+        const GateConfig& gc = config[static_cast<std::size_t>(g)];
+        const std::uint32_t logical = local_state64(netlist, words, g, lane);
+        total += netlist.cell_of(g).variant(gc.variant).leakage_na.at(
+            gc.physical_state(logical));
+      }
+      sum += total;
+      result.min_na = std::min(result.min_na, total);
+      result.max_na = std::max(result.max_na, total);
+    }
+    remaining -= lanes;
+  }
+  result.mean_na = sum / num_vectors;
+  return result;
+}
+
+namespace {
+
+/// One fixed-size chunk of the partitioned Monte-Carlo stream.
+MonteCarloResult run_chunk(const netlist::Netlist& netlist, const CircuitConfig& config,
+                           int vectors, std::uint64_t chunk_seed) {
+  return monte_carlo_leakage(netlist, config, vectors, chunk_seed);
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
+                                              const CircuitConfig& config,
+                                              int num_vectors, std::uint64_t seed,
+                                              int threads) {
+  if (num_vectors < 1) throw ContractError("monte_carlo_leakage_parallel: need >= 1 vector");
+  constexpr int kChunk = 1024;
+  const int num_chunks = (num_vectors + kChunk - 1) / kChunk;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, num_chunks);
+
+  std::vector<MonteCarloResult> partial(static_cast<std::size_t>(num_chunks));
+  std::atomic<int> next_chunk{0};
+  auto worker = [&] {
+    for (;;) {
+      const int c = next_chunk.fetch_add(1);
+      if (c >= num_chunks) return;
+      const int vectors = std::min(kChunk, num_vectors - c * kChunk);
+      // Per-chunk seed derived only from (seed, chunk index): the partition
+      // -- and hence the estimate -- is independent of the thread count.
+      const std::uint64_t chunk_seed =
+          seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c + 1));
+      partial[static_cast<std::size_t>(c)] = run_chunk(netlist, config, vectors, chunk_seed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  MonteCarloResult result;
+  result.vectors = num_vectors;
+  result.min_na = 1e300;
+  result.max_na = -1e300;
+  double sum = 0.0;
+  for (const MonteCarloResult& p : partial) {
+    sum += p.mean_na * p.vectors;
+    result.min_na = std::min(result.min_na, p.min_na);
+    result.max_na = std::max(result.max_na, p.max_na);
+  }
+  result.mean_na = sum / num_vectors;
+  return result;
+}
+
+}  // namespace svtox::sim

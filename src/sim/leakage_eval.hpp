@@ -1,0 +1,76 @@
+// Circuit-level standby leakage evaluation.
+//
+// A circuit configuration assigns each gate one library variant plus a
+// pin-reordering. Leakage at a given primary-input vector is the sum of
+// per-gate table lookups: the gate's logical local state is mapped through
+// its pin reordering to the physical state the variant's characterization
+// is indexed by.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellkit/state.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sim.hpp"
+
+namespace svtox::sim {
+
+/// Per-gate selection: which library variant is instantiated and how the
+/// logical inputs are mapped onto physical pins.
+struct GateConfig {
+  int variant = 0;  ///< Index into the gate's LibCell variants.
+  cellkit::PinMapping mapping;  ///< Empty logical_to_physical = identity.
+
+  std::uint32_t physical_state(std::uint32_t logical_state) const {
+    return mapping.logical_to_physical.empty()
+               ? logical_state
+               : cellkit::map_state(mapping, logical_state);
+  }
+};
+
+/// One GateConfig per gate, indexed by gate id.
+using CircuitConfig = std::vector<GateConfig>;
+
+/// All gates at their fastest (all low-Vt, thin-Tox) version, no reordering.
+CircuitConfig fastest_config(const netlist::Netlist& netlist);
+
+/// Total circuit leakage [nA] at the PI vector `input_values`.
+double circuit_leakage_na(const netlist::Netlist& netlist, const CircuitConfig& config,
+                          const std::vector<bool>& input_values);
+
+/// Total circuit leakage [nA] given a precomputed full-signal valuation.
+double circuit_leakage_from_values_na(const netlist::Netlist& netlist,
+                                      const CircuitConfig& config,
+                                      const std::vector<bool>& signal_values);
+
+/// Result of a Monte-Carlo leakage estimate.
+struct MonteCarloResult {
+  double mean_na = 0.0;
+  double min_na = 0.0;
+  double max_na = 0.0;
+  int vectors = 0;
+};
+
+/// Average leakage over `num_vectors` uniform random input vectors
+/// (the paper's "average leakage by random (10K) vectors" baseline).
+/// Deterministic in `seed`; uses the 64-way bit-parallel simulator.
+MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
+                                     const CircuitConfig& config, int num_vectors,
+                                     std::uint64_t seed);
+
+/// Total cell area of the circuit under `config` [unit areas], including
+/// the mixed-Vt/Tox spacing penalties of the selected versions (the cost
+/// axis of the paper's Table 5 uniform-stack discussion).
+double circuit_area(const netlist::Netlist& netlist, const CircuitConfig& config);
+
+/// Multi-threaded Monte Carlo. The vector stream is partitioned into fixed
+/// 1024-vector chunks with independent per-chunk generators, so the result
+/// is bit-identical for any `threads` value (including 1) -- parallelism
+/// never changes the estimate. `threads` <= 0 uses the hardware count.
+MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
+                                              const CircuitConfig& config,
+                                              int num_vectors, std::uint64_t seed,
+                                              int threads = 0);
+
+}  // namespace svtox::sim

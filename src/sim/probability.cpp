@@ -1,0 +1,75 @@
+#include "sim/probability.hpp"
+
+#include "util/error.hpp"
+
+namespace svtox::sim {
+
+std::vector<double> propagate_probabilities(const netlist::Netlist& netlist,
+                                            const std::vector<double>& input_probability) {
+  if (input_probability.size() != static_cast<std::size_t>(netlist.num_control_points())) {
+    throw ContractError("propagate_probabilities: control-point count mismatch");
+  }
+  for (double p : input_probability) {
+    if (p < 0.0 || p > 1.0) {
+      throw ContractError("propagate_probabilities: probability out of [0, 1]");
+    }
+  }
+
+  std::vector<double> prob(static_cast<std::size_t>(netlist.num_signals()), 0.0);
+  for (int i = 0; i < netlist.num_control_points(); ++i) {
+    prob[static_cast<std::size_t>(netlist.control_points()[i])] = input_probability[i];
+  }
+
+  for (int g : netlist.topological_order()) {
+    const netlist::Gate& gate = netlist.gate(g);
+    const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
+    // P(out = 1) = sum over ON-set states of prod_i P(pin_i takes state bit),
+    // exact under pin independence.
+    double p_one = 0.0;
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      if (!topo.output(state)) continue;
+      double p_state = 1.0;
+      for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+        const double p_in = prob[static_cast<std::size_t>(gate.fanins[pin])];
+        p_state *= ((state >> pin) & 1u) ? p_in : 1.0 - p_in;
+      }
+      p_one += p_state;
+    }
+    prob[static_cast<std::size_t>(gate.output)] = p_one;
+  }
+  return prob;
+}
+
+double expected_leakage_na(const netlist::Netlist& netlist, const CircuitConfig& config,
+                           const std::vector<double>& input_probability) {
+  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
+    throw ContractError("expected_leakage_na: config size mismatch");
+  }
+  const std::vector<double> prob = propagate_probabilities(netlist, input_probability);
+
+  double expected = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    const sim::GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const liberty::LibCellVariant& variant = netlist.cell_of(g).variant(gc.variant);
+    const std::uint32_t num_states = netlist.cell_of(g).topology().num_states();
+    for (std::uint32_t state = 0; state < num_states; ++state) {
+      double p_state = 1.0;
+      for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+        const double p_in = prob[static_cast<std::size_t>(gate.fanins[pin])];
+        p_state *= ((state >> pin) & 1u) ? p_in : 1.0 - p_in;
+      }
+      expected += p_state * variant.leakage_na[gc.physical_state(state)];
+    }
+  }
+  return expected;
+}
+
+double expected_leakage_uniform_na(const netlist::Netlist& netlist,
+                                   const CircuitConfig& config) {
+  return expected_leakage_na(
+      netlist, config,
+      std::vector<double>(static_cast<std::size_t>(netlist.num_control_points()), 0.5));
+}
+
+}  // namespace svtox::sim

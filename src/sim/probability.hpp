@@ -1,0 +1,34 @@
+// Vectorless (probabilistic) leakage estimation.
+//
+// Instead of simulating random vectors, propagate signal probabilities
+// through the netlist under an independence assumption and evaluate each
+// gate's *expected* leakage analytically. One topological pass replaces
+// thousands of simulations -- the classic trade-off: exact under
+// independence, optimistic/pessimistic where reconvergent fanout makes
+// signals correlated. Useful for instant estimates and as a cross-check of
+// the Monte-Carlo baseline.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/leakage_eval.hpp"
+
+namespace svtox::sim {
+
+/// Propagates P(signal = 1) through the circuit. `input_probability[i]` is
+/// the probability for control point i (use 0.5 everywhere for the uniform
+/// random-vector model). Returns one probability per signal.
+std::vector<double> propagate_probabilities(const netlist::Netlist& netlist,
+                                            const std::vector<double>& input_probability);
+
+/// Expected total leakage [nA] of `config` under independently distributed
+/// signals with the given control-point probabilities.
+double expected_leakage_na(const netlist::Netlist& netlist, const CircuitConfig& config,
+                           const std::vector<double>& input_probability);
+
+/// Convenience: uniform 0.5 inputs (the 10K-random-vector model).
+double expected_leakage_uniform_na(const netlist::Netlist& netlist,
+                                   const CircuitConfig& config);
+
+}  // namespace svtox::sim

@@ -1,0 +1,140 @@
+#include "sim/sim.hpp"
+
+#include "util/error.hpp"
+
+namespace svtox::sim {
+
+namespace {
+
+void check_inputs(const netlist::Netlist& netlist, std::size_t provided) {
+  if (provided != static_cast<std::size_t>(netlist.num_control_points())) {
+    throw ContractError("simulate: control-point value count mismatch");
+  }
+  if (!netlist.finalized()) throw ContractError("simulate: netlist not finalized");
+}
+
+}  // namespace
+
+std::vector<bool> simulate(const netlist::Netlist& netlist,
+                           const std::vector<bool>& input_values) {
+  check_inputs(netlist, input_values.size());
+  std::vector<bool> values(static_cast<std::size_t>(netlist.num_signals()), false);
+  for (int i = 0; i < netlist.num_control_points(); ++i) {
+    values[static_cast<std::size_t>(netlist.control_points()[i])] = input_values[i];
+  }
+  for (int g : netlist.topological_order()) {
+    const std::uint32_t state = local_state(netlist, values, g);
+    values[static_cast<std::size_t>(netlist.gate(g).output)] =
+        netlist.cell_of(g).topology().output(state);
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> simulate64(const netlist::Netlist& netlist,
+                                      const std::vector<std::uint64_t>& input_words) {
+  check_inputs(netlist, input_words.size());
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(netlist.num_signals()), 0);
+  for (int i = 0; i < netlist.num_control_points(); ++i) {
+    words[static_cast<std::size_t>(netlist.control_points()[i])] = input_words[i];
+  }
+  for (int g : netlist.topological_order()) {
+    const netlist::Gate& gate = netlist.gate(g);
+    const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
+    const int k = topo.num_inputs();
+    // Sum of minterms: for every ON-set state, AND the matching pin
+    // polarities together and OR into the output word.
+    std::uint64_t out = 0;
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      if (!topo.output(state)) continue;
+      std::uint64_t term = ~0ULL;
+      for (int pin = 0; pin < k; ++pin) {
+        const std::uint64_t v = words[static_cast<std::size_t>(gate.fanins[pin])];
+        term &= ((state >> pin) & 1u) ? v : ~v;
+      }
+      out |= term;
+    }
+    words[static_cast<std::size_t>(gate.output)] = out;
+  }
+  return words;
+}
+
+std::uint32_t local_state(const netlist::Netlist& netlist,
+                          const std::vector<bool>& signal_values, int gate) {
+  const netlist::Gate& g = netlist.gate(gate);
+  std::uint32_t state = 0;
+  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+    if (signal_values[static_cast<std::size_t>(g.fanins[pin])]) state |= 1u << pin;
+  }
+  return state;
+}
+
+std::uint32_t local_state64(const netlist::Netlist& netlist,
+                            const std::vector<std::uint64_t>& signal_words, int gate,
+                            int lane) {
+  const netlist::Gate& g = netlist.gate(gate);
+  std::uint32_t state = 0;
+  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+    if ((signal_words[static_cast<std::size_t>(g.fanins[pin])] >> lane) & 1u) {
+      state |= 1u << pin;
+    }
+  }
+  return state;
+}
+
+std::vector<Tri> simulate_ternary(const netlist::Netlist& netlist,
+                                  const std::vector<Tri>& input_values) {
+  check_inputs(netlist, input_values.size());
+  std::vector<Tri> values(static_cast<std::size_t>(netlist.num_signals()), Tri::kX);
+  for (int i = 0; i < netlist.num_control_points(); ++i) {
+    values[static_cast<std::size_t>(netlist.control_points()[i])] = input_values[i];
+  }
+  for (int g : netlist.topological_order()) {
+    const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
+    const std::vector<Tri> pins = local_ternary(netlist, values, g);
+    // Output is known iff all compatible completions agree.
+    bool saw_zero = false;
+    bool saw_one = false;
+    for (std::uint32_t state : compatible_states(pins)) {
+      (topo.output(state) ? saw_one : saw_zero) = true;
+      if (saw_zero && saw_one) break;
+    }
+    Tri out = Tri::kX;
+    if (saw_one && !saw_zero) out = Tri::kOne;
+    if (saw_zero && !saw_one) out = Tri::kZero;
+    values[static_cast<std::size_t>(netlist.gate(g).output)] = out;
+  }
+  return values;
+}
+
+std::vector<Tri> local_ternary(const netlist::Netlist& netlist,
+                               const std::vector<Tri>& signal_values, int gate) {
+  const netlist::Gate& g = netlist.gate(gate);
+  std::vector<Tri> pins(g.fanins.size());
+  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+    pins[pin] = signal_values[static_cast<std::size_t>(g.fanins[pin])];
+  }
+  return pins;
+}
+
+std::vector<std::uint32_t> compatible_states(const std::vector<Tri>& ternary_state) {
+  std::vector<std::uint32_t> states = {0};
+  for (std::size_t pin = 0; pin < ternary_state.size(); ++pin) {
+    const Tri t = ternary_state[pin];
+    const std::size_t count = states.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      switch (t) {
+        case Tri::kZero:
+          break;
+        case Tri::kOne:
+          states[i] |= 1u << pin;
+          break;
+        case Tri::kX:
+          states.push_back(states[i] | (1u << pin));
+          break;
+      }
+    }
+  }
+  return states;
+}
+
+}  // namespace svtox::sim

@@ -1,0 +1,53 @@
+// Logic simulation: 2-valued, 64-way bit-parallel, and ternary (0/1/X).
+//
+// The ternary simulator propagates partial input states and is the engine
+// behind the optimizer's leakage lower bounds during the state-tree search
+// (paper Sec. 5: "bounds on the leakage with partial input state
+// information are computed during the traversal of the state tree").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace svtox::sim {
+
+/// Simulates one input vector; returns a value for every signal.
+/// `input_values[i]` is the value of primary input i, in
+/// Netlist::primary_inputs() order.
+std::vector<bool> simulate(const netlist::Netlist& netlist,
+                           const std::vector<bool>& input_values);
+
+/// 64 vectors at once, one per bit lane. `input_words[i]` packs the 64
+/// values of primary input i. Returns a word for every signal.
+std::vector<std::uint64_t> simulate64(const netlist::Netlist& netlist,
+                                      const std::vector<std::uint64_t>& input_words);
+
+/// The local input state of `gate` (bit p = value of its pin p).
+std::uint32_t local_state(const netlist::Netlist& netlist,
+                          const std::vector<bool>& signal_values, int gate);
+
+/// Extracts the local input state of `gate` in `lane` of a 64-way result.
+std::uint32_t local_state64(const netlist::Netlist& netlist,
+                            const std::vector<std::uint64_t>& signal_words, int gate,
+                            int lane);
+
+/// Ternary value.
+enum class Tri : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline Tri tri_of(bool value) { return value ? Tri::kOne : Tri::kZero; }
+
+/// Simulates a partial input assignment; unknown inputs are X.
+std::vector<Tri> simulate_ternary(const netlist::Netlist& netlist,
+                                  const std::vector<Tri>& input_values);
+
+/// Local ternary state of `gate`: the per-pin ternary values.
+std::vector<Tri> local_ternary(const netlist::Netlist& netlist,
+                               const std::vector<Tri>& signal_values, int gate);
+
+/// Enumerates all full local states compatible with a ternary local state
+/// (X pins free). For a k-input cell this is at most 2^k entries.
+std::vector<std::uint32_t> compatible_states(const std::vector<Tri>& ternary_state);
+
+}  // namespace svtox::sim

@@ -1,0 +1,243 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace svtox::sta {
+
+namespace {
+
+constexpr double kEpsPs = 1e-9;
+
+/// One gate's freshly computed output timing.
+struct GateTiming {
+  double at_rise = 0.0, at_fall = 0.0;
+  double slew_rise = 0.0, slew_fall = 0.0;
+};
+
+GateTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitConfig& config,
+                         int gate, const std::vector<double>& at_rise,
+                         const std::vector<double>& at_fall,
+                         const std::vector<double>& slew_rise,
+                         const std::vector<double>& slew_fall,
+                         const std::vector<double>& load_ff, double delay_scale) {
+  const netlist::Gate& g = netlist.gate(gate);
+  const liberty::LibCell& cell = netlist.cell_of(gate);
+  const sim::GateConfig& gc = config[static_cast<std::size_t>(gate)];
+  const liberty::LibCellVariant& variant = cell.variant(gc.variant);
+  const double out_load = load_ff[static_cast<std::size_t>(g.output)];
+
+  GateTiming t;
+  t.at_rise = -1e300;
+  t.at_fall = -1e300;
+  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+    const int in_sig = g.fanins[pin];
+    const int phys = gc.mapping.logical_to_physical.empty()
+                         ? static_cast<int>(pin)
+                         : gc.mapping.logical_to_physical[pin];
+    const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
+
+    // Inverting cell: output rise comes from input fall.
+    const double in_fall_slew = slew_fall[static_cast<std::size_t>(in_sig)];
+    const double cand_rise = at_fall[static_cast<std::size_t>(in_sig)] +
+                             delay_scale * timing.delay_rise.lookup(in_fall_slew, out_load);
+    if (cand_rise > t.at_rise) {
+      t.at_rise = cand_rise;
+      t.slew_rise = delay_scale * timing.slew_rise.lookup(in_fall_slew, out_load);
+    }
+
+    const double in_rise_slew = slew_rise[static_cast<std::size_t>(in_sig)];
+    const double cand_fall = at_rise[static_cast<std::size_t>(in_sig)] +
+                             delay_scale * timing.delay_fall.lookup(in_rise_slew, out_load);
+    if (cand_fall > t.at_fall) {
+      t.at_fall = cand_fall;
+      t.slew_fall = delay_scale * timing.slew_fall.lookup(in_rise_slew, out_load);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+TimingState::TimingState(const netlist::Netlist& netlist) : netlist_(&netlist) {
+  if (!netlist.finalized()) throw ContractError("TimingState: netlist not finalized");
+  const int n = netlist.num_signals();
+  at_rise_.assign(n, 0.0);
+  at_fall_.assign(n, 0.0);
+  slew_rise_.assign(n, 0.0);
+  slew_fall_.assign(n, 0.0);
+  load_ff_.resize(n);
+  for (int s = 0; s < n; ++s) load_ff_[static_cast<std::size_t>(s)] = netlist.signal_load_ff(s);
+  topo_rank_.assign(netlist.num_gates(), 0);
+  const std::vector<int>& order = netlist.topological_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    topo_rank_[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+}
+
+double TimingState::analyze(const sim::CircuitConfig& config, double delay_scale) {
+  if (config.size() != static_cast<std::size_t>(netlist_->num_gates())) {
+    throw ContractError("TimingState::analyze: config size mismatch");
+  }
+  const double pi_slew = netlist_->library().tech().default_pi_slew_ps;
+  for (int s : netlist_->control_points()) {
+    at_rise_[static_cast<std::size_t>(s)] = 0.0;
+    at_fall_[static_cast<std::size_t>(s)] = 0.0;
+    slew_rise_[static_cast<std::size_t>(s)] = pi_slew;
+    slew_fall_[static_cast<std::size_t>(s)] = pi_slew;
+  }
+  for (int g : netlist_->topological_order()) {
+    const GateTiming t = evaluate_gate(*netlist_, config, g, at_rise_, at_fall_,
+                                       slew_rise_, slew_fall_, load_ff_, delay_scale);
+    const std::size_t out = static_cast<std::size_t>(netlist_->gate(g).output);
+    at_rise_[out] = t.at_rise;
+    at_fall_[out] = t.at_fall;
+    slew_rise_[out] = t.slew_rise;
+    slew_fall_[out] = t.slew_fall;
+  }
+  return circuit_delay_ps();
+}
+
+bool TimingState::recompute_gate(const sim::CircuitConfig& config, int gate,
+                                 TimingUndo* undo) {
+  const GateTiming t = evaluate_gate(*netlist_, config, gate, at_rise_, at_fall_,
+                                     slew_rise_, slew_fall_, load_ff_, 1.0);
+  const std::size_t out = static_cast<std::size_t>(netlist_->gate(gate).output);
+  if (std::abs(t.at_rise - at_rise_[out]) < kEpsPs &&
+      std::abs(t.at_fall - at_fall_[out]) < kEpsPs &&
+      std::abs(t.slew_rise - slew_rise_[out]) < kEpsPs &&
+      std::abs(t.slew_fall - slew_fall_[out]) < kEpsPs) {
+    return false;
+  }
+  if (undo != nullptr) {
+    undo->entries.push_back({static_cast<int>(out), at_rise_[out], at_fall_[out],
+                             slew_rise_[out], slew_fall_[out]});
+  }
+  at_rise_[out] = t.at_rise;
+  at_fall_[out] = t.at_fall;
+  slew_rise_[out] = t.slew_rise;
+  slew_fall_[out] = t.slew_fall;
+  return true;
+}
+
+double TimingState::update_after_gate_change(const sim::CircuitConfig& config, int gate,
+                                             TimingUndo* undo) {
+  // Process the affected cone in topological order; a min-heap over topo
+  // rank guarantees each gate is re-evaluated at most once per update with
+  // all its fanins final.
+  using Item = std::pair<int, int>;  // (rank, gate)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  std::vector<bool> queued(static_cast<std::size_t>(netlist_->num_gates()), false);
+  queue.push({topo_rank_[static_cast<std::size_t>(gate)], gate});
+  queued[static_cast<std::size_t>(gate)] = true;
+
+  while (!queue.empty()) {
+    const int g = queue.top().second;
+    queue.pop();
+    queued[static_cast<std::size_t>(g)] = false;
+    if (!recompute_gate(config, g, undo)) continue;
+    for (const netlist::Sink& sink : netlist_->sinks(netlist_->gate(g).output)) {
+      if (!queued[static_cast<std::size_t>(sink.gate)]) {
+        queue.push({topo_rank_[static_cast<std::size_t>(sink.gate)], sink.gate});
+        queued[static_cast<std::size_t>(sink.gate)] = true;
+      }
+    }
+  }
+  return circuit_delay_ps();
+}
+
+void TimingState::revert(const TimingUndo& undo) {
+  for (auto it = undo.entries.rbegin(); it != undo.entries.rend(); ++it) {
+    const std::size_t s = static_cast<std::size_t>(it->signal);
+    at_rise_[s] = it->at_rise;
+    at_fall_[s] = it->at_fall;
+    slew_rise_[s] = it->slew_rise;
+    slew_fall_[s] = it->slew_fall;
+  }
+}
+
+double TimingState::circuit_delay_ps() const {
+  double worst = 0.0;
+  for (int s : netlist_->observe_points()) {
+    worst = std::max({worst, at_rise_[static_cast<std::size_t>(s)],
+                      at_fall_[static_cast<std::size_t>(s)]});
+  }
+  return worst;
+}
+
+TimingState::Critical TimingState::critical_output() const {
+  Critical crit;
+  for (int s : netlist_->observe_points()) {
+    const double r = at_rise_[static_cast<std::size_t>(s)];
+    const double f = at_fall_[static_cast<std::size_t>(s)];
+    if (r > crit.arrival_ps) crit = {s, true, r};
+    if (f > crit.arrival_ps) crit = {s, false, f};
+  }
+  return crit;
+}
+
+std::vector<int> TimingState::critical_path(const sim::CircuitConfig& config) const {
+  std::vector<int> path;
+  Critical point = critical_output();
+  while (point.signal >= 0 && netlist_->driver(point.signal) >= 0) {
+    const int gate = netlist_->driver(point.signal);
+    path.push_back(gate);
+
+    // Find the fanin pin whose arrival + delay realizes this output edge.
+    const netlist::Gate& g = netlist_->gate(gate);
+    const sim::GateConfig& gc = config[static_cast<std::size_t>(gate)];
+    const liberty::LibCellVariant& variant = netlist_->cell_of(gate).variant(gc.variant);
+    const double out_load = load_ff_[static_cast<std::size_t>(g.output)];
+    double best = -1e300;
+    int best_sig = -1;
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      const int in_sig = g.fanins[pin];
+      const int phys = gc.mapping.logical_to_physical.empty()
+                           ? static_cast<int>(pin)
+                           : gc.mapping.logical_to_physical[pin];
+      const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
+      double cand;
+      if (point.rising) {
+        cand = at_fall_[static_cast<std::size_t>(in_sig)] +
+               timing.delay_rise.lookup(slew_fall_[static_cast<std::size_t>(in_sig)],
+                                        out_load);
+      } else {
+        cand = at_rise_[static_cast<std::size_t>(in_sig)] +
+               timing.delay_fall.lookup(slew_rise_[static_cast<std::size_t>(in_sig)],
+                                        out_load);
+      }
+      if (cand > best) {
+        best = cand;
+        best_sig = in_sig;
+      }
+    }
+    point.signal = best_sig;
+    point.rising = !point.rising;  // inverting stage
+    point.arrival_ps = best;
+  }
+  return path;
+}
+
+DelayBudget compute_delay_budget(const netlist::Netlist& netlist) {
+  DelayBudget budget;
+  TimingState timing(netlist);
+  const sim::CircuitConfig fast = sim::fastest_config(netlist);
+  budget.fast_delay_ps = timing.analyze(fast);
+
+  // The paper's 100% reference replaces *every* device with its high-Vt,
+  // thick-oxide counterpart -- a cell that deliberately is not part of the
+  // swap library. Model it by scaling every stage's drive resistance by the
+  // combined corner factor.
+  const model::TechParams& tech = netlist.library().tech();
+  const double scale =
+      model::resistance_factor(tech, model::VtClass::kHigh, model::ToxClass::kThick);
+
+  TimingState slow(netlist);
+  budget.slow_delay_ps = slow.analyze(fast, scale);
+  return budget;
+}
+
+}  // namespace svtox::sta

@@ -1,0 +1,105 @@
+// Block-based static timing analysis over the characterized library.
+//
+// All cells in the library are inverting (INV/NAND/NOR/AOI/OAI), so output
+// rise is driven by input fall and vice versa. Arrival times and slews
+// propagate in topological order through bilinear NLDM lookups; loads come
+// from fanout pin capacitances plus wire estimates and are
+// variant-independent (Vt/Tox swaps keep the cell footprint, paper Sec. 4).
+//
+// The optimizer leans on `update_after_gate_change`: an incremental forward
+// re-propagation from a single swapped gate with an undo log, which is the
+// paper's "incremental computation of the delay ... as the search traverses
+// through the gate tree".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/leakage_eval.hpp"
+
+namespace svtox::sta {
+
+/// Undo log of one incremental update; pass back to revert().
+struct TimingUndo {
+  struct Entry {
+    int signal;
+    double at_rise, at_fall, slew_rise, slew_fall;
+  };
+  std::vector<Entry> entries;
+  bool empty() const { return entries.empty(); }
+};
+
+/// Mutable timing state of one netlist under a circuit configuration.
+class TimingState {
+ public:
+  explicit TimingState(const netlist::Netlist& netlist);
+
+  /// Full (from-scratch) analysis under `config`. Returns circuit delay
+  /// [ps]. `delay_scale` multiplies every stage delay and slew; it models
+  /// uniform corner shifts (used for the all-slow budget endpoint).
+  double analyze(const sim::CircuitConfig& config, double delay_scale = 1.0);
+
+  /// Re-propagates timing after `gate`'s configuration changed, touching
+  /// only the affected cone. Appends previous values of every modified
+  /// signal to `undo` (if non-null). Returns the new circuit delay [ps].
+  double update_after_gate_change(const sim::CircuitConfig& config, int gate,
+                                  TimingUndo* undo);
+
+  /// Restores the state recorded in `undo` (entries are replayed in
+  /// reverse). The caller must revert in LIFO order w.r.t. updates.
+  void revert(const TimingUndo& undo);
+
+  /// Worst arrival over all primary outputs [ps].
+  double circuit_delay_ps() const;
+
+  double arrival_rise_ps(int signal) const { return at_rise_.at(signal); }
+  double arrival_fall_ps(int signal) const { return at_fall_.at(signal); }
+  double slew_rise_ps(int signal) const { return slew_rise_.at(signal); }
+  double slew_fall_ps(int signal) const { return slew_fall_.at(signal); }
+
+  /// Signal load used by the analysis [fF].
+  double load_ff(int signal) const { return load_ff_.at(signal); }
+
+  /// The most critical primary-output signal and its arrival.
+  struct Critical {
+    int signal = -1;
+    bool rising = false;
+    double arrival_ps = 0.0;
+  };
+  Critical critical_output() const;
+
+  /// Gate indices on the critical path, output-first (derived by
+  /// backtracking winning arrival edges).
+  std::vector<int> critical_path(const sim::CircuitConfig& config) const;
+
+ private:
+  /// Recomputes `gate`'s output timing; returns true if anything changed.
+  bool recompute_gate(const sim::CircuitConfig& config, int gate, TimingUndo* undo);
+
+  const netlist::Netlist* netlist_;
+  std::vector<double> at_rise_, at_fall_, slew_rise_, slew_fall_;  // per signal
+  std::vector<double> load_ff_;                                    // per signal
+  std::vector<int> topo_rank_;                                     // per gate
+};
+
+/// Delay budget arithmetic (paper Sec. 6): penalties are a percentage of
+/// the spread between the all-fast delay and the all-slow delay.
+struct DelayBudget {
+  double fast_delay_ps = 0.0;  ///< All low-Vt / thin-Tox circuit delay.
+  double slow_delay_ps = 0.0;  ///< All high-Vt / thick-Tox circuit delay.
+
+  /// The delay constraint for a penalty fraction p in [0, 1]:
+  /// fast + p * (slow - fast).
+  double constraint_ps(double penalty_fraction) const {
+    return fast_delay_ps + penalty_fraction * (slow_delay_ps - fast_delay_ps);
+  }
+};
+
+/// Computes the budget endpoints for a netlist: the all-fast delay, and the
+/// delay with every gate at an all-devices-slow assignment (built as a
+/// temporary worst-case configuration over the library's variants by
+/// scaling each gate's slowest available version).
+DelayBudget compute_delay_budget(const netlist::Netlist& netlist);
+
+}  // namespace svtox::sta

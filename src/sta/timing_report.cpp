@@ -1,0 +1,138 @@
+#include "sta/timing_report.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace svtox::sta {
+
+SlackAnalysis::SlackAnalysis(const netlist::Netlist& netlist,
+                             const sim::CircuitConfig& config, double required_ps)
+    : netlist_(&netlist) {
+  TimingState timing(netlist);
+  timing.analyze(config);
+
+  const int n = netlist.num_signals();
+  arrival_rise_.resize(n);
+  arrival_fall_.resize(n);
+  for (int s = 0; s < n; ++s) {
+    arrival_rise_[static_cast<std::size_t>(s)] = timing.arrival_rise_ps(s);
+    arrival_fall_[static_cast<std::size_t>(s)] = timing.arrival_fall_ps(s);
+  }
+
+  // Backward required-time propagation: POs are required at required_ps;
+  // a fanin's required time is the tightest sink requirement minus the
+  // stage delay through that sink (inverting cells: rise feeds fall and
+  // vice versa). Stage delays reuse the forward pass's slews.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  required_rise_.assign(n, kInf);
+  required_fall_.assign(n, kInf);
+  for (int s : netlist.observe_points()) {
+    required_rise_[static_cast<std::size_t>(s)] = required_ps;
+    required_fall_[static_cast<std::size_t>(s)] = required_ps;
+  }
+  const std::vector<int>& order = netlist.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int g = *it;
+    const netlist::Gate& gate = netlist.gate(g);
+    const sim::GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const liberty::LibCellVariant& variant = netlist.cell_of(g).variant(gc.variant);
+    const double out_load = netlist.signal_load_ff(gate.output);
+    const double req_rise = required_rise_[static_cast<std::size_t>(gate.output)];
+    const double req_fall = required_fall_[static_cast<std::size_t>(gate.output)];
+
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const int in_sig = gate.fanins[pin];
+      const int phys = gc.mapping.logical_to_physical.empty()
+                           ? static_cast<int>(pin)
+                           : gc.mapping.logical_to_physical[pin];
+      const liberty::PinTiming& t = variant.pins.at(static_cast<std::size_t>(phys));
+      const double slew_fall_in = timing.slew_fall_ps(in_sig);
+      const double slew_rise_in = timing.slew_rise_ps(in_sig);
+      // Input fall constrains through the output-rise arc.
+      required_fall_[static_cast<std::size_t>(in_sig)] =
+          std::min(required_fall_[static_cast<std::size_t>(in_sig)],
+                   req_rise - t.delay_rise.lookup(slew_fall_in, out_load));
+      // Input rise constrains through the output-fall arc.
+      required_rise_[static_cast<std::size_t>(in_sig)] =
+          std::min(required_rise_[static_cast<std::size_t>(in_sig)],
+                   req_fall - t.delay_fall.lookup(slew_rise_in, out_load));
+    }
+  }
+  // Signals with no timed sinks (unloaded, non-PO) keep infinite required
+  // time; clamp to the PO requirement for sane reporting.
+  for (int s = 0; s < n; ++s) {
+    if (required_rise_[static_cast<std::size_t>(s)] == kInf) {
+      required_rise_[static_cast<std::size_t>(s)] = required_ps;
+    }
+    if (required_fall_[static_cast<std::size_t>(s)] == kInf) {
+      required_fall_[static_cast<std::size_t>(s)] = required_ps;
+    }
+  }
+}
+
+double SlackAnalysis::slack_ps(int signal) const {
+  return std::min(slack_rise_ps(signal), slack_fall_ps(signal));
+}
+
+double SlackAnalysis::worst_slack_ps() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < netlist_->num_signals(); ++s) worst = std::min(worst, slack_ps(s));
+  return worst;
+}
+
+std::vector<int> SlackAnalysis::most_critical(int n) const {
+  std::vector<int> signals(static_cast<std::size_t>(netlist_->num_signals()));
+  std::iota(signals.begin(), signals.end(), 0);
+  std::stable_sort(signals.begin(), signals.end(),
+                   [&](int a, int b) { return slack_ps(a) < slack_ps(b); });
+  if (static_cast<int>(signals.size()) > n) signals.resize(static_cast<std::size_t>(n));
+  return signals;
+}
+
+std::vector<int> SlackAnalysis::histogram(int bins) const {
+  if (bins < 1) throw ContractError("SlackAnalysis::histogram: bins must be >= 1");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (int s = 0; s < netlist_->num_signals(); ++s) {
+    lo = std::min(lo, slack_ps(s));
+    hi = std::max(hi, slack_ps(s));
+  }
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  const double width = hi > lo ? (hi - lo) / bins : 1.0;
+  for (int s = 0; s < netlist_->num_signals(); ++s) {
+    int bucket = static_cast<int>((slack_ps(s) - lo) / width);
+    bucket = std::clamp(bucket, 0, bins - 1);
+    ++counts[static_cast<std::size_t>(bucket)];
+  }
+  return counts;
+}
+
+std::string render_worst_path(const netlist::Netlist& netlist,
+                              const sim::CircuitConfig& config) {
+  TimingState timing(netlist);
+  timing.analyze(config);
+  const std::vector<int> path = timing.critical_path(config);
+
+  std::ostringstream out;
+  out << "worst path (" << netlist.name() << "), arrival "
+      << format_double(timing.circuit_delay_ps(), 1) << " ps:\n";
+  // Path is output-first; print input-first like a classic report.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    const int g = *it;
+    const netlist::Gate& gate = netlist.gate(g);
+    const sim::GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const double arrival = std::max(timing.arrival_rise_ps(gate.output),
+                                    timing.arrival_fall_ps(gate.output));
+    out << "  " << gate.name << " (" << netlist.cell_of(g).variant(gc.variant).name
+        << ") -> " << netlist.signal_name(gate.output) << "  @ "
+        << format_double(arrival, 1) << " ps\n";
+  }
+  return out.str();
+}
+
+}  // namespace svtox::sta

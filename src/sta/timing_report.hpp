@@ -1,0 +1,49 @@
+// Timing reporting on top of TimingState: required times, slacks, worst
+// paths, and a human-readable report -- what a designer would inspect after
+// accepting a standby solution's delay cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace svtox::sta {
+
+/// Per-signal slack analysis against a required time at every primary
+/// output. Required times propagate backwards through the same NLDM arcs
+/// the arrivals used.
+class SlackAnalysis {
+ public:
+  /// Computes slacks for `netlist` under `config` with all primary outputs
+  /// required at `required_ps`.
+  SlackAnalysis(const netlist::Netlist& netlist, const sim::CircuitConfig& config,
+                double required_ps);
+
+  /// Worst slack over both edges of a signal [ps]; negative = violating.
+  double slack_ps(int signal) const;
+  double slack_rise_ps(int signal) const { return required_rise_.at(signal) - arrival_rise_.at(signal); }
+  double slack_fall_ps(int signal) const { return required_fall_.at(signal) - arrival_fall_.at(signal); }
+
+  /// Worst slack anywhere in the design.
+  double worst_slack_ps() const;
+
+  /// Signals sorted by ascending slack (most critical first), at most `n`.
+  std::vector<int> most_critical(int n) const;
+
+  /// Histogram of signal slacks in `bins` equal-width buckets across the
+  /// observed slack range; returns bucket counts (for quick texture checks).
+  std::vector<int> histogram(int bins) const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  std::vector<double> arrival_rise_, arrival_fall_;
+  std::vector<double> required_rise_, required_fall_;
+};
+
+/// One line per stage of the worst path: gate, cell version, per-stage
+/// arrival. Rendered as a classic timing-report block.
+std::string render_worst_path(const netlist::Netlist& netlist,
+                              const sim::CircuitConfig& config);
+
+}  // namespace svtox::sta

@@ -1,0 +1,37 @@
+// Error types shared across the svtox libraries.
+//
+// The library follows a simple policy: constructor/loader failures and
+// API-contract violations throw; hot-path algorithmic code communicates
+// through return values and never throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace svtox {
+
+/// Thrown when an input artifact (netlist, library file, configuration)
+/// cannot be parsed or violates a structural invariant.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + what),
+        file_(file),
+        line_(line) {}
+
+  const std::string& file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// Thrown when an API precondition is violated (unknown cell name, pin index
+/// out of range, netlist/library mismatch, ...).
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace svtox

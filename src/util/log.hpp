@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr.
+//
+// The optimizer is a batch tool; logging exists for progress visibility in
+// the bench harnesses and is off by default in tests.
+#pragma once
+
+#include <string>
+
+namespace svtox {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace svtox

@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+namespace svtox {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& word : s_) word = splitmix64(seed);
+  // A state of all zeros would be a fixed point; splitmix64 cannot produce
+  // four zero outputs in a row, but guard anyway for safety.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Debiased modulo: rejection sampling on the top range. bound is expected
+  // to be small relative to 2^64 in this codebase, so rejection is rare.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 high bits into the mantissa range [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<bool> Rng::next_bits(std::size_t n) {
+  std::vector<bool> bits(n);
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 64 == 0) word = next_u64();
+    bits[i] = (word >> (i % 64)) & 1u;
+  }
+  return bits;
+}
+
+Rng Rng::split() {
+  return Rng(next_u64());
+}
+
+}  // namespace svtox

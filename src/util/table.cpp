@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace svtox {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() > header_.size()) {
+    throw ContractError("AsciiTable: row wider than header");
+  }
+  if (!header_.empty()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string AsciiTable::render() const {
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size()) : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end()) rule();
+    emit(rows_[r]);
+  }
+  rule();
+  return out.str();
+}
+
+std::string AsciiTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace svtox

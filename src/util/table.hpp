@@ -1,0 +1,38 @@
+// ASCII table rendering for the paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svtox {
+
+/// Column-aligned ASCII table builder. Used by the bench harnesses to print
+/// rows in the same layout as the paper's Tables 1-5.
+class AsciiTable {
+ public:
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count (short rows are
+  /// padded with empty cells).
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Renders the table with column-width alignment.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders all rows as CSV (header first). Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+}  // namespace svtox

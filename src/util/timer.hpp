@@ -1,0 +1,45 @@
+// Monotonic wall-clock timing for heuristic time limits and runtime columns.
+#pragma once
+
+#include <chrono>
+
+namespace svtox {
+
+/// Stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline used by the time-limited heuristic (Heu2).
+class Deadline {
+ public:
+  /// A deadline `budget_seconds` from now. Non-positive budgets expire
+  /// immediately.
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const { return timer_.seconds() >= budget_; }
+  double remaining() const { return budget_ - timer_.seconds(); }
+  double budget() const { return budget_; }
+
+ private:
+  Timer timer_;
+  double budget_;
+};
+
+}  // namespace svtox

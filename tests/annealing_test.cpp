@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "opt/annealing.hpp"
+#include "opt/state_search.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::opt {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+AnnealingOptions quick(std::uint64_t seed) {
+  AnnealingOptions options;
+  options.time_limit_s = 0.2;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Annealing, RespectsDelayConstraint) {
+  const auto n = netlist::random_circuit(lib(), "sa1", 10, 80, 71);
+  for (double penalty : {0.0, 0.05, 0.25}) {
+    const AssignmentProblem problem(n, penalty);
+    const Solution sol = simulated_annealing(problem, quick(1));
+    EXPECT_LE(sol.delay_ps, problem.constraint_ps() + 1e-3) << penalty;
+  }
+}
+
+TEST(Annealing, DeterministicInSeed) {
+  const auto n = netlist::random_circuit(lib(), "sa2", 10, 60, 72);
+  const AssignmentProblem problem(n, 0.05);
+  AnnealingOptions options = quick(9);
+  // Fixed move budget instead of wall clock for exact reproducibility is
+  // not exposed; compare best sleep vectors across two runs with the same
+  // seed and a generous budget -- the walk itself is deterministic, only
+  // the stopping point varies, so leakage can only match or improve.
+  const Solution a = simulated_annealing(problem, options);
+  const Solution b = simulated_annealing(problem, options);
+  EXPECT_NEAR(a.leakage_na, b.leakage_na, 0.05 * a.leakage_na);
+}
+
+TEST(Annealing, BeatsTypicalRandomState) {
+  const auto n = netlist::random_circuit(lib(), "sa3", 12, 100, 73);
+  const AssignmentProblem problem(n, 0.05);
+  const Solution sa = simulated_annealing(problem, quick(3));
+
+  // Average leakage of greedy-assigned random vectors.
+  Rng rng(73);
+  double sum = 0.0;
+  constexpr int kProbes = 5;
+  for (int i = 0; i < kProbes; ++i) {
+    std::vector<bool> v(static_cast<std::size_t>(n.num_inputs()));
+    for (std::size_t j = 0; j < v.size(); ++j) v[j] = rng.next_bool();
+    sum += assign_gates_greedy(problem, v).leakage_na;
+  }
+  EXPECT_LT(sa.leakage_na, sum / kProbes * 1.05);
+}
+
+TEST(Annealing, ComparableToHeu1) {
+  // Neither dominates in general; on these circuits SA must land within
+  // 2x of Heu1 (and often beats it on flat-bound circuits).
+  for (std::uint64_t seed : {74ULL, 75ULL}) {
+    const auto n = netlist::random_circuit(lib(), "sa4", 10, 80, seed);
+    const AssignmentProblem problem(n, 0.05);
+    const Solution sa = simulated_annealing(problem, quick(seed));
+    const Solution h1 = heuristic1(problem);
+    EXPECT_LT(sa.leakage_na, 2.0 * h1.leakage_na) << seed;
+  }
+}
+
+TEST(Annealing, ExactStillLowerBoundsOnTinyCircuit) {
+  const auto n = netlist::random_circuit(lib(), "sa5", 5, 12, 76);
+  const AssignmentProblem problem(n, 0.10);
+  SearchOptions exact_options;
+  exact_options.time_limit_s = 20.0;
+  const Solution exact = exact_search(problem, exact_options);
+  const Solution sa = simulated_annealing(problem, quick(5));
+  EXPECT_LE(exact.leakage_na, sa.leakage_na + 1e-9);
+}
+
+TEST(Annealing, CountsMoves) {
+  const auto n = netlist::random_circuit(lib(), "sa6", 8, 40, 77);
+  const AssignmentProblem problem(n, 0.05);
+  const Solution sol = simulated_annealing(problem, quick(6));
+  EXPECT_GT(sol.states_explored, 100u);  // thousands of cheap moves in 0.2s
+}
+
+}  // namespace
+}  // namespace svtox::opt

@@ -1,0 +1,139 @@
+// Area-model tests, anchored to the paper's Sec. 4 / Table 5 discussion:
+// per-transistor Vt control inside a stack costs spacing area; Tox rules
+// are more severe; uniform-stack control trades leakage for area.
+#include <gtest/gtest.h>
+
+#include "cellkit/area.hpp"
+#include "cellkit/variants.hpp"
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
+#include "sim/leakage_eval.hpp"
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+TEST(Area, UniformAssignmentHasNoBoundaryPenalty) {
+  const CellTopology nand3 = make_standard_cell("NAND3", tech());
+  const CellAssignment nominal = nominal_assignment(nand3);
+  const BoundaryCount count = count_boundaries(nand3, nominal);
+  EXPECT_EQ(count.vt, 0);
+  EXPECT_EQ(count.tox, 0);
+  double width_sum = 0.0;
+  for (const Device& dev : nand3.devices()) width_sum += dev.width;
+  EXPECT_DOUBLE_EQ(cell_area(nand3, AreaRules{}, nominal), width_sum);
+}
+
+TEST(Area, MixedVtInStackCostsSpacing) {
+  // NAND2 state-00 min-leak: one NMOS at high-Vt creates one Vt boundary
+  // in the 2-stack.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  CellAssignment assign = nominal_assignment(nand2);
+  assign[1].vt = model::VtClass::kHigh;
+  const BoundaryCount count = count_boundaries(nand2, assign);
+  EXPECT_EQ(count.vt, 1);
+  EXPECT_EQ(count.tox, 0);
+  const AreaRules rules;
+  EXPECT_DOUBLE_EQ(cell_area(nand2, rules, assign),
+                   cell_area(nand2, rules, nominal_assignment(nand2)) +
+                       rules.vt_boundary_area);
+}
+
+TEST(Area, ParallelDevicesCarryNoBoundary) {
+  // NAND2 PMOS are parallel: mixed Vt there is free in this model.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  CellAssignment assign = nominal_assignment(nand2);
+  assign[2].vt = model::VtClass::kHigh;  // one PMOS only
+  EXPECT_EQ(count_boundaries(nand2, assign).vt, 0);
+}
+
+TEST(Area, ToxRuleMoreSevereThanVt) {
+  const AreaRules rules;
+  EXPECT_GT(rules.tox_boundary_area, rules.vt_boundary_area);
+}
+
+TEST(Area, UniformStackVersionsNeverLargerThanIndividual) {
+  // The paper's Table 5 trade-off: for every cell and state, the uniform-
+  // stack min-leak version occupies at most the area of the individual-
+  // control version (boundaries are removed, widths unchanged).
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    VariantOptions individual;
+    VariantOptions uniform;
+    uniform.uniform_stack = true;
+    const CellVersionSet vi = generate_versions(topo, tech(), individual);
+    const CellVersionSet vu = generate_versions(topo, tech(), uniform);
+    const AreaRules rules;
+    for (const StateTradeoffs& st : vi.all_tradeoffs()) {
+      const auto& a_ind = vi.versions()[st.version_index[3]].assignment;
+      const auto& a_uni =
+          vu.versions()[vu.tradeoffs(st.canonical_state).version_index[3]].assignment;
+      EXPECT_LE(cell_area(topo, rules, a_uni), cell_area(topo, rules, a_ind) + 1e-12)
+          << name << " state " << st.canonical_state;
+    }
+  }
+}
+
+TEST(Area, NestedSeriesChainsCounted) {
+  // AOI21 pull-down: series(a,b) -- one potential boundary; c is parallel.
+  const CellTopology aoi = make_standard_cell("AOI21", tech());
+  CellAssignment assign = nominal_assignment(aoi);
+  assign[0].vt = model::VtClass::kHigh;  // NMOS a
+  EXPECT_EQ(count_boundaries(aoi, assign).vt, 1);
+  assign[1].vt = model::VtClass::kHigh;  // NMOS b too -> uniform again
+  EXPECT_EQ(count_boundaries(aoi, assign).vt, 0);
+}
+
+TEST(Area, AssignmentSizeMismatchThrows) {
+  const CellTopology inv = make_standard_cell("INV", tech());
+  EXPECT_THROW(count_boundaries(inv, CellAssignment{}), ContractError);
+}
+
+TEST(Area, LibraryVariantsCarryArea) {
+  const liberty::Library lib = liberty::Library::build(tech(), {});
+  for (const auto& cell : lib.cells()) {
+    for (const auto& variant : cell.variants()) {
+      EXPECT_GT(variant.area, 0.0) << variant.name;
+    }
+  }
+}
+
+TEST(Area, CircuitAreaGrowsWithMixedAssignments) {
+  const liberty::Library lib = liberty::Library::build(tech(), {});
+  const auto circuit = netlist::random_circuit(lib, "area_r", 10, 80, 4);
+  const double fast_area = sim::circuit_area(circuit, sim::fastest_config(circuit));
+  EXPECT_GT(fast_area, 0.0);
+
+  const opt::AssignmentProblem problem(circuit, 0.25);
+  const auto sol = opt::heuristic1(problem);
+  const double opt_area = sim::circuit_area(circuit, sol.config);
+  EXPECT_GE(opt_area, fast_area);            // spacing penalties only add
+  EXPECT_LT(opt_area, 1.25 * fast_area);     // and stay a mild overhead
+}
+
+TEST(Area, UniformLibraryReducesCircuitAreaOverhead) {
+  // The full Table 5 trade-off at circuit level: uniform-stack solutions
+  // leak slightly more (tested elsewhere) but cost less area overhead.
+  liberty::LibraryOptions uniform_options;
+  uniform_options.variant_options.uniform_stack = true;
+  const liberty::Library individual = liberty::Library::build(tech(), {});
+  const liberty::Library uniform = liberty::Library::build(tech(), uniform_options);
+
+  const auto circuit = netlist::random_circuit(individual, "area_u", 12, 120, 8);
+  const auto uniform_circuit = netlist::rebind(circuit, uniform);
+
+  const opt::AssignmentProblem pi(circuit, 0.25);
+  const opt::AssignmentProblem pu(uniform_circuit, 0.25);
+  const auto si = opt::heuristic1(pi);
+  const auto su = opt::heuristic1(pu);
+
+  const double base = sim::circuit_area(circuit, sim::fastest_config(circuit));
+  const double overhead_i = sim::circuit_area(circuit, si.config) - base;
+  const double overhead_u = sim::circuit_area(uniform_circuit, su.config) - base;
+  EXPECT_LE(overhead_u, overhead_i + 1e-9);
+}
+
+}  // namespace
+}  // namespace svtox::cellkit

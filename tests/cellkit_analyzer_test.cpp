@@ -1,0 +1,277 @@
+// Electrical-classification tests: these encode the paper's Figure 1-3
+// reasoning about which transistors leak in which input states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/state.hpp"
+#include "cellkit/topology.hpp"
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+// Device indices for NAND2: 0 = NMOS pin0 (top), 1 = NMOS pin1 (bottom),
+// 2 = PMOS pin0, 3 = PMOS pin1.
+class Nand2Analyzer : public ::testing::Test {
+ protected:
+  CellTopology topo_ = make_standard_cell("NAND2", tech());
+};
+
+TEST_F(Nand2Analyzer, State11BothNmosTunnelFully) {
+  // Paper Fig. 3(b): at 11 both NMOS conduct with full gate bias and both
+  // PMOS block with full drain bias.
+  const CellStateAnalysis a = classify(topo_, 0b11);
+  EXPECT_FALSE(a.output);
+  EXPECT_TRUE(a.devices[0].on);
+  EXPECT_TRUE(a.devices[1].on);
+  EXPECT_EQ(a.devices[0].gate_bias, model::GateBias::kFullChannel);
+  EXPECT_EQ(a.devices[1].gate_bias, model::GateBias::kFullChannel);
+  EXPECT_FALSE(a.devices[2].on);
+  EXPECT_FALSE(a.devices[3].on);
+  EXPECT_EQ(a.devices[2].sub_bias, model::SubthresholdBias::kFullVds);
+  EXPECT_EQ(a.devices[3].sub_bias, model::SubthresholdBias::kFullVds);
+}
+
+TEST_F(Nand2Analyzer, State10TopNmosSeesReducedBias) {
+  // Paper Fig. 3(f): with the ON transistor above the OFF one, its source
+  // floats to ~Vdd - Vt and tunneling is negligible.
+  const CellStateAnalysis a = classify(topo_, 0b01);  // pin0=1 (top ON), pin1=0
+  EXPECT_TRUE(a.output);
+  EXPECT_TRUE(a.devices[0].on);
+  EXPECT_EQ(a.devices[0].gate_bias, model::GateBias::kReducedChannel);
+  EXPECT_FALSE(a.devices[1].on);
+  EXPECT_EQ(a.devices[1].sub_bias, model::SubthresholdBias::kFullVds);
+}
+
+TEST_F(Nand2Analyzer, State01BottomNmosTunnelsFully) {
+  // Paper Fig. 2(d): before pin reordering, an ON transistor at the bottom
+  // of the stack sees the full gate bias.
+  const CellStateAnalysis a = classify(topo_, 0b10);  // pin0=0, pin1=1 (bottom ON)
+  EXPECT_TRUE(a.devices[1].on);
+  EXPECT_EQ(a.devices[1].gate_bias, model::GateBias::kFullChannel);
+  EXPECT_FALSE(a.devices[0].on);
+}
+
+TEST_F(Nand2Analyzer, State00TopNmosHasReverseOverlapTunneling) {
+  // With the output high, only the topmost OFF NMOS touches a Vdd node and
+  // exhibits the (small) reverse overlap tunneling.
+  const CellStateAnalysis a = classify(topo_, 0b00);
+  EXPECT_EQ(a.devices[0].gate_bias, model::GateBias::kReverseOverlap);
+  EXPECT_EQ(a.devices[1].gate_bias, model::GateBias::kNone);
+}
+
+TEST_F(Nand2Analyzer, ConductingNetworkOffDevicesHaveCollapsedVds) {
+  // At 10, the pull-up conducts through pin1's PMOS; pin0's OFF PMOS has
+  // both terminals at Vdd.
+  const CellStateAnalysis a = classify(topo_, 0b01);
+  EXPECT_FALSE(a.devices[2].on);
+  EXPECT_TRUE(a.devices[2].in_conducting_network);
+  EXPECT_EQ(a.devices[2].sub_bias, model::SubthresholdBias::kZeroVds);
+}
+
+TEST(NorAnalyzer, State01MatchesPaperFigure2a) {
+  // Paper Fig. 2(a): NOR2 at state 01 -- only the OFF PMOS needs high-Vt and
+  // only the ON NMOS tunnels. Our pin convention: canonical state has the 1
+  // on pin 0. Devices: 0/1 = NMOS pins 0/1, 2/3 = PMOS pins 0/1 (PMOS 0
+  // adjacent to the output).
+  const CellTopology nor2 = make_standard_cell("NOR2", tech());
+  const CellStateAnalysis a = classify(nor2, 0b01);
+  EXPECT_FALSE(a.output);
+  // ON NMOS tunnels at full bias; OFF NMOS carries no current (Vds = 0).
+  EXPECT_TRUE(a.devices[0].on);
+  EXPECT_EQ(a.devices[0].gate_bias, model::GateBias::kFullChannel);
+  EXPECT_FALSE(a.devices[1].on);
+  EXPECT_EQ(a.devices[1].sub_bias, model::SubthresholdBias::kZeroVds);
+  // PMOS pin0 blocks with full Vds; PMOS pin1 is ON.
+  EXPECT_FALSE(a.devices[2].on);
+  EXPECT_EQ(a.devices[2].sub_bias, model::SubthresholdBias::kFullVds);
+  EXPECT_TRUE(a.devices[3].on);
+}
+
+TEST(LeakyDevices, Nand2State11NeedsAllFour) {
+  // Paper Fig. 3(b): both NMOS -> thick oxide, both PMOS -> high-Vt.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const LeakyDevices leaky = find_leaky_devices(nand2, tech(), 0b11);
+  EXPECT_EQ(leaky.tox_targets, (std::vector<int>{0, 1}));
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{2, 3}));
+}
+
+TEST(LeakyDevices, Nand2State00NeedsOneHighVt) {
+  // Paper Fig. 3(e): a single high-Vt transistor suppresses the whole stack;
+  // the shared position is the bottom device (also needed by state 10).
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const LeakyDevices leaky = find_leaky_devices(nand2, tech(), 0b00);
+  EXPECT_TRUE(leaky.tox_targets.empty());
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{1}));
+}
+
+TEST(LeakyDevices, Nand2State10SharesBottomDevice) {
+  // Paper Fig. 3(f): state 10 needs exactly the bottom NMOS at high-Vt.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const LeakyDevices leaky = find_leaky_devices(nand2, tech(), 0b01);
+  EXPECT_TRUE(leaky.tox_targets.empty());
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{1}));
+}
+
+TEST(LeakyDevices, Nor2State11PicksSharedStackPosition) {
+  // Both NMOS tunnel (parallel, both at full bias); a single PMOS in the
+  // series stack suppresses Isub. Under the zeros-first NOR
+  // canonicalization OFF PMOS devices fill the stack from its last
+  // position, so the rail-side device (index 3) is the one shared across
+  // states (paper Table 2's NOR sharing).
+  const CellTopology nor2 = make_standard_cell("NOR2", tech());
+  const LeakyDevices leaky = find_leaky_devices(nor2, tech(), 0b11);
+  EXPECT_EQ(leaky.tox_targets, (std::vector<int>{0, 1}));
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{3}));
+}
+
+TEST(LeakyDevices, PmosIgateIgnoredUnderSiO2) {
+  // INV at 0: the ON PMOS tunnels but an order of magnitude below NMOS, so
+  // no thick-oxide assignment is made (paper Sec. 4, Fig. 3 discussion).
+  const CellTopology inv = make_standard_cell("INV", tech());
+  const LeakyDevices leaky = find_leaky_devices(inv, tech(), 0b0);
+  EXPECT_TRUE(leaky.tox_targets.empty());
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{0}));
+}
+
+TEST(CellLeakage, Nand2State11MatchesCalibration) {
+  // Hand-computed from the nominal TechParams: 2 NMOS (w=1.5) full-channel
+  // tunneling + 2 PMOS (w=2) full-Vds subthreshold + PMOS reverse overlap.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const double wn = 1.0 + tech().stack_upsize_slope;
+  const auto leak = cell_leakage(nand2, tech(), 0b11, nominal_assignment(nand2));
+  EXPECT_NEAR(leak.igate_na, 2 * wn * tech().igate_n_thin, 1.0);
+  EXPECT_NEAR(leak.isub_na, 2 * 2.0 * tech().isub_p_low, 1.0);
+  // Paper Table 1 reports 270.4 nA for this cell state; the calibrated model
+  // must land in the same range.
+  EXPECT_NEAR(leak.total_na(), 270.4, 30.0);
+}
+
+TEST(CellLeakage, Nand2State10MatchesCalibration) {
+  // One full-Vds NMOS (w=2) dominates; paper Table 1 reports 91.8 nA.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const auto leak = cell_leakage(nand2, tech(), 0b01, nominal_assignment(nand2));
+  EXPECT_NEAR(leak.total_na(), 91.8, 15.0);
+}
+
+TEST(CellLeakage, Nand2State00ShowsStackEffect) {
+  // Two stacked OFF NMOS leak at the calibrated 0.30 factor; paper Table 1
+  // reports 41.2 nA including the PMOS tunneling floor.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const auto leak = cell_leakage(nand2, tech(), 0b00, nominal_assignment(nand2));
+  EXPECT_NEAR(leak.total_na(), 41.2, 10.0);
+  // The stack leaks well below a single unstacked device.
+  const auto one_off = cell_leakage(nand2, tech(), 0b01, nominal_assignment(nand2));
+  EXPECT_LT(leak.isub_na, 0.5 * one_off.isub_na);
+}
+
+TEST(CellLeakage, MinLeakVersionsMatchPaperTable1) {
+  // Applying the minimum-leakage assignment at each state must reproduce the
+  // Table 1 reductions: 270.4 -> 19.5, 41.2 -> 14.0, 91.8 -> 13.3 (within
+  // model tolerance).
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  struct Case {
+    std::uint32_t state;
+    double paper_min_leak_na;
+    double tolerance;
+  };
+  for (const Case& c : {Case{0b11, 19.5, 8.0}, Case{0b00, 14.0, 6.0}, Case{0b01, 13.3, 8.0}}) {
+    const LeakyDevices leaky = find_leaky_devices(nand2, tech(), c.state);
+    CellAssignment assign = nominal_assignment(nand2);
+    for (int d : leaky.vt_targets) assign[d].vt = model::VtClass::kHigh;
+    for (int d : leaky.tox_targets) assign[d].tox = model::ToxClass::kThick;
+    const auto leak = cell_leakage(nand2, tech(), c.state, assign);
+    EXPECT_NEAR(leak.total_na(), c.paper_min_leak_na, c.tolerance)
+        << "state " << state_to_string(c.state, 2);
+  }
+}
+
+TEST(CellLeakage, HighVtNeverIncreasesLeakage) {
+  // Property: flipping any device to high-Vt / thick-Tox can only reduce
+  // total leakage, for every cell and state.
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      const double base =
+          cell_leakage(topo, tech(), state, nominal_assignment(topo)).total_na();
+      for (int d = 0; d < topo.num_devices(); ++d) {
+        CellAssignment assign = nominal_assignment(topo);
+        assign[d].vt = model::VtClass::kHigh;
+        EXPECT_LE(cell_leakage(topo, tech(), state, assign).total_na(), base + 1e-9)
+            << name << " state " << state << " device " << d << " (hvt)";
+        assign = nominal_assignment(topo);
+        assign[d].tox = model::ToxClass::kThick;
+        EXPECT_LE(cell_leakage(topo, tech(), state, assign).total_na(), base + 1e-9)
+            << name << " state " << state << " device " << d << " (thick)";
+      }
+    }
+  }
+}
+
+TEST(CellLeakage, MinLeakAssignmentNearlyAsGoodAsAllSlow) {
+  // The paper's key claim (Sec. 3): suppressing only the targeted subset
+  // reduces leakage "by nearly the same amount" as assigning every device
+  // both knobs. The targeted version deliberately leaves negligible
+  // contributors (PMOS tunneling, EDT) untouched, so we compare achieved
+  // reduction against the achievable reduction: per state it must recover
+  // most of it, and in aggregate (dominated by the high-leakage states)
+  // nearly all of it.
+  double base_sum = 0.0, targeted_sum = 0.0, slow_sum = 0.0;
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    // Deep-stack states are already near the leakage floor; the per-state
+    // bound is only meaningful where there is real leakage to suppress.
+    double max_base = 0.0;
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      max_base = std::max(
+          max_base,
+          cell_leakage(topo, tech(), state, nominal_assignment(topo)).total_na());
+    }
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      const LeakyDevices leaky = find_leaky_devices(topo, tech(), state);
+      CellAssignment targeted = nominal_assignment(topo);
+      for (int d : leaky.vt_targets) targeted[d].vt = model::VtClass::kHigh;
+      for (int d : leaky.tox_targets) targeted[d].tox = model::ToxClass::kThick;
+      CellAssignment all_slow(static_cast<std::size_t>(topo.num_devices()),
+                              DeviceAssign{model::VtClass::kHigh, model::ToxClass::kThick});
+      const double base =
+          cell_leakage(topo, tech(), state, nominal_assignment(topo)).total_na();
+      const double t = cell_leakage(topo, tech(), state, targeted).total_na();
+      const double s = cell_leakage(topo, tech(), state, all_slow).total_na();
+      base_sum += base;
+      targeted_sum += t;
+      slow_sum += s;
+      ASSERT_GT(base - s, 0.0) << name << " state " << state;
+      if (base > 0.25 * max_base) {
+        EXPECT_GE((base - t) / (base - s), 0.55) << name << " state " << state;
+      }
+    }
+  }
+  EXPECT_GE((base_sum - targeted_sum) / (base_sum - slow_sum), 0.85);
+}
+
+TEST(CellLeakage, GateFractionNearPaperCalibration) {
+  // Paper Sec. 2: gate leakage is ~36% of total at room temperature for the
+  // target process. Check the aggregate over all cells and states.
+  model::LeakageBreakdown total;
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      total += cell_leakage(topo, tech(), state, nominal_assignment(topo));
+    }
+  }
+  EXPECT_GT(total.igate_fraction(), 0.25);
+  EXPECT_LT(total.igate_fraction(), 0.47);
+}
+
+TEST(CellLeakage, AssignmentSizeMismatchThrows) {
+  const CellTopology inv = make_standard_cell("INV", tech());
+  EXPECT_THROW(cell_leakage(inv, tech(), 0, CellAssignment{}), svtox::ContractError);
+}
+
+}  // namespace
+}  // namespace svtox::cellkit

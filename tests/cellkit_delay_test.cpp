@@ -1,0 +1,141 @@
+// Delay-model tests, anchored to the paper's Table 1 normalized delays.
+#include <gtest/gtest.h>
+
+#include "cellkit/delay.hpp"
+#include "cellkit/topology.hpp"
+#include "cellkit/variants.hpp"
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+TEST(Delay, NominalFactorIsOne) {
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    const CellAssignment nominal = nominal_assignment(topo);
+    for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+      for (Edge edge : {Edge::kRise, Edge::kFall}) {
+        EXPECT_DOUBLE_EQ(delay_factor(topo, tech(), nominal, pin, edge), 1.0)
+            << name << " pin " << pin;
+      }
+    }
+  }
+}
+
+TEST(Delay, HighVtPmosSlowsRiseByPaperFactor) {
+  // Paper Table 1, state 11 min-leak: normalized rise delay 1.36/1.37.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  CellAssignment assign = nominal_assignment(nand2);
+  assign[2].vt = model::VtClass::kHigh;  // PMOS pin0
+  assign[3].vt = model::VtClass::kHigh;  // PMOS pin1
+  for (int pin : {0, 1}) {
+    EXPECT_NEAR(delay_factor(nand2, tech(), assign, pin, Edge::kRise), 1.36, 0.02);
+    EXPECT_DOUBLE_EQ(delay_factor(nand2, tech(), assign, pin, Edge::kFall), 1.0);
+  }
+}
+
+TEST(Delay, ThickOxideNmosSlowsFallByPaperFactor) {
+  // Paper Table 1, state 11 min-leak: normalized fall delay 1.27.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  CellAssignment assign = nominal_assignment(nand2);
+  assign[0].tox = model::ToxClass::kThick;
+  assign[1].tox = model::ToxClass::kThick;
+  for (int pin : {0, 1}) {
+    EXPECT_NEAR(delay_factor(nand2, tech(), assign, pin, Edge::kFall), 1.27, 0.02);
+    EXPECT_DOUBLE_EQ(delay_factor(nand2, tech(), assign, pin, Edge::kRise), 1.0);
+  }
+}
+
+TEST(Delay, SingleStackHighVtShowsPinAsymmetry) {
+  // Paper Table 1, state 00 min-leak (one NMOS at high-Vt): fall delays
+  // 1.12 (pin A) vs 1.16 (pin B) -- the pin driving the slowed device pays
+  // more. Our weighting reproduces the asymmetry direction and magnitude.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  CellAssignment assign = nominal_assignment(nand2);
+  assign[1].vt = model::VtClass::kHigh;  // bottom NMOS (pin 1)
+  const double fall_a = delay_factor(nand2, tech(), assign, 0, Edge::kFall);
+  const double fall_b = delay_factor(nand2, tech(), assign, 1, Edge::kFall);
+  EXPECT_LT(fall_a, fall_b);
+  EXPECT_NEAR(fall_a, 1.14, 0.06);
+  EXPECT_NEAR(fall_b, 1.19, 0.06);
+  // Rise path untouched.
+  EXPECT_DOUBLE_EQ(delay_factor(nand2, tech(), assign, 0, Edge::kRise), 1.0);
+}
+
+TEST(Delay, FactorsNeverBelowOneForSlowAssignments) {
+  // Any high-Vt / thick-Tox assignment can only slow a path down.
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    const CellVersionSet set =
+        generate_versions(topo, tech(), VariantOptions{});
+    for (const CellVersion& v : set.versions()) {
+      for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+        for (Edge edge : {Edge::kRise, Edge::kFall}) {
+          EXPECT_GE(delay_factor(topo, tech(), v.assignment, pin, edge), 1.0 - 1e-12)
+              << name << " " << v.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(Delay, AllSlowNearlyDoublesBothEdges) {
+  // Paper Sec. 6: all high-Vt + thick-Tox ~doubles circuit delay.
+  const CellTopology inv = make_standard_cell("INV", tech());
+  CellAssignment assign(static_cast<std::size_t>(inv.num_devices()),
+                        DeviceAssign{model::VtClass::kHigh, model::ToxClass::kThick});
+  for (Edge edge : {Edge::kRise, Edge::kFall}) {
+    const double f = delay_factor(inv, tech(), assign, 0, edge);
+    EXPECT_GT(f, 1.6);
+    EXPECT_LT(f, 2.1);
+  }
+}
+
+TEST(Delay, NominalDelayIncreasesWithLoad) {
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  double prev = 0.0;
+  for (double load : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double d = nominal_delay_ps(nand2, tech(), 0, Edge::kFall, 20.0, load);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Delay, NominalDelayIncreasesWithInputSlew) {
+  const CellTopology nor2 = make_standard_cell("NOR2", tech());
+  const double fast = nominal_delay_ps(nor2, tech(), 1, Edge::kRise, 10.0, 4.0);
+  const double slow = nominal_delay_ps(nor2, tech(), 1, Edge::kRise, 100.0, 4.0);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Delay, OutputSlewPositiveAndLoadMonotone) {
+  const CellTopology inv = make_standard_cell("INV", tech());
+  const double s1 = nominal_output_slew_ps(inv, tech(), 0, Edge::kRise, 20.0, 1.0);
+  const double s2 = nominal_output_slew_ps(inv, tech(), 0, Edge::kRise, 20.0, 8.0);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, s1);
+}
+
+TEST(Delay, SeriesStacksAreSlowerThanParallel) {
+  // A NAND2's rise (parallel PMOS) is faster than a NOR2's rise (stacked
+  // PMOS) at identical load, reflecting the classic NAND-preference.
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  const CellTopology nor2 = make_standard_cell("NOR2", tech());
+  const double nand_rise = nominal_delay_ps(nand2, tech(), 0, Edge::kRise, 20.0, 4.0);
+  const double nor_rise = nominal_delay_ps(nor2, tech(), 0, Edge::kRise, 20.0, 4.0);
+  EXPECT_LT(nand_rise, nor_rise);
+}
+
+TEST(Delay, BadPinThrows) {
+  const CellTopology inv = make_standard_cell("INV", tech());
+  EXPECT_THROW(
+      path_resistance_kohm(inv, tech(), nominal_assignment(inv), 1, Edge::kRise),
+      ContractError);
+  EXPECT_THROW(path_resistance_kohm(inv, tech(), CellAssignment{}, 0, Edge::kRise),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace svtox::cellkit

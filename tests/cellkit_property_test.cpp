@@ -1,0 +1,132 @@
+// Parameterized property sweeps over every cell archetype and every input
+// state: structural invariants the electrical classifier and the variant
+// generator must never violate, regardless of topology.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cellkit/analyzer.hpp"
+#include "cellkit/delay.hpp"
+#include "cellkit/state.hpp"
+#include "cellkit/topology.hpp"
+#include "cellkit/variants.hpp"
+
+namespace svtox::cellkit {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+/// One (cell, state) pair of the sweep.
+class CellStateSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint32_t>> {
+ protected:
+  const std::string& cell_name() const { return std::get<0>(GetParam()); }
+  std::uint32_t state() const { return std::get<1>(GetParam()); }
+  bool state_valid(const CellTopology& topo) const {
+    return state() < topo.num_states();
+  }
+};
+
+TEST_P(CellStateSweep, ClassificationInvariants) {
+  const CellTopology topo = make_standard_cell(cell_name(), tech());
+  if (!state_valid(topo)) GTEST_SKIP();
+  const CellStateAnalysis a = classify(topo, state());
+
+  for (int d = 0; d < topo.num_devices(); ++d) {
+    const DeviceSituation& sit = a.devices[d];
+    // ON/OFF must agree with gate polarity.
+    EXPECT_EQ(sit.on, topo.device_on(d, state())) << cell_name() << " dev " << d;
+    // Channel tunneling classifications apply to ON devices only; EDT and
+    // subthreshold bias to OFF devices only.
+    if (sit.on) {
+      EXPECT_TRUE(sit.gate_bias == model::GateBias::kFullChannel ||
+                  sit.gate_bias == model::GateBias::kReducedChannel)
+          << cell_name() << " dev " << d;
+    } else {
+      EXPECT_TRUE(sit.gate_bias == model::GateBias::kReverseOverlap ||
+                  sit.gate_bias == model::GateBias::kNone)
+          << cell_name() << " dev " << d;
+    }
+    // Exactly one network conducts; every device knows which side it is on.
+    const bool in_pdn = d < topo.num_pull_down_devices();
+    EXPECT_EQ(sit.in_conducting_network, in_pdn ? !a.output : a.output);
+  }
+}
+
+TEST_P(CellStateSweep, LeakyDeviceTargetsArePolarized) {
+  const CellTopology topo = make_standard_cell(cell_name(), tech());
+  if (!state_valid(topo)) GTEST_SKIP();
+  const LeakyDevices leaky = find_leaky_devices(topo, tech(), state());
+  // Thick-oxide only suppresses tunneling of ON devices; high-Vt only
+  // suppresses subthreshold current of OFF devices.
+  for (int d : leaky.tox_targets) {
+    EXPECT_TRUE(topo.device_on(d, state())) << cell_name() << " dev " << d;
+  }
+  for (int d : leaky.vt_targets) {
+    EXPECT_FALSE(topo.device_on(d, state())) << cell_name() << " dev " << d;
+  }
+}
+
+TEST_P(CellStateSweep, CanonicalStateIsAFixpoint) {
+  const CellTopology topo = make_standard_cell(cell_name(), tech());
+  if (!state_valid(topo)) GTEST_SKIP();
+  const PinMapping once = canonicalize(topo, state());
+  const PinMapping twice = canonicalize(topo, once.canonical_state);
+  EXPECT_EQ(twice.canonical_state, once.canonical_state);
+  EXPECT_TRUE(twice.is_identity());
+}
+
+TEST_P(CellStateSweep, CanonicalLeakageNeverExceedsRaw) {
+  // Pin reordering can only help (or be neutral) for the fastest version.
+  const CellTopology topo = make_standard_cell(cell_name(), tech());
+  if (!state_valid(topo)) GTEST_SKIP();
+  const CellAssignment nominal = nominal_assignment(topo);
+  const PinMapping m = canonicalize(topo, state());
+  const double raw = cell_leakage(topo, tech(), state(), nominal).total_na();
+  const double canon = cell_leakage(topo, tech(), m.canonical_state, nominal).total_na();
+  EXPECT_LE(canon, raw + 1e-9) << cell_name();
+}
+
+TEST_P(CellStateSweep, MinLeakDelayPenaltyIsOneSidedPerEdge) {
+  // The fast-rise point never slows any rise arc; fast-fall never slows any
+  // fall arc (that is their defining property, paper Sec. 4).
+  const CellTopology topo = make_standard_cell(cell_name(), tech());
+  if (!state_valid(topo)) GTEST_SKIP();
+  const CellVersionSet set = generate_versions(topo, tech(), {});
+  const PinMapping m = canonicalize(topo, state());
+  const StateTradeoffs& st = set.tradeoffs(m.canonical_state);
+
+  const int fr = st.version_index[static_cast<int>(TradeoffPoint::kFastRise)];
+  if (fr >= 0) {
+    for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+      EXPECT_DOUBLE_EQ(delay_factor(topo, tech(), set.versions()[fr].assignment, pin,
+                                    Edge::kRise),
+                       1.0)
+          << cell_name();
+    }
+  }
+  const int ff = st.version_index[static_cast<int>(TradeoffPoint::kFastFall)];
+  if (ff >= 0) {
+    for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+      EXPECT_DOUBLE_EQ(delay_factor(topo, tech(), set.versions()[ff].assignment, pin,
+                                    Edge::kFall),
+                       1.0)
+          << cell_name();
+    }
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, std::uint32_t>>& info) {
+  return std::get<0>(info.param) + "_s" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCellsAllStates, CellStateSweep,
+    ::testing::Combine(::testing::ValuesIn(standard_cell_names()),
+                       ::testing::Range(0u, 16u)),
+    sweep_name);
+
+}  // namespace
+}  // namespace svtox::cellkit

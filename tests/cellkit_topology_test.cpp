@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "cellkit/sp_network.hpp"
+#include "cellkit/state.hpp"
+#include "cellkit/topology.hpp"
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+TEST(SpNetwork, DeviceCountAndPins) {
+  SpNode nand3_pdn =
+      SpNode::series({SpNode::device(0), SpNode::device(1), SpNode::device(2)});
+  EXPECT_EQ(device_count(nand3_pdn), 3);
+  std::vector<int> pins;
+  collect_pins(nand3_pdn, pins);
+  EXPECT_EQ(pins, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SpNetwork, SingleChildCollapses) {
+  SpNode s = SpNode::series({SpNode::device(3)});
+  EXPECT_TRUE(s.is_device());
+  EXPECT_EQ(s.pin, 3);
+}
+
+TEST(SpNetwork, EmptyChildListThrows) {
+  EXPECT_THROW(SpNode::series({}), ContractError);
+  EXPECT_THROW(SpNode::parallel({}), ContractError);
+}
+
+TEST(SpNetwork, LongestPath) {
+  // AOI21 pull-down: (a series b) parallel c.
+  SpNode pdn = SpNode::parallel(
+      {SpNode::series({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  EXPECT_EQ(longest_path(pdn), 2);
+  EXPECT_EQ(longest_path_through(pdn, 0), 2);  // a
+  EXPECT_EQ(longest_path_through(pdn, 1), 2);  // b
+  EXPECT_EQ(longest_path_through(pdn, 2), 1);  // c
+  EXPECT_THROW(longest_path_through(pdn, 3), ContractError);
+}
+
+TEST(SpNetwork, ConductsSeriesParallel) {
+  SpNode pdn = SpNode::parallel(
+      {SpNode::series({SpNode::device(0), SpNode::device(1)}), SpNode::device(2)});
+  EXPECT_TRUE(conducts(pdn, {true, true, false}));
+  EXPECT_TRUE(conducts(pdn, {false, false, true}));
+  EXPECT_FALSE(conducts(pdn, {true, false, false}));
+  EXPECT_FALSE(conducts(pdn, {false, true, false}));
+}
+
+TEST(Topology, TruthTables) {
+  const CellTopology inv = make_standard_cell("INV", tech());
+  EXPECT_TRUE(inv.output(0b0));
+  EXPECT_FALSE(inv.output(0b1));
+
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  EXPECT_TRUE(nand2.output(0b00));
+  EXPECT_TRUE(nand2.output(0b01));
+  EXPECT_TRUE(nand2.output(0b10));
+  EXPECT_FALSE(nand2.output(0b11));
+
+  const CellTopology nor2 = make_standard_cell("NOR2", tech());
+  EXPECT_TRUE(nor2.output(0b00));
+  EXPECT_FALSE(nor2.output(0b01));
+  EXPECT_FALSE(nor2.output(0b10));
+  EXPECT_FALSE(nor2.output(0b11));
+}
+
+TEST(Topology, Aoi21TruthTable) {
+  // out = !(A*B + C); pins 0=A, 1=B, 2=C.
+  const CellTopology aoi = make_standard_cell("AOI21", tech());
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    const bool a = s & 1, b = s & 2, c = s & 4;
+    EXPECT_EQ(aoi.output(s), !((a && b) || c)) << "state " << s;
+  }
+}
+
+TEST(Topology, Oai21TruthTable) {
+  // out = !((A+B) * C).
+  const CellTopology oai = make_standard_cell("OAI21", tech());
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    const bool a = s & 1, b = s & 2, c = s & 4;
+    EXPECT_EQ(oai.output(s), !((a || b) && c)) << "state " << s;
+  }
+}
+
+TEST(Topology, DeviceCountsAndOrdering) {
+  const CellTopology nand3 = make_standard_cell("NAND3", tech());
+  EXPECT_EQ(nand3.num_devices(), 6);
+  EXPECT_EQ(nand3.num_pull_down_devices(), 3);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(nand3.devices()[d].type, model::DeviceType::kNmos);
+  }
+  for (int d = 3; d < 6; ++d) {
+    EXPECT_EQ(nand3.devices()[d].type, model::DeviceType::kPmos);
+  }
+}
+
+TEST(Topology, StackUpsizing) {
+  // NAND3: series NMOS on a 3-deep path are partially up-sized; parallel
+  // PMOS carry the mobility factor only.
+  const CellTopology nand3 = make_standard_cell("NAND3", tech());
+  const double expected_n = 1.0 + tech().stack_upsize_slope * 2.0;
+  for (int d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(nand3.devices()[d].width, expected_n);
+  for (int d = 3; d < 6; ++d) {
+    EXPECT_DOUBLE_EQ(nand3.devices()[d].width, tech().pmos_r_mult);
+  }
+}
+
+TEST(Topology, DeviceOnFollowsPolarity) {
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  // NMOS conduct on 1, PMOS on 0.
+  EXPECT_TRUE(nand2.device_on(0, 0b01));   // NMOS pin0, input high
+  EXPECT_FALSE(nand2.device_on(0, 0b10));  // NMOS pin0, input low
+  EXPECT_FALSE(nand2.device_on(2, 0b01));  // PMOS pin0, input high
+  EXPECT_TRUE(nand2.device_on(2, 0b10));   // PMOS pin0, input low
+}
+
+TEST(Topology, PinCapacitancePositive) {
+  for (const std::string& name : standard_cell_names()) {
+    const CellTopology topo = make_standard_cell(name, tech());
+    for (int pin = 0; pin < topo.num_inputs(); ++pin) {
+      EXPECT_GT(topo.pin_capacitance_ff(pin), 0.0) << name << " pin " << pin;
+    }
+    EXPECT_GT(topo.max_pin_capacitance_ff(), 0.0);
+  }
+}
+
+TEST(Topology, UnknownCellThrows) {
+  EXPECT_THROW(make_standard_cell("XOR2", tech()), ContractError);
+}
+
+TEST(Topology, NonComplementaryNetworksRejected) {
+  // Two parallel networks are both ON at mixed states -> must be rejected.
+  EXPECT_THROW(CellTopology("BROKEN", 2,
+                            SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+                            SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+                            {}, tech()),
+               ContractError);
+}
+
+TEST(CanonicalState, SortsOnesToOutputSide) {
+  const CellTopology nand2 = make_standard_cell("NAND2", tech());
+  // Logical state 01 (pin0=0, pin1=1) canonicalizes to 10 (pin0=1, pin1=0):
+  // the conducting NMOS moves to the top of the stack.
+  const PinMapping m = canonicalize(nand2, 0b10);  // pin1 = 1
+  EXPECT_EQ(m.canonical_state, 0b01u);             // pin0 = 1
+  EXPECT_FALSE(m.is_identity());
+  // And already-canonical states stay put.
+  EXPECT_TRUE(canonicalize(nand2, 0b01).is_identity());
+  EXPECT_TRUE(canonicalize(nand2, 0b11).is_identity());
+  EXPECT_TRUE(canonicalize(nand2, 0b00).is_identity());
+}
+
+TEST(CanonicalState, MapStateRoundTrip) {
+  const CellTopology nand3 = make_standard_cell("NAND3", tech());
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    const PinMapping m = canonicalize(nand3, s);
+    EXPECT_EQ(map_state(m, s), m.canonical_state);
+    // Canonicalization preserves the number of ones.
+    EXPECT_EQ(__builtin_popcount(s), __builtin_popcount(m.canonical_state));
+    // The function value is invariant under pin reordering of symmetric pins.
+    EXPECT_EQ(nand3.output(s), nand3.output(m.canonical_state));
+  }
+}
+
+TEST(CanonicalState, Aoi21OnlySwapsSymmetricPair) {
+  const CellTopology aoi = make_standard_cell("AOI21", tech());
+  // A=0, B=1, C=1 -> A/B swap, C stays.
+  const PinMapping m = canonicalize(aoi, 0b110);
+  EXPECT_EQ(m.canonical_state, 0b101u);
+  EXPECT_EQ(m.logical_to_physical[2], 2);
+}
+
+TEST(CanonicalState, StateStrings) {
+  EXPECT_EQ(state_to_string(0b01, 2), "10");
+  EXPECT_EQ(state_to_string(0b10, 2), "01");
+  EXPECT_EQ(state_from_string("10"), 0b01u);
+  EXPECT_EQ(state_from_string("111"), 0b111u);
+  EXPECT_THROW(state_from_string("1x"), ContractError);
+}
+
+}  // namespace
+}  // namespace svtox::cellkit

@@ -1,0 +1,145 @@
+// End-to-end tests of the StandbyOptimizer facade -- the paper's headline
+// orderings must hold on real benchmark circuits.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/optimizer.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/generators.hpp"
+#include "report/report.hpp"
+#include "util/error.hpp"
+
+namespace svtox::core {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+class CoreC432 : public ::testing::Test {
+ protected:
+  static const netlist::Netlist& circuit() {
+    static const netlist::Netlist n = netlist::make_benchmark("c432", lib());
+    return n;
+  }
+  static RunConfig fast_config() {
+    RunConfig config;
+    config.penalty_fraction = 0.05;
+    config.time_limit_s = 0.3;
+    config.random_vectors = 2000;
+    return config;
+  }
+};
+
+TEST_F(CoreC432, MethodOrderingMatchesPaper) {
+  StandbyOptimizer optimizer(circuit());
+  const RunConfig config = fast_config();
+  const MethodResult avg = optimizer.run(Method::kAverageRandom, config);
+  const MethodResult state = optimizer.run(Method::kStateOnly, config);
+  const MethodResult vt = optimizer.run(Method::kVtState, config);
+  const MethodResult h1 = optimizer.run(Method::kHeu1, config);
+  const MethodResult h2 = optimizer.run(Method::kHeu2, config);
+
+  // Paper Table 4's ordering: average >= state-only > vt+state > proposed.
+  EXPECT_GE(avg.leakage_ua, state.leakage_ua * 0.999);
+  EXPECT_GT(state.leakage_ua, vt.leakage_ua);
+  EXPECT_GT(vt.leakage_ua, h1.leakage_ua);
+  EXPECT_LE(h2.leakage_ua, h1.leakage_ua + 1e-9);
+}
+
+TEST_F(CoreC432, ReductionFactorsInPaperRegime) {
+  StandbyOptimizer optimizer(circuit());
+  const RunConfig config = fast_config();
+  // Paper averages at 5%: state-only ~1.06X, vt+state ~2.5X, Heu1 ~5.3X.
+  const MethodResult state = optimizer.run(Method::kStateOnly, config);
+  EXPECT_GT(state.reduction_x, 1.0);
+  EXPECT_LT(state.reduction_x, 1.6);
+  const MethodResult vt = optimizer.run(Method::kVtState, config);
+  EXPECT_GT(vt.reduction_x, 1.6);
+  EXPECT_LT(vt.reduction_x, 4.5);
+  const MethodResult h1 = optimizer.run(Method::kHeu1, config);
+  EXPECT_GT(h1.reduction_x, 3.0);
+  EXPECT_LT(h1.reduction_x, 9.0);
+}
+
+TEST_F(CoreC432, HigherPenaltyImprovesProposedMethod) {
+  StandbyOptimizer optimizer(circuit());
+  RunConfig config = fast_config();
+  config.penalty_fraction = 0.05;
+  const double at5 = optimizer.run(Method::kHeu1, config).leakage_ua;
+  config.penalty_fraction = 0.25;
+  const double at25 = optimizer.run(Method::kHeu1, config).leakage_ua;
+  EXPECT_LT(at25, at5);
+}
+
+TEST_F(CoreC432, DelayBudgetExposedAndSane) {
+  StandbyOptimizer optimizer(circuit());
+  const auto& budget = optimizer.delay_budget();
+  EXPECT_GT(budget.fast_delay_ps, 0.0);
+  EXPECT_GT(budget.slow_delay_ps, 1.5 * budget.fast_delay_ps);
+}
+
+TEST_F(CoreC432, AverageRandomIsCached) {
+  StandbyOptimizer optimizer(circuit());
+  const double a = optimizer.average_random_leakage_ua(2000, 7);
+  const double b = optimizer.average_random_leakage_ua(2000, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(CoreC432, SolutionDelayWithinConstraint) {
+  StandbyOptimizer optimizer(circuit());
+  RunConfig config = fast_config();
+  const MethodResult h1 = optimizer.run(Method::kHeu1, config);
+  const double constraint = optimizer.delay_budget().constraint_ps(0.05);
+  EXPECT_LE(h1.solution.delay_ps, constraint + 1e-3);
+}
+
+TEST(Core, ExactBeatsHeuristicsOnTinyCircuit) {
+  const auto n = netlist::random_circuit(lib(), "tiny_e", 4, 10, 5);
+  StandbyOptimizer optimizer(n);
+  RunConfig config;
+  config.penalty_fraction = 0.10;
+  config.time_limit_s = 20.0;
+  config.random_vectors = 200;
+  const MethodResult exact = optimizer.run(Method::kExact, config);
+  const MethodResult h1 = optimizer.run(Method::kHeu1, config);
+  EXPECT_LE(exact.leakage_ua, h1.leakage_ua + 1e-9);
+}
+
+TEST(Core, UnfinalizedNetlistRejected) {
+  netlist::Netlist n("raw", &lib());
+  EXPECT_THROW(StandbyOptimizer{n}, ContractError);
+}
+
+TEST(Core, MethodNames) {
+  EXPECT_STREQ(to_string(Method::kHeu1), "heu1");
+  EXPECT_STREQ(to_string(Method::kAverageRandom), "average_random");
+  EXPECT_STREQ(to_string(Method::kVtState), "vt_state");
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(report::format_ua(24.53), "24.5");
+  EXPECT_EQ(report::format_x(5.28), "5.3");
+  EXPECT_EQ(report::paper_vs_measured(24.5, 26.12), "24.5 / 26.1");
+  EXPECT_EQ(report::format_seconds(0.002), "2.00ms");
+  EXPECT_EQ(report::format_seconds(0.5), "500ms");
+  EXPECT_EQ(report::format_seconds(12.3), "12.3s");
+}
+
+TEST(Report, SaveTableWritesTxtAndCsv) {
+  AsciiTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/svtox_table.txt";
+  ASSERT_TRUE(report::save_table(t, path));
+  std::ifstream txt(path);
+  EXPECT_TRUE(txt.good());
+  std::ifstream csv(path + ".csv");
+  EXPECT_TRUE(csv.good());
+}
+
+}  // namespace
+}  // namespace svtox::core

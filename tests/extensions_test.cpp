@@ -1,0 +1,216 @@
+// Tests for the features beyond the paper's core evaluation: the
+// nitrided-oxide PMOS-Igate extension, the AOI22/OAI22 archetypes, the
+// pin-reorder ablation option, random-probe seeding, and solution I/O.
+#include <gtest/gtest.h>
+
+#include "cellkit/analyzer.hpp"
+#include "core/optimizer.hpp"
+#include "core/solution_io.hpp"
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
+#include "util/error.hpp"
+
+namespace svtox {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+// --- Nitrided-oxide extension ---------------------------------------------
+
+TEST(Nitrided, PmosTunnelingIsAppreciable) {
+  const auto& tech = model::TechParams::nitrided();
+  const double n = model::igate_na(tech, model::DeviceType::kNmos,
+                                   model::ToxClass::kThin, 1.0,
+                                   model::GateBias::kFullChannel);
+  const double p = model::igate_na(tech, model::DeviceType::kPmos,
+                                   model::ToxClass::kThin, 1.0,
+                                   model::GateBias::kFullChannel);
+  // Paper Sec. 2: PMOS Igate "can actually exceed NMOS Igate".
+  EXPECT_GT(p, n);
+}
+
+TEST(Nitrided, OnPmosDevicesBecomeToxTargets) {
+  // INV at 0: under SiO2 the ON PMOS is ignored; under nitrided oxide it
+  // must be thickened.
+  const auto& nit = model::TechParams::nitrided();
+  const cellkit::CellTopology inv = cellkit::make_standard_cell("INV", nit);
+  const cellkit::LeakyDevices leaky = cellkit::find_leaky_devices(inv, nit, 0b0);
+  EXPECT_EQ(leaky.tox_targets, (std::vector<int>{1}));  // the PMOS
+  EXPECT_EQ(leaky.vt_targets, (std::vector<int>{0}));
+}
+
+TEST(Nitrided, LibraryGrowsWithPmosVersions) {
+  // More tunneling devices to suppress => more distinct versions.
+  liberty::LibraryOptions options;
+  const auto nominal = liberty::Library::build(model::TechParams::nominal(), options);
+  const auto nitrided = liberty::Library::build(model::TechParams::nitrided(), options);
+  EXPECT_GT(nitrided.cell("INV").num_variants(), nominal.cell("INV").num_variants());
+}
+
+TEST(Nitrided, OptimizerStillReducesLeakage) {
+  const auto nitrided = liberty::Library::build(model::TechParams::nitrided(), {});
+  const auto circuit = netlist::random_circuit(nitrided, "nit", 10, 80, 3);
+  core::StandbyOptimizer optimizer(circuit);
+  core::RunConfig config;
+  config.penalty_fraction = 0.10;
+  config.random_vectors = 1000;
+  const auto h1 = optimizer.run(core::Method::kHeu1, config);
+  EXPECT_GT(h1.reduction_x, 2.0);
+}
+
+// --- AOI22 / OAI22 ----------------------------------------------------------
+
+TEST(ComplexCells, Aoi22TruthTable) {
+  const auto& tech = model::TechParams::nominal();
+  const cellkit::CellTopology aoi = cellkit::make_standard_cell("AOI22", tech);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const bool a = s & 1, b = s & 2, c = s & 4, d = s & 8;
+    EXPECT_EQ(aoi.output(s), !((a && b) || (c && d))) << s;
+  }
+}
+
+TEST(ComplexCells, Oai22TruthTable) {
+  const auto& tech = model::TechParams::nominal();
+  const cellkit::CellTopology oai = cellkit::make_standard_cell("OAI22", tech);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const bool a = s & 1, b = s & 2, c = s & 4, d = s & 8;
+    EXPECT_EQ(oai.output(s), !((a || b) && (c || d))) << s;
+  }
+}
+
+TEST(ComplexCells, Aoi22SymmetricPairsCanonicalizeIndependently) {
+  const auto& tech = model::TechParams::nominal();
+  const cellkit::CellTopology aoi = cellkit::make_standard_cell("AOI22", tech);
+  // A=0,B=1 swaps within {0,1}; C=1,D=0 already canonical within {2,3}.
+  const cellkit::PinMapping m = cellkit::canonicalize(aoi, 0b0110);
+  EXPECT_EQ(m.canonical_state, 0b0101u);
+}
+
+TEST(ComplexCells, VariantGenerationCoversAllStates) {
+  const auto& tech = model::TechParams::nominal();
+  for (const char* name : {"AOI22", "OAI22"}) {
+    const cellkit::CellTopology topo = cellkit::make_standard_cell(name, tech);
+    const auto set = cellkit::generate_versions(topo, tech, {});
+    for (std::uint32_t s = 0; s < topo.num_states(); ++s) {
+      const auto canon = cellkit::canonicalize(topo, s).canonical_state;
+      EXPECT_NO_THROW(set.tradeoffs(canon)) << name << " state " << s;
+    }
+    EXPECT_GT(set.num_versions(), 4) << name;
+  }
+}
+
+// --- Pin-reorder ablation -----------------------------------------------------
+
+TEST(ReorderAblation, DisablingReorderingNeverHelps) {
+  for (std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    const auto circuit = netlist::random_circuit(lib(), "abl", 10, 70, seed);
+    const opt::AssignmentProblem with(circuit, 0.05);
+    opt::ProblemOptions options;
+    options.use_pin_reorder = false;
+    const opt::AssignmentProblem without(circuit, 0.05, options);
+    const auto h_with = opt::heuristic1(with);
+    const auto h_without = opt::heuristic1(without);
+    EXPECT_LE(h_with.leakage_na, h_without.leakage_na + 1e-6) << seed;
+  }
+}
+
+TEST(ReorderAblation, NoReorderKeepsIdentityMappings) {
+  const auto circuit = netlist::random_circuit(lib(), "abl2", 8, 50, 5);
+  opt::ProblemOptions options;
+  options.use_pin_reorder = false;
+  const opt::AssignmentProblem problem(circuit, 0.10, options);
+  const auto sol = opt::heuristic1(problem);
+  for (const auto& gc : sol.config) {
+    EXPECT_TRUE(gc.mapping.logical_to_physical.empty() || gc.mapping.is_identity());
+  }
+  // And the solution still respects the delay constraint.
+  EXPECT_LE(sol.delay_ps, problem.constraint_ps() + 1e-3);
+}
+
+TEST(ReorderAblation, NoReorderMenuIsStillSorted) {
+  const auto circuit = netlist::random_circuit(lib(), "abl3", 8, 40, 6);
+  opt::ProblemOptions options;
+  options.use_pin_reorder = false;
+  const opt::AssignmentProblem problem(circuit, 0.05, options);
+  for (int g = 0; g < circuit.num_gates(); ++g) {
+    const auto& cell = circuit.cell_of(g);
+    for (std::uint32_t raw = 0; raw < cell.topology().num_states(); ++raw) {
+      const auto& menu = problem.menu(g, raw);
+      EXPECT_EQ(menu.by_leakage.size(), static_cast<std::size_t>(cell.num_variants()));
+      for (std::size_t i = 1; i < menu.by_leakage.size(); ++i) {
+        EXPECT_LE(cell.leakage_na(menu.by_leakage[i - 1], raw),
+                  cell.leakage_na(menu.by_leakage[i], raw) + 1e-12);
+      }
+    }
+  }
+}
+
+// --- Random-probe seeding ---------------------------------------------------
+
+TEST(RandomProbes, StateOnlyBeatsRandomAverage) {
+  // The structural weakness the probes fix: on XOR-dominated circuits the
+  // ternary bound is flat, but best-of-256 probes guarantees a result no
+  // worse than a typical random state.
+  const auto circuit = netlist::array_multiplier(lib(), 6);
+  const opt::AssignmentProblem problem(circuit, 0.05);
+  const auto sol = opt::state_only_search(problem, 0.2);
+  const auto mc = sim::monte_carlo_leakage(circuit, sim::fastest_config(circuit), 500, 9);
+  EXPECT_LT(sol.leakage_na, mc.mean_na);
+}
+
+// --- Solution I/O ---------------------------------------------------------------
+
+TEST(SolutionIo, RoundTripPreservesEverything) {
+  const auto circuit = netlist::random_circuit(lib(), "sio", 10, 60, 77);
+  const opt::AssignmentProblem problem(circuit, 0.10);
+  const opt::Solution sol = opt::heuristic1(problem);
+
+  const std::string text = core::write_solution(sol, circuit);
+  const opt::Solution back = core::read_solution(text, circuit);
+
+  EXPECT_EQ(back.sleep_vector, sol.sleep_vector);
+  EXPECT_NEAR(back.leakage_na, sol.leakage_na, 1e-3);
+  EXPECT_NEAR(back.delay_ps, sol.delay_ps, 1e-3);
+  ASSERT_EQ(back.config.size(), sol.config.size());
+  for (std::size_t g = 0; g < sol.config.size(); ++g) {
+    EXPECT_EQ(back.config[g].variant, sol.config[g].variant) << g;
+    // Reconstructed mappings must map states identically.
+    const auto& cell = circuit.cell_of(static_cast<int>(g));
+    for (std::uint32_t s = 0; s < cell.topology().num_states(); ++s) {
+      EXPECT_EQ(back.config[g].physical_state(s), sol.config[g].physical_state(s)) << g;
+    }
+  }
+}
+
+TEST(SolutionIo, RejectsGarbageAndMismatches) {
+  const auto circuit = netlist::random_circuit(lib(), "sio2", 6, 20, 78);
+  EXPECT_THROW(core::read_solution("nonsense", circuit), ParseError);
+  // Truncated (no 'end') and unknown-record files are rejected.
+  EXPECT_THROW(core::read_solution("svtox_solution v1 x\nleakage_na 1.0", circuit),
+               ParseError);
+  EXPECT_THROW(core::read_solution("svtox_solution v1 x\nfrobnicate 1\nend", circuit),
+               ParseError);
+  EXPECT_THROW(core::read_solution(
+                   "svtox_solution v1 x\ngate nope INV_v1 pins 0\nend", circuit),
+               ContractError);
+}
+
+TEST(SolutionIo, SwapListOnlyRecordsNonDefaultGates) {
+  const auto circuit = netlist::random_circuit(lib(), "sio3", 8, 30, 79);
+  opt::Solution trivial;
+  trivial.sleep_vector.assign(static_cast<std::size_t>(circuit.num_inputs()), false);
+  trivial.config = sim::fastest_config(circuit);
+  const std::string text = core::write_solution(trivial, circuit);
+  EXPECT_EQ(text.find("gate "), std::string::npos);
+  const opt::Solution back = core::read_solution(text, circuit);
+  for (std::size_t g = 0; g < back.config.size(); ++g) {
+    EXPECT_EQ(back.config[g].variant, circuit.cell_of(static_cast<int>(g)).fastest_variant());
+  }
+}
+
+}  // namespace
+}  // namespace svtox

@@ -1,0 +1,154 @@
+// Cross-feature integration tests: combinations of technology presets,
+// library options, sequential circuits and optimizers that no single-module
+// suite exercises together.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/optimizer.hpp"
+#include "core/solution_io.hpp"
+#include "liberty/lib_format.hpp"
+#include "liberty/serialize.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "netlist/generators.hpp"
+#include "opt/annealing.hpp"
+#include "opt/state_search.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/probability.hpp"
+#include "sta/timing_report.hpp"
+
+namespace svtox {
+namespace {
+
+TEST(Integration, NitridedSequentialEndToEnd) {
+  // Nitrided-oxide technology + registers + Heu2 + solution round-trip.
+  const auto& tech = model::TechParams::nitrided();
+  const auto library = liberty::Library::build(tech, {});
+  const auto pipe = netlist::sequential_pipeline(library, "nit_pipe", 8, 2, 50, 31);
+
+  core::StandbyOptimizer optimizer(pipe);
+  core::RunConfig config;
+  config.penalty_fraction = 0.10;
+  config.time_limit_s = 0.3;
+  config.random_vectors = 500;
+  const auto h2 = optimizer.run(core::Method::kHeu2, config);
+  EXPECT_GT(h2.reduction_x, 1.5);
+
+  const auto back = core::read_solution(core::write_solution(h2.solution, pipe), pipe);
+  EXPECT_NEAR(sim::circuit_leakage_na(pipe, back.config, back.sleep_vector),
+              h2.solution.leakage_na, 1e-6);
+}
+
+TEST(Integration, TemperatureLibrarySerializationRoundTrip) {
+  // A hot-corner characterization survives .svlib round-trip bit-exactly
+  // enough for optimization to agree.
+  const model::TechParams hot = model::TechParams::nominal().at_temperature(358.0);
+  const auto library = liberty::Library::build(hot, {});
+  const auto text = liberty::write_library(library);
+  const auto back = liberty::read_library(text, hot);
+
+  const auto a = netlist::random_circuit(library, "t_rt", 8, 50, 37);
+  const auto b = netlist::rebind(a, back);
+  const opt::AssignmentProblem pa(a, 0.05);
+  const opt::AssignmentProblem pb(b, 0.05);
+  EXPECT_NEAR(opt::heuristic1(pa).leakage_na, opt::heuristic1(pb).leakage_na, 1.0);
+}
+
+TEST(Integration, UniformStackLibraryThroughFullFlow) {
+  liberty::LibraryOptions options;
+  options.variant_options.uniform_stack = true;
+  options.variant_options.four_point = false;
+  const auto library = liberty::Library::build(model::TechParams::nominal(), options);
+  const auto circuit = netlist::make_benchmark("c432", library);
+  core::StandbyOptimizer optimizer(circuit);
+  core::RunConfig config;
+  config.penalty_fraction = 0.05;
+  config.random_vectors = 1000;
+  config.time_limit_s = 0.2;
+  const auto h1 = optimizer.run(core::Method::kHeu1, config);
+  EXPECT_GT(h1.reduction_x, 2.5);
+  // 2-option uniform library exports valid Liberty too.
+  const std::string lib_text = liberty::write_liberty_format(library);
+  EXPECT_NE(lib_text.find("cell (NAND2_v1)"), std::string::npos);
+}
+
+TEST(Integration, AnnealingAndHeu2AgreeOnSmallCircuit) {
+  // Independent optimizers converging to similar leakage is strong evidence
+  // neither is cheating the delay constraint or the accounting.
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto n = netlist::random_circuit(library, "agree", 8, 40, 41);
+  const opt::AssignmentProblem problem(n, 0.25);
+  const auto h2 = opt::heuristic2(problem, 0.5);
+  opt::AnnealingOptions sa;
+  sa.time_limit_s = 0.5;
+  const auto anneal = opt::simulated_annealing(problem, sa);
+  EXPECT_NEAR(anneal.leakage_na / h2.leakage_na, 1.0, 0.30);
+}
+
+TEST(Integration, BenchFileToSolutionFileFlow) {
+  // data/c17.bench -> optimize -> write -> read -> verify (the CLI flow,
+  // exercised through the library API). The path is anchored to this source
+  // file so the test is independent of the ctest working directory.
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const std::string bench_path =
+      (std::filesystem::path(__FILE__).parent_path().parent_path() / "data" /
+       "c17.bench")
+          .string();
+  const auto c17 = netlist::read_bench_file(bench_path, library);
+  EXPECT_EQ(c17.num_inputs(), 5);
+
+  const opt::AssignmentProblem problem(c17, 0.05);
+  const auto sol = opt::heuristic2(problem, 0.2);
+  const auto back = core::read_solution(core::write_solution(sol, c17), c17);
+
+  sta::TimingState timing(c17);
+  EXPECT_NEAR(timing.analyze(back.config), sol.delay_ps, 1e-6);
+  EXPECT_LE(sol.delay_ps, problem.constraint_ps() + 1e-3);
+}
+
+TEST(Integration, ProbabilityEstimateVsOptimizedConfig) {
+  // The vectorless estimator also works on optimized (mixed-version,
+  // pin-reordered) configurations.
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto n = netlist::random_circuit(library, "prob_o", 10, 80, 43);
+  const opt::AssignmentProblem problem(n, 0.25);
+  const auto sol = opt::heuristic1(problem);
+
+  const double expected = sim::expected_leakage_uniform_na(n, sol.config);
+  const double mc = sim::monte_carlo_leakage(n, sol.config, 4000, 43).mean_na;
+  EXPECT_NEAR(expected / mc, 1.0, 0.2);
+  // And the optimized config's average beats the fastest config's average:
+  // swaps chosen for one state still help across states.
+  const double base = sim::monte_carlo_leakage(n, sim::fastest_config(n), 4000, 43).mean_na;
+  EXPECT_LT(mc, base);
+}
+
+TEST(Integration, WorstPathReportOnBenchmarkSolution) {
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto circuit = netlist::make_benchmark("c432", library);
+  const opt::AssignmentProblem problem(circuit, 0.05);
+  const auto sol = opt::heuristic1(problem);
+  const sta::SlackAnalysis slack(circuit, sol.config, problem.constraint_ps());
+  EXPECT_GE(slack.worst_slack_ps(), -1e-3);
+  const std::string path = sta::render_worst_path(circuit, sol.config);
+  EXPECT_NE(path.find("worst path"), std::string::npos);
+}
+
+TEST(Integration, SuiteSpecsAreConsistent) {
+  // The embedded paper data must be self-consistent: reductions derived
+  // from Table 3/4 columns are positive and ordered.
+  for (const auto& spec : netlist::benchmark_suite()) {
+    EXPECT_GT(spec.paper.avg_random_ua, 0.0) << spec.name;
+    EXPECT_LT(spec.paper.state_only_ua, spec.paper.avg_random_ua * 1.001) << spec.name;
+    EXPECT_LT(spec.paper.vt_state_5_ua, spec.paper.state_only_ua) << spec.name;
+    EXPECT_LT(spec.paper.heu1_5_ua, spec.paper.vt_state_5_ua) << spec.name;
+    EXPECT_LE(spec.paper.heu2_5_ua, spec.paper.heu1_5_ua) << spec.name;
+    EXPECT_LE(spec.paper.heu1_10_ua, spec.paper.heu1_5_ua) << spec.name;
+    EXPECT_LE(spec.paper.heu1_25_ua, spec.paper.heu1_10_ua) << spec.name;
+    EXPECT_LE(spec.paper.vt_state_25_ua, spec.paper.vt_state_10_ua) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace svtox

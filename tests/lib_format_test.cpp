@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "liberty/lib_format.hpp"
+#include "util/error.hpp"
+
+namespace svtox::liberty {
+namespace {
+
+const Library& lib() {
+  static const Library library = Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+TEST(LibertyFormat, PinNamesAndFunctions) {
+  EXPECT_EQ(liberty_pin_name(0), "A1");
+  EXPECT_EQ(liberty_pin_name(3), "A4");
+  EXPECT_EQ(liberty_function("INV"), "!A1");
+  EXPECT_EQ(liberty_function("NAND2"), "!(A1&A2)");
+  EXPECT_EQ(liberty_function("NOR3"), "!(A1|A2|A3)");
+  EXPECT_EQ(liberty_function("AOI21"), "!((A1&A2)|A3)");
+  EXPECT_EQ(liberty_function("OAI22"), "!((A1|A2)&(A3|A4))");
+  EXPECT_THROW(liberty_function("XOR2"), ContractError);
+}
+
+class LibertyExport : public ::testing::Test {
+ protected:
+  static const std::string& text() {
+    static const std::string t = write_liberty_format(lib());
+    return t;
+  }
+};
+
+TEST_F(LibertyExport, HasLibraryHeaderAndTemplate) {
+  EXPECT_NE(text().find("library (svtox_65nm)"), std::string::npos);
+  EXPECT_NE(text().find("lu_table_template (svtox_tmpl)"), std::string::npos);
+  EXPECT_NE(text().find("variable_1 : input_net_transition;"), std::string::npos);
+  EXPECT_NE(text().find("capacitive_load_unit (1, ff);"), std::string::npos);
+}
+
+TEST_F(LibertyExport, EveryVariantBecomesACell) {
+  for (const LibCell& cell : lib().cells()) {
+    for (const LibCellVariant& variant : cell.variants()) {
+      EXPECT_NE(text().find("cell (" + variant.name + ")"), std::string::npos)
+          << variant.name;
+    }
+  }
+}
+
+TEST_F(LibertyExport, StateDependentLeakageGroups) {
+  // NAND2 has 4 states -> 4 when-conditions per version, including the
+  // all-ones and all-zeros corners.
+  EXPECT_NE(text().find("when : \"A1&A2\";"), std::string::npos);
+  EXPECT_NE(text().find("when : \"!A1&!A2\";"), std::string::npos);
+  EXPECT_NE(text().find("when : \"!A1&A2\";"), std::string::npos);
+}
+
+TEST_F(LibertyExport, TimingGroupsPerPin) {
+  EXPECT_NE(text().find("related_pin : \"A1\";"), std::string::npos);
+  EXPECT_NE(text().find("timing_sense : negative_unate;"), std::string::npos);
+  EXPECT_NE(text().find("cell_rise (svtox_tmpl)"), std::string::npos);
+  EXPECT_NE(text().find("fall_transition (svtox_tmpl)"), std::string::npos);
+}
+
+TEST_F(LibertyExport, BracesBalance) {
+  int depth = 0;
+  for (char c : text()) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(LibertyExport, OutputFunctionPresentForEveryArchetype) {
+  for (const LibCell& cell : lib().cells()) {
+    EXPECT_NE(text().find("function : \"" + liberty_function(cell.name()) + "\";"),
+              std::string::npos)
+        << cell.name();
+  }
+}
+
+}  // namespace
+}  // namespace svtox::liberty

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "cellkit/analyzer.hpp"
+#include "liberty/library.hpp"
+#include "liberty/nldm.hpp"
+#include "liberty/serialize.hpp"
+#include "util/error.hpp"
+
+namespace svtox::liberty {
+namespace {
+
+const model::TechParams& tech() { return model::TechParams::nominal(); }
+
+TEST(Nldm, ExactOnGridPoints) {
+  NldmTable t({10, 20}, {1, 2, 4}, {1, 2, 3, 10, 20, 30});
+  EXPECT_DOUBLE_EQ(t.lookup(10, 1), 1);
+  EXPECT_DOUBLE_EQ(t.lookup(10, 4), 3);
+  EXPECT_DOUBLE_EQ(t.lookup(20, 2), 20);
+}
+
+TEST(Nldm, BilinearInterpolationInside) {
+  NldmTable t({0, 10}, {0, 10}, {0, 10, 10, 20});
+  // Value = slew + load on this grid.
+  EXPECT_NEAR(t.lookup(5, 5), 10.0, 1e-12);
+  EXPECT_NEAR(t.lookup(2.5, 7.5), 10.0, 1e-12);
+}
+
+TEST(Nldm, LinearExtrapolationBeyondGrid) {
+  NldmTable t({0, 10}, {0, 10}, {0, 10, 10, 20});
+  // Beyond the last load point the outer segment extends linearly.
+  EXPECT_NEAR(t.lookup(0, 20), 20.0, 1e-12);
+  EXPECT_NEAR(t.lookup(20, 0), 20.0, 1e-12);
+  EXPECT_NEAR(t.lookup(-10, 0), -10.0, 1e-12);
+}
+
+TEST(Nldm, SingleRowAndColumnTables) {
+  NldmTable row({5}, {1, 2}, {10, 20});
+  EXPECT_NEAR(row.lookup(99, 1.5), 15.0, 1e-12);
+  NldmTable col({1, 2}, {5}, {10, 20});
+  EXPECT_NEAR(col.lookup(1.5, 99), 15.0, 1e-12);
+  NldmTable point({1}, {1}, {7});
+  EXPECT_DOUBLE_EQ(point.lookup(123, 456), 7.0);
+}
+
+TEST(Nldm, ScaledMultipliesValues) {
+  NldmTable t({0, 10}, {0, 10}, {1, 2, 3, 4});
+  const NldmTable s = t.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.lookup(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.lookup(10, 10), 8.0);
+}
+
+TEST(Nldm, InvalidConstructionThrows) {
+  EXPECT_THROW(NldmTable({}, {1}, {}), ContractError);
+  EXPECT_THROW(NldmTable({2, 1}, {1}, {1, 2}), ContractError);
+  EXPECT_THROW(NldmTable({1, 2}, {1}, {1}), ContractError);
+  EXPECT_THROW(NldmTable().lookup(1, 1), ContractError);
+}
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::build(tech(), LibraryOptions{});
+};
+
+TEST_F(LibraryTest, AllStandardCellsPresent) {
+  for (const std::string& name : cellkit::standard_cell_names()) {
+    EXPECT_TRUE(lib_.has_cell(name));
+    EXPECT_EQ(lib_.cell(name).name(), name);
+  }
+  EXPECT_FALSE(lib_.has_cell("XOR2"));
+  EXPECT_THROW(lib_.cell("XOR2"), ContractError);
+}
+
+TEST_F(LibraryTest, VariantLeakageMatchesDirectEvaluation) {
+  // The library tables must agree with the transistor-level analyzer --
+  // they are its cached image.
+  for (const LibCell& cell : lib_.cells()) {
+    for (const LibCellVariant& variant : cell.variants()) {
+      for (std::uint32_t state = 0; state < cell.topology().num_states(); ++state) {
+        const double direct =
+            cellkit::cell_leakage(cell.topology(), tech(), state, variant.assignment)
+                .total_na();
+        EXPECT_NEAR(variant.leakage_na[state], direct, 1e-9)
+            << cell.name() << " " << variant.name << " state " << state;
+      }
+    }
+  }
+}
+
+TEST_F(LibraryTest, SlowVariantsHaveSlowerTables) {
+  // Every non-fastest variant's delay table dominates the fastest one for
+  // the pins its assignment touches.
+  for (const LibCell& cell : lib_.cells()) {
+    const LibCellVariant& fast = cell.variant(cell.fastest_variant());
+    for (const LibCellVariant& variant : cell.variants()) {
+      for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+        for (double slew : {10.0, 50.0}) {
+          for (double load : {2.0, 20.0}) {
+            EXPECT_GE(variant.pins[pin].delay_rise.lookup(slew, load),
+                      fast.pins[pin].delay_rise.lookup(slew, load) - 1e-9)
+                << cell.name() << " " << variant.name;
+            EXPECT_GE(variant.pins[pin].delay_fall.lookup(slew, load),
+                      fast.pins[pin].delay_fall.lookup(slew, load) - 1e-9);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(LibraryTest, MinLeakVariantReducesLeakageSubstantially) {
+  // Library-level restatement of the paper's headline: at every canonical
+  // state the min-leak version cuts leakage by a large factor at the
+  // high-leakage states.
+  const LibCell& nand2 = lib_.cell("NAND2");
+  const auto& st = nand2.tradeoffs(0b11);
+  const double fast = nand2.leakage_na(nand2.fastest_variant(), 0b11);
+  const double slow = nand2.leakage_na(st.version_index[3], 0b11);
+  EXPECT_GT(fast / slow, 8.0);
+}
+
+TEST_F(LibraryTest, TotalVersionsSumsCells) {
+  int sum = 0;
+  for (const LibCell& cell : lib_.cells()) sum += cell.num_variants();
+  EXPECT_EQ(lib_.total_versions(), sum);
+  EXPECT_GT(sum, 30);
+}
+
+TEST_F(LibraryTest, SubsetLibraryBuild) {
+  LibraryOptions options;
+  options.cell_names = {"INV", "NAND2"};
+  const Library small = Library::build(tech(), options);
+  EXPECT_EQ(small.cells().size(), 2u);
+  EXPECT_TRUE(small.has_cell("INV"));
+  EXPECT_FALSE(small.has_cell("NOR2"));
+}
+
+TEST_F(LibraryTest, VtOnlyLibraryLeakssMoreAtTunnelingStates) {
+  LibraryOptions options;
+  options.variant_options.vt_only = true;
+  const Library vt = Library::build(tech(), options);
+  // At NAND2 state 11 the min-leak version cannot touch Igate without
+  // thick oxide, so its floor is higher than the dual-Tox library's.
+  const LibCell& full_cell = lib_.cell("NAND2");
+  const LibCell& vt_cell = vt.cell("NAND2");
+  const double full_floor =
+      full_cell.leakage_na(full_cell.tradeoffs(0b11).version_index[3], 0b11);
+  const double vt_floor =
+      vt_cell.leakage_na(vt_cell.tradeoffs(0b11).version_index[3], 0b11);
+  EXPECT_GT(vt_floor, 2.0 * full_floor);
+}
+
+TEST_F(LibraryTest, SerializationRoundTripsExactly) {
+  const std::string text = write_library(lib_);
+  const Library back = read_library(text, tech());
+  ASSERT_EQ(back.cells().size(), lib_.cells().size());
+  for (std::size_t c = 0; c < lib_.cells().size(); ++c) {
+    const LibCell& a = lib_.cell_at(static_cast<int>(c));
+    const LibCell& b = back.cell_at(static_cast<int>(c));
+    ASSERT_EQ(a.num_variants(), b.num_variants()) << a.name();
+    for (int v = 0; v < a.num_variants(); ++v) {
+      EXPECT_EQ(a.variant(v).name, b.variant(v).name);
+      EXPECT_EQ(a.variant(v).assignment, b.variant(v).assignment);
+      for (std::size_t s = 0; s < a.variant(v).leakage_na.size(); ++s) {
+        EXPECT_NEAR(a.variant(v).leakage_na[s], b.variant(v).leakage_na[s], 1e-5);
+      }
+      for (int pin = 0; pin < a.num_inputs(); ++pin) {
+        EXPECT_NEAR(a.variant(v).pins[pin].delay_rise.lookup(20, 5),
+                    b.variant(v).pins[pin].delay_rise.lookup(20, 5), 1e-4);
+        EXPECT_NEAR(a.variant(v).pins[pin].slew_fall.lookup(20, 5),
+                    b.variant(v).pins[pin].slew_fall.lookup(20, 5), 1e-4);
+      }
+    }
+  }
+}
+
+TEST_F(LibraryTest, SerializationRejectsGarbage) {
+  EXPECT_THROW(read_library("not a library", tech()), ParseError);
+  EXPECT_THROW(read_library("svtox_library v1\nbogus", tech()), ParseError);
+}
+
+TEST_F(LibraryTest, RoundTripPreservesOptions) {
+  LibraryOptions options;
+  options.variant_options.four_point = false;
+  options.variant_options.uniform_stack = true;
+  const Library two = Library::build(tech(), options);
+  const Library back = read_library(write_library(two), tech());
+  EXPECT_FALSE(back.options().variant_options.four_point);
+  EXPECT_TRUE(back.options().variant_options.uniform_stack);
+  EXPECT_EQ(back.total_versions(), two.total_versions());
+}
+
+}  // namespace
+}  // namespace svtox::liberty

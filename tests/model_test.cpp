@@ -1,0 +1,216 @@
+// Tests for the calibrated device leakage model. The quantitative anchors
+// come straight from the paper's Section 2.
+#include <gtest/gtest.h>
+
+#include "model/leakage.hpp"
+#include "model/tech.hpp"
+#include "util/error.hpp"
+
+namespace svtox::model {
+namespace {
+
+const TechParams& tech() { return TechParams::nominal(); }
+
+TEST(Tech, VtRatiosMatchPaper) {
+  // "Isub is reduced by 17.8X (16.7X) when replacing a low-Vt NMOS (PMOS)
+  // device with a high-Vt version."
+  EXPECT_DOUBLE_EQ(vt_ratio(tech(), DeviceType::kNmos), 17.8);
+  EXPECT_DOUBLE_EQ(vt_ratio(tech(), DeviceType::kPmos), 16.7);
+}
+
+TEST(Tech, ToxRatioMatchesPaper) {
+  // "The difference in Igate for the thick-oxide NMOS devices vs. the
+  // thin-oxide device is 11X."
+  EXPECT_DOUBLE_EQ(tech().tox_ratio, 11.0);
+}
+
+TEST(Tech, ResistanceFactorsAreMultiplicative) {
+  const double both = resistance_factor(tech(), VtClass::kHigh, ToxClass::kThick);
+  EXPECT_DOUBLE_EQ(both, tech().r_vt_factor * tech().r_tox_factor);
+  EXPECT_DOUBLE_EQ(resistance_factor(tech(), VtClass::kLow, ToxClass::kThin), 1.0);
+  EXPECT_DOUBLE_EQ(resistance_factor(tech(), VtClass::kHigh, ToxClass::kThin),
+                   tech().r_vt_factor);
+  EXPECT_DOUBLE_EQ(resistance_factor(tech(), VtClass::kLow, ToxClass::kThick),
+                   tech().r_tox_factor);
+}
+
+TEST(Tech, AllSlowDeviceNearlyDoublesDelay) {
+  // Paper Sec. 6: "a simple replacement of all fast devices with their
+  // slowest counterparts would nearly double the total circuit delay."
+  const double both = resistance_factor(tech(), VtClass::kHigh, ToxClass::kThick);
+  EXPECT_GT(both, 1.6);
+  EXPECT_LT(both, 2.1);
+}
+
+TEST(Isub, HighVtReductionExactlyCalibrated) {
+  const double low = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                             SubthresholdBias::kFullVds, 1);
+  const double high = isub_na(tech(), DeviceType::kNmos, VtClass::kHigh, 1.0,
+                              SubthresholdBias::kFullVds, 1);
+  EXPECT_NEAR(low / high, 17.8, 1e-9);
+
+  const double plow = isub_na(tech(), DeviceType::kPmos, VtClass::kLow, 1.0,
+                              SubthresholdBias::kFullVds, 1);
+  const double phigh = isub_na(tech(), DeviceType::kPmos, VtClass::kHigh, 1.0,
+                               SubthresholdBias::kFullVds, 1);
+  EXPECT_NEAR(plow / phigh, 16.7, 1e-9);
+}
+
+TEST(Isub, ScalesLinearlyWithWidth) {
+  const double w1 = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                            SubthresholdBias::kFullVds, 1);
+  const double w3 = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 3.0,
+                            SubthresholdBias::kFullVds, 1);
+  EXPECT_NEAR(w3, 3.0 * w1, 1e-9);
+}
+
+TEST(Isub, StackEffectIsMonotoneAndSuperLinear) {
+  double prev = 1e18;
+  for (int depth = 1; depth <= 4; ++depth) {
+    const double current = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                                   SubthresholdBias::kFullVds, depth);
+    EXPECT_LT(current, prev);
+    prev = current;
+  }
+  // Two stacked OFF devices leak well below half of one (super-linear).
+  const double one = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                             SubthresholdBias::kFullVds, 1);
+  const double two = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                             SubthresholdBias::kFullVds, 2);
+  EXPECT_LT(two, 0.5 * one);
+}
+
+TEST(Isub, DeepStacksClampToDeepestFactor) {
+  const double d4 = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                            SubthresholdBias::kFullVds, 4);
+  const double d9 = isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                            SubthresholdBias::kFullVds, 9);
+  EXPECT_DOUBLE_EQ(d4, d9);
+}
+
+TEST(Isub, CollapsedVdsLeaksResidually) {
+  const double full = isub_na(tech(), DeviceType::kPmos, VtClass::kLow, 1.0,
+                              SubthresholdBias::kFullVds, 1);
+  const double zero = isub_na(tech(), DeviceType::kPmos, VtClass::kLow, 1.0,
+                              SubthresholdBias::kZeroVds, 1);
+  EXPECT_LT(zero, 0.1 * full);
+  EXPECT_GT(zero, 0.0);
+}
+
+TEST(Isub, InvalidArgumentsThrow) {
+  EXPECT_THROW(isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 0.0,
+                       SubthresholdBias::kFullVds, 1),
+               ContractError);
+  EXPECT_THROW(isub_na(tech(), DeviceType::kNmos, VtClass::kLow, 1.0,
+                       SubthresholdBias::kFullVds, 0),
+               ContractError);
+}
+
+TEST(Igate, ThickOxideReductionExactlyCalibrated) {
+  const double thin =
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0, GateBias::kFullChannel);
+  const double thick =
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThick, 1.0, GateBias::kFullChannel);
+  EXPECT_NEAR(thin / thick, 11.0, 1e-9);
+}
+
+TEST(Igate, PmosTunnelingOrderOfMagnitudeBelowNmos) {
+  // Paper Sec. 2: "Igate for a PMOS device is typically one order of
+  // magnitude smaller than that for an NMOS device" under SiO2.
+  const double nmos =
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0, GateBias::kFullChannel);
+  const double pmos =
+      igate_na(tech(), DeviceType::kPmos, ToxClass::kThin, 1.0, GateBias::kFullChannel);
+  EXPECT_NEAR(pmos / nmos, 0.10, 1e-9);
+}
+
+TEST(Igate, ReducedChannelIsNegligible) {
+  const double full =
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0, GateBias::kFullChannel);
+  const double reduced = igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0,
+                                  GateBias::kReducedChannel);
+  EXPECT_LT(reduced, 0.05 * full);
+}
+
+TEST(Igate, ReverseOverlapTunnelingWellBelowChannel) {
+  // Paper Sec. 2: reverse tunneling is restricted to the overlap region and
+  // is orders of magnitude below channel tunneling.
+  const double full =
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0, GateBias::kFullChannel);
+  const double edt = igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0,
+                              GateBias::kReverseOverlap);
+  EXPECT_LT(edt, 0.05 * full);
+  EXPECT_GT(edt, 0.0);
+}
+
+TEST(Igate, NoneBiasIsZero) {
+  EXPECT_DOUBLE_EQ(
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, 1.0, GateBias::kNone), 0.0);
+}
+
+TEST(Igate, InvalidWidthThrows) {
+  EXPECT_THROW(
+      igate_na(tech(), DeviceType::kNmos, ToxClass::kThin, -1.0, GateBias::kFullChannel),
+      ContractError);
+}
+
+TEST(LeakageBreakdown, AccumulatesAndReportsFraction) {
+  LeakageBreakdown a{.isub_na = 64.0, .igate_na = 36.0};
+  LeakageBreakdown b{.isub_na = 1.0, .igate_na = 2.0};
+  const LeakageBreakdown sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.total_na(), 103.0);
+  EXPECT_NEAR(a.igate_fraction(), 0.36, 1e-12);
+  EXPECT_DOUBLE_EQ(LeakageBreakdown{}.igate_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace svtox::model
+
+namespace svtox::model {
+namespace {
+
+TEST(Temperature, IsubGrowsExponentially) {
+  const TechParams& room = TechParams::nominal();
+  const TechParams hot = room.at_temperature(273.15 + 110.0);
+  // Roughly two orders of magnitude between 27C and 110C.
+  const double ratio = hot.isub_n_low / room.isub_n_low;
+  EXPECT_GT(ratio, 30.0);
+  EXPECT_LT(ratio, 500.0);
+}
+
+TEST(Temperature, IgateNearlyAthermal) {
+  const TechParams& room = TechParams::nominal();
+  const TechParams hot = room.at_temperature(273.15 + 110.0);
+  EXPECT_NEAR(hot.igate_n_thin / room.igate_n_thin, 1.0, 0.1);
+}
+
+TEST(Temperature, VtRatioCompressesWithHeat) {
+  const TechParams& room = TechParams::nominal();
+  const TechParams hot = room.at_temperature(360.0);
+  EXPECT_LT(hot.vt_ratio_n, room.vt_ratio_n);
+  EXPECT_GT(hot.vt_ratio_n, 1.0);
+  // And cooling sharpens it.
+  const TechParams cold = room.at_temperature(250.0);
+  EXPECT_GT(cold.vt_ratio_n, room.vt_ratio_n);
+}
+
+TEST(Temperature, RoomTemperatureIsIdentity) {
+  const TechParams& room = TechParams::nominal();
+  const TechParams same = room.at_temperature(room.temp_kelvin);
+  EXPECT_DOUBLE_EQ(same.isub_n_low, room.isub_n_low);
+  EXPECT_DOUBLE_EQ(same.vt_ratio_n, room.vt_ratio_n);
+  EXPECT_DOUBLE_EQ(same.igate_n_thin, room.igate_n_thin);
+}
+
+TEST(Temperature, IgateShareShrinksOnHotDie) {
+  // The paper's footnote, in numbers: at operating temperature Isub
+  // dominates; in cool standby Igate is a major component.
+  const TechParams& room = TechParams::nominal();
+  const TechParams hot = room.at_temperature(273.15 + 110.0);
+  const double room_share = room.igate_n_thin / (room.igate_n_thin + room.isub_n_low);
+  const double hot_share = hot.igate_n_thin / (hot.igate_n_thin + hot.isub_n_low);
+  EXPECT_LT(hot_share, 0.3 * room_share);
+}
+
+}  // namespace
+}  // namespace svtox::model

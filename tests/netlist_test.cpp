@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sim.hpp"
+#include "util/error.hpp"
+
+namespace svtox::netlist {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+Netlist two_gate_circuit() {
+  // y = NAND2(a, b); z = INV(y)  => z = a AND b.
+  Netlist n("tiny", &lib());
+  const int a = n.add_signal("a");
+  const int b = n.add_signal("b");
+  const int y = n.add_signal("y");
+  const int z = n.add_signal("z");
+  n.mark_input(a);
+  n.mark_input(b);
+  n.mark_output(z);
+  n.add_gate("g0", "NAND2", {a, b}, y);
+  n.add_gate("g1", "INV", {y}, z);
+  n.finalize();
+  return n;
+}
+
+TEST(Netlist, BasicConstructionAndQueries) {
+  const Netlist n = two_gate_circuit();
+  EXPECT_EQ(n.num_signals(), 4);
+  EXPECT_EQ(n.num_gates(), 2);
+  EXPECT_EQ(n.num_inputs(), 2);
+  EXPECT_EQ(n.num_outputs(), 1);
+  EXPECT_EQ(n.depth(), 2);
+  EXPECT_EQ(n.driver(0), -1);
+  EXPECT_EQ(n.driver(2), 0);
+  EXPECT_EQ(n.find_signal("z"), 3);
+  EXPECT_EQ(n.find_signal("nope"), -1);
+  ASSERT_EQ(n.sinks(2).size(), 1u);
+  EXPECT_EQ(n.sinks(2)[0].gate, 1);
+  EXPECT_TRUE(n.is_primary_output(3));
+  EXPECT_FALSE(n.is_primary_output(2));
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist n = two_gate_circuit();
+  const auto& order = n.topological_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(n.gate_level(0), 1);
+  EXPECT_EQ(n.gate_level(1), 2);
+}
+
+TEST(Netlist, SignalLoadIncludesSinksWireAndPoLoad) {
+  const Netlist n = two_gate_circuit();
+  const model::TechParams& tech = lib().tech();
+  // Signal y drives the inverter input plus one wire segment.
+  const double inv_cap = lib().cell("INV").topology().pin_capacitance_ff(0);
+  EXPECT_NEAR(n.signal_load_ff(2), inv_cap + tech.wire_ff_per_fanout, 1e-9);
+  // Signal z is a primary output with no sinks.
+  EXPECT_NEAR(n.signal_load_ff(3), tech.default_po_load_ff, 1e-9);
+}
+
+TEST(Netlist, RejectsMultipleDrivers) {
+  Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int y = n.add_signal("y");
+  n.mark_input(a);
+  n.add_gate("g0", "INV", {a}, y);
+  n.add_gate("g1", "INV", {a}, y);
+  EXPECT_THROW(n.finalize(), ContractError);
+}
+
+TEST(Netlist, RejectsUndrivenSignal) {
+  Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int y = n.add_signal("y");
+  (void)a;
+  n.add_signal("floating");
+  n.mark_input(a);
+  n.add_gate("g0", "INV", {a}, y);
+  EXPECT_THROW(n.finalize(), ContractError);
+}
+
+TEST(Netlist, RejectsCombinationalCycle) {
+  Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int x = n.add_signal("x");
+  const int y = n.add_signal("y");
+  n.mark_input(a);
+  n.add_gate("g0", "NAND2", {a, y}, x);
+  n.add_gate("g1", "INV", {x}, y);
+  EXPECT_THROW(n.finalize(), ContractError);
+}
+
+TEST(Netlist, RejectsDrivenPrimaryInput) {
+  Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int y = n.add_signal("y");
+  n.mark_input(a);
+  n.mark_input(y);
+  n.add_gate("g0", "INV", {a}, y);
+  EXPECT_THROW(n.finalize(), ContractError);
+}
+
+TEST(Netlist, RejectsArityMismatch) {
+  Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int y = n.add_signal("y");
+  n.mark_input(a);
+  EXPECT_THROW(n.add_gate("g0", "NAND2", {a}, y), ContractError);
+}
+
+TEST(Netlist, RebindPreservesStructure) {
+  const Netlist n = two_gate_circuit();
+  liberty::LibraryOptions options;
+  options.variant_options.vt_only = true;
+  const liberty::Library vt = liberty::Library::build(model::TechParams::nominal(), options);
+  const Netlist r = rebind(n, vt);
+  EXPECT_EQ(r.num_gates(), n.num_gates());
+  EXPECT_EQ(r.num_inputs(), n.num_inputs());
+  EXPECT_EQ(&r.library(), &vt);
+  EXPECT_EQ(r.cell_of(0).name(), "NAND2");
+  // Identical simulation behaviour.
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    const std::vector<bool> in = {(v & 1) != 0, (v & 2) != 0};
+    EXPECT_EQ(sim::simulate(n, in).back(), sim::simulate(r, in).back());
+  }
+}
+
+TEST(BenchIo, ParsesAllPrimitivesAndMatchesTruth) {
+  const std::string text = R"(
+# exhaustive primitive test
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o_not)
+OUTPUT(o_buf)
+OUTPUT(o_and)
+OUTPUT(o_or)
+OUTPUT(o_nand)
+OUTPUT(o_nor)
+OUTPUT(o_xor)
+OUTPUT(o_xnor)
+o_not = NOT(a)
+o_buf = BUFF(a)
+o_and = AND(a, b, c)
+o_or = OR(a, b, c)
+o_nand = NAND(a, b)
+o_nor = NOR(a, b)
+o_xor = XOR(a, b, c)
+o_xnor = XNOR(a, b)
+)";
+  const Netlist n = read_bench(text, "prim", lib());
+  EXPECT_EQ(n.num_inputs(), 3);
+  EXPECT_EQ(n.num_outputs(), 8);
+
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, c = v & 4;
+    const std::vector<bool> in = {a, b, c};
+    const std::vector<bool> values = sim::simulate(n, in);
+    auto out = [&](const char* name) {
+      return values[static_cast<std::size_t>(n.find_signal(name))];
+    };
+    EXPECT_EQ(out("o_not"), !a) << v;
+    EXPECT_EQ(out("o_buf"), a) << v;
+    EXPECT_EQ(out("o_and"), a && b && c) << v;
+    EXPECT_EQ(out("o_or"), a || b || c) << v;
+    EXPECT_EQ(out("o_nand"), !(a && b)) << v;
+    EXPECT_EQ(out("o_nor"), !(a || b)) << v;
+    EXPECT_EQ(out("o_xor"), a ^ b ^ c) << v;
+    EXPECT_EQ(out("o_xnor"), !(a ^ b)) << v;
+  }
+}
+
+TEST(BenchIo, MapsWideGatesToTrees) {
+  // A 7-input NAND needs AND subtrees; function must be preserved.
+  std::string text = "INPUT(a0)\n";
+  for (int i = 1; i < 7; ++i) text += "INPUT(a" + std::to_string(i) + ")\n";
+  text += "OUTPUT(y)\ny = NAND(a0, a1, a2, a3, a4, a5, a6)\n";
+  const Netlist n = read_bench(text, "wide", lib());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> in(7);
+    bool all = true;
+    for (int i = 0; i < 7; ++i) {
+      in[static_cast<std::size_t>(i)] = (trial * 7 + i) % 3 != 0;
+      all = all && in[static_cast<std::size_t>(i)];
+    }
+    const auto values = sim::simulate(n, in);
+    EXPECT_EQ(values[static_cast<std::size_t>(n.find_signal("y"))], !all);
+  }
+}
+
+TEST(BenchIo, RejectsMalformedInput) {
+  EXPECT_THROW(read_bench("y = FROB(a)\nINPUT(a)\nOUTPUT(y)", "bad", lib()), ParseError);
+  EXPECT_THROW(read_bench("INPUT(\n", "bad", lib()), ParseError);
+  EXPECT_THROW(read_bench("y NAND(a, b)", "bad", lib()), ParseError);
+  EXPECT_THROW(read_bench("y = NAND()", "bad", lib()), ParseError);
+}
+
+TEST(BenchIo, WriteReadRoundTripPreservesFunction) {
+  const Netlist original = two_gate_circuit();
+  const std::string text = write_bench(original);
+  const Netlist back = read_bench(text, "tiny", lib());
+  EXPECT_EQ(back.num_inputs(), original.num_inputs());
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    const std::vector<bool> in = {(v & 1) != 0, (v & 2) != 0};
+    const auto a = sim::simulate(original, in);
+    const auto b = sim::simulate(back, in);
+    EXPECT_EQ(a[static_cast<std::size_t>(original.find_signal("z"))],
+              b[static_cast<std::size_t>(back.find_signal("z"))]);
+  }
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  const std::string text = "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(y)\ny = NOT(a)\n";
+  const Netlist n = read_bench(text, "c", lib());
+  EXPECT_EQ(n.num_gates(), 1);
+}
+
+}  // namespace
+}  // namespace svtox::netlist

@@ -1,0 +1,199 @@
+// Sequential-circuit support: flip-flop state bits as sleep-vector
+// controls (the paper's refs [1][3] standby-entry mechanism), FF timing
+// boundaries, ISCAS-89 DFF parsing, and end-to-end optimization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/optimizer.hpp"
+#include "core/solution_io.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/leakage_eval.hpp"
+#include "sim/sim.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+
+namespace svtox {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+netlist::Netlist tiny_sequential() {
+  // in -> INV -> d; q -> INV -> out; with a DFF between d and q.
+  netlist::Netlist n("tiny_seq", &lib());
+  const int in = n.add_signal("in");
+  const int d = n.add_signal("d");
+  const int q = n.add_signal("q");
+  const int out = n.add_signal("out");
+  n.mark_input(in);
+  n.mark_output(out);
+  n.add_gate("g0", "INV", {in}, d);
+  n.add_gate("g1", "INV", {q}, out);
+  n.add_flip_flop("ff0", d, q);
+  n.finalize();
+  return n;
+}
+
+TEST(Sequential, ControlAndObservePoints) {
+  const auto n = tiny_sequential();
+  EXPECT_EQ(n.num_flip_flops(), 1);
+  EXPECT_TRUE(n.is_sequential());
+  EXPECT_EQ(n.num_control_points(), 2);   // in + q
+  EXPECT_EQ(n.control_points()[1], n.flip_flops()[0].q);
+  ASSERT_EQ(n.observe_points().size(), 2u);  // out + d
+  EXPECT_EQ(n.observe_points()[1], n.flip_flops()[0].d);
+}
+
+TEST(Sequential, CombinationalCircuitsUnchanged) {
+  const auto n = netlist::random_circuit(lib(), "seq_c", 8, 40, 91);
+  EXPECT_FALSE(n.is_sequential());
+  EXPECT_EQ(n.control_points(), n.primary_inputs());
+  EXPECT_EQ(n.observe_points(), n.primary_outputs());
+}
+
+TEST(Sequential, SimulationDrivesRegisterOutputs) {
+  const auto n = tiny_sequential();
+  // Control vector: (in, q).
+  const auto v10 = sim::simulate(n, {true, false});
+  EXPECT_FALSE(v10[static_cast<std::size_t>(n.find_signal("d"))]);
+  EXPECT_TRUE(v10[static_cast<std::size_t>(n.find_signal("out"))]);
+  const auto v01 = sim::simulate(n, {false, true});
+  EXPECT_TRUE(v01[static_cast<std::size_t>(n.find_signal("d"))]);
+  EXPECT_FALSE(v01[static_cast<std::size_t>(n.find_signal("out"))]);
+}
+
+TEST(Sequential, FlipFlopOutputCannotBeDriven) {
+  netlist::Netlist n("bad", &lib());
+  const int a = n.add_signal("a");
+  const int q = n.add_signal("q");
+  n.mark_input(a);
+  n.add_gate("g0", "INV", {a}, q);
+  n.add_flip_flop("ff", a, q);
+  EXPECT_THROW(n.finalize(), ContractError);
+}
+
+TEST(Sequential, TimingSpansRegisterBoundaries) {
+  // The pipeline's delay is per-stage, not the sum of stages: registers cut
+  // the paths.
+  const auto deep = netlist::sequential_pipeline(lib(), "p4", 8, 4, 60, 7);
+  const auto flat = netlist::random_circuit(lib(), "f1", 8, 240, 7);
+  sta::TimingState t_deep(deep);
+  sta::TimingState t_flat(flat);
+  const double d_deep = t_deep.analyze(sim::fastest_config(deep));
+  const double d_flat = t_flat.analyze(sim::fastest_config(flat));
+  EXPECT_LT(d_deep, d_flat);
+  EXPECT_GT(d_deep, 0.0);
+}
+
+TEST(Sequential, PipelineGeneratorStatistics) {
+  const auto n = netlist::sequential_pipeline(lib(), "p3", 8, 3, 50, 11);
+  EXPECT_EQ(n.num_inputs(), 8);
+  EXPECT_EQ(n.num_gates(), 150);
+  EXPECT_EQ(n.num_flip_flops(), 16);  // 2 internal banks of 8
+  EXPECT_EQ(n.num_control_points(), 24);
+  EXPECT_EQ(n.num_outputs(), 8);
+}
+
+TEST(Sequential, DffBenchRoundTrip) {
+  const std::string text = R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NOT(a)
+y = NAND(q, a)
+)";
+  const auto n = netlist::read_bench(text, "seq", lib());
+  EXPECT_EQ(n.num_flip_flops(), 1);
+  EXPECT_EQ(n.num_gates(), 2);
+  // Writer emits the DFF; re-reading preserves structure.
+  const auto back = netlist::read_bench(netlist::write_bench(n), "seq", lib());
+  EXPECT_EQ(back.num_flip_flops(), 1);
+  const auto eq = sim::check_equivalence(n, back, 200, 12);
+  EXPECT_TRUE(eq.equivalent);
+}
+
+TEST(Sequential, OptimizerCoversRegisterStates) {
+  const auto n = netlist::sequential_pipeline(lib(), "p_opt", 8, 3, 60, 13);
+  const opt::AssignmentProblem problem(n, 0.05);
+  const auto sol = opt::heuristic1(problem);
+  EXPECT_EQ(sol.sleep_vector.size(), static_cast<std::size_t>(n.num_control_points()));
+  EXPECT_LE(sol.delay_ps, problem.constraint_ps() + 1e-3);
+  // Cross-check leakage accounting through the simulator.
+  EXPECT_NEAR(sim::circuit_leakage_na(n, sol.config, sol.sleep_vector),
+              sol.leakage_na, 1e-6);
+}
+
+TEST(Sequential, StateControlBeatsInputOnlyControl) {
+  // Register control matters: freezing the best (pi, state) combination
+  // leaks less than the best achievable when registers float randomly.
+  const auto n = netlist::sequential_pipeline(lib(), "p_cmp", 8, 3, 60, 17);
+  const opt::AssignmentProblem problem(n, 0.05);
+  const auto sol = opt::heuristic1(problem);
+  const auto mc = sim::monte_carlo_leakage(n, sim::fastest_config(n), 1000, 17);
+  EXPECT_LT(sol.leakage_na, mc.mean_na);
+}
+
+TEST(Sequential, EndToEndThroughFacade) {
+  const auto n = netlist::sequential_pipeline(lib(), "p_core", 8, 2, 50, 19);
+  core::StandbyOptimizer optimizer(n);
+  core::RunConfig config;
+  config.penalty_fraction = 0.10;
+  config.time_limit_s = 0.3;
+  config.random_vectors = 500;
+  const auto h1 = optimizer.run(core::Method::kHeu1, config);
+  EXPECT_GT(h1.reduction_x, 1.5);
+  const auto vt = optimizer.run(core::Method::kVtState, config);
+  EXPECT_GT(h1.reduction_x, vt.reduction_x * 0.9);
+}
+
+TEST(Sequential, SolutionIoRoundTripsRegisterBits) {
+  const auto n = netlist::sequential_pipeline(lib(), "p_io", 6, 2, 30, 23);
+  const opt::AssignmentProblem problem(n, 0.10);
+  const auto sol = opt::heuristic1(problem);
+  const auto back = core::read_solution(core::write_solution(sol, n), n);
+  EXPECT_EQ(back.sleep_vector, sol.sleep_vector);
+}
+
+TEST(Sequential, RebindKeepsFlipFlops) {
+  liberty::LibraryOptions options;
+  options.variant_options.four_point = false;
+  const liberty::Library two = liberty::Library::build(model::TechParams::nominal(), options);
+  const auto n = netlist::sequential_pipeline(lib(), "p_rb", 6, 2, 30, 29);
+  const auto r = netlist::rebind(n, two);
+  EXPECT_EQ(r.num_flip_flops(), n.num_flip_flops());
+  EXPECT_TRUE(sim::check_equivalence(n, r, 300, 29).equivalent);
+}
+
+}  // namespace
+}  // namespace svtox
+
+namespace svtox {
+namespace {
+
+TEST(Sequential, S27BenchmarkParsesAndOptimizes) {
+  const std::string path =
+      (std::filesystem::path(__FILE__).parent_path().parent_path() / "data" /
+       "s27.bench")
+          .string();
+  const auto s27 = netlist::read_bench_file(path, lib());
+  EXPECT_EQ(s27.num_inputs(), 4);
+  EXPECT_EQ(s27.num_flip_flops(), 3);
+  EXPECT_EQ(s27.num_outputs(), 1);
+  EXPECT_EQ(s27.num_control_points(), 7);
+
+  const opt::AssignmentProblem problem(s27, 0.10);
+  const auto sol = opt::heuristic2(problem, 0.2);
+  EXPECT_LE(sol.delay_ps, problem.constraint_ps() + 1e-3);
+  const auto mc = sim::monte_carlo_leakage(s27, sim::fastest_config(s27), 500, 27);
+  EXPECT_LT(sol.leakage_na, mc.mean_na);
+}
+
+}  // namespace
+}  // namespace svtox

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "sim/leakage_eval.hpp"
+#include "sim/sim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::sim {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+netlist::Netlist random_net(std::uint64_t seed, int inputs = 12, int gates = 60) {
+  return netlist::random_circuit(lib(), "sim_r", inputs, gates, seed);
+}
+
+TEST(Simulate, InputCountMismatchThrows) {
+  const auto n = random_net(1);
+  EXPECT_THROW(simulate(n, std::vector<bool>(3)), ContractError);
+}
+
+TEST(Simulate64, AgreesWithScalarSimulation) {
+  // Property: every lane of the bit-parallel simulator matches a scalar run.
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    const auto n = random_net(seed);
+    Rng rng(seed * 77);
+    std::vector<std::uint64_t> words(static_cast<std::size_t>(n.num_inputs()));
+    for (auto& w : words) w = rng.next_u64();
+    const auto packed = simulate64(n, words);
+
+    for (int lane : {0, 1, 31, 63}) {
+      std::vector<bool> in(static_cast<std::size_t>(n.num_inputs()));
+      for (int i = 0; i < n.num_inputs(); ++i) in[i] = (words[i] >> lane) & 1;
+      const auto scalar = simulate(n, in);
+      for (int s = 0; s < n.num_signals(); ++s) {
+        EXPECT_EQ(scalar[static_cast<std::size_t>(s)],
+                  static_cast<bool>((packed[static_cast<std::size_t>(s)] >> lane) & 1))
+            << "seed " << seed << " lane " << lane << " signal " << s;
+      }
+    }
+  }
+}
+
+TEST(LocalState, ExtractsPinValues) {
+  const auto n = random_net(5);
+  Rng rng(5);
+  std::vector<bool> in(static_cast<std::size_t>(n.num_inputs()));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.next_bool();
+  const auto values = simulate(n, in);
+  for (int g = 0; g < n.num_gates(); ++g) {
+    const std::uint32_t state = local_state(n, values, g);
+    for (std::size_t pin = 0; pin < n.gate(g).fanins.size(); ++pin) {
+      EXPECT_EQ((state >> pin) & 1u,
+                values[static_cast<std::size_t>(n.gate(g).fanins[pin])] ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Ternary, FullyAssignedMatchesTwoValued) {
+  const auto n = random_net(7);
+  Rng rng(7);
+  std::vector<bool> in(static_cast<std::size_t>(n.num_inputs()));
+  std::vector<Tri> tin(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = rng.next_bool();
+    tin[i] = tri_of(in[i]);
+  }
+  const auto binary = simulate(n, in);
+  const auto ternary = simulate_ternary(n, tin);
+  for (int s = 0; s < n.num_signals(); ++s) {
+    EXPECT_EQ(ternary[static_cast<std::size_t>(s)],
+              tri_of(binary[static_cast<std::size_t>(s)]));
+  }
+}
+
+TEST(Ternary, AllUnknownInputsGiveMostlyUnknownOutputs) {
+  const auto n = random_net(9);
+  const auto values =
+      simulate_ternary(n, std::vector<Tri>(static_cast<std::size_t>(n.num_inputs()),
+                                           Tri::kX));
+  // Primary inputs stay X.
+  for (int s : n.primary_inputs()) {
+    EXPECT_EQ(values[static_cast<std::size_t>(s)], Tri::kX);
+  }
+}
+
+TEST(Ternary, SoundnessAgainstAllCompletions) {
+  // Property: whenever ternary simulation reports a definite signal value
+  // for a partial input assignment, every completion agrees with it.
+  const auto n = random_net(11, 8, 40);
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Tri> tin(static_cast<std::size_t>(n.num_inputs()));
+    std::vector<int> unknown;
+    for (std::size_t i = 0; i < tin.size(); ++i) {
+      const int roll = static_cast<int>(rng.next_below(3));
+      tin[i] = roll == 0 ? Tri::kZero : roll == 1 ? Tri::kOne : Tri::kX;
+      if (tin[i] == Tri::kX) unknown.push_back(static_cast<int>(i));
+    }
+    if (unknown.size() > 6) continue;  // keep the completion set small
+    const auto ternary = simulate_ternary(n, tin);
+
+    for (std::uint32_t mask = 0; mask < (1u << unknown.size()); ++mask) {
+      std::vector<bool> in(tin.size());
+      for (std::size_t i = 0; i < tin.size(); ++i) in[i] = tin[i] == Tri::kOne;
+      for (std::size_t u = 0; u < unknown.size(); ++u) {
+        in[static_cast<std::size_t>(unknown[u])] = (mask >> u) & 1;
+      }
+      const auto binary = simulate(n, in);
+      for (int s = 0; s < n.num_signals(); ++s) {
+        if (ternary[static_cast<std::size_t>(s)] == Tri::kX) continue;
+        EXPECT_EQ(tri_of(binary[static_cast<std::size_t>(s)]),
+                  ternary[static_cast<std::size_t>(s)])
+            << "signal " << s << " completion " << mask;
+      }
+    }
+  }
+}
+
+TEST(CompatibleStates, EnumeratesExactly) {
+  EXPECT_EQ(compatible_states({Tri::kZero, Tri::kOne}),
+            (std::vector<std::uint32_t>{0b10}));
+  const auto two_x = compatible_states({Tri::kX, Tri::kX});
+  EXPECT_EQ(two_x.size(), 4u);
+  const auto mixed = compatible_states({Tri::kOne, Tri::kX, Tri::kZero});
+  ASSERT_EQ(mixed.size(), 2u);
+  for (std::uint32_t s : mixed) {
+    EXPECT_TRUE(s & 1u);
+    EXPECT_FALSE(s & 4u);
+  }
+}
+
+TEST(LeakageEval, FastestConfigUsesFastestVariants) {
+  const auto n = random_net(13);
+  const CircuitConfig config = fastest_config(n);
+  for (int g = 0; g < n.num_gates(); ++g) {
+    EXPECT_EQ(config[static_cast<std::size_t>(g)].variant,
+              n.cell_of(g).fastest_variant());
+  }
+}
+
+TEST(LeakageEval, CircuitLeakageIsSumOfGateTables) {
+  const auto n = random_net(15);
+  const CircuitConfig config = fastest_config(n);
+  Rng rng(15);
+  std::vector<bool> in(static_cast<std::size_t>(n.num_inputs()));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.next_bool();
+  const auto values = simulate(n, in);
+
+  double expected = 0.0;
+  for (int g = 0; g < n.num_gates(); ++g) {
+    expected += n.cell_of(g).variant(n.cell_of(g).fastest_variant())
+                    .leakage_na[local_state(n, values, g)];
+  }
+  EXPECT_NEAR(circuit_leakage_na(n, config, in), expected, 1e-9);
+}
+
+TEST(LeakageEval, PinReorderingAtSleepStateNeverHurts) {
+  // The paper's Fig. 2(d)/(e) benefit: canonicalizing every gate's pins at
+  // the applied input state can only reduce leakage (stacked ON devices
+  // move above OFF devices, suppressing their tunneling), and on a random
+  // circuit it strictly helps.
+  const auto n = random_net(17);
+  CircuitConfig config = fastest_config(n);
+  Rng rng(17);
+  std::vector<bool> in(static_cast<std::size_t>(n.num_inputs()));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.next_bool();
+  const double before = circuit_leakage_na(n, config, in);
+
+  const auto values = simulate(n, in);
+  for (int g = 0; g < n.num_gates(); ++g) {
+    config[static_cast<std::size_t>(g)].mapping =
+        n.cell_of(g).canonicalize(local_state(n, values, g));
+  }
+  const double after = circuit_leakage_na(n, config, in);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_LT(after, before);  // strict on this circuit: reordering pays
+}
+
+TEST(MonteCarlo, DeterministicInSeed) {
+  const auto n = random_net(19);
+  const CircuitConfig config = fastest_config(n);
+  const auto a = monte_carlo_leakage(n, config, 256, 99);
+  const auto b = monte_carlo_leakage(n, config, 256, 99);
+  EXPECT_DOUBLE_EQ(a.mean_na, b.mean_na);
+  EXPECT_EQ(a.vectors, 256);
+}
+
+TEST(MonteCarlo, MeanWithinObservedRange) {
+  const auto n = random_net(21);
+  const auto result = monte_carlo_leakage(n, fastest_config(n), 500, 5);
+  EXPECT_GE(result.mean_na, result.min_na);
+  EXPECT_LE(result.mean_na, result.max_na);
+  EXPECT_GT(result.min_na, 0.0);
+}
+
+TEST(MonteCarlo, ConvergesAcrossSeeds) {
+  // Two independent 2000-vector estimates agree within a few percent.
+  const auto n = random_net(23, 16, 120);
+  const CircuitConfig config = fastest_config(n);
+  const double a = monte_carlo_leakage(n, config, 2000, 1).mean_na;
+  const double b = monte_carlo_leakage(n, config, 2000, 2).mean_na;
+  EXPECT_NEAR(a / b, 1.0, 0.05);
+}
+
+TEST(MonteCarlo, InvalidArgumentsThrow) {
+  const auto n = random_net(25);
+  EXPECT_THROW(monte_carlo_leakage(n, fastest_config(n), 0, 1), ContractError);
+  EXPECT_THROW(monte_carlo_leakage(n, CircuitConfig{}, 10, 1), ContractError);
+}
+
+}  // namespace
+}  // namespace svtox::sim
+
+namespace svtox::sim {
+namespace {
+
+TEST(MonteCarloParallel, ThreadCountInvariant) {
+  const auto n = netlist::random_circuit(
+      lib(), "mcp", 12, 100, 27);
+  const CircuitConfig config = fastest_config(n);
+  const auto t1 = monte_carlo_leakage_parallel(n, config, 3000, 5, 1);
+  const auto t4 = monte_carlo_leakage_parallel(n, config, 3000, 5, 4);
+  EXPECT_DOUBLE_EQ(t1.mean_na, t4.mean_na);
+  EXPECT_DOUBLE_EQ(t1.min_na, t4.min_na);
+  EXPECT_DOUBLE_EQ(t1.max_na, t4.max_na);
+}
+
+TEST(MonteCarloParallel, AgreesWithSerialEstimate) {
+  const auto n = netlist::random_circuit(
+      lib(), "mcp2", 12, 100, 28);
+  const CircuitConfig config = fastest_config(n);
+  const double serial = monte_carlo_leakage(n, config, 4096, 6).mean_na;
+  const double parallel = monte_carlo_leakage_parallel(n, config, 4096, 6, 0).mean_na;
+  // Different stream partitioning, same distribution.
+  EXPECT_NEAR(parallel / serial, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace svtox::sim

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "sim/leakage_eval.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::sta {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+netlist::Netlist inverter_chain(int length) {
+  netlist::Netlist n("chain", &lib());
+  int prev = n.add_signal("in");
+  n.mark_input(prev);
+  for (int i = 0; i < length; ++i) {
+    const int next = n.add_signal("n" + std::to_string(i));
+    n.add_gate("g" + std::to_string(i), "INV", {prev}, next);
+    prev = next;
+  }
+  n.mark_output(prev);
+  n.finalize();
+  return n;
+}
+
+TEST(Sta, ChainDelayGrowsLinearly) {
+  std::vector<double> delays;
+  for (int len : {2, 4, 8}) {
+    const auto n = inverter_chain(len);
+    TimingState timing(n);
+    delays.push_back(timing.analyze(sim::fastest_config(n)));
+  }
+  EXPECT_GT(delays[1], delays[0]);
+  EXPECT_GT(delays[2], delays[1]);
+  // Roughly proportional to length (within 30% of 2x per doubling).
+  EXPECT_NEAR(delays[2] / delays[1], 2.0, 0.6);
+}
+
+TEST(Sta, ArrivalsMonotoneAlongChain) {
+  const auto n = inverter_chain(6);
+  TimingState timing(n);
+  timing.analyze(sim::fastest_config(n));
+  double prev = 0.0;
+  for (int g : n.topological_order()) {
+    const int out = n.gate(g).output;
+    const double arrival =
+        std::max(timing.arrival_rise_ps(out), timing.arrival_fall_ps(out));
+    EXPECT_GT(arrival, prev);
+    prev = arrival;
+  }
+}
+
+TEST(Sta, SlowerVariantNeverDecreasesDelay) {
+  const auto n = netlist::random_circuit(lib(), "sta_r", 12, 80, 31);
+  TimingState timing(n);
+  sim::CircuitConfig config = sim::fastest_config(n);
+  const double base = timing.analyze(config);
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int g = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n.num_gates())));
+    const int variants = n.cell_of(g).num_variants();
+    config[static_cast<std::size_t>(g)].variant =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(variants)));
+    TimingState fresh(n);
+    EXPECT_GE(fresh.analyze(config), base - 1e-9);
+    config[static_cast<std::size_t>(g)].variant = n.cell_of(g).fastest_variant();
+  }
+}
+
+TEST(Sta, IncrementalMatchesFullReanalysis) {
+  // Property: after a random sequence of variant changes, incremental
+  // updates leave the exact same state as a from-scratch analysis.
+  const auto n = netlist::random_circuit(lib(), "sta_i", 14, 120, 37);
+  sim::CircuitConfig config = sim::fastest_config(n);
+  TimingState incremental(n);
+  incremental.analyze(config);
+
+  Rng rng(37);
+  for (int step = 0; step < 40; ++step) {
+    const int g = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n.num_gates())));
+    const int variants = n.cell_of(g).num_variants();
+    config[static_cast<std::size_t>(g)].variant =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(variants)));
+    const double inc_delay = incremental.update_after_gate_change(config, g, nullptr);
+
+    TimingState fresh(n);
+    const double full_delay = fresh.analyze(config);
+    ASSERT_NEAR(inc_delay, full_delay, 1e-6) << "step " << step;
+    for (int s = 0; s < n.num_signals(); ++s) {
+      ASSERT_NEAR(incremental.arrival_rise_ps(s), fresh.arrival_rise_ps(s), 1e-6);
+      ASSERT_NEAR(incremental.arrival_fall_ps(s), fresh.arrival_fall_ps(s), 1e-6);
+      ASSERT_NEAR(incremental.slew_rise_ps(s), fresh.slew_rise_ps(s), 1e-6);
+      ASSERT_NEAR(incremental.slew_fall_ps(s), fresh.slew_fall_ps(s), 1e-6);
+    }
+  }
+}
+
+TEST(Sta, UndoRestoresExactState) {
+  const auto n = netlist::random_circuit(lib(), "sta_u", 10, 70, 41);
+  sim::CircuitConfig config = sim::fastest_config(n);
+  TimingState timing(n);
+  const double base = timing.analyze(config);
+
+  std::vector<double> before_rise(static_cast<std::size_t>(n.num_signals()));
+  for (int s = 0; s < n.num_signals(); ++s) before_rise[s] = timing.arrival_rise_ps(s);
+
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int g = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n.num_gates())));
+    const int old = config[static_cast<std::size_t>(g)].variant;
+    config[static_cast<std::size_t>(g)].variant =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n.cell_of(g).num_variants())));
+    TimingUndo undo;
+    timing.update_after_gate_change(config, g, &undo);
+    timing.revert(undo);
+    config[static_cast<std::size_t>(g)].variant = old;
+
+    EXPECT_NEAR(timing.circuit_delay_ps(), base, 1e-9);
+    for (int s = 0; s < n.num_signals(); ++s) {
+      ASSERT_NEAR(timing.arrival_rise_ps(s), before_rise[s], 1e-9);
+    }
+  }
+}
+
+TEST(Sta, CriticalPathIsConnectedAndEndsAtInput) {
+  const auto n = netlist::random_circuit(lib(), "sta_c", 12, 90, 43);
+  sim::CircuitConfig config = sim::fastest_config(n);
+  TimingState timing(n);
+  timing.analyze(config);
+  const auto path = timing.critical_path(config);
+  ASSERT_FALSE(path.empty());
+  // First gate drives the critical output.
+  EXPECT_EQ(n.gate(path.front()).output, timing.critical_output().signal);
+  // Consecutive path gates are connected fanout -> fanin.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const int upstream_out = n.gate(path[i + 1]).output;
+    bool connected = false;
+    for (int f : n.gate(path[i]).fanins) connected = connected || f == upstream_out;
+    EXPECT_TRUE(connected) << "path position " << i;
+  }
+  // Path terminates at a primary input.
+  const auto& last = n.gate(path.back());
+  bool from_pi = false;
+  for (int f : last.fanins) from_pi = from_pi || n.driver(f) == -1;
+  EXPECT_TRUE(from_pi);
+}
+
+TEST(DelayBudget, EndpointsAndInterpolation) {
+  const auto n = netlist::random_circuit(lib(), "sta_b", 12, 100, 47);
+  const DelayBudget budget = compute_delay_budget(n);
+  EXPECT_GT(budget.fast_delay_ps, 0.0);
+  // All-slow sits near the combined corner factor above all-fast
+  // (paper: "nearly double").
+  const double ratio = budget.slow_delay_ps / budget.fast_delay_ps;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.8);
+  EXPECT_DOUBLE_EQ(budget.constraint_ps(0.0), budget.fast_delay_ps);
+  EXPECT_DOUBLE_EQ(budget.constraint_ps(1.0), budget.slow_delay_ps);
+  const double mid = budget.constraint_ps(0.5);
+  EXPECT_GT(mid, budget.fast_delay_ps);
+  EXPECT_LT(mid, budget.slow_delay_ps);
+}
+
+TEST(DelayBudget, FastEndpointMatchesAnalyze) {
+  const auto n = inverter_chain(5);
+  const DelayBudget budget = compute_delay_budget(n);
+  TimingState timing(n);
+  EXPECT_NEAR(timing.analyze(sim::fastest_config(n)), budget.fast_delay_ps, 1e-9);
+}
+
+}  // namespace
+}  // namespace svtox::sta

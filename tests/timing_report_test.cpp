@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
+#include "sta/timing_report.hpp"
+#include "util/error.hpp"
+
+namespace svtox::sta {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+TEST(SlackAnalysis, WorstSlackMatchesCircuitDelay) {
+  const auto n = netlist::random_circuit(lib(), "tr1", 10, 80, 51);
+  const auto config = sim::fastest_config(n);
+  TimingState timing(n);
+  const double delay = timing.analyze(config);
+  const double required = delay + 100.0;
+
+  const SlackAnalysis slack(n, config, required);
+  // The worst slack equals required - circuit delay (the critical PO).
+  EXPECT_NEAR(slack.worst_slack_ps(), 100.0, 1e-6);
+}
+
+TEST(SlackAnalysis, NegativeSlackWhenRequiredTooTight) {
+  const auto n = netlist::random_circuit(lib(), "tr2", 10, 80, 52);
+  const auto config = sim::fastest_config(n);
+  TimingState timing(n);
+  const double delay = timing.analyze(config);
+
+  const SlackAnalysis slack(n, config, 0.5 * delay);
+  EXPECT_LT(slack.worst_slack_ps(), 0.0);
+}
+
+TEST(SlackAnalysis, SlackNonNegativeEverywhereWhenMet) {
+  const auto n = netlist::random_circuit(lib(), "tr3", 12, 100, 53);
+  const auto config = sim::fastest_config(n);
+  TimingState timing(n);
+  const double delay = timing.analyze(config);
+  const SlackAnalysis slack(n, config, delay);
+  for (int s = 0; s < n.num_signals(); ++s) {
+    EXPECT_GE(slack.slack_ps(s), -1e-6) << n.signal_name(s);
+  }
+}
+
+TEST(SlackAnalysis, CriticalSignalsHaveSmallestSlack) {
+  const auto n = netlist::random_circuit(lib(), "tr4", 10, 90, 54);
+  const auto config = sim::fastest_config(n);
+  TimingState timing(n);
+  const double delay = timing.analyze(config);
+  const SlackAnalysis slack(n, config, delay);
+
+  const auto critical = slack.most_critical(5);
+  ASSERT_EQ(critical.size(), 5u);
+  for (std::size_t i = 1; i < critical.size(); ++i) {
+    EXPECT_LE(slack.slack_ps(critical[i - 1]), slack.slack_ps(critical[i]) + 1e-9);
+  }
+  // The most critical signal sits at ~zero slack.
+  EXPECT_NEAR(slack.slack_ps(critical[0]), 0.0, 1e-6);
+}
+
+TEST(SlackAnalysis, HistogramCountsAllSignals) {
+  const auto n = netlist::random_circuit(lib(), "tr5", 10, 60, 55);
+  const auto config = sim::fastest_config(n);
+  const SlackAnalysis slack(n, config, 5000.0);
+  const auto hist = slack.histogram(8);
+  int total = 0;
+  for (int c : hist) total += c;
+  EXPECT_EQ(total, n.num_signals());
+  EXPECT_THROW(slack.histogram(0), ContractError);
+}
+
+TEST(SlackAnalysis, OptimizedSolutionKeepsNonNegativeSlackAtConstraint) {
+  // After the greedy assignment, every signal must meet the delay
+  // constraint the optimizer enforced -- slack analysis cross-checks the
+  // incremental STA from an independent direction.
+  const auto n = netlist::random_circuit(lib(), "tr6", 12, 110, 56);
+  const opt::AssignmentProblem problem(n, 0.10);
+  const auto sol = opt::heuristic1(problem);
+  const SlackAnalysis slack(n, sol.config, problem.constraint_ps());
+  EXPECT_GE(slack.worst_slack_ps(), -1e-3);
+}
+
+TEST(WorstPath, RendersStagesInOrder) {
+  const auto n = netlist::random_circuit(lib(), "tr7", 8, 50, 57);
+  const auto config = sim::fastest_config(n);
+  const std::string report = render_worst_path(n, config);
+  EXPECT_NE(report.find("worst path"), std::string::npos);
+  EXPECT_NE(report.find("ps"), std::string::npos);
+  // At least one stage line.
+  EXPECT_NE(report.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svtox::sta

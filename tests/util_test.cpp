@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace svtox {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, NextBitsLengthAndVariety) {
+  Rng rng(17);
+  const auto bits = rng.next_bits(1000);
+  ASSERT_EQ(bits.size(), 1000u);
+  int ones = 0;
+  for (bool b : bits) ones += b;
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 600);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child stream must not simply replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.next_u64() == child.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  one\t two \n three ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[1], "two");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_upper("nand2"), "NAND2");
+  EXPECT_EQ(to_lower("NaNd2"), "nand2");
+}
+
+TEST(Strings, ParseSizeValidAndInvalid) {
+  EXPECT_EQ(parse_size("42"), 42u);
+  EXPECT_EQ(parse_size("  7 "), 7u);
+  EXPECT_THROW(parse_size("x7"), ContractError);
+  EXPECT_THROW(parse_size("7x"), ContractError);
+  EXPECT_THROW(parse_size(""), ContractError);
+}
+
+TEST(Strings, ParseDoubleValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double("abc"), ContractError);
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Deadline, ExpiresImmediatelyOnZeroBudget) {
+  Deadline d(0.0);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, LongBudgetNotExpired) {
+  Deadline d(100.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 90.0);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| long-name "), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, ShortRowsArePadded) {
+  AsciiTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.render().find("| 1 "), std::string::npos);
+}
+
+TEST(AsciiTable, WideRowsThrow) {
+  AsciiTable t;
+  t.set_header({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), ContractError);
+}
+
+TEST(AsciiTable, CsvEscapesSpecialCells) {
+  AsciiTable t;
+  t.set_header({"x", "y"});
+  t.add_row({"a,b", "q\"q"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svtox

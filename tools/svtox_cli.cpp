@@ -1,0 +1,323 @@
+// svtox command-line driver.
+//
+//   svtox characterize [-o lib.svlib] [--two-point] [--uniform-stack]
+//                      [--vt-only] [--nitrided]
+//   svtox optimize   (--bench file.bench | --circuit NAME)
+//                    [--penalty PCT] [--method heu1|heu2|state|vtstate|exact]
+//                    [--time-limit SEC] [--no-reorder] [-o solution.txt]
+//   svtox sweep      (--bench file.bench | --circuit NAME)
+//                    [--penalties 0,2,5,10,25] [-o curve.txt]
+//   svtox suite      [--penalty PCT] [--time-limit SEC]
+//   svtox verify     (--bench file.bench | --circuit NAME) --solution FILE
+//   svtox timing     (--bench file.bench | --circuit NAME)
+//                    [--solution FILE] [--required PS]
+//
+// `optimize --method sa` runs the simulated-annealing alternative;
+// `characterize -o name.lib` exports industry Liberty syntax.
+//
+// `--circuit NAME` picks one of the paper's benchmark stand-ins (c432 ...
+// alu64); `--bench` reads an ISCAS-85 netlist from disk.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/solution_io.hpp"
+#include "liberty/lib_format.hpp"
+#include "liberty/serialize.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/benchmarks.hpp"
+#include "opt/annealing.hpp"
+#include "report/report.hpp"
+#include "sta/sta.hpp"
+#include "sta/timing_report.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace svtox;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+    } else if (key == "-o") {
+      key = "output";
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    // Flags without values.
+    if (key == "two-point" || key == "uniform-stack" || key == "vt-only" ||
+        key == "nitrided" || key == "no-reorder") {
+      args.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      std::exit(2);
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: svtox <characterize|optimize|sweep|suite|verify> [options]\n"
+               "see the header of tools/svtox_cli.cpp or README.md for details\n");
+  return 2;
+}
+
+const model::TechParams& tech_for(const Args& args) {
+  return args.has("nitrided") ? model::TechParams::nitrided()
+                              : model::TechParams::nominal();
+}
+
+liberty::Library build_library(const Args& args) {
+  liberty::LibraryOptions options;
+  options.variant_options.four_point = !args.has("two-point");
+  options.variant_options.uniform_stack = args.has("uniform-stack");
+  options.variant_options.vt_only = args.has("vt-only");
+  return liberty::Library::build(tech_for(args), options);
+}
+
+netlist::Netlist load_circuit(const Args& args, const liberty::Library& library) {
+  if (args.has("bench")) return netlist::read_bench_file(args.get("bench"), library);
+  const std::string name = args.get("circuit", "c432");
+  return netlist::make_benchmark(name, library);
+}
+
+int cmd_characterize(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const std::string path = args.get("output", "svtox_library.svlib");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  // Liberty (.lib) syntax when the output name asks for it; otherwise the
+  // dense .svlib round-trip format.
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".lib") {
+    liberty::write_liberty_format(library, out);
+  } else {
+    liberty::write_library(library, out);
+  }
+  std::printf("characterized %d cells (%d versions) -> %s\n",
+              static_cast<int>(library.cells().size()), library.total_versions(),
+              path.c_str());
+  return 0;
+}
+
+core::Method method_from(const std::string& name) {
+  if (name == "heu1") return core::Method::kHeu1;
+  if (name == "heu2") return core::Method::kHeu2;
+  if (name == "state") return core::Method::kStateOnly;
+  if (name == "vtstate") return core::Method::kVtState;
+  if (name == "exact") return core::Method::kExact;
+  std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+int run_annealing(const Args& args, const netlist::Netlist& circuit,
+                  const core::RunConfig& config) {
+  const opt::AssignmentProblem problem(circuit, config.penalty_fraction);
+  opt::AnnealingOptions sa;
+  sa.time_limit_s = config.time_limit_s;
+  const opt::Solution sol = opt::simulated_annealing(problem, sa);
+  std::printf("%s: simulated annealing -> %.3f uA, delay %.0f ps (%llu moves)\n",
+              circuit.name().c_str(), sol.leakage_na / 1e3, sol.delay_ps,
+              static_cast<unsigned long long>(sol.states_explored));
+  if (args.has("output")) {
+    std::ofstream out(args.get("output"));
+    core::write_solution(sol, circuit, out);
+  }
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const netlist::Netlist circuit = load_circuit(args, library);
+  core::StandbyOptimizer optimizer(circuit);
+
+  core::RunConfig config;
+  config.penalty_fraction = parse_double(args.get("penalty", "5")) / 100.0;
+  config.time_limit_s = parse_double(args.get("time-limit", "5"));
+  if (args.get("method") == "sa") return run_annealing(args, circuit, config);
+  const core::Method method = method_from(args.get("method", "heu2"));
+
+  if (args.has("no-reorder")) {
+    // The ablation path goes through the problem API directly.
+    opt::ProblemOptions popts;
+    popts.use_pin_reorder = false;
+    const opt::AssignmentProblem problem(circuit, config.penalty_fraction, popts);
+    const opt::Solution sol = method == core::Method::kHeu1
+                                  ? opt::heuristic1(problem)
+                                  : opt::heuristic2(problem, config.time_limit_s);
+    std::printf("%s (no pin reorder): %.3f uA, delay %.0f ps\n",
+                circuit.name().c_str(), sol.leakage_na / 1e3, sol.delay_ps);
+    if (args.has("output")) {
+      std::ofstream out(args.get("output"));
+      core::write_solution(sol, circuit, out);
+    }
+    return 0;
+  }
+
+  const core::MethodResult result = optimizer.run(method, config);
+  std::printf("%s: %s -> %.3f uA (%.1fX vs random-average), delay %.0f ps, %s\n",
+              circuit.name().c_str(), core::to_string(method),
+              result.leakage_ua, result.reduction_x, result.solution.delay_ps,
+              report::format_seconds(result.runtime_s).c_str());
+
+  if (args.has("output")) {
+    const std::string path = args.get("output");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    core::write_solution(result.solution, circuit, out);
+    std::printf("solution written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const netlist::Netlist circuit = load_circuit(args, library);
+  core::StandbyOptimizer optimizer(circuit);
+
+  std::vector<double> penalties;
+  for (auto part : split(args.get("penalties", "0,2,5,10,25,50,100"), ',')) {
+    penalties.push_back(parse_double(part) / 100.0);
+  }
+
+  AsciiTable table;
+  table.set_header({"penalty %", "heu1 uA", "X", "delay ps"});
+  for (double p : penalties) {
+    core::RunConfig config;
+    config.penalty_fraction = p;
+    const auto result = optimizer.run(core::Method::kHeu1, config);
+    table.add_row({format_double(p * 100, 0), report::format_ua(result.leakage_ua),
+                   report::format_x(result.reduction_x),
+                   format_double(result.solution.delay_ps, 0)});
+  }
+  std::printf("%s", table.render().c_str());
+  if (args.has("output")) report::save_table(table, args.get("output"));
+  return 0;
+}
+
+int cmd_suite(const Args& args) {
+  const liberty::Library library = build_library(args);
+  core::RunConfig config;
+  config.penalty_fraction = parse_double(args.get("penalty", "5")) / 100.0;
+  config.time_limit_s = parse_double(args.get("time-limit", "1"));
+
+  AsciiTable table;
+  table.set_header({"circuit", "gates", "avg uA", "heu1 uA", "X", "heu1 time"});
+  for (const auto& spec : netlist::benchmark_suite()) {
+    const auto circuit = netlist::make_benchmark(spec.name, library);
+    core::StandbyOptimizer optimizer(circuit);
+    const auto avg = optimizer.run(core::Method::kAverageRandom, config);
+    const auto h1 = optimizer.run(core::Method::kHeu1, config);
+    table.add_row({spec.name, std::to_string(circuit.num_gates()),
+                   report::format_ua(avg.leakage_ua), report::format_ua(h1.leakage_ua),
+                   report::format_x(h1.reduction_x),
+                   report::format_seconds(h1.solution.runtime_s)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_timing(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const netlist::Netlist circuit = load_circuit(args, library);
+
+  sim::CircuitConfig config = sim::fastest_config(circuit);
+  if (args.has("solution")) {
+    std::ifstream in(args.get("solution"));
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", args.get("solution").c_str());
+      return 1;
+    }
+    config = core::read_solution(in, circuit).config;
+  }
+
+  sta::TimingState timing(circuit);
+  const double delay = timing.analyze(config);
+  const double required =
+      args.has("required") ? parse_double(args.get("required")) : delay;
+
+  std::printf("%s", sta::render_worst_path(circuit, config).c_str());
+  const sta::SlackAnalysis slack(circuit, config, required);
+  std::printf("\nworst slack vs %.0f ps requirement: %.1f ps\n", required,
+              slack.worst_slack_ps());
+  std::printf("slack histogram (8 bins, critical first):");
+  for (int c : slack.histogram(8)) std::printf(" %d", c);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const netlist::Netlist circuit = load_circuit(args, library);
+  if (!args.has("solution")) {
+    std::fprintf(stderr, "verify requires --solution FILE\n");
+    return 2;
+  }
+  std::ifstream in(args.get("solution"));
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", args.get("solution").c_str());
+    return 1;
+  }
+  const opt::Solution sol = core::read_solution(in, circuit);
+
+  // Independent recomputation of the claimed numbers.
+  const double leak = sim::circuit_leakage_na(circuit, sol.config, sol.sleep_vector);
+  sta::TimingState timing(circuit);
+  const double delay = timing.analyze(sol.config);
+  const bool leak_ok = std::abs(leak - sol.leakage_na) <= 0.01 * sol.leakage_na + 1.0;
+  const bool delay_ok = std::abs(delay - sol.delay_ps) <= 0.01 * sol.delay_ps + 1.0;
+
+  std::printf("claimed:   %.3f uA, %.0f ps\n", sol.leakage_na / 1e3, sol.delay_ps);
+  std::printf("recomputed: %.3f uA, %.0f ps\n", leak / 1e3, delay);
+  std::printf("verdict: leakage %s, delay %s\n", leak_ok ? "OK" : "MISMATCH",
+              delay_ok ? "OK" : "MISMATCH");
+  return leak_ok && delay_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "characterize") return cmd_characterize(args);
+    if (args.command == "optimize") return cmd_optimize(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "suite") return cmd_suite(args);
+    if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "timing") return cmd_timing(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
