@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_library_options.dir/bench_table5_library_options.cpp.o"
+  "CMakeFiles/bench_table5_library_options.dir/bench_table5_library_options.cpp.o.d"
+  "bench_table5_library_options"
+  "bench_table5_library_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_library_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

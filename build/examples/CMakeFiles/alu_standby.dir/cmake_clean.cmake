@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_standby.dir/alu_standby.cpp.o"
+  "CMakeFiles/alu_standby.dir/alu_standby.cpp.o.d"
+  "alu_standby"
+  "alu_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_leakage_tradeoff.dir/delay_leakage_tradeoff.cpp.o"
+  "CMakeFiles/delay_leakage_tradeoff.dir/delay_leakage_tradeoff.cpp.o.d"
+  "delay_leakage_tradeoff"
+  "delay_leakage_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_leakage_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

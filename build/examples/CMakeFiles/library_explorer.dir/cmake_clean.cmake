@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_explorer.dir/library_explorer.cpp.o"
+  "CMakeFiles/library_explorer.dir/library_explorer.cpp.o.d"
+  "library_explorer"
+  "library_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_standby.dir/sequential_standby.cpp.o"
+  "CMakeFiles/sequential_standby.dir/sequential_standby.cpp.o.d"
+  "sequential_standby"
+  "sequential_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for temperature_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellkit/analyzer.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/analyzer.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/analyzer.cpp.o.d"
+  "/root/repo/src/cellkit/area.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/area.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/area.cpp.o.d"
+  "/root/repo/src/cellkit/delay.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/delay.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/delay.cpp.o.d"
+  "/root/repo/src/cellkit/sp_network.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/sp_network.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/sp_network.cpp.o.d"
+  "/root/repo/src/cellkit/state.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/state.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/state.cpp.o.d"
+  "/root/repo/src/cellkit/topology.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/topology.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/topology.cpp.o.d"
+  "/root/repo/src/cellkit/variants.cpp" "src/cellkit/CMakeFiles/svtox_cellkit.dir/variants.cpp.o" "gcc" "src/cellkit/CMakeFiles/svtox_cellkit.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/svtox_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svtox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_cellkit.dir/analyzer.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/analyzer.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/area.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/area.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/delay.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/delay.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/sp_network.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/sp_network.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/state.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/state.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/topology.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/topology.cpp.o.d"
+  "CMakeFiles/svtox_cellkit.dir/variants.cpp.o"
+  "CMakeFiles/svtox_cellkit.dir/variants.cpp.o.d"
+  "libsvtox_cellkit.a"
+  "libsvtox_cellkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_cellkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

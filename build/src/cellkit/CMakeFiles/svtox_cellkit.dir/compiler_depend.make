@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svtox_cellkit.
+# This may be replaced when dependencies are built.

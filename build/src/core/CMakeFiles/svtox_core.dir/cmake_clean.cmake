@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_core.dir/optimizer.cpp.o"
+  "CMakeFiles/svtox_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/svtox_core.dir/solution_io.cpp.o"
+  "CMakeFiles/svtox_core.dir/solution_io.cpp.o.d"
+  "libsvtox_core.a"
+  "libsvtox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvtox_core.a"
+)

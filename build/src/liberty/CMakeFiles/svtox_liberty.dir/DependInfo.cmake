@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/lib_format.cpp" "src/liberty/CMakeFiles/svtox_liberty.dir/lib_format.cpp.o" "gcc" "src/liberty/CMakeFiles/svtox_liberty.dir/lib_format.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/svtox_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/svtox_liberty.dir/library.cpp.o.d"
+  "/root/repo/src/liberty/nldm.cpp" "src/liberty/CMakeFiles/svtox_liberty.dir/nldm.cpp.o" "gcc" "src/liberty/CMakeFiles/svtox_liberty.dir/nldm.cpp.o.d"
+  "/root/repo/src/liberty/serialize.cpp" "src/liberty/CMakeFiles/svtox_liberty.dir/serialize.cpp.o" "gcc" "src/liberty/CMakeFiles/svtox_liberty.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellkit/CMakeFiles/svtox_cellkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/svtox_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svtox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_liberty.dir/lib_format.cpp.o"
+  "CMakeFiles/svtox_liberty.dir/lib_format.cpp.o.d"
+  "CMakeFiles/svtox_liberty.dir/library.cpp.o"
+  "CMakeFiles/svtox_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/svtox_liberty.dir/nldm.cpp.o"
+  "CMakeFiles/svtox_liberty.dir/nldm.cpp.o.d"
+  "CMakeFiles/svtox_liberty.dir/serialize.cpp.o"
+  "CMakeFiles/svtox_liberty.dir/serialize.cpp.o.d"
+  "libsvtox_liberty.a"
+  "libsvtox_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_model.dir/leakage.cpp.o"
+  "CMakeFiles/svtox_model.dir/leakage.cpp.o.d"
+  "CMakeFiles/svtox_model.dir/tech.cpp.o"
+  "CMakeFiles/svtox_model.dir/tech.cpp.o.d"
+  "libsvtox_model.a"
+  "libsvtox_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

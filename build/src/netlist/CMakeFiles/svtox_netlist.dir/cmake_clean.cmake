@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/svtox_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/svtox_netlist.dir/benchmarks.cpp.o"
+  "CMakeFiles/svtox_netlist.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/svtox_netlist.dir/generators.cpp.o"
+  "CMakeFiles/svtox_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/svtox_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/svtox_netlist.dir/netlist.cpp.o.d"
+  "libsvtox_netlist.a"
+  "libsvtox_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

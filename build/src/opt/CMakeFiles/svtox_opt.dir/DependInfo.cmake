@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/annealing.cpp" "src/opt/CMakeFiles/svtox_opt.dir/annealing.cpp.o" "gcc" "src/opt/CMakeFiles/svtox_opt.dir/annealing.cpp.o.d"
+  "/root/repo/src/opt/gate_assign.cpp" "src/opt/CMakeFiles/svtox_opt.dir/gate_assign.cpp.o" "gcc" "src/opt/CMakeFiles/svtox_opt.dir/gate_assign.cpp.o.d"
+  "/root/repo/src/opt/problem.cpp" "src/opt/CMakeFiles/svtox_opt.dir/problem.cpp.o" "gcc" "src/opt/CMakeFiles/svtox_opt.dir/problem.cpp.o.d"
+  "/root/repo/src/opt/state_search.cpp" "src/opt/CMakeFiles/svtox_opt.dir/state_search.cpp.o" "gcc" "src/opt/CMakeFiles/svtox_opt.dir/state_search.cpp.o.d"
+  "/root/repo/src/opt/unknown_state.cpp" "src/opt/CMakeFiles/svtox_opt.dir/unknown_state.cpp.o" "gcc" "src/opt/CMakeFiles/svtox_opt.dir/unknown_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/svtox_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svtox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/svtox_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svtox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/svtox_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellkit/CMakeFiles/svtox_cellkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/svtox_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

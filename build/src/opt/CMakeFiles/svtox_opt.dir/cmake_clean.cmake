@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_opt.dir/annealing.cpp.o"
+  "CMakeFiles/svtox_opt.dir/annealing.cpp.o.d"
+  "CMakeFiles/svtox_opt.dir/gate_assign.cpp.o"
+  "CMakeFiles/svtox_opt.dir/gate_assign.cpp.o.d"
+  "CMakeFiles/svtox_opt.dir/problem.cpp.o"
+  "CMakeFiles/svtox_opt.dir/problem.cpp.o.d"
+  "CMakeFiles/svtox_opt.dir/state_search.cpp.o"
+  "CMakeFiles/svtox_opt.dir/state_search.cpp.o.d"
+  "CMakeFiles/svtox_opt.dir/unknown_state.cpp.o"
+  "CMakeFiles/svtox_opt.dir/unknown_state.cpp.o.d"
+  "libsvtox_opt.a"
+  "libsvtox_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

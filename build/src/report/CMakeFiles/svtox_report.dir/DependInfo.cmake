@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/breakdown.cpp" "src/report/CMakeFiles/svtox_report.dir/breakdown.cpp.o" "gcc" "src/report/CMakeFiles/svtox_report.dir/breakdown.cpp.o.d"
+  "/root/repo/src/report/dot_export.cpp" "src/report/CMakeFiles/svtox_report.dir/dot_export.cpp.o" "gcc" "src/report/CMakeFiles/svtox_report.dir/dot_export.cpp.o.d"
+  "/root/repo/src/report/report.cpp" "src/report/CMakeFiles/svtox_report.dir/report.cpp.o" "gcc" "src/report/CMakeFiles/svtox_report.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svtox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/svtox_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellkit/CMakeFiles/svtox_cellkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svtox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/svtox_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/svtox_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

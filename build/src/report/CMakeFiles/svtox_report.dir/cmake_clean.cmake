@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_report.dir/breakdown.cpp.o"
+  "CMakeFiles/svtox_report.dir/breakdown.cpp.o.d"
+  "CMakeFiles/svtox_report.dir/dot_export.cpp.o"
+  "CMakeFiles/svtox_report.dir/dot_export.cpp.o.d"
+  "CMakeFiles/svtox_report.dir/report.cpp.o"
+  "CMakeFiles/svtox_report.dir/report.cpp.o.d"
+  "libsvtox_report.a"
+  "libsvtox_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/svtox_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/svtox_sim.dir/leakage_eval.cpp.o"
+  "CMakeFiles/svtox_sim.dir/leakage_eval.cpp.o.d"
+  "CMakeFiles/svtox_sim.dir/probability.cpp.o"
+  "CMakeFiles/svtox_sim.dir/probability.cpp.o.d"
+  "CMakeFiles/svtox_sim.dir/sim.cpp.o"
+  "CMakeFiles/svtox_sim.dir/sim.cpp.o.d"
+  "libsvtox_sim.a"
+  "libsvtox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

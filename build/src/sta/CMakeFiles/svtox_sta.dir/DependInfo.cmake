@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/svtox_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/svtox_sta.dir/sta.cpp.o.d"
+  "/root/repo/src/sta/timing_report.cpp" "src/sta/CMakeFiles/svtox_sta.dir/timing_report.cpp.o" "gcc" "src/sta/CMakeFiles/svtox_sta.dir/timing_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svtox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/svtox_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svtox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/svtox_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellkit/CMakeFiles/svtox_cellkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/svtox_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_sta.dir/sta.cpp.o"
+  "CMakeFiles/svtox_sta.dir/sta.cpp.o.d"
+  "CMakeFiles/svtox_sta.dir/timing_report.cpp.o"
+  "CMakeFiles/svtox_sta.dir/timing_report.cpp.o.d"
+  "libsvtox_sta.a"
+  "libsvtox_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox_util.dir/log.cpp.o"
+  "CMakeFiles/svtox_util.dir/log.cpp.o.d"
+  "CMakeFiles/svtox_util.dir/rng.cpp.o"
+  "CMakeFiles/svtox_util.dir/rng.cpp.o.d"
+  "CMakeFiles/svtox_util.dir/strings.cpp.o"
+  "CMakeFiles/svtox_util.dir/strings.cpp.o.d"
+  "CMakeFiles/svtox_util.dir/table.cpp.o"
+  "CMakeFiles/svtox_util.dir/table.cpp.o.d"
+  "libsvtox_util.a"
+  "libsvtox_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

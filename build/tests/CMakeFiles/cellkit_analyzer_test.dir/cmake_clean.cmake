@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellkit_analyzer_test.dir/cellkit_analyzer_test.cpp.o"
+  "CMakeFiles/cellkit_analyzer_test.dir/cellkit_analyzer_test.cpp.o.d"
+  "cellkit_analyzer_test"
+  "cellkit_analyzer_test.pdb"
+  "cellkit_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellkit_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellkit_delay_test.dir/cellkit_delay_test.cpp.o"
+  "CMakeFiles/cellkit_delay_test.dir/cellkit_delay_test.cpp.o.d"
+  "cellkit_delay_test"
+  "cellkit_delay_test.pdb"
+  "cellkit_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellkit_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellkit_property_test.dir/cellkit_property_test.cpp.o"
+  "CMakeFiles/cellkit_property_test.dir/cellkit_property_test.cpp.o.d"
+  "cellkit_property_test"
+  "cellkit_property_test.pdb"
+  "cellkit_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellkit_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

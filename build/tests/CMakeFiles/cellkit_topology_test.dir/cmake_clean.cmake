@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellkit_topology_test.dir/cellkit_topology_test.cpp.o"
+  "CMakeFiles/cellkit_topology_test.dir/cellkit_topology_test.cpp.o.d"
+  "cellkit_topology_test"
+  "cellkit_topology_test.pdb"
+  "cellkit_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellkit_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellkit_variants_test.dir/cellkit_variants_test.cpp.o"
+  "CMakeFiles/cellkit_variants_test.dir/cellkit_variants_test.cpp.o.d"
+  "cellkit_variants_test"
+  "cellkit_variants_test.pdb"
+  "cellkit_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellkit_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

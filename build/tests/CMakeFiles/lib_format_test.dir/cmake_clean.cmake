@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lib_format_test.dir/lib_format_test.cpp.o"
+  "CMakeFiles/lib_format_test.dir/lib_format_test.cpp.o.d"
+  "lib_format_test"
+  "lib_format_test.pdb"
+  "lib_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lib_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

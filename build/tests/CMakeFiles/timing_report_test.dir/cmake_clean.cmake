@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_report_test.dir/timing_report_test.cpp.o"
+  "CMakeFiles/timing_report_test.dir/timing_report_test.cpp.o.d"
+  "timing_report_test"
+  "timing_report_test.pdb"
+  "timing_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_state_test.dir/unknown_state_test.cpp.o"
+  "CMakeFiles/unknown_state_test.dir/unknown_state_test.cpp.o.d"
+  "unknown_state_test"
+  "unknown_state_test.pdb"
+  "unknown_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtox.dir/svtox_cli.cpp.o"
+  "CMakeFiles/svtox.dir/svtox_cli.cpp.o.d"
+  "svtox"
+  "svtox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
