@@ -6,8 +6,11 @@
 
 #include "liberty/library.hpp"
 #include "model/tech.hpp"
+#include "netlist/benchmarks.hpp"
 #include "netlist/generators.hpp"
+#include "opt/bound_engine.hpp"
 #include "opt/state_search.hpp"
+#include "sim/incremental.hpp"
 #include "sim/leakage_eval.hpp"
 #include "sim/sim.hpp"
 #include "sta/sta.hpp"
@@ -121,6 +124,124 @@ void BM_GreedyGateAssign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyGateAssign);
+
+// ---------------------------------------------------------------------------
+// Bound-engine benchmarks (BENCH_bound_engine.json).
+//
+// `probe descent` is the branch-and-bound inner loop: at each depth probe
+// both polarities of the next input (set, read bound, undo) and commit the
+// better-looking branch. BM_BoundEngineIncremental runs it on the
+// event-driven engine (cone resimulation + cached per-gate terms);
+// BM_BoundEngineReference runs the same sequence with every bound
+// recomputed from scratch, which is what the search did before this
+// engine existed. Both use c6288 (16x16 array multiplier, 2470 gates),
+// the largest bundled netlist.
+
+const netlist::Netlist& c6288() {
+  static const netlist::Netlist n = netlist::make_benchmark("c6288", lib());
+  return n;
+}
+
+const opt::AssignmentProblem& c6288_problem() {
+  static const opt::AssignmentProblem p(c6288(), 0.05);
+  return p;
+}
+
+double probe_descent(opt::BoundEngine& engine, int depth) {
+  double acc = 0.0;
+  for (int d = 0; d < depth; ++d) {
+    const double zero = engine.set_input(d, sim::Tri::kZero);
+    engine.undo();
+    const double one = engine.set_input(d, sim::Tri::kOne);
+    engine.undo();
+    acc += engine.set_input(d, zero <= one ? sim::Tri::kZero : sim::Tri::kOne);
+  }
+  for (int d = 0; d < depth; ++d) engine.undo();
+  return acc;
+}
+
+void BM_BoundEngineIncremental(benchmark::State& state) {
+  opt::BoundEngine engine(c6288_problem(), opt::BoundKind::kMinVariant,
+                          opt::BoundMode::kIncremental);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe_descent(engine, depth));
+  }
+  // Three bound evaluations per depth level.
+  state.SetItemsProcessed(state.iterations() * depth * 3);
+}
+BENCHMARK(BM_BoundEngineIncremental)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BoundEngineReference(benchmark::State& state) {
+  opt::BoundEngine engine(c6288_problem(), opt::BoundKind::kMinVariant,
+                          opt::BoundMode::kReference);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe_descent(engine, depth));
+  }
+  state.SetItemsProcessed(state.iterations() * depth * 3);
+}
+BENCHMARK(BM_BoundEngineReference)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalTernaryUpdate(benchmark::State& state) {
+  sim::IncrementalTernarySim inc(c6288());
+  Rng rng(6);
+  for (auto _ : state) {
+    const int index =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(c6288().num_inputs())));
+    inc.set_input(index, rng.next_bool() ? sim::Tri::kOne : sim::Tri::kZero);
+    inc.undo();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalTernaryUpdate);
+
+void BM_FullTernarySim(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<sim::Tri> inputs(static_cast<std::size_t>(c6288().num_inputs()),
+                               sim::Tri::kX);
+  for (auto _ : state) {
+    const auto index = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(c6288().num_inputs())));
+    inputs[index] = rng.next_bool() ? sim::Tri::kOne : sim::Tri::kZero;
+    benchmark::DoNotOptimize(sim::simulate_ternary(c6288(), inputs));
+    inputs[index] = sim::Tri::kX;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullTernarySim);
+
+// Root-split scaling: a fixed-work full-tree search at 1/2/4/8 worker
+// threads. XOR trees keep ternary bounds flat, so nothing prunes and the
+// search visits all 2^11 leaves with greedy gate assignment at each --
+// identical work at every thread count (verified: leaves == 2^inputs).
+// Results depend on the host's core count (recorded as `num_cpus` in the
+// benchmark JSON context); on a single-CPU host the threads timeslice and
+// the curve is necessarily flat.
+const opt::AssignmentProblem& parity_problem() {
+  static const netlist::Netlist n = netlist::parity_checker(lib(), 8, 2);
+  static const opt::AssignmentProblem p(n, 0.05);
+  return p;
+}
+
+void BM_RootSplitFullTree(benchmark::State& state) {
+  opt::SearchOptions options;
+  options.time_limit_s = 1e9;  // run to tree exhaustion, not to a deadline
+  options.threads = static_cast<int>(state.range(0));
+  std::int64_t leaves = 0;
+  for (auto _ : state) {
+    const opt::Solution sol = opt::heuristic2(parity_problem(), options);
+    leaves = sol.states_explored;
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["leaves"] =
+      benchmark::Counter(static_cast<double>(leaves));
+  state.SetItemsProcessed(state.iterations() * leaves);
+}
+BENCHMARK(BM_RootSplitFullTree)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LibraryBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -87,27 +87,41 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
     case Method::kAverageRandom:
       result.leakage_ua = avg_ua;
       break;
-    case Method::kStateOnly:
+    case Method::kStateOnly: {
+      opt::SearchOptions options;
+      options.time_limit_s = config.time_limit_s;
+      options.random_probes = 256;
+      options.threads = config.threads;
       result.solution =
-          opt::state_only_search(problem_for(config.penalty_fraction),
-                                 config.time_limit_s);
+          opt::state_only_search(problem_for(config.penalty_fraction), options);
       break;
-    case Method::kVtState:
-      result.solution = opt::heuristic2(vt_problem_for(config.penalty_fraction),
-                                        config.time_limit_s, config.gate_order);
+    }
+    case Method::kVtState: {
+      opt::SearchOptions options;
+      options.time_limit_s = config.time_limit_s;
+      options.gate_order = config.gate_order;
+      options.threads = config.threads;
+      result.solution =
+          opt::heuristic2(vt_problem_for(config.penalty_fraction), options);
       break;
+    }
     case Method::kHeu1:
       result.solution =
           opt::heuristic1(problem_for(config.penalty_fraction), config.gate_order);
       break;
-    case Method::kHeu2:
-      result.solution = opt::heuristic2(problem_for(config.penalty_fraction),
-                                        config.time_limit_s, config.gate_order);
+    case Method::kHeu2: {
+      opt::SearchOptions options;
+      options.time_limit_s = config.time_limit_s;
+      options.gate_order = config.gate_order;
+      options.threads = config.threads;
+      result.solution = opt::heuristic2(problem_for(config.penalty_fraction), options);
       break;
+    }
     case Method::kExact: {
       opt::SearchOptions options;
       options.time_limit_s = config.time_limit_s;
       options.gate_order = config.gate_order;
+      options.threads = config.threads;
       result.solution = opt::exact_search(problem_for(config.penalty_fraction), options);
       break;
     }

@@ -45,6 +45,10 @@ struct RunConfig {
   int random_vectors = 10000;      ///< Monte-Carlo vector count.
   std::uint64_t seed = 2004;       ///< Monte-Carlo seed.
   opt::GateOrder gate_order = opt::GateOrder::kBySavings;
+  /// Worker threads for the state-tree search's parallel root split
+  /// (Heu2, exact, state-only, Vt+state). 1 = serial, 0 = all hardware
+  /// threads. Heu1 is a single descent and always serial.
+  int threads = 1;
 };
 
 /// Outcome of one method run.

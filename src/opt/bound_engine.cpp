@@ -1,0 +1,111 @@
+#include "opt/bound_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::opt {
+
+double masked_gate_bound_na(const AssignmentProblem& problem, int gate,
+                            sim::TriMask mask, BoundKind kind) {
+  double gate_min = 1e300;
+  std::uint32_t sub = mask.xmask;
+  for (;;) {
+    const std::uint32_t state = mask.ones | sub;
+    const double leak = kind == BoundKind::kMinVariant
+                            ? problem.min_gate_leak_na(gate, state)
+                            : problem.fastest_gate_leak_na(gate, state);
+    gate_min = std::min(gate_min, leak);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask.xmask;
+  }
+  return gate_min;
+}
+
+double leakage_lower_bound_na(const AssignmentProblem& problem,
+                              const std::vector<sim::Tri>& input_values,
+                              BoundKind kind) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<sim::Tri> values = sim::simulate_ternary(netlist, input_values);
+  double bound = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    bound += masked_gate_bound_na(problem, g,
+                                  sim::local_ternary_mask(netlist, values, g), kind);
+  }
+  return bound;
+}
+
+BoundEngine::BoundEngine(const AssignmentProblem& problem, BoundKind kind,
+                         BoundMode mode)
+    : problem_(&problem), kind_(kind), mode_(mode), sim_(problem.netlist()) {
+  if (mode_ == BoundMode::kReference) {
+    ref_inputs_.assign(
+        static_cast<std::size_t>(problem.netlist().num_control_points()), sim::Tri::kX);
+    return;
+  }
+  const netlist::Netlist& netlist = problem.netlist();
+  terms_.resize(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    terms_[static_cast<std::size_t>(g)] = masked_gate_bound_na(
+        problem, g, sim::local_ternary_mask(netlist, sim_.values(), g), kind_);
+  }
+}
+
+const std::vector<sim::Tri>& BoundEngine::input_values() const {
+  return mode_ == BoundMode::kReference ? ref_inputs_ : sim_.input_values();
+}
+
+double BoundEngine::set_input(int index, sim::Tri value) {
+  if (mode_ == BoundMode::kReference) {
+    ref_log_.push_back({index, ref_inputs_[static_cast<std::size_t>(index)]});
+    ref_inputs_[static_cast<std::size_t>(index)] = value;
+    return bound();
+  }
+  term_marks_.push_back(term_log_.size());
+  changed_.clear();
+  sim_.set_input(index, value, &changed_);
+  for (int g : changed_) {
+    const std::size_t gate = static_cast<std::size_t>(g);
+    term_log_.push_back({g, terms_[gate]});
+    terms_[gate] = masked_gate_bound_na(
+        *problem_, g, sim::local_ternary_mask(problem_->netlist(), sim_.values(), g),
+        kind_);
+  }
+  return bound();
+}
+
+void BoundEngine::undo() {
+  if (mode_ == BoundMode::kReference) {
+    if (ref_log_.empty()) throw ContractError("BoundEngine::undo: no frame");
+    ref_inputs_[static_cast<std::size_t>(ref_log_.back().index)] =
+        ref_log_.back().previous;
+    ref_log_.pop_back();
+    return;
+  }
+  if (term_marks_.empty()) throw ContractError("BoundEngine::undo: no frame");
+  const std::size_t mark = term_marks_.back();
+  term_marks_.pop_back();
+  while (term_log_.size() > mark) {
+    terms_[static_cast<std::size_t>(term_log_.back().gate)] = term_log_.back().previous;
+    term_log_.pop_back();
+  }
+  sim_.undo();
+}
+
+double BoundEngine::bound() const {
+  if (mode_ == BoundMode::kReference) {
+    return leakage_lower_bound_na(*problem_, ref_inputs_, kind_);
+  }
+  // Summed in gate-index order -- the exact addition sequence of the
+  // reference path -- so incremental and reference bounds are bit-equal.
+  double bound = 0.0;
+  for (double term : terms_) bound += term;
+  return bound;
+}
+
+int BoundEngine::frames() const {
+  return mode_ == BoundMode::kReference ? static_cast<int>(ref_log_.size())
+                                        : static_cast<int>(term_marks_.size());
+}
+
+}  // namespace svtox::opt

@@ -1,0 +1,94 @@
+// Incremental leakage lower-bound engine for the state-tree search.
+//
+// The bound at a partial input assignment is a sum of independent per-gate
+// terms (min leakage over the local states compatible with the ternary
+// valuation). BoundEngine keeps every term cached; when one control point
+// is assigned, the event-driven ternary simulator reports exactly the
+// gates whose local state changed and only those terms are recomputed.
+// The total is still summed over the term array in gate-index order, so
+// the reported bound is bit-identical to the from-scratch
+// `leakage_lower_bound_na` reference -- branch ordering (and therefore
+// every search result) is unchanged by the optimization.
+//
+// BoundMode::kReference keeps the original full recomputation alive for
+// cross-checks in tests and for the before/after microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/problem.hpp"
+#include "sim/incremental.hpp"
+#include "sim/sim.hpp"
+
+namespace svtox::opt {
+
+/// What the per-gate bound assumes about cell versions.
+enum class BoundKind : std::uint8_t {
+  kMinVariant,      ///< Gates may take their best version (proposed method).
+  kFastestVariant,  ///< Gates stay at the fastest version (state-only).
+};
+
+/// How the bound is evaluated.
+enum class BoundMode : std::uint8_t {
+  kIncremental,  ///< Cone-update + cached per-gate terms (default).
+  kReference,    ///< Full ternary resimulation per probe (cross-check).
+};
+
+/// Lower bound on `gate`'s leakage over every full local state compatible
+/// with the masked ternary state (allocation-free subset walk).
+double masked_gate_bound_na(const AssignmentProblem& problem, int gate,
+                            sim::TriMask mask, BoundKind kind);
+
+class BoundEngine {
+ public:
+  BoundEngine(const AssignmentProblem& problem, BoundKind kind,
+              BoundMode mode = BoundMode::kIncremental);
+
+  const AssignmentProblem& problem() const { return *problem_; }
+  BoundKind kind() const { return kind_; }
+  BoundMode mode() const { return mode_; }
+
+  /// Current partial assignment, in control_points() order.
+  const std::vector<sim::Tri>& input_values() const;
+
+  /// Assigns control point `index` (opens an undo frame) and returns the
+  /// bound of the new partial assignment. O(fanout cone) in incremental
+  /// mode, O(circuit) in reference mode.
+  double set_input(int index, sim::Tri value);
+
+  /// Reverts the most recent un-undone set_input.
+  void undo();
+
+  /// Bound of the current partial assignment.
+  double bound() const;
+
+  /// Number of set_input frames currently open.
+  int frames() const;
+
+ private:
+  const AssignmentProblem* problem_;
+  BoundKind kind_;
+  BoundMode mode_;
+
+  // --- Incremental mode state ---
+  sim::IncrementalTernarySim sim_;
+  std::vector<double> terms_;  ///< Cached per-gate bound terms.
+  struct TermWrite {
+    int gate;
+    double previous;
+  };
+  std::vector<TermWrite> term_log_;
+  std::vector<std::size_t> term_marks_;  ///< term_log_ length per frame.
+  std::vector<int> changed_;             ///< Scratch for the sim's report.
+
+  // --- Reference mode state ---
+  std::vector<sim::Tri> ref_inputs_;
+  struct InputWrite {
+    int index;
+    sim::Tri previous;
+  };
+  std::vector<InputWrite> ref_log_;
+};
+
+}  // namespace svtox::opt

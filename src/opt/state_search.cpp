@@ -1,135 +1,265 @@
 #include "opt/state_search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/threads.hpp"
 #include "util/timer.hpp"
 
 namespace svtox::opt {
 
-double leakage_lower_bound_na(const AssignmentProblem& problem,
-                              const std::vector<sim::Tri>& input_values,
-                              BoundKind kind) {
-  const netlist::Netlist& netlist = problem.netlist();
-  const std::vector<sim::Tri> values = sim::simulate_ternary(netlist, input_values);
-  double bound = 0.0;
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    const std::vector<sim::Tri> pins = sim::local_ternary(netlist, values, g);
-    double gate_min = 1e300;
-    for (std::uint32_t state : sim::compatible_states(pins)) {
-      const double leak = kind == BoundKind::kMinVariant
-                              ? problem.min_gate_leak_na(g, state)
-                              : problem.fastest_gate_leak_na(g, state);
-      gate_min = std::min(gate_min, leak);
-    }
-    bound += gate_min;
-  }
-  return bound;
-}
-
 namespace {
 
-/// Shared DFS driver for Heu1/Heu2/exact/state-only. Performs the bounded
-/// depth-first state-tree search with branch ordering by bound; the leaf
-/// evaluator and bound kind differ per mode.
-class StateSearch {
- public:
-  StateSearch(const AssignmentProblem& problem, const SearchOptions& options,
-              BoundKind bound_kind, bool state_only)
-      : problem_(problem),
-        options_(options),
-        bound_kind_(bound_kind),
-        state_only_(state_only),
-        deadline_(options.time_limit_s) {}
+int ceil_log2(std::uint32_t value) {
+  int bits = 0;
+  while ((1u << bits) < value) ++bits;
+  return bits;
+}
 
-  Solution run() {
-    Timer timer;
-    const netlist::Netlist& netlist = problem_.netlist();
-    best_.leakage_na = 1e300;
-    inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), sim::Tri::kX);
-    dfs(0);
-    // Probe random vectors after the first descent so the descent result is
-    // never displaced by luck when equal, only by strictly better vectors.
-    if (options_.random_probes > 0) {
-      Rng rng(0x5eedbeefcafe0001ULL);
-      for (int probe = 0; probe < options_.random_probes; ++probe) {
-        std::vector<bool> vector(static_cast<std::size_t>(netlist.num_control_points()));
-        for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
-        Solution leaf = state_only_ ? evaluate_state_only(problem_, vector)
-                                    : assign_gates_greedy(problem_, vector,
-                                                          options_.gate_order);
-        ++leaves_;
-        if (leaf.leakage_na < best_.leakage_na) best_ = std::move(leaf);
-      }
+/// Best-so-far solution shared by every search worker. The leakage is
+/// mirrored in an atomic so prune checks never take the lock. Equal-leakage
+/// leaves tie-break toward the lexicographically smallest sleep vector, so
+/// an exhaustive search returns the same solution regardless of worker
+/// count or arrival order.
+class Incumbent {
+ public:
+  Incumbent() { best_.leakage_na = 1e300; }
+
+  double leakage() const { return leakage_.load(std::memory_order_acquire); }
+
+  void offer(Solution&& leaf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (leaf.leakage_na < best_.leakage_na ||
+        (leaf.leakage_na == best_.leakage_na &&
+         leaf.sleep_vector < best_.sleep_vector)) {
+      best_ = std::move(leaf);
+      leakage_.store(best_.leakage_na, std::memory_order_release);
     }
-    best_.nodes_visited = nodes_;
-    best_.states_explored = leaves_;
-    best_.runtime_s = timer.seconds();
+  }
+
+  Solution take() {
+    std::lock_guard<std::mutex> lock(mu_);
     return std::move(best_);
   }
 
  private:
+  std::atomic<double> leakage_{1e300};
+  mutable std::mutex mu_;
+  Solution best_;
+};
+
+/// Everything the DFS workers share: the problem, the budget, and the
+/// incumbent. Counters are atomics so the budget checks stay lock-free.
+struct SearchContext {
+  const AssignmentProblem& problem;
+  const SearchOptions& options;
+  BoundKind bound_kind;
+  bool state_only;
+  Deadline deadline;
+  Incumbent incumbent;
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<std::uint64_t> leaves{0};
+
+  SearchContext(const AssignmentProblem& p, const SearchOptions& o, BoundKind kind,
+                bool only_state)
+      : problem(p),
+        options(o),
+        bound_kind(kind),
+        state_only(only_state),
+        deadline(o.time_limit_s) {}
+
   bool out_of_budget() const {
-    if (options_.max_leaves != 0 && leaves_ >= options_.max_leaves) return true;
+    const std::uint64_t done = leaves.load(std::memory_order_relaxed);
+    if (options.max_leaves != 0 && done >= options.max_leaves) return true;
     // The very first leaf (Heu1's descent) always completes.
-    return leaves_ > 0 && deadline_.expired();
+    return done > 0 && deadline.expired();
   }
+};
 
-  void evaluate_leaf() {
-    ++leaves_;
-    std::vector<bool> vector(inputs_.size());
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
-      vector[i] = inputs_[i] == sim::Tri::kOne;
-    }
-    Solution leaf;
-    if (state_only_) {
-      leaf = evaluate_state_only(problem_, vector);
-    } else if (options_.exact_leaves) {
-      leaf = assign_gates_exact(problem_, vector, options_.max_gate_nodes);
-    } else {
-      leaf = assign_gates_greedy(problem_, vector, options_.gate_order);
-    }
-    if (leaf.leakage_na < best_.leakage_na) best_ = std::move(leaf);
-  }
+/// One search worker: owns a private BoundEngine (and hence a private
+/// incremental ternary simulator) and runs the bounded DFS over a subtree.
+class DfsWorker {
+ public:
+  explicit DfsWorker(SearchContext& ctx)
+      : ctx_(ctx), engine_(ctx.problem, ctx.bound_kind, ctx.options.bound_mode) {}
 
+  BoundEngine& engine() { return engine_; }
+
+  /// Bounded DFS assigning input_order positions [depth, n); positions
+  /// before `depth` must already be set through the engine.
   void dfs(std::size_t depth) {
-    ++nodes_;
-    if (depth == inputs_.size()) {
+    ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
+    if (depth == num_control_points()) {
       evaluate_leaf();
       return;
     }
-    if (out_of_budget()) return;
+    if (ctx_.out_of_budget()) return;
 
-    const int pi = problem_.input_order()[depth];
-    // Bound both branches to order (and, beyond the first descent, prune).
+    const int pi = ctx_.problem.input_order()[depth];
+    // Bound both branches to order (and, beyond the first leaf, prune).
     double bounds[2];
     for (int v = 0; v < 2; ++v) {
-      inputs_[static_cast<std::size_t>(pi)] = v == 0 ? sim::Tri::kZero : sim::Tri::kOne;
-      bounds[v] = leakage_lower_bound_na(problem_, inputs_, bound_kind_);
+      bounds[v] = engine_.set_input(pi, v == 0 ? sim::Tri::kZero : sim::Tri::kOne);
+      engine_.undo();
     }
     const int first = bounds[0] <= bounds[1] ? 0 : 1;
     for (int k = 0; k < 2; ++k) {
       const int v = k == 0 ? first : 1 - first;
-      if (leaves_ > 0 && bounds[v] >= best_.leakage_na - 1e-12) continue;  // prune
-      if (k == 1 && out_of_budget()) break;
-      inputs_[static_cast<std::size_t>(pi)] = v == 0 ? sim::Tri::kZero : sim::Tri::kOne;
+      if (ctx_.leaves.load(std::memory_order_relaxed) > 0 &&
+          bounds[v] >= ctx_.incumbent.leakage() - 1e-12) {
+        continue;  // prune
+      }
+      if (k == 1 && ctx_.out_of_budget()) break;
+      engine_.set_input(pi, v == 0 ? sim::Tri::kZero : sim::Tri::kOne);
       dfs(depth + 1);
-      if (options_.max_leaves != 0 && leaves_ >= options_.max_leaves) break;
+      engine_.undo();
+      if (ctx_.options.max_leaves != 0 &&
+          ctx_.leaves.load(std::memory_order_relaxed) >= ctx_.options.max_leaves) {
+        break;
+      }
     }
-    inputs_[static_cast<std::size_t>(pi)] = sim::Tri::kX;
   }
 
-  const AssignmentProblem& problem_;
-  SearchOptions options_;
-  BoundKind bound_kind_;
-  bool state_only_;
-  Deadline deadline_;
-  std::vector<sim::Tri> inputs_;
-  Solution best_;
-  std::uint64_t nodes_ = 0;
-  std::uint64_t leaves_ = 0;
+  /// Heu1's first descent: follow the better-bounded branch straight down
+  /// -- never pruned, never budget-limited -- then evaluate one leaf and
+  /// unwind. Used to seed the incumbent before the parallel split.
+  void descend() {
+    const std::size_t n = num_control_points();
+    for (std::size_t depth = 0; depth < n; ++depth) {
+      ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
+      const int pi = ctx_.problem.input_order()[depth];
+      double bounds[2];
+      for (int v = 0; v < 2; ++v) {
+        bounds[v] = engine_.set_input(pi, v == 0 ? sim::Tri::kZero : sim::Tri::kOne);
+        engine_.undo();
+      }
+      const int best = bounds[0] <= bounds[1] ? 0 : 1;
+      engine_.set_input(pi, best == 0 ? sim::Tri::kZero : sim::Tri::kOne);
+    }
+    ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
+    evaluate_leaf();
+    for (std::size_t depth = 0; depth < n; ++depth) engine_.undo();
+  }
+
+ private:
+  std::size_t num_control_points() const {
+    return static_cast<std::size_t>(ctx_.problem.netlist().num_control_points());
+  }
+
+  void evaluate_leaf() {
+    ctx_.leaves.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<sim::Tri>& inputs = engine_.input_values();
+    std::vector<bool> vector(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      vector[i] = inputs[i] == sim::Tri::kOne;
+    }
+    Solution leaf;
+    if (ctx_.state_only) {
+      leaf = evaluate_state_only(ctx_.problem, vector);
+    } else if (ctx_.options.exact_leaves) {
+      leaf = assign_gates_exact(ctx_.problem, vector, ctx_.options.max_gate_nodes);
+    } else {
+      leaf = assign_gates_greedy(ctx_.problem, vector, ctx_.options.gate_order);
+    }
+    ctx_.incumbent.offer(std::move(leaf));
+  }
+
+  SearchContext& ctx_;
+  BoundEngine engine_;
 };
+
+/// Parallel root split (SearchOptions::threads > 1): the top
+/// ceil(log2(threads)) + 2 levels of the state tree are enumerated as
+/// fixed-prefix subtrees that a thread pool drains through a shared
+/// atomic work index -- the same partition-then-drain pattern as
+/// monte_carlo_leakage_parallel. Oversplitting by 2 levels keeps the pool
+/// busy when subtree sizes are skewed by pruning.
+void parallel_split(SearchContext& ctx, int threads) {
+  const int n = ctx.problem.netlist().num_control_points();
+  const int split_levels =
+      std::min({n, ceil_log2(static_cast<std::uint32_t>(threads)) + 2, 16});
+  const std::uint32_t num_subtrees = 1u << split_levels;
+
+  std::atomic<std::uint32_t> next{0};
+  auto drain = [&ctx, &next, split_levels, num_subtrees] {
+    DfsWorker worker(ctx);
+    for (;;) {
+      const std::uint32_t subtree = next.fetch_add(1, std::memory_order_relaxed);
+      if (subtree >= num_subtrees) return;
+      if (ctx.out_of_budget()) return;
+      double bound = 0.0;
+      for (int level = 0; level < split_levels; ++level) {
+        bound = worker.engine().set_input(
+            ctx.problem.input_order()[level],
+            ((subtree >> level) & 1u) != 0 ? sim::Tri::kOne : sim::Tri::kZero);
+      }
+      if (bound < ctx.incumbent.leakage() - 1e-12) {
+        worker.dfs(static_cast<std::size_t>(split_levels));
+      }
+      for (int level = 0; level < split_levels; ++level) worker.engine().undo();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Shared driver for Heu1/Heu2/exact/state-only: bounded DFS (serial or
+/// root-split parallel) followed by the optional random-probe sweep.
+Solution run_search(const AssignmentProblem& problem, const SearchOptions& options,
+                    BoundKind bound_kind, bool state_only) {
+  Timer timer;
+  SearchContext ctx(problem, options, bound_kind, state_only);
+  const int n = problem.netlist().num_control_points();
+
+  // The root split needs an uncapped leaf budget (a shared cap would make
+  // the visited set depend on worker timing) and at least one level to
+  // split on.
+  const int threads = resolve_thread_count(options.threads, 64);
+  if (threads > 1 && options.max_leaves == 0 && n >= 2) {
+    // Phase 1 -- Heu1's serial descent seeds the shared incumbent, so the
+    // parallel continued search keeps the serial guarantees: the first
+    // leaf always completes and the result is never worse than Heu1.
+    {
+      DfsWorker seeder(ctx);
+      seeder.descend();
+    }
+    parallel_split(ctx, threads);
+  } else {
+    DfsWorker worker(ctx);
+    worker.dfs(0);
+  }
+
+  // Probe random vectors after the tree search so the descent result is
+  // only displaced by better (or equal-but-lexicographically-smaller)
+  // vectors, never by probe luck.
+  if (options.random_probes > 0) {
+    Rng rng(options.probe_seed);
+    for (int probe = 0; probe < options.random_probes; ++probe) {
+      std::vector<bool> vector(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
+      Solution leaf = state_only
+                          ? evaluate_state_only(problem, vector)
+                          : assign_gates_greedy(problem, vector, options.gate_order);
+      ctx.leaves.fetch_add(1, std::memory_order_relaxed);
+      ctx.incumbent.offer(std::move(leaf));
+    }
+  }
+
+  Solution best = ctx.incumbent.take();
+  best.nodes_visited = ctx.nodes.load(std::memory_order_relaxed);
+  best.states_explored = ctx.leaves.load(std::memory_order_relaxed);
+  best.runtime_s = timer.seconds();
+  return best;
+}
 
 }  // namespace
 
@@ -138,7 +268,7 @@ Solution heuristic1(const AssignmentProblem& problem, GateOrder gate_order) {
   options.max_leaves = 1;
   options.time_limit_s = 0.0;
   options.gate_order = gate_order;
-  return StateSearch(problem, options, BoundKind::kMinVariant, /*state_only=*/false).run();
+  return run_search(problem, options, BoundKind::kMinVariant, /*state_only=*/false);
 }
 
 Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
@@ -146,22 +276,33 @@ Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
   SearchOptions options;
   options.time_limit_s = time_limit_s;
   options.gate_order = gate_order;
-  return StateSearch(problem, options, BoundKind::kMinVariant, /*state_only=*/false).run();
+  return heuristic2(problem, options);
+}
+
+Solution heuristic2(const AssignmentProblem& problem, const SearchOptions& options) {
+  SearchOptions heu2 = options;
+  heu2.max_leaves = 0;
+  heu2.exact_leaves = false;
+  return run_search(problem, heu2, BoundKind::kMinVariant, /*state_only=*/false);
 }
 
 Solution exact_search(const AssignmentProblem& problem, const SearchOptions& options) {
   SearchOptions exact = options;
   exact.exact_leaves = true;
   exact.time_limit_s = options.time_limit_s > 0 ? options.time_limit_s : 1e9;
-  return StateSearch(problem, exact, BoundKind::kMinVariant, /*state_only=*/false).run();
+  return run_search(problem, exact, BoundKind::kMinVariant, /*state_only=*/false);
 }
 
 Solution state_only_search(const AssignmentProblem& problem, double time_limit_s) {
   SearchOptions options;
   options.time_limit_s = time_limit_s;
   options.random_probes = 256;  // leaf evaluation is a single O(G) simulation
-  return StateSearch(problem, options, BoundKind::kFastestVariant, /*state_only=*/true)
-      .run();
+  return state_only_search(problem, options);
+}
+
+Solution state_only_search(const AssignmentProblem& problem,
+                           const SearchOptions& options) {
+  return run_search(problem, options, BoundKind::kFastestVariant, /*state_only=*/true);
 }
 
 }  // namespace svtox::opt

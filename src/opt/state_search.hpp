@@ -3,7 +3,11 @@
 // The paper's Section 5 search structure: a binary tree over the primary
 // inputs (ordered most-influential first), each leaf evaluated by a
 // gate-tree search. Interior nodes are bounded by a ternary-simulation
-// leakage lower bound, which both orders the branches and prunes.
+// leakage lower bound, which both orders the branches and prunes. Bounds
+// are served by the incremental BoundEngine (cone-update + cached
+// per-gate terms); results are identical to the full-recomputation
+// reference because the engine sums its term cache in the reference's
+// gate order.
 //
 //  * Heuristic 1  -- a single downward traversal of both trees.
 //  * Heuristic 2  -- Heu1's descent plus continued bounded DFS until a time
@@ -12,10 +16,17 @@
 //  * state-only   -- the same state search with all gates pinned to their
 //                    fastest version (the paper's "Only State Assignment"
 //                    baseline).
+//
+// With `SearchOptions::threads > 1` the continued search splits the top
+// ceil(log2(threads)) + 2 levels of the state tree into subtrees drained
+// by a thread pool sharing one incumbent; equal-leakage leaves tie-break
+// on the lexicographically smallest sleep vector, so exhaustive (exact)
+// results do not depend on the thread count.
 #pragma once
 
 #include <cstdint>
 
+#include "opt/bound_engine.hpp"
 #include "opt/gate_assign.hpp"
 #include "opt/problem.hpp"
 #include "opt/solution.hpp"
@@ -23,16 +34,12 @@
 
 namespace svtox::opt {
 
-/// What the per-gate bound assumes about cell versions.
-enum class BoundKind : std::uint8_t {
-  kMinVariant,      ///< Gates may take their best version (proposed method).
-  kFastestVariant,  ///< Gates stay at the fastest version (state-only).
-};
-
 /// Admissible leakage lower bound for a partial input assignment: ternary
 /// simulation followed by a per-gate minimum over all local states
 /// compatible with the propagated 0/1/X values. Ignores the delay
-/// constraint, hence never overestimates the best completion.
+/// constraint, hence never overestimates the best completion. This is the
+/// from-scratch reference; the search itself uses the incremental
+/// BoundEngine, which returns bit-identical values.
 double leakage_lower_bound_na(const AssignmentProblem& problem,
                               const std::vector<sim::Tri>& input_values,
                               BoundKind kind);
@@ -54,6 +61,16 @@ struct SearchOptions {
   /// circuits); only worthwhile when leaf evaluation is cheap, so it
   /// defaults on for the state-only mode and off elsewhere.
   int random_probes = 0;
+  /// Seed of the random-probe vector stream (experiments can vary the
+  /// probes without code edits; the default preserves the historical
+  /// stream).
+  std::uint64_t probe_seed = 0x5eedbeefcafe0001ULL;
+  /// Worker threads for the continued search's root split. 1 = serial,
+  /// 0 = all hardware threads. Ignored (serial) when max_leaves != 0,
+  /// since a shared leaf budget would make the split nondeterministic.
+  int threads = 1;
+  /// Bound evaluation strategy; kReference is the slow cross-check path.
+  BoundMode bound_mode = BoundMode::kIncremental;
 };
 
 /// Heuristic 1: single downward traversal (paper Sec. 5).
@@ -64,6 +81,11 @@ Solution heuristic1(const AssignmentProblem& problem,
 Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
                     GateOrder gate_order = GateOrder::kBySavings);
 
+/// Heuristic 2 with full control over the search knobs (threads, probe
+/// seed, bound mode). `max_leaves` and `exact_leaves` are overridden to
+/// the Heu2 defaults.
+Solution heuristic2(const AssignmentProblem& problem, const SearchOptions& options);
+
 /// Exact simultaneous search over both trees. Exponential -- use only on
 /// small circuits or with caps via `options`.
 Solution exact_search(const AssignmentProblem& problem, const SearchOptions& options);
@@ -71,5 +93,9 @@ Solution exact_search(const AssignmentProblem& problem, const SearchOptions& opt
 /// State assignment alone: searches the state tree with every gate fixed to
 /// its fastest version (time-limited like Heu2).
 Solution state_only_search(const AssignmentProblem& problem, double time_limit_s);
+
+/// State-only search with full control over the search knobs.
+Solution state_only_search(const AssignmentProblem& problem,
+                           const SearchOptions& options);
 
 }  // namespace svtox::opt

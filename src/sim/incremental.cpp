@@ -1,0 +1,82 @@
+#include "sim/incremental.hpp"
+
+#include "util/error.hpp"
+
+namespace svtox::sim {
+
+IncrementalTernarySim::IncrementalTernarySim(const netlist::Netlist& netlist)
+    : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw ContractError("IncrementalTernarySim: netlist not finalized");
+  }
+  values_.assign(static_cast<std::size_t>(netlist.num_signals()), Tri::kX);
+  inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), Tri::kX);
+  level_bucket_.resize(static_cast<std::size_t>(netlist.depth()) + 1);
+  gate_epoch_.assign(static_cast<std::size_t>(netlist.num_gates()), 0);
+}
+
+void IncrementalTernarySim::enqueue_sinks(int signal) {
+  for (const netlist::Sink& sink : netlist_->sinks(signal)) {
+    const std::size_t g = static_cast<std::size_t>(sink.gate);
+    if (gate_epoch_[g] == epoch_) continue;
+    gate_epoch_[g] = epoch_;
+    level_bucket_[static_cast<std::size_t>(netlist_->gate_level(sink.gate))].push_back(
+        sink.gate);
+  }
+}
+
+void IncrementalTernarySim::set_input(int index, Tri value,
+                                      std::vector<int>* changed_gates) {
+  if (index < 0 || index >= netlist_->num_control_points()) {
+    throw ContractError("IncrementalTernarySim::set_input: index out of range");
+  }
+  frames_.push_back({undo_log_.size(), index, inputs_[static_cast<std::size_t>(index)]});
+  inputs_[static_cast<std::size_t>(index)] = value;
+
+  const int signal = netlist_->control_points()[static_cast<std::size_t>(index)];
+  if (values_[static_cast<std::size_t>(signal)] == value) return;
+  undo_log_.push_back({signal, values_[static_cast<std::size_t>(signal)]});
+  values_[static_cast<std::size_t>(signal)] = value;
+
+  // Levelized sweep: a gate's fanins are all driven at strictly lower
+  // levels, so processing buckets in ascending level order evaluates each
+  // cone gate exactly once, after all of its changed fanins settled.
+  ++epoch_;
+  enqueue_sinks(signal);
+  for (std::size_t level = 0; level < level_bucket_.size(); ++level) {
+    std::vector<int>& bucket = level_bucket_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const int g = bucket[i];
+      if (changed_gates != nullptr) changed_gates->push_back(g);
+      const Tri out = ternary_output(netlist_->cell_of(g).topology(),
+                                     local_ternary_mask(*netlist_, values_, g));
+      const std::size_t out_signal = static_cast<std::size_t>(netlist_->gate(g).output);
+      if (values_[out_signal] == out) continue;
+      undo_log_.push_back({static_cast<int>(out_signal), values_[out_signal]});
+      values_[out_signal] = out;
+      enqueue_sinks(static_cast<int>(out_signal));
+    }
+    bucket.clear();
+  }
+}
+
+void IncrementalTernarySim::undo() {
+  if (frames_.empty()) throw ContractError("IncrementalTernarySim::undo: no frame");
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  inputs_[static_cast<std::size_t>(frame.input_index)] = frame.previous_input;
+  while (undo_log_.size() > frame.log_size) {
+    const SignalWrite& write = undo_log_.back();
+    values_[static_cast<std::size_t>(write.signal)] = write.previous;
+    undo_log_.pop_back();
+  }
+}
+
+void IncrementalTernarySim::reset() {
+  values_.assign(values_.size(), Tri::kX);
+  inputs_.assign(inputs_.size(), Tri::kX);
+  undo_log_.clear();
+  frames_.clear();
+}
+
+}  // namespace svtox::sim

@@ -1,0 +1,82 @@
+// Event-driven ternary resimulation.
+//
+// The state-tree search assigns one control point per tree level and asks
+// for a leakage lower bound at every probe; a from-scratch ternary
+// simulation makes each probe O(circuit). IncrementalTernarySim owns the
+// signal array and re-evaluates only the transitive fanout cone of the
+// changed control point (a levelized worklist over the netlist's gate
+// levels), recording an undo log so the DFS backtracks in O(cone).
+//
+// Invariants (cross-checked against `simulate_ternary` in tests):
+//  * `values()` always equals `simulate_ternary(netlist, input_values())`.
+//  * Each `set_input` opens one undo frame; `undo()` pops exactly one,
+//    restoring every signal the frame touched in reverse write order.
+//  * A gate is reported as changed iff one of its fanin signals changed
+//    value during the propagation (its masked local state is stale), and
+//    each such gate is reported at most once per `set_input`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/sim.hpp"
+
+namespace svtox::sim {
+
+class IncrementalTernarySim {
+ public:
+  /// Starts with every control point (and hence every signal) at X.
+  explicit IncrementalTernarySim(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+
+  /// Current value of every signal (matches `simulate_ternary`).
+  const std::vector<Tri>& values() const { return values_; }
+
+  /// Current control-point assignment, in control_points() order.
+  const std::vector<Tri>& input_values() const { return inputs_; }
+
+  /// Sets control point `index` to `value` and re-evaluates its fanout
+  /// cone. Every gate whose local ternary state changed is appended to
+  /// `changed_gates` (deduplicated; pass nullptr to skip reporting).
+  /// Opens an undo frame even when the value is unchanged, so set/undo
+  /// calls always pair up.
+  void set_input(int index, Tri value, std::vector<int>* changed_gates = nullptr);
+
+  /// Reverts the most recent un-undone set_input in O(its cone).
+  void undo();
+
+  /// Number of set_input frames currently open.
+  int frames() const { return static_cast<int>(frames_.size()); }
+
+  /// Drops every frame and returns all signals to X.
+  void reset();
+
+ private:
+  void enqueue_sinks(int signal);
+
+  const netlist::Netlist* netlist_;
+  std::vector<Tri> values_;   ///< Per signal.
+  std::vector<Tri> inputs_;   ///< Per control point (mirror of the frames).
+
+  struct SignalWrite {
+    int signal;
+    Tri previous;
+  };
+  struct Frame {
+    std::size_t log_size;  ///< undo_log_ length when the frame opened.
+    int input_index;
+    Tri previous_input;
+  };
+  std::vector<SignalWrite> undo_log_;
+  std::vector<Frame> frames_;
+
+  // Levelized worklist scratch, reused across calls (no per-call heap
+  // churn once the buckets have grown to their high-water mark).
+  std::vector<std::vector<int>> level_bucket_;  ///< Gate ids per logic level.
+  std::vector<std::uint64_t> gate_epoch_;       ///< Last epoch a gate was queued.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace svtox::sim

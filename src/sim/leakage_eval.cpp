@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/threads.hpp"
 
 namespace svtox::sim {
 
@@ -90,16 +91,6 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
   return result;
 }
 
-namespace {
-
-/// One fixed-size chunk of the partitioned Monte-Carlo stream.
-MonteCarloResult run_chunk(const netlist::Netlist& netlist, const CircuitConfig& config,
-                           int vectors, std::uint64_t chunk_seed) {
-  return monte_carlo_leakage(netlist, config, vectors, chunk_seed);
-}
-
-}  // namespace
-
 MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
                                               const CircuitConfig& config,
                                               int num_vectors, std::uint64_t seed,
@@ -107,11 +98,7 @@ MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
   if (num_vectors < 1) throw ContractError("monte_carlo_leakage_parallel: need >= 1 vector");
   constexpr int kChunk = 1024;
   const int num_chunks = (num_vectors + kChunk - 1) / kChunk;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::min(threads, num_chunks);
+  threads = resolve_thread_count(threads, num_chunks);
 
   std::vector<MonteCarloResult> partial(static_cast<std::size_t>(num_chunks));
   std::atomic<int> next_chunk{0};
@@ -124,7 +111,8 @@ MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
       // -- and hence the estimate -- is independent of the thread count.
       const std::uint64_t chunk_seed =
           seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c + 1));
-      partial[static_cast<std::size_t>(c)] = run_chunk(netlist, config, vectors, chunk_seed);
+      partial[static_cast<std::size_t>(c)] =
+          monte_carlo_leakage(netlist, config, vectors, chunk_seed);
     }
   };
 

@@ -89,19 +89,8 @@ std::vector<Tri> simulate_ternary(const netlist::Netlist& netlist,
     values[static_cast<std::size_t>(netlist.control_points()[i])] = input_values[i];
   }
   for (int g : netlist.topological_order()) {
-    const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
-    const std::vector<Tri> pins = local_ternary(netlist, values, g);
-    // Output is known iff all compatible completions agree.
-    bool saw_zero = false;
-    bool saw_one = false;
-    for (std::uint32_t state : compatible_states(pins)) {
-      (topo.output(state) ? saw_one : saw_zero) = true;
-      if (saw_zero && saw_one) break;
-    }
-    Tri out = Tri::kX;
-    if (saw_one && !saw_zero) out = Tri::kOne;
-    if (saw_zero && !saw_one) out = Tri::kZero;
-    values[static_cast<std::size_t>(netlist.gate(g).output)] = out;
+    values[static_cast<std::size_t>(netlist.gate(g).output)] = ternary_output(
+        netlist.cell_of(g).topology(), local_ternary_mask(netlist, values, g));
   }
   return values;
 }
@@ -114,6 +103,39 @@ std::vector<Tri> local_ternary(const netlist::Netlist& netlist,
     pins[pin] = signal_values[static_cast<std::size_t>(g.fanins[pin])];
   }
   return pins;
+}
+
+TriMask local_ternary_mask(const netlist::Netlist& netlist,
+                           const std::vector<Tri>& signal_values, int gate) {
+  const netlist::Gate& g = netlist.gate(gate);
+  TriMask mask;
+  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+    switch (signal_values[static_cast<std::size_t>(g.fanins[pin])]) {
+      case Tri::kZero:
+        break;
+      case Tri::kOne:
+        mask.ones |= 1u << pin;
+        break;
+      case Tri::kX:
+        mask.xmask |= 1u << pin;
+        break;
+    }
+  }
+  return mask;
+}
+
+Tri ternary_output(const cellkit::CellTopology& topo, TriMask mask) {
+  // Output is known iff all compatible completions agree.
+  bool saw_zero = false;
+  bool saw_one = false;
+  std::uint32_t sub = mask.xmask;
+  for (;;) {
+    (topo.output(mask.ones | sub) ? saw_one : saw_zero) = true;
+    if (saw_zero && saw_one) return Tri::kX;
+    if (sub == 0) break;
+    sub = (sub - 1) & mask.xmask;
+  }
+  return saw_one ? Tri::kOne : Tri::kZero;
 }
 
 std::vector<std::uint32_t> compatible_states(const std::vector<Tri>& ternary_state) {

@@ -50,4 +50,28 @@ std::vector<Tri> local_ternary(const netlist::Netlist& netlist,
 /// (X pins free). For a k-input cell this is at most 2^k entries.
 std::vector<std::uint32_t> compatible_states(const std::vector<Tri>& ternary_state);
 
+/// A ternary local state packed as bitmasks: bit p of `ones` is set when
+/// pin p carries 1, bit p of `xmask` when pin p is X (the two are
+/// disjoint; a cleared bit in both means 0). The compatible full states
+/// are exactly `ones | sub` for every subset `sub` of `xmask`, which the
+/// bound and simulation kernels iterate allocation-free via the
+/// `sub = (sub - 1) & xmask` subset walk.
+struct TriMask {
+  std::uint32_t ones = 0;
+  std::uint32_t xmask = 0;
+
+  bool operator==(const TriMask& other) const {
+    return ones == other.ones && xmask == other.xmask;
+  }
+};
+
+/// Masked local ternary state of `gate` (allocation-free `local_ternary`).
+TriMask local_ternary_mask(const netlist::Netlist& netlist,
+                           const std::vector<Tri>& signal_values, int gate);
+
+/// Ternary output of a cell at a masked local state: known iff every
+/// compatible completion agrees. Allocation-free; shared by the full and
+/// incremental ternary simulators.
+Tri ternary_output(const cellkit::CellTopology& topo, TriMask mask);
+
 }  // namespace svtox::sim

@@ -1,0 +1,22 @@
+// Thread-count resolution shared by the parallel engine components
+// (Monte-Carlo leakage, the state-search root split).
+#pragma once
+
+#include <algorithm>
+#include <thread>
+
+namespace svtox {
+
+/// Resolves a user-facing thread-count knob: values <= 0 mean "all
+/// hardware threads"; the result is clamped to [1, max_useful] so callers
+/// never spawn more workers than there are independent work units.
+inline int resolve_thread_count(int requested, int max_useful) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  return std::clamp(threads, 1, std::max(1, max_useful));
+}
+
+}  // namespace svtox

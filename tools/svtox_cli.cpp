@@ -4,7 +4,8 @@
 //                      [--vt-only] [--nitrided]
 //   svtox optimize   (--bench file.bench | --circuit NAME)
 //                    [--penalty PCT] [--method heu1|heu2|state|vtstate|exact]
-//                    [--time-limit SEC] [--no-reorder] [-o solution.txt]
+//                    [--time-limit SEC] [--threads N] [--no-reorder]
+//                    [-o solution.txt]
 //   svtox sweep      (--bench file.bench | --circuit NAME)
 //                    [--penalties 0,2,5,10,25] [-o curve.txt]
 //   svtox suite      [--penalty PCT] [--time-limit SEC]
@@ -161,6 +162,8 @@ int cmd_optimize(const Args& args) {
   core::RunConfig config;
   config.penalty_fraction = parse_double(args.get("penalty", "5")) / 100.0;
   config.time_limit_s = parse_double(args.get("time-limit", "5"));
+  // 1 = serial, 0 = all hardware threads (state-tree root split).
+  config.threads = static_cast<int>(parse_double(args.get("threads", "1")));
   if (args.get("method") == "sa") return run_annealing(args, circuit, config);
   const core::Method method = method_from(args.get("method", "heu2"));
 
