@@ -9,6 +9,7 @@
 #include "netlist/benchmarks.hpp"
 #include "netlist/generators.hpp"
 #include "opt/bound_engine.hpp"
+#include "opt/leaf_evaluator.hpp"
 #include "opt/state_search.hpp"
 #include "sim/incremental.hpp"
 #include "sim/leakage_eval.hpp"
@@ -242,6 +243,77 @@ BENCHMARK(BM_RootSplitFullTree)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Leaf-evaluation benchmarks (BENCH_leaf_eval.json).
+//
+// One iteration = one greedy gate-tree leaf. The walk flips a single
+// random input between leaves -- the access pattern of the state-tree
+// DFS and the probe sweep, where consecutive leaves share most of their
+// sleep vector. BM_LeafGreedyAmortized evaluates through a persistent
+// LeafEvaluator (cone-local resimulation, memoized canonicalization,
+// snapshot-restored timing baseline); BM_LeafGreedyFromScratch calls the
+// free function, which rebuilds all of that per leaf -- what every leaf
+// cost before the evaluator existed. Run on the two largest bundled
+// netlists: c6288 (2470 gates) and c7552 (1994 gates).
+
+const netlist::Netlist& c7552() {
+  static const netlist::Netlist n = netlist::make_benchmark("c7552", lib());
+  return n;
+}
+
+const opt::AssignmentProblem& c7552_problem() {
+  static const opt::AssignmentProblem p(c7552(), 0.05);
+  return p;
+}
+
+void leaf_walk_amortized(benchmark::State& state, const opt::AssignmentProblem& problem) {
+  opt::LeafEvaluator evaluator(problem);
+  Rng rng(8);
+  std::vector<bool> vec(
+      static_cast<std::size_t>(problem.netlist().num_control_points()), false);
+  for (auto _ : state) {
+    const auto i = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(vec.size())));
+    vec[i] = !vec[i];
+    benchmark::DoNotOptimize(evaluator.evaluate_greedy(vec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void leaf_walk_from_scratch(benchmark::State& state,
+                            const opt::AssignmentProblem& problem) {
+  Rng rng(8);
+  std::vector<bool> vec(
+      static_cast<std::size_t>(problem.netlist().num_control_points()), false);
+  for (auto _ : state) {
+    const auto i = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(vec.size())));
+    vec[i] = !vec[i];
+    benchmark::DoNotOptimize(opt::assign_gates_greedy(problem, vec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LeafGreedyAmortized_c6288(benchmark::State& state) {
+  leaf_walk_amortized(state, c6288_problem());
+}
+BENCHMARK(BM_LeafGreedyAmortized_c6288)->Unit(benchmark::kMillisecond);
+
+void BM_LeafGreedyFromScratch_c6288(benchmark::State& state) {
+  leaf_walk_from_scratch(state, c6288_problem());
+}
+BENCHMARK(BM_LeafGreedyFromScratch_c6288)->Unit(benchmark::kMillisecond);
+
+void BM_LeafGreedyAmortized_c7552(benchmark::State& state) {
+  leaf_walk_amortized(state, c7552_problem());
+}
+BENCHMARK(BM_LeafGreedyAmortized_c7552)->Unit(benchmark::kMillisecond);
+
+void BM_LeafGreedyFromScratch_c7552(benchmark::State& state) {
+  leaf_walk_from_scratch(state, c7552_problem());
+}
+BENCHMARK(BM_LeafGreedyFromScratch_c7552)->Unit(benchmark::kMillisecond);
 
 void BM_LibraryBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -73,6 +73,24 @@ double NldmTable::lookup(double slew_ps, double load_ff) const {
   return lo + (hi - lo) * s.t;
 }
 
+NldmLoadSlice::NldmLoadSlice(const NldmTable& table, double load_ff)
+    : slew_axis_(table.slew_axis_ps()) {
+  if (table.empty()) throw ContractError("NldmLoadSlice: empty table");
+  const std::vector<double>& loads = table.load_axis_ff();
+  values_.resize(slew_axis_.size());
+  for (std::size_t i = 0; i < slew_axis_.size(); ++i) {
+    if (loads.size() == 1) {
+      values_[i] = table.at(i, 0);
+    } else {
+      // The exact load-axis reduction lookup() performs per call.
+      const Segment l = locate(loads, load_ff);
+      const double v0 = table.at(i, l.lo);
+      const double v1 = table.at(i, l.lo + 1);
+      values_[i] = v0 + (v1 - v0) * l.t;
+    }
+  }
+}
+
 NldmTable NldmTable::scaled(double factor) const {
   NldmTable out = *this;
   for (double& v : out.values_) v *= factor;

@@ -45,6 +45,46 @@ class NldmTable {
   std::vector<double> values_;
 };
 
+/// A 1-D restriction of an NldmTable to one fixed output load.
+///
+/// lookup(slew, load) factors into a load-axis interpolation of each slew
+/// row followed by a slew-axis interpolation of the two reduced rows; a
+/// slice performs the load reduction once at construction with exactly the
+/// arithmetic lookup() applies per call, so lookup(slew) here returns the
+/// SAME BITS as table.lookup(slew, load) while skipping the load-axis
+/// locate, two of the three lerps and half the grid reads. Incremental STA
+/// uses slices because a gate instance's output load never changes.
+class NldmLoadSlice {
+ public:
+  NldmLoadSlice() = default;
+
+  /// Restricts `table` (non-empty) to `load_ff`.
+  NldmLoadSlice(const NldmTable& table, double load_ff);
+
+  /// Bit-identical to table.lookup(slew_ps, load_ff) of the construction
+  /// arguments, including extrapolation outside the slew axis. Inline and
+  /// branch-light: this is the innermost operation of incremental STA.
+  double lookup(double slew_ps) const {
+    const std::size_t size = values_.size();
+    if (size == 1) return values_[0];
+    // Same segment search and lerp as NldmTable::lookup's slew axis.
+    const double* axis = slew_axis_.data();
+    std::size_t hi = 1;
+    while (hi + 1 < size && axis[hi] < slew_ps) ++hi;
+    const std::size_t lo = hi - 1;
+    const double t = (slew_ps - axis[lo]) / (axis[hi] - axis[lo]);
+    const double v0 = values_[lo];
+    const double v1 = values_[lo + 1];
+    return v0 + (v1 - v0) * t;
+  }
+
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> values_;  ///< Load-reduced value per slew knot.
+};
+
 /// Default characterization axes used by the library builder.
 std::vector<double> default_slew_axis_ps();
 std::vector<double> default_load_axis_ff();

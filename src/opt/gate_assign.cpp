@@ -13,32 +13,6 @@ namespace {
 
 constexpr double kDelaySlackEps = 1e-6;
 
-/// Per-gate context shared by the gate-tree searches.
-struct GateContext {
-  std::uint32_t raw_state = 0;
-  std::uint32_t canonical_state = 0;
-  cellkit::PinMapping mapping;
-};
-
-std::vector<GateContext> build_contexts(const AssignmentProblem& problem,
-                                        const std::vector<bool>& sleep_vector) {
-  const netlist::Netlist& netlist = problem.netlist();
-  const std::vector<bool> values = sim::simulate(netlist, sleep_vector);
-  std::vector<GateContext> contexts(static_cast<std::size_t>(netlist.num_gates()));
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    GateContext& ctx = contexts[static_cast<std::size_t>(g)];
-    ctx.raw_state = sim::local_state(netlist, values, g);
-    if (problem.use_pin_reorder()) {
-      ctx.mapping = netlist.cell_of(g).canonicalize(ctx.raw_state);
-      ctx.canonical_state = ctx.mapping.canonical_state;
-    } else {
-      // Ablation: keep wiring; menus and leakage use the raw state.
-      ctx.canonical_state = ctx.raw_state;
-    }
-  }
-  return contexts;
-}
-
 std::vector<int> gate_visit_order(const AssignmentProblem& problem,
                                   const std::vector<GateContext>& contexts,
                                   GateOrder order) {
@@ -70,6 +44,47 @@ std::vector<int> gate_visit_order(const AssignmentProblem& problem,
   return gates;
 }
 
+double config_leakage_na(const netlist::Netlist& netlist,
+                         const std::vector<GateContext>& contexts,
+                         const sim::CircuitConfig& config) {
+  double total = 0.0;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    total += netlist.cell_of(g).leakage_na(
+        config[static_cast<std::size_t>(g)].variant,
+        contexts[static_cast<std::size_t>(g)].canonical_state);
+  }
+  return total;
+}
+
+/// Restores `config` to the all-fastest starting point (mappings kept) so
+/// reusable buffers are ready for the next leaf.
+void reset_to_fastest(const netlist::Netlist& netlist, sim::CircuitConfig& config) {
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    config[static_cast<std::size_t>(g)].variant = netlist.cell_of(g).fastest_variant();
+  }
+}
+
+}  // namespace
+
+std::vector<GateContext> build_contexts(const AssignmentProblem& problem,
+                                        const std::vector<bool>& sleep_vector) {
+  const netlist::Netlist& netlist = problem.netlist();
+  const std::vector<bool> values = sim::simulate(netlist, sleep_vector);
+  std::vector<GateContext> contexts(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    GateContext& ctx = contexts[static_cast<std::size_t>(g)];
+    ctx.raw_state = sim::local_state(netlist, values, g);
+    if (problem.use_pin_reorder()) {
+      ctx.mapping = problem.pin_mapping(g, ctx.raw_state);
+      ctx.canonical_state = ctx.mapping.canonical_state;
+    } else {
+      // Ablation: keep wiring; menus and leakage use the raw state.
+      ctx.canonical_state = ctx.raw_state;
+    }
+  }
+  return contexts;
+}
+
 sim::CircuitConfig initial_config(const netlist::Netlist& netlist,
                                   const std::vector<GateContext>& contexts) {
   sim::CircuitConfig config(static_cast<std::size_t>(netlist.num_gates()));
@@ -83,30 +98,19 @@ sim::CircuitConfig initial_config(const netlist::Netlist& netlist,
   return config;
 }
 
-double config_leakage_na(const netlist::Netlist& netlist,
-                         const std::vector<GateContext>& contexts,
-                         const sim::CircuitConfig& config) {
-  double total = 0.0;
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    total += netlist.cell_of(g).leakage_na(
-        config[static_cast<std::size_t>(g)].variant,
-        contexts[static_cast<std::size_t>(g)].canonical_state);
-  }
-  return total;
-}
-
-}  // namespace
-
 Solution assign_gates_greedy(const AssignmentProblem& problem,
-                             const std::vector<bool>& sleep_vector, GateOrder order) {
+                             const std::vector<bool>& sleep_vector, GateOrder order,
+                             const std::vector<GateContext>& contexts,
+                             sim::CircuitConfig& config, sta::TimingState& timing,
+                             const sta::TimingSnapshot& baseline,
+                             const std::vector<double>* downstream_lb_ps) {
   Timer timer;
   const netlist::Netlist& netlist = problem.netlist();
-  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
-  sim::CircuitConfig config = initial_config(netlist, contexts);
+  const double ceiling = problem.constraint_ps() + kDelaySlackEps;
+  timing.restore(baseline);
+  double delay = timing.circuit_delay_ps();
 
-  sta::TimingState timing(netlist);
-  double delay = timing.analyze(config);
-
+  sta::TimingUndo undo;  // hoisted: one allocation serves every trial
   for (int g : gate_visit_order(problem, contexts, order)) {
     const GateContext& ctx = contexts[static_cast<std::size_t>(g)];
     const VariantMenu& menu = problem.menu(g, ctx.canonical_state);
@@ -115,9 +119,13 @@ Solution assign_gates_greedy(const AssignmentProblem& problem,
     for (int v : menu.by_leakage) {
       if (v == fastest) break;  // current selection; nothing left to gain
       config[static_cast<std::size_t>(g)].variant = v;
-      sta::TimingUndo undo;
-      const double new_delay = timing.update_after_gate_change(config, g, &undo);
-      if (new_delay <= problem.constraint_ps() + kDelaySlackEps) {
+      undo.entries.clear();
+      const double new_delay =
+          downstream_lb_ps == nullptr
+              ? timing.update_after_gate_change(config, g, &undo)
+              : timing.update_after_gate_change_bounded(config, g, *downstream_lb_ps,
+                                                        ceiling, &undo);
+      if (new_delay <= ceiling) {
         delay = new_delay;
         break;
       }
@@ -128,10 +136,26 @@ Solution assign_gates_greedy(const AssignmentProblem& problem,
 
   Solution solution;
   solution.sleep_vector = sleep_vector;
-  solution.config = std::move(config);
+  solution.config = config;
   solution.leakage_na = config_leakage_na(netlist, contexts, solution.config);
   solution.delay_ps = delay;
   solution.states_explored = 1;
+  solution.runtime_s = timer.seconds();
+  reset_to_fastest(netlist, config);
+  return solution;
+}
+
+Solution assign_gates_greedy(const AssignmentProblem& problem,
+                             const std::vector<bool>& sleep_vector, GateOrder order) {
+  Timer timer;
+  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
+  sim::CircuitConfig config = initial_config(problem.netlist(), contexts);
+  sta::TimingState timing(problem.netlist());
+  timing.analyze(config);
+  sta::TimingSnapshot baseline;
+  timing.snapshot(baseline);
+  Solution solution =
+      assign_gates_greedy(problem, sleep_vector, order, contexts, config, timing, baseline);
   solution.runtime_s = timer.seconds();
   return solution;
 }
@@ -145,8 +169,9 @@ struct ExactSearch {
   const std::vector<GateContext>* contexts;
   const std::vector<int>* order;
   std::vector<double> suffix_min;  ///< Optimistic leakage of gates order[i..).
-  sim::CircuitConfig config;
+  sim::CircuitConfig* config;
   sta::TimingState* timing;
+  const std::vector<double>* down_lb = nullptr;  ///< Optional abort bounds.
   double partial_leak = 0.0;
   Solution best;
   std::uint64_t nodes = 0;
@@ -161,7 +186,7 @@ struct ExactSearch {
     }
     if (depth == order->size()) {
       if (partial_leak < best.leakage_na) {
-        best.config = config;
+        best.config = *config;
         best.leakage_na = partial_leak;
         best.delay_ps = timing->circuit_delay_ps();
       }
@@ -178,19 +203,24 @@ struct ExactSearch {
       // beat the incumbent, no later edge can either.
       if (partial_leak + leak + suffix_min[depth + 1] >= best.leakage_na - 1e-12) break;
 
-      config[static_cast<std::size_t>(g)].variant = v;
+      (*config)[static_cast<std::size_t>(g)].variant = v;
       sta::TimingUndo undo;
-      const double d = timing->update_after_gate_change(config, g, &undo);
+      const double ceiling = problem->constraint_ps() + kDelaySlackEps;
+      const double d =
+          down_lb == nullptr
+              ? timing->update_after_gate_change(*config, g, &undo)
+              : timing->update_after_gate_change_bounded(*config, g, *down_lb,
+                                                         ceiling, &undo);
       // Remaining gates sit at their fastest versions, so `d` is the
       // minimum delay of any completion: infeasible => prune this edge (but
       // a later, leakier edge can be faster -- keep scanning).
-      if (d <= problem->constraint_ps() + kDelaySlackEps) {
+      if (d <= ceiling) {
         partial_leak += leak;
         dfs(depth + 1);
         partial_leak -= leak;
       }
       timing->revert(undo);
-      config[static_cast<std::size_t>(g)].variant = fastest;
+      (*config)[static_cast<std::size_t>(g)].variant = fastest;
       if (aborted) return;
     }
   }
@@ -200,10 +230,13 @@ struct ExactSearch {
 
 Solution assign_gates_exact(const AssignmentProblem& problem,
                             const std::vector<bool>& sleep_vector,
-                            std::uint64_t max_nodes) {
+                            std::uint64_t max_nodes,
+                            const std::vector<GateContext>& contexts,
+                            sim::CircuitConfig& config, sta::TimingState& timing,
+                            const sta::TimingSnapshot& baseline,
+                            const std::vector<double>* downstream_lb_ps) {
   Timer timer;
   const netlist::Netlist& netlist = problem.netlist();
-  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
 
   ExactSearch search;
   search.problem = &problem;
@@ -223,12 +256,16 @@ Solution assign_gates_exact(const AssignmentProblem& problem,
   }
 
   // Incumbent: the greedy solution (this is also the paper's observation
-  // that the first sorted descent establishes a good lower bound).
-  search.best = assign_gates_greedy(problem, sleep_vector);
+  // that the first sorted descent establishes a good lower bound). The
+  // greedy leaves `config` reset to all-fastest with the contexts'
+  // mappings, which is exactly the DFS's starting configuration.
+  search.best =
+      assign_gates_greedy(problem, sleep_vector, GateOrder::kBySavings, contexts,
+                          config, timing, baseline, downstream_lb_ps);
 
-  search.config = initial_config(netlist, contexts);
-  sta::TimingState timing(netlist);
-  timing.analyze(search.config);
+  search.config = &config;
+  search.down_lb = downstream_lb_ps;
+  timing.restore(baseline);
   search.timing = &timing;
   search.dfs(0);
 
@@ -238,6 +275,22 @@ Solution assign_gates_exact(const AssignmentProblem& problem,
   search.best.nodes_visited = search.nodes;
   search.best.runtime_s = timer.seconds();
   return search.best;
+}
+
+Solution assign_gates_exact(const AssignmentProblem& problem,
+                            const std::vector<bool>& sleep_vector,
+                            std::uint64_t max_nodes) {
+  Timer timer;
+  const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
+  sim::CircuitConfig config = initial_config(problem.netlist(), contexts);
+  sta::TimingState timing(problem.netlist());
+  timing.analyze(config);
+  sta::TimingSnapshot baseline;
+  timing.snapshot(baseline);
+  Solution solution = assign_gates_exact(problem, sleep_vector, max_nodes, contexts,
+                                         config, timing, baseline);
+  solution.runtime_s = timer.seconds();
+  return solution;
 }
 
 Solution evaluate_state_only(const AssignmentProblem& problem,

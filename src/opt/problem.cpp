@@ -9,7 +9,10 @@ namespace svtox::opt {
 AssignmentProblem::AssignmentProblem(const netlist::Netlist& netlist,
                                      double penalty_fraction,
                                      const ProblemOptions& options)
-    : netlist_(&netlist), penalty_(penalty_fraction), options_(options) {
+    : netlist_(&netlist),
+      penalty_(penalty_fraction),
+      options_(options),
+      load_slices_(netlist) {
   if (penalty_fraction < 0.0 || penalty_fraction > 1.0) {
     throw ContractError("AssignmentProblem: penalty fraction must be in [0, 1]");
   }
@@ -26,10 +29,12 @@ AssignmentProblem::AssignmentProblem(const netlist::Netlist& netlist,
     cache.menus.resize(num_states);
     cache.min_leak_by_raw_state.resize(num_states);
     cache.fastest_leak_by_raw_state.resize(num_states);
+    if (options_.use_pin_reorder) cache.mapping_by_raw_state.resize(num_states);
 
     for (std::uint32_t raw = 0; raw < num_states; ++raw) {
       const cellkit::PinMapping mapping = cell.canonicalize(raw);
       const std::uint32_t canon = mapping.canonical_state;
+      if (options_.use_pin_reorder) cache.mapping_by_raw_state[raw] = mapping;
 
       if (options_.use_pin_reorder) {
         // Menu lives at the canonical state: the trade-off points generated
@@ -109,6 +114,15 @@ const VariantMenu& AssignmentProblem::menu(int gate, std::uint32_t canonical_sta
     throw ContractError("AssignmentProblem::menu: state is not canonical");
   }
   return menu;
+}
+
+const cellkit::PinMapping& AssignmentProblem::pin_mapping(int gate,
+                                                          std::uint32_t raw_state) const {
+  if (!options_.use_pin_reorder) {
+    throw ContractError("AssignmentProblem::pin_mapping: pin reordering disabled");
+  }
+  return cell_cache_.at(static_cast<std::size_t>(netlist_->gate(gate).cell_index))
+      .mapping_by_raw_state.at(raw_state);
 }
 
 double AssignmentProblem::min_gate_leak_na(int gate, std::uint32_t raw_state) const {

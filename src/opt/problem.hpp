@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cellkit/state.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/sta.hpp"
 
@@ -46,6 +47,12 @@ class AssignmentProblem {
   /// local state and every state has a menu.
   const VariantMenu& menu(int gate, std::uint32_t canonical_state) const;
 
+  /// Memoized `cellkit::canonicalize` of `gate`'s cell at a raw local
+  /// state. Libraries are tiny (states <= 2^k per cell), so every mapping
+  /// is precomputed once here and no leaf evaluation ever canonicalizes in
+  /// its hot loop. Only valid with pin reordering enabled.
+  const cellkit::PinMapping& pin_mapping(int gate, std::uint32_t raw_state) const;
+
   /// Lower bound on `gate`'s leakage at a raw local state: the minimum over
   /// its menu at the canonicalized state, ignoring delay (admissible).
   double min_gate_leak_na(int gate, std::uint32_t raw_state) const;
@@ -63,6 +70,12 @@ class AssignmentProblem {
   /// decisions matter most (paper Sec. 5's branch ordering).
   const std::vector<int>& input_order() const { return input_order_; }
 
+  /// Load-sliced NLDM tables of the netlist, built once here and shared
+  /// (read-only) by every amortized leaf evaluator: attached to a
+  /// TimingState they make incremental re-timing skip the 2-D lookups with
+  /// bit-identical results (sta::LoadSlicedTables).
+  const sta::LoadSlicedTables& load_slices() const { return load_slices_; }
+
  private:
   const netlist::Netlist* netlist_;
   sta::DelayBudget budget_;
@@ -76,9 +89,12 @@ class AssignmentProblem {
     std::vector<VariantMenu> menus;
     std::vector<double> min_leak_by_raw_state;
     std::vector<double> fastest_leak_by_raw_state;
+    // Indexed by raw state; only populated with pin reordering enabled.
+    std::vector<cellkit::PinMapping> mapping_by_raw_state;
   };
   std::vector<CellCache> cell_cache_;  ///< Indexed by library cell index.
   std::vector<int> input_order_;
+  sta::LoadSlicedTables load_slices_;
 };
 
 }  // namespace svtox::opt

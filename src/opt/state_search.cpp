@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "opt/leaf_evaluator.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/threads.hpp"
@@ -82,11 +83,15 @@ struct SearchContext {
 };
 
 /// One search worker: owns a private BoundEngine (and hence a private
-/// incremental ternary simulator) and runs the bounded DFS over a subtree.
+/// incremental ternary simulator) for interior nodes plus a private
+/// LeafEvaluator that amortizes leaf setup (simulation, canonicalization,
+/// the all-fastest timing baseline) across every leaf the worker visits.
 class DfsWorker {
  public:
   explicit DfsWorker(SearchContext& ctx)
-      : ctx_(ctx), engine_(ctx.problem, ctx.bound_kind, ctx.options.bound_mode) {}
+      : ctx_(ctx),
+        engine_(ctx.problem, ctx.bound_kind, ctx.options.bound_mode),
+        evaluator_(ctx.problem) {}
 
   BoundEngine& engine() { return engine_; }
 
@@ -160,17 +165,18 @@ class DfsWorker {
     }
     Solution leaf;
     if (ctx_.state_only) {
-      leaf = evaluate_state_only(ctx_.problem, vector);
+      leaf = evaluator_.evaluate_state_only(vector);
     } else if (ctx_.options.exact_leaves) {
-      leaf = assign_gates_exact(ctx_.problem, vector, ctx_.options.max_gate_nodes);
+      leaf = evaluator_.evaluate_exact(vector, ctx_.options.max_gate_nodes);
     } else {
-      leaf = assign_gates_greedy(ctx_.problem, vector, ctx_.options.gate_order);
+      leaf = evaluator_.evaluate_greedy(vector, ctx_.options.gate_order);
     }
     ctx_.incumbent.offer(std::move(leaf));
   }
 
   SearchContext& ctx_;
   BoundEngine engine_;
+  LeafEvaluator evaluator_;
 };
 
 /// Parallel root split (SearchOptions::threads > 1): the top
@@ -240,18 +246,43 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
 
   // Probe random vectors after the tree search so the descent result is
   // only displaced by better (or equal-but-lexicographically-smaller)
-  // vectors, never by probe luck.
-  if (options.random_probes > 0) {
+  // vectors, never by probe luck. The whole probe set is pregenerated from
+  // one serial Rng stream (the historical stream, so the vectors do not
+  // depend on the worker count) and drained through an atomic index --
+  // the same partition-then-drain pattern as the root split. Each worker
+  // owns one LeafEvaluator, so per-probe cost is cone-local. Probes honor
+  // the time limit -- none start once the deadline has passed (the tree
+  // search above always completes its first leaf regardless) -- but not
+  // `max_leaves`, which caps only the tree search, as it always has.
+  if (options.random_probes > 0 && !ctx.deadline.expired()) {
     Rng rng(options.probe_seed);
-    for (int probe = 0; probe < options.random_probes; ++probe) {
-      std::vector<bool> vector(static_cast<std::size_t>(n));
+    std::vector<std::vector<bool>> probes(
+        static_cast<std::size_t>(options.random_probes));
+    for (std::vector<bool>& vector : probes) {
+      vector.resize(static_cast<std::size_t>(n));
       for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
-      Solution leaf = state_only
-                          ? evaluate_state_only(problem, vector)
-                          : assign_gates_greedy(problem, vector, options.gate_order);
-      ctx.leaves.fetch_add(1, std::memory_order_relaxed);
-      ctx.incumbent.offer(std::move(leaf));
     }
+    std::atomic<std::uint32_t> next{0};
+    auto drain = [&ctx, &probes, &next, state_only] {
+      if (ctx.deadline.expired()) return;  // skip the evaluator setup entirely
+      LeafEvaluator evaluator(ctx.problem);
+      for (;;) {
+        const std::uint32_t p = next.fetch_add(1, std::memory_order_relaxed);
+        if (p >= probes.size() || ctx.deadline.expired()) return;
+        Solution leaf =
+            state_only ? evaluator.evaluate_state_only(probes[p])
+                       : evaluator.evaluate_greedy(probes[p], ctx.options.gate_order);
+        ctx.leaves.fetch_add(1, std::memory_order_relaxed);
+        ctx.incumbent.offer(std::move(leaf));
+      }
+    };
+    const int probe_threads =
+        resolve_thread_count(options.threads, options.random_probes);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(probe_threads - 1));
+    for (int t = 1; t < probe_threads; ++t) pool.emplace_back(drain);
+    drain();
+    for (std::thread& t : pool) t.join();
   }
 
   Solution best = ctx.incumbent.take();

@@ -17,11 +17,19 @@
 //                    fastest version (the paper's "Only State Assignment"
 //                    baseline).
 //
+// Leaves are evaluated through a per-worker opt::LeafEvaluator, which
+// amortizes the leaf-invariant setup (2-valued simulation,
+// canonicalization, the all-fastest timing baseline) across the worker's
+// whole leaf stream; leaf results are bit-identical to the from-scratch
+// gate_assign entry points.
+//
 // With `SearchOptions::threads > 1` the continued search splits the top
 // ceil(log2(threads)) + 2 levels of the state tree into subtrees drained
-// by a thread pool sharing one incumbent; equal-leakage leaves tie-break
-// on the lexicographically smallest sleep vector, so exhaustive (exact)
-// results do not depend on the thread count.
+// by a thread pool sharing one incumbent, and the random-probe sweep is
+// drained the same way from a pregenerated probe set; equal-leakage leaves
+// tie-break on the lexicographically smallest sleep vector, so exhaustive
+// (exact) results and fully-drained probe sweeps do not depend on the
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -56,18 +64,22 @@ struct SearchOptions {
   /// Use the exact gate-tree search at leaves (exact mode only).
   bool exact_leaves = false;
   std::uint64_t max_gate_nodes = 0;  ///< Node cap for exact leaves.
-  /// Cheap random sleep vectors evaluated before the tree search to seed
-  /// the incumbent. Useful when the ternary bound is flat (XOR-dominated
-  /// circuits); only worthwhile when leaf evaluation is cheap, so it
-  /// defaults on for the state-only mode and off elsewhere.
+  /// Random sleep vectors evaluated after the tree search (so they only
+  /// displace its result when strictly better under the deterministic
+  /// tie-break). Useful when the ternary bound is flat (XOR-dominated
+  /// circuits); defaults on for the state-only mode and off elsewhere.
+  /// The sweep is parallel (see `threads`) over a pregenerated,
+  /// thread-count-invariant probe set and stops starting probes once the
+  /// time limit expires (`max_leaves` caps only the tree search).
   int random_probes = 0;
   /// Seed of the random-probe vector stream (experiments can vary the
   /// probes without code edits; the default preserves the historical
   /// stream).
   std::uint64_t probe_seed = 0x5eedbeefcafe0001ULL;
-  /// Worker threads for the continued search's root split. 1 = serial,
-  /// 0 = all hardware threads. Ignored (serial) when max_leaves != 0,
-  /// since a shared leaf budget would make the split nondeterministic.
+  /// Worker threads for the continued search's root split and the probe
+  /// sweep. 1 = serial, 0 = all hardware threads. The root split is
+  /// ignored (serial) when max_leaves != 0, since a shared leaf budget
+  /// would make the split nondeterministic.
   int threads = 1;
   /// Bound evaluation strategy; kReference is the slow cross-check path.
   BoundMode bound_mode = BoundMode::kIncremental;

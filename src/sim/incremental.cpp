@@ -79,4 +79,76 @@ void IncrementalTernarySim::reset() {
   frames_.clear();
 }
 
+IncrementalBoolSim::IncrementalBoolSim(const netlist::Netlist& netlist)
+    : netlist_(&netlist) {
+  if (!netlist.finalized()) {
+    throw ContractError("IncrementalBoolSim: netlist not finalized");
+  }
+  inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), false);
+  values_ = simulate(netlist, inputs_);
+  level_bucket_.resize(static_cast<std::size_t>(netlist.depth()) + 1);
+  gate_epoch_.assign(static_cast<std::size_t>(netlist.num_gates()), 0);
+}
+
+void IncrementalBoolSim::enqueue_sinks(int signal) {
+  for (const netlist::Sink& sink : netlist_->sinks(signal)) {
+    const std::size_t g = static_cast<std::size_t>(sink.gate);
+    if (gate_epoch_[g] == epoch_) continue;
+    gate_epoch_[g] = epoch_;
+    level_bucket_[static_cast<std::size_t>(netlist_->gate_level(sink.gate))].push_back(
+        sink.gate);
+  }
+}
+
+void IncrementalBoolSim::set_input(int index, bool value,
+                                   std::vector<int>* changed_gates) {
+  if (index < 0 || index >= netlist_->num_control_points()) {
+    throw ContractError("IncrementalBoolSim::set_input: index out of range");
+  }
+  frames_.push_back({undo_log_.size(), index, inputs_[static_cast<std::size_t>(index)]});
+  inputs_[static_cast<std::size_t>(index)] = value;
+
+  const int signal = netlist_->control_points()[static_cast<std::size_t>(index)];
+  if (values_[static_cast<std::size_t>(signal)] == value) return;
+  undo_log_.push_back({signal, values_[static_cast<std::size_t>(signal)]});
+  values_[static_cast<std::size_t>(signal)] = value;
+
+  // Same levelized sweep as the ternary engine: ascending level order
+  // evaluates each cone gate exactly once, after all changed fanins settled.
+  ++epoch_;
+  enqueue_sinks(signal);
+  for (std::size_t level = 0; level < level_bucket_.size(); ++level) {
+    std::vector<int>& bucket = level_bucket_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const int g = bucket[i];
+      if (changed_gates != nullptr) changed_gates->push_back(g);
+      const bool out = netlist_->cell_of(g).topology().output(
+          local_state(*netlist_, values_, g));
+      const std::size_t out_signal = static_cast<std::size_t>(netlist_->gate(g).output);
+      if (values_[out_signal] == out) continue;
+      undo_log_.push_back({static_cast<int>(out_signal), values_[out_signal]});
+      values_[out_signal] = out;
+      enqueue_sinks(static_cast<int>(out_signal));
+    }
+    bucket.clear();
+  }
+}
+
+void IncrementalBoolSim::undo() {
+  if (frames_.empty()) throw ContractError("IncrementalBoolSim::undo: no frame");
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  inputs_[static_cast<std::size_t>(frame.input_index)] = frame.previous_input;
+  while (undo_log_.size() > frame.log_size) {
+    const SignalWrite& write = undo_log_.back();
+    values_[static_cast<std::size_t>(write.signal)] = write.previous;
+    undo_log_.pop_back();
+  }
+}
+
+void IncrementalBoolSim::commit() {
+  undo_log_.clear();
+  frames_.clear();
+}
+
 }  // namespace svtox::sim

@@ -1,4 +1,4 @@
-// Event-driven ternary resimulation.
+// Event-driven resimulation (ternary and 2-valued).
 //
 // The state-tree search assigns one control point per tree level and asks
 // for a leakage lower bound at every probe; a from-scratch ternary
@@ -7,8 +7,15 @@
 // changed control point (a levelized worklist over the netlist's gate
 // levels), recording an undo log so the DFS backtracks in O(cone).
 //
-// Invariants (cross-checked against `simulate_ternary` in tests):
-//  * `values()` always equals `simulate_ternary(netlist, input_values())`.
+// IncrementalBoolSim is its 2-valued sibling: it keeps a fully-assigned
+// Boolean valuation synchronized with the search's current sleep vector so
+// leaf evaluation (opt::LeafEvaluator) can refresh per-gate local states
+// for only the fanout cones of the inputs that changed since the previous
+// leaf, instead of resimulating the whole circuit per leaf.
+//
+// Invariants (cross-checked against the from-scratch simulators in tests):
+//  * `values()` always equals `simulate_ternary(netlist, input_values())`
+//    (respectively `simulate(netlist, input_values())`).
 //  * Each `set_input` opens one undo frame; `undo()` pops exactly one,
 //    restoring every signal the frame touched in reverse write order.
 //  * A gate is reported as changed iff one of its fanin signals changed
@@ -74,6 +81,65 @@ class IncrementalTernarySim {
 
   // Levelized worklist scratch, reused across calls (no per-call heap
   // churn once the buckets have grown to their high-water mark).
+  std::vector<std::vector<int>> level_bucket_;  ///< Gate ids per logic level.
+  std::vector<std::uint64_t> gate_epoch_;       ///< Last epoch a gate was queued.
+  std::uint64_t epoch_ = 0;
+};
+
+/// Event-driven 2-valued resimulation with the same set/undo contract as
+/// IncrementalTernarySim. Every control point always carries a definite
+/// value (there is no Boolean analogue of X), so construction fully
+/// simulates the all-zero vector.
+class IncrementalBoolSim {
+ public:
+  explicit IncrementalBoolSim(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+
+  /// Current value of every signal (matches `simulate`).
+  const std::vector<bool>& values() const { return values_; }
+
+  /// Current control-point assignment, in control_points() order.
+  const std::vector<bool>& input_values() const { return inputs_; }
+
+  /// Sets control point `index` to `value` and re-evaluates its fanout
+  /// cone. Every gate whose local state changed is appended to
+  /// `changed_gates` (deduplicated per call; pass nullptr to skip
+  /// reporting). Opens an undo frame even when the value is unchanged, so
+  /// set/undo calls always pair up.
+  void set_input(int index, bool value, std::vector<int>* changed_gates = nullptr);
+
+  /// Reverts the most recent un-undone set_input in O(its cone).
+  void undo();
+
+  /// Drops every open frame while keeping the current valuation. The leaf
+  /// evaluator advances monotonically from one sleep vector to the next and
+  /// never backtracks, so without this the undo log would grow without
+  /// bound over a worker's lifetime.
+  void commit();
+
+  /// Number of set_input frames currently open.
+  int frames() const { return static_cast<int>(frames_.size()); }
+
+ private:
+  void enqueue_sinks(int signal);
+
+  const netlist::Netlist* netlist_;
+  std::vector<bool> values_;  ///< Per signal.
+  std::vector<bool> inputs_;  ///< Per control point (mirror of the frames).
+
+  struct SignalWrite {
+    int signal;
+    bool previous;
+  };
+  struct Frame {
+    std::size_t log_size;  ///< undo_log_ length when the frame opened.
+    int input_index;
+    bool previous_input;
+  };
+  std::vector<SignalWrite> undo_log_;
+  std::vector<Frame> frames_;
+
   std::vector<std::vector<int>> level_bucket_;  ///< Gate ids per logic level.
   std::vector<std::uint64_t> gate_epoch_;       ///< Last epoch a gate was queued.
   std::uint64_t epoch_ = 0;

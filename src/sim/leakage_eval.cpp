@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "util/error.hpp"
@@ -9,6 +10,49 @@
 #include "util/threads.hpp"
 
 namespace svtox::sim {
+
+namespace {
+
+/// Validates `config` against the netlist and library once, returning each
+/// gate's leakage table. The per-vector loops then index the tables
+/// unchecked: every state a simulator can produce is < num_states, which
+/// is exactly the validated table length, so the former per-lookup
+/// `.at()` bounds checks were pure overhead on the hottest leakage path.
+std::vector<const double*> resolve_leakage_tables(const netlist::Netlist& netlist,
+                                                  const CircuitConfig& config,
+                                                  const std::string& what) {
+  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
+    throw ContractError(what + ": config size mismatch");
+  }
+  std::vector<const double*> tables(config.size());
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const GateConfig& gc = config[static_cast<std::size_t>(g)];
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    if (gc.variant < 0 || gc.variant >= cell.num_variants()) {
+      throw ContractError(what + ": variant index out of range");
+    }
+    const liberty::LibCellVariant& variant = cell.variant(gc.variant);
+    const std::size_t num_states = cell.topology().num_states();
+    if (variant.leakage_na.size() != num_states) {
+      throw ContractError(what + ": leakage table size mismatch");
+    }
+    const std::vector<int>& perm = gc.mapping.logical_to_physical;
+    if (!perm.empty()) {
+      if (perm.size() != static_cast<std::size_t>(cell.num_inputs())) {
+        throw ContractError(what + ": pin mapping size mismatch");
+      }
+      for (int p : perm) {
+        if (p < 0 || p >= cell.num_inputs()) {
+          throw ContractError(what + ": pin mapping entry out of range");
+        }
+      }
+    }
+    tables[static_cast<std::size_t>(g)] = variant.leakage_na.data();
+  }
+  return tables;
+}
+
+}  // namespace
 
 CircuitConfig fastest_config(const netlist::Netlist& netlist) {
   CircuitConfig config(static_cast<std::size_t>(netlist.num_gates()));
@@ -21,15 +65,13 @@ CircuitConfig fastest_config(const netlist::Netlist& netlist) {
 double circuit_leakage_from_values_na(const netlist::Netlist& netlist,
                                       const CircuitConfig& config,
                                       const std::vector<bool>& signal_values) {
-  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
-    throw ContractError("circuit_leakage: config size mismatch");
-  }
+  const std::vector<const double*> tables =
+      resolve_leakage_tables(netlist, config, "circuit_leakage");
   double total = 0.0;
   for (int g = 0; g < netlist.num_gates(); ++g) {
     const GateConfig& gc = config[static_cast<std::size_t>(g)];
     const std::uint32_t logical = local_state(netlist, signal_values, g);
-    total += netlist.cell_of(g).variant(gc.variant).leakage_na.at(
-        gc.physical_state(logical));
+    total += tables[static_cast<std::size_t>(g)][gc.physical_state(logical)];
   }
   return total;
 }
@@ -55,9 +97,8 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
                                      const CircuitConfig& config, int num_vectors,
                                      std::uint64_t seed) {
   if (num_vectors < 1) throw ContractError("monte_carlo_leakage: need >= 1 vector");
-  if (config.size() != static_cast<std::size_t>(netlist.num_gates())) {
-    throw ContractError("monte_carlo_leakage: config size mismatch");
-  }
+  const std::vector<const double*> tables =
+      resolve_leakage_tables(netlist, config, "monte_carlo_leakage");
 
   Rng rng(seed);
   MonteCarloResult result;
@@ -78,8 +119,7 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
       for (int g = 0; g < netlist.num_gates(); ++g) {
         const GateConfig& gc = config[static_cast<std::size_t>(g)];
         const std::uint32_t logical = local_state64(netlist, words, g, lane);
-        total += netlist.cell_of(g).variant(gc.variant).leakage_na.at(
-            gc.physical_state(logical));
+        total += tables[static_cast<std::size_t>(g)][gc.physical_state(logical)];
       }
       sum += total;
       result.min_na = std::min(result.min_na, total);

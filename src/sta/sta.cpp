@@ -1,8 +1,11 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <map>
 #include <queue>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -12,69 +15,276 @@ namespace {
 
 constexpr double kEpsPs = 1e-9;
 
-/// One gate's freshly computed output timing.
-struct GateTiming {
-  double at_rise = 0.0, at_fall = 0.0;
-  double slew_rise = 0.0, slew_fall = 0.0;
-};
-
-GateTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitConfig& config,
-                         int gate, const std::vector<double>& at_rise,
-                         const std::vector<double>& at_fall,
-                         const std::vector<double>& slew_rise,
-                         const std::vector<double>& slew_fall,
-                         const std::vector<double>& load_ff, double delay_scale) {
+SignalTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitConfig& config,
+                           int gate, const SignalTiming* sig,
+                           const std::vector<double>& load_ff,
+                           const LoadSlicedTables::GateView* views, double delay_scale) {
   const netlist::Gate& g = netlist.gate(gate);
-  const liberty::LibCell& cell = netlist.cell_of(gate);
   const sim::GateConfig& gc = config[static_cast<std::size_t>(gate)];
-  const liberty::LibCellVariant& variant = cell.variant(gc.variant);
-  const double out_load = load_ff[static_cast<std::size_t>(g.output)];
 
-  GateTiming t;
+  SignalTiming t;
   t.at_rise = -1e300;
   t.at_fall = -1e300;
+
+  if (views != nullptr) {
+    // 1-D fast path (incremental updates only, delay_scale == 1): the
+    // slices bake in the gate's output load, so every branch below returns
+    // the same bits as the 2-D lookups while skipping the load axis and
+    // the cell/variant indirection. The variant's slice row is hoisted out
+    // of the pin loop.
+    const LoadSlicedTables::GateView view = views[gate];
+    const LoadSlicedTables::PinSlices* row =
+        view.base + static_cast<std::size_t>(gc.variant) * view.pins;
+    const std::vector<int>& map = gc.mapping.logical_to_physical;
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      const SignalTiming& in = sig[static_cast<std::size_t>(g.fanins[pin])];
+      const LoadSlicedTables::PinSlices& sl =
+          row[map.empty() ? pin : static_cast<std::size_t>(map[pin])];
+
+      const double cand_rise = in.at_fall + sl.delay_rise.lookup(in.slew_fall);
+      if (cand_rise > t.at_rise) {
+        t.at_rise = cand_rise;
+        t.slew_rise = sl.slew_rise.lookup(in.slew_fall);
+      }
+
+      const double cand_fall = in.at_rise + sl.delay_fall.lookup(in.slew_rise);
+      if (cand_fall > t.at_fall) {
+        t.at_fall = cand_fall;
+        t.slew_fall = sl.slew_fall.lookup(in.slew_rise);
+      }
+    }
+    return t;
+  }
+
+  const liberty::LibCell& cell = netlist.cell_of(gate);
+  const liberty::LibCellVariant& variant = cell.variant(gc.variant);
+  const double out_load = load_ff[static_cast<std::size_t>(g.output)];
   for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-    const int in_sig = g.fanins[pin];
+    const SignalTiming& in = sig[static_cast<std::size_t>(g.fanins[pin])];
     const int phys = gc.mapping.logical_to_physical.empty()
                          ? static_cast<int>(pin)
                          : gc.mapping.logical_to_physical[pin];
     const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
 
     // Inverting cell: output rise comes from input fall.
-    const double in_fall_slew = slew_fall[static_cast<std::size_t>(in_sig)];
-    const double cand_rise = at_fall[static_cast<std::size_t>(in_sig)] +
-                             delay_scale * timing.delay_rise.lookup(in_fall_slew, out_load);
+    const double cand_rise =
+        in.at_fall + delay_scale * timing.delay_rise.lookup(in.slew_fall, out_load);
     if (cand_rise > t.at_rise) {
       t.at_rise = cand_rise;
-      t.slew_rise = delay_scale * timing.slew_rise.lookup(in_fall_slew, out_load);
+      t.slew_rise = delay_scale * timing.slew_rise.lookup(in.slew_fall, out_load);
     }
 
-    const double in_rise_slew = slew_rise[static_cast<std::size_t>(in_sig)];
-    const double cand_fall = at_rise[static_cast<std::size_t>(in_sig)] +
-                             delay_scale * timing.delay_fall.lookup(in_rise_slew, out_load);
+    const double cand_fall =
+        in.at_rise + delay_scale * timing.delay_fall.lookup(in.slew_rise, out_load);
     if (cand_fall > t.at_fall) {
       t.at_fall = cand_fall;
-      t.slew_fall = delay_scale * timing.slew_fall.lookup(in_rise_slew, out_load);
+      t.slew_fall = delay_scale * timing.slew_fall.lookup(in.slew_rise, out_load);
     }
   }
   return t;
 }
 
+/// Lower bound of `table.lookup(slew, load)` over every real slew at the
+/// fixed `load`. lookup() is piecewise linear in the slew axis with linear
+/// extrapolation from the outermost segments, so the infimum is attained
+/// either at a grid knot or along one of the two extrapolation tails,
+/// where a downward slope makes it unbounded below (-1e300).
+double table_lower_bound(const liberty::NldmTable& table, double load_ff) {
+  const std::vector<double>& slews = table.slew_axis_ps();
+  double lb = 1e300;
+  for (double s : slews) lb = std::min(lb, table.lookup(s, load_ff));
+  const double span = slews.back() - slews.front() + 1.0;
+  if (table.lookup(slews.front() - span, load_ff) < table.lookup(slews.front(), load_ff) ||
+      table.lookup(slews.back() + span, load_ff) < table.lookup(slews.back(), load_ff)) {
+    return -1e300;  // a tail slopes downward: unbounded below
+  }
+  return lb;
+}
+
+/// True when slew -> table.lookup(slew, load) is nondecreasing over the
+/// whole real line at this load: the knot values are nondecreasing and
+/// neither extrapolation tail slopes downward. Checked numerically because
+/// interpolating/extrapolating the load axis mixes grid columns.
+bool monotone_in_slew(const liberty::NldmTable& table, double load_ff) {
+  const std::vector<double>& slews = table.slew_axis_ps();
+  const double span = slews.back() - slews.front() + 1.0;
+  double prev = table.lookup(slews.front() - span, load_ff);
+  for (double s : slews) {
+    const double v = table.lookup(s, load_ff);
+    if (v < prev) return false;
+    prev = v;
+  }
+  return table.lookup(slews.back() + span, load_ff) >= prev;
+}
+
+/// One delay table of one (variant, pin, edge) with everything needed to
+/// bound lookup(s, load) over s >= min_slew: the exact lookup when the
+/// table is monotone at this load, a precomputed global minimum otherwise.
+struct BoundedTable {
+  const liberty::NldmTable* table;
+  double load_ff;
+  bool monotone;
+  double global_lb;
+
+  double lower_bound(double min_slew_ps) const {
+    return monotone ? table->lookup(min_slew_ps, load_ff) : global_lb;
+  }
+};
+
 }  // namespace
+
+LoadSlicedTables::LoadSlicedTables(const netlist::Netlist& netlist) {
+  if (!netlist.finalized()) {
+    throw ContractError("LoadSlicedTables: netlist not finalized");
+  }
+  gates_.resize(static_cast<std::size_t>(netlist.num_gates()));
+  // Instances of the same cell driving the same load are indistinguishable
+  // to the tables; dedup on (cell, load bit pattern).
+  std::map<std::pair<const liberty::LibCell*, std::uint64_t>, std::uint32_t> dedup;
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const liberty::LibCell& cell = netlist.cell_of(g);
+    const double load = netlist.signal_load_ff(netlist.gate(g).output);
+    const std::size_t pins = cell.variants().empty()
+                                 ? 0
+                                 : cell.variants().front().pins.size();
+    const auto [it, inserted] = dedup.try_emplace(
+        {&cell, std::bit_cast<std::uint64_t>(load)},
+        static_cast<std::uint32_t>(blocks_.size()));
+    if (inserted) {
+      std::vector<PinSlices> block;
+      block.reserve(cell.variants().size() * pins);
+      for (const liberty::LibCellVariant& variant : cell.variants()) {
+        if (variant.pins.size() != pins) {
+          throw ContractError("LoadSlicedTables: ragged pin count across variants");
+        }
+        for (const liberty::PinTiming& pin : variant.pins) {
+          block.push_back({liberty::NldmLoadSlice(pin.delay_rise, load),
+                           liberty::NldmLoadSlice(pin.delay_fall, load),
+                           liberty::NldmLoadSlice(pin.slew_rise, load),
+                           liberty::NldmLoadSlice(pin.slew_fall, load)});
+        }
+      }
+      blocks_.push_back(std::move(block));
+    }
+    gates_[static_cast<std::size_t>(g)] = {it->second, static_cast<std::uint32_t>(pins)};
+  }
+}
+
+std::vector<double> downstream_delay_lower_bounds_ps(const netlist::Netlist& netlist) {
+  if (!netlist.finalized()) {
+    throw ContractError("downstream_delay_lower_bounds_ps: netlist not finalized");
+  }
+  const int num_signals = netlist.num_signals();
+
+  // Forward pass: min_slew[s] lower-bounds the slew of signal `s` under
+  // EVERY configuration. Primary-input slews are a library constant that
+  // analyze() applies regardless of config; a gate's output slew is some
+  // slew table's lookup at the winning input's slew, which (for monotone
+  // tables) is at least the lookup at that input's bound -- so the minimum
+  // over variants, physical pins and both edges at the minimum fanin bound
+  // covers whichever combination the configuration realizes.
+  std::vector<double> min_slew(static_cast<std::size_t>(num_signals), 0.0);
+  const double pi_slew = netlist.library().tech().default_pi_slew_ps;
+  for (int s : netlist.control_points()) min_slew[static_cast<std::size_t>(s)] = pi_slew;
+
+  for (int g : netlist.topological_order()) {
+    const netlist::Gate& gate = netlist.gate(g);
+    const double out_load = netlist.signal_load_ff(gate.output);
+    double in_lb = 1e300;
+    for (int fanin : gate.fanins) {
+      in_lb = std::min(in_lb, min_slew[static_cast<std::size_t>(fanin)]);
+    }
+    double out_lb = 1e300;
+    for (const liberty::LibCellVariant& variant : netlist.cell_of(g).variants()) {
+      for (const liberty::PinTiming& pin : variant.pins) {
+        for (const liberty::NldmTable* table : {&pin.slew_rise, &pin.slew_fall}) {
+          out_lb = std::min(out_lb, monotone_in_slew(*table, out_load)
+                                        ? table->lookup(in_lb, out_load)
+                                        : table_lower_bound(*table, out_load));
+        }
+      }
+    }
+    min_slew[static_cast<std::size_t>(gate.output)] = std::max(out_lb, -1e300);
+  }
+
+  // Backward pass: reverse-topological max-accumulation. The eventual
+  // arrival at an observe point is at least the arrival at any signal `f`
+  // plus the stage delays along ANY single downstream path (STA arrivals
+  // are maxima over inputs), so taking the best-bounded path is sound:
+  // every stage contributes the minimum of its delay tables over variants,
+  // physical pins and both edges, evaluated at the entry signal's minimum
+  // slew (exact lookup for monotone tables, global table minimum
+  // otherwise), at the gate's actual output load.
+  std::vector<double> bound(static_cast<std::size_t>(num_signals), -1e300);
+  for (int s : netlist.observe_points()) bound[static_cast<std::size_t>(s)] = 0.0;
+
+  std::vector<BoundedTable> tables;
+  const std::vector<int>& order = netlist.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const netlist::Gate& gate = netlist.gate(*it);
+    const double out_bound = bound[static_cast<std::size_t>(gate.output)];
+    if (out_bound == -1e300) continue;
+
+    const double out_load = netlist.signal_load_ff(gate.output);
+    tables.clear();
+    for (const liberty::LibCellVariant& variant : netlist.cell_of(*it).variants()) {
+      for (const liberty::PinTiming& pin : variant.pins) {
+        for (const liberty::NldmTable* table : {&pin.delay_rise, &pin.delay_fall}) {
+          tables.push_back({table, out_load, monotone_in_slew(*table, out_load),
+                            table_lower_bound(*table, out_load)});
+        }
+      }
+    }
+
+    for (int fanin : gate.fanins) {
+      double stage_lb = 1e300;
+      for (const BoundedTable& t : tables) {
+        stage_lb = std::min(stage_lb,
+                            t.lower_bound(min_slew[static_cast<std::size_t>(fanin)]));
+      }
+      if (stage_lb == -1e300) continue;  // degenerate tables: no usable bound
+      bound[static_cast<std::size_t>(fanin)] =
+          std::max(bound[static_cast<std::size_t>(fanin)], stage_lb + out_bound);
+    }
+  }
+  return bound;
+}
 
 TimingState::TimingState(const netlist::Netlist& netlist) : netlist_(&netlist) {
   if (!netlist.finalized()) throw ContractError("TimingState: netlist not finalized");
   const int n = netlist.num_signals();
-  at_rise_.assign(n, 0.0);
-  at_fall_.assign(n, 0.0);
-  slew_rise_.assign(n, 0.0);
-  slew_fall_.assign(n, 0.0);
+  sig_.assign(static_cast<std::size_t>(n), SignalTiming{});
   load_ff_.resize(n);
   for (int s = 0; s < n; ++s) load_ff_[static_cast<std::size_t>(s)] = netlist.signal_load_ff(s);
   topo_rank_.assign(netlist.num_gates(), 0);
+  gate_out_.resize(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    gate_out_[static_cast<std::size_t>(g)] = netlist.gate(g).output;
+  }
   const std::vector<int>& order = netlist.topological_order();
   for (std::size_t i = 0; i < order.size(); ++i) {
     topo_rank_[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  sink_offset_.resize(static_cast<std::size_t>(n) + 1);
+  sink_offset_[0] = 0;
+  for (int s = 0; s < n; ++s) {
+    const std::vector<netlist::Sink>& sinks = netlist.sinks(s);
+    for (const netlist::Sink& sink : sinks) {
+      sink_rank_.push_back(
+          static_cast<std::uint32_t>(topo_rank_[static_cast<std::size_t>(sink.gate)]));
+    }
+    sink_offset_[static_cast<std::size_t>(s) + 1] =
+        static_cast<std::uint32_t>(sink_rank_.size());
+  }
+}
+
+void TimingState::use_load_slices(const LoadSlicedTables* slices) {
+  slices_ = slices;
+  slice_views_.clear();
+  if (slices == nullptr) return;
+  slice_views_.reserve(static_cast<std::size_t>(netlist_->num_gates()));
+  for (int g = 0; g < netlist_->num_gates(); ++g) {
+    slice_views_.push_back(slices->gate_view(g));
   }
 }
 
@@ -84,42 +294,32 @@ double TimingState::analyze(const sim::CircuitConfig& config, double delay_scale
   }
   const double pi_slew = netlist_->library().tech().default_pi_slew_ps;
   for (int s : netlist_->control_points()) {
-    at_rise_[static_cast<std::size_t>(s)] = 0.0;
-    at_fall_[static_cast<std::size_t>(s)] = 0.0;
-    slew_rise_[static_cast<std::size_t>(s)] = pi_slew;
-    slew_fall_[static_cast<std::size_t>(s)] = pi_slew;
+    sig_[static_cast<std::size_t>(s)] = {0.0, 0.0, pi_slew, pi_slew};
   }
   for (int g : netlist_->topological_order()) {
-    const GateTiming t = evaluate_gate(*netlist_, config, g, at_rise_, at_fall_,
-                                       slew_rise_, slew_fall_, load_ff_, delay_scale);
-    const std::size_t out = static_cast<std::size_t>(netlist_->gate(g).output);
-    at_rise_[out] = t.at_rise;
-    at_fall_[out] = t.at_fall;
-    slew_rise_[out] = t.slew_rise;
-    slew_fall_[out] = t.slew_fall;
+    sig_[static_cast<std::size_t>(netlist_->gate(g).output)] =
+        evaluate_gate(*netlist_, config, g, sig_.data(), load_ff_, nullptr, delay_scale);
   }
   return circuit_delay_ps();
 }
 
 bool TimingState::recompute_gate(const sim::CircuitConfig& config, int gate,
                                  TimingUndo* undo) {
-  const GateTiming t = evaluate_gate(*netlist_, config, gate, at_rise_, at_fall_,
-                                     slew_rise_, slew_fall_, load_ff_, 1.0);
-  const std::size_t out = static_cast<std::size_t>(netlist_->gate(gate).output);
-  if (std::abs(t.at_rise - at_rise_[out]) < kEpsPs &&
-      std::abs(t.at_fall - at_fall_[out]) < kEpsPs &&
-      std::abs(t.slew_rise - slew_rise_[out]) < kEpsPs &&
-      std::abs(t.slew_fall - slew_fall_[out]) < kEpsPs) {
+  const SignalTiming t = evaluate_gate(
+      *netlist_, config, gate, sig_.data(), load_ff_,
+      slice_views_.empty() ? nullptr : slice_views_.data(), 1.0);
+  const std::size_t out = static_cast<std::size_t>(gate_out_[static_cast<std::size_t>(gate)]);
+  SignalTiming& cur = sig_[out];
+  if (std::abs(t.at_rise - cur.at_rise) < kEpsPs &&
+      std::abs(t.at_fall - cur.at_fall) < kEpsPs &&
+      std::abs(t.slew_rise - cur.slew_rise) < kEpsPs &&
+      std::abs(t.slew_fall - cur.slew_fall) < kEpsPs) {
     return false;
   }
   if (undo != nullptr) {
-    undo->entries.push_back({static_cast<int>(out), at_rise_[out], at_fall_[out],
-                             slew_rise_[out], slew_fall_[out]});
+    undo->entries.push_back({static_cast<int>(out), cur});
   }
-  at_rise_[out] = t.at_rise;
-  at_fall_[out] = t.at_fall;
-  slew_rise_[out] = t.slew_rise;
-  slew_fall_[out] = t.slew_fall;
+  cur = t;
   return true;
 }
 
@@ -149,21 +349,85 @@ double TimingState::update_after_gate_change(const sim::CircuitConfig& config, i
   return circuit_delay_ps();
 }
 
+double TimingState::update_after_gate_change_bounded(
+    const sim::CircuitConfig& config, int gate,
+    const std::vector<double>& downstream_lb_ps, double ceiling_ps,
+    TimingUndo* undo) {
+  // Margin between the abort test and the caller's feasibility test. The
+  // bound chain is exact in real arithmetic; the margin only has to absorb
+  // double rounding across a few thousand adds/maxes (~1e-10 ps on
+  // ps-scale values), so 1e-3 ps is vastly conservative while still far
+  // below any meaningful delay difference. Trials violating the ceiling by
+  // less than the margin simply fall through to the full propagation.
+  constexpr double kAbortMarginPs = 1e-3;
+
+  // Topo ranks are a permutation of the gates, so visiting pending ranks
+  // in ascending order reproduces update_after_gate_change's processing
+  // order exactly. Pending ranks live in a bitmap (member scratch -- this
+  // runs thousands of times per leaf): pop = clear the lowest set bit at or
+  // after the cursor, push = set a bit, which also dedups for free. Every
+  // sink's rank exceeds its driver's, so pushes always land at or ahead of
+  // the cursor word and nothing is ever missed. Word-scanning the cone's
+  // rank range costs ~range/64 loads, replacing O(log n) heap churn per
+  // visit. Both exits leave the bitmap all-zero for the next call.
+  const std::vector<int>& rank_to_gate = netlist_->topological_order();
+  const std::size_t num_words =
+      (static_cast<std::size_t>(netlist_->num_gates()) + 63) / 64;
+  if (pending_bits_.size() != num_words) pending_bits_.assign(num_words, 0);
+
+  const std::uint32_t start_rank =
+      static_cast<std::uint32_t>(topo_rank_[static_cast<std::size_t>(gate)]);
+  pending_bits_[start_rank >> 6] |= std::uint64_t{1} << (start_rank & 63);
+
+  for (std::size_t word = start_rank >> 6; word < num_words;) {
+    const std::uint64_t bits = pending_bits_[word];
+    if (bits == 0) {
+      ++word;
+      continue;
+    }
+    pending_bits_[word] = bits & (bits - 1);  // clear lowest set bit
+    const std::size_t rank = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    const int g = rank_to_gate[rank];
+    if (!recompute_gate(config, g, undo)) continue;
+    const std::size_t out = static_cast<std::size_t>(gate_out_[static_cast<std::size_t>(g)]);
+    // `g` popped with all fanins settled, so its arrival is final for this
+    // update; adding the optimistic downstream remainder lower-bounds the
+    // eventual circuit delay.
+    if (std::max(sig_[out].at_rise, sig_[out].at_fall) + downstream_lb_ps[out] >
+        ceiling_ps + kAbortMarginPs) {
+      // Unvisited pending ranks all sit at or beyond the cursor word.
+      std::fill(pending_bits_.begin() + static_cast<std::ptrdiff_t>(word),
+                pending_bits_.end(), std::uint64_t{0});
+      return 1e300;
+    }
+    for (std::uint32_t i = sink_offset_[out]; i < sink_offset_[out + 1]; ++i) {
+      const std::uint32_t r = sink_rank_[i];
+      pending_bits_[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+  }
+  return circuit_delay_ps();
+}
+
+void TimingState::snapshot(TimingSnapshot& out) const { out.signals = sig_; }
+
+void TimingState::restore(const TimingSnapshot& snap) {
+  if (snap.signals.size() != sig_.size()) {
+    throw ContractError("TimingState::restore: snapshot size mismatch");
+  }
+  sig_ = snap.signals;
+}
+
 void TimingState::revert(const TimingUndo& undo) {
   for (auto it = undo.entries.rbegin(); it != undo.entries.rend(); ++it) {
-    const std::size_t s = static_cast<std::size_t>(it->signal);
-    at_rise_[s] = it->at_rise;
-    at_fall_[s] = it->at_fall;
-    slew_rise_[s] = it->slew_rise;
-    slew_fall_[s] = it->slew_fall;
+    sig_[static_cast<std::size_t>(it->signal)] = it->prev;
   }
 }
 
 double TimingState::circuit_delay_ps() const {
   double worst = 0.0;
   for (int s : netlist_->observe_points()) {
-    worst = std::max({worst, at_rise_[static_cast<std::size_t>(s)],
-                      at_fall_[static_cast<std::size_t>(s)]});
+    const SignalTiming& t = sig_[static_cast<std::size_t>(s)];
+    worst = std::max({worst, t.at_rise, t.at_fall});
   }
   return worst;
 }
@@ -171,10 +435,9 @@ double TimingState::circuit_delay_ps() const {
 TimingState::Critical TimingState::critical_output() const {
   Critical crit;
   for (int s : netlist_->observe_points()) {
-    const double r = at_rise_[static_cast<std::size_t>(s)];
-    const double f = at_fall_[static_cast<std::size_t>(s)];
-    if (r > crit.arrival_ps) crit = {s, true, r};
-    if (f > crit.arrival_ps) crit = {s, false, f};
+    const SignalTiming& t = sig_[static_cast<std::size_t>(s)];
+    if (t.at_rise > crit.arrival_ps) crit = {s, true, t.at_rise};
+    if (t.at_fall > crit.arrival_ps) crit = {s, false, t.at_fall};
   }
   return crit;
 }
@@ -195,19 +458,16 @@ std::vector<int> TimingState::critical_path(const sim::CircuitConfig& config) co
     int best_sig = -1;
     for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
       const int in_sig = g.fanins[pin];
+      const SignalTiming& in = sig_[static_cast<std::size_t>(in_sig)];
       const int phys = gc.mapping.logical_to_physical.empty()
                            ? static_cast<int>(pin)
                            : gc.mapping.logical_to_physical[pin];
       const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
       double cand;
       if (point.rising) {
-        cand = at_fall_[static_cast<std::size_t>(in_sig)] +
-               timing.delay_rise.lookup(slew_fall_[static_cast<std::size_t>(in_sig)],
-                                        out_load);
+        cand = in.at_fall + timing.delay_rise.lookup(in.slew_fall, out_load);
       } else {
-        cand = at_rise_[static_cast<std::size_t>(in_sig)] +
-               timing.delay_fall.lookup(slew_rise_[static_cast<std::size_t>(in_sig)],
-                                        out_load);
+        cand = in.at_rise + timing.delay_fall.lookup(in.slew_rise, out_load);
       }
       if (cand > best) {
         best = cand;

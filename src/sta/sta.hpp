@@ -20,14 +20,79 @@
 
 namespace svtox::sta {
 
+/// One signal's timing quadruple. Kept as a single struct (instead of four
+/// parallel arrays) so an incremental probe touches one cache line per
+/// signal it reads or writes -- the leaf-evaluation hot path is memory
+/// bound on these.
+struct SignalTiming {
+  double at_rise = 0.0, at_fall = 0.0;
+  double slew_rise = 0.0, slew_fall = 0.0;
+};
+
 /// Undo log of one incremental update; pass back to revert().
 struct TimingUndo {
   struct Entry {
     int signal;
-    double at_rise, at_fall, slew_rise, slew_fall;
+    SignalTiming prev;
   };
   std::vector<Entry> entries;
   bool empty() const { return entries.empty(); }
+};
+
+/// A full copy of the per-signal timing array, filled by
+/// TimingState::snapshot() and reapplied by restore(). Lets a leaf
+/// evaluation start from a memcpy of a previously analyzed baseline
+/// configuration instead of a from-scratch analyze() -- the values are
+/// bit-identical to the analysis the snapshot was taken from.
+struct TimingSnapshot {
+  std::vector<SignalTiming> signals;
+  bool empty() const { return signals.empty(); }
+};
+
+/// Load-sliced NLDM tables of a whole netlist: for every gate, every
+/// library variant and physical pin, the four timing tables restricted to
+/// the gate's actual output load (liberty::NldmLoadSlice). Loads are fixed
+/// per instance, so this depends only on the netlist + library; instances
+/// of the same cell driving the same load share one block. Attach to a
+/// TimingState (use_load_slices) to make incremental re-propagation skip
+/// the 2-D lookups -- results are bit-identical either way. Read-only
+/// after construction and safe to share across threads.
+class LoadSlicedTables {
+ public:
+  explicit LoadSlicedTables(const netlist::Netlist& netlist);
+
+  /// The four slices of one (variant, physical pin) of `gate`'s cell.
+  struct PinSlices {
+    liberty::NldmLoadSlice delay_rise, delay_fall, slew_rise, slew_fall;
+  };
+
+  const PinSlices& pin(int gate, int variant, int physical_pin) const {
+    const GateRef& ref = gates_[static_cast<std::size_t>(gate)];
+    return blocks_[ref.block]
+                  [static_cast<std::size_t>(variant) * ref.pins +
+                   static_cast<std::size_t>(physical_pin)];
+  }
+
+  /// Flat view of one gate's block: slices of (variant v, physical pin p)
+  /// live at base[v * pins + p]. TimingState caches these per gate so the
+  /// hot path resolves a pin's slices with one indexed load instead of the
+  /// gates_/blocks_ double indirection.
+  struct GateView {
+    const PinSlices* base = nullptr;
+    std::uint32_t pins = 0;
+  };
+  GateView gate_view(int gate) const {
+    const GateRef& ref = gates_[static_cast<std::size_t>(gate)];
+    return {blocks_[ref.block].data(), ref.pins};
+  }
+
+ private:
+  struct GateRef {
+    std::uint32_t block = 0;  ///< Index into blocks_.
+    std::uint32_t pins = 0;   ///< Pins per variant (block row stride).
+  };
+  std::vector<GateRef> gates_;                 ///< Per gate.
+  std::vector<std::vector<PinSlices>> blocks_;  ///< Per (cell, load), [variant*pins+pin].
 };
 
 /// Mutable timing state of one netlist under a circuit configuration.
@@ -46,17 +111,46 @@ class TimingState {
   double update_after_gate_change(const sim::CircuitConfig& config, int gate,
                                   TimingUndo* undo);
 
+  /// update_after_gate_change with early rejection: `downstream_lb_ps` is a
+  /// per-signal lower bound on the remaining combinational delay to any
+  /// observe point (see downstream_delay_lower_bounds_ps). As soon as a
+  /// finalized arrival plus that bound provably exceeds `ceiling_ps`, the
+  /// eventual circuit delay must exceed it too, so the propagation aborts
+  /// and returns +infinity (1e300); the caller reverts via `undo` exactly
+  /// as after a completed update. When no abort triggers, the result -- and
+  /// every touched signal -- is bit-identical to the unbounded update, so
+  /// any caller that reverts whenever the returned delay is above
+  /// `ceiling_ps` observes identical behavior either way.
+  double update_after_gate_change_bounded(const sim::CircuitConfig& config, int gate,
+                                          const std::vector<double>& downstream_lb_ps,
+                                          double ceiling_ps, TimingUndo* undo);
+
+  /// Attaches load-sliced tables (caller-owned, must outlive this state;
+  /// pass nullptr to detach). Incremental updates then evaluate gates
+  /// through the 1-D slices -- bit-identical results, roughly half the
+  /// lookup cost. The amortized leaf evaluators attach the problem's
+  /// shared slices; from-scratch evaluations run without them.
+  void use_load_slices(const LoadSlicedTables* slices);
+
   /// Restores the state recorded in `undo` (entries are replayed in
   /// reverse). The caller must revert in LIFO order w.r.t. updates.
   void revert(const TimingUndo& undo);
 
+  /// Copies the per-signal timing arrays into `out` (reusing its capacity).
+  void snapshot(TimingSnapshot& out) const;
+
+  /// Reapplies a snapshot taken from this netlist's TimingState; afterwards
+  /// every query returns exactly what it returned when the snapshot was
+  /// taken.
+  void restore(const TimingSnapshot& snap);
+
   /// Worst arrival over all primary outputs [ps].
   double circuit_delay_ps() const;
 
-  double arrival_rise_ps(int signal) const { return at_rise_.at(signal); }
-  double arrival_fall_ps(int signal) const { return at_fall_.at(signal); }
-  double slew_rise_ps(int signal) const { return slew_rise_.at(signal); }
-  double slew_fall_ps(int signal) const { return slew_fall_.at(signal); }
+  double arrival_rise_ps(int signal) const { return sig_.at(signal).at_rise; }
+  double arrival_fall_ps(int signal) const { return sig_.at(signal).at_fall; }
+  double slew_rise_ps(int signal) const { return sig_.at(signal).slew_rise; }
+  double slew_fall_ps(int signal) const { return sig_.at(signal).slew_fall; }
 
   /// Signal load used by the analysis [fF].
   double load_ff(int signal) const { return load_ff_.at(signal); }
@@ -78,10 +172,36 @@ class TimingState {
   bool recompute_gate(const sim::CircuitConfig& config, int gate, TimingUndo* undo);
 
   const netlist::Netlist* netlist_;
-  std::vector<double> at_rise_, at_fall_, slew_rise_, slew_fall_;  // per signal
-  std::vector<double> load_ff_;                                    // per signal
-  std::vector<int> topo_rank_;                                     // per gate
+  const LoadSlicedTables* slices_ = nullptr;  ///< Optional, caller-owned.
+  std::vector<SignalTiming> sig_;  // per signal
+  std::vector<double> load_ff_;    // per signal
+  std::vector<int> topo_rank_;     // per gate
+  std::vector<int> gate_out_;      // per gate: driven signal id
+  // Flattened fanout in rank space: the topo ranks of signal s's sink
+  // gates are sink_rank_[sink_offset_[s] .. sink_offset_[s+1]). Built once
+  // in the constructor; spares the hot loop the per-signal vector (and its
+  // bounds-checked .at()) of Netlist::sinks().
+  std::vector<std::uint32_t> sink_offset_;  // per signal, +1 sentinel
+  std::vector<std::uint32_t> sink_rank_;
+  /// Per-gate slice rows, cached from slices_ (empty when detached).
+  std::vector<LoadSlicedTables::GateView> slice_views_;
+  /// Scratch of update_after_gate_change_bounded: pending topo ranks as a
+  /// bitmap (bit r = rank r queued). Popping the lowest set bit visits the
+  /// cone in ascending rank -- the exact order of the rank min-heap it
+  /// replaces -- and both exits leave the bitmap all-zero for the next call.
+  std::vector<std::uint64_t> pending_bits_;
 };
+
+/// Per-signal lower bound [ps] on the combinational delay from the signal
+/// to any observe point, valid for EVERY variant selection, pin mapping and
+/// input slew (each stage contributes the minimum of its delay tables over
+/// all variants, physical pins and the whole physical slew range, at the
+/// gate's actual output load). Signals that cannot reach an observe point
+/// get -infinity, so a bound test against them never triggers. The vector
+/// depends only on the netlist and library -- leaf searches compute it once
+/// and use it to reject delay-infeasible variant trials without propagating
+/// their full fanout cones (update_after_gate_change_bounded).
+std::vector<double> downstream_delay_lower_bounds_ps(const netlist::Netlist& netlist);
 
 /// Delay budget arithmetic (paper Sec. 6): penalties are a percentage of
 /// the spread between the all-fast delay and the all-slow delay.

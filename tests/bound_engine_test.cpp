@@ -199,7 +199,8 @@ TEST(ParallelSearch, ProbeSeedIsConfigurableAndDeterministic) {
   const auto n = random_net(32, 10, 60);
   const AssignmentProblem problem(n, 0.05);
   SearchOptions options;
-  options.time_limit_s = 0.0;  // probes only beyond the first descent
+  options.time_limit_s = 60.0;  // generous: every probe must complete
+  options.max_leaves = 1;       // tree search stops after the first descent
   options.random_probes = 64;
   const Solution a = state_only_search(problem, options);
   const Solution b = state_only_search(problem, options);
@@ -211,6 +212,20 @@ TEST(ParallelSearch, ProbeSeedIsConfigurableAndDeterministic) {
   // solution that the incumbent logic never lets fall below the descent.
   EXPECT_GT(c.leakage_na, 0.0);
   EXPECT_EQ(c.states_explored, a.states_explored);
+}
+
+TEST(ParallelSearch, ProbesHonorTheSearchDeadline) {
+  const auto n = random_net(32, 10, 60);
+  const AssignmentProblem problem(n, 0.05);
+  SearchOptions options;
+  options.time_limit_s = 0.0;  // expired before the sweep starts
+  options.random_probes = 64;
+  const Solution a = state_only_search(problem, options);
+  // The first descent's leaf always completes, but no probe may start once
+  // the deadline has passed.
+  EXPECT_GE(a.states_explored, 1u);
+  EXPECT_LT(a.states_explored,
+            static_cast<std::uint64_t>(options.random_probes));
 }
 
 }  // namespace
