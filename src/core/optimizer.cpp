@@ -92,6 +92,7 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
       options.time_limit_s = config.time_limit_s;
       options.random_probes = 256;
       options.threads = config.threads;
+      options.cancel = config.cancel;
       result.solution =
           opt::state_only_search(problem_for(config.penalty_fraction), options);
       break;
@@ -101,6 +102,7 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
       options.time_limit_s = config.time_limit_s;
       options.gate_order = config.gate_order;
       options.threads = config.threads;
+      options.cancel = config.cancel;
       result.solution =
           opt::heuristic2(vt_problem_for(config.penalty_fraction), options);
       break;
@@ -114,6 +116,7 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
       options.time_limit_s = config.time_limit_s;
       options.gate_order = config.gate_order;
       options.threads = config.threads;
+      options.cancel = config.cancel;
       result.solution = opt::heuristic2(problem_for(config.penalty_fraction), options);
       break;
     }
@@ -122,6 +125,7 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
       options.time_limit_s = config.time_limit_s;
       options.gate_order = config.gate_order;
       options.threads = config.threads;
+      options.cancel = config.cancel;
       result.solution = opt::exact_search(problem_for(config.penalty_fraction), options);
       break;
     }

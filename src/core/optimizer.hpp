@@ -16,6 +16,7 @@
 // the paper evaluates (including the state-only and Vt+state baselines).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -49,6 +50,10 @@ struct RunConfig {
   /// (Heu2, exact, state-only, Vt+state). 1 = serial, 0 = all hardware
   /// threads. Heu1 is a single descent and always serial.
   int threads = 1;
+  /// Optional cooperative cancellation flag forwarded to the state search
+  /// (see opt::SearchOptions::cancel). When set mid-run the search returns
+  /// its best-so-far solution with `interrupted` true. Must outlive run().
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of one method run.

@@ -20,6 +20,11 @@ struct Solution {
   std::uint64_t states_explored = 0;  ///< State-tree leaves evaluated.
   std::uint64_t nodes_visited = 0;    ///< State-tree nodes (incl. interior).
   double runtime_s = 0.0;
+
+  /// True when the search observed an external cancellation request
+  /// (SearchOptions::cancel) and returned its best-so-far incumbent
+  /// instead of running to its natural time/leaf budget.
+  bool interrupted = false;
 };
 
 }  // namespace svtox::opt

@@ -65,6 +65,8 @@ struct SearchContext {
   Incumbent incumbent;
   std::atomic<std::uint64_t> nodes{0};
   std::atomic<std::uint64_t> leaves{0};
+  /// Latched true once any worker observes the external cancel flag.
+  std::atomic<bool> interrupted{false};
 
   SearchContext(const AssignmentProblem& p, const SearchOptions& o, BoundKind kind,
                 bool only_state)
@@ -74,11 +76,24 @@ struct SearchContext {
         state_only(only_state),
         deadline(o.time_limit_s) {}
 
-  bool out_of_budget() const {
+  /// External cancellation check; latches `interrupted` when observed so
+  /// the result can be flagged.
+  bool cancelled() {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool out_of_budget() {
     const std::uint64_t done = leaves.load(std::memory_order_relaxed);
     if (options.max_leaves != 0 && done >= options.max_leaves) return true;
-    // The very first leaf (Heu1's descent) always completes.
-    return done > 0 && deadline.expired();
+    // The very first leaf (Heu1's descent) always completes, so even a
+    // cancelled search returns a valid incumbent.
+    if (done == 0) return false;
+    return deadline.expired() || cancelled();
   }
 };
 
@@ -254,7 +269,7 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
   // the time limit -- none start once the deadline has passed (the tree
   // search above always completes its first leaf regardless) -- but not
   // `max_leaves`, which caps only the tree search, as it always has.
-  if (options.random_probes > 0 && !ctx.deadline.expired()) {
+  if (options.random_probes > 0 && !ctx.deadline.expired() && !ctx.cancelled()) {
     Rng rng(options.probe_seed);
     std::vector<std::vector<bool>> probes(
         static_cast<std::size_t>(options.random_probes));
@@ -264,11 +279,12 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
     }
     std::atomic<std::uint32_t> next{0};
     auto drain = [&ctx, &probes, &next, state_only] {
-      if (ctx.deadline.expired()) return;  // skip the evaluator setup entirely
+      // Skip the evaluator setup entirely when already out of time.
+      if (ctx.deadline.expired() || ctx.cancelled()) return;
       LeafEvaluator evaluator(ctx.problem);
       for (;;) {
         const std::uint32_t p = next.fetch_add(1, std::memory_order_relaxed);
-        if (p >= probes.size() || ctx.deadline.expired()) return;
+        if (p >= probes.size() || ctx.deadline.expired() || ctx.cancelled()) return;
         Solution leaf =
             state_only ? evaluator.evaluate_state_only(probes[p])
                        : evaluator.evaluate_greedy(probes[p], ctx.options.gate_order);
@@ -289,6 +305,7 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
   best.nodes_visited = ctx.nodes.load(std::memory_order_relaxed);
   best.states_explored = ctx.leaves.load(std::memory_order_relaxed);
   best.runtime_s = timer.seconds();
+  best.interrupted = ctx.interrupted.load(std::memory_order_relaxed);
   return best;
 }
 

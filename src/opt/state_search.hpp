@@ -32,6 +32,7 @@
 // thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "opt/bound_engine.hpp"
@@ -83,6 +84,13 @@ struct SearchOptions {
   int threads = 1;
   /// Bound evaluation strategy; kReference is the slow cross-check path.
   BoundMode bound_mode = BoundMode::kIncremental;
+  /// Cooperative cancellation (std::stop_token-style): when non-null and
+  /// set, the search stops mid-tree (and mid-probe-sweep) at the next
+  /// budget check and returns its best-so-far incumbent with
+  /// `Solution::interrupted` true. The first descent's leaf still
+  /// completes, so a cancelled search always carries a valid solution.
+  /// The pointee must outlive the search call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Heuristic 1: single downward traversal (paper Sec. 5).

@@ -1,0 +1,137 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace svtox::svc {
+
+namespace {
+
+int connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw ContractError("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ContractError("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw ContractError("cannot connect to svtoxd at " + socket_path + ": " + what +
+                        " (is the daemon running?)");
+  }
+  return fd;
+}
+
+/// Throws when the daemon replied ok=false.
+const Json& check_ok(const Json& reply) {
+  const Json* ok = reply.get("ok");
+  if (ok == nullptr || !ok->as_bool(false)) {
+    const Json* error = reply.get("error");
+    throw ContractError("svtoxd error: " +
+                        (error != nullptr ? error->as_string() : reply.dump()));
+  }
+  return reply;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) : fd_(connect_unix(socket_path)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json Client::request(const Json& request_json) {
+  const std::string line = request_json.dump() + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ContractError("svtoxd connection lost while sending");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = pending_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string reply = pending_.substr(0, newline);
+      pending_.erase(0, newline + 1);
+      return Json::parse(reply);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw ContractError("svtoxd connection closed before replying");
+    pending_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+  Json request_json = job_spec_to_json(spec);
+  request_json.set("cmd", "submit");
+  const Json reply = check_ok(request(request_json));
+  const Json* job = reply.get("job");
+  if (job == nullptr) throw ContractError("svtoxd submit reply missing 'job'");
+  return static_cast<std::uint64_t>(job->as_int());
+}
+
+std::string Client::status(std::uint64_t job) {
+  Json request_json = Json::object();
+  request_json.set("cmd", "status");
+  request_json.set("job", job);
+  const Json reply = check_ok(request(request_json));
+  const Json* status = reply.get("status");
+  return status != nullptr ? status->as_string() : "?";
+}
+
+JobResult Client::result(std::uint64_t job, bool include_solution) {
+  Json request_json = Json::object();
+  request_json.set("cmd", "result");
+  request_json.set("job", job);
+  if (!include_solution) request_json.set("solution", false);
+  return job_result_from_json(check_ok(request(request_json)));
+}
+
+bool Client::cancel(std::uint64_t job) {
+  Json request_json = Json::object();
+  request_json.set("cmd", "cancel");
+  request_json.set("job", job);
+  const Json reply = check_ok(request(request_json));
+  const Json* cancelled = reply.get("cancelled");
+  return cancelled != nullptr && cancelled->as_bool(false);
+}
+
+Json Client::stats() {
+  Json request_json = Json::object();
+  request_json.set("cmd", "stats");
+  return check_ok(request(request_json));
+}
+
+void Client::shutdown(bool drain) {
+  Json request_json = Json::object();
+  request_json.set("cmd", "shutdown");
+  request_json.set("drain", drain);
+  check_ok(request(request_json));
+}
+
+bool Client::ping(const std::string& socket_path) {
+  try {
+    const int fd = connect_unix(socket_path);
+    ::close(fd);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace svtox::svc

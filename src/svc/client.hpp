@@ -1,0 +1,44 @@
+// Client side of the svtoxd wire protocol: a blocking one-request /
+// one-reply NDJSON channel over a Unix-domain socket, plus the typed
+// convenience calls `svtox batch` uses.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "svc/job.hpp"
+
+namespace svtox::svc {
+
+class Client {
+ public:
+  /// Connects to a running svtoxd; throws ContractError when the socket
+  /// cannot be reached.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Raw round trip: sends one request object, returns the reply object.
+  /// Throws ContractError on connection loss or a malformed reply.
+  Json request(const Json& request_json);
+
+  // --- Typed wrappers ---------------------------------------------------
+  /// Each throws ContractError when the daemon replies {"ok":false}.
+  std::uint64_t submit(const JobSpec& spec);
+  std::string status(std::uint64_t job);
+  JobResult result(std::uint64_t job, bool include_solution = true);  ///< Blocks.
+  bool cancel(std::uint64_t job);
+  Json stats();
+  void shutdown(bool drain = true);
+
+  /// True when a daemon accepts connections on `socket_path`.
+  static bool ping(const std::string& socket_path);
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  ///< Bytes read past the last reply's newline.
+};
+
+}  // namespace svtox::svc

@@ -1,0 +1,80 @@
+#include "svc/job_queue.hpp"
+
+#include <algorithm>
+
+namespace svtox::svc {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool JobQueue::push(JobId id, int priority) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  const Key key{-priority, next_seq_++};
+  items_.emplace(key, id);
+  index_.emplace(id, key);
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::try_push(JobId id, int priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  const Key key{-priority, next_seq_++};
+  items_.emplace(key, id);
+  index_.emplace(id, key);
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<JobId> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  const auto it = items_.begin();
+  const JobId id = it->second;
+  index_.erase(id);
+  items_.erase(it);
+  not_full_.notify_one();
+  return id;
+}
+
+bool JobQueue::remove(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  items_.erase({it->second, id});
+  index_.erase(it);
+  not_full_.notify_one();
+  return true;
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::vector<JobId> JobQueue::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobId> dropped;
+  dropped.reserve(items_.size());
+  for (const auto& [key, id] : items_) dropped.push_back(id);
+  items_.clear();
+  index_.clear();
+  not_full_.notify_all();
+  return dropped;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace svtox::svc

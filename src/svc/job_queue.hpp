@@ -1,0 +1,66 @@
+// Bounded MPMC priority queue of job ids.
+//
+// The queue carries only (priority, id); the scheduler owns the job
+// records. Ordering is highest-priority-first, FIFO within a priority
+// (via a monotonically increasing sequence number). push() blocks while
+// the queue is at capacity -- backpressure toward submitters -- and pop()
+// blocks until an item arrives or the queue is closed and drained.
+// remove() supports cancelling a still-queued job in O(log n).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace svtox::svc {
+
+using JobId = std::uint64_t;
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Blocks while full. Returns false (and drops the item) once closed.
+  bool push(JobId id, int priority);
+  /// Non-blocking push; false when full or closed.
+  bool try_push(JobId id, int priority);
+
+  /// Blocks until an item is available. Returns nullopt once the queue is
+  /// closed *and* empty, which is the workers' exit signal.
+  std::optional<JobId> pop();
+
+  /// Removes a still-queued id; false when it was already popped (running
+  /// or finished) or never queued.
+  bool remove(JobId id);
+
+  /// No further pushes succeed; pops drain the backlog then return
+  /// nullopt. Idempotent.
+  void close();
+  /// Drops every queued item (used by non-draining shutdown); the ids are
+  /// returned so the scheduler can mark them cancelled.
+  std::vector<JobId> clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  // Ordered by (-priority, seq): begin() is the highest priority, oldest.
+  using Key = std::tuple<int, std::uint64_t>;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::set<std::pair<Key, JobId>> items_;
+  std::unordered_map<JobId, Key> index_;
+};
+
+}  // namespace svtox::svc

@@ -1,0 +1,350 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace svtox::svc {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    // Column-level positions matter more than lines for one-line NDJSON.
+    throw ParseError("<json>", static_cast<int>(pos_), what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Json value = parse_value();
+      // Last duplicate wins, matching common lenient decoders.
+      bool replaced = false;
+      for (auto& member : members) {
+        if (member.first == key) {
+          member.second = std::move(value);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(parse_hex4(), out); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return value;
+  }
+
+  void append_utf8(unsigned cp, std::string& out) {
+    // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Strict JSON: no leading zeros ("01"), which strtod would accept.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan; null is the conventional stand-in
+    return;
+  }
+  // Integers (job ids, counters) print without a decimal point so they
+  // round-trip textually; everything else uses shortest-ish %.17g.
+  const double rounded = std::nearbyint(v);
+  if (rounded == v && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[40];
+    std::snprintf(probe, sizeof probe, "%.*g", precision, v);
+    if (std::strtod(probe, nullptr) == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: dump_number(v.as_number(), out); break;
+    case Json::Type::kString: dump_string(v.as_string(), out); break;
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(key, out);
+        out.push_back(':');
+        dump_value(value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::string& Json::empty_string() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const Json* Json::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  if (is_null()) type_ = Type::kObject;
+  if (!is_object()) throw ContractError("Json::set on a non-object");
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace svtox::svc

@@ -1,0 +1,87 @@
+// Minimal JSON value for the service layer's wire protocol and job
+// manifests: newline-delimited JSON requests/responses (svtoxd), manifest
+// files (svtox batch), and the solution-cache disk metadata.
+//
+// Scope is deliberately small -- parse / dump of the standard six value
+// types with strict syntax -- so the daemon carries no external
+// dependency. Objects preserve insertion order (deterministic dumps, which
+// the byte-identity tests rely on); duplicate keys keep the last value on
+// parse. Numbers are doubles; integral values round-trip exactly up to
+// 2^53, wide enough for job ids and counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace svtox::svc {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& as_string(const std::string& fallback = empty_string()) const {
+    return is_string() ? string_ : fallback;
+  }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* get(std::string_view key) const;
+  /// Inserts or replaces an object member (turns a null value into {}).
+  Json& set(std::string_view key, Json value);
+
+  /// Serializes on one line (no newlines, ASCII-safe escapes) -- directly
+  /// usable as one NDJSON record.
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON document (trailing whitespace ok).
+  /// Throws svtox::ParseError on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  static const std::string& empty_string();
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace svtox::svc

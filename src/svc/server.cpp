@@ -1,0 +1,255 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace svtox::svc {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR/partial writes.
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Json error_reply(const std::string& what) {
+  Json reply = Json::object();
+  reply.set("ok", false);
+  reply.set("error", what);
+  return reply;
+}
+
+Json cache_stats_json(const CacheStats& stats) {
+  Json json = Json::object();
+  json.set("hits", stats.hits);
+  json.set("disk_hits", stats.disk_hits);
+  json.set("misses", stats.misses);
+  json.set("inflight_waits", stats.inflight_waits);
+  json.set("evictions", stats.evictions);
+  json.set("entries", stats.entries);
+  return json;
+}
+
+}  // namespace
+
+Server::Server(Scheduler& scheduler, std::string socket_path)
+    : scheduler_(scheduler), socket_path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path) {
+    throw ContractError("socket path too long: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw ContractError("cannot create unix socket");
+  ::unlink(socket_path_.c_str());  // stale socket from a crashed daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ContractError("cannot bind " + socket_path_ + ": " + what);
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen fd closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    client_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_after = false;
+  while (!close_after) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // disconnect or stop()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (!close_after && (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      Json reply;
+      try {
+        reply = dispatch(Json::parse(line), close_after);
+      } catch (const std::exception& e) {
+        reply = error_reply(e.what());
+      }
+      if (!write_all(fd, reply.dump() + "\n")) {
+        close_after = true;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(client_fds_.begin(), client_fds_.end(), fd);
+  if (it != client_fds_.end()) {
+    ::close(fd);
+    client_fds_.erase(it);
+  }
+}
+
+Json Server::dispatch(const Json& request, bool& close_after) {
+  const std::string cmd =
+      request.get("cmd") != nullptr ? request.get("cmd")->as_string() : "";
+  if (cmd == "submit") {
+    // The spec is the request minus the routing key.
+    Json spec_json = Json::object();
+    for (const auto& [key, value] : request.as_object()) {
+      if (key != "cmd") spec_json.set(key, value);
+    }
+    const JobId id = scheduler_.submit(job_spec_from_json(spec_json));
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("job", id);
+    return reply;
+  }
+
+  if (cmd == "status" || cmd == "result" || cmd == "cancel") {
+    const Json* job = request.get("job");
+    if (job == nullptr || !job->is_number()) {
+      return error_reply("'" + cmd + "' needs a numeric 'job' id");
+    }
+    const JobId id = static_cast<JobId>(job->as_int());
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("job", id);
+    if (cmd == "status") {
+      reply.set("status", to_string(scheduler_.status(id)));
+    } else if (cmd == "result") {
+      const bool include_solution =
+          request.get("solution") == nullptr || request.get("solution")->as_bool(true);
+      scheduler_.status(id);  // throws early for unknown ids
+      const JobResult result = scheduler_.wait(id);
+      const Json result_json = job_result_to_json(result, include_solution);
+      for (const auto& [key, value] : result_json.as_object()) {
+        reply.set(key, value);
+      }
+    } else {
+      reply.set("cancelled", scheduler_.cancel(id));
+    }
+    return reply;
+  }
+
+  if (cmd == "stats") {
+    const SchedulerStats stats = scheduler_.stats();
+    Json jobs = Json::object();
+    jobs.set("submitted", stats.submitted);
+    jobs.set("completed", stats.completed);
+    jobs.set("failed", stats.failed);
+    jobs.set("cancelled", stats.cancelled);
+    jobs.set("executed", stats.executed);
+    jobs.set("queued", stats.queued);
+    jobs.set("running", stats.running);
+    jobs.set("workers", stats.workers);
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("jobs", jobs);
+    reply.set("cache", cache_stats_json(stats.cache));
+    return reply;
+  }
+
+  if (cmd == "shutdown") {
+    const Json* drain = request.get("drain");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
+      shutdown_drain_ = drain == nullptr ? true : drain->as_bool(true);
+    }
+    shutdown_cv_.notify_all();
+    close_after = true;
+    Json reply = Json::object();
+    reply.set("ok", true);
+    return reply;
+  }
+
+  return error_reply(cmd.empty() ? "missing 'cmd'" : "unknown cmd '" + cmd + "'");
+}
+
+bool Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopping_; });
+  return shutdown_drain_;
+}
+
+void Server::stop() {
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    shutdown_requested_ = true;
+    // close() alone does NOT wake a thread blocked in accept() on Linux;
+    // shutdown() does. The fd itself is closed after the acceptor joins.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    // Wake blocked reads; the handler threads close the fds themselves.
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+  }
+  shutdown_cv_.notify_all();
+  // Belt and braces for platforms where shutdown() leaves accept() parked:
+  // a throwaway connection forces it to return (the loop then sees
+  // stopping_ and exits).
+  const int wake = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (wake >= 0) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+    ::connect(wake, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::close(wake);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (const int fd : client_fds_) ::close(fd);
+    client_fds_.clear();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+}  // namespace svtox::svc

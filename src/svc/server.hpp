@@ -1,0 +1,79 @@
+// Unix-domain-socket front end of the scheduler: the `svtoxd` daemon's
+// listener. Speaks newline-delimited JSON, one request object per line,
+// one response object per line:
+//
+//   -> {"cmd":"submit","circuit":"c432","method":"heu1","penalty":5}
+//   <- {"ok":true,"job":1}
+//   -> {"cmd":"status","job":1}
+//   <- {"ok":true,"job":1,"status":"running"}
+//   -> {"cmd":"result","job":1}              // blocks until terminal
+//   <- {"ok":true,"job":1,"status":"done","leakage_ua":...,"solution":"..."}
+//   -> {"cmd":"cancel","job":1}
+//   <- {"ok":true,"job":1,"cancelled":true}
+//   -> {"cmd":"stats"}
+//   <- {"ok":true,"jobs":{...},"cache":{...}}
+//   -> {"cmd":"shutdown","drain":true}
+//   <- {"ok":true}
+//
+// Every connection gets its own handler thread (blocking `result` waits
+// only park that connection). Malformed requests produce
+// {"ok":false,"error":"..."} and keep the connection open; the daemon only
+// dies on `shutdown` or a signal.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/scheduler.hpp"
+
+namespace svtox::svc {
+
+class Server {
+ public:
+  /// Binds and listens on `socket_path` (unlinking a stale socket first);
+  /// throws ContractError when the path cannot be bound.
+  Server(Scheduler& scheduler, std::string socket_path);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop.
+  void start();
+
+  /// Blocks until a client issued `shutdown` (returns its requested drain
+  /// mode) or stop() was called from another thread (returns true).
+  bool wait_for_shutdown();
+
+  /// Stops accepting, disconnects clients, joins all threads, removes the
+  /// socket file. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// One request -> one response; `close_after` asks the caller to end the
+  /// connection (shutdown acknowledges first, then tears down).
+  Json dispatch(const Json& request, bool& close_after);
+
+  Scheduler& scheduler_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool shutdown_drain_ = true;
+  bool stopping_ = false;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> handlers_;
+  std::thread acceptor_;
+};
+
+}  // namespace svtox::svc

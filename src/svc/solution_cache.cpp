@@ -1,0 +1,184 @@
+#include "svc/solution_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace svtox::svc {
+
+SolutionCache::SolutionCache(const Options& options)
+    : per_shard_capacity_(std::max<std::size_t>(
+          1, options.capacity / std::max<std::size_t>(1, options.shards))),
+      disk_dir_(options.disk_dir) {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (!disk_dir_.empty()) {
+    // Best-effort create; a failed mkdir surfaces on the first store.
+    ::mkdir(disk_dir_.c_str(), 0777);
+  }
+}
+
+SolutionCache::Shard& SolutionCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void SolutionCache::touch_locked(Shard& shard, const std::string& key) {
+  auto pos = shard.lru_pos.find(key);
+  if (pos == shard.lru_pos.end()) return;
+  shard.lru.erase(pos->second);
+  shard.lru.push_front(key);
+  pos->second = shard.lru.begin();
+}
+
+void SolutionCache::insert_locked(Shard& shard, const std::string& key,
+                                  const JobResult& result) {
+  if (shard.values.count(key) != 0) {
+    shard.values[key] = result;
+    touch_locked(shard, key);
+    return;
+  }
+  shard.values.emplace(key, result);
+  shard.lru.push_front(key);
+  shard.lru_pos[key] = shard.lru.begin();
+  std::uint64_t evicted = 0;
+  while (shard.values.size() > per_shard_capacity_) {
+    const std::string victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.lru_pos.erase(victim);
+    shard.values.erase(victim);
+    ++evicted;
+  }
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+std::optional<JobResult> SolutionCache::fetch_or_lock(const std::string& key) {
+  Shard& shard = shard_for(key);
+  bool counted_wait = false;
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    auto it = shard.values.find(key);
+    if (it != shard.values.end()) {
+      touch_locked(shard, key);
+      JobResult result = it->second;
+      result.cache_hit = true;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    if (shard.inflight.count(key) == 0) {
+      shard.inflight.insert(key);
+      lock.unlock();
+      // Owner path: consult the persistence dir before conceding a miss.
+      if (std::optional<JobResult> from_disk = load_disk(key)) {
+        from_disk->cache_hit = true;
+        publish(key, *from_disk);
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        return from_disk;
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (!counted_wait) {
+      counted_wait = true;
+      inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.cv.wait(lock);
+  }
+}
+
+void SolutionCache::publish(const std::string& key, const JobResult& result) {
+  if (result.interrupted) {
+    // A best-so-far incumbent is not the canonical answer for this key.
+    abandon(key);
+    return;
+  }
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    insert_locked(shard, key, result);
+    shard.inflight.erase(key);
+  }
+  shard.cv.notify_all();
+  if (!disk_dir_.empty() && !result.cache_hit) store_disk(key, result);
+}
+
+void SolutionCache::abandon(const std::string& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
+  }
+  shard.cv.notify_all();
+}
+
+std::optional<JobResult> SolutionCache::peek(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.values.find(key);
+  if (it == shard.values.end()) return std::nullopt;
+  JobResult result = it->second;
+  result.cache_hit = true;
+  return result;
+}
+
+CacheStats SolutionCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.entries = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s->mu);
+    out.entries += s->values.size();
+  }
+  return out;
+}
+
+std::optional<JobResult> SolutionCache::load_disk(const std::string& key) const {
+  if (disk_dir_.empty()) return std::nullopt;
+  std::ifstream in(disk_dir_ + "/" + key + ".svcache");
+  if (!in) return std::nullopt;
+  std::string meta_line;
+  if (!std::getline(in, meta_line)) return std::nullopt;
+  try {
+    JobResult result = job_result_from_json(Json::parse(meta_line));
+    std::ostringstream text;
+    text << in.rdbuf();
+    result.solution_text = text.str();
+    return result;
+  } catch (const std::exception& e) {
+    log_info("solution cache: ignoring corrupt entry " + key + ": " + e.what());
+    return std::nullopt;
+  }
+}
+
+void SolutionCache::store_disk(const std::string& key, const JobResult& result) const {
+  const std::string path = disk_dir_ + "/" + key + ".svcache";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      log_info("solution cache: cannot write " + tmp);
+      return;
+    }
+    // Metadata line first (without the embedded text), then the verbatim
+    // solution_io payload.
+    out << job_result_to_json(result, /*include_solution=*/false).dump() << '\n';
+    out << result.solution_text;
+  }
+  // Atomic-ish swap so a concurrent reader never sees a torn file.
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace svtox::svc

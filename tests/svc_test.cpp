@@ -1,0 +1,645 @@
+// Service-layer tests: JSON wire format, content fingerprints, the bounded
+// priority queue, the solution cache (hits, inflight dedup, disk
+// persistence), scheduler determinism under varying worker counts,
+// cooperative cancellation / deadlines, and the svtoxd server/client
+// round trip over a Unix-domain socket.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/solution_io.hpp"
+#include "liberty/library.hpp"
+#include "netlist/benchmarks.hpp"
+#include "svc/client.hpp"
+#include "svc/fingerprint.hpp"
+#include "svc/job.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "svc/solution_cache.hpp"
+#include "util/error.hpp"
+
+namespace svtox {
+namespace {
+
+using svc::JobSpec;
+using svc::JobStatus;
+using svc::Json;
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(SvcJson, DumpParseRoundTrip) {
+  const std::string text =
+      R"({"cmd":"submit","circuit":"c432","penalty":5.5,"flags":[true,false,null],"label":"a b\n\"c\""})";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);  // insertion order is preserved
+  EXPECT_EQ(parsed.get("circuit")->as_string(), "c432");
+  EXPECT_DOUBLE_EQ(parsed.get("penalty")->as_number(), 5.5);
+  EXPECT_EQ(parsed.get("flags")->as_array().size(), 3u);
+  EXPECT_EQ(parsed.get("label")->as_string(), "a b\n\"c\"");
+  EXPECT_EQ(parsed.get("nope"), nullptr);
+}
+
+TEST(SvcJson, IntegersRoundTripExactly) {
+  Json object = Json::object();
+  object.set("id", std::uint64_t{9007199254740992ULL});  // 2^53
+  object.set("neg", std::int64_t{-1234567890123});
+  const Json back = Json::parse(object.dump());
+  EXPECT_EQ(back.get("id")->as_int(), 9007199254740992LL);
+  EXPECT_EQ(back.get("neg")->as_int(), -1234567890123LL);
+}
+
+TEST(SvcJson, DuplicateKeysLastWins) {
+  EXPECT_EQ(Json::parse(R"({"a":1,"a":2})").get("a")->as_int(), 2);
+}
+
+TEST(SvcJson, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1} junk"), ParseError);
+  EXPECT_THROW(Json::parse("{'a':1}"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("\"\\x\""), ParseError);
+  EXPECT_THROW(Json::parse("01"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(SvcFingerprint, LibraryStableAndOptionSensitive) {
+  const auto a = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto b = liberty::Library::build(model::TechParams::nominal(), {});
+  EXPECT_EQ(svc::fingerprint_library(a), svc::fingerprint_library(b));
+
+  liberty::LibraryOptions vt_only;
+  vt_only.variant_options.vt_only = true;
+  const auto c = liberty::Library::build(model::TechParams::nominal(), vt_only);
+  EXPECT_NE(svc::fingerprint_library(a), svc::fingerprint_library(c));
+
+  const auto d = liberty::Library::build(model::TechParams::nitrided(), {});
+  EXPECT_NE(svc::fingerprint_library(a), svc::fingerprint_library(d));
+}
+
+TEST(SvcFingerprint, NetlistStableAndCircuitSensitive) {
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto a = netlist::make_benchmark("c432", library);
+  const auto b = netlist::make_benchmark("c432", library);
+  EXPECT_EQ(svc::fingerprint_netlist(a), svc::fingerprint_netlist(b));
+  const auto c = netlist::make_benchmark("c880", library);
+  EXPECT_NE(svc::fingerprint_netlist(a), svc::fingerprint_netlist(c));
+}
+
+TEST(SvcFingerprint, CacheKeyReflectsEveryKnob) {
+  svc::RunKnobs knobs;
+  knobs.method = "heu1";
+  knobs.penalty_fraction = 0.05;
+  knobs.time_limit_s = 5.0;
+  knobs.random_vectors = 10000;
+  knobs.seed = 2004;
+  const std::string base = svc::cache_key(1, 2, knobs);
+  EXPECT_EQ(base.size(), 16u + 1 + 16 + 1 + 16);
+  EXPECT_EQ(base, svc::cache_key(1, 2, knobs));  // deterministic
+
+  svc::RunKnobs changed = knobs;
+  changed.method = "heu2";
+  EXPECT_NE(base, svc::cache_key(1, 2, changed));
+  changed = knobs;
+  changed.penalty_fraction = 0.10;
+  EXPECT_NE(base, svc::cache_key(1, 2, changed));
+  changed = knobs;
+  changed.seed = 7;
+  EXPECT_NE(base, svc::cache_key(1, 2, changed));
+  EXPECT_NE(base, svc::cache_key(3, 2, knobs));
+  EXPECT_NE(base, svc::cache_key(1, 3, knobs));
+}
+
+// ---------------------------------------------------------------------------
+// Job specs on the wire
+// ---------------------------------------------------------------------------
+
+TEST(SvcJob, SpecJsonRoundTrip) {
+  JobSpec spec;
+  spec.circuit = "c880";
+  spec.method = "heu2";
+  spec.penalty_percent = 10;
+  spec.time_limit_s = 1.5;
+  spec.random_vectors = 500;
+  spec.seed = 42;
+  spec.priority = 3;
+  spec.deadline_s = 9;
+  spec.use_cache = false;
+  spec.label = "row7";
+  const JobSpec back = svc::job_spec_from_json(svc::job_spec_to_json(spec));
+  EXPECT_EQ(back.circuit, "c880");
+  EXPECT_EQ(back.method, "heu2");
+  EXPECT_DOUBLE_EQ(back.penalty_percent, 10);
+  EXPECT_DOUBLE_EQ(back.time_limit_s, 1.5);
+  EXPECT_EQ(back.random_vectors, 500);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_EQ(back.priority, 3);
+  EXPECT_DOUBLE_EQ(back.deadline_s, 9);
+  EXPECT_FALSE(back.use_cache);
+  EXPECT_EQ(back.label, "row7");
+}
+
+TEST(SvcJob, InvalidSpecsRejected) {
+  // Unknown keys are spelling mistakes, not extensions.
+  EXPECT_THROW(svc::job_spec_from_json(Json::parse(R"({"circuit":"c432","pennalty":5})")),
+               ContractError);
+  // Exactly one circuit source.
+  EXPECT_THROW(svc::job_spec_from_json(Json::parse(R"({"method":"heu1"})")),
+               ContractError);
+  EXPECT_THROW(
+      svc::job_spec_from_json(Json::parse(R"({"circuit":"c432","bench":"x.bench"})")),
+      ContractError);
+  EXPECT_THROW(
+      svc::job_spec_from_json(Json::parse(R"({"circuit":"c432","method":"magic"})")),
+      ContractError);
+  EXPECT_THROW(
+      svc::job_spec_from_json(Json::parse(R"({"circuit":"c432","penalty":101})")),
+      ContractError);
+  EXPECT_THROW(
+      svc::job_spec_from_json(Json::parse(R"({"circuit":"c432","penalty":"5"})")),
+      ContractError);
+}
+
+TEST(SvcJob, ResultJsonRoundTrip) {
+  svc::JobResult result;
+  result.status = JobStatus::kDone;
+  result.circuit = "c432";
+  result.gates = 177;
+  result.method = "heu1";
+  result.penalty_percent = 5;
+  result.leakage_ua = 4.95;
+  result.reduction_x = 5.4;
+  result.delay_ps = 2295.4;
+  result.runtime_s = 0.01;
+  result.states_explored = 12;
+  result.cache_hit = true;
+  result.solution_text = "svtox_solution v1 c432\nend\n";
+  result.label = "a";
+  const svc::JobResult back =
+      svc::job_result_from_json(svc::job_result_to_json(result, true));
+  EXPECT_EQ(back.status, JobStatus::kDone);
+  EXPECT_EQ(back.circuit, "c432");
+  EXPECT_EQ(back.gates, 177);
+  EXPECT_DOUBLE_EQ(back.leakage_ua, 4.95);
+  EXPECT_EQ(back.states_explored, 12u);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_EQ(back.solution_text, result.solution_text);
+
+  // include_solution=false elides the text.
+  const svc::JobResult lean =
+      svc::job_result_from_json(svc::job_result_to_json(result, false));
+  EXPECT_TRUE(lean.solution_text.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+TEST(SvcJobQueue, PriorityThenFifo) {
+  svc::JobQueue queue(16);
+  ASSERT_TRUE(queue.push(1, 0));
+  ASSERT_TRUE(queue.push(2, 5));
+  ASSERT_TRUE(queue.push(3, 0));
+  ASSERT_TRUE(queue.push(4, 5));
+  EXPECT_EQ(queue.pop(), 2u);  // highest priority first...
+  EXPECT_EQ(queue.pop(), 4u);  // ...FIFO within a priority
+  EXPECT_EQ(queue.pop(), 1u);
+  EXPECT_EQ(queue.pop(), 3u);
+}
+
+TEST(SvcJobQueue, RemoveCancelsQueuedOnly) {
+  svc::JobQueue queue(16);
+  queue.push(1, 0);
+  queue.push(2, 0);
+  queue.push(3, 0);
+  EXPECT_TRUE(queue.remove(2));
+  EXPECT_FALSE(queue.remove(2));   // already gone
+  EXPECT_FALSE(queue.remove(99));  // never queued
+  EXPECT_EQ(queue.pop(), 1u);
+  EXPECT_EQ(queue.pop(), 3u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(SvcJobQueue, CloseDrainsThenSignalsExit) {
+  svc::JobQueue queue(16);
+  queue.push(1, 0);
+  queue.push(2, 0);
+  queue.close();
+  EXPECT_FALSE(queue.push(3, 0));  // no pushes after close
+  EXPECT_EQ(queue.pop(), 1u);
+  EXPECT_EQ(queue.pop(), 2u);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // closed + empty = worker exit
+}
+
+TEST(SvcJobQueue, BoundedPushBlocksUntilPop) {
+  svc::JobQueue queue(1);
+  ASSERT_TRUE(queue.try_push(1, 0));
+  EXPECT_FALSE(queue.try_push(2, 0));  // full
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2, 0));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop(), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// solution_io property test: write -> read -> write is a fixpoint
+// ---------------------------------------------------------------------------
+
+TEST(SvcSolutionIo, RandomSolutionsRoundTripByteIdentical) {
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto circuit = netlist::make_benchmark("c432", library);
+  std::mt19937 rng(20040216);
+
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    opt::Solution solution;
+    solution.leakage_na = std::uniform_real_distribution<>(1.0, 1e6)(rng);
+    solution.delay_ps = std::uniform_real_distribution<>(100.0, 1e4)(rng);
+    solution.sleep_vector.resize(
+        static_cast<std::size_t>(circuit.num_control_points()));
+    for (std::size_t i = 0; i < solution.sleep_vector.size(); ++i) {
+      solution.sleep_vector[i] = (rng() & 1) != 0;
+    }
+    solution.config.resize(static_cast<std::size_t>(circuit.num_gates()));
+    for (int g = 0; g < circuit.num_gates(); ++g) {
+      const liberty::LibCell& cell = circuit.cell_of(g);
+      sim::GateConfig& gc = solution.config[static_cast<std::size_t>(g)];
+      gc.variant = static_cast<int>(rng() % static_cast<unsigned>(cell.num_variants()));
+      if ((rng() & 1) != 0) {
+        std::vector<int> perm(static_cast<std::size_t>(cell.num_inputs()));
+        for (std::size_t p = 0; p < perm.size(); ++p) perm[p] = static_cast<int>(p);
+        std::shuffle(perm.begin(), perm.end(), rng);
+        gc.mapping.logical_to_physical = perm;
+      }
+    }
+
+    const std::string text = core::write_solution(solution, circuit);
+    const opt::Solution back = core::read_solution(text, circuit);
+    EXPECT_EQ(core::write_solution(back, circuit), text) << "iteration " << iteration;
+    // The round trip preserves semantics, not just bytes.
+    EXPECT_EQ(back.sleep_vector, solution.sleep_vector);
+    for (int g = 0; g < circuit.num_gates(); ++g) {
+      const auto& a = solution.config[static_cast<std::size_t>(g)];
+      const auto& b = back.config[static_cast<std::size_t>(g)];
+      EXPECT_EQ(a.variant, b.variant);
+      const int inputs = circuit.cell_of(g).num_inputs();
+      for (int pin = 0; pin < inputs; ++pin) {
+        const int phys_a = a.mapping.logical_to_physical.empty()
+                               ? pin
+                               : a.mapping.logical_to_physical[static_cast<std::size_t>(pin)];
+        const int phys_b = b.mapping.logical_to_physical.empty()
+                               ? pin
+                               : b.mapping.logical_to_physical[static_cast<std::size_t>(pin)];
+        EXPECT_EQ(phys_a, phys_b);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+JobSpec heu1_job(const std::string& circuit, double penalty) {
+  JobSpec spec;
+  spec.circuit = circuit;
+  spec.method = "heu1";
+  spec.penalty_percent = penalty;
+  return spec;
+}
+
+/// Reference result computed without the service stack.
+std::string direct_solution_text(const std::string& circuit_name, double penalty) {
+  const auto library = liberty::Library::build(model::TechParams::nominal(), {});
+  const auto circuit = netlist::make_benchmark(circuit_name, library);
+  core::StandbyOptimizer optimizer(circuit);
+  core::RunConfig config;
+  config.penalty_fraction = penalty / 100.0;
+  const auto run = optimizer.run(core::Method::kHeu1, config);
+  return core::write_solution(run.solution, circuit);
+}
+
+TEST(SvcScheduler, DeterministicAcrossWorkerCounts) {
+  const std::vector<std::string> circuits = {"c432", "c880", "c1355"};
+  const std::vector<double> penalties = {5, 10};
+
+  std::vector<std::string> reference;
+  for (const auto& name : circuits) {
+    for (double p : penalties) reference.push_back(direct_solution_text(name, p));
+  }
+
+  for (int workers : {1, 4}) {
+    svc::Scheduler::Options options;
+    options.workers = workers;
+    svc::Scheduler scheduler(options);
+    std::vector<svc::JobId> ids;
+    for (const auto& name : circuits) {
+      for (double p : penalties) ids.push_back(scheduler.submit(heu1_job(name, p)));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const svc::JobResult result = scheduler.wait(ids[i]);
+      ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+      EXPECT_FALSE(result.interrupted);
+      EXPECT_EQ(result.solution_text, reference[i])
+          << "workers=" << workers << " job " << i;
+    }
+    scheduler.shutdown();
+  }
+}
+
+TEST(SvcScheduler, ResubmitIsAllCacheHitsAndBitIdentical) {
+  svc::Scheduler::Options options;
+  options.workers = 2;
+  svc::Scheduler scheduler(options);
+
+  const std::vector<std::string> circuits = {"c432", "c880"};
+  std::vector<svc::JobId> first;
+  for (const auto& name : circuits) first.push_back(scheduler.submit(heu1_job(name, 5)));
+  std::vector<svc::JobResult> cold;
+  for (svc::JobId id : first) cold.push_back(scheduler.wait(id));
+  for (const auto& result : cold) {
+    ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+    EXPECT_FALSE(result.cache_hit);
+  }
+  const std::uint64_t misses_after_cold = scheduler.stats().cache.misses;
+
+  std::vector<svc::JobId> second;
+  for (const auto& name : circuits) second.push_back(scheduler.submit(heu1_job(name, 5)));
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const svc::JobResult warm = scheduler.wait(second[i]);
+    ASSERT_EQ(warm.status, JobStatus::kDone);
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.solution_text, cold[i].solution_text);
+    EXPECT_EQ(warm.leakage_ua, cold[i].leakage_ua);
+  }
+  const svc::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.cache.misses, misses_after_cold);  // no re-solve
+  EXPECT_GE(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.executed, 2u);
+}
+
+TEST(SvcScheduler, InflightDedupSolvesOnce) {
+  svc::Scheduler::Options options;
+  options.workers = 4;
+  svc::Scheduler scheduler(options);
+
+  constexpr int kJobs = 8;
+  std::vector<svc::JobId> ids;
+  for (int j = 0; j < kJobs; ++j) ids.push_back(scheduler.submit(heu1_job("c1355", 5)));
+  std::vector<svc::JobResult> results;
+  for (svc::JobId id : ids) results.push_back(scheduler.wait(id));
+
+  for (const auto& result : results) {
+    ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+    EXPECT_EQ(result.solution_text, results.front().solution_text);
+  }
+  const svc::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.executed, 1u) << "identical concurrent jobs must solve once";
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, static_cast<std::uint64_t>(kJobs - 1));
+}
+
+TEST(SvcScheduler, PriorityOrdersBacklog) {
+  // One worker, three penalties queued behind a blocker: the high-priority
+  // job must run before the earlier-submitted low-priority ones.
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  JobSpec blocker = heu1_job("c432", 0);
+  const svc::JobId b = scheduler.submit(blocker);
+
+  JobSpec low = heu1_job("c880", 2);
+  low.priority = 0;
+  JobSpec high = heu1_job("c880", 7);
+  high.priority = 10;
+  const svc::JobId low_id = scheduler.submit(low);
+  const svc::JobId high_id = scheduler.submit(high);
+
+  scheduler.wait(b);
+  scheduler.wait(low_id);
+  scheduler.wait(high_id);
+  // Both ran; relative order is observable through the stats only weakly,
+  // so assert through the queue contract instead: resubmission in the same
+  // order with a drained pool is deterministic and covered above. Here we
+  // just require both completed successfully.
+  EXPECT_EQ(scheduler.status(low_id), JobStatus::kDone);
+  EXPECT_EQ(scheduler.status(high_id), JobStatus::kDone);
+}
+
+JobSpec slow_heu2_job() {
+  JobSpec spec;
+  spec.circuit = "c1355";
+  spec.method = "heu2";
+  spec.time_limit_s = 30.0;   // far beyond what the test allows to elapse
+  spec.random_vectors = 500;  // keep the Monte-Carlo baseline cheap
+  return spec;
+}
+
+void wait_for_running(svc::Scheduler& scheduler, svc::JobId id) {
+  for (int i = 0; i < 2000; ++i) {
+    if (scheduler.status(id) == JobStatus::kRunning) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "job never started running";
+}
+
+TEST(SvcScheduler, CancelRunningJobReturnsBestSoFar) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  const svc::JobId id = scheduler.submit(slow_heu2_job());
+  wait_for_running(scheduler, id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(scheduler.cancel(id));
+
+  const svc::JobResult result = scheduler.wait(id);
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_FALSE(result.solution_text.empty()) << "best-so-far solution expected";
+  EXPECT_GT(result.leakage_ua, 0.0);
+  // An interrupted incumbent is not canonical: it must not be cached.
+  EXPECT_EQ(scheduler.stats().cache.entries, 0u);
+}
+
+TEST(SvcScheduler, DeadlineInterruptsRunningJob) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  JobSpec spec = slow_heu2_job();
+  spec.deadline_s = 0.5;
+  const auto start = std::chrono::steady_clock::now();
+  const svc::JobId id = scheduler.submit(spec);
+  const svc::JobResult result = scheduler.wait(id);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_EQ(result.status, JobStatus::kDone);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos) << result.error;
+  EXPECT_FALSE(result.solution_text.empty());
+  EXPECT_LT(elapsed, 20.0) << "deadline did not interrupt the 30s search";
+}
+
+TEST(SvcScheduler, DeadlineCancelsQueuedJob) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  JobSpec blocker = slow_heu2_job();
+  blocker.time_limit_s = 2.0;
+  const svc::JobId front = scheduler.submit(blocker);
+  wait_for_running(scheduler, front);
+
+  JobSpec starved = heu1_job("c432", 5);
+  starved.deadline_s = 0.2;  // expires while still queued behind the blocker
+  const svc::JobId id = scheduler.submit(starved);
+  const svc::JobResult result = scheduler.wait(id);
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos) << result.error;
+  scheduler.wait(front);
+}
+
+TEST(SvcScheduler, NonDrainShutdownCancelsBacklog) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  JobSpec blocker = slow_heu2_job();
+  blocker.time_limit_s = 1.0;
+  const svc::JobId running = scheduler.submit(blocker);
+  wait_for_running(scheduler, running);
+  const svc::JobId queued1 = scheduler.submit(heu1_job("c432", 5));
+  const svc::JobId queued2 = scheduler.submit(heu1_job("c880", 5));
+
+  scheduler.shutdown(/*drain=*/false);
+  EXPECT_EQ(scheduler.status(running), JobStatus::kDone);  // running jobs finish
+  EXPECT_EQ(scheduler.status(queued1), JobStatus::kCancelled);
+  EXPECT_EQ(scheduler.status(queued2), JobStatus::kCancelled);
+  EXPECT_THROW(scheduler.submit(heu1_job("c432", 5)), ContractError);
+}
+
+TEST(SvcScheduler, FailedJobReportsError) {
+  svc::Scheduler scheduler;
+  JobSpec spec;
+  spec.circuit = "no_such_circuit";
+  spec.method = "heu1";
+  const svc::JobId id = scheduler.submit(spec);
+  const svc::JobResult result = scheduler.wait(id);
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence across scheduler instances
+// ---------------------------------------------------------------------------
+
+TEST(SvcCache, DiskPersistsAcrossSchedulers) {
+  const std::string dir = "/tmp/svc_test_cache_" + std::to_string(::getpid());
+  std::string cold_text;
+  {
+    svc::Scheduler::Options options;
+    options.cache_dir = dir;
+    svc::Scheduler scheduler(options);
+    const svc::JobResult cold = scheduler.wait(scheduler.submit(heu1_job("c432", 5)));
+    ASSERT_EQ(cold.status, JobStatus::kDone) << cold.error;
+    EXPECT_FALSE(cold.cache_hit);
+    cold_text = cold.solution_text;
+  }
+  {
+    svc::Scheduler::Options options;
+    options.cache_dir = dir;
+    svc::Scheduler scheduler(options);
+    const svc::JobResult warm = scheduler.wait(scheduler.submit(heu1_job("c432", 5)));
+    ASSERT_EQ(warm.status, JobStatus::kDone) << warm.error;
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.solution_text, cold_text);
+    const svc::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.cache.disk_hits, 1u);
+    EXPECT_EQ(stats.executed, 0u) << "disk hit must not re-solve";
+  }
+  // Best-effort cleanup.
+  std::system(("rm -rf " + dir).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Server / client round trip
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, EndToEndOverUnixSocket) {
+  const std::string socket_path =
+      "/tmp/svc_test_" + std::to_string(::getpid()) + ".sock";
+  svc::Scheduler::Options options;
+  options.workers = 2;
+  svc::Scheduler scheduler(options);
+  svc::Server server(scheduler, socket_path);
+  server.start();
+
+  ASSERT_TRUE(svc::Client::ping(socket_path));
+  svc::Client client(socket_path);
+
+  // Submit over the wire; the result must match the in-process reference.
+  JobSpec spec = heu1_job("c432", 5);
+  spec.label = "wire";
+  const std::uint64_t job = client.submit(spec);
+  const svc::JobResult result = client.result(job);
+  EXPECT_EQ(result.status, JobStatus::kDone);
+  EXPECT_EQ(result.label, "wire");
+  EXPECT_EQ(result.gates, 177);
+  EXPECT_EQ(result.solution_text, direct_solution_text("c432", 5));
+
+  // Resubmission is served from the cache.
+  const svc::JobResult warm = client.result(client.submit(spec));
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.solution_text, result.solution_text);
+
+  // status / stats / cancel / errors.
+  EXPECT_EQ(client.status(job), "done");
+  const Json stats = client.stats();
+  EXPECT_GE(stats.get("jobs")->get("submitted")->as_int(), 2);
+  EXPECT_GE(stats.get("cache")->get("hits")->as_int(), 1);
+  EXPECT_FALSE(client.cancel(999999));          // unknown id: not an error
+  EXPECT_THROW(client.status(999999), ContractError);
+  Json bad = Json::object();
+  bad.set("cmd", "frobnicate");
+  EXPECT_FALSE(client.request(bad).get("ok")->as_bool(true));
+  Json rejected = Json::object();
+  rejected.set("cmd", "submit");
+  rejected.set("circuit", "c432");
+  rejected.set("pennalty", 5);  // unknown key travels back as an error
+  EXPECT_FALSE(client.request(rejected).get("ok")->as_bool(true));
+
+  // Graceful shutdown through the protocol.
+  client.shutdown(/*drain=*/true);
+  EXPECT_TRUE(server.wait_for_shutdown());
+  scheduler.shutdown(/*drain=*/true);
+  server.stop();
+  EXPECT_FALSE(svc::Client::ping(socket_path));
+}
+
+}  // namespace
+}  // namespace svtox

@@ -7,8 +7,12 @@
 //                    [--time-limit SEC] [--threads N] [--no-reorder]
 //                    [-o solution.txt]
 //   svtox sweep      (--bench file.bench | --circuit NAME)
-//                    [--penalties 0,2,5,10,25] [-o curve.txt]
-//   svtox suite      [--penalty PCT] [--time-limit SEC]
+//                    [--penalties 0,2,5,10,25] [--threads N]
+//                    [--cache-dir DIR] [-o curve.txt]
+//   svtox suite      [--penalty PCT] [--time-limit SEC] [--threads N]
+//                    [--cache-dir DIR]
+//   svtox batch      --manifest FILE (--socket PATH | --local)
+//                    [--workers N] [--cache-dir DIR] [--output-dir DIR]
 //   svtox verify     (--bench file.bench | --circuit NAME) --solution FILE
 //   svtox timing     (--bench file.bench | --circuit NAME)
 //                    [--solution FILE] [--required PS]
@@ -18,11 +22,25 @@
 //
 // `--circuit NAME` picks one of the paper's benchmark stand-ins (c432 ...
 // alu64); `--bench` reads an ISCAS-85 netlist from disk.
+//
+// `sweep` and `suite` run their jobs through the svc::Scheduler, so
+// `--threads N` solves independent rows concurrently and `--cache-dir`
+// keeps solved instances across invocations. `batch` feeds a JSON manifest
+// (an array of job objects, or one object per line) either to a running
+// svtoxd daemon (`--socket`) or to an in-process scheduler (`--local`),
+// streaming one JSON result line per job; options per job are documented
+// in src/svc/job.hpp.
+#include <sys/stat.h>
+
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +54,9 @@
 #include "report/report.hpp"
 #include "sta/sta.hpp"
 #include "sta/timing_report.hpp"
+#include "svc/client.hpp"
+#include "svc/scheduler.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -51,6 +72,39 @@ struct Args {
     return it != options.end() ? it->second : fallback;
   }
 };
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: svtox <characterize|optimize|sweep|suite|batch|verify|timing> "
+               "[options]\n"
+               "see the header of tools/svtox_cli.cpp or README.md for details\n");
+  return 2;
+}
+
+/// The exact option vocabulary of each command; anything else is a spelling
+/// mistake the user should hear about (exit 2), not a silently ignored key.
+const std::map<std::string, std::set<std::string>>& allowed_options() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"characterize", {"output", "two-point", "uniform-stack", "vt-only", "nitrided"}},
+      {"optimize",
+       {"bench", "circuit", "penalty", "method", "time-limit", "threads",
+        "no-reorder", "output", "two-point", "uniform-stack", "vt-only", "nitrided"}},
+      {"sweep",
+       {"bench", "circuit", "penalties", "threads", "cache-dir", "output",
+        "two-point", "uniform-stack", "vt-only", "nitrided"}},
+      {"suite",
+       {"penalty", "time-limit", "threads", "cache-dir", "two-point",
+        "uniform-stack", "vt-only", "nitrided"}},
+      {"batch", {"manifest", "socket", "local", "workers", "cache-dir", "output-dir"}},
+      {"verify",
+       {"bench", "circuit", "solution", "two-point", "uniform-stack", "vt-only",
+        "nitrided"}},
+      {"timing",
+       {"bench", "circuit", "solution", "required", "two-point", "uniform-stack",
+        "vt-only", "nitrided"}},
+  };
+  return kAllowed;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -68,7 +122,7 @@ Args parse_args(int argc, char** argv) {
     }
     // Flags without values.
     if (key == "two-point" || key == "uniform-stack" || key == "vt-only" ||
-        key == "nitrided" || key == "no-reorder") {
+        key == "nitrided" || key == "no-reorder" || key == "local") {
       args.options[key] = "1";
       continue;
     }
@@ -78,14 +132,19 @@ Args parse_args(int argc, char** argv) {
     }
     args.options[key] = argv[++i];
   }
+  // Strict per-command validation: reject unknown options.
+  auto allowed = allowed_options().find(args.command);
+  if (allowed != allowed_options().end()) {
+    for (const auto& [key, value] : args.options) {
+      (void)value;
+      if (allowed->second.count(key) == 0) {
+        std::fprintf(stderr, "unknown option '--%s' for 'svtox %s'\n", key.c_str(),
+                     args.command.c_str());
+        std::exit(usage());
+      }
+    }
+  }
   return args;
-}
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: svtox <characterize|optimize|sweep|suite|verify> [options]\n"
-               "see the header of tools/svtox_cli.cpp or README.md for details\n");
-  return 2;
 }
 
 const model::TechParams& tech_for(const Args& args) {
@@ -105,6 +164,28 @@ netlist::Netlist load_circuit(const Args& args, const liberty::Library& library)
   if (args.has("bench")) return netlist::read_bench_file(args.get("bench"), library);
   const std::string name = args.get("circuit", "c432");
   return netlist::make_benchmark(name, library);
+}
+
+/// Library knobs + circuit source of a scheduler job, from the CLI flags.
+svc::JobSpec base_spec(const Args& args) {
+  svc::JobSpec spec;
+  spec.nitrided = args.has("nitrided");
+  spec.two_point = args.has("two-point");
+  spec.uniform_stack = args.has("uniform-stack");
+  spec.vt_only = args.has("vt-only");
+  if (args.has("bench")) {
+    spec.bench_path = args.get("bench");
+  } else {
+    spec.circuit = args.get("circuit", "c432");
+  }
+  return spec;
+}
+
+svc::Scheduler::Options scheduler_options(const Args& args) {
+  svc::Scheduler::Options options;
+  options.workers = static_cast<int>(parse_double(args.get("threads", "1")));
+  options.cache_dir = args.get("cache-dir");
+  return options;
 }
 
 int cmd_characterize(const Args& args) {
@@ -204,24 +285,33 @@ int cmd_optimize(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  const liberty::Library library = build_library(args);
-  const netlist::Netlist circuit = load_circuit(args, library);
-  core::StandbyOptimizer optimizer(circuit);
-
-  std::vector<double> penalties;
+  std::vector<double> penalties;  // percent
   for (auto part : split(args.get("penalties", "0,2,5,10,25,50,100"), ',')) {
-    penalties.push_back(parse_double(part) / 100.0);
+    penalties.push_back(parse_double(part));
+  }
+
+  // Rows are independent jobs: --threads workers solve them concurrently
+  // and --cache-dir makes repeated sweeps free.
+  svc::Scheduler scheduler(scheduler_options(args));
+  std::vector<svc::JobId> ids;
+  for (double p : penalties) {
+    svc::JobSpec spec = base_spec(args);
+    spec.method = "heu1";
+    spec.penalty_percent = p;
+    ids.push_back(scheduler.submit(spec));
   }
 
   AsciiTable table;
   table.set_header({"penalty %", "heu1 uA", "X", "delay ps"});
-  for (double p : penalties) {
-    core::RunConfig config;
-    config.penalty_fraction = p;
-    const auto result = optimizer.run(core::Method::kHeu1, config);
-    table.add_row({format_double(p * 100, 0), report::format_ua(result.leakage_ua),
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const svc::JobResult result = scheduler.wait(ids[i]);
+    if (result.status != svc::JobStatus::kDone) {
+      std::fprintf(stderr, "error: %s\n", result.error.c_str());
+      return 1;
+    }
+    table.add_row({format_double(penalties[i], 0), report::format_ua(result.leakage_ua),
                    report::format_x(result.reduction_x),
-                   format_double(result.solution.delay_ps, 0)});
+                   format_double(result.delay_ps, 0)});
   }
   std::printf("%s", table.render().c_str());
   if (args.has("output")) report::save_table(table, args.get("output"));
@@ -229,25 +319,144 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_suite(const Args& args) {
-  const liberty::Library library = build_library(args);
-  core::RunConfig config;
-  config.penalty_fraction = parse_double(args.get("penalty", "5")) / 100.0;
-  config.time_limit_s = parse_double(args.get("time-limit", "1"));
+  const double penalty = parse_double(args.get("penalty", "5"));
+  const double time_limit = parse_double(args.get("time-limit", "1"));
+
+  // Two jobs per circuit (random-average baseline + Heu1) through the
+  // scheduler: the library is characterized once in the shared pool and
+  // circuits run concurrently under --threads.
+  svc::Scheduler scheduler(scheduler_options(args));
+  std::vector<std::pair<svc::JobId, svc::JobId>> ids;
+  for (const auto& spec : netlist::benchmark_suite()) {
+    svc::JobSpec job = base_spec(args);
+    job.circuit = spec.name;
+    job.penalty_percent = penalty;
+    job.time_limit_s = time_limit;
+    job.method = "average";
+    const svc::JobId avg = scheduler.submit(job);
+    job.method = "heu1";
+    ids.emplace_back(avg, scheduler.submit(job));
+  }
 
   AsciiTable table;
   table.set_header({"circuit", "gates", "avg uA", "heu1 uA", "X", "heu1 time"});
-  for (const auto& spec : netlist::benchmark_suite()) {
-    const auto circuit = netlist::make_benchmark(spec.name, library);
-    core::StandbyOptimizer optimizer(circuit);
-    const auto avg = optimizer.run(core::Method::kAverageRandom, config);
-    const auto h1 = optimizer.run(core::Method::kHeu1, config);
-    table.add_row({spec.name, std::to_string(circuit.num_gates()),
+  for (const auto& [avg_id, h1_id] : ids) {
+    const svc::JobResult avg = scheduler.wait(avg_id);
+    const svc::JobResult h1 = scheduler.wait(h1_id);
+    if (avg.status != svc::JobStatus::kDone || h1.status != svc::JobStatus::kDone) {
+      std::fprintf(stderr, "error: %s\n",
+                   (avg.status != svc::JobStatus::kDone ? avg : h1).error.c_str());
+      return 1;
+    }
+    table.add_row({h1.circuit, std::to_string(h1.gates),
                    report::format_ua(avg.leakage_ua), report::format_ua(h1.leakage_ua),
                    report::format_x(h1.reduction_x),
-                   report::format_seconds(h1.solution.runtime_s)});
+                   report::format_seconds(h1.runtime_s)});
   }
   std::printf("%s", table.render().c_str());
   return 0;
+}
+
+/// Parses a batch manifest: a JSON array of job objects, or NDJSON with one
+/// object per line (blank and #-comment lines skipped).
+std::vector<svc::JobSpec> read_manifest(const std::string& path) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) throw ContractError("cannot read manifest '" + path + "'");
+    in = &file;
+  }
+  std::ostringstream buffer;
+  buffer << in->rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<svc::JobSpec> specs;
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) throw ContractError("manifest is empty");
+  if (text[first] == '[') {
+    const svc::Json manifest = svc::Json::parse(text);
+    for (const svc::Json& job : manifest.as_array()) {
+      specs.push_back(svc::job_spec_from_json(job));
+    }
+  } else {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      specs.push_back(svc::job_spec_from_json(svc::Json::parse(line)));
+    }
+  }
+  if (specs.empty()) throw ContractError("manifest has no jobs");
+  return specs;
+}
+
+/// Output file name for one batch job's solution.
+std::string solution_name(const svc::JobResult& result, std::size_t index) {
+  std::string name = result.label;
+  if (name.empty()) {
+    name = result.circuit + "_" + result.method + "_p" +
+           format_double(result.penalty_percent, 0);
+  }
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' &&
+        c != '.') {
+      c = '_';
+    }
+  }
+  return "job" + std::to_string(index + 1) + "_" + name + ".solution";
+}
+
+int cmd_batch(const Args& args) {
+  if (!args.has("manifest")) {
+    std::fprintf(stderr, "batch requires --manifest FILE (use '-' for stdin)\n");
+    return 2;
+  }
+  if (args.has("socket") == args.has("local")) {
+    std::fprintf(stderr, "batch needs exactly one of --socket PATH or --local\n");
+    return 2;
+  }
+  const std::vector<svc::JobSpec> specs = read_manifest(args.get("manifest"));
+  const std::string output_dir = args.get("output-dir");
+  if (!output_dir.empty()) ::mkdir(output_dir.c_str(), 0777);
+
+  // Either transport yields the same submit-all / collect-in-order loop.
+  std::optional<svc::Client> client;
+  std::optional<svc::Scheduler> scheduler;
+  if (args.has("socket")) {
+    client.emplace(args.get("socket"));
+  } else {
+    svc::Scheduler::Options options;
+    options.workers = static_cast<int>(parse_double(args.get("workers", "0")));
+    options.cache_dir = args.get("cache-dir");
+    scheduler.emplace(options);
+  }
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(specs.size());
+  for (const svc::JobSpec& spec : specs) {
+    ids.push_back(client ? client->submit(spec) : scheduler->submit(spec));
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const svc::JobResult result =
+        client ? client->result(ids[i]) : scheduler->wait(ids[i]);
+    if (result.status != svc::JobStatus::kDone) ++failures;
+    if (!output_dir.empty() && !result.solution_text.empty()) {
+      const std::string path = output_dir + "/" + solution_name(result, i);
+      std::ofstream out(path);
+      out << result.solution_text;
+    }
+    // One NDJSON record per job, in manifest order, solutions elided (they
+    // land in --output-dir).
+    svc::Json line = svc::job_result_to_json(result, /*include_solution=*/false);
+    line.set("job", ids[i]);
+    std::printf("%s\n", line.dump().c_str());
+    std::fflush(stdout);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_timing(const Args& args) {
@@ -316,6 +525,7 @@ int main(int argc, char** argv) {
     if (args.command == "optimize") return cmd_optimize(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "suite") return cmd_suite(args);
+    if (args.command == "batch") return cmd_batch(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "timing") return cmd_timing(args);
   } catch (const std::exception& e) {

@@ -1,0 +1,118 @@
+// svtoxd: the svtox optimization daemon.
+//
+//   svtoxd [--socket PATH] [--workers N] [--queue-capacity N]
+//          [--cache-capacity N] [--cache-dir DIR] [--contexts N]
+//
+// Listens on a Unix-domain socket and speaks the newline-delimited JSON
+// protocol documented in src/svc/server.hpp (submit / status / result /
+// cancel / stats / shutdown). Jobs run on a persistent worker pool that
+// keeps characterized libraries, per-circuit optimizer contexts and the
+// solution cache warm across requests; `svtox batch --socket PATH` is the
+// matching client.
+//
+// Exits on a `shutdown` request (draining the backlog unless
+// {"drain":false}) or on SIGINT/SIGTERM (drains).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: svtoxd [--socket PATH] [--workers N] [--queue-capacity N]\n"
+               "              [--cache-capacity N] [--cache-dir DIR] [--contexts N]\n");
+  return 2;
+}
+
+// Self-pipe: the only async-signal-safe way to get from a signal handler to
+// the server's (mutex-guarded) stop path.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/svtoxd.sock";
+  svtox::svc::Scheduler::Options options;
+  options.workers = 0;  // all hardware threads
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    const bool has_value = i + 1 < argc;
+    auto value = [&]() -> std::string {
+      if (!has_value) {
+        std::fprintf(stderr, "missing value for %s\n", key.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (key == "--socket") socket_path = value();
+    else if (key == "--workers") options.workers = std::atoi(value().c_str());
+    else if (key == "--queue-capacity")
+      options.queue_capacity = static_cast<std::size_t>(std::atol(value().c_str()));
+    else if (key == "--cache-capacity")
+      options.cache_capacity = static_cast<std::size_t>(std::atol(value().c_str()));
+    else if (key == "--cache-dir") options.cache_dir = value();
+    else if (key == "--contexts")
+      options.contexts_per_worker = static_cast<std::size_t>(std::atol(value().c_str()));
+    else if (key == "--help" || key == "-h") return usage();
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    svtox::svc::Scheduler scheduler(options);
+    svtox::svc::Server server(scheduler, socket_path);
+
+    if (::pipe(g_signal_pipe) != 0) {
+      std::fprintf(stderr, "svtoxd: cannot create signal pipe\n");
+      return 1;
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::thread signal_watcher([&server] {
+      char byte;
+      if (::read(g_signal_pipe[0], &byte, 1) > 0) server.stop();
+    });
+
+    server.start();
+    std::printf("svtoxd: listening on %s (%d workers, cache %zu%s%s)\n",
+                server.socket_path().c_str(), scheduler.stats().workers,
+                options.cache_capacity, options.cache_dir.empty() ? "" : ", disk ",
+                options.cache_dir.c_str());
+    std::fflush(stdout);
+
+    const bool drain = server.wait_for_shutdown();
+    std::printf("svtoxd: shutting down (%s)\n", drain ? "draining" : "immediate");
+    std::fflush(stdout);
+    // Order matters: finishing the scheduler releases handler threads blocked
+    // in result-waits, which server.stop() then joins.
+    scheduler.shutdown(drain);
+    server.stop();
+
+    on_signal(0);  // unblock the watcher if no signal ever arrived
+    signal_watcher.join();
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "svtoxd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
