@@ -83,26 +83,29 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
 
   const double avg_ua = average_random_leakage_ua(config.random_vectors, config.seed);
 
+  // Shared search knobs; per-method blocks tweak what differs.
+  opt::SearchOptions options;
+  options.time_limit_s = config.time_limit_s;
+  options.gate_order = config.gate_order;
+  options.threads = config.threads;
+  options.cancel = config.cancel;
+  options.max_leaves = config.max_leaves;
+  options.checkpoint_path = config.checkpoint_path;
+  options.checkpoint_every_s = config.checkpoint_every_s;
+  options.checkpoint_every_leaves = config.checkpoint_every_leaves;
+
   switch (method) {
     case Method::kAverageRandom:
       result.leakage_ua = avg_ua;
       break;
     case Method::kStateOnly: {
-      opt::SearchOptions options;
-      options.time_limit_s = config.time_limit_s;
+      options.gate_order = opt::GateOrder::kBySavings;
       options.random_probes = 256;
-      options.threads = config.threads;
-      options.cancel = config.cancel;
       result.solution =
           opt::state_only_search(problem_for(config.penalty_fraction), options);
       break;
     }
     case Method::kVtState: {
-      opt::SearchOptions options;
-      options.time_limit_s = config.time_limit_s;
-      options.gate_order = config.gate_order;
-      options.threads = config.threads;
-      options.cancel = config.cancel;
       result.solution =
           opt::heuristic2(vt_problem_for(config.penalty_fraction), options);
       break;
@@ -112,20 +115,10 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
           opt::heuristic1(problem_for(config.penalty_fraction), config.gate_order);
       break;
     case Method::kHeu2: {
-      opt::SearchOptions options;
-      options.time_limit_s = config.time_limit_s;
-      options.gate_order = config.gate_order;
-      options.threads = config.threads;
-      options.cancel = config.cancel;
       result.solution = opt::heuristic2(problem_for(config.penalty_fraction), options);
       break;
     }
     case Method::kExact: {
-      opt::SearchOptions options;
-      options.time_limit_s = config.time_limit_s;
-      options.gate_order = config.gate_order;
-      options.threads = config.threads;
-      options.cancel = config.cancel;
       result.solution = opt::exact_search(problem_for(config.penalty_fraction), options);
       break;
     }

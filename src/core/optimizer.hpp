@@ -54,6 +54,16 @@ struct RunConfig {
   /// (see opt::SearchOptions::cancel). When set mid-run the search returns
   /// its best-so-far solution with `interrupted` true. Must outlive run().
   const std::atomic<bool>* cancel = nullptr;
+  /// Leaf-evaluation cap for the state search (0 = unlimited). Unlike the
+  /// wall-clock limit this budget is deterministic, so capped runs (and
+  /// checkpointed resumes of them) reproduce bit-identically.
+  std::uint64_t max_leaves = 0;
+  /// Checkpoint/resume for the state search (kStateOnly, kVtState, kHeu2,
+  /// kExact): when non-empty, the search snapshots to this file and
+  /// resumes from it after an interruption. See opt::SearchOptions.
+  std::string checkpoint_path;
+  double checkpoint_every_s = 5.0;
+  std::uint64_t checkpoint_every_leaves = 64;
 };
 
 /// Outcome of one method run.

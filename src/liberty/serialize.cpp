@@ -70,7 +70,8 @@ namespace {
 /// Line-based reader with position tracking for error messages.
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(in) {}
+  Reader(std::istream& in, std::string source)
+      : in_(in), source_(std::move(source)) {}
 
   /// Next non-empty line, tokenized on whitespace.
   std::vector<std::string> next() {
@@ -84,18 +85,20 @@ class Reader {
       for (auto v : views) tokens.emplace_back(v);
       return tokens;
     }
-    throw ParseError("<svlib>", line_no_, "unexpected end of file");
+    throw ParseError(source_, line_no_, "unexpected end of file");
   }
 
   int line() const { return line_no_; }
+  const std::string& source() const { return source_; }
 
  private:
   std::istream& in_;
+  std::string source_;
   int line_no_ = 0;
 };
 
 [[noreturn]] void fail(const Reader& r, const std::string& what) {
-  throw ParseError("<svlib>", r.line(), what);
+  throw ParseError(r.source(), r.line(), what);
 }
 
 std::vector<double> parse_doubles(const std::vector<std::string>& tokens,
@@ -129,8 +132,9 @@ cellkit::DeviceAssign parse_assign(const Reader& r, const std::string& token) {
 
 }  // namespace
 
-Library read_library(std::istream& in, const model::TechParams& tech) {
-  Reader r(in);
+Library read_library(std::istream& in, const model::TechParams& tech,
+                     const std::string& source) {
+  Reader r(in, source.empty() ? "<svlib>" : source);
 
   auto header = r.next();
   if (header.size() != 2 || header[0] != kMagic || header[1] != "v1") {
@@ -244,9 +248,10 @@ Library read_library(std::istream& in, const model::TechParams& tech) {
   return lib;
 }
 
-Library read_library(const std::string& text, const model::TechParams& tech) {
+Library read_library(const std::string& text, const model::TechParams& tech,
+                     const std::string& source) {
   std::istringstream in(text);
-  return read_library(in, tech);
+  return read_library(in, tech, source);
 }
 
 }  // namespace svtox::liberty

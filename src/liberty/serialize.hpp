@@ -24,9 +24,12 @@ std::string write_library(const Library& lib);
 /// options (generation is deterministic); the numeric tables are taken from
 /// the file and validated against the regenerated structure. Throws
 /// ParseError on malformed input and ContractError on structural mismatch.
-Library read_library(std::istream& in, const model::TechParams& tech);
+/// `source` names the input in error messages (defaults to "<svlib>").
+Library read_library(std::istream& in, const model::TechParams& tech,
+                     const std::string& source = "");
 
 /// Convenience: parses from a string.
-Library read_library(const std::string& text, const model::TechParams& tech);
+Library read_library(const std::string& text, const model::TechParams& tech,
+                     const std::string& source = "");
 
 }  // namespace svtox::liberty

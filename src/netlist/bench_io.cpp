@@ -1,5 +1,6 @@
 #include "netlist/bench_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -145,7 +146,9 @@ class Mapper {
 }  // namespace
 
 Netlist read_bench(std::istream& in, const std::string& name,
-                   const liberty::Library& library) {
+                   const liberty::Library& library,
+                   const std::string& source) {
+  const std::string where = source.empty() ? name + ".bench" : source;
   Netlist netlist(name, &library);
   Mapper mapper(netlist, library);
 
@@ -157,7 +160,7 @@ Netlist read_bench(std::istream& in, const std::string& name,
     if (sv.empty() || sv.front() == '#') continue;
 
     auto fail = [&](const std::string& what) -> void {
-      throw ParseError(name + ".bench", line_no, what);
+      throw ParseError(where, line_no, what);
     };
 
     const std::string upper = to_upper(sv);
@@ -226,21 +229,33 @@ Netlist read_bench(std::istream& in, const std::string& name,
 }
 
 Netlist read_bench(const std::string& text, const std::string& name,
-                   const liberty::Library& library) {
+                   const liberty::Library& library,
+                   const std::string& source) {
   std::istringstream in(text);
-  return read_bench(in, name, library);
+  return read_bench(in, name, library, source);
 }
 
 Netlist read_bench_file(const std::string& path, const liberty::Library& library) {
-  std::ifstream in(path);
-  if (!in) throw ContractError("read_bench_file: cannot open '" + path + "'");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(ErrorCode::kIo, "cannot open bench file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  if (!content.empty() && content.back() != '\n') {
+    // A .bench file always ends in a newline; a missing one means the file
+    // was cut off mid-write (partial copy, full disk, killed generator).
+    const int lines =
+        1 + static_cast<int>(std::count(content.begin(), content.end(), '\n'));
+    throw ParseError(path, lines,
+                     "truncated final line (file does not end in a newline)");
+  }
   // Derive the circuit name from the basename without extension.
   std::string name = path;
   const std::size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const std::size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return read_bench(in, name, library);
+  return read_bench(content, name, library, path);
 }
 
 void write_bench(const Netlist& netlist, std::ostream& out) {

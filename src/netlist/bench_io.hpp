@@ -18,15 +18,21 @@
 namespace svtox::netlist {
 
 /// Parses a .bench stream into a finalized, mapped netlist.
-/// Throws ParseError on malformed input.
+/// Throws ParseError on malformed input; `source` names the input in error
+/// messages (defaults to "<name>.bench" when empty).
 Netlist read_bench(std::istream& in, const std::string& name,
-                   const liberty::Library& library);
+                   const liberty::Library& library,
+                   const std::string& source = "");
 
 /// Convenience: parses from a string.
 Netlist read_bench(const std::string& text, const std::string& name,
-                   const liberty::Library& library);
+                   const liberty::Library& library,
+                   const std::string& source = "");
 
-/// Reads a .bench file from disk.
+/// Reads a .bench file from disk. Throws util::Error(kIo) when the file
+/// cannot be opened and ParseError (carrying the real path and line) on
+/// malformed content -- including a truncated final line (a file that does
+/// not end in a newline is treated as cut off mid-write).
 Netlist read_bench_file(const std::string& path, const liberty::Library& library);
 
 /// Writes a mapped netlist back out as .bench. Cells representable as bench

@@ -1,0 +1,87 @@
+// Search checkpoint: crash-safe serialization of the state-tree search's
+// progress, so an interrupted run (signal, daemon shutdown, crash) resumes
+// instead of restarting.
+//
+// What gets saved is deliberately tiny -- O(inputs + gates), independent of
+// how much of the tree was explored:
+//
+//  * the *path* to the last evaluated leaf, as one bit per input_order
+//    position. The DFS branch order is a pure function of the incremental
+//    bounds and the incumbent, both of which the checkpoint restores, so
+//    replaying this path (without counting, pruning or re-evaluating)
+//    parks the resumed search exactly where the interrupted one stopped;
+//  * the incumbent solution (sleep vector, per-gate config, leakage,
+//    delay) and the node/leaf counters, so pruning decisions after resume
+//    are identical to the uninterrupted run's;
+//  * the probe-sweep index once the tree phase is done;
+//  * a fingerprint of the problem + search knobs, so a checkpoint is never
+//    replayed against a different circuit, penalty or search mode.
+//
+// Files are written atomically (temp file + rename) and end with an FNV-1a
+// checksum line; a torn or corrupted file fails the checksum and is
+// ignored (the search restarts from scratch), never trusted.
+//
+// Invariant: with a deterministic budget (SearchOptions::max_leaves) and a
+// serial search, interrupt-at-any-checkpoint + resume yields a final
+// solution byte-identical to the uninterrupted run -- the kill-and-resume
+// property test in tests/checkpoint_test.cpp exercises exactly this.
+// Wall-clock budgets resume with the remaining time (best-effort).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opt/state_search.hpp"
+
+namespace svtox::opt {
+
+/// One serialized search frontier + incumbent.
+struct SearchCheckpoint {
+  std::uint64_t fingerprint = 0;  ///< search_fingerprint() of the run.
+  bool tree_done = false;         ///< Tree phase finished; in probe sweep.
+  /// Input values along the path to the last evaluated leaf, indexed by
+  /// input_order position (not PI id). Empty only in probe phase.
+  std::vector<bool> path;
+  std::uint64_t probes_done = 0;  ///< Probes evaluated (resume index).
+  std::uint64_t nodes = 0;        ///< Counter snapshots at the leaf.
+  std::uint64_t leaves = 0;
+  double elapsed_s = 0.0;         ///< Wall-clock consumed before the snapshot.
+
+  // Incumbent at the snapshot (offers only happen at leaves, so the
+  // incumbent is always exact at a leaf boundary).
+  std::vector<bool> sleep_vector;
+  sim::CircuitConfig config;
+  double leakage_na = 0.0;
+  double delay_ps = 0.0;
+};
+
+/// Identity of a search run: problem content (netlist name/shape, library
+/// variant space, penalty, pin reordering) + every result-relevant search
+/// knob. Excludes the wall-clock limit, so a resumed run may continue
+/// under a fresh budget.
+std::uint64_t search_fingerprint(const AssignmentProblem& problem,
+                                 const SearchOptions& options, BoundKind bound_kind,
+                                 bool state_only);
+
+/// Serializes to the line-oriented text format (ends with the checksum).
+std::string write_checkpoint(const SearchCheckpoint& checkpoint);
+
+/// Parses and verifies; throws Error(kCorrupt) on a checksum mismatch and
+/// ParseError on a structurally malformed file.
+SearchCheckpoint parse_checkpoint(const std::string& text);
+
+/// Atomic write: temp file + rename. Throws Error(kIo) when the file
+/// cannot be written (callers treat a failed checkpoint as a warning, not
+/// a search failure).
+void write_checkpoint_file(const SearchCheckpoint& checkpoint,
+                           const std::string& path);
+
+/// Loads `path` if it exists, verifies the checksum and the expected
+/// fingerprint. Any failure (missing, torn, corrupt, mismatched) returns
+/// nullopt -- resuming is always optional, never load-bearing.
+std::optional<SearchCheckpoint> load_checkpoint_file(const std::string& path,
+                                                     std::uint64_t expected_fp);
+
+}  // namespace svtox::opt

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "opt/checkpoint.hpp"
 #include "opt/leaf_evaluator.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/threads.hpp"
 #include "util/timer.hpp"
@@ -48,10 +52,42 @@ class Incumbent {
     return std::move(best_);
   }
 
+  /// Copy of the current best (for checkpoint snapshots).
+  Solution snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return best_;
+  }
+
  private:
   std::atomic<double> leakage_{1e300};
   mutable std::mutex mu_;
   Solution best_;
+};
+
+/// Bookkeeping for periodic SearchCheckpoint writes. Only present (via
+/// SearchContext::sink) when SearchOptions::checkpoint_path is set, which
+/// also forces a serial search -- so none of these fields need atomics.
+struct CheckpointSink {
+  std::string path;
+  double every_s = 5.0;
+  std::uint64_t every_leaves = 64;
+  std::uint64_t fingerprint = 0;
+  bool tree_done = false;
+  std::uint64_t probes_done = 0;
+  /// Path (by input_order position) to the most recently evaluated leaf.
+  std::vector<bool> leaf_path;
+  /// Counter values at the frontier (the last leaf/probe boundary). A
+  /// cancelling search keeps counting interior nodes it enters and then
+  /// abandons; those nodes are re-explored after a resume, so snapshotting
+  /// the live counters would double-count them. The marks advance only at
+  /// consistent points, and the checkpoint stores the marks.
+  std::uint64_t nodes_mark = 0;
+  std::uint64_t leaves_mark = 0;
+  /// Wall-clock consumed by earlier (interrupted) runs of this search.
+  double base_elapsed_s = 0.0;
+  const Timer* run_timer = nullptr;
+  Timer since_write;
+  std::uint64_t leaves_at_write = 0;
 };
 
 /// Everything the DFS workers share: the problem, the budget, and the
@@ -67,14 +103,17 @@ struct SearchContext {
   std::atomic<std::uint64_t> leaves{0};
   /// Latched true once any worker observes the external cancel flag.
   std::atomic<bool> interrupted{false};
+  /// Non-null only when checkpointing (serial search).
+  CheckpointSink* sink = nullptr;
 
   SearchContext(const AssignmentProblem& p, const SearchOptions& o, BoundKind kind,
-                bool only_state)
+                bool only_state, double consumed_s = 0.0)
       : problem(p),
         options(o),
         bound_kind(kind),
         state_only(only_state),
-        deadline(o.time_limit_s) {}
+        deadline(consumed_s > 0.0 ? std::max(0.0, o.time_limit_s - consumed_s)
+                                  : o.time_limit_s) {}
 
   /// External cancellation check; latches `interrupted` when observed so
   /// the result can be flagged.
@@ -97,6 +136,42 @@ struct SearchContext {
   }
 };
 
+/// Serializes the current frontier + incumbent to the sink's file if the
+/// cadence (leaf count or elapsed time since the last write) says so, or
+/// unconditionally with `force`. A failed write is a warning, never a
+/// search failure -- the search result does not depend on checkpoints.
+void maybe_write_checkpoint(SearchContext& ctx, bool force) {
+  CheckpointSink* sink = ctx.sink;
+  if (sink == nullptr) return;
+  const std::uint64_t done = ctx.leaves.load(std::memory_order_relaxed);
+  if (!force) {
+    const bool by_count = sink->every_leaves != 0 &&
+                          done - sink->leaves_at_write >= sink->every_leaves;
+    const bool by_time = sink->since_write.seconds() >= sink->every_s;
+    if (!by_count && !by_time) return;
+  }
+  SearchCheckpoint checkpoint;
+  checkpoint.fingerprint = sink->fingerprint;
+  checkpoint.tree_done = sink->tree_done;
+  if (!sink->tree_done) checkpoint.path = sink->leaf_path;
+  checkpoint.probes_done = sink->probes_done;
+  checkpoint.nodes = sink->nodes_mark;
+  checkpoint.leaves = sink->leaves_mark;
+  checkpoint.elapsed_s = sink->base_elapsed_s + sink->run_timer->seconds();
+  const Solution best = ctx.incumbent.snapshot();
+  checkpoint.sleep_vector = best.sleep_vector;
+  checkpoint.config = best.config;
+  checkpoint.leakage_na = best.leakage_na;
+  checkpoint.delay_ps = best.delay_ps;
+  try {
+    write_checkpoint_file(checkpoint, sink->path);
+  } catch (const std::exception& e) {
+    log_warn(std::string("checkpoint write failed (continuing): ") + e.what());
+  }
+  sink->leaves_at_write = done;
+  sink->since_write.reset();
+}
+
 /// One search worker: owns a private BoundEngine (and hence a private
 /// incremental ternary simulator) for interior nodes plus a private
 /// LeafEvaluator that amortizes leaf setup (simulation, canonicalization,
@@ -110,15 +185,32 @@ class DfsWorker {
 
   BoundEngine& engine() { return engine_; }
 
+  /// Arms checkpoint replay: the next dfs(0) descends `path` (the recorded
+  /// branch at every depth, by input_order position) without counting
+  /// nodes, pruning, budget checks or re-evaluating the final leaf --
+  /// those all happened before the checkpoint and live in the restored
+  /// counters/incumbent -- then unwinds into the normal bounded DFS at
+  /// each level, continuing exactly where the interrupted run stopped.
+  /// The pointee must outlive the dfs call.
+  void resume_from(const std::vector<bool>* path) {
+    replay_path_ = path;
+    replaying_ = true;
+  }
+
   /// Bounded DFS assigning input_order positions [depth, n); positions
   /// before `depth` must already be set through the engine.
   void dfs(std::size_t depth) {
-    ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
+    if (!replaying_) ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
     if (depth == num_control_points()) {
+      if (replaying_) {
+        // The replayed leaf was evaluated (and counted) pre-checkpoint.
+        replaying_ = false;
+        return;
+      }
       evaluate_leaf();
       return;
     }
-    if (ctx_.out_of_budget()) return;
+    if (!replaying_ && ctx_.out_of_budget()) return;
 
     const int pi = ctx_.problem.input_order()[depth];
     // Bound both branches to order (and, beyond the first leaf, prune).
@@ -128,7 +220,25 @@ class DfsWorker {
       engine_.undo();
     }
     const int first = bounds[0] <= bounds[1] ? 0 : 1;
-    for (int k = 0; k < 2; ++k) {
+    int start_k = 0;
+    if (replaying_) {
+      // Descend the recorded branch unconditionally: the interrupted run
+      // already decided to take it. A branch ordered before it was either
+      // pruned or fully explored back then -- both already reflected in
+      // the restored counters and incumbent -- so the continuation starts
+      // at the next-ordered branch.
+      const int v = (*replay_path_)[depth] ? 1 : 0;
+      start_k = v == first ? 0 : 1;
+      engine_.set_input(pi, v == 0 ? sim::Tri::kZero : sim::Tri::kOne);
+      dfs(depth + 1);
+      engine_.undo();
+      if (ctx_.options.max_leaves != 0 &&
+          ctx_.leaves.load(std::memory_order_relaxed) >= ctx_.options.max_leaves) {
+        return;
+      }
+      ++start_k;
+    }
+    for (int k = start_k; k < 2; ++k) {
       const int v = k == 0 ? first : 1 - first;
       if (ctx_.leaves.load(std::memory_order_relaxed) > 0 &&
           bounds[v] >= ctx_.incumbent.leakage() - 1e-12) {
@@ -187,11 +297,25 @@ class DfsWorker {
       leaf = evaluator_.evaluate_greedy(vector, ctx_.options.gate_order);
     }
     ctx_.incumbent.offer(std::move(leaf));
+    if (ctx_.sink != nullptr) {
+      // Record the path to this leaf (after the offer, so a snapshot's
+      // incumbent is exact at the leaf boundary) and maybe write.
+      const std::vector<int>& order = ctx_.problem.input_order();
+      ctx_.sink->leaf_path.resize(order.size());
+      for (std::size_t d = 0; d < order.size(); ++d) {
+        ctx_.sink->leaf_path[d] = vector[static_cast<std::size_t>(order[d])];
+      }
+      ctx_.sink->nodes_mark = ctx_.nodes.load(std::memory_order_relaxed);
+      ctx_.sink->leaves_mark = ctx_.leaves.load(std::memory_order_relaxed);
+      maybe_write_checkpoint(ctx_, /*force=*/false);
+    }
   }
 
   SearchContext& ctx_;
   BoundEngine engine_;
   LeafEvaluator evaluator_;
+  const std::vector<bool>* replay_path_ = nullptr;
+  bool replaying_ = false;
 };
 
 /// Parallel root split (SearchOptions::threads > 1): the top
@@ -235,28 +359,91 @@ void parallel_split(SearchContext& ctx, int threads) {
 
 /// Shared driver for Heu1/Heu2/exact/state-only: bounded DFS (serial or
 /// root-split parallel) followed by the optional random-probe sweep.
-Solution run_search(const AssignmentProblem& problem, const SearchOptions& options,
+/// With `SearchOptions::checkpoint_path` set the search is serial, resumes
+/// from a matching checkpoint if one exists, snapshots periodically, and
+/// on a clean finish deletes the checkpoint file.
+Solution run_search(const AssignmentProblem& problem, const SearchOptions& caller_options,
                     BoundKind bound_kind, bool state_only) {
-  Timer timer;
-  SearchContext ctx(problem, options, bound_kind, state_only);
+  SearchOptions options = caller_options;
+  const bool checkpointing = !options.checkpoint_path.empty();
   const int n = problem.netlist().num_control_points();
+
+  CheckpointSink sink;
+  std::optional<SearchCheckpoint> resume;
+  if (checkpointing) {
+    if (resolve_thread_count(options.threads, 64) > 1) {
+      log_warn("checkpointing forces a serial state search (threads 1)");
+    }
+    options.threads = 1;
+    sink.path = options.checkpoint_path;
+    sink.every_s = options.checkpoint_every_s;
+    sink.every_leaves = options.checkpoint_every_leaves;
+    sink.fingerprint = search_fingerprint(problem, options, bound_kind, state_only);
+    resume = load_checkpoint_file(options.checkpoint_path, sink.fingerprint);
+    if (resume && !resume->tree_done &&
+        resume->path.size() != static_cast<std::size_t>(n)) {
+      log_warn("checkpoint path length mismatch; starting fresh");
+      resume.reset();
+    }
+  }
+
+  Timer timer;
+  const double consumed_s = resume ? resume->elapsed_s : 0.0;
+  SearchContext ctx(problem, options, bound_kind, state_only, consumed_s);
+  if (resume) {
+    ctx.nodes.store(resume->nodes, std::memory_order_relaxed);
+    ctx.leaves.store(resume->leaves, std::memory_order_relaxed);
+    Solution seed;
+    seed.sleep_vector = resume->sleep_vector;
+    seed.config = resume->config;
+    seed.leakage_na = resume->leakage_na;
+    seed.delay_ps = resume->delay_ps;
+    ctx.incumbent.offer(std::move(seed));
+    sink.tree_done = resume->tree_done;
+    sink.probes_done = resume->probes_done;
+    // Seed the last-leaf path and counter marks too, so an interrupt
+    // before any new leaf re-snapshots the same frontier instead of an
+    // empty one.
+    sink.leaf_path = resume->path;
+    sink.nodes_mark = resume->nodes;
+    sink.leaves_mark = resume->leaves;
+    log_info("resuming search from " + options.checkpoint_path + " (" +
+             std::to_string(resume->leaves) + " leaves done)");
+  }
+  if (checkpointing) {
+    sink.base_elapsed_s = consumed_s;
+    sink.run_timer = &timer;
+    ctx.sink = &sink;
+  }
 
   // The root split needs an uncapped leaf budget (a shared cap would make
   // the visited set depend on worker timing) and at least one level to
   // split on.
   const int threads = resolve_thread_count(options.threads, 64);
-  if (threads > 1 && options.max_leaves == 0 && n >= 2) {
-    // Phase 1 -- Heu1's serial descent seeds the shared incumbent, so the
-    // parallel continued search keeps the serial guarantees: the first
-    // leaf always completes and the result is never worse than Heu1.
-    {
-      DfsWorker seeder(ctx);
-      seeder.descend();
+  const bool skip_tree = resume && resume->tree_done;
+  if (!skip_tree) {
+    if (threads > 1 && options.max_leaves == 0 && n >= 2) {
+      // Phase 1 -- Heu1's serial descent seeds the shared incumbent, so the
+      // parallel continued search keeps the serial guarantees: the first
+      // leaf always completes and the result is never worse than Heu1.
+      {
+        DfsWorker seeder(ctx);
+        seeder.descend();
+      }
+      parallel_split(ctx, threads);
+    } else {
+      DfsWorker worker(ctx);
+      if (resume && !resume->path.empty()) worker.resume_from(&resume->path);
+      worker.dfs(0);
     }
-    parallel_split(ctx, threads);
-  } else {
-    DfsWorker worker(ctx);
-    worker.dfs(0);
+    // A cancelled tree is unfinished; anything else (completion, leaf cap,
+    // deadline) moves the checkpoint frontier into the probe phase. The
+    // finished tree's counters are deterministic, so they become the marks.
+    if (!ctx.interrupted.load(std::memory_order_relaxed)) {
+      sink.tree_done = true;
+      sink.nodes_mark = ctx.nodes.load(std::memory_order_relaxed);
+      sink.leaves_mark = ctx.leaves.load(std::memory_order_relaxed);
+    }
   }
 
   // Probe random vectors after the tree search so the descent result is
@@ -269,7 +456,8 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
   // the time limit -- none start once the deadline has passed (the tree
   // search above always completes its first leaf regardless) -- but not
   // `max_leaves`, which caps only the tree search, as it always has.
-  if (options.random_probes > 0 && !ctx.deadline.expired() && !ctx.cancelled()) {
+  if (options.random_probes > 0 && !ctx.deadline.expired() && !ctx.cancelled() &&
+      sink.probes_done < static_cast<std::uint64_t>(options.random_probes)) {
     Rng rng(options.probe_seed);
     std::vector<std::vector<bool>> probes(
         static_cast<std::size_t>(options.random_probes));
@@ -277,35 +465,63 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& optio
       vector.resize(static_cast<std::size_t>(n));
       for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
     }
-    std::atomic<std::uint32_t> next{0};
-    auto drain = [&ctx, &probes, &next, state_only] {
-      // Skip the evaluator setup entirely when already out of time.
-      if (ctx.deadline.expired() || ctx.cancelled()) return;
+    if (checkpointing) {
+      // Serial indexed sweep so the frontier is a single resume index;
+      // probes [0, probes_done) were evaluated before the interruption.
       LeafEvaluator evaluator(ctx.problem);
-      for (;;) {
-        const std::uint32_t p = next.fetch_add(1, std::memory_order_relaxed);
-        if (p >= probes.size() || ctx.deadline.expired() || ctx.cancelled()) return;
+      for (std::size_t p = static_cast<std::size_t>(sink.probes_done);
+           p < probes.size(); ++p) {
+        if (ctx.deadline.expired() || ctx.cancelled()) break;
         Solution leaf =
             state_only ? evaluator.evaluate_state_only(probes[p])
-                       : evaluator.evaluate_greedy(probes[p], ctx.options.gate_order);
+                       : evaluator.evaluate_greedy(probes[p], options.gate_order);
         ctx.leaves.fetch_add(1, std::memory_order_relaxed);
         ctx.incumbent.offer(std::move(leaf));
+        sink.probes_done = p + 1;
+        sink.leaves_mark = ctx.leaves.load(std::memory_order_relaxed);
+        maybe_write_checkpoint(ctx, /*force=*/false);
       }
-    };
-    const int probe_threads =
-        resolve_thread_count(options.threads, options.random_probes);
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(probe_threads - 1));
-    for (int t = 1; t < probe_threads; ++t) pool.emplace_back(drain);
-    drain();
-    for (std::thread& t : pool) t.join();
+    } else {
+      std::atomic<std::uint32_t> next{0};
+      auto drain = [&ctx, &probes, &next, state_only] {
+        // Skip the evaluator setup entirely when already out of time.
+        if (ctx.deadline.expired() || ctx.cancelled()) return;
+        LeafEvaluator evaluator(ctx.problem);
+        for (;;) {
+          const std::uint32_t p = next.fetch_add(1, std::memory_order_relaxed);
+          if (p >= probes.size() || ctx.deadline.expired() || ctx.cancelled()) return;
+          Solution leaf =
+              state_only ? evaluator.evaluate_state_only(probes[p])
+                         : evaluator.evaluate_greedy(probes[p], ctx.options.gate_order);
+          ctx.leaves.fetch_add(1, std::memory_order_relaxed);
+          ctx.incumbent.offer(std::move(leaf));
+        }
+      };
+      const int probe_threads =
+          resolve_thread_count(options.threads, options.random_probes);
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(probe_threads - 1));
+      for (int t = 1; t < probe_threads; ++t) pool.emplace_back(drain);
+      drain();
+      for (std::thread& t : pool) t.join();
+    }
   }
 
+  const bool interrupted = ctx.interrupted.load(std::memory_order_relaxed);
+  if (checkpointing) {
+    if (interrupted) {
+      // Final snapshot so the very last pre-interrupt work is never lost.
+      // Must happen before take() empties the shared incumbent below.
+      maybe_write_checkpoint(ctx, /*force=*/true);
+    } else {
+      std::remove(options.checkpoint_path.c_str());  // clean finish
+    }
+  }
   Solution best = ctx.incumbent.take();
   best.nodes_visited = ctx.nodes.load(std::memory_order_relaxed);
   best.states_explored = ctx.leaves.load(std::memory_order_relaxed);
-  best.runtime_s = timer.seconds();
-  best.interrupted = ctx.interrupted.load(std::memory_order_relaxed);
+  best.runtime_s = consumed_s + timer.seconds();
+  best.interrupted = interrupted;
   return best;
 }
 
@@ -329,7 +545,6 @@ Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
 
 Solution heuristic2(const AssignmentProblem& problem, const SearchOptions& options) {
   SearchOptions heu2 = options;
-  heu2.max_leaves = 0;
   heu2.exact_leaves = false;
   return run_search(problem, heu2, BoundKind::kMinVariant, /*state_only=*/false);
 }

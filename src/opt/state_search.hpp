@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "opt/bound_engine.hpp"
 #include "opt/gate_assign.hpp"
@@ -91,6 +92,18 @@ struct SearchOptions {
   /// completes, so a cancelled search always carries a valid solution.
   /// The pointee must outlive the search call.
   const std::atomic<bool>* cancel = nullptr;
+  /// When non-empty, the search periodically serializes its frontier +
+  /// incumbent to this file (atomic temp + rename, checksummed) and, if
+  /// the file already holds a checkpoint with a matching fingerprint,
+  /// resumes from it instead of restarting. An interrupted search writes a
+  /// final snapshot; a completed one deletes the file. Forces a serial
+  /// search (threads = 1). See opt/checkpoint.hpp for the invariants.
+  std::string checkpoint_path;
+  /// Checkpoint cadence: write after this many seconds have passed or this
+  /// many new leaves were evaluated since the last write, whichever fires
+  /// first (every_leaves = 0 disables the count trigger).
+  double checkpoint_every_s = 5.0;
+  std::uint64_t checkpoint_every_leaves = 64;
 };
 
 /// Heuristic 1: single downward traversal (paper Sec. 5).
@@ -102,8 +115,10 @@ Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,
                     GateOrder gate_order = GateOrder::kBySavings);
 
 /// Heuristic 2 with full control over the search knobs (threads, probe
-/// seed, bound mode). `max_leaves` and `exact_leaves` are overridden to
-/// the Heu2 defaults.
+/// seed, bound mode). `exact_leaves` is overridden to the Heu2 default
+/// (greedy); `max_leaves` is respected (0 = unlimited), giving callers a
+/// deterministic budget knob -- checkpoint/resume byte-identity tests and
+/// reproducible batch jobs cap leaves instead of wall-clock time.
 Solution heuristic2(const AssignmentProblem& problem, const SearchOptions& options);
 
 /// Exact simultaneous search over both trees. Exponential -- use only on

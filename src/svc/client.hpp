@@ -1,27 +1,51 @@
 // Client side of the svtoxd wire protocol: a blocking one-request /
 // one-reply NDJSON channel over a Unix-domain socket, plus the typed
 // convenience calls `svtox batch` uses.
+//
+// Transport failures (connect refused, connection dropped mid-round-trip)
+// surface as util::Error(kIo) and are retried internally with exponential
+// backoff + jitter and a fresh connection, up to ClientOptions::
+// max_attempts. Retrying a round trip whose request was already delivered
+// gives *at-least-once* semantics: a resent "submit" may enqueue a second
+// job (the scheduler's solution cache dedups the actual solve). Reply
+// timeouts surface as Error(kTimeout) and are never retried -- the daemon
+// may still be executing the request.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "svc/job.hpp"
+#include "util/rng.hpp"
 
 namespace svtox::svc {
 
+struct ClientOptions {
+  /// Total tries per connect/round-trip (1 = no retry).
+  int max_attempts = 3;
+  double backoff_initial_s = 0.05;  ///< First retry delay (doubled per try).
+  double backoff_max_s = 2.0;       ///< Delay ceiling.
+  /// Per-request reply timeout; 0 = wait forever. On expiry request()
+  /// throws Error(kTimeout) and the connection is dropped (the next
+  /// request reconnects).
+  double request_timeout_s = 0.0;
+};
+
 class Client {
  public:
-  /// Connects to a running svtoxd; throws ContractError when the socket
-  /// cannot be reached.
-  explicit Client(const std::string& socket_path);
+  /// Connects to a running svtoxd (with retry/backoff per `options`);
+  /// throws Error(kIo) when the socket cannot be reached.
+  explicit Client(const std::string& socket_path,
+                  const ClientOptions& options = ClientOptions());
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Raw round trip: sends one request object, returns the reply object.
-  /// Throws ContractError on connection loss or a malformed reply.
+  /// Throws Error(kIo) when every attempt lost the connection,
+  /// Error(kTimeout) when the reply timed out, ParseError on a malformed
+  /// reply.
   Json request(const Json& request_json);
 
   // --- Typed wrappers ---------------------------------------------------
@@ -37,8 +61,16 @@ class Client {
   static bool ping(const std::string& socket_path);
 
  private:
+  void send_line(const std::string& line);
+  Json read_reply();
+  void drop_connection();
+  void backoff_sleep(int attempt);
+
+  ClientOptions options_;
+  std::string socket_path_;
   int fd_ = -1;
   std::string pending_;  ///< Bytes read past the last reply's newline.
+  Rng jitter_;           ///< Backoff jitter stream (seeded per client).
 };
 
 }  // namespace svtox::svc

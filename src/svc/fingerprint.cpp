@@ -100,13 +100,14 @@ std::uint64_t fingerprint_netlist(const netlist::Netlist& netlist) {
 std::string cache_key(std::uint64_t library_fp, std::uint64_t netlist_fp,
                       const RunKnobs& knobs) {
   Fnv h;
-  h.str("svtox_run_v1");
+  h.str("svtox_run_v2");  // v2: max_leaves joined the knob set
   h.str(knobs.method);
   h.f64(knobs.penalty_fraction);
   h.f64(knobs.time_limit_s);
   h.i64(knobs.random_vectors);
   h.u64(knobs.seed);
   h.i64(knobs.search_threads);
+  h.u64(knobs.max_leaves);
   return hex64(library_fp) + "." + hex64(netlist_fp) + "." + hex64(h.value());
 }
 

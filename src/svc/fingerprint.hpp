@@ -64,6 +64,7 @@ struct RunKnobs {
   int random_vectors = 0;
   std::uint64_t seed = 0;
   int search_threads = 1;    ///< Time-limited searches are thread-sensitive.
+  std::uint64_t max_leaves = 0;  ///< Deterministic leaf budget (0 = none).
 };
 
 /// The solution-cache key: "<library>.<netlist>.<knobs>" as three 16-digit

@@ -57,7 +57,7 @@ JobSpec job_spec_from_json(const Json& json) {
   static const char* kKnown[] = {
       "circuit", "bench", "nitrided", "two_point", "uniform_stack", "vt_only",
       "method", "penalty", "time_limit", "vectors", "seed", "threads",
-      "priority", "deadline", "cache", "label"};
+      "max_leaves", "priority", "deadline", "cache", "retries", "label"};
   for (const auto& [key, value] : json.as_object()) {
     (void)value;
     bool known = false;
@@ -78,9 +78,11 @@ JobSpec job_spec_from_json(const Json& json) {
   spec.random_vectors = static_cast<int>(number_field(json, "vectors", 10000));
   spec.seed = static_cast<std::uint64_t>(number_field(json, "seed", 2004));
   spec.search_threads = static_cast<int>(number_field(json, "threads", 1));
+  spec.max_leaves = static_cast<std::uint64_t>(number_field(json, "max_leaves", 0));
   spec.priority = static_cast<int>(number_field(json, "priority", 0));
   spec.deadline_s = number_field(json, "deadline", 0.0);
   spec.use_cache = bool_field(json, "cache", true);
+  spec.retries = static_cast<int>(number_field(json, "retries", 0));
   spec.label = string_field(json, "label", "");
 
   validate_job_spec(spec);
@@ -102,6 +104,9 @@ void validate_job_spec(const JobSpec& spec) {
     throw ContractError("time_limit/deadline must be non-negative");
   }
   if (spec.random_vectors <= 0) throw ContractError("vectors must be positive");
+  if (spec.retries < 0 || spec.retries > 10) {
+    throw ContractError("retries must be in [0, 10]");
+  }
 }
 
 Json job_spec_to_json(const JobSpec& spec) {
@@ -118,9 +123,11 @@ Json job_spec_to_json(const JobSpec& spec) {
   json.set("vectors", spec.random_vectors);
   json.set("seed", spec.seed);
   json.set("threads", spec.search_threads);
+  if (spec.max_leaves != 0) json.set("max_leaves", spec.max_leaves);
   if (spec.priority != 0) json.set("priority", spec.priority);
   if (spec.deadline_s > 0.0) json.set("deadline", spec.deadline_s);
   if (!spec.use_cache) json.set("cache", false);
+  if (spec.retries != 0) json.set("retries", spec.retries);
   if (!spec.label.empty()) json.set("label", spec.label);
   return json;
 }
@@ -129,6 +136,7 @@ Json job_result_to_json(const JobResult& result, bool include_solution) {
   Json json = Json::object();
   json.set("status", to_string(result.status));
   if (!result.error.empty()) json.set("error", result.error);
+  if (!result.error_code.empty()) json.set("error_code", result.error_code);
   json.set("circuit", result.circuit);
   json.set("gates", result.gates);
   json.set("method", result.method);
@@ -157,6 +165,7 @@ JobResult job_result_from_json(const Json& json) {
   else if (status == "cancelled") result.status = JobStatus::kCancelled;
   else throw ContractError("unknown job status '" + status + "'");
   result.error = string_field(json, "error", "");
+  result.error_code = string_field(json, "error_code", "");
   result.circuit = string_field(json, "circuit", "");
   result.gates = static_cast<int>(number_field(json, "gates", 0.0));
   result.method = string_field(json, "method", "");

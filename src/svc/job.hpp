@@ -43,11 +43,19 @@ struct JobSpec {
   int random_vectors = 10000;
   std::uint64_t seed = 2004;
   int search_threads = 1;  ///< Intra-search root-split threads.
+  /// Deterministic leaf budget for the state search (0 = unlimited);
+  /// jobs capped this way reproduce bit-identically across runs and
+  /// checkpointed resumes.
+  std::uint64_t max_leaves = 0;
 
   // --- Service-level. --------------------------------------------------
   int priority = 0;        ///< Higher runs first; FIFO within a priority.
   double deadline_s = 0.0; ///< Wall-clock budget from submission; 0 = none.
   bool use_cache = true;
+  /// Transient-failure retry budget for this job: a worker re-runs the job
+  /// up to this many extra times when it fails with a retryable
+  /// util::Error (io/timeout). Parse/contract failures never retry.
+  int retries = 0;
   std::string label;       ///< Echoed in the result; used for output names.
 };
 
@@ -67,6 +75,10 @@ Json job_spec_to_json(const JobSpec& spec);
 struct JobResult {
   JobStatus status = JobStatus::kDone;
   std::string error;         ///< For kFailed / kCancelled.
+  /// Machine-readable failure class for kFailed: a util::ErrorCode name
+  /// ("parse", "io", "corrupt", "timeout", "cancelled"), or "internal" for
+  /// other exceptions. Lets clients tell retryable from fatal failures.
+  std::string error_code;
   std::string circuit;       ///< Resolved netlist name.
   int gates = 0;             ///< Gate count of the resolved netlist.
   std::string method;

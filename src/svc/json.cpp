@@ -53,11 +53,30 @@ class Parser {
     return true;
   }
 
+  /// Bounds container nesting so adversarial input ("[[[[...") fails with
+  /// a ParseError instead of overflowing the parser's call stack.
+  static constexpr int kMaxDepth = 64;
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than 64 levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Json parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        DepthGuard guard(*this);
+        return parse_object();
+      }
+      case '[': {
+        DepthGuard guard(*this);
+        return parse_array();
+      }
       case '"': return Json(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -223,6 +242,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {

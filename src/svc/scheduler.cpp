@@ -1,5 +1,7 @@
 #include "svc/scheduler.hpp"
 
+#include <sys/stat.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +11,7 @@
 #include "netlist/benchmarks.hpp"
 #include "svc/fingerprint.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/threads.hpp"
 
@@ -50,6 +53,9 @@ struct Scheduler::JobRecord {
   std::atomic<bool> cancel{false};
   std::atomic<bool> user_cancelled{false};
   std::atomic<bool> deadline_fired{false};
+  /// Set by an interrupting shutdown: the job stops cooperatively and
+  /// reports kCancelled with a resume hint instead of a deadline message.
+  std::atomic<bool> shutdown_fired{false};
   JobResult result;  ///< Written under Scheduler::mu_ before status flips.
 };
 
@@ -94,7 +100,11 @@ class Scheduler::ResourcePool {
     } else {
       // Content-address the file so an edited netlist misses the pool.
       std::ifstream in(spec.bench_path);
-      if (!in) throw ContractError("cannot read bench file '" + spec.bench_path + "'");
+      if (!in) {
+        // kIo: a transient filesystem hiccup is retryable (JobSpec::retries).
+        throw Error(ErrorCode::kIo,
+                    "cannot read bench file '" + spec.bench_path + "'");
+      }
       std::ostringstream text;
       text << in.rdbuf();
       key += "bench:" + hex64(Fnv().str(text.str()).value());
@@ -224,6 +234,11 @@ Scheduler::Scheduler(const Options& options) : options_(options) {
   cache_options.shards = options.cache_shards;
   cache_options.disk_dir = options.cache_dir;
   cache_ = std::make_unique<SolutionCache>(cache_options);
+  if (!options.checkpoint_dir.empty()) {
+    // Best-effort create; a failed mkdir surfaces as checkpoint-write
+    // warnings, never as job failures.
+    ::mkdir(options.checkpoint_dir.c_str(), 0777);
+  }
   pool_ = std::make_unique<ResourcePool>();
   queue_ = std::make_unique<JobQueue>(options.queue_capacity);
 
@@ -326,6 +341,7 @@ SchedulerStats Scheduler::stats() const {
   out.failed = failed_.load(std::memory_order_relaxed);
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.executed = executed_.load(std::memory_order_relaxed);
+  out.retried = retried_.load(std::memory_order_relaxed);
   out.queued = queue_->size();
   out.running = running_.load(std::memory_order_relaxed);
   out.workers = options_.workers;
@@ -372,14 +388,18 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
 
   std::string key;
   bool cache_owner = false;
-  try {
-    std::shared_ptr<const ResourcePool::LibraryEntry> library = pool_->library(spec);
-    std::shared_ptr<const ResourcePool::CircuitEntry> circuit =
-        pool_->circuit(library, spec);
-    result.circuit = circuit->netlist.name();
-    result.gates = circuit->netlist.num_gates();
+  // fetch_or_lock must run at most once per job: a second call by the same
+  // owner would deadlock on its own inflight marker.
+  bool cache_checked = false;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      SVTOX_FAIL_POINT("job_execute");
+      std::shared_ptr<const ResourcePool::LibraryEntry> library = pool_->library(spec);
+      std::shared_ptr<const ResourcePool::CircuitEntry> circuit =
+          pool_->circuit(library, spec);
+      result.circuit = circuit->netlist.name();
+      result.gates = circuit->netlist.num_gates();
 
-    if (spec.use_cache) {
       RunKnobs knobs;
       knobs.method = spec.method;
       knobs.penalty_fraction = spec.penalty_percent / 100.0;
@@ -387,52 +407,90 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
       knobs.random_vectors = spec.random_vectors;
       knobs.seed = spec.seed;
       knobs.search_threads = spec.search_threads;
-      key = cache_key(library->fp, circuit->fp, knobs);
-      if (std::optional<JobResult> cached = cache_->fetch_or_lock(key)) {
-        cached->label = spec.label;  // echo the submitter's tag, not the solver's
-        finish(record, std::move(*cached), JobStatus::kDone);
-        return;
+      knobs.max_leaves = spec.max_leaves;
+      const std::string job_key = cache_key(library->fp, circuit->fp, knobs);
+
+      if (spec.use_cache && !cache_checked) {
+        cache_checked = true;
+        key = job_key;
+        if (std::optional<JobResult> cached = cache_->fetch_or_lock(key)) {
+          cached->label = spec.label;  // echo the submitter's tag, not the solver's
+          finish(record, std::move(*cached), JobStatus::kDone);
+          return;
+        }
+        cache_owner = true;
       }
-      cache_owner = true;
-    }
 
-    core::StandbyOptimizer& optimizer = state.optimizer_for(circuit);
-    core::RunConfig config;
-    config.penalty_fraction = spec.penalty_percent / 100.0;
-    config.time_limit_s = spec.time_limit_s;
-    config.random_vectors = spec.random_vectors;
-    config.seed = spec.seed;
-    config.threads = spec.search_threads;
-    config.cancel = &record.cancel;
-    const core::Method method = method_enum(spec.method);
-    const core::MethodResult run = optimizer.run(method, config);
-
-    result.leakage_ua = run.leakage_ua;
-    result.reduction_x = run.reduction_x;
-    result.delay_ps = run.solution.delay_ps;
-    result.states_explored = run.solution.states_explored;
-    result.interrupted = run.solution.interrupted;
-    result.runtime_s =
-        method == core::Method::kAverageRandom ? run.runtime_s : run.solution.runtime_s;
-    if (method != core::Method::kAverageRandom) {
-      result.solution_text = core::write_solution(run.solution, circuit->netlist);
-    }
-    executed_.fetch_add(1, std::memory_order_relaxed);
-
-    if (cache_owner) cache_->publish(key, result);  // skips interrupted results
-    if (result.interrupted && record.user_cancelled.load()) {
-      result.error = "cancelled (best-so-far solution attached)";
-      finish(record, std::move(result), JobStatus::kCancelled);
-    } else {
-      if (result.interrupted && record.deadline_fired.load()) {
-        result.error = "deadline expired (best-so-far solution attached)";
+      core::StandbyOptimizer& optimizer = state.optimizer_for(circuit);
+      core::RunConfig config;
+      config.penalty_fraction = spec.penalty_percent / 100.0;
+      config.time_limit_s = spec.time_limit_s;
+      config.random_vectors = spec.random_vectors;
+      config.seed = spec.seed;
+      config.threads = spec.search_threads;
+      config.cancel = &record.cancel;
+      config.max_leaves = spec.max_leaves;
+      const core::Method method = method_enum(spec.method);
+      if (!options_.checkpoint_dir.empty() &&
+          (method == core::Method::kStateOnly || method == core::Method::kVtState ||
+           method == core::Method::kHeu2 || method == core::Method::kExact)) {
+        // Content-addressed checkpoint file: an interrupted job's snapshot
+        // is picked up by any resubmission of the same job.
+        config.checkpoint_path = options_.checkpoint_dir + "/" + job_key + ".ckpt";
+        config.checkpoint_every_s = options_.checkpoint_every_s;
       }
-      finish(record, std::move(result), JobStatus::kDone);
+      const core::MethodResult run = optimizer.run(method, config);
+
+      result.leakage_ua = run.leakage_ua;
+      result.reduction_x = run.reduction_x;
+      result.delay_ps = run.solution.delay_ps;
+      result.states_explored = run.solution.states_explored;
+      result.interrupted = run.solution.interrupted;
+      result.runtime_s =
+          method == core::Method::kAverageRandom ? run.runtime_s : run.solution.runtime_s;
+      if (method != core::Method::kAverageRandom) {
+        result.solution_text = core::write_solution(run.solution, circuit->netlist);
+      }
+      executed_.fetch_add(1, std::memory_order_relaxed);
+
+      if (cache_owner) cache_->publish(key, result);  // skips interrupted results
+      if (result.interrupted && record.user_cancelled.load()) {
+        result.error = "cancelled (best-so-far solution attached)";
+        finish(record, std::move(result), JobStatus::kCancelled);
+      } else if (result.interrupted && record.shutdown_fired.load()) {
+        result.error =
+            "interrupted by shutdown (best-so-far attached; resubmit to resume)";
+        finish(record, std::move(result), JobStatus::kCancelled);
+      } else {
+        if (result.interrupted && record.deadline_fired.load()) {
+          result.error = "deadline expired (best-so-far solution attached)";
+        }
+        finish(record, std::move(result), JobStatus::kDone);
+      }
+      return;
+    } catch (const Error& e) {
+      if (e.retryable() && attempt < spec.retries &&
+          !record.cancel.load(std::memory_order_relaxed)) {
+        retried_.fetch_add(1, std::memory_order_relaxed);
+        log_warn("job " + std::to_string(record.id) + " attempt " +
+                 std::to_string(attempt + 1) + " failed (" + e.what() +
+                 "); retrying");
+        continue;
+      }
+      if (cache_owner) cache_->abandon(key);
+      result.error = e.what();
+      result.error_code = to_string(e.code());
+      finish(record, std::move(result), JobStatus::kFailed);
+      return;
+    } catch (const std::exception& e) {
+      // Non-Error exceptions (contract violations, bad_alloc, ...) are
+      // never retried: they would fail identically every time.
+      if (cache_owner) cache_->abandon(key);
+      result.error = e.what();
+      result.error_code = "internal";
+      finish(record, std::move(result), JobStatus::kFailed);
+      return;
     }
-  } catch (const std::exception& e) {
-    if (cache_owner) cache_->abandon(key);
-    result.error = e.what();
-    finish(record, std::move(result), JobStatus::kFailed);
   }
 }
 
@@ -470,12 +528,25 @@ void Scheduler::monitor_loop() {
   }
 }
 
-void Scheduler::shutdown(bool drain) {
+void Scheduler::shutdown(bool drain, bool interrupt_running) {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (stopped_) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
+  }
+  if (interrupt_running) {
+    // Ask running jobs to stop cooperatively. A checkpointing search
+    // snapshots its frontier before returning, so these jobs resume on
+    // resubmission instead of restarting.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, record] : jobs_) {
+      (void)id;
+      if (record->status.load() == JobStatus::kRunning) {
+        record->shutdown_fired.store(true);
+        record->cancel.store(true);
+      }
+    }
   }
   if (!drain) {
     for (const JobId id : queue_->clear()) {

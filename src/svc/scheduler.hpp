@@ -51,6 +51,7 @@ struct SchedulerStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t executed = 0;    ///< Actually solved (not cache-served).
+  std::uint64_t retried = 0;     ///< Re-run attempts after retryable errors.
   std::size_t queued = 0;
   std::size_t running = 0;
   int workers = 0;
@@ -64,6 +65,13 @@ struct SchedulerOptions {
   std::size_t cache_shards = 8;
   std::string cache_dir;           ///< Disk persistence; empty = off.
   std::size_t contexts_per_worker = 8;  ///< Optimizer LRU per worker.
+  /// Search checkpoint directory; empty = off. When set, every cacheable
+  /// state-search job snapshots its search to
+  /// `<checkpoint_dir>/<cache_key>.ckpt`, an interrupting shutdown (see
+  /// shutdown()) leaves a resumable snapshot behind, and a resubmission of
+  /// the same job resumes instead of restarting.
+  std::string checkpoint_dir;
+  double checkpoint_every_s = 5.0;  ///< Snapshot cadence (seconds).
 };
 
 class Scheduler {
@@ -95,9 +103,13 @@ class Scheduler {
 
   /// Stops the pool. drain=true (the default, and what the destructor
   /// does) lets queued jobs run to completion first; drain=false cancels
-  /// the backlog and only finishes the jobs already running. Idempotent;
-  /// concurrent callers block until the pool is down.
-  void shutdown(bool drain = true);
+  /// the backlog and only finishes the jobs already running. With
+  /// interrupt_running=true, running jobs are additionally asked to stop
+  /// cooperatively (checkpointing searches snapshot first) and finish as
+  /// kCancelled with their best-so-far attached -- the daemon's
+  /// SIGTERM/SIGINT path. Idempotent; concurrent callers block until the
+  /// pool is down.
+  void shutdown(bool drain = true, bool interrupt_running = false);
 
  private:
   struct JobRecord;
@@ -132,6 +144,7 @@ class Scheduler {
   bool stopped_ = false;    ///< Guarded by shutdown_mu_.
 
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> retried_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> completed_{0};

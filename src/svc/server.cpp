@@ -9,11 +9,17 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 
 namespace svtox::svc {
 
 namespace {
+
+/// Hard cap on one NDJSON request line. A client that streams an unbounded
+/// line (malicious or broken framing) gets an error and a closed
+/// connection instead of growing the server's buffer without limit.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;
 
 /// Writes the whole buffer, riding out EINTR/partial writes.
 bool write_all(int fd, const std::string& data) {
@@ -29,10 +35,11 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-Json error_reply(const std::string& what) {
+Json error_reply(const std::string& what, const std::string& code = "") {
   Json reply = Json::object();
   reply.set("ok", false);
   reply.set("error", what);
+  if (!code.empty()) reply.set("error_code", code);
   return reply;
 }
 
@@ -43,6 +50,7 @@ Json cache_stats_json(const CacheStats& stats) {
   json.set("misses", stats.misses);
   json.set("inflight_waits", stats.inflight_waits);
   json.set("evictions", stats.evictions);
+  json.set("corrupt", stats.corrupt);
   json.set("entries", stats.entries);
   return json;
 }
@@ -98,22 +106,36 @@ void Server::handle_connection(int fd) {
   char chunk[4096];
   bool close_after = false;
   while (!close_after) {
+    if (SVTOX_FAIL_POINT_FAILS("server_read")) break;
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // disconnect or stop()
     buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxRequestBytes &&
+        buffer.find('\n') == std::string::npos) {
+      write_all(fd, error_reply("request line exceeds 1 MiB", "parse").dump() + "\n");
+      break;
+    }
     std::size_t newline;
     while (!close_after && (newline = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (line.size() > kMaxRequestBytes) {
+        write_all(fd, error_reply("request line exceeds 1 MiB", "parse").dump() + "\n");
+        close_after = true;
+        break;
+      }
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       Json reply;
       try {
         reply = dispatch(Json::parse(line), close_after);
+      } catch (const Error& e) {
+        reply = error_reply(e.what(), to_string(e.code()));
       } catch (const std::exception& e) {
-        reply = error_reply(e.what());
+        reply = error_reply(e.what(), "contract");
       }
-      if (!write_all(fd, reply.dump() + "\n")) {
+      if (SVTOX_FAIL_POINT_FAILS("server_write") ||
+          !write_all(fd, reply.dump() + "\n")) {
         close_after = true;
       }
     }
@@ -177,6 +199,7 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     jobs.set("failed", stats.failed);
     jobs.set("cancelled", stats.cancelled);
     jobs.set("executed", stats.executed);
+    jobs.set("retried", stats.retried);
     jobs.set("queued", stats.queued);
     jobs.set("running", stats.running);
     jobs.set("workers", stats.workers);

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace svtox::svc {
@@ -137,6 +139,7 @@ CacheStats SolutionCache::stats() const {
   out.misses = misses_.load(std::memory_order_relaxed);
   out.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.corrupt = corrupt_.load(std::memory_order_relaxed);
   out.entries = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> shard_lock(s->mu);
@@ -147,18 +150,31 @@ CacheStats SolutionCache::stats() const {
 
 std::optional<JobResult> SolutionCache::load_disk(const std::string& key) const {
   if (disk_dir_.empty()) return std::nullopt;
-  std::ifstream in(disk_dir_ + "/" + key + ".svcache");
+  const std::string path = disk_dir_ + "/" + key + ".svcache";
+  std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string meta_line;
   if (!std::getline(in, meta_line)) return std::nullopt;
   try {
-    JobResult result = job_result_from_json(Json::parse(meta_line));
+    SVTOX_FAIL_POINT("cache_read");
+    const Json meta = Json::parse(meta_line);
+    JobResult result = job_result_from_json(meta);
     std::ostringstream text;
     text << in.rdbuf();
     result.solution_text = text.str();
+    // Entries written since the checksum was added carry the text's
+    // FNV-1a; verify it so a truncated or bit-rotted payload is dropped
+    // instead of served as the canonical solution.
+    if (const Json* stored = meta.get("text_fnv")) {
+      if (stored->as_string() != hex64(fnv1a64(result.solution_text))) {
+        throw Error(ErrorCode::kCorrupt, "solution text checksum mismatch");
+      }
+    }
     return result;
   } catch (const std::exception& e) {
-    log_info("solution cache: ignoring corrupt entry " + key + ": " + e.what());
+    log_warn("solution cache: dropping corrupt entry " + key + ": " + e.what());
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    std::remove(path.c_str());
     return std::nullopt;
   }
 }
@@ -166,19 +182,30 @@ std::optional<JobResult> SolutionCache::load_disk(const std::string& key) const 
 void SolutionCache::store_disk(const std::string& key, const JobResult& result) const {
   const std::string path = disk_dir_ + "/" + key + ".svcache";
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      log_info("solution cache: cannot write " + tmp);
-      return;
+  try {
+    SVTOX_FAIL_POINT("cache_write");
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw Error(ErrorCode::kIo, "cannot write " + tmp);
+      // Metadata line first (without the embedded text, but with its
+      // checksum), then the verbatim solution_io payload.
+      Json meta = job_result_to_json(result, /*include_solution=*/false);
+      meta.set("text_fnv", hex64(fnv1a64(result.solution_text)));
+      out << meta.dump() << '\n';
+      out << result.solution_text;
+      out.flush();
+      if (!out) throw Error(ErrorCode::kIo, "short write on " + tmp);
     }
-    // Metadata line first (without the embedded text), then the verbatim
-    // solution_io payload.
-    out << job_result_to_json(result, /*include_solution=*/false).dump() << '\n';
-    out << result.solution_text;
+    // Atomic swap so a concurrent reader never sees a torn file.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw Error(ErrorCode::kIo, "cannot rename " + tmp);
+    }
+  } catch (const std::exception& e) {
+    // Persistence is an optimization: a failed write costs a future
+    // re-solve, never the current job.
+    log_warn(std::string("solution cache: ") + e.what());
   }
-  // Atomic-ish swap so a concurrent reader never sees a torn file.
-  std::rename(tmp.c_str(), path.c_str());
 }
 
 }  // namespace svtox::svc

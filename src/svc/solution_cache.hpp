@@ -39,6 +39,8 @@ struct CacheStats {
   std::uint64_t misses = 0;          ///< Caller became owner and must solve.
   std::uint64_t inflight_waits = 0;  ///< Blocked on a concurrent solve.
   std::uint64_t evictions = 0;
+  std::uint64_t corrupt = 0;         ///< Disk entries rejected (bad checksum
+                                     ///< or malformed) and removed.
   std::uint64_t entries = 0;         ///< Current resident entries.
 };
 
@@ -101,6 +103,7 @@ class SolutionCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> inflight_waits_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> corrupt_{0};
 };
 
 }  // namespace svtox::svc

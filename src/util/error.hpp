@@ -3,6 +3,13 @@
 // The library follows a simple policy: constructor/loader failures and
 // API-contract violations throw; hot-path algorithmic code communicates
 // through return values and never throws.
+//
+// Failures that a *caller* may want to react to programmatically (retry a
+// transient I/O error, restart after a corrupt artifact, surface a timeout
+// as a structured result) carry an ErrorCode via util's Error class, so
+// the service layer can distinguish retryable from fatal without string
+// matching. API misuse stays a ContractError (logic_error): retrying a
+// contract violation never helps.
 #pragma once
 
 #include <stdexcept>
@@ -10,12 +17,44 @@
 
 namespace svtox {
 
+/// Coarse failure taxonomy. Keep this small: codes exist so callers can
+/// branch (retry / restart / give up), not to mirror errno.
+enum class ErrorCode {
+  kParse,      ///< Malformed input artifact (netlist, library, JSON, ...).
+  kIo,         ///< Read/write/connect failure on a file or socket.
+  kCorrupt,    ///< Artifact read back fails its integrity check.
+  kTimeout,    ///< A per-request or per-job deadline expired.
+  kCancelled,  ///< Cooperatively cancelled before completion.
+};
+
+const char* to_string(ErrorCode code);
+
+/// Base of all recoverable svtox failures. `retryable()` is the service
+/// layer's routing bit: transient faults (I/O, timeout) are worth a
+/// bounded retry; parse/corrupt/cancelled are not -- the same input will
+/// fail the same way.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  bool retryable() const noexcept {
+    return code_ == ErrorCode::kIo || code_ == ErrorCode::kTimeout;
+  }
+
+ private:
+  ErrorCode code_;
+};
+
 /// Thrown when an input artifact (netlist, library file, configuration)
-/// cannot be parsed or violates a structural invariant.
-class ParseError : public std::runtime_error {
+/// cannot be parsed or violates a structural invariant. Carries the source
+/// file name and line number so parse diagnostics always say *where*.
+class ParseError : public Error {
  public:
   ParseError(const std::string& file, int line, const std::string& what)
-      : std::runtime_error(file + ":" + std::to_string(line) + ": " + what),
+      : Error(ErrorCode::kParse,
+              file + ":" + std::to_string(line) + ": " + what),
         file_(file),
         line_(line) {}
 
@@ -33,5 +72,16 @@ class ContractError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
 };
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "?";
+}
 
 }  // namespace svtox

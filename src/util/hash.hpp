@@ -1,0 +1,35 @@
+// 64-bit FNV-1a over raw bytes: the checksum primitive shared by the
+// search checkpoint format and the solution cache's disk entries. The
+// service layer's typed fingerprint hasher (svc::Fnv) builds on the same
+// function; this header exists so lower layers (opt, util) can checksum
+// without depending on svc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svtox {
+
+inline std::uint64_t fnv1a64(std::string_view bytes,
+                             std::uint64_t seed = 14695981039346656037ULL) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// 16-hex-digit lowercase rendering of a 64-bit hash.
+inline std::string hex64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace svtox

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Kill-and-resume across a daemon restart.
+#
+# Runs a deterministic (leaf-budgeted, serial) heu2 job through svtoxd with
+# checkpointing on, SIGTERMs the daemon mid-run, restarts it, resubmits the
+# same job, and requires the final solution file to be byte-identical to a
+# local uninterrupted reference run. If the job happens to finish before the
+# signal lands the resubmission recomputes from scratch, so the comparison
+# still holds (just without exercising the resume path).
+#
+# usage: fault_daemon_test.sh <svtox> <svtoxd> <workdir>
+set -u
+
+SVTOX=$1
+SVTOXD=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK/ckpt" "$WORK/out1" "$WORK/out2"
+SOCK=$WORK/svtoxd.sock
+DAEMON_PID=
+
+stop_daemon() {
+  if [ -n "${DAEMON_PID:-}" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  DAEMON_PID=
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  sed 's/^/  daemon: /' "$WORK/daemon.log" >&2 2>/dev/null
+  stop_daemon
+  exit 1
+}
+
+start_daemon() {
+  "$SVTOXD" --socket "$SOCK" --workers 1 \
+      --checkpoint-dir "$WORK/ckpt" --checkpoint-every 0.05 \
+      >> "$WORK/daemon.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.1
+  done
+  fail "daemon socket never appeared"
+}
+
+# The job: serial, leaf-budgeted, cache off -- fully deterministic, long
+# enough (~seconds) that a SIGTERM ~1s in lands mid-search.
+CIRCUIT=c880
+MANIFEST=$WORK/manifest.json
+cat > "$MANIFEST" <<EOF
+{"circuit":"$CIRCUIT","method":"heu2","penalty":5,"max_leaves":1500,"time_limit":600,"vectors":200,"cache":false}
+EOF
+
+# Uninterrupted reference, same knobs, no daemon involved.
+"$SVTOX" optimize --circuit "$CIRCUIT" --method heu2 --penalty 5 \
+    --max-leaves 1500 --time-limit 600 --output "$WORK/ref.solution" \
+    > "$WORK/ref.log" 2>&1 || fail "reference optimize failed"
+[ -s "$WORK/ref.solution" ] || fail "reference solution missing"
+
+# Round 1: submit, then SIGTERM the daemon mid-run. The daemon interrupts the
+# search, which writes its frontier to the checkpoint dir before exiting; the
+# batch client is expected to fail (cancelled result or lost connection).
+start_daemon
+"$SVTOX" batch --socket "$SOCK" --manifest "$MANIFEST" \
+    --output-dir "$WORK/out1" > "$WORK/batch1.log" 2>&1 &
+BATCH_PID=$!
+sleep 1
+kill -TERM "$DAEMON_PID" 2>/dev/null || fail "daemon already gone before SIGTERM"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+wait "$BATCH_PID" 2>/dev/null  # exit status intentionally ignored
+
+# Round 2: fresh daemon, same checkpoint dir, same manifest. Resumes from the
+# snapshot (or recomputes, if round 1 finished) and must complete cleanly.
+start_daemon
+"$SVTOX" batch --socket "$SOCK" --manifest "$MANIFEST" \
+    --output-dir "$WORK/out2" > "$WORK/batch2.log" 2>&1 \
+    || fail "resubmitted batch failed: $(cat "$WORK/batch2.log")"
+stop_daemon
+
+RESUMED=$(ls "$WORK"/out2/job1_*.solution 2>/dev/null | head -n 1)
+[ -n "$RESUMED" ] || fail "resubmitted batch produced no solution file"
+cmp -s "$RESUMED" "$WORK/ref.solution" \
+    || fail "resumed solution differs from uninterrupted reference ($RESUMED)"
+
+echo "PASS: resumed $CIRCUIT solution byte-identical to uninterrupted run"
+exit 0

@@ -1,0 +1,335 @@
+// Fault-injection suite (`ctest -L fault`): real jobs running with armed
+// fail points must degrade gracefully -- retries succeed, corrupt cache
+// entries are skipped, a flaky server connection is survived by the
+// client's retry loop, and injected hangs surface as client timeouts --
+// never as crashes, hangs, or corrupt results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "svc/client.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "svc/solution_cache.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/timer.hpp"
+
+namespace svtox {
+namespace {
+
+using svc::JobSpec;
+using svc::JobStatus;
+
+// ---------------------------------------------------------------------------
+// FailPoints registry
+// ---------------------------------------------------------------------------
+
+TEST(FailPoints, SpecParsingAndTriggerCounting) {
+  FailPoints& points = FailPoints::instance();
+  FailPointScope scope("alpha=error*2,beta=off");
+
+  EXPECT_EQ(points.triggers("alpha"), 0u);
+  EXPECT_THROW(points.evaluate("alpha"), Error);
+  EXPECT_THROW(points.evaluate("alpha"), Error);
+  points.evaluate("alpha");  // count exhausted: no-op
+  EXPECT_EQ(points.triggers("alpha"), 2u);
+
+  points.evaluate("beta");          // armed off: no-op
+  points.evaluate("never_armed");   // unknown: no-op
+  EXPECT_EQ(points.triggers("beta"), 0u);
+
+  EXPECT_THROW(points.configure("oops"), ContractError);
+  EXPECT_THROW(points.configure("x=explode"), ContractError);
+}
+
+TEST(FailPoints, ErrorsAreRetryableIoErrors) {
+  FailPointScope scope("boom=error");
+  try {
+    FailPoints::instance().evaluate("boom");
+    FAIL() << "fail point did not fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(FailPoints, BooleanHookReportsInsteadOfThrowing) {
+  FailPointScope scope("flaky=error*1");
+  EXPECT_TRUE(FailPoints::instance().fails("flaky"));
+  EXPECT_FALSE(FailPoints::instance().fails("flaky"));  // count exhausted
+  EXPECT_FALSE(FailPoints::instance().fails("unarmed"));
+}
+
+TEST(FailPoints, HangStallsBounded) {
+  FailPointScope scope("slow=hang:80");
+  const auto start = std::chrono::steady_clock::now();
+  FailPoints::instance().evaluate("slow");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.05);
+  EXPECT_LT(elapsed, 5.0) << "hang must be a bounded stall";
+  EXPECT_EQ(FailPoints::instance().triggers("slow"), 1u);
+}
+
+TEST(FailPoints, ProbabilityZeroNeverFires) {
+  FailPointScope scope("maybe=error:0");
+  for (int i = 0; i < 100; ++i) FailPoints::instance().evaluate("maybe");
+  EXPECT_EQ(FailPoints::instance().triggers("maybe"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Solution cache under disk faults
+// ---------------------------------------------------------------------------
+
+svc::JobResult tiny_result() {
+  svc::JobResult result;
+  result.status = JobStatus::kDone;
+  result.circuit = "c17";
+  result.method = "heu1";
+  result.leakage_ua = 1.25;
+  result.solution_text = "svtox_solution v1 c17\nend\n";
+  return result;
+}
+
+TEST(FaultCache, WriteFaultIsToleratedAndCostsOnlyPersistence) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  const std::string dir = "/tmp/fault_cache_" + std::to_string(::getpid());
+  {
+    svc::SolutionCache::Options options;
+    options.disk_dir = dir;
+    svc::SolutionCache cache(options);
+    FailPointScope scope("cache_write=error");
+    ASSERT_FALSE(cache.fetch_or_lock("k1").has_value());
+    cache.publish("k1", tiny_result());  // disk write fails; must not throw
+    // The in-memory entry is still served.
+    ASSERT_TRUE(cache.peek("k1").has_value());
+  }
+  {
+    // Nothing was persisted, so a fresh cache misses: the fault cost a
+    // future re-solve, not a wrong answer.
+    svc::SolutionCache::Options options;
+    options.disk_dir = dir;
+    svc::SolutionCache cache(options);
+    EXPECT_FALSE(cache.fetch_or_lock("k1").has_value());
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(FaultCache, CorruptDiskEntryIsDroppedCountedAndRemoved) {
+  const std::string dir = "/tmp/fault_cache_" + std::to_string(::getpid()) + "_c";
+  svc::SolutionCache::Options options;
+  options.disk_dir = dir;
+  {
+    svc::SolutionCache cache(options);
+    ASSERT_FALSE(cache.fetch_or_lock("k1").has_value());
+    cache.publish("k1", tiny_result());
+  }
+  // Truncate the payload behind the checksum's back.
+  const std::string path = dir + "/k1.svcache";
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(bool(in));
+    std::string meta_line;
+    std::getline(in, meta_line);
+    std::ofstream out(path, std::ios::trunc);
+    out << meta_line << "\ntruncated";
+  }
+  {
+    svc::SolutionCache cache(options);
+    EXPECT_FALSE(cache.fetch_or_lock("k1").has_value())
+        << "corrupt entry must read as a miss, not a wrong hit";
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_FALSE(std::ifstream(path).good()) << "corrupt file must be removed";
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(FaultCache, ReadFaultReadsAsMissNotCrash) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  const std::string dir = "/tmp/fault_cache_" + std::to_string(::getpid()) + "_r";
+  svc::SolutionCache::Options options;
+  options.disk_dir = dir;
+  {
+    svc::SolutionCache cache(options);
+    ASSERT_FALSE(cache.fetch_or_lock("k1").has_value());
+    cache.publish("k1", tiny_result());
+  }
+  {
+    svc::SolutionCache cache(options);
+    FailPointScope scope("cache_read=error");
+    EXPECT_FALSE(cache.fetch_or_lock("k1").has_value());
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler retry policy
+// ---------------------------------------------------------------------------
+
+JobSpec retry_job(int retries) {
+  JobSpec spec;
+  spec.circuit = "c432";
+  spec.method = "heu1";
+  spec.random_vectors = 200;
+  spec.retries = retries;
+  spec.use_cache = false;
+  return spec;
+}
+
+TEST(FaultScheduler, RetryableFailureSucceedsWithinBudget) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+  FailPointScope scope("job_execute=error*2");
+
+  const svc::JobResult result = scheduler.wait(scheduler.submit(retry_job(3)));
+  EXPECT_EQ(result.status, JobStatus::kDone) << result.error;
+  EXPECT_FALSE(result.solution_text.empty());
+  EXPECT_EQ(scheduler.stats().retried, 2u);
+}
+
+TEST(FaultScheduler, RetryBudgetExhaustedFailsWithIoCode) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+  FailPointScope scope("job_execute=error");
+
+  const svc::JobResult result = scheduler.wait(scheduler.submit(retry_job(1)));
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_EQ(result.error_code, "io");
+  EXPECT_EQ(scheduler.stats().retried, 1u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+TEST(FaultScheduler, NonRetryableFailureNeverRetries) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  JobSpec spec = retry_job(5);
+  spec.circuit = "no_such_circuit";  // ContractError, not a transient fault
+  const svc::JobResult result = scheduler.wait(scheduler.submit(spec));
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_EQ(result.error_code, "internal");
+  EXPECT_EQ(scheduler.stats().retried, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server/client transport faults
+// ---------------------------------------------------------------------------
+
+struct WireFixture {
+  std::string socket_path =
+      "/tmp/fault_wire_" + std::to_string(::getpid()) + ".sock";
+  svc::Scheduler scheduler;
+  svc::Server server;
+
+  WireFixture()
+      : scheduler([] {
+          svc::Scheduler::Options options;
+          options.workers = 1;
+          return options;
+        }()),
+        server(scheduler, socket_path) {
+    server.start();
+  }
+  ~WireFixture() {
+    server.stop();
+    scheduler.shutdown(/*drain=*/false);
+  }
+};
+
+TEST(FaultWire, ClientRetriesThroughDroppedServerWrite) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  WireFixture wire;
+  svc::ClientOptions copts;
+  copts.max_attempts = 4;
+  copts.backoff_initial_s = 0.01;
+  svc::Client client(wire.socket_path, copts);
+
+  // The first reply write "fails": the server closes the connection and
+  // the client must reconnect and resend (at-least-once).
+  FailPointScope scope("server_write=error*1");
+  const std::uint64_t job = client.submit(retry_job(0));
+  const svc::JobResult result = client.result(job);
+  EXPECT_EQ(result.status, JobStatus::kDone) << result.error;
+  EXPECT_FALSE(result.solution_text.empty());
+}
+
+TEST(FaultWire, ClientConnectRetriesThroughTransientRefusal) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  WireFixture wire;
+  FailPointScope scope("client_connect=error*2");
+  svc::ClientOptions copts;
+  copts.max_attempts = 4;
+  copts.backoff_initial_s = 0.01;
+  svc::Client client(wire.socket_path, copts);  // 2 failures + 1 success
+  EXPECT_GE(client.stats().get("jobs")->get("workers")->as_int(), 1);
+}
+
+TEST(FaultWire, ClientConnectGivesUpAfterBudget) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  WireFixture wire;
+  FailPointScope scope("client_connect=error");
+  svc::ClientOptions copts;
+  copts.max_attempts = 2;
+  copts.backoff_initial_s = 0.01;
+  try {
+    svc::Client client(wire.socket_path, copts);
+    FAIL() << "connect must fail when every attempt is refused";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+  EXPECT_EQ(FailPoints::instance().triggers("client_connect"), 2u);
+}
+
+TEST(FaultWire, InjectedServerStallSurfacesAsClientTimeout) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  WireFixture wire;
+  svc::ClientOptions copts;
+  copts.max_attempts = 1;
+  copts.request_timeout_s = 0.25;
+  svc::Client client(wire.socket_path, copts);
+
+  FailPointScope scope("server_read=hang:2000");
+  Timer timer;
+  try {
+    client.stats();
+    FAIL() << "stalled server must time the request out";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+  // The deadline, not the stall, bounds the wait: the client must give up
+  // after ~0.25s rather than sit out the 2s server-side hang. (The client
+  // never resends a timed-out request -- it may still be executing.)
+  EXPECT_LT(timer.seconds(), 1.5);
+}
+
+TEST(FaultWire, ClientSendFaultIsRetriedTransparently) {
+  if (!FailPoints::compiled_in()) GTEST_SKIP() << "fail points compiled out";
+  WireFixture wire;
+  svc::ClientOptions copts;
+  copts.max_attempts = 3;
+  copts.backoff_initial_s = 0.01;
+  svc::Client client(wire.socket_path, copts);
+
+  FailPointScope scope("client_send=error*1");
+  EXPECT_GE(client.stats().get("jobs")->get("workers")->as_int(), 1);
+  EXPECT_EQ(FailPoints::instance().triggers("client_send"), 1u);
+}
+
+}  // namespace
+}  // namespace svtox

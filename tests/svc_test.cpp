@@ -5,11 +5,15 @@
 // round trip over a Unix-domain socket.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <random>
 #include <thread>
 #include <vector>
@@ -243,6 +247,31 @@ TEST(SvcJobQueue, CloseDrainsThenSignalsExit) {
   EXPECT_EQ(queue.pop(), 1u);
   EXPECT_EQ(queue.pop(), 2u);
   EXPECT_EQ(queue.pop(), std::nullopt);  // closed + empty = worker exit
+}
+
+TEST(SvcJobQueue, BlockedPushUnblocksOnCloseReturningFalse) {
+  svc::JobQueue queue(1);
+  ASSERT_TRUE(queue.push(1, 0));
+
+  std::atomic<int> outcome{-1};
+  std::thread producer([&] { outcome.store(queue.push(2, 0) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(outcome.load(), -1);  // parked on the full queue
+
+  queue.close();  // must wake the producer, not strand it
+  producer.join();
+  EXPECT_EQ(outcome.load(), 0);  // rejected, not silently enqueued
+  EXPECT_EQ(queue.pop(), 1u);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // job 2 never made it in
+}
+
+TEST(SvcJobQueue, RemoveAfterPopReturnsFalse) {
+  // A cancel that races with a worker's pop must not pretend it dequeued
+  // the job; the caller falls through to cooperative cancellation.
+  svc::JobQueue queue(4);
+  ASSERT_TRUE(queue.push(7, 0));
+  EXPECT_EQ(queue.pop(), 7u);
+  EXPECT_FALSE(queue.remove(7));
 }
 
 TEST(SvcJobQueue, BoundedPushBlocksUntilPop) {
@@ -484,6 +513,25 @@ TEST(SvcScheduler, CancelRunningJobReturnsBestSoFar) {
   EXPECT_EQ(scheduler.stats().cache.entries, 0u);
 }
 
+TEST(SvcScheduler, DoubleCancelCompletesExactlyOnce) {
+  svc::Scheduler::Options options;
+  options.workers = 1;
+  svc::Scheduler scheduler(options);
+
+  const svc::JobId id = scheduler.submit(slow_heu2_job());
+  wait_for_running(scheduler, id);
+  EXPECT_TRUE(scheduler.cancel(id));
+  scheduler.cancel(id);  // second request while still winding down: harmless
+
+  const svc::JobResult result = scheduler.wait(id);
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_FALSE(scheduler.cancel(id));  // terminal now
+
+  const svc::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u) << "job finished more than once";
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
 TEST(SvcScheduler, DeadlineInterruptsRunningJob) {
   svc::Scheduler::Options options;
   options.workers = 1;
@@ -639,6 +687,141 @@ TEST(SvcServer, EndToEndOverUnixSocket) {
   scheduler.shutdown(/*drain=*/true);
   server.stop();
   EXPECT_FALSE(svc::Client::ping(socket_path));
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial wire input: the server must reply with errors (or close the
+// connection), never crash, hang, or stop serving other clients.
+// ---------------------------------------------------------------------------
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one reply line; empty string = peer closed the connection.
+std::string recv_line(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return line;
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+struct RawServer {
+  std::string socket_path;
+  svc::Scheduler scheduler;
+  svc::Server server;
+
+  RawServer()
+      : socket_path("/tmp/svc_raw_" + std::to_string(::getpid()) + ".sock"),
+        scheduler(one_worker()),
+        server(scheduler, socket_path) {
+    server.start();
+  }
+  ~RawServer() {
+    scheduler.shutdown(/*drain=*/false, /*interrupt_running=*/true);
+    server.stop();
+  }
+  static svc::Scheduler::Options one_worker() {
+    svc::Scheduler::Options options;
+    options.workers = 1;
+    return options;
+  }
+};
+
+TEST(SvcServerRobustness, OversizedLineGetsErrorThenClose) {
+  RawServer rig;
+  const int fd = raw_connect(rig.socket_path);
+  send_all(fd, std::string((1u << 20) + 2, 'a'));  // > 1 MiB, no newline
+  const std::string reply = recv_line(fd);
+  EXPECT_NE(reply.find("exceeds 1 MiB"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_TRUE(recv_line(fd).empty()) << "connection should be closed";
+  ::close(fd);
+}
+
+TEST(SvcServerRobustness, MalformedLinesGetErrorRepliesAndConnectionSurvives) {
+  RawServer rig;
+  const int fd = raw_connect(rig.socket_path);
+
+  const std::string deep_nest =
+      std::string(100, '[') + "1" + std::string(100, ']');
+  const std::vector<std::string> attacks = {
+      "not json at all",
+      "{\"cmd\":\"submit\"",                 // truncated object
+      std::string("\x01\xff\xfe{", 4),       // control bytes / invalid UTF-8
+      deep_nest,                              // past the 64-level depth guard
+      "{\"cmd\":\"submit\",\"circuit\":\"c432\",\"penalty\":200}",  // contract
+  };
+  for (const std::string& attack : attacks) {
+    send_all(fd, attack + "\n");
+    const std::string reply = recv_line(fd);
+    ASSERT_FALSE(reply.empty()) << "server closed on: " << attack;
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("error"), std::string::npos) << reply;
+  }
+
+  // The same connection still serves well-formed requests afterwards.
+  send_all(fd, "{\"cmd\":\"stats\"}\n");
+  const std::string stats = recv_line(fd);
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos) << stats;
+  ::close(fd);
+}
+
+TEST(SvcServerRobustness, TruncatedFrameThenDisconnectLeavesServerServing) {
+  RawServer rig;
+  const int half = raw_connect(rig.socket_path);
+  send_all(half, "{\"cmd\":\"stats\"");  // no newline: incomplete frame
+  ::close(half);                          // drop mid-frame
+
+  const int fd = raw_connect(rig.socket_path);
+  send_all(fd, "{\"cmd\":\"stats\"}\n");
+  EXPECT_NE(recv_line(fd).find("\"ok\":true"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(SvcServerRobustness, ClientDisconnectBeforeReplyDoesNotKillServer) {
+  // Regression for SIGPIPE: the handler's reply lands on a closed socket.
+  // Without MSG_NOSIGNAL the write would raise SIGPIPE and kill the whole
+  // process (this test binary included).
+  RawServer rig;
+  svc::Client client(rig.socket_path);
+  const std::uint64_t id = client.submit(slow_heu2_job());
+
+  const int fd = raw_connect(rig.socket_path);
+  send_all(fd, "{\"cmd\":\"result\",\"job\":" + std::to_string(id) + "}\n");
+  // The handler is now parked in wait(id). Vanish before it can reply.
+  ::close(fd);
+
+  EXPECT_TRUE(client.cancel(id));  // unblocks the handler; reply hits EPIPE
+  for (int i = 0; i < 200 && client.status(id) == "running"; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Server still alive and serving.
+  const Json stats = client.stats();
+  EXPECT_GE(stats.get("jobs")->get("submitted")->as_int(), 1);
 }
 
 }  // namespace

@@ -5,7 +5,8 @@
 //   svtox optimize   (--bench file.bench | --circuit NAME)
 //                    [--penalty PCT] [--method heu1|heu2|state|vtstate|exact]
 //                    [--time-limit SEC] [--threads N] [--no-reorder]
-//                    [-o solution.txt]
+//                    [--max-leaves N] [--checkpoint FILE]
+//                    [--checkpoint-every SEC] [-o solution.txt]
 //   svtox sweep      (--bench file.bench | --circuit NAME)
 //                    [--penalties 0,2,5,10,25] [--threads N]
 //                    [--cache-dir DIR] [-o curve.txt]
@@ -32,7 +33,9 @@
 // in src/svc/job.hpp.
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -88,7 +91,8 @@ const std::map<std::string, std::set<std::string>>& allowed_options() {
       {"characterize", {"output", "two-point", "uniform-stack", "vt-only", "nitrided"}},
       {"optimize",
        {"bench", "circuit", "penalty", "method", "time-limit", "threads",
-        "no-reorder", "output", "two-point", "uniform-stack", "vt-only", "nitrided"}},
+        "no-reorder", "max-leaves", "checkpoint", "checkpoint-every", "output",
+        "two-point", "uniform-stack", "vt-only", "nitrided"}},
       {"sweep",
        {"bench", "circuit", "penalties", "threads", "cache-dir", "output",
         "two-point", "uniform-stack", "vt-only", "nitrided"}},
@@ -235,6 +239,16 @@ int run_annealing(const Args& args, const netlist::Netlist& circuit,
   return 0;
 }
 
+/// First Ctrl-C asks the search to stop (it checkpoints and returns the
+/// best-so-far solution); the handler then re-arms SIG_DFL so a second
+/// Ctrl-C kills the process the usual way.
+std::atomic<bool> g_interrupt{false};
+
+void on_interrupt(int sig) {
+  g_interrupt.store(true);
+  std::signal(sig, SIG_DFL);
+}
+
 int cmd_optimize(const Args& args) {
   const liberty::Library library = build_library(args);
   const netlist::Netlist circuit = load_circuit(args, library);
@@ -245,6 +259,15 @@ int cmd_optimize(const Args& args) {
   config.time_limit_s = parse_double(args.get("time-limit", "5"));
   // 1 = serial, 0 = all hardware threads (state-tree root split).
   config.threads = static_cast<int>(parse_double(args.get("threads", "1")));
+  config.max_leaves =
+      static_cast<std::uint64_t>(parse_double(args.get("max-leaves", "0")));
+  if (args.has("checkpoint")) {
+    config.checkpoint_path = args.get("checkpoint");
+    config.checkpoint_every_s = parse_double(args.get("checkpoint-every", "5"));
+    config.cancel = &g_interrupt;
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+  }
   if (args.get("method") == "sa") return run_annealing(args, circuit, config);
   const core::Method method = method_from(args.get("method", "heu2"));
 
@@ -270,6 +293,10 @@ int cmd_optimize(const Args& args) {
               circuit.name().c_str(), core::to_string(method),
               result.leakage_ua, result.reduction_x, result.solution.delay_ps,
               report::format_seconds(result.runtime_s).c_str());
+  if (result.solution.interrupted && !config.checkpoint_path.empty()) {
+    std::printf("interrupted; progress saved to %s (rerun to resume)\n",
+                config.checkpoint_path.c_str());
+  }
 
   if (args.has("output")) {
     const std::string path = args.get("output");

@@ -2,6 +2,7 @@
 //
 //   svtoxd [--socket PATH] [--workers N] [--queue-capacity N]
 //          [--cache-capacity N] [--cache-dir DIR] [--contexts N]
+//          [--checkpoint-dir DIR] [--checkpoint-every SEC]
 //
 // Listens on a Unix-domain socket and speaks the newline-delimited JSON
 // protocol documented in src/svc/server.hpp (submit / status / result /
@@ -11,7 +12,11 @@
 // matching client.
 //
 // Exits on a `shutdown` request (draining the backlog unless
-// {"drain":false}) or on SIGINT/SIGTERM (drains).
+// {"drain":false}). SIGINT/SIGTERM interrupt running searches instead of
+// draining: with --checkpoint-dir each search saves its frontier first, so
+// resubmitting the same jobs to a restarted daemon resumes where they
+// stopped.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,13 +34,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: svtoxd [--socket PATH] [--workers N] [--queue-capacity N]\n"
-               "              [--cache-capacity N] [--cache-dir DIR] [--contexts N]\n");
+               "              [--cache-capacity N] [--cache-dir DIR] [--contexts N]\n"
+               "              [--checkpoint-dir DIR] [--checkpoint-every SEC]\n");
   return 2;
 }
 
 // Self-pipe: the only async-signal-safe way to get from a signal handler to
 // the server's (mutex-guarded) stop path.
 int g_signal_pipe[2] = {-1, -1};
+
+// Distinguishes a signal-driven exit (interrupt running searches so they
+// checkpoint) from a protocol shutdown (honor the request's drain flag).
+std::atomic<bool> g_signalled{false};
 
 void on_signal(int) {
   const char byte = 1;
@@ -68,6 +78,9 @@ int main(int argc, char** argv) {
     else if (key == "--cache-dir") options.cache_dir = value();
     else if (key == "--contexts")
       options.contexts_per_worker = static_cast<std::size_t>(std::atol(value().c_str()));
+    else if (key == "--checkpoint-dir") options.checkpoint_dir = value();
+    else if (key == "--checkpoint-every")
+      options.checkpoint_every_s = std::atof(value().c_str());
     else if (key == "--help" || key == "-h") return usage();
     else {
       std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
@@ -88,7 +101,10 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
     std::thread signal_watcher([&server] {
       char byte;
-      if (::read(g_signal_pipe[0], &byte, 1) > 0) server.stop();
+      if (::read(g_signal_pipe[0], &byte, 1) > 0) {
+        g_signalled.store(true);
+        server.stop();
+      }
     });
 
     server.start();
@@ -99,11 +115,19 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     const bool drain = server.wait_for_shutdown();
-    std::printf("svtoxd: shutting down (%s)\n", drain ? "draining" : "immediate");
+    const bool signalled = g_signalled.load();
+    std::printf("svtoxd: shutting down (%s)\n",
+                signalled ? "interrupting running jobs" : drain ? "draining" : "immediate");
     std::fflush(stdout);
     // Order matters: finishing the scheduler releases handler threads blocked
-    // in result-waits, which server.stop() then joins.
-    scheduler.shutdown(drain);
+    // in result-waits, which server.stop() then joins. A signal-driven exit
+    // cancels running searches so they checkpoint instead of running out
+    // their budgets.
+    if (signalled) {
+      scheduler.shutdown(/*drain=*/false, /*interrupt_running=*/true);
+    } else {
+      scheduler.shutdown(drain);
+    }
     server.stop();
 
     on_signal(0);  // unblock the watcher if no signal ever arrived
