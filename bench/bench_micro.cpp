@@ -4,6 +4,9 @@
 // the ternary bound).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench/common.hpp"
 #include "liberty/library.hpp"
 #include "model/tech.hpp"
 #include "netlist/benchmarks.hpp"
@@ -13,9 +16,11 @@
 #include "opt/state_search.hpp"
 #include "sim/incremental.hpp"
 #include "sim/leakage_eval.hpp"
+#include "sim/packed.hpp"
 #include "sim/sim.hpp"
 #include "sta/sta.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -63,6 +68,44 @@ void BM_MonteCarlo1k(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_MonteCarlo1k);
+
+// ---------------------------------------------------------------------------
+// Packed (64-wide bit-plane) simulation kernels (BENCH_sim_kernels.json is
+// the curated artifact; these are the raw google-benchmark counterparts).
+// Scalar and packed Monte-Carlo return bit-identical results, so the pair
+// is a pure same-work speed comparison.
+
+void BM_PackedBoolSim64(benchmark::State& state) {
+  Rng rng(1);
+  sim::PackedBoolSim packed(circuit());
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(circuit().num_inputs()));
+  for (auto& w : words) w = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed.run(words));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PackedBoolSim64);
+
+void BM_MonteCarloScalar1k(benchmark::State& state) {
+  const sim::CircuitConfig config = sim::fastest_config(circuit());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::monte_carlo_leakage(circuit(), config, 1024, 3,
+                                                      sim::SimBackend::kScalar));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MonteCarloScalar1k);
+
+void BM_MonteCarloPacked1k(benchmark::State& state) {
+  const sim::CircuitConfig config = sim::fastest_config(circuit());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::monte_carlo_leakage(circuit(), config, 1024, 3,
+                                                      sim::SimBackend::kPacked));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MonteCarloPacked1k);
 
 void BM_NldmLookup(benchmark::State& state) {
   const auto& cell = lib().cell("NAND2");
@@ -325,4 +368,23 @@ BENCHMARK(BM_LibraryBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records this binary's own build
+// type and the dispatched SIMD implementation in the JSON context (the
+// stock `library_build_type` field describes the system benchmark library,
+// not us -- that ambiguity put a debug capture in BENCH_leaf_eval.json
+// once), and refuses to write a --benchmark_out artifact from a
+// non-Release build (bench::check_artifact_build_type).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      svtox::bench::check_artifact_build_type(argv[i] + 16);
+    }
+  }
+  benchmark::AddCustomContext("svtox_build_type", svtox::bench::build_type());
+  benchmark::AddCustomContext("simd_dispatch", svtox::simd::dispatch_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

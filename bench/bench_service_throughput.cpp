@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
   bench::print_header("service throughput -- scheduler + solution cache",
                       "engineering artifact (no paper table)");
 
+  // Always writes its artifact -> provenance guard up front.
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  bench::check_artifact_build_type(out_path);
+
   const std::vector<svc::JobSpec> manifest = build_manifest();
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::vector<int> worker_counts =
@@ -152,7 +156,8 @@ int main(int argc, char** argv) {
   doc.set("runs", svc::Json(std::move(runs)));
   doc.set("warm_over_cold_x", ratios);
 
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  doc.set("svtox_build_type", bench::build_type());
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/optimizer.hpp"
@@ -34,6 +35,45 @@ inline int env_int(const char* name, int fallback) {
 
 inline double time_limit_s() { return env_double("SVTOX_TIME_LIMIT", 1.0); }
 inline int mc_vectors() { return env_int("SVTOX_VECTORS", 10000); }
+
+/// The CMake build type this binary was compiled under (lowercased;
+/// sanitizers appended as "+<name>san"). Injected per-target by
+/// bench/CMakeLists.txt, so it reflects the bench's own flags -- unlike
+/// google-benchmark's `library_build_type` context field, which describes
+/// the system benchmark library.
+inline const char* build_type() {
+#ifdef SVTOX_BUILD_TYPE
+  return SVTOX_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+inline bool is_release_build() {
+  return std::string_view(build_type()) == "release";
+}
+
+/// Provenance guard for benchmark artifacts. Non-Release timings are not
+/// comparable to Release ones, and a BENCH_*.json carrying them silently
+/// poisons every later diff against it. Policy: always warn on a
+/// non-Release run; refuse (exit 3) to write an artifact unless
+/// SVTOX_ALLOW_DEBUG_BENCH=1 is set, in which case callers must tag the
+/// artifact with build_type() so the capture stays self-describing.
+inline void check_artifact_build_type(const char* artifact_path) {
+  if (is_release_build()) return;
+  std::fprintf(stderr,
+               "bench: WARNING: built as '%s', not 'release' -- timings are "
+               "not comparable to Release captures\n",
+               build_type());
+  if (std::getenv("SVTOX_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "bench: refusing to write %s from a non-Release build "
+                 "(set SVTOX_ALLOW_DEBUG_BENCH=1 to override; the artifact "
+                 "is tagged with its build type either way)\n",
+                 artifact_path);
+    std::exit(3);
+  }
+}
 
 /// The circuits to run: the full paper suite, or the SVTOX_CIRCUITS subset.
 inline std::vector<std::string> circuit_names() {

@@ -1,0 +1,163 @@
+#include "cellkit/plane_compile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::cellkit {
+
+namespace {
+
+/// Emits the postfix ops of `node` and returns the subexpression's peak
+/// stack depth (relative to an empty stack).
+int emit(const SpNode& node, std::vector<PlaneOp>& ops) {
+  if (node.is_device()) {
+    ops.push_back({PlaneOp::Kind::kLoad, node.pin});
+    return 1;
+  }
+  const PlaneOp::Kind fold = node.kind == SpNode::Kind::kSeries
+                                 ? PlaneOp::Kind::kAnd
+                                 : PlaneOp::Kind::kOr;
+  int peak = 0;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    // Child i evaluates on top of the i-th..1st children already folded
+    // into one stack slot (children after the first fold immediately).
+    const int held = i == 0 ? 0 : 1;
+    peak = std::max(peak, held + emit(node.children[i], ops));
+    if (i > 0) ops.push_back({fold, -1});
+  }
+  return peak;
+}
+
+/// Runs the program over one Boolean word per pin; returns the output word
+/// (final complement applied).
+std::uint64_t eval_bool(const PlaneProgram& program, const std::uint64_t* pin_words,
+                        std::vector<std::uint64_t>& stack) {
+  stack.clear();
+  for (const PlaneOp& op : program.ops) {
+    switch (op.kind) {
+      case PlaneOp::Kind::kLoad:
+        stack.push_back(pin_words[op.pin]);
+        break;
+      case PlaneOp::Kind::kAnd: {
+        const std::uint64_t top = stack.back();
+        stack.pop_back();
+        stack.back() &= top;
+        break;
+      }
+      case PlaneOp::Kind::kOr: {
+        const std::uint64_t top = stack.back();
+        stack.pop_back();
+        stack.back() |= top;
+        break;
+      }
+    }
+  }
+  return ~stack.back();
+}
+
+/// Runs the program with Kleene connectives over one TriWord per pin.
+TriWord eval_ternary(const PlaneProgram& program, const TriWord* pin_planes,
+                     std::vector<TriWord>& stack) {
+  stack.clear();
+  for (const PlaneOp& op : program.ops) {
+    switch (op.kind) {
+      case PlaneOp::Kind::kLoad:
+        stack.push_back(pin_planes[op.pin]);
+        break;
+      case PlaneOp::Kind::kAnd: {
+        const TriWord top = stack.back();
+        stack.pop_back();
+        stack.back() = tri_and(stack.back(), top);
+        break;
+      }
+      case PlaneOp::Kind::kOr: {
+        const TriWord top = stack.back();
+        stack.pop_back();
+        stack.back() = tri_or(stack.back(), top);
+        break;
+      }
+    }
+  }
+  return tri_not(stack.back());
+}
+
+/// All 2^k full states evaluated in one pass: pin p's word carries bit s =
+/// pin value in state s (the classic truth-table constants).
+void verify_boolean(const CellTopology& topo, const PlaneProgram& program) {
+  const int k = topo.num_inputs();
+  std::uint64_t pin_words[8] = {};
+  for (int p = 0; p < k; ++p) {
+    for (std::uint32_t s = 0; s < topo.num_states(); ++s) {
+      if ((s >> p) & 1u) pin_words[p] |= 1ULL << s;
+    }
+  }
+  std::vector<std::uint64_t> stack;
+  const std::uint64_t out = eval_bool(program, pin_words, stack);
+  for (std::uint32_t s = 0; s < topo.num_states(); ++s) {
+    if (((out >> s) & 1ULL) != (topo.output(s) ? 1ULL : 0ULL)) {
+      throw ContractError("compile_plane_program: '" + topo.name() +
+                          "' plane program disagrees with the truth table");
+    }
+  }
+}
+
+/// Checks Kleene evaluation against sim-style exhaustive-completion
+/// semantics on every ternary local state (3^k of them).
+bool verify_ternary_exact(const CellTopology& topo, const PlaneProgram& program) {
+  const int k = topo.num_inputs();
+  std::uint32_t combos = 1;
+  for (int p = 0; p < k; ++p) combos *= 3;
+
+  std::vector<TriWord> stack;
+  for (std::uint32_t combo = 0; combo < combos; ++combo) {
+    TriWord pin_planes[8] = {};
+    std::uint32_t ones = 0;
+    std::uint32_t xmask = 0;
+    std::uint32_t digits = combo;
+    for (int p = 0; p < k; ++p) {
+      const std::uint32_t d = digits % 3;  // 0, 1, or X per pin
+      digits /= 3;
+      if (d == 1) {
+        pin_planes[p].ones = ~0ULL;
+        ones |= 1u << p;
+      } else if (d == 2) {
+        pin_planes[p].xs = ~0ULL;
+        xmask |= 1u << p;
+      }
+    }
+    const TriWord out = eval_ternary(program, pin_planes, stack);
+
+    // Exhaustive reference: known iff all compatible completions agree.
+    bool saw_zero = false;
+    bool saw_one = false;
+    std::uint32_t sub = xmask;
+    for (;;) {
+      (topo.output(ones | sub) ? saw_one : saw_zero) = true;
+      if (sub == 0) break;
+      sub = (sub - 1) & xmask;
+    }
+    const bool want_x = saw_zero && saw_one;
+    const bool want_one = !want_x && saw_one;
+    const bool got_x = (out.xs & 1ULL) != 0;
+    const bool got_one = (out.ones & 1ULL) != 0;
+    if (got_x != want_x || got_one != want_one) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlaneProgram compile_plane_program(const CellTopology& topo) {
+  if (topo.num_inputs() > 6) {
+    throw ContractError("compile_plane_program: > 6 inputs unsupported");
+  }
+  PlaneProgram program;
+  program.num_inputs = topo.num_inputs();
+  program.max_stack = emit(topo.pull_down(), program.ops);
+  verify_boolean(topo, program);
+  program.exact_ternary = verify_ternary_exact(topo, program);
+  return program;
+}
+
+}  // namespace svtox::cellkit

@@ -1,0 +1,85 @@
+// Topology -> bit-plane program compilation.
+//
+// A static CMOS cell's output is the complement of its pull-down
+// conduction, and the pull-down network is a series/parallel expression
+// over the input pins (series = AND of conduction, parallel = OR). That
+// expression compiles directly into a short postfix program of word-wide
+// plane operations: LOAD a pin's 64-lane word, AND/OR the top of an
+// evaluation stack, and complement the final result. Evaluating the
+// program once processes 64 input vectors -- this is what lets
+// sim::PackedBoolSim evaluate a NAND2 in three word ops instead of the
+// sum-of-minterms loop's eight.
+//
+// The same program evaluates 64-lane *ternary* values when each operand is
+// a (ones, xs) plane pair combined with Kleene AND/OR/NOT. Kleene
+// evaluation of an expression is exact (equal to checking every compatible
+// completion, sim::ternary_output) whenever no input appears in more than
+// one device leaf -- true for all the standard cells -- and pessimistic
+// otherwise. compile_plane_program() verifies both behaviours against the
+// cell's truth table at compile time: a Boolean mismatch is a contract
+// violation (the networks would not be complementary), while a ternary
+// mismatch just clears `exact_ternary`, making sim::PackedTernarySim fall
+// back to its exact minterm kernel for that cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellkit/topology.hpp"
+
+namespace svtox::cellkit {
+
+/// One word-wide operation of a compiled plane program.
+struct PlaneOp {
+  enum class Kind : std::uint8_t {
+    kLoad,  ///< Push pin `pin`'s plane(s) onto the evaluation stack.
+    kAnd,   ///< Pop two operands, push their (Kleene) conjunction.
+    kOr,    ///< Pop two operands, push their (Kleene) disjunction.
+  };
+  Kind kind = Kind::kLoad;
+  int pin = -1;  ///< Valid for kLoad only.
+};
+
+/// A compiled cell kernel: postfix ops over the pull-down expression; the
+/// evaluator complements the single remaining stack entry to produce the
+/// output plane(s).
+struct PlaneProgram {
+  std::vector<PlaneOp> ops;
+  int num_inputs = 0;
+  int max_stack = 0;        ///< Deepest evaluation-stack use.
+  bool exact_ternary = false;  ///< Kleene evaluation == sim::ternary_output.
+};
+
+/// Compiles (and truth-table-verifies) the plane program of a cell.
+/// Throws ContractError if the program disagrees with topo.output() on any
+/// state -- impossible for a complementary gate, so a throw means the
+/// topology itself is inconsistent.
+PlaneProgram compile_plane_program(const CellTopology& topo);
+
+/// 64 ternary lanes as disjoint bit planes: bit L of `ones` set when lane L
+/// carries 1, bit L of `xs` when it is unknown; both clear means 0. The
+/// word-wide generalization of sim::TriMask's pin encoding.
+struct TriWord {
+  std::uint64_t ones = 0;
+  std::uint64_t xs = 0;
+};
+
+/// Kleene strong-logic connectives on 64 lanes at once. Each preserves the
+/// planes' disjointness invariant.
+inline TriWord tri_and(TriWord a, TriWord b) {
+  // 0 if either side is 0; 1 iff both are 1; X otherwise.
+  const std::uint64_t ones = a.ones & b.ones;
+  return {ones, ~ones & (a.ones | a.xs) & (b.ones | b.xs)};
+}
+
+inline TriWord tri_or(TriWord a, TriWord b) {
+  // 1 if either side is 1; 0 iff both are 0; X otherwise.
+  const std::uint64_t ones = a.ones | b.ones;
+  return {ones, ~ones & (a.xs | b.xs)};
+}
+
+inline TriWord tri_not(TriWord a) {
+  return {~(a.ones | a.xs), a.xs};
+}
+
+}  // namespace svtox::cellkit

@@ -1,6 +1,7 @@
 #include "liberty/nldm.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -88,6 +89,11 @@ NldmLoadSlice::NldmLoadSlice(const NldmTable& table, double load_ff)
       const double v1 = table.at(i, l.lo + 1);
       values_[i] = v0 + (v1 - v0) * l.t;
     }
+  }
+  // Pad the axis for lookup()'s SIMD segment search; +inf keeps it
+  // ascending, and locate_hi never selects a padded knot (hi <= size - 1).
+  if (slew_axis_.size() > 1 && slew_axis_.size() <= simd::kAxisPad) {
+    slew_axis_.resize(simd::kAxisPad, std::numeric_limits<double>::infinity());
   }
 }
 

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace svtox::liberty {
 
 /// A 2-D characterization table over input slew [ps] x output load [fF].
@@ -67,10 +69,14 @@ class NldmLoadSlice {
   double lookup(double slew_ps) const {
     const std::size_t size = values_.size();
     if (size == 1) return values_[0];
-    // Same segment search and lerp as NldmTable::lookup's slew axis.
+    // Same segment search and lerp as NldmTable::lookup's slew axis. The
+    // axis is stored padded to simd::kAxisPad knots with +inf (when it
+    // fits), turning the scalar scan into one branch-free SIMD compare;
+    // simd::locate_hi is bit-identical to the scalar loop either way.
     const double* axis = slew_axis_.data();
-    std::size_t hi = 1;
-    while (hi + 1 < size && axis[hi] < slew_ps) ++hi;
+    const std::size_t hi = slew_axis_.size() == simd::kAxisPad
+                               ? simd::locate_hi(axis, size, slew_ps)
+                               : simd::locate_hi_portable(axis, size, slew_ps);
     const std::size_t lo = hi - 1;
     const double t = (slew_ps - axis[lo]) / (axis[hi] - axis[lo]);
     const double v0 = values_[lo];
@@ -81,6 +87,8 @@ class NldmLoadSlice {
   bool empty() const { return values_.empty(); }
 
  private:
+  /// The slew axis, padded to simd::kAxisPad entries with +inf when the
+  /// real knot count fits (values_.size() keeps the real count).
   std::vector<double> slew_axis_;
   std::vector<double> values_;  ///< Load-reduced value per slew knot.
 };

@@ -1,0 +1,97 @@
+#include "opt/packed_bound.hpp"
+
+#include <algorithm>
+
+#include "util/simd.hpp"
+
+namespace svtox::opt {
+
+PackedBoundKernel::PackedBoundKernel(const AssignmentProblem& problem, BoundKind kind)
+    : problem_(&problem), sim_(problem.netlist()) {
+  const netlist::Netlist& netlist = problem.netlist();
+  by_cell_.resize(netlist.library().cells().size());
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const auto cell = static_cast<std::size_t>(netlist.gate(g).cell_index);
+    if (!by_cell_[cell].empty()) continue;  // term tables are per cell
+    const std::uint32_t num_states = netlist.cell_of(g).topology().num_states();
+    by_cell_[cell].reserve(num_states);
+    for (std::uint32_t s = 0; s < num_states; ++s) {
+      const double leak = kind == BoundKind::kMinVariant
+                              ? problem.min_gate_leak_na(g, s)
+                              : problem.fastest_gate_leak_na(g, s);
+      by_cell_[cell].push_back({leak, s});
+    }
+    // Ascending by leak; ties keep state order but cannot change the min.
+    std::stable_sort(by_cell_[cell].begin(), by_cell_[cell].end(),
+                     [](const StateLeak& a, const StateLeak& b) { return a.leak < b.leak; });
+  }
+}
+
+void PackedBoundKernel::evaluate(const std::vector<cellkit::TriWord>& input_planes,
+                                 std::uint64_t lane_mask, double* bounds) {
+  const netlist::Netlist& netlist = problem_->netlist();
+  sim_.run(input_planes);
+  const std::vector<cellkit::TriWord>& planes = sim_.planes();
+  std::fill(bounds, bounds + 64, 0.0);
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const netlist::Gate& gate = netlist.gate(g);
+    const int k = static_cast<int>(gate.fanins.size());
+    // A full state s is compatible with a lane iff every pin whose bit is
+    // set can carry 1 (value 1 or X) and every cleared pin can carry 0.
+    std::uint64_t can_hi[8];
+    std::uint64_t can_lo[8];
+    for (int p = 0; p < k; ++p) {
+      const cellkit::TriWord pin = planes[static_cast<std::size_t>(gate.fanins[p])];
+      can_hi[p] = pin.ones | pin.xs;
+      can_lo[p] = ~pin.ones;
+    }
+    std::uint64_t unresolved = lane_mask;
+    for (const StateLeak& sl :
+         by_cell_[static_cast<std::size_t>(gate.cell_index)]) {
+      std::uint64_t compatible = unresolved;
+      for (int p = 0; p < k && compatible != 0; ++p) {
+        compatible &= ((sl.state >> p) & 1u) ? can_hi[p] : can_lo[p];
+      }
+      if (compatible == 0) continue;
+      // First compatible state in ascending-leak order = the lane's
+      // per-gate minimum; one add per lane per gate, in gate order.
+      simd::scatter_add(bounds, compatible, sl.leak);
+      unresolved &= ~compatible;
+      if (unresolved == 0) break;
+    }
+  }
+}
+
+std::vector<double> packed_prefix_bounds(const AssignmentProblem& problem,
+                                         BoundKind kind, int split_levels,
+                                         std::uint32_t num_subtrees) {
+  const netlist::Netlist& netlist = problem.netlist();
+  PackedBoundKernel kernel(problem, kind);
+  std::vector<double> result(num_subtrees, 0.0);
+
+  const auto num_cps = static_cast<std::size_t>(netlist.num_control_points());
+  std::vector<cellkit::TriWord> planes(num_cps);
+  double bounds[64];
+  for (std::uint32_t first = 0; first < num_subtrees; first += 64) {
+    const int lanes = static_cast<int>(
+        std::min<std::uint32_t>(64, num_subtrees - first));
+    // Unassigned control points are X in every lane.
+    for (cellkit::TriWord& plane : planes) plane = {0, ~0ULL};
+    for (int level = 0; level < split_levels; ++level) {
+      const auto cp = static_cast<std::size_t>(problem.input_order()[level]);
+      cellkit::TriWord plane{0, 0};
+      for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint32_t subtree = first + static_cast<std::uint32_t>(lane);
+        if ((subtree >> level) & 1u) plane.ones |= 1ULL << lane;
+      }
+      planes[cp] = plane;
+    }
+    kernel.evaluate(planes, sim::tail_mask(lanes), bounds);
+    for (int lane = 0; lane < lanes; ++lane) {
+      result[first + static_cast<std::uint32_t>(lane)] = bounds[lane];
+    }
+  }
+  return result;
+}
+
+}  // namespace svtox::opt

@@ -1,0 +1,62 @@
+// Word-parallel leakage lower bounds for partial input assignments.
+//
+// The state-tree search bounds a partial assignment by ternary simulation
+// plus a per-gate minimum over the compatible local states
+// (leakage_lower_bound_na). PackedBoundKernel evaluates 64 partial
+// assignments per pass: one packed ternary simulation, then per gate a walk
+// over that cell's states in ascending-leakage order -- the first state
+// compatible with a lane IS that lane's per-gate minimum, so a scatter-add
+// into the lane's total resolves it. Each lane receives exactly one
+// addition per gate, in gate-index order: the identical FP sequence as the
+// scalar reference, hence bit-identical bounds.
+//
+// The parallel root split uses this to prescreen its fixed-prefix subtrees
+// (packed_prefix_bounds): subtrees whose prefix bound cannot beat the
+// incumbent are skipped before paying the per-subtree incremental-engine
+// descent. The prescreen only ever *skips* work the engine bound would
+// also have pruned (both bounds are the same value; the incumbent only
+// improves between the two checks), so search results are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/bound_engine.hpp"
+#include "opt/problem.hpp"
+#include "sim/packed.hpp"
+
+namespace svtox::opt {
+
+/// Evaluates leakage lower bounds for up to 64 partial assignments at once.
+class PackedBoundKernel {
+ public:
+  PackedBoundKernel(const AssignmentProblem& problem, BoundKind kind);
+
+  /// `input_planes[i]` packs the ternary value of control point i across
+  /// the lanes. Writes each active lane's bound -- bit-identical to
+  /// leakage_lower_bound_na on that lane's assignment -- into
+  /// `bounds[lane]`; all 64 entries are written (inactive lanes read 0).
+  void evaluate(const std::vector<cellkit::TriWord>& input_planes,
+                std::uint64_t lane_mask, double* bounds);
+
+ private:
+  const AssignmentProblem* problem_;
+  sim::PackedTernarySim sim_;
+  struct StateLeak {
+    double leak = 0.0;
+    std::uint32_t state = 0;
+  };
+  /// Per library cell: all local states ascending by the per-gate bound
+  /// term (min-variant or fastest-variant leakage, per BoundKind).
+  std::vector<std::vector<StateLeak>> by_cell_;
+};
+
+/// Bound of every fixed prefix of the root split: subtree `s` assigns
+/// input_order()[level] to bit `level` of `s` for the first `split_levels`
+/// levels and leaves the rest unknown. 64 subtrees per packed pass;
+/// entry s is bit-identical to leakage_lower_bound_na of that prefix.
+std::vector<double> packed_prefix_bounds(const AssignmentProblem& problem,
+                                         BoundKind kind, int split_levels,
+                                         std::uint32_t num_subtrees);
+
+}  // namespace svtox::opt

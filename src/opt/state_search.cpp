@@ -10,7 +10,10 @@
 
 #include "opt/checkpoint.hpp"
 #include "opt/leaf_evaluator.hpp"
+#include "opt/packed_bound.hpp"
+#include "sim/packed.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/threads.hpp"
@@ -330,13 +333,29 @@ void parallel_split(SearchContext& ctx, int threads) {
       std::min({n, ceil_log2(static_cast<std::uint32_t>(threads)) + 2, 16});
   const std::uint32_t num_subtrees = 1u << split_levels;
 
+  // Packed prescreen: bound every fixed prefix up front, 64 subtrees per
+  // ternary pass. A worker skips a prescreened subtree without paying the
+  // per-level incremental-engine descent. Safe: the prescreen bound equals
+  // the engine bound bit-for-bit, and the incumbent it is compared against
+  // can only have been larger at prescreen-check time than at the engine
+  // check -- so everything skipped here would have been pruned anyway.
+  std::vector<double> prefix_bounds;
+  if (ctx.options.sim_backend == sim::SimBackend::kPacked) {
+    prefix_bounds =
+        packed_prefix_bounds(ctx.problem, ctx.bound_kind, split_levels, num_subtrees);
+  }
+
   std::atomic<std::uint32_t> next{0};
-  auto drain = [&ctx, &next, split_levels, num_subtrees] {
+  auto drain = [&ctx, &next, &prefix_bounds, split_levels, num_subtrees] {
     DfsWorker worker(ctx);
     for (;;) {
       const std::uint32_t subtree = next.fetch_add(1, std::memory_order_relaxed);
       if (subtree >= num_subtrees) return;
       if (ctx.out_of_budget()) return;
+      if (!prefix_bounds.empty() &&
+          prefix_bounds[subtree] >= ctx.incumbent.leakage() - 1e-12) {
+        continue;
+      }
       double bound = 0.0;
       for (int level = 0; level < split_levels; ++level) {
         bound = worker.engine().set_input(
@@ -347,6 +366,94 @@ void parallel_split(SearchContext& ctx, int threads) {
         worker.dfs(static_cast<std::size_t>(split_levels));
       }
       for (int level = 0; level < split_levels; ++level) worker.engine().undo();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Word-parallel state-only probe sweep: 64 probes per PackedBoolSim pass,
+/// per-lane leakage totals accumulated gate-by-gate with scatter-adds (the
+/// exact FP sequence of evaluate_state_only's per-gate sum, so each lane's
+/// total is bit-identical to the scalar probe evaluation). Each batch
+/// offers only its best lane under the incumbent's total order (leakage,
+/// then lexicographic sleep vector) -- equivalent to offering every lane,
+/// since Incumbent::offer computes a global minimum under that same order.
+/// Batches are drained through an atomic index like the scalar sweep.
+void packed_probe_sweep(SearchContext& ctx, const std::vector<std::vector<bool>>& probes,
+                        int threads) {
+  const AssignmentProblem& problem = ctx.problem;
+  const netlist::Netlist& netlist = problem.netlist();
+  const int num_cps = netlist.num_control_points();
+  const int num_gates = netlist.num_gates();
+
+  // Per-cell fastest-variant leakage indexed by raw local state (the
+  // per-gate term of evaluate_state_only's sum).
+  std::vector<std::vector<double>> by_cell(netlist.library().cells().size());
+  for (int g = 0; g < num_gates; ++g) {
+    const auto cell = static_cast<std::size_t>(netlist.gate(g).cell_index);
+    if (!by_cell[cell].empty()) continue;
+    const std::uint32_t num_states = netlist.cell_of(g).topology().num_states();
+    by_cell[cell].reserve(num_states);
+    for (std::uint32_t s = 0; s < num_states; ++s) {
+      by_cell[cell].push_back(problem.fastest_gate_leak_na(g, s));
+    }
+  }
+  const sim::CircuitConfig config = sim::fastest_config(netlist);
+  const std::size_t num_batches = (probes.size() + 63) / 64;
+
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    if (ctx.deadline.expired() || ctx.cancelled()) return;
+    sim::PackedBoolSim packed(netlist);
+    std::vector<std::uint64_t> pi_words(static_cast<std::size_t>(num_cps));
+    alignas(32) double totals[64];
+    for (;;) {
+      const std::size_t batch = next.fetch_add(1, std::memory_order_relaxed);
+      if (batch >= num_batches || ctx.deadline.expired() || ctx.cancelled()) return;
+      const std::size_t base = batch * 64;
+      const int lanes = static_cast<int>(std::min<std::size_t>(64, probes.size() - base));
+      for (int i = 0; i < num_cps; ++i) {
+        std::uint64_t word = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+          if (probes[base + static_cast<std::size_t>(lane)][static_cast<std::size_t>(i)]) {
+            word |= 1ULL << lane;
+          }
+        }
+        pi_words[static_cast<std::size_t>(i)] = word;
+      }
+      const std::vector<std::uint64_t>& words = packed.run(pi_words);
+      std::fill(totals, totals + 64, 0.0);
+      const std::uint64_t mask = sim::tail_mask(lanes);
+      for (int g = 0; g < num_gates; ++g) {
+        const double* leak =
+            by_cell[static_cast<std::size_t>(netlist.gate(g).cell_index)].data();
+        sim::for_each_state_match(netlist, g, words, mask,
+                                  [&](std::uint32_t state, std::uint64_t match) {
+                                    simd::scatter_add(totals, match, leak[state]);
+                                  });
+      }
+      int best = 0;
+      for (int lane = 1; lane < lanes; ++lane) {
+        if (totals[lane] < totals[best] ||
+            (totals[lane] == totals[best] &&
+             probes[base + static_cast<std::size_t>(lane)] <
+                 probes[base + static_cast<std::size_t>(best)])) {
+          best = lane;
+        }
+      }
+      ctx.leaves.fetch_add(static_cast<std::uint64_t>(lanes), std::memory_order_relaxed);
+      Solution leaf;
+      leaf.sleep_vector = probes[base + static_cast<std::size_t>(best)];
+      leaf.config = config;
+      leaf.leakage_na = totals[best];
+      leaf.delay_ps = problem.budget().fast_delay_ps;
+      leaf.states_explored = 1;
+      ctx.incumbent.offer(std::move(leaf));
     }
   };
 
@@ -481,6 +588,13 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
         sink.leaves_mark = ctx.leaves.load(std::memory_order_relaxed);
         maybe_write_checkpoint(ctx, /*force=*/false);
       }
+    } else if (state_only && options.sim_backend == sim::SimBackend::kPacked) {
+      // State-only probes are pure simulations, so they batch 64-wide;
+      // greedy-mode probes run a full gate assignment each and stay scalar.
+      packed_probe_sweep(
+          ctx, probes,
+          resolve_thread_count(options.threads,
+                               static_cast<int>((probes.size() + 63) / 64)));
     } else {
       std::atomic<std::uint32_t> next{0};
       auto drain = [&ctx, &probes, &next, state_only] {

@@ -40,6 +40,7 @@
 #include "opt/gate_assign.hpp"
 #include "opt/problem.hpp"
 #include "opt/solution.hpp"
+#include "sim/packed.hpp"
 #include "sim/sim.hpp"
 
 namespace svtox::opt {
@@ -78,6 +79,14 @@ struct SearchOptions {
   /// probes without code edits; the default preserves the historical
   /// stream).
   std::uint64_t probe_seed = 0x5eedbeefcafe0001ULL;
+  /// Simulation backend for the word-parallel fast paths: the state-only
+  /// probe sweep (64 probes per packed pass) and the root split's
+  /// prefix-bound prescreen. Results are bit-identical either way -- the
+  /// packed kernels reproduce the scalar FP sequences exactly -- so this
+  /// is a performance/cross-check knob, not a semantics knob. The
+  /// checkpointing sweep and greedy-mode probes always run scalar (their
+  /// per-probe work is a full gate-assignment, not a simulation).
+  sim::SimBackend sim_backend = sim::default_backend();
   /// Worker threads for the continued search's root split and the probe
   /// sweep. 1 = serial, 0 = all hardware threads. The root split is
   /// ignored (serial) when max_leaves != 0, since a shared leaf budget

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
-#include "sim/sim.hpp"
+#include "sim/packed.hpp"
 #include "sta/sta.hpp"
-#include "util/rng.hpp"
 
 namespace svtox::opt {
 
@@ -13,35 +12,23 @@ namespace {
 
 constexpr double kDelaySlackEps = 1e-6;
 
-/// Per-gate local-state probability estimates from bit-parallel random
-/// simulation.
+/// Per-gate local-state probability estimates from random simulation. The
+/// histogram kernel counts 64 vectors per pass (popcounts of packed state
+/// matches); the integer counts are exact, so the probabilities are
+/// backend-independent.
 std::vector<std::vector<double>> estimate_state_probabilities(
-    const netlist::Netlist& netlist, int vectors, std::uint64_t seed) {
-  std::vector<std::vector<double>> counts(static_cast<std::size_t>(netlist.num_gates()));
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    counts[static_cast<std::size_t>(g)].assign(
-        netlist.cell_of(g).topology().num_states(), 0.0);
-  }
-
-  Rng rng(seed);
-  int remaining = vectors;
-  std::vector<std::uint64_t> words(static_cast<std::size_t>(netlist.num_control_points()));
-  while (remaining > 0) {
-    const int lanes = std::min(remaining, 64);
-    for (auto& w : words) w = rng.next_u64();
-    const auto values = sim::simulate64(netlist, words);
-    for (int g = 0; g < netlist.num_gates(); ++g) {
-      for (int lane = 0; lane < lanes; ++lane) {
-        counts[static_cast<std::size_t>(g)][sim::local_state64(netlist, values, g, lane)] +=
-            1.0;
-      }
+    const netlist::Netlist& netlist, int vectors, std::uint64_t seed,
+    sim::SimBackend backend) {
+  const std::vector<std::vector<std::uint64_t>> counts =
+      sim::state_histogram(netlist, vectors, seed, backend);
+  std::vector<std::vector<double>> probabilities(counts.size());
+  for (std::size_t g = 0; g < counts.size(); ++g) {
+    probabilities[g].resize(counts[g].size());
+    for (std::size_t s = 0; s < counts[g].size(); ++s) {
+      probabilities[g][s] = static_cast<double>(counts[g][s]) / vectors;
     }
-    remaining -= lanes;
   }
-  for (auto& gate_counts : counts) {
-    for (double& c : gate_counts) c /= vectors;
-  }
-  return counts;
+  return probabilities;
 }
 
 }  // namespace
@@ -50,7 +37,7 @@ UnknownStateResult assign_unknown_state(const AssignmentProblem& problem,
                                         const UnknownStateOptions& options) {
   const netlist::Netlist& netlist = problem.netlist();
   const auto probabilities = estimate_state_probabilities(
-      netlist, options.probability_vectors, options.seed);
+      netlist, options.probability_vectors, options.seed, options.backend);
 
   // Expected leakage of every variant of every gate; menus sorted by it.
   auto expected_leak = [&](int g, int variant) {
@@ -114,7 +101,7 @@ UnknownStateResult assign_unknown_state(const AssignmentProblem& problem,
   }
   result.average_leakage_na =
       sim::monte_carlo_leakage(netlist, result.config, options.probability_vectors,
-                               options.seed + 1)
+                               options.seed + 1, options.backend)
           .mean_na;
   return result;
 }

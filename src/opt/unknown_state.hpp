@@ -23,6 +23,9 @@ struct UnknownStateOptions {
   int probability_vectors = 2048;
   std::uint64_t seed = 2004;
   GateOrder gate_order = GateOrder::kBySavings;
+  /// Simulation backend for the probability estimate and the final
+  /// Monte-Carlo average; results are identical either way.
+  sim::SimBackend backend = sim::default_backend();
 };
 
 /// Result of the unknown-state assignment. There is no sleep vector; the

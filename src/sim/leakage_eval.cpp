@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/threads.hpp"
 
 namespace svtox::sim {
@@ -52,6 +53,33 @@ std::vector<const double*> resolve_leakage_tables(const netlist::Netlist& netlis
   return tables;
 }
 
+/// Per-gate leakage tables re-indexed by *logical* local state: the variant
+/// lookup and pin-reordering are applied once per (gate, state) here instead
+/// of once per (gate, vector) in the Monte-Carlo inner loop.
+struct LogicalLeakTables {
+  std::vector<double> flat;
+  std::vector<std::size_t> offsets;  ///< Per gate, into `flat`.
+
+  const double* gate(int g) const { return flat.data() + offsets[static_cast<std::size_t>(g)]; }
+};
+
+LogicalLeakTables resolve_logical_tables(const netlist::Netlist& netlist,
+                                         const CircuitConfig& config,
+                                         const std::string& what) {
+  const std::vector<const double*> tables = resolve_leakage_tables(netlist, config, what);
+  LogicalLeakTables logical;
+  logical.offsets.resize(static_cast<std::size_t>(netlist.num_gates()));
+  for (int g = 0; g < netlist.num_gates(); ++g) {
+    const GateConfig& gc = config[static_cast<std::size_t>(g)];
+    logical.offsets[static_cast<std::size_t>(g)] = logical.flat.size();
+    const std::uint32_t num_states = netlist.cell_of(g).topology().num_states();
+    for (std::uint32_t s = 0; s < num_states; ++s) {
+      logical.flat.push_back(tables[static_cast<std::size_t>(g)][gc.physical_state(s)]);
+    }
+  }
+  return logical;
+}
+
 }  // namespace
 
 CircuitConfig fastest_config(const netlist::Netlist& netlist) {
@@ -95,10 +123,11 @@ double circuit_area(const netlist::Netlist& netlist, const CircuitConfig& config
 
 MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
                                      const CircuitConfig& config, int num_vectors,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed, SimBackend backend) {
   if (num_vectors < 1) throw ContractError("monte_carlo_leakage: need >= 1 vector");
-  const std::vector<const double*> tables =
-      resolve_leakage_tables(netlist, config, "monte_carlo_leakage");
+  const LogicalLeakTables leak =
+      resolve_logical_tables(netlist, config, "monte_carlo_leakage");
+  const int num_gates = netlist.num_gates();
 
   Rng rng(seed);
   MonteCarloResult result;
@@ -109,23 +138,86 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
 
   int remaining = num_vectors;
   std::vector<std::uint64_t> pi_words(static_cast<std::size_t>(netlist.num_control_points()));
-  while (remaining > 0) {
-    const int lanes = std::min(remaining, 64);
-    for (auto& word : pi_words) word = rng.next_u64();
-    const std::vector<std::uint64_t> words = simulate64(netlist, pi_words);
-
-    for (int lane = 0; lane < lanes; ++lane) {
-      double total = 0.0;
-      for (int g = 0; g < netlist.num_gates(); ++g) {
-        const GateConfig& gc = config[static_cast<std::size_t>(g)];
-        const std::uint32_t logical = local_state64(netlist, words, g, lane);
-        total += tables[static_cast<std::size_t>(g)][gc.physical_state(logical)];
-      }
-      sum += total;
-      result.min_na = std::min(result.min_na, total);
-      result.max_na = std::max(result.max_na, total);
+  if (backend == SimBackend::kPacked) {
+    PackedBoolSim packed(netlist);
+    // Flat per-gate accumulation plan, hoisted out of the pass loop: pin
+    // word indices and the logical-state leak row, with no Gate/vector
+    // indirections left in the hot path. 1- and 2-input gates (the bulk of
+    // every library netlist) go through the fused simd::select_add kernels.
+    struct GatePlan {
+      std::int32_t num_pins;
+      std::int32_t pin0;
+      std::int32_t pin1;
+      const double* leak;
+    };
+    std::vector<GatePlan> plan(static_cast<std::size_t>(num_gates));
+    for (int g = 0; g < num_gates; ++g) {
+      const auto& fanins = netlist.gate(g).fanins;
+      GatePlan& p = plan[static_cast<std::size_t>(g)];
+      p.num_pins = static_cast<std::int32_t>(fanins.size());
+      p.pin0 = p.num_pins > 0 ? fanins[0] : 0;
+      p.pin1 = p.num_pins > 1 ? fanins[1] : 0;
+      p.leak = leak.gate(g);
     }
-    remaining -= lanes;
+    // Per-lane totals of one 64-vector pass. Each lane takes exactly one
+    // add per gate, in gate index order -- the same FP addition sequence
+    // as the scalar per-vector loop, hence bit-identical totals. The
+    // select_add kernels write all 64 lanes unconditionally (tail lanes
+    // accumulate junk); only the first `lanes` are ever read.
+    alignas(32) double totals[64];
+    while (remaining > 0) {
+      const int lanes = std::min(remaining, 64);
+      for (auto& word : pi_words) word = rng.next_u64();
+      const std::vector<std::uint64_t>& words = packed.run(pi_words);
+
+      std::fill(totals, totals + 64, 0.0);
+      const std::uint64_t mask = tail_mask(lanes);
+      for (int g = 0; g < num_gates; ++g) {
+        const GatePlan& p = plan[static_cast<std::size_t>(g)];
+        if (p.num_pins == 2) {
+          simd::select_add2(totals, words[static_cast<std::size_t>(p.pin0)],
+                            words[static_cast<std::size_t>(p.pin1)], p.leak);
+        } else if (p.num_pins == 1) {
+          simd::select_add1(totals, words[static_cast<std::size_t>(p.pin0)],
+                            p.leak);
+        } else {
+          const double* gate_leak = p.leak;
+          for_each_state_match(netlist, g, words, mask,
+                               [&](std::uint32_t state, std::uint64_t match) {
+                                 simd::scatter_add(totals, match,
+                                                   gate_leak[state]);
+                               });
+        }
+      }
+      for (int lane = 0; lane < lanes; ++lane) {
+        sum += totals[lane];
+        result.min_na = std::min(result.min_na, totals[lane]);
+        result.max_na = std::max(result.max_na, totals[lane]);
+      }
+      remaining -= lanes;
+    }
+  } else {
+    // Scalar reference: identical Rng word stream, one vector at a time
+    // through the single-vector simulator.
+    std::vector<bool> inputs(pi_words.size());
+    while (remaining > 0) {
+      const int lanes = std::min(remaining, 64);
+      for (auto& word : pi_words) word = rng.next_u64();
+      for (int lane = 0; lane < lanes; ++lane) {
+        for (std::size_t i = 0; i < pi_words.size(); ++i) {
+          inputs[i] = ((pi_words[i] >> lane) & 1u) != 0;
+        }
+        const std::vector<bool> values = simulate(netlist, inputs);
+        double total = 0.0;
+        for (int g = 0; g < num_gates; ++g) {
+          total += leak.gate(g)[local_state(netlist, values, g)];
+        }
+        sum += total;
+        result.min_na = std::min(result.min_na, total);
+        result.max_na = std::max(result.max_na, total);
+      }
+      remaining -= lanes;
+    }
   }
   result.mean_na = sum / num_vectors;
   return result;
@@ -134,7 +226,7 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
 MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
                                               const CircuitConfig& config,
                                               int num_vectors, std::uint64_t seed,
-                                              int threads) {
+                                              int threads, SimBackend backend) {
   if (num_vectors < 1) throw ContractError("monte_carlo_leakage_parallel: need >= 1 vector");
   constexpr int kChunk = 1024;
   const int num_chunks = (num_vectors + kChunk - 1) / kChunk;
@@ -152,7 +244,7 @@ MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
       const std::uint64_t chunk_seed =
           seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c + 1));
       partial[static_cast<std::size_t>(c)] =
-          monte_carlo_leakage(netlist, config, vectors, chunk_seed);
+          monte_carlo_leakage(netlist, config, vectors, chunk_seed, backend);
     }
   };
 

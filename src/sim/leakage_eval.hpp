@@ -12,6 +12,7 @@
 
 #include "cellkit/state.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/packed.hpp"
 #include "sim/sim.hpp"
 
 namespace svtox::sim {
@@ -54,10 +55,16 @@ struct MonteCarloResult {
 
 /// Average leakage over `num_vectors` uniform random input vectors
 /// (the paper's "average leakage by random (10K) vectors" baseline).
-/// Deterministic in `seed`; uses the 64-way bit-parallel simulator.
+/// Deterministic in `seed` and bit-identical across backends: both consume
+/// the same Rng word stream, and the packed path's scatter-add keeps every
+/// lane's additions in gate order -- the exact FP sequence of the scalar
+/// per-vector loop, so no reassociation tolerance is needed. kPacked runs
+/// 64 vectors per pass through PackedBoolSim; kScalar simulates one vector
+/// at a time (the reference).
 MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
                                      const CircuitConfig& config, int num_vectors,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     SimBackend backend = default_backend());
 
 /// Total cell area of the circuit under `config` [unit areas], including
 /// the mixed-Vt/Tox spacing penalties of the selected versions (the cost
@@ -71,6 +78,7 @@ double circuit_area(const netlist::Netlist& netlist, const CircuitConfig& config
 MonteCarloResult monte_carlo_leakage_parallel(const netlist::Netlist& netlist,
                                               const CircuitConfig& config,
                                               int num_vectors, std::uint64_t seed,
-                                              int threads = 0);
+                                              int threads = 0,
+                                              SimBackend backend = default_backend());
 
 }  // namespace svtox::sim

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerate every BENCH_*.json artifact from a Release build.
+#
+# The artifacts at the repo root are performance provenance: each one must
+# come from a Release binary (the benches refuse anything else -- see
+# bench/common.hpp) and carries its build type in the JSON. This script is
+# the one blessed way to refresh them, so a stray debug capture can never
+# land again.
+#
+# Usage: tools/regen_benchmarks.sh [build-dir]
+#   build-dir defaults to build-release (created/configured if missing).
+#
+# Knobs are inherited from the environment (SVTOX_VECTORS, SVTOX_PROBES,
+# SVTOX_TIME_LIMIT, SVTOX_CIRCUITS); defaults reproduce the checked-in
+# artifacts.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-release}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS" --target \
+  bench_micro bench_sim_kernels bench_service_throughput
+
+cd "$ROOT"
+
+# google-benchmark suites: one artifact per kernel family, filters matching
+# the historical captures.
+"$BUILD/bench/bench_micro" \
+  '--benchmark_filter=BM_BoundEngine|BM_IncrementalTernaryUpdate|BM_FullTernarySim|BM_RootSplitFullTree' \
+  --benchmark_out=BENCH_bound_engine.json --benchmark_out_format=json
+"$BUILD/bench/bench_micro" \
+  '--benchmark_filter=BM_LeafGreedy' \
+  --benchmark_out=BENCH_leaf_eval.json --benchmark_out_format=json
+
+# Curated artifacts (hand-rolled JSON writers).
+"$BUILD/bench/bench_sim_kernels" BENCH_sim_kernels.json
+"$BUILD/bench/bench_service_throughput" BENCH_service.json
+
+echo
+echo "Regenerated:"
+for f in BENCH_bound_engine.json BENCH_leaf_eval.json BENCH_sim_kernels.json BENCH_service.json; do
+  echo "  $f"
+done
