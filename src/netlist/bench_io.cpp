@@ -219,6 +219,15 @@ Netlist read_bench(std::istream& in, const std::string& name,
       mapper.map_xor(std::move(fanins), out);
     } else if (func == "XNOR") {
       mapper.map_xnor(std::move(fanins), out);
+    } else if (func == "AOI21" || func == "OAI21" || func == "AOI22" ||
+               func == "OAI22") {
+      // Extension primitives (emitted by write_bench for already-mapped
+      // netlists): map 1:1 onto the library cell of the same name, so a
+      // write/read round trip reproduces the gate list exactly.
+      const std::size_t arity =
+          static_cast<std::size_t>((func[3] - '0') + (func[4] - '0'));
+      if (fanins.size() != arity) fail(func + " takes " + std::to_string(arity) + " inputs");
+      mapper.gate(func, std::move(fanins), out);
     } else {
       fail("unknown primitive '" + func + "'");
     }
@@ -279,6 +288,10 @@ void write_bench(const Netlist& netlist, std::ostream& out) {
       func = "NAND";
     } else if (starts_with(cell, "NOR")) {
       func = "NOR";
+    } else if (starts_with(cell, "AOI") || starts_with(cell, "OAI")) {
+      // Extension primitives; read_bench maps them back 1:1, keeping the
+      // pin order, so write/read round trips are gate-exact.
+      func = cell;
     } else {
       throw ContractError("write_bench: cell '" + cell +
                           "' has no bench primitive equivalent");

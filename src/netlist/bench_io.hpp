@@ -36,8 +36,10 @@ Netlist read_bench(const std::string& text, const std::string& name,
 Netlist read_bench_file(const std::string& path, const liberty::Library& library);
 
 /// Writes a mapped netlist back out as .bench. Cells representable as bench
-/// primitives (INV -> NOT, NANDk, NORk) are emitted directly; AOI/OAI cells
-/// are rejected with ContractError (write the generator output instead).
+/// primitives (INV -> NOT, NANDk, NORk) are emitted directly; AOI21/OAI21/
+/// AOI22/OAI22 come out as extension primitives of the same name, which
+/// read_bench maps back 1:1 -- a write/read round trip reproduces the gate
+/// list (same cells, same pin order, same line order).
 void write_bench(const Netlist& netlist, std::ostream& out);
 std::string write_bench(const Netlist& netlist);
 

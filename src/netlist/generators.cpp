@@ -17,13 +17,17 @@ GateMix default_gate_mix() {
 
 namespace {
 
-/// Weighted choice over the mix entries present in the library.
+/// Weighted choice over the mix entries present in the library. The
+/// cumulative-weight vector and per-entry library cell indices are
+/// precomputed once, so per-gate sampling is a binary search plus integer
+/// reads -- no map walks or cell-name lookups at generation time.
 class CellPicker {
  public:
   CellPicker(const liberty::Library& library, const GateMix& mix) {
     for (const auto& [name, weight] : mix) {
       if (weight <= 0.0 || !library.has_cell(name)) continue;
       names_.push_back(name);
+      cell_index_.push_back(library.cell_index(name));
       arity_.push_back(library.cell(name).num_inputs());
       cumulative_.push_back((cumulative_.empty() ? 0.0 : cumulative_.back()) + weight);
     }
@@ -44,10 +48,12 @@ class CellPicker {
   }
 
   const std::string& name(std::size_t idx) const { return names_[idx]; }
+  int cell_index(std::size_t idx) const { return cell_index_[idx]; }
   int arity(std::size_t idx) const { return arity_[idx]; }
 
  private:
   std::vector<std::string> names_;
+  std::vector<int> cell_index_;
   std::vector<int> arity_;
   std::vector<double> cumulative_;
 };
@@ -101,7 +107,8 @@ Netlist random_circuit(const liberty::Library& library, const std::string& name,
     }
 
     const int out = netlist.add_signal("n" + std::to_string(g));
-    netlist.add_gate("g" + std::to_string(g), picker.name(cell), std::move(fanins), out);
+    netlist.add_gate("g" + std::to_string(g), picker.cell_index(cell), std::move(fanins),
+                     out);
     signals.push_back(out);
   }
 
@@ -372,7 +379,7 @@ Netlist sequential_pipeline(const liberty::Library& library, const std::string& 
       }
       const int out = netlist.add_signal("s" + std::to_string(stage) + "_n" +
                                          std::to_string(g));
-      netlist.add_gate("g" + std::to_string(counter++), picker.name(cell),
+      netlist.add_gate("g" + std::to_string(counter++), picker.cell_index(cell),
                        std::move(fanins), out);
       signals.push_back(out);
     }
@@ -427,6 +434,218 @@ Netlist parity_checker(const liberty::Library& library, int data_bits, int check
 
   netlist.finalize();
   return netlist;
+}
+
+Netlist random_dag(const liberty::Library& library, const std::string& name,
+                   const DagOptions& options) {
+  if (options.num_inputs < 2) throw ContractError("random_dag: need at least 2 inputs");
+  if (options.num_gates < 1) throw ContractError("random_dag: need at least 1 gate");
+  if (options.target_depth < 1 || options.target_depth > options.num_gates) {
+    throw ContractError("random_dag: target_depth must be in [1, num_gates]");
+  }
+  if (options.max_fanout < 1) throw ContractError("random_dag: max_fanout must be >= 1");
+
+  Netlist netlist(name, &library);
+  Rng rng(options.seed);
+  const CellPicker picker(library, options.mix);
+
+  // Every non-first fanin draw goes through `pool`, a vector of signals
+  // with remaining fanout budget; saturated entries are swap-removed, so
+  // the whole generation is O(num_gates * arity) with no quadratic
+  // erase/scan. Signals enter the pool only once their rank is complete,
+  // which keeps every fanin strictly below the gate's own rank.
+  std::vector<int> budget;       // per signal: remaining fanout allowance
+  std::vector<int> pool;         // signals with budget > 0
+  std::vector<int> pool_slot;    // per signal: index in pool, -1 if absent
+  auto add_source = [&](int signal) {
+    if (static_cast<std::size_t>(signal) >= budget.size()) {
+      budget.resize(static_cast<std::size_t>(signal) + 1, 0);
+      pool_slot.resize(static_cast<std::size_t>(signal) + 1, -1);
+    }
+    budget[static_cast<std::size_t>(signal)] = options.max_fanout;
+    pool_slot[static_cast<std::size_t>(signal)] = static_cast<int>(pool.size());
+    pool.push_back(signal);
+  };
+  auto consume = [&](int signal) {
+    if (--budget[static_cast<std::size_t>(signal)] > 0) return;
+    const int slot = pool_slot[static_cast<std::size_t>(signal)];
+    if (slot < 0) return;
+    const int last = pool.back();
+    pool[static_cast<std::size_t>(slot)] = last;
+    pool_slot[static_cast<std::size_t>(last)] = slot;
+    pool.pop_back();
+    pool_slot[static_cast<std::size_t>(signal)] = -1;
+  };
+
+  std::vector<int> unused_inputs;
+  std::vector<int> prev_rank;  // previous rank's signals (rank 0: the PIs)
+  for (int i = 0; i < options.num_inputs; ++i) {
+    const int sig = netlist.add_signal("pi" + std::to_string(i));
+    netlist.mark_input(sig);
+    add_source(sig);
+    unused_inputs.push_back(sig);
+    prev_rank.push_back(sig);
+  }
+
+  // Lay gates out in `target_depth` ranks. A gate's first fanin comes from
+  // the previous rank (primary inputs for rank 0), which pins its level to
+  // rank + 1 exactly; remaining fanins come from the budget pool (strictly
+  // lower ranks), consuming unseen primary inputs first so every input is
+  // observable.
+  const int depth = options.target_depth;
+  int emitted = 0;
+  std::vector<int> fanins;
+  for (int rank = 0; rank < depth; ++rank) {
+    const int rank_gates = (options.num_gates - emitted) / (depth - rank);
+    const std::size_t rank_base = static_cast<std::size_t>(netlist.num_signals());
+    std::vector<int> this_rank;
+    this_rank.reserve(static_cast<std::size_t>(rank_gates));
+    for (int g = 0; g < rank_gates; ++g) {
+      const std::size_t cell = picker.pick(rng, static_cast<int>(rank_base));
+      const int arity = picker.arity(cell);
+      fanins.clear();
+
+      // First fanin: a previous-rank signal, preferring one with budget
+      // left (one retry; the cap is soft, so a saturated signal is still
+      // usable -- exact depth beats the fanout preference).
+      int first = prev_rank[rng.next_below(prev_rank.size())];
+      if (budget[static_cast<std::size_t>(first)] <= 0 && prev_rank.size() > 1) {
+        first = prev_rank[rng.next_below(prev_rank.size())];
+      }
+      consume(first);
+      fanins.push_back(first);
+
+      while (static_cast<int>(fanins.size()) < arity) {
+        int candidate;
+        if (!unused_inputs.empty()) {
+          candidate = unused_inputs.back();
+          unused_inputs.pop_back();
+        } else if (!pool.empty()) {
+          candidate = pool[rng.next_below(pool.size())];
+        } else {
+          candidate = static_cast<int>(rng.next_below(rank_base));
+        }
+        if (std::find(fanins.begin(), fanins.end(), candidate) != fanins.end()) {
+          // Duplicate draw: fall back to a uniform lower-rank signal to
+          // guarantee progress (arity <= rank_base by construction).
+          candidate = static_cast<int>(rng.next_below(rank_base));
+          if (std::find(fanins.begin(), fanins.end(), candidate) != fanins.end()) {
+            continue;
+          }
+        }
+        consume(candidate);
+        fanins.push_back(candidate);
+      }
+
+      const int out = netlist.add_signal("n" + std::to_string(emitted + g));
+      netlist.add_gate("g" + std::to_string(emitted + g), picker.cell_index(cell),
+                       fanins, out);
+      this_rank.push_back(out);
+    }
+    for (int out : this_rank) add_source(out);
+    emitted += rank_gates;
+    prev_rank = std::move(this_rank);
+  }
+
+  // Signals nobody reads become primary outputs.
+  std::vector<int> fanout_count(static_cast<std::size_t>(netlist.num_signals()), 0);
+  for (const Gate& gate : netlist.gates()) {
+    for (int f : gate.fanins) ++fanout_count[static_cast<std::size_t>(f)];
+  }
+  for (const Gate& gate : netlist.gates()) {
+    if (fanout_count[static_cast<std::size_t>(gate.output)] == 0) {
+      netlist.mark_output(gate.output);
+    }
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist adder_tree(const liberty::Library& library, int width, int operands) {
+  if (width < 1) throw ContractError("adder_tree: need at least 1 bit");
+  if (operands < 2) throw ContractError("adder_tree: need at least 2 operands");
+  Netlist netlist("addtree" + std::to_string(width) + "x" + std::to_string(operands),
+                  &library);
+  Builder b(netlist);
+
+  // Operand inputs, then a balanced pairwise reduction: each round adds
+  // adjacent pairs with ripple-carry adders whose width grows by one bit
+  // per round (the carry-out becomes the new MSB), so no precision is lost.
+  std::vector<std::vector<int>> terms(static_cast<std::size_t>(operands));
+  for (int o = 0; o < operands; ++o) {
+    terms[static_cast<std::size_t>(o)].resize(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      terms[static_cast<std::size_t>(o)][static_cast<std::size_t>(i)] =
+          b.input("op" + std::to_string(o) + "_" + std::to_string(i));
+    }
+  }
+
+  while (terms.size() > 1) {
+    std::vector<std::vector<int>> next;
+    std::size_t i = 0;
+    for (; i + 1 < terms.size(); i += 2) {
+      const std::vector<int>& x = terms[i];
+      const std::vector<int>& y = terms[i + 1];
+      const std::size_t bits = std::max(x.size(), y.size());
+      std::vector<int> sum;
+      sum.reserve(bits + 1);
+      int carry = -1;
+      for (std::size_t j = 0; j < bits; ++j) {
+        const bool has_x = j < x.size();
+        const bool has_y = j < y.size();
+        if (has_x && has_y) {
+          const Builder::FullAdd fa = carry >= 0 ? b.full_add(x[j], y[j], carry)
+                                                 : b.half_add(x[j], y[j]);
+          sum.push_back(fa.sum);
+          carry = fa.carry;
+        } else {
+          const int lone = has_x ? x[j] : y[j];
+          if (carry >= 0) {
+            const Builder::FullAdd ha = b.half_add(lone, carry);
+            sum.push_back(ha.sum);
+            carry = ha.carry;
+          } else {
+            sum.push_back(lone);
+          }
+        }
+      }
+      if (carry >= 0) sum.push_back(carry);
+      next.push_back(std::move(sum));
+    }
+    for (; i < terms.size(); ++i) next.push_back(std::move(terms[i]));
+    terms = std::move(next);
+  }
+
+  for (int sig : terms.front()) b.output(sig);
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist make_scale_circuit(const liberty::Library& library, const std::string& name) {
+  auto dag = [&](int gates, int depth) {
+    DagOptions opt;
+    opt.num_inputs = 256;
+    opt.num_gates = gates;
+    opt.target_depth = depth;
+    opt.max_fanout = 8;
+    opt.seed = 20240;
+    return random_dag(library, name, opt);
+  };
+  if (name == "dag10k") return dag(10000, 40);
+  if (name == "dag100k") return dag(100000, 64);
+  if (name == "dag500k") return dag(500000, 96);
+  if (name == "dag1m") return dag(1000000, 128);
+  if (name == "mul64") return array_multiplier(library, 64);
+  if (name == "mul128") return array_multiplier(library, 128);
+  if (name == "mul256") return array_multiplier(library, 256);
+  if (name == "addtree64x128") return adder_tree(library, 64, 128);
+  throw ContractError("make_scale_circuit: unknown preset '" + name + "'");
+}
+
+std::vector<std::string> scale_circuit_names() {
+  return {"dag10k",  "mul64",  "dag100k", "addtree64x128",
+          "dag500k", "mul128", "mul256",  "dag1m"};
 }
 
 }  // namespace svtox::netlist

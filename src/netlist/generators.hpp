@@ -60,4 +60,39 @@ Netlist sequential_pipeline(const liberty::Library& library, const std::string& 
                             int width, int stages, int gates_per_stage,
                             std::uint64_t seed);
 
+/// Shape knobs of `random_dag`.
+struct DagOptions {
+  int num_inputs = 64;
+  int num_gates = 10000;
+  /// Exact logic depth of the result: gates are laid out in `target_depth`
+  /// ranks and each gate's first fanin comes from the previous rank, so
+  /// the finalized depth() equals this value (requires
+  /// num_gates >= target_depth).
+  int target_depth = 32;
+  /// Soft per-signal fanout cap. Fanins are drawn from a pool of signals
+  /// with remaining fanout budget; when the pool runs dry the cap relaxes
+  /// so generation always completes.
+  int max_fanout = 8;
+  std::uint64_t seed = 1;
+  GateMix mix = default_gate_mix();
+};
+
+/// Random mapped DAG with controllable depth and fanout, O(num_gates)
+/// regardless of size (no quadratic erase/scan anywhere) -- the generator
+/// for 100k..1M-gate scale workloads. Deterministic in the options.
+Netlist random_dag(const liberty::Library& library, const std::string& name,
+                   const DagOptions& options);
+
+/// Balanced reduction tree of ripple-carry adders summing `operands`
+/// `width`-bit inputs (adder-tree preset; ~9*width gates per adder).
+Netlist adder_tree(const liberty::Library& library, int width, int operands);
+
+/// Named scale presets for benches and the hierarchical optimizer:
+/// array multipliers ("mul64" .. "mul256", 46k..720k gates), an adder tree
+/// ("addtree64x128"), and random DAGs ("dag10k", "dag100k", "dag500k",
+/// "dag1m"). Throws ContractError for unknown names.
+Netlist make_scale_circuit(const liberty::Library& library, const std::string& name);
+/// All names make_scale_circuit accepts, smallest first.
+std::vector<std::string> scale_circuit_names();
+
 }  // namespace svtox::netlist

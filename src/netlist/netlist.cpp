@@ -32,12 +32,17 @@ void Netlist::mark_output(int signal) {
 
 int Netlist::add_gate(const std::string& gate_name, const std::string& cell_name,
                       std::vector<int> fanins, int output) {
+  return add_gate(gate_name, library_->cell_index(cell_name), std::move(fanins),
+                  output);
+}
+
+int Netlist::add_gate(const std::string& gate_name, int cell_index,
+                      std::vector<int> fanins, int output) {
   if (finalized_) throw ContractError("Netlist: add_gate after finalize");
-  const int cell_index = library_->cell_index(cell_name);
   const liberty::LibCell& cell = library_->cell_at(cell_index);
   if (static_cast<int>(fanins.size()) != cell.num_inputs()) {
     throw ContractError("Netlist: gate '" + gate_name + "' arity mismatch for " +
-                        cell_name);
+                        cell.name());
   }
   for (int f : fanins) {
     if (f < 0 || f >= num_signals()) throw ContractError("Netlist: bad fanin id");
@@ -143,7 +148,82 @@ void Netlist::finalize() {
   depth_ = 0;
   for (int level : gate_level_) depth_ = std::max(depth_, level);
 
+  ff_d_count_.assign(num_signals(), 0);
+  for (const FlipFlop& ff : flip_flops_) ++ff_d_count_[ff.d];
+
+  build_flat();
   finalized_ = true;
+}
+
+void Netlist::build_flat() {
+  using u32 = FlatNetlist::u32;
+  FlatNetlist& f = flat_;
+  f.num_gates_ = static_cast<u32>(num_gates());
+  f.num_signals_ = static_cast<u32>(num_signals());
+  f.depth_ = depth_;
+
+  f.fanin_offset_.assign(static_cast<std::size_t>(num_gates()) + 1, 0);
+  f.output_.resize(static_cast<std::size_t>(num_gates()));
+  f.cell_.resize(static_cast<std::size_t>(num_gates()));
+  f.topology_.resize(static_cast<std::size_t>(num_gates()));
+  f.truth_.resize(static_cast<std::size_t>(num_gates()));
+  f.level_.resize(static_cast<std::size_t>(num_gates()));
+  std::size_t total_fanins = 0;
+  for (int g = 0; g < num_gates(); ++g) total_fanins += gates_[g].fanins.size();
+  f.fanin_.clear();
+  f.fanin_.reserve(total_fanins);
+  for (int g = 0; g < num_gates(); ++g) {
+    const Gate& gate = gates_[g];
+    for (int s : gate.fanins) f.fanin_.push_back(static_cast<u32>(s));
+    f.fanin_offset_[static_cast<std::size_t>(g) + 1] = static_cast<u32>(f.fanin_.size());
+    f.output_[g] = static_cast<u32>(gate.output);
+    f.cell_[g] = static_cast<u32>(gate.cell_index);
+    f.topology_[g] = &library_->cell_at(gate.cell_index).topology();
+    const cellkit::CellTopology& topo = *f.topology_[g];
+    if (topo.num_states() > 16) {
+      throw ContractError("Netlist: cell '" + topo.name() +
+                          "' has more than 4 inputs; FlatNetlist packs truth "
+                          "tables into 16 bits");
+    }
+    std::uint16_t truth = 0;
+    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
+      if (topo.output(state)) truth |= static_cast<std::uint16_t>(1u << state);
+    }
+    f.truth_[g] = truth;
+    f.level_[g] = gate_level_[g];
+  }
+
+  f.topo_order_.resize(topo_order_.size());
+  for (std::size_t i = 0; i < topo_order_.size(); ++i) {
+    f.topo_order_[i] = static_cast<u32>(topo_order_[i]);
+  }
+
+  f.driver_.resize(static_cast<std::size_t>(num_signals()));
+  f.sink_offset_.assign(static_cast<std::size_t>(num_signals()) + 1, 0);
+  std::size_t total_sinks = 0;
+  for (int s = 0; s < num_signals(); ++s) total_sinks += sinks_[s].size();
+  f.sink_gate_.clear();
+  f.sink_gate_.reserve(total_sinks);
+  f.sink_pin_.clear();
+  f.sink_pin_.reserve(total_sinks);
+  for (int s = 0; s < num_signals(); ++s) {
+    f.driver_[s] = driver_[s] < 0 ? FlatNetlist::kNoDriver : static_cast<u32>(driver_[s]);
+    for (const Sink& sink : sinks_[s]) {
+      f.sink_gate_.push_back(static_cast<u32>(sink.gate));
+      f.sink_pin_.push_back(static_cast<u32>(sink.pin));
+    }
+    f.sink_offset_[static_cast<std::size_t>(s) + 1] = static_cast<u32>(f.sink_gate_.size());
+  }
+
+  f.control_points_.resize(control_points_.size());
+  for (std::size_t i = 0; i < control_points_.size(); ++i) {
+    f.control_points_[i] = static_cast<u32>(control_points_[i]);
+  }
+}
+
+const FlatNetlist& Netlist::flat() const {
+  if (!finalized_) throw ContractError("Netlist: flat() before finalize");
+  return flat_;
 }
 
 int Netlist::find_signal(const std::string& signal_name) const {
@@ -162,9 +242,11 @@ double Netlist::signal_load_ff(int signal) const {
   }
   load += tech.wire_ff_per_fanout * static_cast<double>(sinks_.at(signal).size());
   if (is_po_.at(signal)) load += tech.default_po_load_ff;
-  // Flip-flop D pins load their drivers like a PO-sized endpoint.
-  for (const FlipFlop& ff : flip_flops_) {
-    if (ff.d == signal) load += tech.default_po_load_ff;
+  // Flip-flop D pins load their drivers like a PO-sized endpoint. Repeated
+  // addition (not a multiply) keeps the FP sequence identical to the old
+  // per-FF scan, which added the constant once per matching FF.
+  for (int i = 0; i < ff_d_count_[static_cast<std::size_t>(signal)]; ++i) {
+    load += tech.default_po_load_ff;
   }
   return load;
 }

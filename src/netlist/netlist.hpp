@@ -5,6 +5,7 @@
 // so the optimizer can swap variants without touching the structure.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,6 +38,109 @@ struct Sink {
   int pin = -1;
 };
 
+/// Flattened structure-of-arrays view of a finalized netlist.
+///
+/// Built once by `Netlist::finalize()` and owned by the Netlist. All
+/// adjacency is CSR over 32-bit ids in contiguous arrays: per-gate fanins,
+/// per-signal sinks, plus per-gate cell index / topology pointer / level
+/// and the topological order. Hot loops (incremental sims, packed plans,
+/// STA, bound evaluation) iterate these arrays instead of chasing
+/// `std::vector<Gate>`-of-`std::string`/nested-vector structures.
+///
+/// Accessors are unchecked in release builds; debug builds assert the
+/// index range. Indices and iteration orders mirror the owning Netlist
+/// exactly, so any consumer switching from the pointer API to this view
+/// produces bit-identical results.
+class FlatNetlist {
+ public:
+  using u32 = std::uint32_t;
+  static constexpr u32 kNoDriver = 0xffffffffu;
+
+  u32 num_gates() const { return num_gates_; }
+  u32 num_signals() const { return num_signals_; }
+  u32 num_control_points() const { return static_cast<u32>(control_points_.size()); }
+  int depth() const { return depth_; }
+
+  // --- Per-gate arrays --------------------------------------------------
+  u32 fanin_count(u32 gate) const {
+    assert(gate < num_gates_);
+    return fanin_offset_[gate + 1] - fanin_offset_[gate];
+  }
+  /// Pointer to the gate's fanin signal ids, in pin order.
+  const u32* fanins(u32 gate) const {
+    assert(gate < num_gates_);
+    return fanin_.data() + fanin_offset_[gate];
+  }
+  u32 output(u32 gate) const {
+    assert(gate < num_gates_);
+    return output_[gate];
+  }
+  u32 cell_index(u32 gate) const {
+    assert(gate < num_gates_);
+    return cell_[gate];
+  }
+  const cellkit::CellTopology& topology(u32 gate) const {
+    assert(gate < num_gates_);
+    return *topology_[gate];
+  }
+  /// The gate's truth table packed into a word: bit `state` is
+  /// topology(gate).output(state). Lets simulation kernels evaluate a gate
+  /// with one shift instead of an out-of-line vector<bool> lookup.
+  std::uint16_t truth(u32 gate) const {
+    assert(gate < num_gates_);
+    return truth_[gate];
+  }
+  int level(u32 gate) const {
+    assert(gate < num_gates_);
+    return level_[gate];
+  }
+  const std::vector<u32>& topo_order() const { return topo_order_; }
+
+  // --- Per-signal arrays ------------------------------------------------
+  /// Driving gate id, or kNoDriver for primary inputs / FF outputs.
+  u32 driver(u32 signal) const {
+    assert(signal < num_signals_);
+    return driver_[signal];
+  }
+  u32 sink_count(u32 signal) const {
+    assert(signal < num_signals_);
+    return sink_offset_[signal + 1] - sink_offset_[signal];
+  }
+  /// Pointers into the flat sink arrays; entry i of gates/pins is one
+  /// (gate, pin) sink of the signal, in the same order as Netlist::sinks().
+  const u32* sink_gates(u32 signal) const {
+    assert(signal < num_signals_);
+    return sink_gate_.data() + sink_offset_[signal];
+  }
+  const u32* sink_pins(u32 signal) const {
+    assert(signal < num_signals_);
+    return sink_pin_.data() + sink_offset_[signal];
+  }
+
+  /// Control-point signal ids (PIs then FF Qs), same order as the Netlist.
+  const std::vector<u32>& control_points() const { return control_points_; }
+
+ private:
+  friend class Netlist;
+
+  u32 num_gates_ = 0;
+  u32 num_signals_ = 0;
+  int depth_ = 0;
+  std::vector<u32> fanin_offset_;  ///< Size num_gates + 1.
+  std::vector<u32> fanin_;
+  std::vector<u32> output_;
+  std::vector<u32> cell_;
+  std::vector<const cellkit::CellTopology*> topology_;
+  std::vector<std::uint16_t> truth_;
+  std::vector<int> level_;
+  std::vector<u32> topo_order_;
+  std::vector<u32> driver_;
+  std::vector<u32> sink_offset_;  ///< Size num_signals + 1.
+  std::vector<u32> sink_gate_;
+  std::vector<u32> sink_pin_;
+  std::vector<u32> control_points_;
+};
+
 /// Immutable-after-finalize gate-level netlist.
 class Netlist {
  public:
@@ -54,6 +158,11 @@ class Netlist {
   void mark_output(int signal);
   /// Adds a gate driving `output` from `fanins`; arity must match the cell.
   int add_gate(const std::string& gate_name, const std::string& cell_name,
+               std::vector<int> fanins, int output);
+  /// Same, with the cell pre-resolved to its library index. Generators that
+  /// emit hundreds of thousands of gates use this to skip the per-gate
+  /// cell-name map lookup.
+  int add_gate(const std::string& gate_name, int cell_index,
                std::vector<int> fanins, int output);
   /// Adds a D flip-flop with data input `d` and output `q`. `q` must not be
   /// driven by any gate and must not be a primary input.
@@ -113,7 +222,12 @@ class Netlist {
   /// + primary-output load.
   double signal_load_ff(int signal) const;
 
+  /// Flattened SoA view of the finalized structure.
+  const FlatNetlist& flat() const;
+
  private:
+  void build_flat();
+
   std::string name_;
   const liberty::Library* library_;
   std::vector<std::string> signal_names_;
@@ -131,7 +245,9 @@ class Netlist {
   std::vector<bool> is_po_;
   std::vector<int> topo_order_;
   std::vector<int> gate_level_;
+  std::vector<int> ff_d_count_;  ///< Per signal, FF D pins loading it.
   int depth_ = 0;
+  FlatNetlist flat_;
 };
 
 /// Summary statistics used by the result tables.

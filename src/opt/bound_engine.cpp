@@ -26,11 +26,12 @@ double leakage_lower_bound_na(const AssignmentProblem& problem,
                               const std::vector<sim::Tri>& input_values,
                               BoundKind kind) {
   const netlist::Netlist& netlist = problem.netlist();
+  const netlist::FlatNetlist& flat = netlist.flat();
   const std::vector<sim::Tri> values = sim::simulate_ternary(netlist, input_values);
   double bound = 0.0;
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    bound += masked_gate_bound_na(problem, g,
-                                  sim::local_ternary_mask(netlist, values, g), kind);
+  for (std::uint32_t g = 0; g < flat.num_gates(); ++g) {
+    bound += masked_gate_bound_na(problem, static_cast<int>(g),
+                                  sim::local_ternary_mask(flat, values, g), kind);
   }
   return bound;
 }
@@ -43,11 +44,12 @@ BoundEngine::BoundEngine(const AssignmentProblem& problem, BoundKind kind,
         static_cast<std::size_t>(problem.netlist().num_control_points()), sim::Tri::kX);
     return;
   }
-  const netlist::Netlist& netlist = problem.netlist();
-  terms_.resize(static_cast<std::size_t>(netlist.num_gates()));
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    terms_[static_cast<std::size_t>(g)] = masked_gate_bound_na(
-        problem, g, sim::local_ternary_mask(netlist, sim_.values(), g), kind_);
+  const netlist::FlatNetlist& flat = problem.netlist().flat();
+  terms_.resize(static_cast<std::size_t>(flat.num_gates()));
+  for (std::uint32_t g = 0; g < flat.num_gates(); ++g) {
+    terms_[g] = masked_gate_bound_na(
+        problem, static_cast<int>(g),
+        sim::local_ternary_mask(flat, sim_.values(), g), kind_);
   }
 }
 
@@ -64,11 +66,13 @@ double BoundEngine::set_input(int index, sim::Tri value) {
   term_marks_.push_back(term_log_.size());
   changed_.clear();
   sim_.set_input(index, value, &changed_);
+  const netlist::FlatNetlist& flat = problem_->netlist().flat();
   for (int g : changed_) {
     const std::size_t gate = static_cast<std::size_t>(g);
     term_log_.push_back({g, terms_[gate]});
     terms_[gate] = masked_gate_bound_na(
-        *problem_, g, sim::local_ternary_mask(problem_->netlist(), sim_.values(), g),
+        *problem_, g,
+        sim::local_ternary_mask(flat, sim_.values(), static_cast<std::uint32_t>(g)),
         kind_);
   }
   return bound();

@@ -31,7 +31,8 @@ LeafEvaluator::LeafEvaluator(const AssignmentProblem& problem)
 
 void LeafEvaluator::refresh_gate(int gate) {
   GateContext& ctx = contexts_[static_cast<std::size_t>(gate)];
-  ctx.raw_state = sim::local_state(problem_->netlist(), sim_.values(), gate);
+  ctx.raw_state = sim::local_state(problem_->netlist().flat(), sim_.values(),
+                                   static_cast<std::uint32_t>(gate));
   if (problem_->use_pin_reorder()) {
     ctx.mapping = problem_->pin_mapping(gate, ctx.raw_state);
     ctx.canonical_state = ctx.mapping.canonical_state;

@@ -1,0 +1,73 @@
+// Netlist partitioning for hierarchical optimization at 100k..1M gates.
+//
+// The flat optimizer's state tree is exponential in the number of
+// controllable inputs, so large circuits are cut into clusters with a gate
+// budget and each cluster is solved as an independent standby instance:
+// its boundary signals become controllable primary inputs (the standard
+// relaxation -- the cluster's sleep state is chosen as if the boundary
+// were scannable), and a stitch pass afterwards reconciles the boundary
+// choices on the real circuit (svc/hier.hpp).
+//
+// Partitions never mix weakly-connected components, and the canonical
+// cluster text (canonical_bench_text) names everything positionally
+// (bi*/n*/g*), so two structurally identical clusters -- multiplier rows,
+// repeated macros, duplicated cones -- serialize to the same bytes and the
+// service layer's content-addressed SolutionCache solves them once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace svtox::opt {
+
+/// Knobs of the partitioner.
+struct PartitionOptions {
+  /// Gate budget per partition. Components larger than this are cut into
+  /// consecutive topological slices of at most this many gates.
+  int max_gates = 2000;
+};
+
+/// One cluster of the circuit.
+struct Partition {
+  /// Member gate ids, a contiguous subsequence of a component's gates in
+  /// global topological order (so the list itself is topologically
+  /// sorted).
+  std::vector<int> gates;
+  /// Signals read by member gates but not driven by them (global control
+  /// points or other partitions' outputs), ordered by first use scanning
+  /// `gates` in order and fanins in pin order. These become the cluster's
+  /// controllable primary inputs.
+  std::vector<int> boundary_inputs;
+  /// Signals driven by member gates and observed outside the partition
+  /// (global observe points or fanins of non-member gates), in `gates`
+  /// order. These become the cluster's primary outputs.
+  std::vector<int> outputs;
+};
+
+/// Cuts `netlist` into partitions. Every gate lands in exactly one
+/// partition; partitions are ordered so that every boundary input is
+/// either a global control point or an output of an *earlier* partition
+/// (a topological order over the partition graph).
+std::vector<Partition> partition_netlist(const netlist::Netlist& netlist,
+                                         const PartitionOptions& options = {});
+
+/// The canonical .bench text of one partition: INPUT lines "bi<j>" in
+/// boundary_inputs order, OUTPUT lines for `outputs`, then one gate line
+/// per member gate in `gates` order driving "n<k>" (k = position in
+/// `gates`). Structure-identical partitions produce byte-identical text
+/// regardless of the global names, and reading the text back
+/// (netlist::read_bench) yields a netlist whose gate k corresponds to
+/// global gate `gates[k]` with the same cell and pin order -- the
+/// hierarchical stitcher relies on both properties.
+std::string canonical_bench_text(const netlist::Netlist& netlist,
+                                 const Partition& partition);
+
+/// Checks the partitioning invariants (every gate exactly once, boundary /
+/// output sets consistent, acyclic partition order); throws ContractError
+/// on violation. Test/debug helper, O(gates + signals).
+void check_partitions(const netlist::Netlist& netlist,
+                      const std::vector<Partition>& partitions);
+
+}  // namespace svtox::opt

@@ -1,6 +1,7 @@
 #include "opt/problem.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/error.hpp"
 
@@ -10,6 +11,7 @@ AssignmentProblem::AssignmentProblem(const netlist::Netlist& netlist,
                                      double penalty_fraction,
                                      const ProblemOptions& options)
     : netlist_(&netlist),
+      flat_(&netlist.flat()),
       penalty_(penalty_fraction),
       options_(options),
       load_slices_(netlist) {
@@ -106,10 +108,15 @@ AssignmentProblem::AssignmentProblem(const netlist::Netlist& netlist,
   });
 }
 
+// The per-gate lookups below sit inside the bound subset walks and leaf
+// refresh loops -- the hottest scalar code in the search. They index the
+// flat cell array and the per-cell tables unchecked (debug asserts only):
+// the constructor sized every table to the cell's num_states, and every
+// raw state a simulator can produce is below that.
 const VariantMenu& AssignmentProblem::menu(int gate, std::uint32_t canonical_state) const {
-  const CellCache& cache =
-      cell_cache_.at(static_cast<std::size_t>(netlist_->gate(gate).cell_index));
-  const VariantMenu& menu = cache.menus.at(canonical_state);
+  const CellCache& cache = cell_cache_[flat_->cell_index(static_cast<std::uint32_t>(gate))];
+  assert(canonical_state < cache.menus.size());
+  const VariantMenu& menu = cache.menus[canonical_state];
   if (menu.by_leakage.empty()) {
     throw ContractError("AssignmentProblem::menu: state is not canonical");
   }
@@ -121,18 +128,21 @@ const cellkit::PinMapping& AssignmentProblem::pin_mapping(int gate,
   if (!options_.use_pin_reorder) {
     throw ContractError("AssignmentProblem::pin_mapping: pin reordering disabled");
   }
-  return cell_cache_.at(static_cast<std::size_t>(netlist_->gate(gate).cell_index))
-      .mapping_by_raw_state.at(raw_state);
+  const CellCache& cache = cell_cache_[flat_->cell_index(static_cast<std::uint32_t>(gate))];
+  assert(raw_state < cache.mapping_by_raw_state.size());
+  return cache.mapping_by_raw_state[raw_state];
 }
 
 double AssignmentProblem::min_gate_leak_na(int gate, std::uint32_t raw_state) const {
-  return cell_cache_.at(static_cast<std::size_t>(netlist_->gate(gate).cell_index))
-      .min_leak_by_raw_state.at(raw_state);
+  const CellCache& cache = cell_cache_[flat_->cell_index(static_cast<std::uint32_t>(gate))];
+  assert(raw_state < cache.min_leak_by_raw_state.size());
+  return cache.min_leak_by_raw_state[raw_state];
 }
 
 double AssignmentProblem::fastest_gate_leak_na(int gate, std::uint32_t raw_state) const {
-  return cell_cache_.at(static_cast<std::size_t>(netlist_->gate(gate).cell_index))
-      .fastest_leak_by_raw_state.at(raw_state);
+  const CellCache& cache = cell_cache_[flat_->cell_index(static_cast<std::uint32_t>(gate))];
+  assert(raw_state < cache.fastest_leak_by_raw_state.size());
+  return cache.fastest_leak_by_raw_state[raw_state];
 }
 
 double AssignmentProblem::min_gate_leak_over_na(

@@ -78,6 +78,7 @@ class AssignmentProblem {
 
  private:
   const netlist::Netlist* netlist_;
+  const netlist::FlatNetlist* flat_;  ///< Hot per-gate lookups read this.
   sta::DelayBudget budget_;
   double constraint_ps_;
   double penalty_;

@@ -9,19 +9,22 @@ IncrementalTernarySim::IncrementalTernarySim(const netlist::Netlist& netlist)
   if (!netlist.finalized()) {
     throw ContractError("IncrementalTernarySim: netlist not finalized");
   }
+  flat_ = &netlist.flat();
   values_.assign(static_cast<std::size_t>(netlist.num_signals()), Tri::kX);
   inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), Tri::kX);
   level_bucket_.resize(static_cast<std::size_t>(netlist.depth()) + 1);
   gate_epoch_.assign(static_cast<std::size_t>(netlist.num_gates()), 0);
 }
 
-void IncrementalTernarySim::enqueue_sinks(int signal) {
-  for (const netlist::Sink& sink : netlist_->sinks(signal)) {
-    const std::size_t g = static_cast<std::size_t>(sink.gate);
+void IncrementalTernarySim::enqueue_sinks(std::uint32_t signal) {
+  const std::uint32_t* sink_gates = flat_->sink_gates(signal);
+  const std::uint32_t count = flat_->sink_count(signal);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t g = sink_gates[i];
     if (gate_epoch_[g] == epoch_) continue;
     gate_epoch_[g] = epoch_;
-    level_bucket_[static_cast<std::size_t>(netlist_->gate_level(sink.gate))].push_back(
-        sink.gate);
+    level_bucket_[static_cast<std::size_t>(flat_->level(g))].push_back(
+        static_cast<int>(g));
   }
 }
 
@@ -33,10 +36,10 @@ void IncrementalTernarySim::set_input(int index, Tri value,
   frames_.push_back({undo_log_.size(), index, inputs_[static_cast<std::size_t>(index)]});
   inputs_[static_cast<std::size_t>(index)] = value;
 
-  const int signal = netlist_->control_points()[static_cast<std::size_t>(index)];
-  if (values_[static_cast<std::size_t>(signal)] == value) return;
-  undo_log_.push_back({signal, values_[static_cast<std::size_t>(signal)]});
-  values_[static_cast<std::size_t>(signal)] = value;
+  const std::uint32_t signal = flat_->control_points()[static_cast<std::size_t>(index)];
+  if (values_[signal] == value) return;
+  undo_log_.push_back({static_cast<int>(signal), values_[signal]});
+  values_[signal] = value;
 
   // Levelized sweep: a gate's fanins are all driven at strictly lower
   // levels, so processing buckets in ascending level order evaluates each
@@ -46,15 +49,15 @@ void IncrementalTernarySim::set_input(int index, Tri value,
   for (std::size_t level = 0; level < level_bucket_.size(); ++level) {
     std::vector<int>& bucket = level_bucket_[level];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const int g = bucket[i];
-      if (changed_gates != nullptr) changed_gates->push_back(g);
-      const Tri out = ternary_output(netlist_->cell_of(g).topology(),
-                                     local_ternary_mask(*netlist_, values_, g));
-      const std::size_t out_signal = static_cast<std::size_t>(netlist_->gate(g).output);
+      const std::uint32_t g = static_cast<std::uint32_t>(bucket[i]);
+      if (changed_gates != nullptr) changed_gates->push_back(static_cast<int>(g));
+      const Tri out =
+          ternary_output(flat_->truth(g), local_ternary_mask(*flat_, values_, g));
+      const std::uint32_t out_signal = flat_->output(g);
       if (values_[out_signal] == out) continue;
       undo_log_.push_back({static_cast<int>(out_signal), values_[out_signal]});
       values_[out_signal] = out;
-      enqueue_sinks(static_cast<int>(out_signal));
+      enqueue_sinks(out_signal);
     }
     bucket.clear();
   }
@@ -84,19 +87,22 @@ IncrementalBoolSim::IncrementalBoolSim(const netlist::Netlist& netlist)
   if (!netlist.finalized()) {
     throw ContractError("IncrementalBoolSim: netlist not finalized");
   }
+  flat_ = &netlist.flat();
   inputs_.assign(static_cast<std::size_t>(netlist.num_control_points()), false);
   values_ = simulate(netlist, inputs_);
   level_bucket_.resize(static_cast<std::size_t>(netlist.depth()) + 1);
   gate_epoch_.assign(static_cast<std::size_t>(netlist.num_gates()), 0);
 }
 
-void IncrementalBoolSim::enqueue_sinks(int signal) {
-  for (const netlist::Sink& sink : netlist_->sinks(signal)) {
-    const std::size_t g = static_cast<std::size_t>(sink.gate);
+void IncrementalBoolSim::enqueue_sinks(std::uint32_t signal) {
+  const std::uint32_t* sink_gates = flat_->sink_gates(signal);
+  const std::uint32_t count = flat_->sink_count(signal);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t g = sink_gates[i];
     if (gate_epoch_[g] == epoch_) continue;
     gate_epoch_[g] = epoch_;
-    level_bucket_[static_cast<std::size_t>(netlist_->gate_level(sink.gate))].push_back(
-        sink.gate);
+    level_bucket_[static_cast<std::size_t>(flat_->level(g))].push_back(
+        static_cast<int>(g));
   }
 }
 
@@ -108,10 +114,10 @@ void IncrementalBoolSim::set_input(int index, bool value,
   frames_.push_back({undo_log_.size(), index, inputs_[static_cast<std::size_t>(index)]});
   inputs_[static_cast<std::size_t>(index)] = value;
 
-  const int signal = netlist_->control_points()[static_cast<std::size_t>(index)];
-  if (values_[static_cast<std::size_t>(signal)] == value) return;
-  undo_log_.push_back({signal, values_[static_cast<std::size_t>(signal)]});
-  values_[static_cast<std::size_t>(signal)] = value;
+  const std::uint32_t signal = flat_->control_points()[static_cast<std::size_t>(index)];
+  if (values_[signal] == value) return;
+  undo_log_.push_back({static_cast<int>(signal), values_[signal]});
+  values_[signal] = value;
 
   // Same levelized sweep as the ternary engine: ascending level order
   // evaluates each cone gate exactly once, after all changed fanins settled.
@@ -120,15 +126,15 @@ void IncrementalBoolSim::set_input(int index, bool value,
   for (std::size_t level = 0; level < level_bucket_.size(); ++level) {
     std::vector<int>& bucket = level_bucket_[level];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const int g = bucket[i];
-      if (changed_gates != nullptr) changed_gates->push_back(g);
-      const bool out = netlist_->cell_of(g).topology().output(
-          local_state(*netlist_, values_, g));
-      const std::size_t out_signal = static_cast<std::size_t>(netlist_->gate(g).output);
+      const std::uint32_t g = static_cast<std::uint32_t>(bucket[i]);
+      if (changed_gates != nullptr) changed_gates->push_back(static_cast<int>(g));
+      const bool out =
+          ((flat_->truth(g) >> local_state(*flat_, values_, g)) & 1u) != 0;
+      const std::uint32_t out_signal = flat_->output(g);
       if (values_[out_signal] == out) continue;
       undo_log_.push_back({static_cast<int>(out_signal), values_[out_signal]});
       values_[out_signal] = out;
-      enqueue_sinks(static_cast<int>(out_signal));
+      enqueue_sinks(out_signal);
     }
     bucket.clear();
   }

@@ -61,9 +61,10 @@ class IncrementalTernarySim {
   void reset();
 
  private:
-  void enqueue_sinks(int signal);
+  void enqueue_sinks(std::uint32_t signal);
 
   const netlist::Netlist* netlist_;
+  const netlist::FlatNetlist* flat_;  ///< SoA view; all hot loops read this.
   std::vector<Tri> values_;   ///< Per signal.
   std::vector<Tri> inputs_;   ///< Per control point (mirror of the frames).
 
@@ -122,9 +123,10 @@ class IncrementalBoolSim {
   int frames() const { return static_cast<int>(frames_.size()); }
 
  private:
-  void enqueue_sinks(int signal);
+  void enqueue_sinks(std::uint32_t signal);
 
   const netlist::Netlist* netlist_;
+  const netlist::FlatNetlist* flat_;  ///< SoA view; all hot loops read this.
   std::vector<bool> values_;  ///< Per signal.
   std::vector<bool> inputs_;  ///< Per control point (mirror of the frames).
 

@@ -95,11 +95,12 @@ double circuit_leakage_from_values_na(const netlist::Netlist& netlist,
                                       const std::vector<bool>& signal_values) {
   const std::vector<const double*> tables =
       resolve_leakage_tables(netlist, config, "circuit_leakage");
+  const netlist::FlatNetlist& flat = netlist.flat();
   double total = 0.0;
-  for (int g = 0; g < netlist.num_gates(); ++g) {
-    const GateConfig& gc = config[static_cast<std::size_t>(g)];
-    const std::uint32_t logical = local_state(netlist, signal_values, g);
-    total += tables[static_cast<std::size_t>(g)][gc.physical_state(logical)];
+  for (std::uint32_t g = 0; g < flat.num_gates(); ++g) {
+    const GateConfig& gc = config[g];
+    const std::uint32_t logical = local_state(flat, signal_values, g);
+    total += tables[g][gc.physical_state(logical)];
   }
   return total;
 }
@@ -150,13 +151,14 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
       std::int32_t pin1;
       const double* leak;
     };
+    const netlist::FlatNetlist& flat = netlist.flat();
     std::vector<GatePlan> plan(static_cast<std::size_t>(num_gates));
     for (int g = 0; g < num_gates; ++g) {
-      const auto& fanins = netlist.gate(g).fanins;
+      const std::uint32_t* fanins = flat.fanins(static_cast<std::uint32_t>(g));
       GatePlan& p = plan[static_cast<std::size_t>(g)];
-      p.num_pins = static_cast<std::int32_t>(fanins.size());
-      p.pin0 = p.num_pins > 0 ? fanins[0] : 0;
-      p.pin1 = p.num_pins > 1 ? fanins[1] : 0;
+      p.num_pins = static_cast<std::int32_t>(flat.fanin_count(static_cast<std::uint32_t>(g)));
+      p.pin0 = p.num_pins > 0 ? static_cast<std::int32_t>(fanins[0]) : 0;
+      p.pin1 = p.num_pins > 1 ? static_cast<std::int32_t>(fanins[1]) : 0;
       p.leak = leak.gate(g);
     }
     // Per-lane totals of one 64-vector pass. Each lane takes exactly one
@@ -182,7 +184,7 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
                             p.leak);
         } else {
           const double* gate_leak = p.leak;
-          for_each_state_match(netlist, g, words, mask,
+          for_each_state_match(flat, static_cast<std::uint32_t>(g), words, mask,
                                [&](std::uint32_t state, std::uint64_t match) {
                                  simd::scatter_add(totals, match,
                                                    gate_leak[state]);
@@ -199,6 +201,7 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
   } else {
     // Scalar reference: identical Rng word stream, one vector at a time
     // through the single-vector simulator.
+    const netlist::FlatNetlist& flat = netlist.flat();
     std::vector<bool> inputs(pi_words.size());
     while (remaining > 0) {
       const int lanes = std::min(remaining, 64);
@@ -210,7 +213,7 @@ MonteCarloResult monte_carlo_leakage(const netlist::Netlist& netlist,
         const std::vector<bool> values = simulate(netlist, inputs);
         double total = 0.0;
         for (int g = 0; g < num_gates; ++g) {
-          total += leak.gate(g)[local_state(netlist, values, g)];
+          total += leak.gate(g)[local_state(flat, values, static_cast<std::uint32_t>(g))];
         }
         sum += total;
         result.min_na = std::min(result.min_na, total);

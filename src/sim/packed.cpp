@@ -21,13 +21,13 @@ void check_run(const netlist::Netlist& netlist, std::size_t provided) {
 /// Compiles (once per library cell actually instantiated) and returns the
 /// per-cell plane programs, indexed by cell_index.
 std::vector<cellkit::PlaneProgram> compile_programs(const netlist::Netlist& netlist) {
+  const netlist::FlatNetlist& flat = netlist.flat();
   std::vector<cellkit::PlaneProgram> programs(netlist.library().cells().size());
   std::vector<bool> done(programs.size(), false);
-  for (const netlist::Gate& gate : netlist.gates()) {
-    const auto cell = static_cast<std::size_t>(gate.cell_index);
+  for (std::uint32_t g = 0; g < flat.num_gates(); ++g) {
+    const std::size_t cell = flat.cell_index(g);
     if (done[cell]) continue;
-    programs[cell] =
-        cellkit::compile_plane_program(netlist.library().cell_at(gate.cell_index).topology());
+    programs[cell] = cellkit::compile_plane_program(flat.topology(g));
     done[cell] = true;
   }
   return programs;
@@ -49,28 +49,28 @@ SimBackend default_backend() {
 
 PackedBoolSim::PackedBoolSim(const netlist::Netlist& netlist) : netlist_(&netlist) {
   if (!netlist.finalized()) throw ContractError("PackedBoolSim: netlist not finalized");
+  const netlist::FlatNetlist& flat = netlist.flat();
   const std::vector<cellkit::PlaneProgram> programs = compile_programs(netlist);
-  gates_.reserve(static_cast<std::size_t>(netlist.num_gates()));
-  for (int g : netlist.topological_order()) {
-    const netlist::Gate& gate = netlist.gate(g);
-    const cellkit::PlaneProgram& program =
-        programs[static_cast<std::size_t>(gate.cell_index)];
+  gates_.reserve(static_cast<std::size_t>(flat.num_gates()));
+  for (std::uint32_t g : flat.topo_order()) {
+    const std::uint32_t* fanins = flat.fanins(g);
+    const cellkit::PlaneProgram& program = programs[flat.cell_index(g)];
     GateRange range;
     range.begin = static_cast<std::int32_t>(ops_.size());
     for (const cellkit::PlaneOp& op : program.ops) {
       cellkit::PlaneOp resolved = op;
       if (op.kind == cellkit::PlaneOp::Kind::kLoad) {
         // Resolve the cell-local pin to the gate's fanin signal id.
-        resolved.pin = gate.fanins[static_cast<std::size_t>(op.pin)];
+        resolved.pin = static_cast<int>(fanins[op.pin]);
       }
       ops_.push_back(resolved);
     }
     range.end = static_cast<std::int32_t>(ops_.size());
-    range.output = gate.output;
+    range.output = static_cast<std::int32_t>(flat.output(g));
     gates_.push_back(range);
     if (program.max_stack > max_stack_) max_stack_ = program.max_stack;
   }
-  words_.resize(static_cast<std::size_t>(netlist.num_signals()), 0);
+  words_.resize(static_cast<std::size_t>(flat.num_signals()), 0);
 }
 
 const std::vector<std::uint64_t>& PackedBoolSim::run(
@@ -115,13 +115,14 @@ const std::vector<std::uint64_t>& PackedBoolSim::run(
 PackedTernarySim::PackedTernarySim(const netlist::Netlist& netlist)
     : netlist_(&netlist) {
   if (!netlist.finalized()) throw ContractError("PackedTernarySim: netlist not finalized");
+  const netlist::FlatNetlist& flat = netlist.flat();
   const std::vector<cellkit::PlaneProgram> programs = compile_programs(netlist);
   cell_states_.resize(programs.size());
   std::vector<bool> states_done(programs.size(), false);
-  gates_.reserve(static_cast<std::size_t>(netlist.num_gates()));
-  for (int g : netlist.topological_order()) {
-    const netlist::Gate& gate = netlist.gate(g);
-    const auto cell = static_cast<std::size_t>(gate.cell_index);
+  gates_.reserve(static_cast<std::size_t>(flat.num_gates()));
+  for (std::uint32_t g : flat.topo_order()) {
+    const std::uint32_t* fanins = flat.fanins(g);
+    const std::size_t cell = flat.cell_index(g);
     const cellkit::PlaneProgram& program = programs[cell];
     GateRange range;
     range.begin = range.end = static_cast<std::int32_t>(ops_.size());
@@ -129,7 +130,7 @@ PackedTernarySim::PackedTernarySim(const netlist::Netlist& netlist)
       for (const cellkit::PlaneOp& op : program.ops) {
         cellkit::PlaneOp resolved = op;
         if (op.kind == cellkit::PlaneOp::Kind::kLoad) {
-          resolved.pin = gate.fanins[static_cast<std::size_t>(op.pin)];
+          resolved.pin = static_cast<int>(fanins[op.pin]);
         }
         ops_.push_back(resolved);
       }
@@ -138,30 +139,31 @@ PackedTernarySim::PackedTernarySim(const netlist::Netlist& netlist)
     } else if (!states_done[cell]) {
       // Kleene evaluation would be pessimistic for this cell: precompute
       // the ON/OFF-set state lists its exact minterm fallback scans.
-      const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
+      const cellkit::CellTopology& topo = flat.topology(g);
       for (std::uint32_t s = 0; s < topo.num_states(); ++s) {
         (topo.output(s) ? cell_states_[cell].on : cell_states_[cell].off).push_back(s);
       }
       states_done[cell] = true;
     }
-    range.output = gate.output;
-    range.gate = g;
-    range.cell = gate.cell_index;
+    range.output = static_cast<std::int32_t>(flat.output(g));
+    range.gate = static_cast<std::int32_t>(g);
+    range.cell = static_cast<std::int32_t>(cell);
     gates_.push_back(range);
   }
-  planes_.resize(static_cast<std::size_t>(netlist.num_signals()));
+  planes_.resize(static_cast<std::size_t>(flat.num_signals()));
 }
 
 void PackedTernarySim::run_generic(int gate, int cell) {
   // Exact three-valued evaluation by completion sets: a lane's output can
   // be 1 iff some ON-set state is compatible with its pin planes, can be 0
   // iff some OFF-set state is. Known iff exactly one of the two holds.
-  const netlist::Gate& g = netlist_->gate(gate);
-  const int k = static_cast<int>(g.fanins.size());
+  const netlist::FlatNetlist& flat = netlist_->flat();
+  const std::uint32_t* fanins = flat.fanins(static_cast<std::uint32_t>(gate));
+  const int k = static_cast<int>(flat.fanin_count(static_cast<std::uint32_t>(gate)));
   std::uint64_t can_hi[8];  // Pin can carry 1 (value 1 or X).
   std::uint64_t can_lo[8];  // Pin can carry 0 (value 0 or X).
   for (int p = 0; p < k; ++p) {
-    const cellkit::TriWord pin = planes_[static_cast<std::size_t>(g.fanins[p])];
+    const cellkit::TriWord pin = planes_[fanins[p]];
     can_hi[p] = pin.ones | pin.xs;
     can_lo[p] = ~pin.ones;
   }
@@ -178,8 +180,8 @@ void PackedTernarySim::run_generic(int gate, int cell) {
     for (int p = 0; p < k; ++p) term &= ((s >> p) & 1u) ? can_hi[p] : can_lo[p];
     can_zero |= term;
   }
-  planes_[static_cast<std::size_t>(g.output)] = {can_one & ~can_zero,
-                                                 can_one & can_zero};
+  planes_[flat.output(static_cast<std::uint32_t>(gate))] = {can_one & ~can_zero,
+                                                            can_one & can_zero};
 }
 
 const std::vector<cellkit::TriWord>& PackedTernarySim::run(
@@ -249,9 +251,10 @@ std::vector<std::vector<std::uint64_t>> state_histogram(const netlist::Netlist& 
     if (backend == SimBackend::kPacked) {
       const std::vector<std::uint64_t>& words = packed.run(pi_words);
       const std::uint64_t mask = tail_mask(lanes);
+      const netlist::FlatNetlist& flat = netlist.flat();
       for (int g = 0; g < num_gates; ++g) {
         std::uint64_t* gate_counts = counts[static_cast<std::size_t>(g)].data();
-        for_each_state_match(netlist, g, words, mask,
+        for_each_state_match(flat, static_cast<std::uint32_t>(g), words, mask,
                              [gate_counts](std::uint32_t state, std::uint64_t match) {
                                gate_counts[state] +=
                                    static_cast<std::uint64_t>(std::popcount(match));

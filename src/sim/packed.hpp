@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cellkit/plane_compile.hpp"
@@ -118,14 +119,14 @@ class PackedTernarySim {
 /// Every active lane appears in exactly one callback. The word-parallel
 /// replacement for a per-lane local_state64 loop.
 template <typename Fn>
-inline void for_each_state_match(const netlist::Netlist& netlist, int gate,
+inline void for_each_state_match(const netlist::FlatNetlist& flat, std::uint32_t gate,
                                  const std::vector<std::uint64_t>& signal_words,
                                  std::uint64_t lane_mask, Fn&& fn) {
-  const netlist::Gate& g = netlist.gate(gate);
-  const int k = static_cast<int>(g.fanins.size());
+  const std::uint32_t* pins = flat.fanins(gate);
+  const int k = static_cast<int>(flat.fanin_count(gate));
   std::uint64_t pin_words[8];
   for (int p = 0; p < k; ++p) {
-    pin_words[p] = signal_words[static_cast<std::size_t>(g.fanins[p])];
+    pin_words[p] = signal_words[pins[p]];
   }
   const std::uint32_t num_states = 1u << k;
   for (std::uint32_t state = 0; state < num_states; ++state) {
@@ -135,6 +136,14 @@ inline void for_each_state_match(const netlist::Netlist& netlist, int gate,
     }
     if (match != 0) fn(state, match);
   }
+}
+
+template <typename Fn>
+inline void for_each_state_match(const netlist::Netlist& netlist, int gate,
+                                 const std::vector<std::uint64_t>& signal_words,
+                                 std::uint64_t lane_mask, Fn&& fn) {
+  for_each_state_match(netlist.flat(), static_cast<std::uint32_t>(gate), signal_words,
+                       lane_mask, std::forward<Fn>(fn));
 }
 
 /// Per-gate local-state occurrence counts over `num_vectors` uniform random

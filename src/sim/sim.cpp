@@ -18,79 +18,82 @@ void check_inputs(const netlist::Netlist& netlist, std::size_t provided) {
 std::vector<bool> simulate(const netlist::Netlist& netlist,
                            const std::vector<bool>& input_values) {
   check_inputs(netlist, input_values.size());
-  std::vector<bool> values(static_cast<std::size_t>(netlist.num_signals()), false);
-  for (int i = 0; i < netlist.num_control_points(); ++i) {
-    values[static_cast<std::size_t>(netlist.control_points()[i])] = input_values[i];
+  const netlist::FlatNetlist& flat = netlist.flat();
+  // Byte-valued scratch: vector<bool> costs a masked read-modify-write per
+  // signal access, which dominates this kernel. Evaluate over bytes and
+  // pack into the public vector<bool> once at the end.
+  std::vector<unsigned char> scratch(static_cast<std::size_t>(flat.num_signals()), 0);
+  for (std::uint32_t i = 0; i < flat.num_control_points(); ++i) {
+    scratch[flat.control_points()[i]] = input_values[i] ? 1 : 0;
   }
-  for (int g : netlist.topological_order()) {
-    const std::uint32_t state = local_state(netlist, values, g);
-    values[static_cast<std::size_t>(netlist.gate(g).output)] =
-        netlist.cell_of(g).topology().output(state);
+  for (std::uint32_t g : flat.topo_order()) {
+    const std::uint32_t* pins = flat.fanins(g);
+    const std::uint32_t k = flat.fanin_count(g);
+    std::uint32_t state = 0;
+    for (std::uint32_t pin = 0; pin < k; ++pin) {
+      state |= static_cast<std::uint32_t>(scratch[pins[pin]]) << pin;
+    }
+    scratch[flat.output(g)] =
+        static_cast<unsigned char>((flat.truth(g) >> state) & 1u);
   }
+  std::vector<bool> values(scratch.size());
+  for (std::size_t s = 0; s < scratch.size(); ++s) values[s] = scratch[s] != 0;
   return values;
 }
 
 std::vector<std::uint64_t> simulate64(const netlist::Netlist& netlist,
                                       const std::vector<std::uint64_t>& input_words) {
   check_inputs(netlist, input_words.size());
-  std::vector<std::uint64_t> words(static_cast<std::size_t>(netlist.num_signals()), 0);
-  for (int i = 0; i < netlist.num_control_points(); ++i) {
-    words[static_cast<std::size_t>(netlist.control_points()[i])] = input_words[i];
+  const netlist::FlatNetlist& flat = netlist.flat();
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(flat.num_signals()), 0);
+  for (std::uint32_t i = 0; i < flat.num_control_points(); ++i) {
+    words[flat.control_points()[i]] = input_words[i];
   }
-  for (int g : netlist.topological_order()) {
-    const netlist::Gate& gate = netlist.gate(g);
-    const cellkit::CellTopology& topo = netlist.cell_of(g).topology();
-    const int k = topo.num_inputs();
+  for (std::uint32_t g : flat.topo_order()) {
+    const std::uint16_t truth = flat.truth(g);
+    const std::uint32_t* pins = flat.fanins(g);
+    const std::uint32_t k = flat.fanin_count(g);
+    const std::uint32_t num_states = 1u << k;
     // Sum of minterms: for every ON-set state, AND the matching pin
     // polarities together and OR into the output word.
     std::uint64_t out = 0;
-    for (std::uint32_t state = 0; state < topo.num_states(); ++state) {
-      if (!topo.output(state)) continue;
+    for (std::uint32_t state = 0; state < num_states; ++state) {
+      if (((truth >> state) & 1u) == 0) continue;
       std::uint64_t term = ~0ULL;
-      for (int pin = 0; pin < k; ++pin) {
-        const std::uint64_t v = words[static_cast<std::size_t>(gate.fanins[pin])];
+      for (std::uint32_t pin = 0; pin < k; ++pin) {
+        const std::uint64_t v = words[pins[pin]];
         term &= ((state >> pin) & 1u) ? v : ~v;
       }
       out |= term;
     }
-    words[static_cast<std::size_t>(gate.output)] = out;
+    words[flat.output(g)] = out;
   }
   return words;
 }
 
 std::uint32_t local_state(const netlist::Netlist& netlist,
                           const std::vector<bool>& signal_values, int gate) {
-  const netlist::Gate& g = netlist.gate(gate);
-  std::uint32_t state = 0;
-  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-    if (signal_values[static_cast<std::size_t>(g.fanins[pin])]) state |= 1u << pin;
-  }
-  return state;
+  return local_state(netlist.flat(), signal_values, static_cast<std::uint32_t>(gate));
 }
 
 std::uint32_t local_state64(const netlist::Netlist& netlist,
                             const std::vector<std::uint64_t>& signal_words, int gate,
                             int lane) {
-  const netlist::Gate& g = netlist.gate(gate);
-  std::uint32_t state = 0;
-  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-    if ((signal_words[static_cast<std::size_t>(g.fanins[pin])] >> lane) & 1u) {
-      state |= 1u << pin;
-    }
-  }
-  return state;
+  return local_state64(netlist.flat(), signal_words, static_cast<std::uint32_t>(gate),
+                       lane);
 }
 
 std::vector<Tri> simulate_ternary(const netlist::Netlist& netlist,
                                   const std::vector<Tri>& input_values) {
   check_inputs(netlist, input_values.size());
-  std::vector<Tri> values(static_cast<std::size_t>(netlist.num_signals()), Tri::kX);
-  for (int i = 0; i < netlist.num_control_points(); ++i) {
-    values[static_cast<std::size_t>(netlist.control_points()[i])] = input_values[i];
+  const netlist::FlatNetlist& flat = netlist.flat();
+  std::vector<Tri> values(static_cast<std::size_t>(flat.num_signals()), Tri::kX);
+  for (std::uint32_t i = 0; i < flat.num_control_points(); ++i) {
+    values[flat.control_points()[i]] = input_values[i];
   }
-  for (int g : netlist.topological_order()) {
-    values[static_cast<std::size_t>(netlist.gate(g).output)] = ternary_output(
-        netlist.cell_of(g).topology(), local_ternary_mask(netlist, values, g));
+  for (std::uint32_t g : flat.topo_order()) {
+    values[flat.output(g)] =
+        ternary_output(flat.truth(g), local_ternary_mask(flat, values, g));
   }
   return values;
 }
@@ -107,21 +110,8 @@ std::vector<Tri> local_ternary(const netlist::Netlist& netlist,
 
 TriMask local_ternary_mask(const netlist::Netlist& netlist,
                            const std::vector<Tri>& signal_values, int gate) {
-  const netlist::Gate& g = netlist.gate(gate);
-  TriMask mask;
-  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-    switch (signal_values[static_cast<std::size_t>(g.fanins[pin])]) {
-      case Tri::kZero:
-        break;
-      case Tri::kOne:
-        mask.ones |= 1u << pin;
-        break;
-      case Tri::kX:
-        mask.xmask |= 1u << pin;
-        break;
-    }
-  }
-  return mask;
+  return local_ternary_mask(netlist.flat(), signal_values,
+                            static_cast<std::uint32_t>(gate));
 }
 
 Tri ternary_output(const cellkit::CellTopology& topo, TriMask mask) {

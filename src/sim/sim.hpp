@@ -69,9 +69,75 @@ struct TriMask {
 TriMask local_ternary_mask(const netlist::Netlist& netlist,
                            const std::vector<Tri>& signal_values, int gate);
 
+// --- Flat-view overloads ---------------------------------------------------
+// Same bit semantics as the Netlist versions, but reading the finalize-time
+// SoA arrays: no string-bearing Gate structs, no nested vectors, and the
+// bounds checks compile out in release builds. Hot consumers capture
+// `netlist.flat()` once and call these in their inner loops.
+
+inline std::uint32_t local_state(const netlist::FlatNetlist& flat,
+                                 const std::vector<bool>& signal_values,
+                                 std::uint32_t gate) {
+  const std::uint32_t* pins = flat.fanins(gate);
+  const std::uint32_t k = flat.fanin_count(gate);
+  std::uint32_t state = 0;
+  for (std::uint32_t pin = 0; pin < k; ++pin) {
+    if (signal_values[pins[pin]]) state |= 1u << pin;
+  }
+  return state;
+}
+
+inline std::uint32_t local_state64(const netlist::FlatNetlist& flat,
+                                   const std::vector<std::uint64_t>& signal_words,
+                                   std::uint32_t gate, int lane) {
+  const std::uint32_t* pins = flat.fanins(gate);
+  const std::uint32_t k = flat.fanin_count(gate);
+  std::uint32_t state = 0;
+  for (std::uint32_t pin = 0; pin < k; ++pin) {
+    if ((signal_words[pins[pin]] >> lane) & 1u) state |= 1u << pin;
+  }
+  return state;
+}
+
+inline TriMask local_ternary_mask(const netlist::FlatNetlist& flat,
+                                  const std::vector<Tri>& signal_values,
+                                  std::uint32_t gate) {
+  const std::uint32_t* pins = flat.fanins(gate);
+  const std::uint32_t k = flat.fanin_count(gate);
+  TriMask mask;
+  for (std::uint32_t pin = 0; pin < k; ++pin) {
+    switch (signal_values[pins[pin]]) {
+      case Tri::kZero:
+        break;
+      case Tri::kOne:
+        mask.ones |= 1u << pin;
+        break;
+      case Tri::kX:
+        mask.xmask |= 1u << pin;
+        break;
+    }
+  }
+  return mask;
+}
+
 /// Ternary output of a cell at a masked local state: known iff every
 /// compatible completion agrees. Allocation-free; shared by the full and
 /// incremental ternary simulators.
 Tri ternary_output(const cellkit::CellTopology& topo, TriMask mask);
+
+/// Same subset walk over a packed FlatNetlist::truth() word: one shift per
+/// completion instead of an out-of-line topology lookup.
+inline Tri ternary_output(std::uint16_t truth, TriMask mask) {
+  bool saw_zero = false;
+  bool saw_one = false;
+  std::uint32_t sub = mask.xmask;
+  for (;;) {
+    (((truth >> (mask.ones | sub)) & 1u) != 0 ? saw_one : saw_zero) = true;
+    if (saw_zero && saw_one) return Tri::kX;
+    if (sub == 0) break;
+    sub = (sub - 1) & mask.xmask;
+  }
+  return saw_one ? Tri::kOne : Tri::kZero;
+}
 
 }  // namespace svtox::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <queue>
@@ -19,7 +20,9 @@ SignalTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitCo
                            int gate, const SignalTiming* sig,
                            const std::vector<double>& load_ff,
                            const LoadSlicedTables::GateView* views, double delay_scale) {
-  const netlist::Gate& g = netlist.gate(gate);
+  const netlist::FlatNetlist& flat = netlist.flat();
+  const std::uint32_t* fanins = flat.fanins(static_cast<std::uint32_t>(gate));
+  const std::uint32_t num_pins = flat.fanin_count(static_cast<std::uint32_t>(gate));
   const sim::GateConfig& gc = config[static_cast<std::size_t>(gate)];
 
   SignalTiming t;
@@ -36,10 +39,10 @@ SignalTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitCo
     const LoadSlicedTables::PinSlices* row =
         view.base + static_cast<std::size_t>(gc.variant) * view.pins;
     const std::vector<int>& map = gc.mapping.logical_to_physical;
-    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-      const SignalTiming& in = sig[static_cast<std::size_t>(g.fanins[pin])];
+    for (std::uint32_t pin = 0; pin < num_pins; ++pin) {
+      const SignalTiming& in = sig[fanins[pin]];
       const LoadSlicedTables::PinSlices& sl =
-          row[map.empty() ? pin : static_cast<std::size_t>(map[pin])];
+          row[map.empty() ? pin : static_cast<std::uint32_t>(map[pin])];
 
       const double cand_rise = in.at_fall + sl.delay_rise.lookup(in.slew_fall);
       if (cand_rise > t.at_rise) {
@@ -56,15 +59,18 @@ SignalTiming evaluate_gate(const netlist::Netlist& netlist, const sim::CircuitCo
     return t;
   }
 
-  const liberty::LibCell& cell = netlist.cell_of(gate);
+  const liberty::LibCell& cell =
+      netlist.library().cell_at(static_cast<int>(flat.cell_index(static_cast<std::uint32_t>(gate))));
   const liberty::LibCellVariant& variant = cell.variant(gc.variant);
-  const double out_load = load_ff[static_cast<std::size_t>(g.output)];
-  for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-    const SignalTiming& in = sig[static_cast<std::size_t>(g.fanins[pin])];
-    const int phys = gc.mapping.logical_to_physical.empty()
-                         ? static_cast<int>(pin)
-                         : gc.mapping.logical_to_physical[pin];
-    const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
+  const double out_load = load_ff[flat.output(static_cast<std::uint32_t>(gate))];
+  for (std::uint32_t pin = 0; pin < num_pins; ++pin) {
+    const SignalTiming& in = sig[fanins[pin]];
+    const std::uint32_t phys = gc.mapping.logical_to_physical.empty()
+                                   ? pin
+                                   : static_cast<std::uint32_t>(
+                                         gc.mapping.logical_to_physical[pin]);
+    assert(phys < variant.pins.size());
+    const liberty::PinTiming& timing = variant.pins[phys];
 
     // Inverting cell: output rise comes from input fall.
     const double cand_rise =
@@ -250,8 +256,10 @@ std::vector<double> downstream_delay_lower_bounds_ps(const netlist::Netlist& net
   return bound;
 }
 
-TimingState::TimingState(const netlist::Netlist& netlist) : netlist_(&netlist) {
+TimingState::TimingState(const netlist::Netlist& netlist)
+    : netlist_(&netlist), flat_(nullptr) {
   if (!netlist.finalized()) throw ContractError("TimingState: netlist not finalized");
+  flat_ = &netlist.flat();
   const int n = netlist.num_signals();
   sig_.assign(static_cast<std::size_t>(n), SignalTiming{});
   load_ff_.resize(n);
@@ -293,12 +301,12 @@ double TimingState::analyze(const sim::CircuitConfig& config, double delay_scale
     throw ContractError("TimingState::analyze: config size mismatch");
   }
   const double pi_slew = netlist_->library().tech().default_pi_slew_ps;
-  for (int s : netlist_->control_points()) {
-    sig_[static_cast<std::size_t>(s)] = {0.0, 0.0, pi_slew, pi_slew};
+  for (std::uint32_t s : flat_->control_points()) {
+    sig_[s] = {0.0, 0.0, pi_slew, pi_slew};
   }
-  for (int g : netlist_->topological_order()) {
-    sig_[static_cast<std::size_t>(netlist_->gate(g).output)] =
-        evaluate_gate(*netlist_, config, g, sig_.data(), load_ff_, nullptr, delay_scale);
+  for (std::uint32_t g : flat_->topo_order()) {
+    sig_[flat_->output(g)] = evaluate_gate(*netlist_, config, static_cast<int>(g),
+                                           sig_.data(), load_ff_, nullptr, delay_scale);
   }
   return circuit_delay_ps();
 }
@@ -330,19 +338,25 @@ double TimingState::update_after_gate_change(const sim::CircuitConfig& config, i
   // all its fanins final.
   using Item = std::pair<int, int>;  // (rank, gate)
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
-  std::vector<bool> queued(static_cast<std::size_t>(netlist_->num_gates()), false);
+  if (queued_.size() != static_cast<std::size_t>(netlist_->num_gates())) {
+    queued_.assign(static_cast<std::size_t>(netlist_->num_gates()), false);
+  }
   queue.push({topo_rank_[static_cast<std::size_t>(gate)], gate});
-  queued[static_cast<std::size_t>(gate)] = true;
+  queued_[static_cast<std::size_t>(gate)] = true;
 
   while (!queue.empty()) {
     const int g = queue.top().second;
     queue.pop();
-    queued[static_cast<std::size_t>(g)] = false;
+    queued_[static_cast<std::size_t>(g)] = false;
     if (!recompute_gate(config, g, undo)) continue;
-    for (const netlist::Sink& sink : netlist_->sinks(netlist_->gate(g).output)) {
-      if (!queued[static_cast<std::size_t>(sink.gate)]) {
-        queue.push({topo_rank_[static_cast<std::size_t>(sink.gate)], sink.gate});
-        queued[static_cast<std::size_t>(sink.gate)] = true;
+    const std::uint32_t out = flat_->output(static_cast<std::uint32_t>(g));
+    const std::uint32_t* sink_gates = flat_->sink_gates(out);
+    const std::uint32_t count = flat_->sink_count(out);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t sink = sink_gates[i];
+      if (!queued_[sink]) {
+        queue.push({topo_rank_[sink], static_cast<int>(sink)});
+        queued_[sink] = true;
       }
     }
   }
@@ -450,19 +464,22 @@ std::vector<int> TimingState::critical_path(const sim::CircuitConfig& config) co
     path.push_back(gate);
 
     // Find the fanin pin whose arrival + delay realizes this output edge.
-    const netlist::Gate& g = netlist_->gate(gate);
+    const std::uint32_t* fanins = flat_->fanins(static_cast<std::uint32_t>(gate));
+    const std::uint32_t num_pins = flat_->fanin_count(static_cast<std::uint32_t>(gate));
     const sim::GateConfig& gc = config[static_cast<std::size_t>(gate)];
     const liberty::LibCellVariant& variant = netlist_->cell_of(gate).variant(gc.variant);
-    const double out_load = load_ff_[static_cast<std::size_t>(g.output)];
+    const double out_load = load_ff_[flat_->output(static_cast<std::uint32_t>(gate))];
     double best = -1e300;
     int best_sig = -1;
-    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
-      const int in_sig = g.fanins[pin];
+    for (std::uint32_t pin = 0; pin < num_pins; ++pin) {
+      const int in_sig = static_cast<int>(fanins[pin]);
       const SignalTiming& in = sig_[static_cast<std::size_t>(in_sig)];
-      const int phys = gc.mapping.logical_to_physical.empty()
-                           ? static_cast<int>(pin)
-                           : gc.mapping.logical_to_physical[pin];
-      const liberty::PinTiming& timing = variant.pins.at(static_cast<std::size_t>(phys));
+      const std::uint32_t phys = gc.mapping.logical_to_physical.empty()
+                                     ? pin
+                                     : static_cast<std::uint32_t>(
+                                           gc.mapping.logical_to_physical[pin]);
+      assert(phys < variant.pins.size());
+      const liberty::PinTiming& timing = variant.pins[phys];
       double cand;
       if (point.rising) {
         cand = in.at_fall + timing.delay_rise.lookup(in.slew_fall, out_load);

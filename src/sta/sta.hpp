@@ -172,6 +172,7 @@ class TimingState {
   bool recompute_gate(const sim::CircuitConfig& config, int gate, TimingUndo* undo);
 
   const netlist::Netlist* netlist_;
+  const netlist::FlatNetlist* flat_;  ///< SoA view; hot loops read this.
   const LoadSlicedTables* slices_ = nullptr;  ///< Optional, caller-owned.
   std::vector<SignalTiming> sig_;  // per signal
   std::vector<double> load_ff_;    // per signal
@@ -190,6 +191,10 @@ class TimingState {
   /// cone in ascending rank -- the exact order of the rank min-heap it
   /// replaces -- and both exits leave the bitmap all-zero for the next call.
   std::vector<std::uint64_t> pending_bits_;
+  /// Scratch of update_after_gate_change: queued flag per gate, reused
+  /// across calls (every pop clears its flag, so the vector is all-false
+  /// again when the heap drains -- no per-call allocation).
+  std::vector<bool> queued_;
 };
 
 /// Per-signal lower bound [ps] on the combinational delay from the signal

@@ -1,0 +1,169 @@
+#include "svc/hier.hpp"
+
+#include <vector>
+
+#include "core/solution_io.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/leakage_eval.hpp"
+#include "sim/sim.hpp"
+#include "svc/fingerprint.hpp"
+#include "svc/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::svc {
+
+namespace {
+
+/// Applies the stitched config's delay repair: from-scratch STA, then
+/// critical-path gates reset to their fastest identity-mapped version
+/// until the constraint holds. Returns the final delay.
+double repair_delay(const netlist::Netlist& netlist, double constraint_ps,
+                    sim::CircuitConfig& config, int& repaired_gates) {
+  sta::TimingState timing(netlist);
+  double delay = timing.analyze(config);
+  if (delay <= constraint_ps) return delay;
+  const sim::CircuitConfig fastest = sim::fastest_config(netlist);
+  for (int round = 0; delay > constraint_ps; ++round) {
+    bool changed = false;
+    if (round < 256) {
+      for (int g : timing.critical_path(config)) {
+        sim::GateConfig& gc = config[static_cast<std::size_t>(g)];
+        const sim::GateConfig& fast = fastest[static_cast<std::size_t>(g)];
+        if (gc.variant != fast.variant || !gc.mapping.logical_to_physical.empty()) {
+          gc = fast;
+          ++repaired_gates;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      // The critical path is already all-fast (a slew interaction off the
+      // backtracked path) or the loop is taking too long: fall back to the
+      // all-fast configuration, which meets any constraint >= fast delay.
+      for (std::size_t g = 0; g < config.size(); ++g) {
+        if (config[g].variant != fastest[g].variant ||
+            !config[g].mapping.logical_to_physical.empty()) {
+          config[g] = fastest[g];
+          ++repaired_gates;
+        }
+      }
+      return timing.analyze(config);
+    }
+    delay = timing.analyze(config);
+  }
+  return delay;
+}
+
+}  // namespace
+
+HierResult optimize_hierarchical(const netlist::Netlist& netlist,
+                                 const HierOptions& options) {
+  Timer timer;
+  if (!netlist.finalized()) {
+    throw ContractError("optimize_hierarchical: netlist not finalized");
+  }
+  if (options.method == "average") {
+    throw ContractError("optimize_hierarchical: per-cone method must produce a solution");
+  }
+
+  HierResult out;
+  out.budget = sta::compute_delay_budget(netlist);
+  out.constraint_ps = out.budget.constraint_ps(options.penalty_fraction);
+
+  const std::vector<opt::Partition> partitions =
+      opt::partition_netlist(netlist, options.partition);
+  out.partitions = static_cast<int>(partitions.size());
+
+  // Solve every cone through the scheduler; identical cone text dedups in
+  // the resource pool and the solution cache (inflight dedup makes even
+  // concurrent identical jobs solve once).
+  Scheduler::Options sched_options;
+  sched_options.workers = options.workers;
+  sched_options.queue_capacity = partitions.size() + 1;
+  sched_options.cache_capacity = std::max<std::size_t>(1024, partitions.size());
+  sched_options.cache_dir = options.cache_dir;
+  Scheduler scheduler(sched_options);
+
+  std::vector<std::string> texts;
+  texts.reserve(partitions.size());
+  std::vector<JobId> jobs;
+  jobs.reserve(partitions.size());
+  for (const opt::Partition& part : partitions) {
+    texts.push_back(opt::canonical_bench_text(netlist, part));
+    JobSpec spec;
+    spec.bench_text = texts.back();
+    spec.method = options.method;
+    spec.penalty_percent =
+        options.penalty_fraction * options.cone_penalty_scale * 100.0;
+    spec.time_limit_s = options.time_limit_s;
+    spec.random_vectors = options.random_vectors;
+    spec.seed = options.seed;
+    spec.nitrided = options.nitrided;
+    spec.two_point = options.two_point;
+    spec.uniform_stack = options.uniform_stack;
+    spec.vt_only = options.vt_only;
+    jobs.push_back(scheduler.submit(spec));
+  }
+
+  // Stitch. Control-point index per signal for the sleep votes.
+  std::vector<int> cp_index(static_cast<std::size_t>(netlist.num_signals()), -1);
+  for (int i = 0; i < netlist.num_control_points(); ++i) {
+    cp_index[static_cast<std::size_t>(netlist.control_points()[i])] = i;
+  }
+  std::vector<bool> sleep(static_cast<std::size_t>(netlist.num_control_points()), false);
+  std::vector<bool> voted(sleep.size(), false);
+  sim::CircuitConfig config = sim::fastest_config(netlist);
+
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const JobResult result = scheduler.wait(jobs[p]);
+    if (result.status != JobStatus::kDone) {
+      throw ContractError("cone job failed: " + result.error);
+    }
+    // Reconstruct the exact netlist the job was solved against (read_bench
+    // of the same text with the content-hash name) so the solution text
+    // parses positionally: cone gate k is global gate partition.gates[k],
+    // cone PI j is boundary input j.
+    const std::string name = "bt" + hex64(Fnv().str(texts[p]).value());
+    const netlist::Netlist cone =
+        netlist::read_bench(texts[p], name, netlist.library(), name);
+    const opt::Solution sub = core::read_solution(result.solution_text, cone);
+    out.solution.states_explored += sub.states_explored;
+
+    const opt::Partition& part = partitions[p];
+    if (sub.sleep_vector.size() != part.boundary_inputs.size() ||
+        sub.config.size() != part.gates.size()) {
+      throw ContractError("optimize_hierarchical: cone solution shape mismatch");
+    }
+    for (std::size_t j = 0; j < part.boundary_inputs.size(); ++j) {
+      const int cp = cp_index[static_cast<std::size_t>(part.boundary_inputs[j])];
+      // Boundary inputs driven by other partitions carry no vote: the real
+      // circuit determines them.
+      if (cp < 0 || voted[static_cast<std::size_t>(cp)]) continue;
+      voted[static_cast<std::size_t>(cp)] = true;
+      sleep[static_cast<std::size_t>(cp)] = sub.sleep_vector[j];
+    }
+    for (std::size_t k = 0; k < part.gates.size(); ++k) {
+      config[static_cast<std::size_t>(part.gates[k])] = sub.config[k];
+    }
+  }
+
+  const SchedulerStats stats = scheduler.stats();
+  out.unique_solves = stats.executed;
+  out.cache_hits = stats.cache.hits + stats.cache.disk_hits + stats.cache.inflight_waits;
+
+  // Exact global evaluation of the stitched assignment: full simulation
+  // for the leakage, full STA (+ repair) for the delay.
+  const double delay = repair_delay(netlist, out.constraint_ps, config, out.repaired_gates);
+  const std::vector<bool> values = sim::simulate(netlist, sleep);
+  out.solution.sleep_vector = std::move(sleep);
+  out.solution.config = std::move(config);
+  out.solution.leakage_na =
+      sim::circuit_leakage_from_values_na(netlist, out.solution.config, values);
+  out.solution.delay_ps = delay;
+  out.solution.runtime_s = timer.seconds();
+  out.runtime_s = out.solution.runtime_s;
+  return out;
+}
+
+}  // namespace svtox::svc

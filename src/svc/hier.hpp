@@ -1,0 +1,84 @@
+// Hierarchical standby optimization: partition -> per-cone solve -> stitch.
+//
+// Scales the paper's method to 100k..1M-gate circuits where the flat state
+// tree is out of reach. The circuit is cut into gate-budgeted clusters
+// (opt/partition.hpp); each cluster becomes an independent standby
+// instance whose boundary signals are controllable primary inputs, solved
+// through the Scheduler as parallel jobs (the content-addressed
+// SolutionCache dedups structurally identical cones to one solve). The
+// stitch pass reconciles boundary choices on the real circuit:
+//  * sleep bits: first-partition-wins votes over the global control
+//    points, remaining points forced to 0;
+//  * gate configs: copied per gate from the cone solutions (cells and pin
+//    order are preserved by the canonical cone text, so variants and pin
+//    mappings transfer verbatim);
+//  * leakage: a full 2-valued simulation of the stitched sleep vector,
+//    then exact table evaluation -- no cone-level approximation survives
+//    into the reported number;
+//  * delay: a full STA of the stitched config against the *global*
+//    constraint. Each cone was solved against its own local budget at the
+//    same penalty fraction, which does not compose exactly, so a repair
+//    loop walks the critical path resetting gates to their fastest
+//    variant until the global constraint holds (it must: the all-fast
+//    configuration meets any constraint with penalty >= 0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "opt/partition.hpp"
+#include "opt/solution.hpp"
+#include "sta/sta.hpp"
+
+namespace svtox::svc {
+
+struct HierOptions {
+  opt::PartitionOptions partition;
+  /// Per-cone method: state|vtstate|heu1|heu2|exact.
+  std::string method = "heu1";
+  double penalty_fraction = 0.05;
+  /// Slack apportionment: each cone is solved at
+  /// `penalty_fraction * cone_penalty_scale` of its own fast/slow spread.
+  /// Local budgets do not compose exactly into the global one (boundary
+  /// arrivals and slews are not modeled), so a value < 1 leaves headroom
+  /// and trades a little per-cone leakage for far fewer repair resets.
+  double cone_penalty_scale = 1.0;
+  /// Scheduler worker threads (0 = all hardware threads).
+  int workers = 0;
+  /// Per-cone search budget (heu2/state-only; heu1 ignores it).
+  double time_limit_s = 1.0;
+  /// Monte-Carlo vectors per cone job (cones only need the baseline for
+  /// their reduction stat, so this stays small).
+  int random_vectors = 64;
+  std::uint64_t seed = 2004;
+  /// Library build knobs; must describe the library `netlist` is bound to
+  /// (the cone jobs rebuild the library from these flags).
+  bool nitrided = false;
+  bool two_point = false;
+  bool uniform_stack = false;
+  bool vt_only = false;
+  /// Solution-cache disk directory for cone solutions; empty = memory only.
+  std::string cache_dir;
+};
+
+struct HierResult {
+  /// The stitched global solution: sleep vector over
+  /// Netlist::control_points(), per-gate config, exact leakage and delay.
+  opt::Solution solution;
+  sta::DelayBudget budget;   ///< Global all-fast / all-slow endpoints.
+  double constraint_ps = 0.0;
+  int partitions = 0;
+  std::uint64_t unique_solves = 0;  ///< Cone jobs actually executed.
+  std::uint64_t cache_hits = 0;     ///< Cone jobs served from the cache.
+  int repaired_gates = 0;  ///< Gates reset to fastest by the delay repair.
+  double runtime_s = 0.0;
+};
+
+/// Runs the hierarchical flow on `netlist`. The result's delay respects
+/// the global constraint (verified by a from-scratch STA on the stitched
+/// assignment). Throws on cone-job failures and invalid options.
+HierResult optimize_hierarchical(const netlist::Netlist& netlist,
+                                 const HierOptions& options = {});
+
+}  // namespace svtox::svc

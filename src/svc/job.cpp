@@ -55,7 +55,7 @@ const char* to_string(JobStatus status) {
 JobSpec job_spec_from_json(const Json& json) {
   if (!json.is_object()) throw ContractError("job spec must be a JSON object");
   static const char* kKnown[] = {
-      "circuit", "bench", "nitrided", "two_point", "uniform_stack", "vt_only",
+      "circuit", "bench", "bench_text", "nitrided", "two_point", "uniform_stack", "vt_only",
       "method", "penalty", "time_limit", "vectors", "seed", "threads",
       "max_leaves", "priority", "deadline", "cache", "retries", "label"};
   for (const auto& [key, value] : json.as_object()) {
@@ -68,6 +68,7 @@ JobSpec job_spec_from_json(const Json& json) {
   JobSpec spec;
   spec.circuit = string_field(json, "circuit", "");
   spec.bench_path = string_field(json, "bench", "");
+  spec.bench_text = string_field(json, "bench_text", "");
   spec.nitrided = bool_field(json, "nitrided", false);
   spec.two_point = bool_field(json, "two_point", false);
   spec.uniform_stack = bool_field(json, "uniform_stack", false);
@@ -90,8 +91,11 @@ JobSpec job_spec_from_json(const Json& json) {
 }
 
 void validate_job_spec(const JobSpec& spec) {
-  if (spec.circuit.empty() == spec.bench_path.empty()) {
-    throw ContractError("job spec needs exactly one of 'circuit' or 'bench'");
+  const int sources = (spec.circuit.empty() ? 0 : 1) + (spec.bench_path.empty() ? 0 : 1) +
+                      (spec.bench_text.empty() ? 0 : 1);
+  if (sources != 1) {
+    throw ContractError(
+        "job spec needs exactly one of 'circuit', 'bench' or 'bench_text'");
   }
   if (!valid_method(spec.method)) {
     throw ContractError("unknown method '" + spec.method +
@@ -113,6 +117,7 @@ Json job_spec_to_json(const JobSpec& spec) {
   Json json = Json::object();
   if (!spec.circuit.empty()) json.set("circuit", spec.circuit);
   if (!spec.bench_path.empty()) json.set("bench", spec.bench_path);
+  if (!spec.bench_text.empty()) json.set("bench_text", spec.bench_text);
   if (spec.nitrided) json.set("nitrided", true);
   if (spec.two_point) json.set("two_point", true);
   if (spec.uniform_stack) json.set("uniform_stack", true);

@@ -26,9 +26,14 @@ const char* to_string(JobStatus status);
 /// One optimization request. Field names match the JSON wire/manifest keys
 /// (penalty is in percent there, mirroring the CLI's --penalty).
 struct JobSpec {
-  // --- Circuit source: exactly one of the two. -------------------------
+  // --- Circuit source: exactly one of the three. -----------------------
   std::string circuit;     ///< Built-in benchmark name (c432 ... alu64).
   std::string bench_path;  ///< ISCAS-85 .bench file on the *server* host.
+  /// Inline .bench content, shipped with the job. The hierarchical
+  /// optimizer submits its partition cones this way: the resolved netlist
+  /// is named by the content hash, so structurally identical cones from
+  /// anywhere dedup onto one resource-pool entry and one cache solve.
+  std::string bench_text;
 
   // --- Library build (same knobs as the CLI). --------------------------
   bool nitrided = false;

@@ -97,6 +97,11 @@ class Scheduler::ResourcePool {
     std::string key = library_key(spec) + "|";
     if (!spec.circuit.empty()) {
       key += "circuit:" + spec.circuit;
+    } else if (!spec.bench_text.empty()) {
+      // Inline cones are content-addressed outright; the netlist is named
+      // by the same hash, so identical cone text -- wherever it came from
+      // -- shares one pool entry, one fingerprint, one cache key.
+      key += "benchtext:" + hex64(Fnv().str(spec.bench_text).value());
     } else {
       // Content-address the file so an edited netlist misses the pool.
       std::ifstream in(spec.bench_path);
@@ -110,10 +115,17 @@ class Scheduler::ResourcePool {
       key += "bench:" + hex64(Fnv().str(text.str()).value());
     }
     return get<CircuitEntry>(circuits_, key, [&lib, &spec] {
-      netlist::Netlist netlist =
-          spec.circuit.empty()
-              ? netlist::read_bench_file(spec.bench_path, lib->library)
-              : netlist::make_benchmark(spec.circuit, lib->library);
+      netlist::Netlist netlist = [&]() {
+        if (!spec.circuit.empty()) {
+          return netlist::make_benchmark(spec.circuit, lib->library);
+        }
+        if (!spec.bench_text.empty()) {
+          const std::string name =
+              "bt" + hex64(Fnv().str(spec.bench_text).value());
+          return netlist::read_bench(spec.bench_text, name, lib->library, name);
+        }
+        return netlist::read_bench_file(spec.bench_path, lib->library);
+      }();
       auto entry = std::make_shared<CircuitEntry>(lib, std::move(netlist));
       entry->fp = fingerprint_netlist(entry->netlist);
       return entry;

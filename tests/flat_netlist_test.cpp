@@ -1,0 +1,197 @@
+// FlatNetlist SoA view: structural equality against the Gate API, sim
+// bit-identity against a pointer-chasing reference, and finalize()
+// correctness on 100k+-gate generated circuits. The flat view is what
+// every hot loop (incremental sims, packed plans, STA, bounds) iterates,
+// so these are the refactor's safety net.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "netlist/benchmarks.hpp"
+#include "netlist/generators.hpp"
+#include "sim/incremental.hpp"
+#include "sim/sim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace svtox::netlist {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library library =
+      liberty::Library::build(model::TechParams::nominal(), {});
+  return library;
+}
+
+/// Asserts every flat array mirrors the Gate-API structure exactly.
+void expect_flat_matches(const Netlist& n) {
+  const FlatNetlist& flat = n.flat();
+  ASSERT_EQ(static_cast<int>(flat.num_gates()), n.num_gates());
+  ASSERT_EQ(static_cast<int>(flat.num_signals()), n.num_signals());
+  EXPECT_EQ(flat.depth(), n.depth());
+
+  for (int g = 0; g < n.num_gates(); ++g) {
+    const Gate& gate = n.gate(g);
+    const std::uint32_t ug = static_cast<std::uint32_t>(g);
+    ASSERT_EQ(flat.fanin_count(ug), gate.fanins.size());
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(flat.fanins(ug)[i]), gate.fanins[i]);
+    }
+    EXPECT_EQ(static_cast<int>(flat.output(ug)), gate.output);
+    EXPECT_EQ(static_cast<int>(flat.cell_index(ug)), gate.cell_index);
+    EXPECT_EQ(&flat.topology(ug), &n.cell_of(g).topology());
+    EXPECT_EQ(flat.level(ug), n.gate_level(g));
+  }
+
+  ASSERT_EQ(flat.topo_order().size(), n.topological_order().size());
+  for (std::size_t i = 0; i < flat.topo_order().size(); ++i) {
+    EXPECT_EQ(static_cast<int>(flat.topo_order()[i]), n.topological_order()[i]);
+  }
+
+  for (int s = 0; s < n.num_signals(); ++s) {
+    const std::uint32_t us = static_cast<std::uint32_t>(s);
+    if (n.driver(s) < 0) {
+      EXPECT_EQ(flat.driver(us), FlatNetlist::kNoDriver);
+    } else {
+      EXPECT_EQ(static_cast<int>(flat.driver(us)), n.driver(s));
+    }
+    const std::vector<Sink>& sinks = n.sinks(s);
+    ASSERT_EQ(flat.sink_count(us), sinks.size());
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(flat.sink_gates(us)[i]), sinks[i].gate);
+      EXPECT_EQ(static_cast<int>(flat.sink_pins(us)[i]), sinks[i].pin);
+    }
+  }
+
+  ASSERT_EQ(static_cast<int>(flat.num_control_points()), n.num_control_points());
+  for (int i = 0; i < n.num_control_points(); ++i) {
+    EXPECT_EQ(static_cast<int>(flat.control_points()[i]), n.control_points()[i]);
+  }
+}
+
+TEST(FlatNetlist, MirrorsGateApiOnBenchmarks) {
+  for (const char* name : {"c432", "c880", "c6288"}) {
+    SCOPED_TRACE(name);
+    expect_flat_matches(make_benchmark(name, lib()));
+  }
+}
+
+TEST(FlatNetlist, MirrorsGateApiOnRandomDag) {
+  DagOptions options;
+  options.num_inputs = 32;
+  options.num_gates = 3000;
+  options.target_depth = 24;
+  expect_flat_matches(random_dag(lib(), "fd", options));
+}
+
+TEST(FlatNetlist, ThrowsBeforeFinalize) {
+  Netlist n("unfin", &lib());
+  EXPECT_THROW(n.flat(), ContractError);
+}
+
+/// Pointer-chasing reference simulation through the Gate API only.
+std::vector<bool> reference_simulate(const Netlist& n, const std::vector<bool>& inputs) {
+  std::vector<bool> values(static_cast<std::size_t>(n.num_signals()), false);
+  for (int i = 0; i < n.num_control_points(); ++i) {
+    values[static_cast<std::size_t>(n.control_points()[i])] = inputs[static_cast<std::size_t>(i)];
+  }
+  for (int g : n.topological_order()) {
+    const Gate& gate = n.gate(g);
+    std::uint32_t state = 0;
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      if (values[static_cast<std::size_t>(gate.fanins[pin])]) state |= 1u << pin;
+    }
+    values[static_cast<std::size_t>(gate.output)] = n.cell_of(g).topology().output(state);
+  }
+  return values;
+}
+
+TEST(FlatNetlist, SimulateBitIdenticalToPointerReference) {
+  for (const char* name : {"c432", "c880", "c6288"}) {
+    SCOPED_TRACE(name);
+    const Netlist n = make_benchmark(name, lib());
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> inputs(static_cast<std::size_t>(n.num_control_points()));
+      for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = rng.next_bool();
+      EXPECT_EQ(sim::simulate(n, inputs), reference_simulate(n, inputs));
+    }
+  }
+}
+
+TEST(FlatNetlist, IncrementalSimMatchesFullResim) {
+  const Netlist n = make_benchmark("c432", lib());
+  std::vector<bool> inputs(static_cast<std::size_t>(n.num_control_points()), false);
+  sim::IncrementalBoolSim inc(n);  // starts at the all-zero vector
+  Rng rng(7);
+  for (int step = 0; step < 200; ++step) {
+    const int index = static_cast<int>(rng.next_below(inputs.size()));
+    inputs[static_cast<std::size_t>(index)] = !inputs[static_cast<std::size_t>(index)];
+    inc.set_input(index, inputs[static_cast<std::size_t>(index)], nullptr);
+    ASSERT_EQ(inc.values(), reference_simulate(n, inputs)) << "step " << step;
+  }
+}
+
+// --- 100k+-gate generator + finalize correctness --------------------------
+
+TEST(FlatNetlistScale, RandomDagDeterministicAt100k) {
+  DagOptions options;
+  options.num_inputs = 128;
+  options.num_gates = 100000;
+  options.target_depth = 64;
+  const Netlist a = random_dag(lib(), "d", options);
+  const Netlist b = random_dag(lib(), "d", options);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  ASSERT_EQ(a.num_signals(), b.num_signals());
+  for (int g = 0; g < a.num_gates(); ++g) {
+    ASSERT_EQ(a.gate(g).cell_index, b.gate(g).cell_index) << "gate " << g;
+    ASSERT_EQ(a.gate(g).fanins, b.gate(g).fanins) << "gate " << g;
+    ASSERT_EQ(a.gate(g).output, b.gate(g).output) << "gate " << g;
+  }
+}
+
+TEST(FlatNetlistScale, FinalizeCorrectAt100k) {
+  DagOptions options;
+  options.num_inputs = 128;
+  options.num_gates = 100000;
+  options.target_depth = 64;
+  options.seed = 5;
+  const Netlist n = random_dag(lib(), "d", options);
+  ASSERT_EQ(n.num_gates(), 100000);
+  EXPECT_EQ(n.depth(), 64);  // random_dag pins the depth exactly
+
+  // Topological order is valid: every fanin's driver appears earlier.
+  const FlatNetlist& flat = n.flat();
+  std::vector<bool> placed(static_cast<std::size_t>(n.num_signals()), false);
+  for (int s : n.control_points()) placed[static_cast<std::size_t>(s)] = true;
+  for (std::uint32_t g : flat.topo_order()) {
+    for (std::uint32_t i = 0; i < flat.fanin_count(g); ++i) {
+      ASSERT_TRUE(placed[flat.fanins(g)[i]]) << "gate " << g;
+    }
+    placed[flat.output(g)] = true;
+  }
+
+  // Levels are consistent: level = 1 + max fanin driver level.
+  for (std::uint32_t g = 0; g < flat.num_gates(); ++g) {
+    int expect = 0;
+    for (std::uint32_t i = 0; i < flat.fanin_count(g); ++i) {
+      const std::uint32_t driver = flat.driver(flat.fanins(g)[i]);
+      if (driver != FlatNetlist::kNoDriver) {
+        expect = std::max(expect, flat.level(driver));
+      }
+    }
+    ASSERT_EQ(flat.level(g), expect + 1) << "gate " << g;
+  }
+}
+
+TEST(FlatNetlistScale, GateMixPresetsBuild) {
+  // Smallest presets only; the big ones are bench_scale territory.
+  const Netlist dag = make_scale_circuit(lib(), "dag10k");
+  EXPECT_EQ(dag.num_gates(), 10000);
+  EXPECT_EQ(dag.depth(), 40);
+  EXPECT_THROW(make_scale_circuit(lib(), "nope"), ContractError);
+  EXPECT_FALSE(scale_circuit_names().empty());
+}
+
+}  // namespace
+}  // namespace svtox::netlist

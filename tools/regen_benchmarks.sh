@@ -11,8 +11,8 @@
 #   build-dir defaults to build-release (created/configured if missing).
 #
 # Knobs are inherited from the environment (SVTOX_VECTORS, SVTOX_PROBES,
-# SVTOX_TIME_LIMIT, SVTOX_CIRCUITS); defaults reproduce the checked-in
-# artifacts.
+# SVTOX_TIME_LIMIT, SVTOX_CIRCUITS, SVTOX_SCALE_*); defaults reproduce the
+# checked-in artifacts.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,7 +21,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$JOBS" --target \
-  bench_micro bench_sim_kernels bench_service_throughput
+  bench_micro bench_sim_kernels bench_service_throughput bench_scale
 
 cd "$ROOT"
 
@@ -37,9 +37,10 @@ cd "$ROOT"
 # Curated artifacts (hand-rolled JSON writers).
 "$BUILD/bench/bench_sim_kernels" BENCH_sim_kernels.json
 "$BUILD/bench/bench_service_throughput" BENCH_service.json
+"$BUILD/bench/bench_scale" BENCH_scale.json
 
 echo
 echo "Regenerated:"
-for f in BENCH_bound_engine.json BENCH_leaf_eval.json BENCH_sim_kernels.json BENCH_service.json; do
+for f in BENCH_bound_engine.json BENCH_leaf_eval.json BENCH_sim_kernels.json BENCH_service.json BENCH_scale.json; do
   echo "  $f"
 done

@@ -14,6 +14,10 @@
 //                    [--cache-dir DIR]
 //   svtox batch      --manifest FILE (--socket PATH | --local)
 //                    [--workers N] [--cache-dir DIR] [--output-dir DIR]
+//   svtox hier       (--bench file.bench | --circuit NAME | --scale PRESET)
+//                    [--penalty PCT] [--method heu1|heu2|state|vtstate]
+//                    [--max-gates N] [--threads N] [--cache-dir DIR]
+//                    [--time-limit SEC] [--compare-flat] [-o solution.txt]
 //   svtox verify     (--bench file.bench | --circuit NAME) --solution FILE
 //   svtox timing     (--bench file.bench | --circuit NAME)
 //                    [--solution FILE] [--required PS]
@@ -23,6 +27,12 @@
 //
 // `--circuit NAME` picks one of the paper's benchmark stand-ins (c432 ...
 // alu64); `--bench` reads an ISCAS-85 netlist from disk.
+//
+// `hier` runs the partitioned hierarchical flow (opt/partition.hpp +
+// svc/hier.hpp) for circuits too large for the flat state tree; `--scale
+// PRESET` builds one of the 10k..1M-gate generated circuits
+// (netlist::scale_circuit_names()), `--max-gates` caps the partition size
+// and `--compare-flat` also runs flat Heu1 and prints the leakage gap.
 //
 // `sweep` and `suite` run their jobs through the svc::Scheduler, so
 // `--threads N` solves independent rows concurrently and `--cache-dir`
@@ -57,7 +67,10 @@
 #include "report/report.hpp"
 #include "sta/sta.hpp"
 #include "sta/timing_report.hpp"
+#include "netlist/generators.hpp"
+#include "opt/state_search.hpp"
 #include "svc/client.hpp"
+#include "svc/hier.hpp"
 #include "svc/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -78,7 +91,7 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: svtox <characterize|optimize|sweep|suite|batch|verify|timing> "
+               "usage: svtox <characterize|optimize|hier|sweep|suite|batch|verify|timing> "
                "[options]\n"
                "see the header of tools/svtox_cli.cpp or README.md for details\n");
   return 2;
@@ -100,6 +113,10 @@ const std::map<std::string, std::set<std::string>>& allowed_options() {
        {"penalty", "time-limit", "threads", "cache-dir", "two-point",
         "uniform-stack", "vt-only", "nitrided"}},
       {"batch", {"manifest", "socket", "local", "workers", "cache-dir", "output-dir"}},
+      {"hier",
+       {"bench", "circuit", "scale", "penalty", "method", "max-gates", "threads",
+        "cache-dir", "time-limit", "compare-flat", "output", "two-point",
+        "uniform-stack", "vt-only", "nitrided"}},
       {"verify",
        {"bench", "circuit", "solution", "two-point", "uniform-stack", "vt-only",
         "nitrided"}},
@@ -126,7 +143,8 @@ Args parse_args(int argc, char** argv) {
     }
     // Flags without values.
     if (key == "two-point" || key == "uniform-stack" || key == "vt-only" ||
-        key == "nitrided" || key == "no-reorder" || key == "local") {
+        key == "nitrided" || key == "no-reorder" || key == "local" ||
+        key == "compare-flat") {
       args.options[key] = "1";
       continue;
     }
@@ -306,6 +324,61 @@ int cmd_optimize(const Args& args) {
       return 1;
     }
     core::write_solution(result.solution, circuit, out);
+    std::printf("solution written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_hier(const Args& args) {
+  const liberty::Library library = build_library(args);
+  const netlist::Netlist circuit =
+      args.has("scale") ? netlist::make_scale_circuit(library, args.get("scale"))
+                        : load_circuit(args, library);
+
+  svc::HierOptions options;
+  options.partition.max_gates =
+      static_cast<int>(parse_double(args.get("max-gates", "2000")));
+  options.method = args.get("method", "heu1");
+  options.penalty_fraction = parse_double(args.get("penalty", "5")) / 100.0;
+  options.workers = static_cast<int>(parse_double(args.get("threads", "0")));
+  options.time_limit_s = parse_double(args.get("time-limit", "1"));
+  options.cache_dir = args.get("cache-dir");
+  options.nitrided = args.has("nitrided");
+  options.two_point = args.has("two-point");
+  options.uniform_stack = args.has("uniform-stack");
+  options.vt_only = args.has("vt-only");
+
+  const svc::HierResult hr = svc::optimize_hierarchical(circuit, options);
+  std::printf("%s: %d gates, %d partitions (max %d gates each)\n",
+              circuit.name().c_str(), circuit.num_gates(), hr.partitions,
+              options.partition.max_gates);
+  std::printf("cone jobs: %llu solved, %llu from cache\n",
+              static_cast<unsigned long long>(hr.unique_solves),
+              static_cast<unsigned long long>(hr.cache_hits));
+  std::printf("hier %s: %.3f uA, delay %.0f ps (constraint %.0f ps, "
+              "%d gates repaired), %s\n",
+              options.method.c_str(), hr.solution.leakage_na / 1e3,
+              hr.solution.delay_ps, hr.constraint_ps, hr.repaired_gates,
+              report::format_seconds(hr.runtime_s).c_str());
+
+  if (args.has("compare-flat")) {
+    const opt::AssignmentProblem problem(circuit, options.penalty_fraction);
+    const opt::Solution flat = opt::heuristic1(problem);
+    std::printf("flat heu1: %.3f uA, delay %.0f ps, %s (hier gap %+.1f%%)\n",
+                flat.leakage_na / 1e3, flat.delay_ps,
+                report::format_seconds(flat.runtime_s).c_str(),
+                100.0 * (hr.solution.leakage_na - flat.leakage_na) /
+                    flat.leakage_na);
+  }
+
+  if (args.has("output")) {
+    const std::string path = args.get("output");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    core::write_solution(hr.solution, circuit, out);
     std::printf("solution written to %s\n", path.c_str());
   }
   return 0;
@@ -550,6 +623,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "characterize") return cmd_characterize(args);
     if (args.command == "optimize") return cmd_optimize(args);
+    if (args.command == "hier") return cmd_hier(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "suite") return cmd_suite(args);
     if (args.command == "batch") return cmd_batch(args);
