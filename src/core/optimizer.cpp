@@ -20,6 +20,16 @@ const char* to_string(Method method) {
   return "?";
 }
 
+Method method_from_string(const std::string& name) {
+  if (name == "average" || name == "average_random") return Method::kAverageRandom;
+  if (name == "state" || name == "state_only") return Method::kStateOnly;
+  if (name == "vtstate" || name == "vt_state") return Method::kVtState;
+  if (name == "heu1") return Method::kHeu1;
+  if (name == "heu2") return Method::kHeu2;
+  if (name == "exact") return Method::kExact;
+  throw ContractError("unknown method '" + name + "'");
+}
+
 StandbyOptimizer::StandbyOptimizer(const netlist::Netlist& netlist)
     : netlist_(&netlist) {
   if (!netlist.finalized()) throw ContractError("StandbyOptimizer: netlist not finalized");
@@ -76,15 +86,17 @@ double StandbyOptimizer::average_random_leakage_ua(int vectors, std::uint64_t se
   return ua;
 }
 
-MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
-  Timer timer;
-  MethodResult result;
-  result.method = method;
+const opt::AssignmentProblem& StandbyOptimizer::problem(Method method,
+                                                        double penalty) {
+  return method == Method::kVtState ? vt_problem_for(penalty)
+                                    : problem_for(penalty);
+}
 
-  const double avg_ua = average_random_leakage_ua(config.random_vectors, config.seed);
-
-  // Shared search knobs; per-method blocks tweak what differs.
-  opt::SearchOptions options;
+SearchPlan StandbyOptimizer::search_plan(Method method, const RunConfig& config) {
+  SearchPlan plan;
+  // Shared search knobs; per-method cases tweak what differs, mirroring
+  // the dispatch in run() (which consumes this plan, so they cannot drift).
+  opt::SearchOptions& options = plan.options;
   options.time_limit_s = config.time_limit_s;
   options.gate_order = config.gate_order;
   options.threads = config.threads;
@@ -93,14 +105,51 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
   options.checkpoint_path = config.checkpoint_path;
   options.checkpoint_every_s = config.checkpoint_every_s;
   options.checkpoint_every_leaves = config.checkpoint_every_leaves;
+  options.subtree_prefix = config.subtree_prefix;
+  options.resume_text = config.resume_text;
+
+  switch (method) {
+    case Method::kAverageRandom:
+      break;
+    case Method::kStateOnly:
+      options.gate_order = opt::GateOrder::kBySavings;
+      options.random_probes = 256;
+      plan.bound_kind = opt::BoundKind::kFastestVariant;
+      plan.state_only = true;
+      plan.splittable = true;
+      break;
+    case Method::kVtState:
+    case Method::kHeu2:
+      options.exact_leaves = false;
+      plan.splittable = true;
+      break;
+    case Method::kHeu1:
+      options.max_leaves = 1;
+      options.time_limit_s = 0.0;
+      break;
+    case Method::kExact:
+      options.exact_leaves = true;
+      options.time_limit_s = config.time_limit_s > 0 ? config.time_limit_s : 1e9;
+      plan.splittable = true;
+      break;
+  }
+  return plan;
+}
+
+MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
+  Timer timer;
+  MethodResult result;
+  result.method = method;
+
+  const double avg_ua = average_random_leakage_ua(config.random_vectors, config.seed);
+  const SearchPlan plan = search_plan(method, config);
+  const opt::SearchOptions& options = plan.options;
 
   switch (method) {
     case Method::kAverageRandom:
       result.leakage_ua = avg_ua;
       break;
     case Method::kStateOnly: {
-      options.gate_order = opt::GateOrder::kBySavings;
-      options.random_probes = 256;
       result.solution =
           opt::state_only_search(problem_for(config.penalty_fraction), options);
       break;

@@ -1,0 +1,93 @@
+#include "net/conn.hpp"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace svtox::net {
+
+TcpAddress parse_tcp_address(const std::string& address) {
+  TcpAddress out;
+  std::string port_text = address;
+  const std::size_t colon = address.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) out.host = address.substr(0, colon);
+    port_text = address.substr(colon + 1);
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    throw ContractError("malformed TCP address '" + address +
+                        "' (expected host:port)");
+  }
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port < 0 || port > 65535) {
+    throw ContractError("TCP port out of range in '" + address + "'");
+  }
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const std::string node = host.empty() ? "127.0.0.1" : host;
+  const int rc = ::getaddrinfo(node.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    // Resolution failures are transient in practice (DNS hiccup, peer not
+    // registered yet) -- classify retryable like a refused connect.
+    throw Error(ErrorCode::kIo, "cannot resolve " + node + ":" + service +
+                                    ": " + ::gai_strerror(rc));
+  }
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    int connect_rc;
+    do {
+      connect_rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (connect_rc < 0 && errno == EINTR);
+    if (connect_rc == 0) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  throw Error(ErrorCode::kIo, "cannot connect to " + node + ":" + service +
+                                  ": " + std::strerror(last_errno));
+}
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::shutdown_now() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace svtox::net

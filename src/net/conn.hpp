@@ -1,0 +1,65 @@
+// An owned TCP connection speaking the length-prefixed frame protocol.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+
+namespace svtox::net {
+
+/// "host:port" split. Host may be a name, an IPv4 literal, or empty
+/// (meaning localhost); a bare "PORT" with no colon is accepted too.
+struct TcpAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Parses "host:port" / ":port" / "port". Throws ContractError on a
+/// malformed port (non-numeric or outside [0, 65535]).
+TcpAddress parse_tcp_address(const std::string& address);
+
+/// Resolves and connects. Connection-level failures (refused, timed out,
+/// unreachable, resolution failure) throw Error(kIo) -- retryable, so the
+/// client's exponential-backoff policy applies to a daemon that has not
+/// bound its port yet. Returns an owned fd.
+int connect_tcp(const std::string& host, int port);
+
+/// RAII frame-speaking connection. Move-only; closes the fd on destruction.
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd) : fd_(fd) {}
+  static Conn connect(const std::string& host, int port) {
+    return Conn(connect_tcp(host, port));
+  }
+
+  Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Releases ownership of the fd to the caller.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close();
+  /// shutdown(2) both directions to wake a thread blocked in recv.
+  void shutdown_now();
+
+  void send_frame(std::string_view payload) { write_frame(fd_, payload); }
+  FrameStatus recv_frame(std::string& payload,
+                         std::size_t max_bytes = kMaxReplyFrameBytes) {
+    return read_frame(fd_, payload, max_bytes);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace svtox::net

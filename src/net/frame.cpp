@@ -1,0 +1,106 @@
+#include "net/frame.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace svtox::net {
+namespace {
+
+/// Reads exactly `len` bytes. Returns false on clean EOF with zero bytes
+/// read so far; throws on errors or mid-buffer EOF.
+bool read_exact(int fd, char* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw Error(ErrorCode::kIo, "connection closed mid-frame (read " +
+                                      std::to_string(got) + " of " +
+                                      std::to_string(len) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    throw Error(ErrorCode::kIo,
+                "frame read failed: " + std::string(std::strerror(errno)));
+  }
+  return true;
+}
+
+std::uint32_t decode_len(const char* header) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]));
+  };
+  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+void encode_len(char* header, std::uint32_t len) {
+  header[0] = static_cast<char>((len >> 24) & 0xff);
+  header[1] = static_cast<char>((len >> 16) & 0xff);
+  header[2] = static_cast<char>((len >> 8) & 0xff);
+  header[3] = static_cast<char>(len & 0xff);
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string& payload, std::size_t max_bytes) {
+  char header[4];
+  if (!read_exact(fd, header, sizeof header)) return FrameStatus::kClosed;
+  const std::uint32_t len = decode_len(header);
+  if (len > max_bytes) return FrameStatus::kOversized;
+  payload.resize(len);
+  if (len != 0 && !read_exact(fd, payload.data(), len)) {
+    throw Error(ErrorCode::kIo, "connection closed mid-frame");
+  }
+  return FrameStatus::kOk;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  std::string buffer;
+  encode_frame(buffer, payload);
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const ssize_t n =
+        ::send(fd, buffer.data() + sent, buffer.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw Error(ErrorCode::kIo,
+                "frame write failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+void encode_frame(std::string& out, std::string_view payload) {
+  if (payload.size() > 0xffffffffu) {
+    throw ContractError("frame payload exceeds 4 GiB");
+  }
+  char header[4];
+  encode_len(header, static_cast<std::uint32_t>(payload.size()));
+  out.append(header, sizeof header);
+  out.append(payload.data(), payload.size());
+}
+
+bool extract_frame(std::string& buffer, std::string& payload,
+                   std::size_t max_bytes) {
+  if (buffer.size() < 4) return false;
+  const std::uint32_t len = decode_len(buffer.data());
+  if (len > max_bytes) {
+    throw Error(ErrorCode::kParse,
+                "frame header announces " + std::to_string(len) +
+                    " bytes (cap " + std::to_string(max_bytes) + ")");
+  }
+  if (buffer.size() < 4u + len) return false;
+  payload.assign(buffer, 4, len);
+  buffer.erase(0, 4u + len);
+  return true;
+}
+
+}  // namespace svtox::net

@@ -1,0 +1,60 @@
+// Length-prefixed framing for the TCP transport.
+//
+// Wire format: a 4-byte big-endian payload length followed by that many
+// payload bytes (UTF-8 JSON in svtoxd's case). The frame layer is
+// deliberately dumb -- no type tags, no checksums -- because the payload
+// is self-describing JSON and TCP already provides integrity; what it
+// adds over the Unix socket's newline-delimited protocol is a hard
+// request-size bound that is enforced *before* the body is read, so an
+// oversized announcement costs the server four bytes, not a megabyte.
+//
+// All reads/writes loop over partial transfers and restart on EINTR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svtox::net {
+
+/// Default per-frame payload cap, matching the daemon's per-request line
+/// cap on the Unix transport (svc::kMaxRequestBytes).
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Replies may legitimately exceed the request cap (solution texts for
+/// large circuits); clients read with this looser bound instead.
+inline constexpr std::size_t kMaxReplyFrameBytes = 64u * (1u << 20);
+
+enum class FrameStatus {
+  kOk,         ///< A complete frame was read.
+  kClosed,     ///< Orderly EOF before the first header byte.
+  kOversized,  ///< Announced length exceeds the cap; body NOT consumed.
+};
+
+/// Reads one frame from `fd` into `payload` (blocking). Returns kClosed on
+/// a clean EOF at a frame boundary and kOversized when the header announces
+/// more than `max_bytes` (the connection should then be closed -- the body
+/// is still in flight). Throws Error(kIo) on socket errors or on EOF in
+/// the middle of a frame (truncation).
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame (header + payload). Throws Error(kIo) on failure and
+/// ContractError if the payload cannot be represented in the 32-bit header.
+void write_frame(int fd, std::string_view payload);
+
+/// Appends the encoded frame for `payload` to `out` (header + body);
+/// the buffer-building half of write_frame, usable for tests and for
+/// batching several frames into one send.
+void encode_frame(std::string& out, std::string_view payload);
+
+/// Attempts to extract one complete frame from the front of `buffer`.
+/// Returns true and erases the consumed bytes when a full frame is
+/// present; false when more bytes are needed. Throws Error(kParse) when
+/// the header announces more than `max_bytes` -- the stream is then
+/// unrecoverable and the caller should drop the connection.
+bool extract_frame(std::string& buffer, std::string& payload,
+                   std::size_t max_bytes = kMaxReplyFrameBytes);
+
+}  // namespace svtox::net

@@ -1,0 +1,111 @@
+#include "net/listener.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace svtox::net {
+
+Listener Listener::tcp(const std::string& host, int port, int backlog) {
+  Listener listener;
+  listener.host_ = host.empty() ? "127.0.0.1" : host;
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc =
+      ::getaddrinfo(listener.host_.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw ContractError("cannot resolve listen address " + listener.host_ +
+                        ":" + service + ": " + ::gai_strerror(rc));
+  }
+  int last_errno = EADDRNOTAVAIL;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      listener.fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (listener.fd_ < 0) {
+    throw Error(ErrorCode::kIo, "cannot listen on " + listener.host_ + ":" +
+                                    service + ": " +
+                                    std::strerror(last_errno));
+  }
+
+  // Recover the actual port (meaningful when the caller asked for 0).
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listener.fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      listener.port_ =
+          ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      listener.port_ =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  if (listener.port_ < 0) listener.port_ = port;
+  return listener;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), host_(std::move(other.host_)) {
+  other.fd_ = -1;
+  other.port_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    host_ = std::move(other.host_);
+    other.fd_ = -1;
+    other.port_ = -1;
+  }
+  return *this;
+}
+
+int Listener::accept_fd() {
+  while (fd_ >= 0) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return client;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return -1;
+  }
+  return -1;
+}
+
+void Listener::shutdown_now() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace svtox::net

@@ -1,0 +1,49 @@
+// A bound TCP listening socket.
+#pragma once
+
+#include <string>
+
+#include "net/conn.hpp"
+
+namespace svtox::net {
+
+/// Owns a listening fd. Port 0 binds an ephemeral port; `port()` reports
+/// the actual one after bind, so tests and ephemeral daemons can publish
+/// their address. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds and listens on host:port with SO_REUSEADDR. Throws
+  /// ContractError on a bad address and Error(kIo) on bind failure
+  /// (e.g. the port is taken).
+  static Listener tcp(const std::string& host, int port, int backlog = 64);
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int port() const { return port_; }
+  const std::string& host() const { return host_; }
+  std::string address() const { return host_ + ":" + std::to_string(port_); }
+
+  /// Blocking accept; retries on EINTR/ECONNABORTED. Returns -1 once the
+  /// listener has been shut down or closed.
+  int accept_fd();
+  Conn accept() { return Conn(accept_fd()); }
+
+  /// shutdown(2) the listening socket to wake a blocked accept.
+  void shutdown_now();
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = -1;
+  std::string host_;
+};
+
+}  // namespace svtox::net

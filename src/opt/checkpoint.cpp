@@ -120,6 +120,12 @@ std::uint64_t search_fingerprint(const AssignmentProblem& problem,
   blob += '|' + std::to_string(static_cast<int>(options.bound_mode));
   blob += '|' + std::to_string(static_cast<int>(bound_kind));
   blob += state_only ? "|state_only" : "|full";
+  // Only appended when restricted, so flat-search fingerprints (and hence
+  // every pre-existing checkpoint file) are unchanged.
+  if (!options.subtree_prefix.empty()) {
+    blob += "|st:";
+    for (const bool bit : options.subtree_prefix) blob += bit ? '1' : '0';
+  }
   return fnv1a64(blob);
 }
 

@@ -215,6 +215,20 @@ class DfsWorker {
     }
     if (!replaying_ && ctx_.out_of_budget()) return;
 
+    const std::vector<bool>& prefix = ctx_.options.subtree_prefix;
+    if (depth < prefix.size()) {
+      // Pinned by the subtree restriction: take the prescribed branch only
+      // -- no sibling, no bound probes, no pruning. A replayed checkpoint
+      // of a restricted search recorded the same branch by construction,
+      // so replay simply continues through here.
+      const int pinned_pi = ctx_.problem.input_order()[depth];
+      engine_.set_input(pinned_pi,
+                        prefix[depth] ? sim::Tri::kOne : sim::Tri::kZero);
+      dfs(depth + 1);
+      engine_.undo();
+      return;
+    }
+
     const int pi = ctx_.problem.input_order()[depth];
     // Bound both branches to order (and, beyond the first leaf, prune).
     double bounds[2];
@@ -475,6 +489,19 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
   const bool checkpointing = !options.checkpoint_path.empty();
   const int n = problem.netlist().num_control_points();
 
+  if (!options.subtree_prefix.empty()) {
+    if (options.subtree_prefix.size() > static_cast<std::size_t>(n)) {
+      throw ContractError("subtree_prefix longer than the input count");
+    }
+    // A subtree is one shard of a deterministic split: serial, and no
+    // probe sweep -- the sweep is a whole-tree construct the coordinator
+    // runs once; per-shard it would be duplicated work. Must happen
+    // before the fingerprint below so coordinator-computed fingerprints
+    // (which apply the same overrides) match.
+    options.threads = 1;
+    options.random_probes = 0;
+  }
+
   CheckpointSink sink;
   std::optional<SearchCheckpoint> resume;
   if (checkpointing) {
@@ -482,12 +509,49 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
       log_warn("checkpointing forces a serial state search (threads 1)");
     }
     options.threads = 1;
-    sink.path = options.checkpoint_path;
-    sink.every_s = options.checkpoint_every_s;
-    sink.every_leaves = options.checkpoint_every_leaves;
+  }
+  // Checkpoint replay is a serial construct too.
+  if (!options.resume_text.empty()) options.threads = 1;
+  if (checkpointing || !options.resume_text.empty()) {
     sink.fingerprint = search_fingerprint(problem, options, bound_kind, state_only);
-    resume = load_checkpoint_file(options.checkpoint_path, sink.fingerprint);
-    if (resume && !resume->tree_done &&
+    std::optional<SearchCheckpoint> from_file;
+    if (checkpointing) {
+      sink.path = options.checkpoint_path;
+      sink.every_s = options.checkpoint_every_s;
+      sink.every_leaves = options.checkpoint_every_leaves;
+      from_file = load_checkpoint_file(options.checkpoint_path, sink.fingerprint);
+    }
+    std::optional<SearchCheckpoint> from_text;
+    if (!options.resume_text.empty()) {
+      try {
+        SearchCheckpoint blob = parse_checkpoint(options.resume_text);
+        if (blob.fingerprint == sink.fingerprint) {
+          from_text = std::move(blob);
+        } else {
+          log_warn("in-memory resume blob is for a different search; ignoring");
+        }
+      } catch (const std::exception& e) {
+        log_warn(std::string("in-memory resume blob unusable (") + e.what() +
+                 "); ignoring");
+      }
+    }
+    // Resuming from any valid snapshot of the same search converges to the
+    // identical result, so when both sources are usable the one with more
+    // progress wins (a finished tree outranks any unfinished one; then
+    // leaf/probe count) -- a speed choice, not a semantic one.
+    const auto progress = [](const SearchCheckpoint& c) {
+      return (c.tree_done ? 1ULL << 62 : 0ULL) + c.leaves + c.probes_done;
+    };
+    if (from_text && from_file) {
+      resume = progress(*from_file) > progress(*from_text)
+                   ? std::move(from_file)
+                   : std::move(from_text);
+    } else {
+      resume = from_text ? std::move(from_text) : std::move(from_file);
+    }
+    // An empty path with an unfinished tree is a seed token (incumbent +
+    // counters, no frontier yet): start from the root, do not replay.
+    if (resume && !resume->tree_done && !resume->path.empty() &&
         resume->path.size() != static_cast<std::size_t>(n)) {
       log_warn("checkpoint path length mismatch; starting fresh");
       resume.reset();
@@ -514,8 +578,10 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
     sink.leaf_path = resume->path;
     sink.nodes_mark = resume->nodes;
     sink.leaves_mark = resume->leaves;
-    log_info("resuming search from " + options.checkpoint_path + " (" +
-             std::to_string(resume->leaves) + " leaves done)");
+    log_info("resuming search from " +
+             (options.checkpoint_path.empty() ? std::string("in-memory blob")
+                                              : options.checkpoint_path) +
+             " (" + std::to_string(resume->leaves) + " leaves done)");
   }
   if (checkpointing) {
     sink.base_elapsed_s = consumed_s;

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <thread>
 
+#include "net/conn.hpp"
+#include "net/frame.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
@@ -54,17 +56,34 @@ const Json& check_ok(const Json& reply) {
   return reply;
 }
 
+constexpr std::string_view kTcpPrefix = "tcp://";
+
 }  // namespace
 
-Client::Client(const std::string& socket_path, const ClientOptions& options)
+int Client::connect_fd() const {
+  if (tcp_) {
+    SVTOX_FAIL_POINT("client_connect");
+    return net::connect_tcp(tcp_host_, tcp_port_);
+  }
+  return connect_unix(address_);
+}
+
+Client::Client(const std::string& address, const ClientOptions& options)
     : options_(options),
-      socket_path_(socket_path),
+      address_(address),
       jitter_(static_cast<std::uint64_t>(
           std::chrono::steady_clock::now().time_since_epoch().count())) {
+  if (address_.rfind(kTcpPrefix, 0) == 0) {
+    tcp_ = true;
+    const net::TcpAddress parsed =
+        net::parse_tcp_address(address_.substr(kTcpPrefix.size()));
+    tcp_host_ = parsed.host;
+    tcp_port_ = parsed.port;
+  }
   const int attempts = std::max(1, options_.max_attempts);
   for (int attempt = 0;; ++attempt) {
     try {
-      fd_ = connect_unix(socket_path_);
+      fd_ = connect_fd();
       return;
     } catch (const Error&) {
       if (attempt + 1 >= attempts) throw;
@@ -95,11 +114,17 @@ void Client::backoff_sleep(int attempt) {
   std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
-void Client::send_line(const std::string& line) {
+void Client::send_request(const std::string& payload) {
   SVTOX_FAIL_POINT("client_send");
+  std::string wire;
+  if (tcp_) {
+    net::encode_frame(wire, payload);
+  } else {
+    wire = payload + "\n";
+  }
   std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw Error(ErrorCode::kIo, "svtoxd connection lost while sending");
@@ -114,11 +139,20 @@ Json Client::read_reply() {
                               ? options_.request_timeout_s
                               : 1e18);
   for (;;) {
-    const std::size_t newline = pending_.find('\n');
-    if (newline != std::string::npos) {
-      const std::string reply = pending_.substr(0, newline);
-      pending_.erase(0, newline + 1);
-      return Json::parse(reply);
+    if (tcp_) {
+      // Oversized headers throw Error(kParse): the stream is torn and the
+      // caller drops the connection.
+      std::string payload;
+      if (net::extract_frame(pending_, payload, net::kMaxReplyFrameBytes)) {
+        return Json::parse(payload);
+      }
+    } else {
+      const std::size_t newline = pending_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string reply = pending_.substr(0, newline);
+        pending_.erase(0, newline + 1);
+        return Json::parse(reply);
+      }
     }
     SVTOX_FAIL_POINT("client_recv");
     if (options_.request_timeout_s > 0.0) {
@@ -148,15 +182,15 @@ Json Client::read_reply() {
 }
 
 Json Client::request(const Json& request_json) {
-  const std::string line = request_json.dump() + "\n";
+  const std::string payload = request_json.dump();
   const int attempts = std::max(1, options_.max_attempts);
   for (int attempt = 0;; ++attempt) {
     try {
       if (fd_ < 0) {
         pending_.clear();
-        fd_ = connect_unix(socket_path_);
+        fd_ = connect_fd();
       }
-      send_line(line);
+      send_request(payload);
       return read_reply();
     } catch (const Error& e) {
       drop_connection();
@@ -171,10 +205,22 @@ Json Client::request(const Json& request_json) {
 std::uint64_t Client::submit(const JobSpec& spec) {
   Json request_json = job_spec_to_json(spec);
   request_json.set("cmd", "submit");
-  const Json reply = check_ok(request(request_json));
-  const Json* job = reply.get("job");
-  if (job == nullptr) throw ContractError("svtoxd submit reply missing 'job'");
-  return static_cast<std::uint64_t>(job->as_int());
+  const int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    const Json reply = request(request_json);
+    // Admission control: a daemon at capacity says so instead of hanging;
+    // back off and retry like any other transient condition.
+    const Json* code = reply.get("error_code");
+    if (code != nullptr && code->is_string() && code->as_string() == "busy" &&
+        attempt + 1 < attempts) {
+      backoff_sleep(attempt);
+      continue;
+    }
+    check_ok(reply);
+    const Json* job = reply.get("job");
+    if (job == nullptr) throw ContractError("svtoxd submit reply missing 'job'");
+    return static_cast<std::uint64_t>(job->as_int());
+  }
 }
 
 std::string Client::status(std::uint64_t job) {
@@ -216,9 +262,16 @@ void Client::shutdown(bool drain) {
   check_ok(request(request_json));
 }
 
-bool Client::ping(const std::string& socket_path) {
+bool Client::ping(const std::string& address) {
   try {
-    const int fd = connect_unix(socket_path);
+    int fd;
+    if (address.rfind(kTcpPrefix, 0) == 0) {
+      const net::TcpAddress parsed =
+          net::parse_tcp_address(address.substr(kTcpPrefix.size()));
+      fd = net::connect_tcp(parsed.host, parsed.port);
+    } else {
+      fd = connect_unix(address);
+    }
     ::close(fd);
     return true;
   } catch (const std::exception&) {

@@ -1,15 +1,21 @@
 // Client side of the svtoxd wire protocol: a blocking one-request /
-// one-reply NDJSON channel over a Unix-domain socket, plus the typed
-// convenience calls `svtox batch` uses.
+// one-reply channel, plus the typed convenience calls `svtox batch` uses.
+//
+// Two transports behind one address string:
+//   "/path/to.sock"      -- NDJSON over a Unix-domain socket.
+//   "tcp://host:port"    -- length-prefixed frames over TCP (src/net).
 //
 // Transport failures (connect refused, connection dropped mid-round-trip)
 // surface as util::Error(kIo) and are retried internally with exponential
 // backoff + jitter and a fresh connection, up to ClientOptions::
-// max_attempts. Retrying a round trip whose request was already delivered
-// gives *at-least-once* semantics: a resent "submit" may enqueue a second
-// job (the scheduler's solution cache dedups the actual solve). Reply
-// timeouts surface as Error(kTimeout) and are never retried -- the daemon
-// may still be executing the request.
+// max_attempts -- this covers a TCP daemon that has not bound its port
+// yet (ECONNREFUSED) exactly like a missing Unix socket. Retrying a round
+// trip whose request was already delivered gives *at-least-once*
+// semantics: a resent "submit" may enqueue a second job (the scheduler's
+// solution cache dedups the actual solve). Reply timeouts surface as
+// Error(kTimeout) and are never retried -- the daemon may still be
+// executing the request. A daemon at capacity replies error_code "busy";
+// submit() retries those with the same backoff schedule.
 #pragma once
 
 #include <optional>
@@ -33,9 +39,10 @@ struct ClientOptions {
 
 class Client {
  public:
-  /// Connects to a running svtoxd (with retry/backoff per `options`);
-  /// throws Error(kIo) when the socket cannot be reached.
-  explicit Client(const std::string& socket_path,
+  /// Connects to a running svtoxd at `address` -- a Unix socket path or
+  /// "tcp://host:port" -- with retry/backoff per `options`; throws
+  /// Error(kIo) when the daemon cannot be reached.
+  explicit Client(const std::string& address,
                   const ClientOptions& options = ClientOptions());
   ~Client();
 
@@ -50,6 +57,8 @@ class Client {
 
   // --- Typed wrappers ---------------------------------------------------
   /// Each throws ContractError when the daemon replies {"ok":false}.
+  /// submit additionally retries "busy" rejections (admission control)
+  /// with the backoff schedule before giving up.
   std::uint64_t submit(const JobSpec& spec);
   std::string status(std::uint64_t job);
   JobResult result(std::uint64_t job, bool include_solution = true);  ///< Blocks.
@@ -57,19 +66,25 @@ class Client {
   Json stats();
   void shutdown(bool drain = true);
 
-  /// True when a daemon accepts connections on `socket_path`.
-  static bool ping(const std::string& socket_path);
+  /// True when a daemon accepts connections on `address` (either form).
+  static bool ping(const std::string& address);
+
+  const std::string& address() const { return address_; }
 
  private:
-  void send_line(const std::string& line);
+  int connect_fd() const;
+  void send_request(const std::string& payload);
   Json read_reply();
   void drop_connection();
   void backoff_sleep(int attempt);
 
   ClientOptions options_;
-  std::string socket_path_;
+  std::string address_;
+  bool tcp_ = false;
+  std::string tcp_host_;
+  int tcp_port_ = 0;
   int fd_ = -1;
-  std::string pending_;  ///< Bytes read past the last reply's newline.
+  std::string pending_;  ///< Bytes read past the last complete reply.
   Rng jitter_;           ///< Backoff jitter stream (seeded per client).
 };
 

@@ -1,0 +1,68 @@
+#include "svc/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace svtox::svc {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), ring_(options.members, options.ring_vnodes) {
+  if (std::find(options_.members.begin(), options_.members.end(), options_.self) ==
+      options_.members.end()) {
+    throw ContractError("cluster self address '" + options_.self +
+                        "' is not in the member list");
+  }
+}
+
+std::vector<std::string> Cluster::peers() const {
+  std::vector<std::string> out;
+  for (const std::string& member : ring_.members()) {
+    if (member != options_.self) out.push_back(member);
+  }
+  return out;
+}
+
+ClientOptions Cluster::client_options() const {
+  ClientOptions opts;
+  opts.max_attempts = std::max(1, options_.connect_attempts);
+  opts.backoff_initial_s = options_.backoff_initial_s;
+  opts.request_timeout_s = options_.request_timeout_s;
+  return opts;
+}
+
+Cluster::Peer& Cluster::peer_slot(const std::string& member) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (auto& [name, peer] : peers_) {
+    if (name == member) return *peer;
+  }
+  peers_.emplace_back(member, std::make_unique<Peer>());
+  return *peers_.back().second;
+}
+
+Json Cluster::request(const std::string& member, const Json& request_json,
+                      bool fresh_connection) {
+  const std::string address = "tcp://" + member;
+  if (fresh_connection) {
+    ClientOptions opts = client_options();
+    // Blocking calls legitimately park server-side (inflight dedup);
+    // waiting is the point, so no reply timeout here.
+    opts.request_timeout_s = 0.0;
+    Client client(address, opts);
+    return client.request(request_json);
+  }
+  Peer& peer = peer_slot(member);
+  std::lock_guard<std::mutex> lock(peer.mu);
+  if (peer.client == nullptr) {
+    peer.client = std::make_unique<Client>(address, client_options());
+  }
+  try {
+    return peer.client->request(request_json);
+  } catch (...) {
+    // A torn pooled channel is garbage for the next caller; reconnect lazily.
+    peer.client.reset();
+    throw;
+  }
+}
+
+}  // namespace svtox::svc

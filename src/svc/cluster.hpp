@@ -1,0 +1,82 @@
+// Static cluster membership + peer RPC for the distributed daemon.
+//
+// A cluster is the set of svtoxd TCP addresses named by --peers (including
+// this daemon's own --self address). Membership is fixed for the process
+// lifetime: there is no gossip or failure detector, because every
+// distributed mechanism here (sharded cache reads, subtree dispatch) is an
+// *optimization* that degrades to local execution when a peer is
+// unreachable -- callers catch Error(kIo)/Error(kTimeout) and fall back.
+//
+// request() speaks the framed TCP protocol through svc::Client. Quick
+// RPCs share one pooled connection per peer (serialized by a mutex);
+// calls that may block server-side for a long time -- a cache
+// fetch_or_lock parked on another node's inflight solve, a blocking
+// `result` -- must pass fresh_connection=true so they do not hold the
+// pooled channel hostage.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/hash_ring.hpp"
+#include "svc/json.hpp"
+
+namespace svtox::svc {
+
+struct ClusterOptions {
+  /// All member addresses, "host:port". Order does not matter (the ring
+  /// is order-independent); the set must match on every node.
+  std::vector<std::string> members;
+  std::string self;         ///< This daemon's address; must be in members.
+  int ring_vnodes = 64;
+  double request_timeout_s = 30.0;  ///< Per pooled round trip; 0 = none.
+  int connect_attempts = 2;         ///< Client retry budget per request.
+  double backoff_initial_s = 0.05;
+};
+
+class Cluster {
+ public:
+  /// Throws ContractError when `self` is not a member or members invalid.
+  explicit Cluster(const ClusterOptions& options);
+
+  const std::string& self() const { return options_.self; }
+  const std::vector<std::string>& members() const { return ring_.members(); }
+  std::size_t size() const { return ring_.size(); }
+
+  /// The ring owner of a cache key. May be self().
+  const std::string& owner_of(const std::string& key) const {
+    return ring_.owner(key);
+  }
+  bool is_self(const std::string& member) const { return member == options_.self; }
+
+  /// Every member except self, in the (stable) construction order.
+  std::vector<std::string> peers() const;
+
+  /// One round trip to `member`. Throws Error(kIo)/Error(kTimeout) on
+  /// transport failure -- the caller decides whether to degrade or retry.
+  /// fresh_connection=true uses a throwaway connection (see file comment).
+  Json request(const std::string& member, const Json& request_json,
+               bool fresh_connection = false);
+
+  /// Options used for ad-hoc Clients that want the cluster's timeouts
+  /// (the coordinator's per-peer dispatchers).
+  ClientOptions client_options() const;
+
+ private:
+  ClusterOptions options_;
+  HashRing ring_;
+
+  struct Peer {
+    std::mutex mu;                   ///< Serializes pooled round trips.
+    std::unique_ptr<Client> client;  ///< Lazily connected, dropped on error.
+  };
+  std::mutex peers_mu_;  ///< Guards the map, not the per-peer channels.
+  std::vector<std::pair<std::string, std::unique_ptr<Peer>>> peers_;
+
+  Peer& peer_slot(const std::string& member);
+};
+
+}  // namespace svtox::svc

@@ -1,0 +1,103 @@
+#include "svc/dist_cache.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace svtox::svc {
+
+std::optional<JobResult> DistributedCache::fetch_or_lock(const std::string& key) {
+  if (std::optional<JobResult> local = local_.fetch_or_lock(key)) {
+    return local;
+  }
+  // Local owner now. If the ring says a peer owns this key, consult it;
+  // the RPC blocks while the owner has an inflight solve (cluster dedup).
+  const std::string& owner = cluster_.owner_of(key);
+  if (cluster_.is_self(owner)) return std::nullopt;
+  Json request = Json::object();
+  request.set("cmd", "cache_fetch_or_lock");
+  request.set("key", key);
+  try {
+    const Json reply = cluster_.request(owner, request, /*fresh_connection=*/true);
+    const Json* ok = reply.get("ok");
+    if (ok == nullptr || !ok->as_bool(false)) {
+      throw ContractError("owner shard rejected cache_fetch_or_lock");
+    }
+    const Json* hit = reply.get("hit");
+    if (hit != nullptr && hit->as_bool(false)) {
+      const Json* payload = reply.get("result");
+      if (payload == nullptr) throw ContractError("cache hit without a result");
+      JobResult result = job_result_from_json(*payload);
+      result.cache_hit = true;
+      // Fill the local LRU, clear our local inflight marker, wake local
+      // waiters. cache_hit=true also keeps it off the local disk mirror.
+      local_.publish(key, result);
+      remote_hits_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    // Cluster-wide miss: this node is now the owner at both levels.
+    remote_misses_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    remote_owned_.insert(key);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    // Degrade to local-only ownership: solve here. Never wrong, only
+    // possibly duplicated work.
+    peer_failures_.fetch_add(1, std::memory_order_relaxed);
+    log_warn("distributed cache: owner " + owner + " unreachable for " + key +
+             " (" + e.what() + "); degrading to local solve");
+    return std::nullopt;
+  }
+}
+
+bool DistributedCache::take_remote_ownership_back(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_owned_.erase(key) > 0;
+}
+
+void DistributedCache::publish(const std::string& key, const JobResult& result) {
+  local_.publish(key, result);
+  if (!take_remote_ownership_back(key)) return;
+  Json request = Json::object();
+  request.set("cmd", result.interrupted ? "cache_abandon" : "cache_publish");
+  request.set("key", key);
+  if (!result.interrupted) {
+    request.set("result", job_result_to_json(result, /*include_solution=*/true));
+  }
+  try {
+    cluster_.request(cluster_.owner_of(key), request);
+    (result.interrupted ? remote_abandons_ : remote_publishes_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    peer_failures_.fetch_add(1, std::memory_order_relaxed);
+    log_warn("distributed cache: publish to owner failed for " + key + " (" +
+             e.what() + ")");
+  }
+}
+
+void DistributedCache::abandon(const std::string& key) {
+  local_.abandon(key);
+  if (!take_remote_ownership_back(key)) return;
+  Json request = Json::object();
+  request.set("cmd", "cache_abandon");
+  request.set("key", key);
+  try {
+    cluster_.request(cluster_.owner_of(key), request);
+    remote_abandons_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    peer_failures_.fetch_add(1, std::memory_order_relaxed);
+    log_warn("distributed cache: abandon to owner failed for " + key + " (" +
+             e.what() + ")");
+  }
+}
+
+DistCacheStats DistributedCache::stats() const {
+  DistCacheStats out;
+  out.remote_hits = remote_hits_.load(std::memory_order_relaxed);
+  out.remote_misses = remote_misses_.load(std::memory_order_relaxed);
+  out.remote_publishes = remote_publishes_.load(std::memory_order_relaxed);
+  out.remote_abandons = remote_abandons_.load(std::memory_order_relaxed);
+  out.peer_failures = peer_failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace svtox::svc

@@ -1,0 +1,79 @@
+// Two-level distributed solution cache: the local sharded SolutionCache in
+// front of a consistent-hash ring of peers.
+//
+// Read path (fetch_or_lock):
+//   1. Local cache first. A local hit never touches the network; a local
+//      miss makes this node the *local* owner (local dedup preserved).
+//   2. If the ring assigns the key to a peer, ask that owner shard with a
+//      blocking cache_fetch_or_lock RPC. The owner's SolutionCache applies
+//      its own inflight dedup, so N identical concurrent jobs anywhere in
+//      the cluster collapse onto ONE solve: every other node parks inside
+//      this RPC until the owner's entry is published.
+//   3. A remote hit is published into the local cache (fills the local LRU
+//      and wakes local waiters) and returned. A remote miss makes this
+//      node the *remote* owner too -- it must publish/abandon both levels.
+//
+// Failure model: any peer error degrades to local-only behaviour (the
+// local miss stands, the job is solved here) and bumps `peer_failures`.
+// The cache can therefore only ever cost a duplicate solve, never return
+// a wrong or stale result. Known limitation (documented in DESIGN.md): a
+// node that crashes while holding a *remote* ownership leaves the owner's
+// inflight marker behind, parking later fetches for that one key until
+// the owner daemon restarts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "svc/cluster.hpp"
+#include "svc/solution_cache.hpp"
+
+namespace svtox::svc {
+
+struct DistCacheStats {
+  std::uint64_t remote_hits = 0;       ///< Served by a peer's shard.
+  std::uint64_t remote_misses = 0;     ///< Became cluster-wide owner.
+  std::uint64_t remote_publishes = 0;  ///< Results pushed to owner shards.
+  std::uint64_t remote_abandons = 0;
+  std::uint64_t peer_failures = 0;     ///< RPCs that degraded to local-only.
+};
+
+class DistributedCache {
+ public:
+  /// Both referents must outlive the cache.
+  DistributedCache(SolutionCache& local, Cluster& cluster)
+      : local_(local), cluster_(cluster) {}
+
+  /// SolutionCache::fetch_or_lock semantics, cluster-wide. Blocks on both
+  /// local and remote inflight solves of the same key.
+  std::optional<JobResult> fetch_or_lock(const std::string& key);
+
+  /// Publishes locally, then (when this node took remote ownership) to the
+  /// ring owner, best-effort.
+  void publish(const std::string& key, const JobResult& result);
+  void abandon(const std::string& key);
+
+  DistCacheStats stats() const;
+
+ private:
+  bool take_remote_ownership_back(const std::string& key);
+
+  SolutionCache& local_;
+  Cluster& cluster_;
+
+  std::mutex mu_;
+  /// Keys this node owes a publish/abandon to a remote owner shard for.
+  std::unordered_set<std::string> remote_owned_;
+
+  std::atomic<std::uint64_t> remote_hits_{0};
+  std::atomic<std::uint64_t> remote_misses_{0};
+  std::atomic<std::uint64_t> remote_publishes_{0};
+  std::atomic<std::uint64_t> remote_abandons_{0};
+  std::atomic<std::uint64_t> peer_failures_{0};
+};
+
+}  // namespace svtox::svc

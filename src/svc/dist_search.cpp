@@ -1,0 +1,454 @@
+#include "svc/dist_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "opt/checkpoint.hpp"
+#include "svc/client.hpp"
+#include "svc/fingerprint.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace svtox::svc {
+
+namespace {
+
+bool cancelled(const DistSearchContext& ctx) {
+  return ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed);
+}
+
+/// Total order on snapshots of one subtree's (deterministic) execution: a
+/// later snapshot has strictly more leaves+probes, and the probe phase
+/// dominates the tree phase. Used to gate token refreshes so a stale
+/// snapshot never replaces a newer one.
+std::uint64_t checkpoint_progress(const opt::SearchCheckpoint& checkpoint) {
+  return (checkpoint.tree_done ? (1ULL << 62) : 0) + checkpoint.leaves +
+         checkpoint.probes_done;
+}
+
+opt::Solution checkpoint_solution(const opt::SearchCheckpoint& checkpoint) {
+  opt::Solution solution;
+  solution.sleep_vector = checkpoint.sleep_vector;
+  solution.config = checkpoint.config;
+  solution.leakage_na = checkpoint.leakage_na;
+  solution.delay_ps = checkpoint.delay_ps;
+  solution.nodes_visited = checkpoint.nodes;
+  solution.states_explored = checkpoint.leaves;
+  solution.runtime_s = checkpoint.elapsed_s;
+  solution.interrupted = !checkpoint.tree_done;
+  return solution;
+}
+
+/// The search's own leaf tie-break (lowest leakage, then lexicographically
+/// smallest sleep vector), so the merge commutes: any completion order of
+/// the subtree set yields the same incumbent.
+bool better(const opt::Solution& a, const opt::Solution& b) {
+  if (a.leakage_na != b.leakage_na) return a.leakage_na < b.leakage_na;
+  return a.sleep_vector < b.sleep_vector;
+}
+
+/// One subtree of the root frontier. `bits`/`fingerprint`/`key` are
+/// immutable after construction (readable without the board lock); the
+/// token and completion state are guarded by TaskBoard::mu_.
+struct Task {
+  std::string bits;               ///< '0'/'1' prefix, root level first.
+  std::uint64_t fingerprint = 0;  ///< search_fingerprint of this subtree.
+  std::string key;                ///< The worker-side job/checkpoint key.
+  std::string token;              ///< Latest migration token (resume_text).
+  std::uint64_t token_progress = 0;
+  bool done = false;
+  bool interrupted = false;
+  opt::Solution solution;
+};
+
+/// Work-stealing board shared by the inline drain and the per-peer
+/// dispatchers. A popped task has exactly one active claimant until it is
+/// either completed or requeued (a steal); completion is first-result-wins,
+/// which keeps the counter totals exact under at-least-once dispatch
+/// (duplicate completions are byte-identical anyway).
+class TaskBoard {
+ public:
+  explicit TaskBoard(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) ready_.push_back(i);
+  }
+
+  const Task& peek(std::size_t index) const { return tasks_[index]; }
+
+  bool try_pop(std::size_t& index, std::string& token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!ready_.empty()) {
+      const std::size_t i = ready_.front();
+      ready_.pop_front();
+      if (tasks_[i].done) continue;
+      index = i;
+      token = tasks_[i].token;
+      return true;
+    }
+    return false;
+  }
+
+  void requeue(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!tasks_[index].done) ready_.push_back(index);
+    cv_.notify_all();
+  }
+
+  void complete(std::size_t index, opt::Solution solution, bool interrupted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task& task = tasks_[index];
+    if (task.done) return;
+    task.done = true;
+    task.solution = std::move(solution);
+    task.interrupted = interrupted;
+    ++done_count_;
+    cv_.notify_all();
+  }
+
+  /// Progress-gated: resuming from any valid snapshot of the same search
+  /// converges identically, so newer is purely a speed win.
+  void update_token(std::size_t index, std::string token, std::uint64_t progress) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task& task = tasks_[index];
+    if (task.done || progress <= task.token_progress) return;
+    task.token = std::move(token);
+    task.token_progress = progress;
+  }
+
+  bool all_done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_count_ == tasks_.size();
+  }
+
+  /// Idle wait for the drain loop when every remaining task is claimed by
+  /// a dispatcher; bounded so steals/cancellation are noticed promptly.
+  void wait_progress() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+
+  std::vector<Task> take() { return std::move(tasks_); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> tasks_;
+  std::deque<std::size_t> ready_;
+  std::size_t done_count_ = 0;
+};
+
+/// Pulls the worker's latest on-disk checkpoint for `index` and refreshes
+/// the migration token. Best-effort: a missing file, torn snapshot or
+/// foreign fingerprint just keeps the current token.
+void fetch_token(Client& client, TaskBoard& board, std::size_t index) {
+  Json request = Json::object();
+  request.set("cmd", "checkpoint_fetch");
+  request.set("key", board.peek(index).key);
+  const Json reply = client.request(request);
+  const Json* ok = reply.get("ok");
+  if (ok == nullptr || !ok->as_bool(false)) return;
+  const Json* found = reply.get("found");
+  if (found == nullptr || !found->as_bool(false)) return;
+  const Json* text = reply.get("checkpoint");
+  if (text == nullptr || !text->is_string()) return;
+  try {
+    const opt::SearchCheckpoint checkpoint = opt::parse_checkpoint(text->as_string());
+    if (checkpoint.fingerprint != board.peek(index).fingerprint) return;
+    board.update_token(index, text->as_string(), checkpoint_progress(checkpoint));
+  } catch (const std::exception&) {
+    // Torn mid-write or corrupt: the previous token stands.
+  }
+}
+
+/// Settles a remote job that reached a terminal state. tree_done means the
+/// worker finished the subtree's whole deterministic work unit (exhausted
+/// it or consumed the leaf budget) -- that is a result. Anything else
+/// (cancelled mid-run, failed, no checkpoint attached) only yields resume
+/// material: refresh the token if the blob carries one and requeue.
+void settle_terminal(TaskBoard& board, std::size_t index, const JobResult& result) {
+  if (!result.checkpoint_text.empty()) {
+    try {
+      const opt::SearchCheckpoint checkpoint =
+          opt::parse_checkpoint(result.checkpoint_text);
+      if (checkpoint.tree_done) {
+        board.complete(index, checkpoint_solution(checkpoint), /*interrupted=*/false);
+        return;
+      }
+      if (checkpoint.fingerprint == board.peek(index).fingerprint) {
+        board.update_token(index, result.checkpoint_text,
+                           checkpoint_progress(checkpoint));
+      }
+    } catch (const std::exception&) {
+      // Unparseable blob: treat like a failure, requeue from the old token.
+    }
+  }
+  board.requeue(index);
+}
+
+/// One peer's dispatcher thread: ship a task, babysit it, settle or steal
+/// it, repeat. Any transport error requeues the in-flight task and retires
+/// the dispatcher -- the inline drain is always a sufficient fallback, so
+/// a dead peer costs throughput, never correctness or termination.
+void serve_peer(TaskBoard& board, const JobSpec& base_spec,
+                const DistSearchContext& ctx, const std::string& peer) {
+  const ClientOptions client_options = ctx.cluster->client_options();
+  std::unique_ptr<Client> client;
+  try {
+    client = std::make_unique<Client>("tcp://" + peer, client_options);
+  } catch (const std::exception& e) {
+    log_warn("distributed search: peer " + peer + " unreachable (" + e.what() +
+             "); solving its share locally");
+    return;
+  }
+  const auto poll = std::chrono::duration<double>(ctx.poll_interval_s);
+  while (!board.all_done() && !cancelled(ctx)) {
+    std::size_t index = 0;
+    std::string token;
+    if (!board.try_pop(index, token)) {
+      board.wait_progress();
+      continue;
+    }
+    bool settled = false;
+    try {
+      JobSpec sub = base_spec;
+      sub.subtree_prefix = board.peek(index).bits;
+      sub.resume_text = std::move(token);
+      const std::uint64_t id = client->submit(sub);
+      Timer queued_timer;
+      std::optional<Timer> running_timer;
+      Timer fetch_timer;
+      for (;;) {
+        if (cancelled(ctx)) {
+          client->cancel(id);
+          board.requeue(index);
+          settled = true;
+          break;
+        }
+        const std::string status = client->status(id);
+        if (status == "queued") {
+          if (queued_timer.seconds() > ctx.queued_grace_s) {
+            // The peer never started it (busy / wedged queue): take the
+            // subtree back before it becomes a straggler.
+            client->cancel(id);
+            board.requeue(index);
+            settled = true;
+            break;
+          }
+        } else if (status == "running") {
+          if (!running_timer) running_timer.emplace();
+          if (fetch_timer.seconds() >= 1.0) {
+            fetch_timer = Timer();
+            fetch_token(*client, board, index);
+          }
+          if (running_timer->seconds() > ctx.steal_after_s) {
+            // Straggler: grab the freshest snapshot, cancel remotely and
+            // requeue so someone else resumes from it. The remote run may
+            // still finish -- first result wins, and both are identical.
+            fetch_token(*client, board, index);
+            client->cancel(id);
+            board.requeue(index);
+            settled = true;
+            break;
+          }
+        } else {
+          settle_terminal(board, index, client->result(id, /*include_solution=*/true));
+          settled = true;
+          break;
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    } catch (const std::exception& e) {
+      if (!settled) board.requeue(index);
+      log_warn("distributed search: peer " + peer + " failed mid-dispatch (" +
+               e.what() + "); retiring its dispatcher");
+      return;
+    }
+  }
+}
+
+std::vector<bool> prefix_bits(const std::string& bits) {
+  std::vector<bool> out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = bits[i] == '1';
+  return out;
+}
+
+}  // namespace
+
+core::MethodResult distributed_search(const JobSpec& spec, DistSearchContext& ctx) {
+  Timer timer;
+  const core::Method method = core::method_from_string(spec.method);
+  const double penalty = spec.penalty_percent / 100.0;
+
+  // All subtree work units run under the deterministic leaf budget with an
+  // effectively-infinite wall clock: elapsed time varies per node and per
+  // run, so it must never decide what gets explored.
+  core::RunConfig base_config;
+  base_config.penalty_fraction = penalty;
+  base_config.time_limit_s = 1e9;
+  base_config.random_vectors = spec.random_vectors;
+  base_config.seed = spec.seed;
+  base_config.threads = 1;
+  base_config.max_leaves = spec.max_leaves;
+  base_config.checkpoint_every_s = ctx.checkpoint_every_s;
+
+  const core::SearchPlan plan = core::StandbyOptimizer::search_plan(method, base_config);
+  if (!plan.splittable) {
+    throw ContractError("method '" + spec.method + "' cannot be split by subtree");
+  }
+  const opt::AssignmentProblem& problem = ctx.optimizer.problem(method, penalty);
+  const int inputs = static_cast<int>(problem.input_order().size());
+  int depth = 1;
+  while ((1 << depth) < spec.subtrees) ++depth;
+  depth = std::min(depth, std::min(inputs, 10));
+  if (depth < 1) {
+    // Degenerate circuit (no primary inputs to split on): run flat.
+    core::RunConfig flat = base_config;
+    flat.cancel = ctx.cancel;
+    return ctx.optimizer.run(method, flat);
+  }
+  const std::size_t count = std::size_t{1} << depth;
+
+  // Seed descent: ONE deterministic leaf, computed here and shipped in
+  // every token, so each subtree starts from the identical incumbent no
+  // matter where (or how often) it runs. Deliberately opt-level with the
+  // probe sweep off -- the facade's state-only path runs a wall-clock-
+  // gated probe sweep, which would make the seed schedule-dependent.
+  opt::SearchOptions seed_options = plan.options;
+  seed_options.max_leaves = 1;
+  seed_options.random_probes = 0;
+  seed_options.threads = 1;
+  seed_options.cancel = nullptr;
+  seed_options.checkpoint_path.clear();
+  const opt::Solution seed = [&] {
+    switch (method) {
+      case core::Method::kStateOnly:
+        return opt::state_only_search(problem, seed_options);
+      case core::Method::kExact:
+        return opt::exact_search(problem, seed_options);
+      default:
+        return opt::heuristic2(problem, seed_options);
+    }
+  }();
+
+  std::vector<Task> tasks(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    Task& task = tasks[s];
+    opt::SearchOptions sub_options = plan.options;
+    sub_options.threads = 1;
+    sub_options.random_probes = 0;
+    sub_options.subtree_prefix.resize(static_cast<std::size_t>(depth));
+    task.bits.reserve(static_cast<std::size_t>(depth));
+    for (int d = 0; d < depth; ++d) {
+      const bool bit = ((s >> (depth - 1 - d)) & 1u) != 0;
+      sub_options.subtree_prefix[static_cast<std::size_t>(d)] = bit;
+      task.bits.push_back(bit ? '1' : '0');
+    }
+    // Must match the fingerprint a worker computes for the shipped spec --
+    // run_search forces threads=1 / probes=0 in restricted mode before
+    // fingerprinting, mirrored above. A divergence would make workers
+    // silently drop the token and search unseeded.
+    task.fingerprint =
+        opt::search_fingerprint(problem, sub_options, plan.bound_kind, plan.state_only);
+
+    RunKnobs knobs;
+    knobs.method = spec.method;
+    knobs.penalty_fraction = penalty;
+    knobs.time_limit_s = 1e9;
+    knobs.random_vectors = spec.random_vectors;
+    knobs.seed = spec.seed;
+    knobs.search_threads = 1;
+    knobs.max_leaves = spec.max_leaves;
+    knobs.subtree_prefix = task.bits;
+    task.key = cache_key(ctx.library_fp, ctx.netlist_fp, knobs);
+
+    opt::SearchCheckpoint token;
+    token.fingerprint = task.fingerprint;
+    token.sleep_vector = seed.sleep_vector;
+    token.config = seed.config;
+    token.leakage_na = seed.leakage_na;
+    token.delay_ps = seed.delay_ps;
+    // Path empty + counters zero: "start at the root with this incumbent".
+    // The seed's own counters are NOT baked in -- every subtree owns its
+    // full leaf budget, and the totals add the seed back exactly once.
+    task.token = opt::write_checkpoint(token);
+  }
+
+  TaskBoard board(std::move(tasks));
+
+  JobSpec base_spec = spec;  // outlives the dispatcher threads
+  std::vector<std::thread> dispatchers;
+  if (ctx.cluster != nullptr) {
+    base_spec.subtrees = 0;
+    base_spec.search_threads = 1;
+    base_spec.time_limit_s = 1e9;
+    base_spec.use_cache = false;
+    base_spec.deadline_s = 0.0;
+    base_spec.retries = 0;
+    // Shards outrank whole jobs so a cluster of coordinators drains each
+    // other's frontiers instead of queueing them behind more coordinators.
+    base_spec.priority = spec.priority + 1;
+    for (const std::string& peer : ctx.cluster->peers()) {
+      dispatchers.emplace_back([&board, &base_spec, &ctx, peer] {
+        serve_peer(board, base_spec, ctx, peer);
+      });
+    }
+  }
+
+  // Inline drain: the coordinator's own worker thread is always a solver,
+  // so the job terminates even with zero reachable peers. Keeps draining
+  // after a cancel -- cancelled runs return their seeded incumbent almost
+  // immediately, and every task must settle before the merge.
+  while (!board.all_done()) {
+    std::size_t index = 0;
+    std::string token;
+    if (!board.try_pop(index, token)) {
+      board.wait_progress();
+      continue;
+    }
+    core::RunConfig config = base_config;
+    config.cancel = ctx.cancel;
+    config.subtree_prefix = prefix_bits(board.peek(index).bits);
+    config.resume_text = std::move(token);
+    if (!ctx.checkpoint_dir.empty()) {
+      config.checkpoint_path = ctx.checkpoint_dir + "/" + board.peek(index).key + ".ckpt";
+    }
+    const core::MethodResult run = ctx.optimizer.run(method, config);
+    board.complete(index, run.solution, run.solution.interrupted);
+  }
+  for (std::thread& dispatcher : dispatchers) dispatcher.join();
+
+  const std::vector<Task> done = board.take();
+  opt::Solution best = seed;
+  std::uint64_t nodes = seed.nodes_visited;
+  std::uint64_t leaves = seed.states_explored;
+  bool interrupted = false;
+  for (const Task& task : done) {
+    nodes += task.solution.nodes_visited;
+    leaves += task.solution.states_explored;
+    interrupted = interrupted || task.interrupted;
+    if (better(task.solution, best)) best = task.solution;
+  }
+  best.nodes_visited = nodes;
+  best.states_explored = leaves;
+  best.interrupted = interrupted;
+  best.runtime_s = timer.seconds();
+
+  core::MethodResult out;
+  out.method = method;
+  out.solution = std::move(best);
+  out.leakage_ua = out.solution.leakage_na / 1e3;
+  out.reduction_x =
+      ctx.optimizer.average_random_leakage_ua(spec.random_vectors, spec.seed) /
+      out.leakage_ua;
+  out.runtime_s = timer.seconds();
+  return out;
+}
+
+}  // namespace svtox::svc

@@ -1,0 +1,55 @@
+// Distributed subtree search: the coordinator side of `JobSpec::subtrees`.
+//
+// The state tree's top k = ceil(log2(subtrees)) levels are carved into 2^k
+// fixed-prefix subtrees. Each subtree becomes an independent, serial,
+// leaf-budgeted search job seeded with the SAME migration token: a
+// SearchCheckpoint blob holding the coordinator's single-descent incumbent
+// and an empty path. Because every subtree starts from the same token and
+// runs with probes disabled under a deterministic leaf budget, a subtree's
+// final (incumbent, counters) is a pure function of the spec -- not of
+// which node solved it, when, or whether it was stolen and resumed from a
+// mid-run checkpoint of that same execution. The coordinator merges the
+// per-subtree incumbents under the search's deterministic tie-break
+// (lowest leakage, then lexicographically smallest sleep vector) and sums
+// the counters, so an N-node run is byte-identical to a 1-node run.
+//
+// Scheduling is work-stealing over a shared task board:
+//  * the coordinator's own worker thread drains tasks inline (no extra
+//    scheduler submission, so coordinators can never deadlock the pool);
+//  * one dispatcher thread per peer ships tasks over TCP, polls status,
+//    refreshes the task's migration token from the worker's checkpoint
+//    file (`checkpoint_fetch`), and steals the subtree back -- latest
+//    token in hand -- when the peer leaves it queued too long (busy peer)
+//    or lets it run past steal_after_s (straggler / wedged node). A peer
+//    error requeues the task and retires the dispatcher; the inline drain
+//    is always a sufficient fallback.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "svc/cluster.hpp"
+#include "svc/job.hpp"
+
+namespace svtox::svc {
+
+struct DistSearchContext {
+  core::StandbyOptimizer& optimizer;  ///< The coordinator's own context.
+  std::uint64_t library_fp = 0;       ///< For remote checkpoint keys.
+  std::uint64_t netlist_fp = 0;
+  Cluster* cluster = nullptr;         ///< Null = solve every subtree inline.
+  std::string checkpoint_dir;         ///< Inline solves checkpoint here.
+  double checkpoint_every_s = 5.0;
+  const std::atomic<bool>* cancel = nullptr;
+  double poll_interval_s = 0.05;      ///< Remote status poll cadence.
+  double queued_grace_s = 5.0;        ///< Steal from a peer that never starts.
+  double steal_after_s = 30.0;        ///< Steal from a straggler.
+};
+
+/// Runs `spec` (subtrees >= 2, a splittable method, bench already inlined
+/// as circuit/bench_text) as a distributed search. Throws like
+/// StandbyOptimizer::run on setup errors; peer failures never propagate.
+core::MethodResult distributed_search(const JobSpec& spec, DistSearchContext& ctx);
+
+}  // namespace svtox::svc

@@ -1,0 +1,47 @@
+#include "svc/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "svc/fingerprint.hpp"
+#include "util/error.hpp"
+
+namespace svtox::svc {
+
+HashRing::HashRing(std::vector<std::string> members, int vnodes)
+    : members_(std::move(members)) {
+  if (members_.empty()) throw ContractError("hash ring needs at least one member");
+  if (vnodes < 1) throw ContractError("hash ring vnodes must be >= 1");
+  {
+    std::vector<std::string> sorted = members_;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw ContractError("hash ring members must be unique");
+    }
+  }
+  points_.reserve(members_.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::uint64_t point =
+          Fnv().str(members_[m]).u64(static_cast<std::uint64_t>(v)).value();
+      points_.emplace_back(point, m);
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              // A 64-bit collision between members is astronomically
+              // unlikely, but break it by address so every node agrees.
+              return members_[a.second] < members_[b.second];
+            });
+}
+
+const std::string& HashRing::owner(const std::string& key) const {
+  const std::uint64_t h = Fnv().str(key).value();
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const auto& point, std::uint64_t value) { return point.first < value; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return members_[it->second];
+}
+
+}  // namespace svtox::svc

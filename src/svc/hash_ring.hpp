@@ -1,0 +1,47 @@
+// Consistent-hash ring over cluster member addresses.
+//
+// Each member contributes `vnodes` points on a 64-bit ring, at
+// FNV-1a(member, vnode_index); a key is owned by the member whose point is
+// the first at or after FNV-1a(key), wrapping at the top. Two properties
+// the distributed cache relies on:
+//
+//  * Agreement needs only *set* equality: points are derived from the
+//    member address strings themselves, so every node that knows the same
+//    member set computes the same ring regardless of the order its
+//    --peers list spelled them in.
+//  * Virtual nodes smooth the key distribution, so one member does not
+//    own a disproportionate arc just because its single hash landed badly.
+//
+// The ring is immutable after construction -- membership is static per
+// daemon invocation (no failure detector); a dead owner degrades reads to
+// local-only at the call site instead of re-ringing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svtox::svc {
+
+class HashRing {
+ public:
+  /// Throws ContractError when `members` is empty, contains duplicates, or
+  /// vnodes < 1.
+  explicit HashRing(std::vector<std::string> members, int vnodes = 64);
+
+  /// The member owning `key`. Deterministic across processes for equal
+  /// member sets.
+  const std::string& owner(const std::string& key) const;
+
+  const std::vector<std::string>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::string> members_;
+  /// (point, member index), sorted by point; ties broken by the member
+  /// string so the ring is independent of input order.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace svtox::svc

@@ -9,6 +9,9 @@
 #include "core/solution_io.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/benchmarks.hpp"
+#include "opt/checkpoint.hpp"
+#include "svc/dist_cache.hpp"
+#include "svc/dist_search.hpp"
 #include "svc/fingerprint.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -265,6 +268,13 @@ Scheduler::Scheduler(const Options& options) : options_(options) {
 
 Scheduler::~Scheduler() { shutdown(/*drain=*/true); }
 
+void Scheduler::set_cluster(Cluster* cluster) {
+  cluster_ = cluster;
+  dist_cache_ = cluster != nullptr
+                    ? std::make_unique<DistributedCache>(*cache_, *cluster)
+                    : nullptr;
+}
+
 JobId Scheduler::submit(const JobSpec& spec) {
   validate_job_spec(spec);
   std::shared_ptr<JobRecord> record = std::make_shared<JobRecord>();
@@ -289,6 +299,34 @@ JobId Scheduler::submit(const JobSpec& spec) {
     record->result.error = "scheduler shut down before the job was queued";
     record->status.store(JobStatus::kCancelled);
     throw ContractError("scheduler is shutting down");
+  }
+  return record->id;
+}
+
+std::optional<JobId> Scheduler::try_submit(const JobSpec& spec) {
+  validate_job_spec(spec);
+  std::shared_ptr<JobRecord> record = std::make_shared<JobRecord>();
+  record->spec = spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) throw ContractError("scheduler is shutting down");
+    record->id = next_id_++;
+    jobs_.emplace(record->id, record);
+  }
+  if (!queue_->try_push(record->id, spec.priority)) {
+    // Queue full (or closing): undo the reservation. The burned id keeps
+    // `submitted` counting admission attempts, which is what it reports.
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.erase(record->id);
+    return std::nullopt;
+  }
+  if (spec.deadline_s > 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    deadlines_.emplace(std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(spec.deadline_s)),
+                       record->id);
+    monitor_cv_.notify_one();
   }
   return record->id;
 }
@@ -392,12 +430,18 @@ void Scheduler::worker_loop(int worker_index) {
 }
 
 void Scheduler::execute(WorkerState& state, JobRecord& record) {
-  const JobSpec& spec = record.spec;
+  JobSpec spec = record.spec;
   JobResult result;
   result.method = spec.method;
   result.penalty_percent = spec.penalty_percent;
   result.label = spec.label;
 
+  // Caching requires the result to be a pure function of the cache key.
+  // Subtree shards are not: the migration token (resume_text) seeds the
+  // incumbent and is deliberately NOT part of the key, so shard jobs
+  // always solve.
+  const bool cacheable =
+      spec.use_cache && spec.subtree_prefix.empty() && spec.resume_text.empty();
   std::string key;
   bool cache_owner = false;
   // fetch_or_lock must run at most once per job: a second call by the same
@@ -406,6 +450,23 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
   for (int attempt = 0;; ++attempt) {
     try {
       SVTOX_FAIL_POINT("job_execute");
+      if (spec.subtrees >= 2 && !spec.bench_path.empty()) {
+        // Coordinators must ship the *identical* netlist to their peers:
+        // the search fingerprint embeds the netlist name, and a file
+        // resolved here would be named differently than its inlined copy
+        // on a remote worker -- tokens would be silently dropped there.
+        // Inline the content up front so every node resolves the same
+        // content-addressed circuit.
+        std::ifstream in(spec.bench_path);
+        if (!in) {
+          throw Error(ErrorCode::kIo,
+                      "cannot read bench file '" + spec.bench_path + "'");
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec.bench_text = text.str();
+        spec.bench_path.clear();
+      }
       std::shared_ptr<const ResourcePool::LibraryEntry> library = pool_->library(spec);
       std::shared_ptr<const ResourcePool::CircuitEntry> circuit =
           pool_->circuit(library, spec);
@@ -420,12 +481,17 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
       knobs.seed = spec.seed;
       knobs.search_threads = spec.search_threads;
       knobs.max_leaves = spec.max_leaves;
+      knobs.subtrees = spec.subtrees;
+      knobs.subtree_prefix = spec.subtree_prefix;
       const std::string job_key = cache_key(library->fp, circuit->fp, knobs);
 
-      if (spec.use_cache && !cache_checked) {
+      if (cacheable && !cache_checked) {
         cache_checked = true;
         key = job_key;
-        if (std::optional<JobResult> cached = cache_->fetch_or_lock(key)) {
+        std::optional<JobResult> cached = dist_cache_ != nullptr
+                                              ? dist_cache_->fetch_or_lock(key)
+                                              : cache_->fetch_or_lock(key);
+        if (cached) {
           cached->label = spec.label;  // echo the submitter's tag, not the solver's
           finish(record, std::move(*cached), JobStatus::kDone);
           return;
@@ -451,7 +517,31 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
         config.checkpoint_path = options_.checkpoint_dir + "/" + job_key + ".ckpt";
         config.checkpoint_every_s = options_.checkpoint_every_s;
       }
-      const core::MethodResult run = optimizer.run(method, config);
+      if (!spec.subtree_prefix.empty()) {
+        // Subtree shard (coordinator -> worker): pin the prescribed branch
+        // and seed/resume from the migration token.
+        config.subtree_prefix.resize(spec.subtree_prefix.size());
+        for (std::size_t i = 0; i < spec.subtree_prefix.size(); ++i) {
+          config.subtree_prefix[i] = spec.subtree_prefix[i] == '1';
+        }
+        config.resume_text = spec.resume_text;
+      }
+      core::MethodResult run;
+      if (spec.subtrees >= 2) {
+        DistSearchContext dist{optimizer,
+                               library->fp,
+                               circuit->fp,
+                               cluster_,
+                               options_.checkpoint_dir,
+                               options_.checkpoint_every_s,
+                               &record.cancel,
+                               options_.dist_poll_interval_s,
+                               /*queued_grace_s=*/5.0,
+                               options_.dist_steal_after_s};
+        run = distributed_search(spec, dist);
+      } else {
+        run = optimizer.run(method, config);
+      }
 
       result.leakage_ua = run.leakage_ua;
       result.reduction_x = run.reduction_x;
@@ -460,12 +550,48 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
       result.interrupted = run.solution.interrupted;
       result.runtime_s =
           method == core::Method::kAverageRandom ? run.runtime_s : run.solution.runtime_s;
-      if (method != core::Method::kAverageRandom) {
+      if (method != core::Method::kAverageRandom && spec.subtree_prefix.empty()) {
         result.solution_text = core::write_solution(run.solution, circuit->netlist);
+      }
+      if (!spec.subtree_prefix.empty()) {
+        // The coordinator merges checkpoints, not solution text. tree_done
+        // means the shard's whole deterministic work unit finished
+        // (exhausted or leaf budget consumed) -- synthesize a result
+        // token. A cancelled shard instead ships the search's final
+        // on-disk snapshot verbatim: it carries the frontier path, which
+        // a path-less blob with non-zero counters could not replace
+        // (resuming one would re-count leaves and break byte-identity).
+        if (!run.solution.interrupted) {
+          opt::SearchCheckpoint token;
+          token.tree_done = true;
+          token.nodes = run.solution.nodes_visited;
+          token.leaves = run.solution.states_explored;
+          token.elapsed_s = run.solution.runtime_s;
+          token.sleep_vector = run.solution.sleep_vector;
+          token.config = run.solution.config;
+          token.leakage_na = run.solution.leakage_na;
+          token.delay_ps = run.solution.delay_ps;
+          result.checkpoint_text = opt::write_checkpoint(token);
+        } else if (!config.checkpoint_path.empty()) {
+          std::ifstream in(config.checkpoint_path);
+          if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            result.checkpoint_text = text.str();
+          }
+        }
       }
       executed_.fetch_add(1, std::memory_order_relaxed);
 
-      if (cache_owner) cache_->publish(key, result);  // skips interrupted results
+      if (cache_owner) {
+        // Both levels skip storing interrupted results (and the
+        // distributed layer turns them into an owner-side abandon).
+        if (dist_cache_ != nullptr) {
+          dist_cache_->publish(key, result);
+        } else {
+          cache_->publish(key, result);
+        }
+      }
       if (result.interrupted && record.user_cancelled.load()) {
         result.error = "cancelled (best-so-far solution attached)";
         finish(record, std::move(result), JobStatus::kCancelled);
@@ -489,7 +615,13 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
                  "); retrying");
         continue;
       }
-      if (cache_owner) cache_->abandon(key);
+      if (cache_owner) {
+        if (dist_cache_ != nullptr) {
+          dist_cache_->abandon(key);
+        } else {
+          cache_->abandon(key);
+        }
+      }
       result.error = e.what();
       result.error_code = to_string(e.code());
       finish(record, std::move(result), JobStatus::kFailed);
@@ -497,7 +629,13 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
     } catch (const std::exception& e) {
       // Non-Error exceptions (contract violations, bad_alloc, ...) are
       // never retried: they would fail identically every time.
-      if (cache_owner) cache_->abandon(key);
+      if (cache_owner) {
+        if (dist_cache_ != nullptr) {
+          dist_cache_->abandon(key);
+        } else {
+          cache_->abandon(key);
+        }
+      }
       result.error = e.what();
       result.error_code = "internal";
       finish(record, std::move(result), JobStatus::kFailed);

@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <thread>
@@ -44,6 +45,10 @@
 #include "svc/solution_cache.hpp"
 
 namespace svtox::svc {
+
+class Cluster;
+class DistributedCache;
+struct DistCacheStats;
 
 struct SchedulerStats {
   std::uint64_t submitted = 0;
@@ -72,6 +77,10 @@ struct SchedulerOptions {
   /// the same job resumes instead of restarting.
   std::string checkpoint_dir;
   double checkpoint_every_s = 5.0;  ///< Snapshot cadence (seconds).
+  /// Distributed coordination: steal a remotely-running subtree from its
+  /// worker after this long (its latest checkpoint migrates with it).
+  double dist_steal_after_s = 30.0;
+  double dist_poll_interval_s = 0.05;  ///< Remote job status poll cadence.
 };
 
 class Scheduler {
@@ -87,6 +96,19 @@ class Scheduler {
   /// Validates and enqueues; blocks while the queue is at capacity.
   /// Throws ContractError on an invalid spec or after shutdown began.
   JobId submit(const JobSpec& spec);
+
+  /// Non-blocking admission: like submit() but returns nullopt instead of
+  /// blocking when the queue is at capacity -- the server turns that into
+  /// an explicit retryable "busy" reply rather than a hung connection.
+  std::optional<JobId> try_submit(const JobSpec& spec);
+
+  /// Attaches a static cluster (must outlive the scheduler; wire up before
+  /// serving, not mid-flight): enables the two-level distributed solution
+  /// cache and remote subtree dispatch for coordinator jobs. Null detaches.
+  void set_cluster(Cluster* cluster);
+  Cluster* cluster() const { return cluster_; }
+  DistributedCache* dist_cache() const { return dist_cache_.get(); }
+  const std::string& checkpoint_dir() const { return options_.checkpoint_dir; }
 
   /// Cancels a queued job outright or requests cooperative cancellation of
   /// a running one; false when the job is unknown or already terminal.
@@ -126,6 +148,8 @@ class Scheduler {
   std::unique_ptr<SolutionCache> cache_;
   std::unique_ptr<ResourcePool> pool_;
   std::unique_ptr<JobQueue> queue_;
+  Cluster* cluster_ = nullptr;
+  std::unique_ptr<DistributedCache> dist_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable terminal_cv_;   ///< Signalled on any job finish.

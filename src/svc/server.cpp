@@ -7,7 +7,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
+#include "net/frame.hpp"
+#include "svc/dist_cache.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/log.hpp"
@@ -18,8 +22,13 @@ namespace {
 
 /// Hard cap on one NDJSON request line. A client that streams an unbounded
 /// line (malicious or broken framing) gets an error and a closed
-/// connection instead of growing the server's buffer without limit.
+/// connection instead of growing the server's buffer without limit. The
+/// TCP transport enforces the same bound via net::kMaxFrameBytes -- there
+/// it costs the server four header bytes, not a megabyte.
 constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+static_assert(net::kMaxFrameBytes == kMaxRequestBytes,
+              "both transports must enforce the same request cap");
 
 /// Writes the whole buffer, riding out EINTR/partial writes.
 bool write_all(int fd, const std::string& data) {
@@ -52,29 +61,48 @@ Json cache_stats_json(const CacheStats& stats) {
   json.set("evictions", stats.evictions);
   json.set("corrupt", stats.corrupt);
   json.set("entries", stats.entries);
+  json.set("inflight", stats.inflight);
   return json;
+}
+
+ServerOptions unix_only_options(std::string socket_path) {
+  ServerOptions options;
+  options.socket_path = std::move(socket_path);
+  return options;
 }
 
 }  // namespace
 
 Server::Server(Scheduler& scheduler, std::string socket_path)
-    : scheduler_(scheduler), socket_path_(std::move(socket_path)) {
+    : Server(scheduler, unix_only_options(std::move(socket_path))) {}
+
+Server::Server(Scheduler& scheduler, ServerOptions options)
+    : scheduler_(scheduler), options_(std::move(options)) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof addr.sun_path) {
-    throw ContractError("socket path too long: " + socket_path_);
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    throw ContractError("socket path too long: " + options_.socket_path);
   }
-  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof addr.sun_path - 1);
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw ContractError("cannot create unix socket");
-  ::unlink(socket_path_.c_str());  // stale socket from a crashed daemon
+  ::unlink(options_.socket_path.c_str());  // stale socket from a crashed daemon
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(listen_fd_, 64) != 0) {
     const std::string what = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw ContractError("cannot bind " + socket_path_ + ": " + what);
+    throw ContractError("cannot bind " + options_.socket_path + ": " + what);
+  }
+  if (options_.tcp_port >= 0) {
+    try {
+      tcp_listener_ = net::Listener::tcp(options_.tcp_host, options_.tcp_port);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
   }
 }
 
@@ -82,6 +110,47 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   acceptor_ = std::thread([this] { accept_loop(); });
+  if (tcp_listener_.valid()) {
+    tcp_acceptor_ = std::thread([this] { accept_loop_tcp(); });
+  }
+}
+
+bool Server::admit(int fd, bool tcp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return false;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (client_fds_.size() < options_.max_connections) {
+      client_fds_.push_back(fd);
+      handlers_.emplace_back([this, fd, tcp] {
+        if (tcp) {
+          handle_connection_tcp(fd);
+        } else {
+          handle_connection(fd);
+        }
+      });
+      return true;
+    }
+    busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // At capacity: an explicit, retryable rejection beats a silently parked
+  // connection. The reply is tiny, so this cannot stall the acceptor.
+  const std::string payload =
+      error_reply("server at connection capacity; retry later", "busy").dump();
+  if (tcp) {
+    std::string wire;
+    net::encode_frame(wire, payload);
+    bytes_out_tcp_.fetch_add(wire.size(), std::memory_order_relaxed);
+    write_all(fd, wire);
+  } else {
+    bytes_out_unix_.fetch_add(payload.size() + 1, std::memory_order_relaxed);
+    write_all(fd, payload + "\n");
+  }
+  ::close(fd);
+  return true;
 }
 
 void Server::accept_loop() {
@@ -91,13 +160,25 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listen fd closed by stop()
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    client_fds_.push_back(fd);
-    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+    if (!admit(fd, /*tcp=*/false)) return;
+  }
+}
+
+void Server::accept_loop_tcp() {
+  for (;;) {
+    const int fd = tcp_listener_.accept_fd();
+    if (fd < 0) return;  // shut down by stop()
+    if (!admit(fd, /*tcp=*/true)) return;
+  }
+}
+
+void Server::finish_connection(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(client_fds_.begin(), client_fds_.end(), fd);
+  if (it != client_fds_.end()) {
+    ::close(fd);
+    client_fds_.erase(it);
   }
 }
 
@@ -111,6 +192,7 @@ void Server::handle_connection(int fd) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // disconnect or stop()
     buffer.append(chunk, static_cast<std::size_t>(n));
+    bytes_in_unix_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
     if (buffer.size() > kMaxRequestBytes &&
         buffer.find('\n') == std::string::npos) {
       write_all(fd, error_reply("request line exceeds 1 MiB", "parse").dump() + "\n");
@@ -134,19 +216,74 @@ void Server::handle_connection(int fd) {
       } catch (const std::exception& e) {
         reply = error_reply(e.what(), "contract");
       }
-      if (SVTOX_FAIL_POINT_FAILS("server_write") ||
-          !write_all(fd, reply.dump() + "\n")) {
+      const std::string payload = reply.dump() + "\n";
+      bytes_out_unix_.fetch_add(payload.size(), std::memory_order_relaxed);
+      if (SVTOX_FAIL_POINT_FAILS("server_write") || !write_all(fd, payload)) {
         close_after = true;
       }
     }
   }
-  ::shutdown(fd, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = std::find(client_fds_.begin(), client_fds_.end(), fd);
-  if (it != client_fds_.end()) {
-    ::close(fd);
-    client_fds_.erase(it);
+  finish_connection(fd);
+}
+
+void Server::handle_connection_tcp(int fd) {
+  std::string buffer;
+  std::string payload;
+  bool close_after = false;
+  char chunk[4096];
+  while (!close_after) {
+    if (SVTOX_FAIL_POINT_FAILS("server_read")) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // disconnect (possibly mid-frame) or stop()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    bytes_in_tcp_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+    try {
+      while (!close_after &&
+             net::extract_frame(buffer, payload, net::kMaxFrameBytes)) {
+        // A garbage length prefix that decodes small just yields a payload
+        // that fails JSON parsing -- an error reply, connection kept. Only
+        // an oversized announcement is unrecoverable (the body is still in
+        // flight with no way to resynchronize) and lands in the catch.
+        Json reply;
+        try {
+          reply = dispatch(Json::parse(payload), close_after);
+        } catch (const Error& e) {
+          reply = error_reply(e.what(), to_string(e.code()));
+        } catch (const std::exception& e) {
+          reply = error_reply(e.what(), "contract");
+        }
+        std::string wire;
+        net::encode_frame(wire, reply.dump());
+        bytes_out_tcp_.fetch_add(wire.size(), std::memory_order_relaxed);
+        if (SVTOX_FAIL_POINT_FAILS("server_write") || !write_all(fd, wire)) {
+          close_after = true;
+        }
+      }
+    } catch (const Error&) {
+      std::string wire;
+      net::encode_frame(wire, error_reply("frame exceeds 1 MiB", "parse").dump());
+      bytes_out_tcp_.fetch_add(wire.size(), std::memory_order_relaxed);
+      write_all(fd, wire);
+      break;
+    }
   }
+  finish_connection(fd);
+}
+
+ServerNetStats Server::net_stats() const {
+  ServerNetStats out;
+  out.bytes_in_unix = bytes_in_unix_.load(std::memory_order_relaxed);
+  out.bytes_out_unix = bytes_out_unix_.load(std::memory_order_relaxed);
+  out.bytes_in_tcp = bytes_in_tcp_.load(std::memory_order_relaxed);
+  out.bytes_out_tcp = bytes_out_tcp_.load(std::memory_order_relaxed);
+  out.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.connections = client_fds_.size();
+  }
+  return out;
 }
 
 Json Server::dispatch(const Json& request, bool& close_after) {
@@ -158,10 +295,15 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     for (const auto& [key, value] : request.as_object()) {
       if (key != "cmd") spec_json.set(key, value);
     }
-    const JobId id = scheduler_.submit(job_spec_from_json(spec_json));
+    const std::optional<JobId> id =
+        scheduler_.try_submit(job_spec_from_json(spec_json));
+    if (!id) {
+      // Explicit admission failure; clients retry with backoff.
+      return error_reply("job queue is full; retry later", "busy");
+    }
     Json reply = Json::object();
     reply.set("ok", true);
-    reply.set("job", id);
+    reply.set("job", *id);
     return reply;
   }
 
@@ -207,6 +349,114 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     reply.set("ok", true);
     reply.set("jobs", jobs);
     reply.set("cache", cache_stats_json(stats.cache));
+    Json::Array shards;
+    for (const CacheStats& shard : scheduler_.cache().shard_stats()) {
+      shards.push_back(cache_stats_json(shard));
+    }
+    reply.set("cache_shards", Json(std::move(shards)));
+    if (const DistributedCache* dist = scheduler_.dist_cache()) {
+      const DistCacheStats d = dist->stats();
+      Json dist_json = Json::object();
+      dist_json.set("remote_hits", d.remote_hits);
+      dist_json.set("remote_misses", d.remote_misses);
+      dist_json.set("remote_publishes", d.remote_publishes);
+      dist_json.set("remote_abandons", d.remote_abandons);
+      dist_json.set("peer_failures", d.peer_failures);
+      reply.set("dist_cache", dist_json);
+    }
+    const ServerNetStats net = net_stats();
+    Json net_json = Json::object();
+    net_json.set("bytes_in_unix", net.bytes_in_unix);
+    net_json.set("bytes_out_unix", net.bytes_out_unix);
+    net_json.set("bytes_in_tcp", net.bytes_in_tcp);
+    net_json.set("bytes_out_tcp", net.bytes_out_tcp);
+    net_json.set("busy_rejections", net.busy_rejections);
+    net_json.set("accepted", net.accepted);
+    net_json.set("connections", net.connections);
+    reply.set("net", net_json);
+    return reply;
+  }
+
+  if (cmd == "metrics") {
+    const SchedulerStats stats = scheduler_.stats();
+    const std::vector<CacheStats> shards = scheduler_.cache().shard_stats();
+    DistCacheStats dist_stats;
+    const DistributedCache* dist = scheduler_.dist_cache();
+    if (dist != nullptr) dist_stats = dist->stats();
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("metrics", render_prometheus(stats, shards,
+                                           dist != nullptr ? &dist_stats : nullptr,
+                                           net_stats()));
+    return reply;
+  }
+
+  if (cmd == "checkpoint_fetch") {
+    const Json* key = request.get("key");
+    if (key == nullptr || !key->is_string()) {
+      return error_reply("'checkpoint_fetch' needs a string 'key'");
+    }
+    const std::string& name = key->as_string();
+    // Cache keys are three 16-digit hex words joined by dots; anything
+    // else (path separators in particular) is rejected outright.
+    if (name.empty() || name.size() > 128 ||
+        name.find_first_not_of("0123456789abcdef.") != std::string::npos) {
+      return error_reply("invalid checkpoint key");
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    bool found = false;
+    const std::string& dir = scheduler_.checkpoint_dir();
+    if (!dir.empty()) {
+      std::ifstream in(dir + "/" + name + ".ckpt");
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        reply.set("checkpoint", text.str());
+        found = true;
+      }
+    }
+    reply.set("found", found);
+    return reply;
+  }
+
+  if (cmd == "cache_fetch_or_lock") {
+    const Json* key = request.get("key");
+    if (key == nullptr || !key->is_string()) {
+      return error_reply("'cache_fetch_or_lock' needs a string 'key'");
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    // Blocks while this shard has an inflight solve for the key: a remote
+    // caller parking here until the local publish IS the cluster-wide
+    // dedup. A miss makes the caller this shard's inflight owner -- it
+    // owes a cache_publish or cache_abandon.
+    if (std::optional<JobResult> hit =
+            scheduler_.cache().fetch_or_lock(key->as_string())) {
+      reply.set("hit", true);
+      reply.set("result", job_result_to_json(*hit, /*include_solution=*/true));
+    } else {
+      reply.set("hit", false);
+    }
+    return reply;
+  }
+
+  if (cmd == "cache_publish" || cmd == "cache_abandon") {
+    const Json* key = request.get("key");
+    if (key == nullptr || !key->is_string()) {
+      return error_reply("'" + cmd + "' needs a string 'key'");
+    }
+    if (cmd == "cache_publish") {
+      const Json* payload = request.get("result");
+      if (payload == nullptr || !payload->is_object()) {
+        return error_reply("'cache_publish' needs a 'result' object");
+      }
+      scheduler_.cache().publish(key->as_string(), job_result_from_json(*payload));
+    } else {
+      scheduler_.cache().abandon(key->as_string());
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
     return reply;
   }
 
@@ -243,6 +493,7 @@ void Server::stop() {
     // close() alone does NOT wake a thread blocked in accept() on Linux;
     // shutdown() does. The fd itself is closed after the acceptor joins.
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (tcp_listener_.valid()) tcp_listener_.shutdown_now();
     // Wake blocked reads; the handler threads close the fds themselves.
     for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handlers_);
@@ -255,11 +506,12 @@ void Server::stop() {
   if (wake >= 0) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof addr.sun_path - 1);
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof addr.sun_path - 1);
     ::connect(wake, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
     ::close(wake);
   }
   if (acceptor_.joinable()) acceptor_.join();
+  if (tcp_acceptor_.joinable()) tcp_acceptor_.join();
   for (std::thread& handler : handlers) {
     if (handler.joinable()) handler.join();
   }
@@ -272,7 +524,7 @@ void Server::stop() {
     for (const int fd : client_fds_) ::close(fd);
     client_fds_.clear();
   }
-  ::unlink(socket_path_.c_str());
+  ::unlink(options_.socket_path.c_str());
 }
 
 }  // namespace svtox::svc

@@ -60,7 +60,7 @@ void SolutionCache::insert_locked(Shard& shard, const std::string& key,
     shard.values.erase(victim);
     ++evicted;
   }
-  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  shard.evictions.fetch_add(evicted, std::memory_order_relaxed);
 }
 
 std::optional<JobResult> SolutionCache::fetch_or_lock(const std::string& key) {
@@ -73,25 +73,25 @@ std::optional<JobResult> SolutionCache::fetch_or_lock(const std::string& key) {
       touch_locked(shard, key);
       JobResult result = it->second;
       result.cache_hit = true;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       return result;
     }
     if (shard.inflight.count(key) == 0) {
       shard.inflight.insert(key);
       lock.unlock();
       // Owner path: consult the persistence dir before conceding a miss.
-      if (std::optional<JobResult> from_disk = load_disk(key)) {
+      if (std::optional<JobResult> from_disk = load_disk(shard, key)) {
         from_disk->cache_hit = true;
         publish(key, *from_disk);
-        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        shard.disk_hits.fetch_add(1, std::memory_order_relaxed);
         return from_disk;
       }
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     if (!counted_wait) {
       counted_wait = true;
-      inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+      shard.inflight_waits.fetch_add(1, std::memory_order_relaxed);
     }
     shard.cv.wait(lock);
   }
@@ -134,21 +134,42 @@ std::optional<JobResult> SolutionCache::peek(const std::string& key) {
 
 CacheStats SolutionCache::stats() const {
   CacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.disk_hits = disk_hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.corrupt = corrupt_.load(std::memory_order_relaxed);
-  out.entries = 0;
-  for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> shard_lock(s->mu);
-    out.entries += s->values.size();
+  for (const CacheStats& s : shard_stats()) {
+    out.hits += s.hits;
+    out.disk_hits += s.disk_hits;
+    out.misses += s.misses;
+    out.inflight_waits += s.inflight_waits;
+    out.evictions += s.evictions;
+    out.corrupt += s.corrupt;
+    out.entries += s.entries;
+    out.inflight += s.inflight;
   }
   return out;
 }
 
-std::optional<JobResult> SolutionCache::load_disk(const std::string& key) const {
+std::vector<CacheStats> SolutionCache::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    CacheStats stats;
+    stats.hits = s->hits.load(std::memory_order_relaxed);
+    stats.disk_hits = s->disk_hits.load(std::memory_order_relaxed);
+    stats.misses = s->misses.load(std::memory_order_relaxed);
+    stats.inflight_waits = s->inflight_waits.load(std::memory_order_relaxed);
+    stats.evictions = s->evictions.load(std::memory_order_relaxed);
+    stats.corrupt = s->corrupt.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      stats.entries = s->values.size();
+      stats.inflight = s->inflight.size();
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+std::optional<JobResult> SolutionCache::load_disk(const Shard& shard,
+                                                  const std::string& key) const {
   if (disk_dir_.empty()) return std::nullopt;
   const std::string path = disk_dir_ + "/" + key + ".svcache";
   std::ifstream in(path);
@@ -173,7 +194,7 @@ std::optional<JobResult> SolutionCache::load_disk(const std::string& key) const 
     return result;
   } catch (const std::exception& e) {
     log_warn("solution cache: dropping corrupt entry " + key + ": " + e.what());
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    shard.corrupt.fetch_add(1, std::memory_order_relaxed);
     std::remove(path.c_str());
     return std::nullopt;
   }

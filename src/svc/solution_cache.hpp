@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 #include <condition_variable>
 
 #include "svc/job.hpp"
@@ -42,6 +43,7 @@ struct CacheStats {
   std::uint64_t corrupt = 0;         ///< Disk entries rejected (bad checksum
                                      ///< or malformed) and removed.
   std::uint64_t entries = 0;         ///< Current resident entries.
+  std::uint64_t inflight = 0;        ///< Keys currently owned by a solver.
 };
 
 class SolutionCache {
@@ -71,7 +73,12 @@ class SolutionCache {
   /// Peek without inflight participation (no blocking, no ownership).
   std::optional<JobResult> peek(const std::string& key);
 
+  /// Aggregate across shards (the historical counters).
   CacheStats stats() const;
+  /// One CacheStats per shard, in shard order -- the scrape-friendly view
+  /// (a hot shard shows up as one skewed row, not as diluted totals).
+  std::vector<CacheStats> shard_stats() const;
+  std::size_t num_shards() const { return shards_.size(); }
   const std::string& disk_dir() const { return disk_dir_; }
 
  private:
@@ -83,27 +90,27 @@ class SolutionCache {
     std::list<std::string> lru;
     std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos;
     std::unordered_set<std::string> inflight;
+    // Monotonic per-shard counters; atomic (not under mu) so publishing
+    // never orders against the stats reader.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> inflight_waits{0};
+    std::atomic<std::uint64_t> evictions{0};
+    mutable std::atomic<std::uint64_t> corrupt{0};
   };
 
   Shard& shard_for(const std::string& key);
   void touch_locked(Shard& shard, const std::string& key);
   void insert_locked(Shard& shard, const std::string& key, const JobResult& result);
 
-  std::optional<JobResult> load_disk(const std::string& key) const;
+  std::optional<JobResult> load_disk(const Shard& shard,
+                                     const std::string& key) const;
   void store_disk(const std::string& key, const JobResult& result) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t per_shard_capacity_;
   std::string disk_dir_;
-
-  // Monotonic counters; kept atomic (not under the shard locks) so
-  // publishing never orders against the stats reader.
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> disk_hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> inflight_waits_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  mutable std::atomic<std::uint64_t> corrupt_{0};
 };
 
 }  // namespace svtox::svc

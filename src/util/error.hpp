@@ -25,6 +25,7 @@ enum class ErrorCode {
   kCorrupt,    ///< Artifact read back fails its integrity check.
   kTimeout,    ///< A per-request or per-job deadline expired.
   kCancelled,  ///< Cooperatively cancelled before completion.
+  kBusy,       ///< Server at capacity; admission control rejected the work.
 };
 
 const char* to_string(ErrorCode code);
@@ -40,7 +41,8 @@ class Error : public std::runtime_error {
 
   ErrorCode code() const noexcept { return code_; }
   bool retryable() const noexcept {
-    return code_ == ErrorCode::kIo || code_ == ErrorCode::kTimeout;
+    return code_ == ErrorCode::kIo || code_ == ErrorCode::kTimeout ||
+           code_ == ErrorCode::kBusy;
   }
 
  private:
@@ -80,6 +82,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kCorrupt: return "corrupt";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kBusy: return "busy";
   }
   return "?";
 }

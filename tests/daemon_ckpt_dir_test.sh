@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Regression: a relative --checkpoint-dir must be resolved against the
+# daemon's *startup* CWD (and logged), so checkpoints land where the
+# operator expects. Starts svtoxd from a scratch CWD with a relative dir,
+# interrupts a deterministic job mid-run, asserts the snapshot landed under
+# the startup CWD, then restarts and resumes -- the final solution must be
+# byte-identical to an uninterrupted local reference.
+#
+# usage: daemon_ckpt_dir_test.sh <svtox> <svtoxd> <workdir>
+set -u
+
+SVTOX=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+SVTOXD=$(cd "$(dirname "$2")" && pwd)/$(basename "$2")
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK/startup_cwd"
+WORK=$(cd "$WORK" && pwd)  # absolute, so paths survive our own cd below
+SOCK=$WORK/svtoxd.sock
+DAEMON_PID=
+
+stop_daemon() {
+  if [ -n "${DAEMON_PID:-}" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  DAEMON_PID=
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  sed 's/^/  daemon: /' "$WORK/daemon.log" >&2 2>/dev/null
+  stop_daemon
+  exit 1
+}
+
+# Started from $WORK/startup_cwd with a RELATIVE checkpoint dir.
+start_daemon() {
+  (cd "$WORK/startup_cwd" &&
+   exec "$SVTOXD" --socket "$SOCK" --workers 1 \
+       --checkpoint-dir my_ckpts --checkpoint-every 0.05 \
+       >> "$WORK/daemon.log" 2>&1) &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.1
+  done
+  fail "daemon socket never appeared"
+}
+
+CIRCUIT=c880
+MANIFEST=$WORK/manifest.json
+cat > "$MANIFEST" <<EOF
+{"circuit":"$CIRCUIT","method":"heu2","penalty":5,"max_leaves":1500,"time_limit":600,"vectors":200,"cache":false}
+EOF
+
+# Uninterrupted reference with the same deterministic knobs.
+"$SVTOX" optimize --circuit "$CIRCUIT" --method heu2 --penalty 5 \
+    --max-leaves 1500 --time-limit 600 --output "$WORK/ref.solution" \
+    > "$WORK/ref.log" 2>&1 || fail "reference optimize failed"
+
+# Round 1: interrupt mid-run; the frontier snapshot must land under the
+# startup CWD, not wherever a daemonizing wrapper might have chdir'd to.
+start_daemon
+grep -q "checkpoint dir $WORK/startup_cwd/my_ckpts" "$WORK/daemon.log" \
+    || fail "daemon did not log the absolute checkpoint dir"
+mkdir -p "$WORK/out1"
+"$SVTOX" batch --socket "$SOCK" --manifest "$MANIFEST" \
+    --output-dir "$WORK/out1" > "$WORK/batch1.log" 2>&1 &
+BATCH_PID=$!
+sleep 1
+kill -TERM "$DAEMON_PID" 2>/dev/null || fail "daemon already gone before SIGTERM"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+wait "$BATCH_PID" 2>/dev/null  # interrupted; status intentionally ignored
+
+ls "$WORK/startup_cwd/my_ckpts/"*.ckpt > /dev/null 2>&1 \
+    || fail "no checkpoint under the startup CWD ($WORK/startup_cwd/my_ckpts)"
+
+# Round 2: fresh daemon, same relative dir from the same CWD; the job must
+# resume from the snapshot and finish byte-identical to the reference.
+start_daemon
+mkdir -p "$WORK/out2"
+"$SVTOX" batch --socket "$SOCK" --manifest "$MANIFEST" \
+    --output-dir "$WORK/out2" > "$WORK/batch2.log" 2>&1 \
+    || fail "resubmitted batch failed: $(cat "$WORK/batch2.log")"
+stop_daemon
+
+RESUMED=$(ls "$WORK"/out2/job1_*.solution 2>/dev/null | head -n 1)
+[ -n "$RESUMED" ] || fail "resubmitted batch produced no solution file"
+cmp -s "$RESUMED" "$WORK/ref.solution" \
+    || fail "resumed solution differs from uninterrupted reference"
+
+echo "PASS: relative checkpoint dir pinned to startup CWD and resume is exact"
+exit 0

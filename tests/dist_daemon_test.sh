@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Two-node cluster smoke test with a mid-run worker kill.
+#
+# Runs a batch manifest (flat jobs + subtree coordinator jobs) three ways:
+#   1. through a single standalone daemon (the reference),
+#   2. through a 2-node --peers cluster,
+#   3. through a fresh 2-node cluster whose worker node is SIGKILLed while
+#      the coordinator jobs are in flight (work-stealing must finish the
+#      orphaned subtrees locally),
+# and requires the solution files and the result table (runtime stripped)
+# of runs 2 and 3 to be byte-identical to run 1: node count and node death
+# must be invisible in the output.
+#
+# usage: dist_daemon_test.sh <svtox> <svtoxd> <workdir> [big]
+#   "big" switches the circuit set to c6288/c7552 (the CI dist-smoke lane);
+#   the default set keeps the test minutes-cheap for local ctest runs.
+set -u
+
+SVTOX=$1
+SVTOXD=$2
+WORK=$3
+MODE=${4:-quick}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+PIDS=()
+
+stop_all() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -TERM "$pid" 2>/dev/null
+  done
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    wait "$pid" 2>/dev/null
+  done
+  PIDS=()
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    [ -f "$log" ] && sed "s#^#  $(basename "$log"): #" "$log" >&2
+  done
+  stop_all
+  exit 1
+}
+
+# Launches one daemon on the given port; returns non-zero if it never
+# reports the TCP listener (e.g. the port was taken). Appends to PIDS on
+# success and exports LAUNCHED_PID.
+launch() {  # <name> <port> [extra svtoxd args...]
+  local name=$1 port=$2
+  shift 2
+  local log="$WORK/$name.log"
+  : > "$log"
+  "$SVTOXD" --socket "$WORK/$name.sock" --workers 2 --listen-tcp "$port" \
+      --steal-after 10 "$@" > "$log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 50); do
+    grep -q "listening on tcp://" "$log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if grep -q "listening on tcp://" "$log" 2>/dev/null; then
+    PIDS+=("$pid")
+    LAUNCHED_PID=$pid
+    return 0
+  fi
+  wait "$pid" 2>/dev/null
+  return 1
+}
+
+# Starts a standalone daemon on a random free port -> DAEMON_PID, DAEMON_PORT.
+start_solo() {  # <name>
+  for _ in 1 2 3 4 5; do
+    local port=$((20000 + RANDOM % 20000))
+    if launch "$1" "$port"; then
+      DAEMON_PID=$LAUNCHED_PID
+      DAEMON_PORT=$port
+      return 0
+    fi
+  done
+  fail "could not start daemon $1 on any port"
+}
+
+# Starts a 2-node cluster -> A_PID/A_PORT/B_PID/B_PORT. Peer addresses must
+# be known up front, so both ports are picked before either daemon starts;
+# a collision on either port retries the whole pair.
+start_cluster() {  # <tag>
+  local tag=$1
+  for _ in 1 2 3 4 5; do
+    local pa=$((20000 + RANDOM % 20000))
+    local pb=$((20000 + RANDOM % 20000))
+    [ "$pa" = "$pb" ] && continue
+    local peers="127.0.0.1:$pa,127.0.0.1:$pb"
+    if ! launch "a_$tag" "$pa" --peers "$peers" --self "127.0.0.1:$pa"; then
+      continue
+    fi
+    local a_pid=$LAUNCHED_PID
+    if ! launch "b_$tag" "$pb" --peers "$peers" --self "127.0.0.1:$pb"; then
+      kill -TERM "$a_pid" 2>/dev/null
+      wait "$a_pid" 2>/dev/null
+      PIDS=()
+      continue
+    fi
+    A_PID=$a_pid A_PORT=$pa B_PID=$LAUNCHED_PID B_PORT=$pb
+    return 0
+  done
+  fail "could not start cluster $tag"
+}
+
+# The manifest: cache off so every run solves fresh (determinism is the
+# point here; the distributed cache has its own tests). Coordinator jobs
+# lead so the worker node is busy with subtrees when the kill lands. The
+# state-only row stays on c432: its per-leaf cost grows steeply with gate
+# count (hundreds of ms/leaf on c880+), and the transport/stealing paths
+# under test are circuit-agnostic.
+if [ "$MODE" = big ]; then
+  CIRCUITS="c6288 c7552"
+  LEAVES=200
+else
+  CIRCUITS="c880 c1355"
+  LEAVES=400
+fi
+MANIFEST=$WORK/manifest.json
+cat > "$MANIFEST" <<EOF
+{"circuit":"c432","method":"state","penalty":10,"max_leaves":300,"time_limit":600,"subtrees":4,"vectors":500,"cache":false}
+EOF
+for circuit in $CIRCUITS; do
+  cat >> "$MANIFEST" <<EOF
+{"circuit":"$circuit","method":"heu2","penalty":5,"max_leaves":$LEAVES,"time_limit":600,"subtrees":4,"vectors":500,"cache":false}
+{"circuit":"$circuit","method":"heu1","penalty":5,"vectors":500,"cache":false}
+EOF
+done
+
+# Result lines vary only in runtime across runs; strip it for the table.
+table_of() {  # <ndjson-file> <out-table>
+  sed -E 's/"runtime_s":[0-9.eE+-]+,?//' "$1" > "$2"
+}
+
+run_batch() {  # <port> <tag>
+  local port=$1 tag=$2
+  mkdir -p "$WORK/out_$tag"
+  "$SVTOX" batch --manifest "$MANIFEST" --tcp "127.0.0.1:$port" \
+      --output-dir "$WORK/out_$tag" > "$WORK/results_$tag.json" 2> "$WORK/batch_$tag.log" \
+      || fail "batch $tag failed: $(cat "$WORK/batch_$tag.log")"
+  table_of "$WORK/results_$tag.json" "$WORK/table_$tag.txt"
+}
+
+compare_to_reference() {  # <tag>
+  local tag=$1
+  cmp -s "$WORK/table_ref.txt" "$WORK/table_$tag.txt" \
+      || fail "$tag result table differs from single-node reference
+$(diff "$WORK/table_ref.txt" "$WORK/table_$tag.txt" | head -10)"
+  for ref in "$WORK"/out_ref/*.solution; do
+    local name
+    name=$(basename "$ref")
+    cmp -s "$ref" "$WORK/out_$tag/$name" \
+        || fail "$tag solution $name differs from single-node reference"
+  done
+}
+
+# --- Run 1: single-node reference. -----------------------------------------
+start_solo ref
+run_batch "$DAEMON_PORT" ref
+stop_all
+
+# --- Run 2: two-node cluster, both nodes healthy. --------------------------
+start_cluster healthy
+run_batch "$A_PORT" cluster
+compare_to_reference cluster
+stop_all
+
+# --- Run 3: two-node cluster, worker killed mid-run. ------------------------
+start_cluster kill
+mkdir -p "$WORK/out_killed"
+"$SVTOX" batch --manifest "$MANIFEST" --tcp "127.0.0.1:$A_PORT" \
+    --output-dir "$WORK/out_killed" > "$WORK/results_killed.json" 2> "$WORK/batch_killed.log" &
+BATCH_PID=$!
+sleep 2
+kill -KILL "$B_PID" 2>/dev/null || echo "note: worker exited before the kill" >&2
+wait "$BATCH_PID" || fail "batch with killed worker failed: $(cat "$WORK/batch_killed.log")"
+table_of "$WORK/results_killed.json" "$WORK/table_killed.txt"
+compare_to_reference killed
+stop_all
+
+echo "PASS: 2-node and kill-one-worker runs byte-identical to single node ($CIRCUITS)"
+exit 0

@@ -1,0 +1,347 @@
+// TCP transport tests: length-prefixed framing (round trip, partial
+// accumulation, the pre-body size bound), address parsing, the svtoxd TCP
+// front end (submit/result over frames, hostile framing input, the JSON
+// depth guard, admission control) and the client's connect retry against a
+// daemon that binds its port late.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/conn.hpp"
+#include "net/frame.hpp"
+#include "net/listener.hpp"
+#include "svc/client.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "util/error.hpp"
+
+namespace svtox {
+namespace {
+
+using svc::Json;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(NetFrame, RoundTripOverSocketpair) {
+  SocketPair sp;
+  net::write_frame(sp.fds[0], "hello");
+  net::write_frame(sp.fds[0], "");  // empty payloads are legal
+  std::string big(100000, 'x');
+  net::write_frame(sp.fds[0], big);
+
+  std::string payload;
+  EXPECT_EQ(net::read_frame(sp.fds[1], payload), net::FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(net::read_frame(sp.fds[1], payload), net::FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(net::read_frame(sp.fds[1], payload), net::FrameStatus::kOk);
+  EXPECT_EQ(payload, big);
+
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  EXPECT_EQ(net::read_frame(sp.fds[1], payload), net::FrameStatus::kClosed);
+}
+
+TEST(NetFrame, OversizedAnnouncementDetectedBeforeBody) {
+  SocketPair sp;
+  // Header announcing 2 MiB against a 1 MiB cap; no body bytes ever sent.
+  const std::uint32_t len = 2u << 20;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len >> 24), static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8), static_cast<unsigned char>(len)};
+  ASSERT_EQ(::send(sp.fds[0], header, 4, 0), 4);
+  std::string payload;
+  EXPECT_EQ(net::read_frame(sp.fds[1], payload, net::kMaxFrameBytes),
+            net::FrameStatus::kOversized);
+}
+
+TEST(NetFrame, TruncatedFrameThrowsIo) {
+  SocketPair sp;
+  const std::uint32_t len = 100;
+  const unsigned char header[4] = {0, 0, 0, static_cast<unsigned char>(len)};
+  ASSERT_EQ(::send(sp.fds[0], header, 4, 0), 4);
+  ASSERT_EQ(::send(sp.fds[0], "partial", 7, 0), 7);
+  ::close(sp.fds[0]);
+  sp.fds[0] = -1;
+  std::string payload;
+  EXPECT_THROW(net::read_frame(sp.fds[1], payload), Error);
+}
+
+TEST(NetFrame, ExtractAccumulatesPartialInput) {
+  std::string wire;
+  net::encode_frame(wire, "first");
+  net::encode_frame(wire, "second");
+
+  std::string buffer, payload;
+  // Feed the wire bytes one at a time; frames pop out exactly at their
+  // boundaries.
+  std::vector<std::string> got;
+  for (char c : wire) {
+    buffer.push_back(c);
+    while (net::extract_frame(buffer, payload)) got.push_back(payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetFrame, ExtractThrowsOnOversizedHeader) {
+  std::string buffer = {'\x7f', '\x00', '\x00', '\x00'};  // ~2 GiB announced
+  std::string payload;
+  EXPECT_THROW(net::extract_frame(buffer, payload, net::kMaxFrameBytes), Error);
+}
+
+TEST(NetConn, ParseTcpAddressForms) {
+  EXPECT_EQ(net::parse_tcp_address("10.0.0.1:8080").host, "10.0.0.1");
+  EXPECT_EQ(net::parse_tcp_address("10.0.0.1:8080").port, 8080);
+  EXPECT_EQ(net::parse_tcp_address(":9000").host, "127.0.0.1");
+  EXPECT_EQ(net::parse_tcp_address("9000").port, 9000);
+  EXPECT_THROW(net::parse_tcp_address("host:notaport"), ContractError);
+  EXPECT_THROW(net::parse_tcp_address("host:99999"), ContractError);
+}
+
+TEST(NetListener, EphemeralPortIsReported) {
+  net::Listener listener = net::Listener::tcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(listener.port(), 0);
+  EXPECT_EQ(listener.address(), "127.0.0.1:" + std::to_string(listener.port()));
+}
+
+// ---------------------------------------------------------------------------
+// svtoxd TCP front end
+// ---------------------------------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/svtox_net_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct TcpDaemon {
+  svc::Scheduler scheduler;
+  svc::Server server;
+
+  explicit TcpDaemon(const char* tag, std::size_t max_connections = 256)
+      : scheduler(small_options()), server(scheduler, server_options(tag, max_connections)) {
+    server.start();
+  }
+  ~TcpDaemon() {
+    server.stop();
+    scheduler.shutdown(/*drain=*/false);
+  }
+
+  std::string address() const {
+    return "tcp://127.0.0.1:" + std::to_string(server.tcp_port());
+  }
+
+  static svc::Scheduler::Options small_options() {
+    svc::Scheduler::Options options;
+    options.workers = 2;
+    return options;
+  }
+  static svc::ServerOptions server_options(const char* tag, std::size_t max_conn) {
+    svc::ServerOptions options;
+    options.socket_path = test_socket_path(tag);
+    options.tcp_port = 0;  // ephemeral
+    options.max_connections = max_conn;
+    return options;
+  }
+};
+
+svc::JobSpec small_job() {
+  svc::JobSpec spec;
+  spec.circuit = "c432";
+  spec.method = "heu1";
+  spec.penalty_percent = 5.0;
+  return spec;
+}
+
+TEST(TcpServer, SubmitAndResultOverFrames) {
+  TcpDaemon daemon("e2e");
+  ASSERT_GT(daemon.server.tcp_port(), 0);
+
+  svc::Client client(daemon.address());
+  const std::uint64_t job = client.submit(small_job());
+  const svc::JobResult result = client.result(job);
+  EXPECT_EQ(result.status, svc::JobStatus::kDone);
+  EXPECT_GT(result.leakage_ua, 0.0);
+  EXPECT_FALSE(result.solution_text.empty());
+
+  // The stats reply accounts for the TCP byte flow.
+  const Json stats = client.stats();
+  const Json* net = stats.get("net");
+  ASSERT_NE(net, nullptr);
+  EXPECT_GT(net->get("bytes_in_tcp")->as_int(), 0);
+  EXPECT_GT(net->get("bytes_out_tcp")->as_int(), 0);
+}
+
+TEST(TcpServer, UnixAndTcpAnswerTheSameScheduler) {
+  TcpDaemon daemon("dual");
+  svc::Client tcp(daemon.address());
+  svc::Client unix_client(daemon.server.socket_path());
+
+  const std::uint64_t job = tcp.submit(small_job());
+  // The job id space is shared: the Unix client can query the TCP submit.
+  const svc::JobResult result = unix_client.result(job);
+  EXPECT_EQ(result.status, svc::JobStatus::kDone);
+}
+
+TEST(TcpServer, MalformedJsonGetsErrorReplyAndConnectionSurvives) {
+  TcpDaemon daemon("garbage");
+  net::Conn conn = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+
+  conn.send_frame("this is not json");
+  std::string payload;
+  ASSERT_EQ(conn.recv_frame(payload), net::FrameStatus::kOk);
+  Json reply = Json::parse(payload);
+  EXPECT_FALSE(reply.get("ok")->as_bool(true));
+
+  // Same connection still serves well-formed requests.
+  conn.send_frame(R"({"cmd":"stats"})");
+  ASSERT_EQ(conn.recv_frame(payload), net::FrameStatus::kOk);
+  reply = Json::parse(payload);
+  EXPECT_TRUE(reply.get("ok")->as_bool(false));
+}
+
+TEST(TcpServer, JsonDepthGuardAppliesOverTcp) {
+  TcpDaemon daemon("depth");
+  net::Conn conn = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+
+  std::string bomb;
+  for (int i = 0; i < 80; ++i) bomb += "[";
+  for (int i = 0; i < 80; ++i) bomb += "]";
+  conn.send_frame(bomb);
+  std::string payload;
+  ASSERT_EQ(conn.recv_frame(payload), net::FrameStatus::kOk);
+  const Json reply = Json::parse(payload);
+  EXPECT_FALSE(reply.get("ok")->as_bool(true));
+  // And the daemon is still healthy afterwards.
+  EXPECT_TRUE(svc::Client::ping(daemon.address()));
+}
+
+TEST(TcpServer, OversizedFrameAnnouncementClosesOnlyThatConnection) {
+  TcpDaemon daemon("oversized");
+  net::Conn conn = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+
+  // Announce 2 MiB without sending a body: the server must reject from the
+  // header alone.
+  const std::uint32_t len = 2u << 20;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len >> 24), static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8), static_cast<unsigned char>(len)};
+  ASSERT_EQ(::send(conn.fd(), header, 4, 0), 4);
+
+  std::string payload;
+  const net::FrameStatus status = conn.recv_frame(payload);
+  if (status == net::FrameStatus::kOk) {
+    // Best-effort error frame before the close.
+    EXPECT_FALSE(Json::parse(payload).get("ok")->as_bool(true));
+    EXPECT_EQ(conn.recv_frame(payload), net::FrameStatus::kClosed);
+  } else {
+    EXPECT_EQ(status, net::FrameStatus::kClosed);
+  }
+  // The daemon survives hostile framing.
+  EXPECT_TRUE(svc::Client::ping(daemon.address()));
+}
+
+TEST(TcpServer, TruncatedFrameDropsConnectionDaemonStaysUp) {
+  TcpDaemon daemon("truncated");
+  {
+    net::Conn conn = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+    const unsigned char header[4] = {0, 0, 0, 100};
+    ASSERT_EQ(::send(conn.fd(), header, 4, 0), 4);
+    ASSERT_EQ(::send(conn.fd(), "short", 5, 0), 5);
+  }  // close mid-frame
+  EXPECT_TRUE(svc::Client::ping(daemon.address()));
+  svc::Client client(daemon.address());
+  EXPECT_TRUE(client.stats().get("ok")->as_bool(false));
+}
+
+TEST(TcpServer, AdmissionControlRejectsWithBusy) {
+  TcpDaemon daemon("busy", /*max_connections=*/1);
+
+  // First connection occupies the only slot...
+  net::Conn holder = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+  holder.send_frame(R"({"cmd":"stats"})");
+  std::string payload;
+  ASSERT_EQ(holder.recv_frame(payload), net::FrameStatus::kOk);
+
+  // ...so the next one is told "busy" instead of being left hanging.
+  net::Conn second = net::Conn::connect("127.0.0.1", daemon.server.tcp_port());
+  ASSERT_EQ(second.recv_frame(payload), net::FrameStatus::kOk);
+  const Json reply = Json::parse(payload);
+  EXPECT_FALSE(reply.get("ok")->as_bool(true));
+  EXPECT_EQ(reply.get("error_code")->as_string(), "busy");
+  EXPECT_EQ(second.recv_frame(payload), net::FrameStatus::kClosed);
+
+  // Releasing the slot lets a fresh client in; Client::submit retries
+  // "busy" internally, so a briefly saturated daemon is invisible to it.
+  holder.close();
+  svc::ClientOptions retry;
+  retry.max_attempts = 20;
+  retry.backoff_initial_s = 0.02;
+  svc::Client client(daemon.address(), retry);
+  const std::uint64_t job = client.submit(small_job());
+  EXPECT_EQ(client.result(job).status, svc::JobStatus::kDone);
+}
+
+// Satellite: a client started before the daemon binds its port must reach
+// it via connect retry/backoff, exactly like the Unix-socket path.
+TEST(TcpClient, ConnectRetryCoversLateStartingDaemon) {
+  // Reserve an ephemeral port, then release it for the late daemon. (The
+  // tiny window where another process could steal the port is acceptable
+  // in a test.)
+  int port = 0;
+  {
+    net::Listener probe = net::Listener::tcp("127.0.0.1", 0);
+    port = probe.port();
+  }
+
+  std::thread late([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    svc::Scheduler scheduler(TcpDaemon::small_options());
+    svc::ServerOptions options;
+    options.socket_path = test_socket_path("late");
+    options.tcp_port = port;
+    svc::Server server(scheduler, options);
+    server.start();
+    // Stay alive long enough for the client's round trip.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    server.stop();
+    scheduler.shutdown(false);
+  });
+
+  svc::ClientOptions patient;
+  patient.max_attempts = 30;
+  patient.backoff_initial_s = 0.05;
+  patient.backoff_max_s = 0.2;
+  bool ok = false;
+  try {
+    svc::Client client("tcp://127.0.0.1:" + std::to_string(port), patient);
+    ok = client.stats().get("ok")->as_bool(false);
+  } catch (...) {
+  }
+  late.join();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace svtox

@@ -12,8 +12,9 @@
 //                    [--cache-dir DIR] [-o curve.txt]
 //   svtox suite      [--penalty PCT] [--time-limit SEC] [--threads N]
 //                    [--cache-dir DIR]
-//   svtox batch      --manifest FILE (--socket PATH | --local)
+//   svtox batch      --manifest FILE (--socket PATH | --tcp HOST:PORT | --local)
 //                    [--workers N] [--cache-dir DIR] [--output-dir DIR]
+//   svtox stats      (--socket PATH | --tcp HOST:PORT) [--prometheus]
 //   svtox hier       (--bench file.bench | --circuit NAME | --scale PRESET)
 //                    [--penalty PCT] [--method heu1|heu2|state|vtstate]
 //                    [--max-gates N] [--threads N] [--cache-dir DIR]
@@ -38,9 +39,13 @@
 // `--threads N` solves independent rows concurrently and `--cache-dir`
 // keeps solved instances across invocations. `batch` feeds a JSON manifest
 // (an array of job objects, or one object per line) either to a running
-// svtoxd daemon (`--socket`) or to an in-process scheduler (`--local`),
+// svtoxd daemon (`--socket PATH` for the Unix transport, `--tcp HOST:PORT`
+// for the framed TCP transport) or to an in-process scheduler (`--local`),
 // streaming one JSON result line per job; options per job are documented
-// in src/svc/job.hpp.
+// in src/svc/job.hpp. `stats` queries a running daemon: by default the
+// stats JSON (job counters, per-shard cache hit/miss/inflight/eviction
+// counts, distributed-cache and network counters), with `--prometheus` the
+// same numbers in Prometheus text exposition format.
 #include <sys/stat.h>
 
 #include <atomic>
@@ -91,8 +96,8 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: svtox <characterize|optimize|hier|sweep|suite|batch|verify|timing> "
-               "[options]\n"
+               "usage: svtox <characterize|optimize|hier|sweep|suite|batch|stats|"
+               "verify|timing> [options]\n"
                "see the header of tools/svtox_cli.cpp or README.md for details\n");
   return 2;
 }
@@ -112,7 +117,9 @@ const std::map<std::string, std::set<std::string>>& allowed_options() {
       {"suite",
        {"penalty", "time-limit", "threads", "cache-dir", "two-point",
         "uniform-stack", "vt-only", "nitrided"}},
-      {"batch", {"manifest", "socket", "local", "workers", "cache-dir", "output-dir"}},
+      {"batch",
+       {"manifest", "socket", "tcp", "local", "workers", "cache-dir", "output-dir"}},
+      {"stats", {"socket", "tcp", "prometheus"}},
       {"hier",
        {"bench", "circuit", "scale", "penalty", "method", "max-gates", "threads",
         "cache-dir", "time-limit", "compare-flat", "output", "two-point",
@@ -144,7 +151,7 @@ Args parse_args(int argc, char** argv) {
     // Flags without values.
     if (key == "two-point" || key == "uniform-stack" || key == "vt-only" ||
         key == "nitrided" || key == "no-reorder" || key == "local" ||
-        key == "compare-flat") {
+        key == "compare-flat" || key == "prometheus") {
       args.options[key] = "1";
       continue;
     }
@@ -508,24 +515,35 @@ std::string solution_name(const svc::JobResult& result, std::size_t index) {
   return "job" + std::to_string(index + 1) + "_" + name + ".solution";
 }
 
+/// Daemon address from the transport flags: `--socket PATH` (Unix NDJSON;
+/// a "tcp://..." value also works) or `--tcp HOST:PORT` (framed TCP).
+/// Empty when neither was given.
+std::string daemon_address(const Args& args) {
+  if (args.has("tcp")) return "tcp://" + args.get("tcp");
+  return args.get("socket");
+}
+
 int cmd_batch(const Args& args) {
   if (!args.has("manifest")) {
     std::fprintf(stderr, "batch requires --manifest FILE (use '-' for stdin)\n");
     return 2;
   }
-  if (args.has("socket") == args.has("local")) {
-    std::fprintf(stderr, "batch needs exactly one of --socket PATH or --local\n");
+  const int sources =
+      (args.has("socket") ? 1 : 0) + (args.has("tcp") ? 1 : 0) + (args.has("local") ? 1 : 0);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "batch needs exactly one of --socket PATH, --tcp HOST:PORT or --local\n");
     return 2;
   }
   const std::vector<svc::JobSpec> specs = read_manifest(args.get("manifest"));
   const std::string output_dir = args.get("output-dir");
   if (!output_dir.empty()) ::mkdir(output_dir.c_str(), 0777);
 
-  // Either transport yields the same submit-all / collect-in-order loop.
+  // Any transport yields the same submit-all / collect-in-order loop.
   std::optional<svc::Client> client;
   std::optional<svc::Scheduler> scheduler;
-  if (args.has("socket")) {
-    client.emplace(args.get("socket"));
+  if (!args.has("local")) {
+    client.emplace(daemon_address(args));
   } else {
     svc::Scheduler::Options options;
     options.workers = static_cast<int>(parse_double(args.get("workers", "0")));
@@ -557,6 +575,32 @@ int cmd_batch(const Args& args) {
     std::fflush(stdout);
   }
   return failures == 0 ? 0 : 1;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.has("socket") == args.has("tcp")) {
+    std::fprintf(stderr, "stats needs exactly one of --socket PATH or --tcp HOST:PORT\n");
+    return 2;
+  }
+  svc::Client client(daemon_address(args));
+  if (args.has("prometheus")) {
+    // Scrape-ready text: what a Prometheus exporter sidecar would relay.
+    svc::Json request = svc::Json::object();
+    request.set("cmd", std::string("metrics"));
+    const svc::Json reply = client.request(request);
+    const svc::Json* ok = reply.get("ok");
+    if (ok == nullptr || !ok->as_bool(false)) {
+      const svc::Json* error = reply.get("error");
+      std::fprintf(stderr, "error: %s\n",
+                   error != nullptr ? error->as_string().c_str() : "malformed reply");
+      return 1;
+    }
+    const svc::Json* metrics = reply.get("metrics");
+    std::printf("%s", metrics != nullptr ? metrics->as_string().c_str() : "");
+    return 0;
+  }
+  std::printf("%s\n", client.stats().dump().c_str());
+  return 0;
 }
 
 int cmd_timing(const Args& args) {
@@ -627,6 +671,7 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "suite") return cmd_suite(args);
     if (args.command == "batch") return cmd_batch(args);
+    if (args.command == "stats") return cmd_stats(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "timing") return cmd_timing(args);
   } catch (const std::exception& e) {

@@ -3,13 +3,23 @@
 //   svtoxd [--socket PATH] [--workers N] [--queue-capacity N]
 //          [--cache-capacity N] [--cache-dir DIR] [--contexts N]
 //          [--checkpoint-dir DIR] [--checkpoint-every SEC]
+//          [--listen-tcp [HOST:]PORT] [--peers A,B,...] [--self HOST:PORT]
+//          [--max-connections N] [--steal-after SEC]
 //
-// Listens on a Unix-domain socket and speaks the newline-delimited JSON
-// protocol documented in src/svc/server.hpp (submit / status / result /
-// cancel / stats / shutdown). Jobs run on a persistent worker pool that
-// keeps characterized libraries, per-circuit optimizer contexts and the
-// solution cache warm across requests; `svtox batch --socket PATH` is the
-// matching client.
+// Listens on a Unix-domain socket (newline-delimited JSON) and optionally
+// on TCP (--listen-tcp; the same JSON in length-prefixed frames) -- the
+// protocol is documented in src/svc/server.hpp. Jobs run on a persistent
+// worker pool that keeps characterized libraries, per-circuit optimizer
+// contexts and the solution cache warm across requests; `svtox batch` is
+// the matching client for either transport.
+//
+// --peers turns the daemon into a cluster member: the solution cache
+// becomes two-level (a consistent-hash ring decides which member owns each
+// key, so identical jobs submitted anywhere in the cluster solve once),
+// and jobs with "subtrees" >= 2 distribute their state-tree shards to the
+// peers with checkpoint-token work-stealing. The peer list must be the
+// same on every member; --self names this daemon's own TCP address in that
+// list (default: 127.0.0.1:<bound port>).
 //
 // Exits on a `shutdown` request (draining the backlog unless
 // {"drain":false}). SIGINT/SIGTERM interrupt running searches instead of
@@ -21,11 +31,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include <limits.h>
 #include <unistd.h>
 
+#include "svc/cluster.hpp"
 #include "svc/scheduler.hpp"
 #include "svc/server.hpp"
 
@@ -35,7 +49,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: svtoxd [--socket PATH] [--workers N] [--queue-capacity N]\n"
                "              [--cache-capacity N] [--cache-dir DIR] [--contexts N]\n"
-               "              [--checkpoint-dir DIR] [--checkpoint-every SEC]\n");
+               "              [--checkpoint-dir DIR] [--checkpoint-every SEC]\n"
+               "              [--listen-tcp [HOST:]PORT] [--peers A,B,...]\n"
+               "              [--self HOST:PORT] [--max-connections N]\n"
+               "              [--steal-after SEC]\n");
   return 2;
 }
 
@@ -52,12 +69,42 @@ void on_signal(int) {
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
+/// Daemons may be sent to the background or started from a transient CWD
+/// (systemd, test harnesses); every relative state directory is therefore
+/// resolved against the *startup* CWD once and logged, so checkpoints and
+/// cache entries land where the operator can find them -- not wherever the
+/// process happens to chdir to later.
+std::string absolute_dir(const std::string& dir) {
+  if (dir.empty() || dir.front() == '/') return dir;
+  char cwd[PATH_MAX];
+  if (::getcwd(cwd, sizeof cwd) == nullptr) return dir;
+  return std::string(cwd) + "/" + dir;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                     : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path = "/tmp/svtoxd.sock";
+  svtox::svc::ServerOptions server_options;
+  server_options.socket_path = "/tmp/svtoxd.sock";
   svtox::svc::Scheduler::Options options;
   options.workers = 0;  // all hardware threads
+  std::vector<std::string> peers;
+  std::string self_address;
 
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
@@ -69,7 +116,7 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (key == "--socket") socket_path = value();
+    if (key == "--socket") server_options.socket_path = value();
     else if (key == "--workers") options.workers = std::atoi(value().c_str());
     else if (key == "--queue-capacity")
       options.queue_capacity = static_cast<std::size_t>(std::atol(value().c_str()));
@@ -81,6 +128,21 @@ int main(int argc, char** argv) {
     else if (key == "--checkpoint-dir") options.checkpoint_dir = value();
     else if (key == "--checkpoint-every")
       options.checkpoint_every_s = std::atof(value().c_str());
+    else if (key == "--listen-tcp") {
+      const std::string addr = value();
+      const std::size_t colon = addr.rfind(':');
+      if (colon != std::string::npos) {
+        server_options.tcp_host = addr.substr(0, colon);
+        server_options.tcp_port = std::atoi(addr.c_str() + colon + 1);
+      } else {
+        server_options.tcp_port = std::atoi(addr.c_str());
+      }
+    } else if (key == "--peers") peers = split_csv(value());
+    else if (key == "--self") self_address = value();
+    else if (key == "--max-connections")
+      server_options.max_connections = static_cast<std::size_t>(std::atol(value().c_str()));
+    else if (key == "--steal-after")
+      options.dist_steal_after_s = std::atof(value().c_str());
     else if (key == "--help" || key == "-h") return usage();
     else {
       std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
@@ -88,9 +150,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!peers.empty() && server_options.tcp_port < 0) {
+    std::fprintf(stderr, "svtoxd: --peers requires --listen-tcp\n");
+    return 2;
+  }
+
+  // Pin state directories before any job can touch them (and before any
+  // daemonizing wrapper chdirs us away from where the operator started).
+  options.cache_dir = absolute_dir(options.cache_dir);
+  options.checkpoint_dir = absolute_dir(options.checkpoint_dir);
+
   try {
     svtox::svc::Scheduler scheduler(options);
-    svtox::svc::Server server(scheduler, socket_path);
+    svtox::svc::Server server(scheduler, server_options);
+
+    // The cluster speaks to peers over TCP, so it can only exist once the
+    // listener is bound (an ephemeral --listen-tcp 0 needs the real port
+    // for the default self address).
+    std::optional<svtox::svc::Cluster> cluster;
+    if (!peers.empty()) {
+      svtox::svc::ClusterOptions cluster_options;
+      cluster_options.members = peers;
+      cluster_options.self =
+          self_address.empty() ? "127.0.0.1:" + std::to_string(server.tcp_port())
+                               : self_address;
+      cluster.emplace(cluster_options);
+      scheduler.set_cluster(&*cluster);
+    }
 
     if (::pipe(g_signal_pipe) != 0) {
       std::fprintf(stderr, "svtoxd: cannot create signal pipe\n");
@@ -112,6 +198,13 @@ int main(int argc, char** argv) {
                 server.socket_path().c_str(), scheduler.stats().workers,
                 options.cache_capacity, options.cache_dir.empty() ? "" : ", disk ",
                 options.cache_dir.c_str());
+    if (server.tcp_port() >= 0) {
+      std::printf("svtoxd: listening on tcp://%s%s\n", server.tcp_address().c_str(),
+                  cluster ? (" as cluster member " + cluster->self()).c_str() : "");
+    }
+    if (!options.checkpoint_dir.empty()) {
+      std::printf("svtoxd: checkpoint dir %s\n", options.checkpoint_dir.c_str());
+    }
     std::fflush(stdout);
 
     const bool drain = server.wait_for_shutdown();
@@ -120,9 +213,10 @@ int main(int argc, char** argv) {
                 signalled ? "interrupting running jobs" : drain ? "draining" : "immediate");
     std::fflush(stdout);
     // Order matters: finishing the scheduler releases handler threads blocked
-    // in result-waits, which server.stop() then joins. A signal-driven exit
-    // cancels running searches so they checkpoint instead of running out
-    // their budgets.
+    // in result-waits, which server.stop() then joins -- and the scheduler
+    // must be down before `cluster` (which its coordinators borrow) leaves
+    // scope. A signal-driven exit cancels running searches so they
+    // checkpoint instead of running out their budgets.
     if (signalled) {
       scheduler.shutdown(/*drain=*/false, /*interrupt_running=*/true);
     } else {
