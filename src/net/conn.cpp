@@ -1,6 +1,8 @@
 #include "net/conn.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -9,8 +11,64 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace svtox::net {
+
+namespace {
+
+/// connect(2) with an optional wall-clock bound: non-blocking connect,
+/// poll for writability, then harvest SO_ERROR. timeout_s <= 0 keeps the
+/// plain blocking behaviour. Returns 0 on success, else an errno value.
+int timed_connect(int fd, const sockaddr* addr, socklen_t addr_len,
+                  double timeout_s) {
+  if (timeout_s <= 0.0) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, addr_len);
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0 ? 0 : errno;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int rc;
+  do {
+    rc = ::connect(fd, addr, addr_len);
+  } while (rc < 0 && errno == EINTR);
+  int result = 0;
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      result = errno;
+    } else {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int remaining_ms = static_cast<int>(timeout_s * 1000.0);
+      if (remaining_ms < 1) remaining_ms = 1;
+      int polled;
+      do {
+        polled = ::poll(&pfd, 1, remaining_ms);
+      } while (polled < 0 && errno == EINTR);
+      if (polled == 0) {
+        result = ETIMEDOUT;
+      } else if (polled < 0) {
+        result = errno;
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof so_error;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+          result = errno;
+        } else {
+          result = so_error;
+        }
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return result;
+}
+
+}  // namespace
 
 TcpAddress parse_tcp_address(const std::string& address) {
   TcpAddress out;
@@ -33,7 +91,19 @@ TcpAddress parse_tcp_address(const std::string& address) {
   return out;
 }
 
-int connect_tcp(const std::string& host, int port) {
+int connect_tcp(const std::string& host, int port, double timeout_s) {
+  {
+    const NetFault fault = SVTOX_NET_FAIL_POINT("net_connect");
+    // Any byte-scoped action degrades to a refused connect here: this is
+    // the partition injection site ("the peer is unreachable").
+    if (fault.kind == NetFault::Kind::kDrop ||
+        fault.kind == NetFault::Kind::kTruncate ||
+        fault.kind == NetFault::Kind::kReset) {
+      throw Error(ErrorCode::kIo, "injected connect failure to " + host + ":" +
+                                      std::to_string(port) +
+                                      " at 'net_connect'");
+    }
+  }
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -54,15 +124,13 @@ int connect_tcp(const std::string& host, int port) {
       last_errno = errno;
       continue;
     }
-    int connect_rc;
-    do {
-      connect_rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (connect_rc < 0 && errno == EINTR);
-    if (connect_rc == 0) {
+    const int connect_err =
+        timed_connect(fd, ai->ai_addr, ai->ai_addrlen, timeout_s);
+    if (connect_err == 0) {
       ::freeaddrinfo(results);
       return fd;
     }
-    last_errno = errno;
+    last_errno = connect_err;
     ::close(fd);
   }
   ::freeaddrinfo(results);

@@ -22,8 +22,10 @@ TcpAddress parse_tcp_address(const std::string& address);
 /// Resolves and connects. Connection-level failures (refused, timed out,
 /// unreachable, resolution failure) throw Error(kIo) -- retryable, so the
 /// client's exponential-backoff policy applies to a daemon that has not
-/// bound its port yet. Returns an owned fd.
-int connect_tcp(const std::string& host, int port);
+/// bound its port yet. `timeout_s > 0` bounds each connect(2) attempt
+/// (non-blocking connect + poll) so a blackholed host cannot stall the
+/// caller for the kernel's multi-minute SYN timeout. Returns an owned fd.
+int connect_tcp(const std::string& host, int port, double timeout_s = 0.0);
 
 /// RAII frame-speaking connection. Move-only; closes the fd on destruction.
 class Conn {

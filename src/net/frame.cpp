@@ -2,13 +2,47 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace svtox::net {
 namespace {
+
+#if defined(SVTOX_FAILPOINTS) && SVTOX_FAILPOINTS
+/// Arms SO_LINGER(on, 0) so the owner's eventual close(2) sends RST
+/// instead of FIN -- the peer observes ECONNRESET, not a clean EOF.
+void arm_reset_on_close(int fd) {
+  struct linger hard {};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+}
+
+/// Applies an armed network fault to a frame read/write site. Returns
+/// the number of payload bytes a truncate/reset fault allows through
+/// (-1 = no transmission cap). Throws Error(kIo) for drop.
+ssize_t apply_net_fault(const char* site, int fd, const NetFault& fault) {
+  switch (fault.kind) {
+    case NetFault::Kind::kNone:
+    case NetFault::Kind::kDelay:  // the stall already happened in the hook
+      return -1;
+    case NetFault::Kind::kDrop:
+      ::shutdown(fd, SHUT_RDWR);
+      throw Error(ErrorCode::kIo, std::string("injected connection drop at '") +
+                                      site + "'");
+    case NetFault::Kind::kTruncate:
+      return static_cast<ssize_t>(fault.param);
+    case NetFault::Kind::kReset:
+      arm_reset_on_close(fd);
+      return static_cast<ssize_t>(fault.param);
+  }
+  return -1;
+}
+#endif
 
 /// Reads exactly `len` bytes. Returns false on clean EOF with zero bytes
 /// read so far; throws on errors or mid-buffer EOF.
@@ -50,6 +84,20 @@ void encode_len(char* header, std::uint32_t len) {
 }  // namespace
 
 FrameStatus read_frame(int fd, std::string& payload, std::size_t max_bytes) {
+#if defined(SVTOX_FAILPOINTS) && SVTOX_FAILPOINTS
+  {
+    const NetFault fault = SVTOX_NET_FAIL_POINT("net_recv");
+    // A read site cannot truncate what the peer sends; both byte-capped
+    // faults degrade to an immediate hard failure here.
+    if (fault.kind == NetFault::Kind::kReset) arm_reset_on_close(fd);
+    if (fault.kind == NetFault::Kind::kTruncate ||
+        fault.kind == NetFault::Kind::kReset ||
+        fault.kind == NetFault::Kind::kDrop) {
+      ::shutdown(fd, SHUT_RDWR);
+      throw Error(ErrorCode::kIo, "injected connection drop at 'net_recv'");
+    }
+  }
+#endif
   char header[4];
   if (!read_exact(fd, header, sizeof header)) return FrameStatus::kClosed;
   const std::uint32_t len = decode_len(header);
@@ -64,6 +112,32 @@ FrameStatus read_frame(int fd, std::string& payload, std::size_t max_bytes) {
 void write_frame(int fd, std::string_view payload) {
   std::string buffer;
   encode_frame(buffer, payload);
+#if defined(SVTOX_FAILPOINTS) && SVTOX_FAILPOINTS
+  const NetFault fault = SVTOX_NET_FAIL_POINT("net_send");
+  const ssize_t cap = apply_net_fault("net_send", fd, fault);
+  if (cap >= 0) {
+    // Transmit at most `cap` bytes of the framed message, then fail the
+    // connection: the peer sees a short read (truncate) or ECONNRESET
+    // (reset, via the lingering close below).
+    const std::size_t allowed =
+        std::min(buffer.size(), static_cast<std::size_t>(cap));
+    std::size_t partial = 0;
+    while (partial < allowed) {
+      const ssize_t n =
+          ::send(fd, buffer.data() + partial, allowed - partial, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      partial += static_cast<std::size_t>(n);
+    }
+    if (fault.kind != NetFault::Kind::kReset) ::shutdown(fd, SHUT_RDWR);
+    throw Error(ErrorCode::kIo,
+                "injected " + std::string(fault.kind == NetFault::Kind::kReset
+                                              ? "connection reset"
+                                              : "frame truncation") +
+                    " at 'net_send' after " + std::to_string(partial) +
+                    " bytes");
+  }
+#endif
   std::size_t sent = 0;
   while (sent < buffer.size()) {
     const ssize_t n =

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace svtox::net {
 
@@ -90,8 +91,26 @@ Listener& Listener::operator=(Listener&& other) noexcept {
 int Listener::accept_fd() {
   while (fd_ >= 0) {
     const int client = ::accept(fd_, nullptr, nullptr);
-    if (client >= 0) return client;
-    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (client >= 0) {
+      const NetFault fault = SVTOX_NET_FAIL_POINT("net_accept");
+      if (fault.kind == NetFault::Kind::kDrop ||
+          fault.kind == NetFault::Kind::kTruncate ||
+          fault.kind == NetFault::Kind::kReset) {
+        // The connection vanishes before the server ever sees it; keep
+        // accepting -- one injected (or real) aborted handshake must not
+        // tear the accept loop down.
+        ::close(client);
+        continue;
+      }
+      return client;
+    }
+    // A connection that died between SYN and accept surfaces as one of
+    // these per-connection errors; only listener-level failures (EBADF,
+    // EINVAL after close) should end the loop.
+    if (errno == EINTR || errno == ECONNABORTED || errno == ECONNRESET ||
+        errno == EPROTO || errno == ENETDOWN || errno == EHOSTUNREACH) {
+      continue;
+    }
     return -1;
   }
   return -1;

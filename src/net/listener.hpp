@@ -31,8 +31,10 @@ class Listener {
   const std::string& host() const { return host_; }
   std::string address() const { return host_ + ":" + std::to_string(port_); }
 
-  /// Blocking accept; retries on EINTR/ECONNABORTED. Returns -1 once the
-  /// listener has been shut down or closed.
+  /// Blocking accept; retries on per-connection failures (EINTR,
+  /// ECONNABORTED, ECONNRESET, EPROTO, ...) so one aborted handshake never
+  /// tears the loop down. Returns -1 once the listener has been shut down
+  /// or closed.
   int accept_fd();
   Conn accept() { return Conn(accept_fd()); }
 

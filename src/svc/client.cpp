@@ -63,7 +63,7 @@ constexpr std::string_view kTcpPrefix = "tcp://";
 int Client::connect_fd() const {
   if (tcp_) {
     SVTOX_FAIL_POINT("client_connect");
-    return net::connect_tcp(tcp_host_, tcp_port_);
+    return net::connect_tcp(tcp_host_, tcp_port_, options_.connect_timeout_s);
   }
   return connect_unix(address_);
 }
@@ -81,13 +81,16 @@ Client::Client(const std::string& address, const ClientOptions& options)
     tcp_port_ = parsed.port;
   }
   const int attempts = std::max(1, options_.max_attempts);
+  const Deadline deadline(options_.total_deadline_s > 0.0
+                              ? options_.total_deadline_s
+                              : 1e18);
   for (int attempt = 0;; ++attempt) {
     try {
       fd_ = connect_fd();
       return;
     } catch (const Error&) {
-      if (attempt + 1 >= attempts) throw;
-      backoff_sleep(attempt);
+      if (attempt + 1 >= attempts || deadline.remaining() <= 0.0) throw;
+      backoff_sleep(attempt, deadline.remaining());
     }
   }
 }
@@ -104,13 +107,15 @@ void Client::drop_connection() {
   pending_.clear();  // a partial reply from a dead connection is garbage
 }
 
-void Client::backoff_sleep(int attempt) {
+void Client::backoff_sleep(int attempt, double cap_s) {
   double delay = options_.backoff_initial_s;
   for (int i = 0; i < attempt && delay < options_.backoff_max_s; ++i) delay *= 2.0;
   delay = std::min(delay, options_.backoff_max_s);
   // Jitter in [0.5, 1.0]x so a fleet of clients does not reconnect in
   // lockstep against a restarting daemon.
   delay *= 0.5 + 0.5 * jitter_.next_double();
+  if (cap_s >= 0.0) delay = std::min(delay, cap_s);
+  if (delay <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
@@ -184,6 +189,9 @@ Json Client::read_reply() {
 Json Client::request(const Json& request_json) {
   const std::string payload = request_json.dump();
   const int attempts = std::max(1, options_.max_attempts);
+  const Deadline deadline(options_.total_deadline_s > 0.0
+                              ? options_.total_deadline_s
+                              : 1e18);
   for (int attempt = 0;; ++attempt) {
     try {
       if (fd_ < 0) {
@@ -196,8 +204,11 @@ Json Client::request(const Json& request_json) {
       drop_connection();
       // Only transport loss retries; a timeout's request may still be
       // executing server-side, so resending it is the caller's call.
-      if (e.code() != ErrorCode::kIo || attempt + 1 >= attempts) throw;
-      backoff_sleep(attempt);
+      if (e.code() != ErrorCode::kIo || attempt + 1 >= attempts ||
+          deadline.remaining() <= 0.0) {
+        throw;
+      }
+      backoff_sleep(attempt, deadline.remaining());
     }
   }
 }

@@ -35,6 +35,16 @@ struct ClientOptions {
   /// throws Error(kTimeout) and the connection is dropped (the next
   /// request reconnects).
   double request_timeout_s = 0.0;
+  /// Per-attempt TCP connect(2) bound; 0 = the kernel default (which can
+  /// be minutes against a blackholed host). Unix sockets connect
+  /// instantly and ignore this.
+  double connect_timeout_s = 0.0;
+  /// Wall-clock budget across ALL attempts of one operation (the
+  /// constructor's connect loop, or one request() including its retries);
+  /// 0 = unbounded. When the budget runs out the last transport error is
+  /// rethrown instead of sleeping through the rest of the backoff
+  /// schedule -- `svtox stats` against a dead daemon fails fast.
+  double total_deadline_s = 0.0;
 };
 
 class Client {
@@ -76,7 +86,8 @@ class Client {
   void send_request(const std::string& payload);
   Json read_reply();
   void drop_connection();
-  void backoff_sleep(int attempt);
+  /// Sleeps the attempt's backoff delay, clipped to `cap_s` when >= 0.
+  void backoff_sleep(int attempt, double cap_s = -1.0);
 
   ClientOptions options_;
   std::string address_;

@@ -1,24 +1,284 @@
 #include "svc/cluster.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace svtox::svc {
 
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::vector<std::string> sorted_copy(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+const char* peer_health_name(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kUp:
+      return "up";
+    case PeerHealth::kSuspect:
+      return "suspect";
+    case PeerHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
 Cluster::Cluster(const ClusterOptions& options)
-    : options_(options), ring_(options.members, options.ring_vnodes) {
+    : options_(options),
+      ring_(std::make_shared<const HashRing>(options.members,
+                                             options.ring_vnodes)) {
   if (std::find(options_.members.begin(), options_.members.end(), options_.self) ==
       options_.members.end()) {
     throw ContractError("cluster self address '" + options_.self +
                         "' is not in the member list");
   }
+  const Clock::time_point now = Clock::now();
+  for (const std::string& member : ring_->members()) {
+    if (member == options_.self) continue;
+    PeerState state;
+    state.last_ok = now;  // grace: a just-added peer starts `up`
+    health_.emplace_back(member, state);
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+std::shared_ptr<const HashRing> Cluster::ring() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_;
 }
 
 std::vector<std::string> Cluster::peers() const {
   std::vector<std::string> out;
-  for (const std::string& member : ring_.members()) {
+  for (const std::string& member : ring()->members()) {
     if (member != options_.self) out.push_back(member);
+  }
+  return out;
+}
+
+bool Cluster::reload(std::vector<std::string> members) {
+  if (std::find(members.begin(), members.end(), options_.self) ==
+      members.end()) {
+    throw ContractError("cluster reload would drop self address '" +
+                        options_.self + "'");
+  }
+  // Validates emptiness/duplicates; throws before any state changes.
+  auto next = std::make_shared<const HashRing>(members, options_.ring_vnodes);
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (sorted_copy(ring_->members()) == sorted_copy(members)) return false;
+    ring_ = next;
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Keep health entries for surviving peers (their history is real);
+    // new peers start in the `up` grace window, removed peers vanish.
+    std::lock_guard<std::mutex> lock(health_mu_);
+    const Clock::time_point now = Clock::now();
+    std::vector<std::pair<std::string, PeerState>> next_health;
+    for (const std::string& member : next->members()) {
+      if (member == options_.self) continue;
+      auto it = std::find_if(health_.begin(), health_.end(),
+                             [&](const auto& e) { return e.first == member; });
+      if (it != health_.end()) {
+        next_health.emplace_back(member, it->second);
+      } else {
+        PeerState state;
+        state.last_ok = now;
+        next_health.emplace_back(member, state);
+      }
+    }
+    health_ = std::move(next_health);
+  }
+  prune_peer_slots(next->members());
+  std::ostringstream msg;
+  msg << "cluster membership reloaded (epoch " << epoch() << "): ";
+  for (std::size_t i = 0; i < next->members().size(); ++i) {
+    if (i != 0) msg << ",";
+    msg << next->members()[i];
+  }
+  log_info(msg.str());
+  return true;
+}
+
+bool Cluster::reload_from_file() {
+  if (options_.peers_file.empty()) {
+    throw ContractError("cluster has no peers file configured");
+  }
+  std::ifstream in(options_.peers_file);
+  if (!in) {
+    throw Error(ErrorCode::kIo,
+                "cannot read peers file " + options_.peers_file);
+  }
+  std::vector<std::string> members;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream fields(line);
+    std::string token;
+    while (fields >> token) {
+      if (std::find(members.begin(), members.end(), token) == members.end()) {
+        members.push_back(token);
+      }
+    }
+  }
+  if (std::find(members.begin(), members.end(), options_.self) ==
+      members.end()) {
+    members.push_back(options_.self);  // the file need not name this node
+  }
+  return reload(std::move(members));
+}
+
+void Cluster::start() {
+  if (options_.heartbeat_interval_s <= 0.0) return;
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  if (hb_running_) return;
+  hb_stop_ = false;
+  hb_running_ = true;
+  hb_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void Cluster::stop() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    if (!hb_running_) return;
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  hb_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_running_ = false;
+  }
+}
+
+void Cluster::heartbeat_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(options_.heartbeat_interval_s),
+          [this] { return hb_stop_; });
+      if (hb_stop_) return;
+    }
+    // Peers are probed even when `down`: the first successful ping is what
+    // restores routing to a recovered node.
+    for (const std::string& member : peers()) {
+      {
+        std::lock_guard<std::mutex> lock(hb_mu_);
+        if (hb_stop_) return;
+      }
+      ping_peer(member);
+    }
+  }
+}
+
+void Cluster::ping_peer(const std::string& member) {
+  // A short hard deadline on every stage: a heartbeat must never block
+  // behind a SYN timeout or a stalled peer, and a single failed ping is
+  // routine (EINTR, ECONNRESET, a restarting daemon) -- never worth more
+  // than a debug line.
+  const double bound =
+      std::max(0.1, std::min(options_.suspect_after_s,
+                             2.0 * options_.heartbeat_interval_s));
+  ClientOptions opts;
+  opts.max_attempts = 1;
+  opts.connect_timeout_s = bound;
+  opts.request_timeout_s = bound;
+  opts.total_deadline_s = bound;
+  const Clock::time_point started = Clock::now();
+  try {
+    Client client("tcp://" + member, opts);
+    Json ping = Json::object();
+    ping.set("cmd", "ping");
+    const Json reply = client.request(ping);
+    const Json* ok = reply.get("ok");
+    if (ok == nullptr || !ok->as_bool(false)) {
+      throw Error(ErrorCode::kIo, "ping rejected");
+    }
+    note_contact(member, true, seconds_between(started, Clock::now()));
+  } catch (const std::exception& e) {
+    note_contact(member, false, -1.0);
+    log_debug("heartbeat to " + member + " failed: " + e.what());
+  }
+}
+
+void Cluster::note_contact(const std::string& member, bool ok,
+                           double latency_s) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = std::find_if(health_.begin(), health_.end(),
+                         [&](const auto& e) { return e.first == member; });
+  if (it == health_.end()) return;  // removed by a concurrent reload
+  PeerState& state = it->second;
+  if (ok) {
+    const PeerHealth before = health_of_state(state, Clock::now());
+    state.last_ok = Clock::now();
+    state.ever_ok = true;
+    if (latency_s >= 0.0) {
+      state.latency_ema_s = state.latency_ema_s <= 0.0
+                                ? latency_s
+                                : 0.8 * state.latency_ema_s + 0.2 * latency_s;
+    }
+    if (before == PeerHealth::kDown) {
+      log_info("peer " + member + " recovered (was down)");
+    }
+  } else {
+    ++state.failures;
+  }
+}
+
+PeerHealth Cluster::health_of_state(const PeerState& state,
+                                    Clock::time_point now) const {
+  const double age = seconds_between(state.last_ok, now);
+  if (age <= options_.suspect_after_s) return PeerHealth::kUp;
+  if (age <= options_.down_after_s) return PeerHealth::kSuspect;
+  return PeerHealth::kDown;
+}
+
+PeerHealth Cluster::health(const std::string& member) const {
+  if (options_.heartbeat_interval_s <= 0.0 || member == options_.self) {
+    return PeerHealth::kUp;
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = std::find_if(health_.begin(), health_.end(),
+                         [&](const auto& e) { return e.first == member; });
+  if (it == health_.end()) return PeerHealth::kUp;
+  return health_of_state(it->second, Clock::now());
+}
+
+std::vector<PeerHealthSnapshot> Cluster::health_snapshot() const {
+  std::vector<PeerHealthSnapshot> out;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(health_mu_);
+  out.reserve(health_.size());
+  for (const auto& [member, state] : health_) {
+    PeerHealthSnapshot snap;
+    snap.member = member;
+    snap.health = options_.heartbeat_interval_s <= 0.0
+                      ? PeerHealth::kUp
+                      : health_of_state(state, now);
+    snap.latency_s = state.latency_ema_s;
+    snap.since_ok_s = state.ever_ok ? seconds_between(state.last_ok, now) : -1.0;
+    snap.failures = state.failures;
+    out.push_back(std::move(snap));
   }
   return out;
 }
@@ -31,6 +291,16 @@ ClientOptions Cluster::client_options() const {
   return opts;
 }
 
+void Cluster::prune_peer_slots(const std::vector<std::string>& members) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [&](const auto& entry) {
+                                return std::find(members.begin(), members.end(),
+                                                 entry.first) == members.end();
+                              }),
+               peers_.end());
+}
+
 Cluster::Peer& Cluster::peer_slot(const std::string& member) {
   std::lock_guard<std::mutex> lock(peers_mu_);
   for (auto& [name, peer] : peers_) {
@@ -41,26 +311,45 @@ Cluster::Peer& Cluster::peer_slot(const std::string& member) {
 }
 
 Json Cluster::request(const std::string& member, const Json& request_json,
-                      bool fresh_connection) {
+                      bool fresh_connection, double fresh_reply_timeout_s) {
+  if (health(member) == PeerHealth::kDown) {
+    // Routing around a dead node: fail instantly instead of spending a
+    // connect timeout per request. Heartbeats keep probing the peer and
+    // lift this the moment it answers again.
+    throw Error(ErrorCode::kIo, "peer " + member + " is down");
+  }
   const std::string address = "tcp://" + member;
-  if (fresh_connection) {
-    ClientOptions opts = client_options();
-    // Blocking calls legitimately park server-side (inflight dedup);
-    // waiting is the point, so no reply timeout here.
-    opts.request_timeout_s = 0.0;
-    Client client(address, opts);
-    return client.request(request_json);
-  }
-  Peer& peer = peer_slot(member);
-  std::lock_guard<std::mutex> lock(peer.mu);
-  if (peer.client == nullptr) {
-    peer.client = std::make_unique<Client>(address, client_options());
-  }
   try {
-    return peer.client->request(request_json);
-  } catch (...) {
-    // A torn pooled channel is garbage for the next caller; reconnect lazily.
-    peer.client.reset();
+    Json reply;
+    if (fresh_connection) {
+      ClientOptions opts = client_options();
+      // Blocking calls legitimately park server-side (inflight dedup);
+      // waiting is the point, so no reply timeout unless the caller set
+      // an explicit bound.
+      opts.request_timeout_s = fresh_reply_timeout_s;
+      Client client(address, opts);
+      reply = client.request(request_json);
+    } else {
+      Peer& peer = peer_slot(member);
+      std::lock_guard<std::mutex> lock(peer.mu);
+      if (peer.client == nullptr) {
+        peer.client = std::make_unique<Client>(address, client_options());
+      }
+      try {
+        reply = peer.client->request(request_json);
+      } catch (...) {
+        // A torn pooled channel is garbage for the next caller; reconnect
+        // lazily.
+        peer.client.reset();
+        throw;
+      }
+    }
+    // Any successful application round trip is proof of life -- a peer
+    // busy with real work must not drift to `suspect` behind queued pings.
+    note_contact(member, true, -1.0);
+    return reply;
+  } catch (const Error&) {
+    note_contact(member, false, -1.0);
     throw;
   }
 }

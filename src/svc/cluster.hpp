@@ -1,11 +1,25 @@
-// Static cluster membership + peer RPC for the distributed daemon.
+// Cluster membership, peer health, and peer RPC for the distributed daemon.
 //
 // A cluster is the set of svtoxd TCP addresses named by --peers (including
-// this daemon's own --self address). Membership is fixed for the process
-// lifetime: there is no gossip or failure detector, because every
-// distributed mechanism here (sharded cache reads, subtree dispatch) is an
-// *optimization* that degrades to local execution when a peer is
-// unreachable -- callers catch Error(kIo)/Error(kTimeout) and fall back.
+// this daemon's own --self address). Membership is *dynamic*: the member
+// set lives in an immutable snapshot (a HashRing) swapped atomically under
+// a mutex and stamped with a monotonically increasing epoch, so readers
+// grab a consistent ring with one shared_ptr copy and reload() (SIGHUP, a
+// `cluster_reload` request, or a peers-file re-read) never blocks RPCs in
+// flight. There is still no gossip: every node must be pointed at the same
+// peers file / list for the rings to agree, and the epoch only detects
+// staleness locally.
+//
+// Health: when heartbeats are enabled (heartbeat_interval_s > 0), a
+// background thread pings every peer over a short-deadline throwaway
+// connection. A peer is `up` while its last successful contact is within
+// suspect_after_s, `suspect` until down_after_s, and `down` after that.
+// Successful *application* RPCs also count as contact, so a busy healthy
+// peer never degrades just because pings queue behind real work. request()
+// fails fast with Error(kIo) against a `down` peer instead of burning a
+// connect timeout -- the heartbeat thread keeps probing it, so the first
+// successful ping restores routing. With heartbeats disabled every peer
+// reports `up` and request() behaves as before.
 //
 // request() speaks the framed TCP protocol through svc::Client. Quick
 // RPCs share one pooled connection per peer (serialized by a mutex);
@@ -15,9 +29,13 @@
 // pooled channel hostage.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/client.hpp"
@@ -25,6 +43,19 @@
 #include "svc/json.hpp"
 
 namespace svtox::svc {
+
+enum class PeerHealth { kUp, kSuspect, kDown };
+
+const char* peer_health_name(PeerHealth health);
+
+/// One peer's health as seen by the failure detector, for stats/metrics.
+struct PeerHealthSnapshot {
+  std::string member;
+  PeerHealth health = PeerHealth::kUp;
+  double latency_s = 0.0;   ///< EWMA of heartbeat round-trip time.
+  double since_ok_s = 0.0;  ///< Seconds since the last successful contact.
+  std::uint64_t failures = 0;  ///< Failed contacts since the peer was added.
+};
 
 struct ClusterOptions {
   /// All member addresses, "host:port". Order does not matter (the ring
@@ -35,48 +66,145 @@ struct ClusterOptions {
   double request_timeout_s = 30.0;  ///< Per pooled round trip; 0 = none.
   int connect_attempts = 2;         ///< Client retry budget per request.
   double backoff_initial_s = 0.05;
+
+  /// Heartbeat cadence; 0 disables the failure detector entirely.
+  double heartbeat_interval_s = 0.0;
+  double suspect_after_s = 3.0;  ///< No contact for this long -> suspect.
+  double down_after_s = 10.0;    ///< ... for this long -> down (routed around).
+
+  /// Extra successor owners each cache key is published to (0 = primary
+  /// only). Consumed by DistributedCache.
+  int cache_replicas = 0;
+
+  /// Upper bound on how long a remote cache_fetch_or_lock may park on the
+  /// owner's in-flight solve before degrading to a local (duplicate)
+  /// solve; 0 = wait forever (the pre-replication behaviour). Applied on
+  /// both sides: the serving node's cv wait and the calling client's
+  /// reply timeout (with slack).
+  double blocking_wait_s = 30.0;
+
+  /// Optional peers file for reload_from_file(): one or more addresses
+  /// per line, ','/whitespace separated, '#' comments. `self` is added
+  /// implicitly when the file omits it.
+  std::string peers_file;
 };
 
 class Cluster {
  public:
   /// Throws ContractError when `self` is not a member or members invalid.
   explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   const std::string& self() const { return options_.self; }
-  const std::vector<std::string>& members() const { return ring_.members(); }
-  std::size_t size() const { return ring_.size(); }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Consistent snapshot of the current ring. Hold the shared_ptr for the
+  /// duration of a multi-step routing decision (owner list + RPCs) so a
+  /// concurrent reload cannot change the ring underfoot.
+  std::shared_ptr<const HashRing> ring() const;
+
+  /// Monotonically increasing membership epoch; bumped by every
+  /// successful reload that changed the member set.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  std::vector<std::string> members() const { return ring()->members(); }
+  std::size_t size() const { return ring()->size(); }
 
   /// The ring owner of a cache key. May be self().
-  const std::string& owner_of(const std::string& key) const {
-    return ring_.owner(key);
+  std::string owner_of(const std::string& key) const {
+    return ring()->owner(key);
+  }
+  /// Primary + replica successors for a key (at most `count` distinct
+  /// members, in deterministic ring order).
+  std::vector<std::string> owners_of(const std::string& key,
+                                     std::size_t count) const {
+    return ring()->owners(key, count);
   }
   bool is_self(const std::string& member) const { return member == options_.self; }
 
-  /// Every member except self, in the (stable) construction order.
+  /// Every member except self, in the (stable) ring order.
   std::vector<std::string> peers() const;
+
+  /// Replaces the member set. Throws ContractError when `members` is
+  /// invalid or drops `self`. Returns true when the set actually changed
+  /// (and the epoch was bumped).
+  bool reload(std::vector<std::string> members);
+
+  /// Re-reads options().peers_file and applies it via reload(). Throws
+  /// Error(kIo) when the file cannot be read, ContractError when its
+  /// contents are invalid.
+  bool reload_from_file();
+
+  /// Starts the heartbeat thread (no-op when heartbeat_interval_s <= 0 or
+  /// already started).
+  void start();
+  /// Stops the heartbeat thread; idempotent, called by the destructor.
+  void stop();
+
+  /// Current health of a member. Self is always up; with heartbeats
+  /// disabled every member is up.
+  PeerHealth health(const std::string& member) const;
+
+  /// All peers' health, in ring order, for stats/metrics.
+  std::vector<PeerHealthSnapshot> health_snapshot() const;
 
   /// One round trip to `member`. Throws Error(kIo)/Error(kTimeout) on
   /// transport failure -- the caller decides whether to degrade or retry.
-  /// fresh_connection=true uses a throwaway connection (see file comment).
+  /// Fails fast with Error(kIo) when the member is `down` (heartbeats
+  /// keep probing; the first success restores routing).
+  /// fresh_connection=true uses a throwaway connection (see file comment);
+  /// `fresh_reply_timeout_s` bounds how long such a call may park waiting
+  /// for the reply (0 = forever, ignored for pooled connections).
   Json request(const std::string& member, const Json& request_json,
-               bool fresh_connection = false);
+               bool fresh_connection = false,
+               double fresh_reply_timeout_s = 0.0);
 
   /// Options used for ad-hoc Clients that want the cluster's timeouts
   /// (the coordinator's per-peer dispatchers).
   ClientOptions client_options() const;
 
  private:
-  ClusterOptions options_;
-  HashRing ring_;
+  using Clock = std::chrono::steady_clock;
+
+  struct PeerState {
+    Clock::time_point last_ok;       ///< Last successful contact (or add time).
+    double latency_ema_s = 0.0;
+    std::uint64_t failures = 0;
+    bool ever_ok = false;
+  };
 
   struct Peer {
     std::mutex mu;                   ///< Serializes pooled round trips.
     std::unique_ptr<Client> client;  ///< Lazily connected, dropped on error.
   };
+
+  Peer& peer_slot(const std::string& member);
+  void prune_peer_slots(const std::vector<std::string>& members);
+  void heartbeat_loop();
+  void ping_peer(const std::string& member);
+  void note_contact(const std::string& member, bool ok, double latency_s);
+  PeerHealth health_of_state(const PeerState& state, Clock::time_point now) const;
+
+  ClusterOptions options_;
+
+  mutable std::mutex ring_mu_;            ///< Guards the snapshot pointer swap.
+  std::shared_ptr<const HashRing> ring_;  ///< Immutable snapshot; never null.
+  std::atomic<std::uint64_t> epoch_{1};
+
+  mutable std::mutex health_mu_;
+  std::vector<std::pair<std::string, PeerState>> health_;
+
   std::mutex peers_mu_;  ///< Guards the map, not the per-peer channels.
   std::vector<std::pair<std::string, std::unique_ptr<Peer>>> peers_;
 
-  Peer& peer_slot(const std::string& member);
+  std::mutex hb_mu_;  ///< Guards hb_stop_ for the cv; thread start/stop.
+  std::condition_variable hb_cv_;
+  std::thread hb_thread_;
+  bool hb_stop_ = false;
+  bool hb_running_ = false;
 };
 
 }  // namespace svtox::svc

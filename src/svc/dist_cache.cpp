@@ -1,87 +1,147 @@
 #include "svc/dist_cache.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace svtox::svc {
 
+std::size_t DistributedCache::owner_count() const {
+  const int replicas = std::max(0, cluster_.options().cache_replicas);
+  return 1 + static_cast<std::size_t>(replicas);
+}
+
 std::optional<JobResult> DistributedCache::fetch_or_lock(const std::string& key) {
   if (std::optional<JobResult> local = local_.fetch_or_lock(key)) {
     return local;
   }
-  // Local owner now. If the ring says a peer owns this key, consult it;
-  // the RPC blocks while the owner has an inflight solve (cluster dedup).
-  const std::string& owner = cluster_.owner_of(key);
-  if (cluster_.is_self(owner)) return std::nullopt;
+  // Local owner now. Walk the key's owner chain (primary, then replica
+  // successors); the first reachable owner either serves a hit or grants
+  // this node the cluster-wide in-flight lock.
+  const std::vector<std::string> owners = cluster_.owners_of(key, owner_count());
+  const double wait_s = cluster_.options().blocking_wait_s;
   Json request = Json::object();
   request.set("cmd", "cache_fetch_or_lock");
   request.set("key", key);
-  try {
-    const Json reply = cluster_.request(owner, request, /*fresh_connection=*/true);
-    const Json* ok = reply.get("ok");
-    if (ok == nullptr || !ok->as_bool(false)) {
-      throw ContractError("owner shard rejected cache_fetch_or_lock");
+  if (wait_s > 0.0) request.set("wait_s", wait_s);
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    const std::string& owner = owners[i];
+    // Self in the chain: this node's local cache IS that shard, and the
+    // local fetch above already missed -- stop here and solve locally.
+    if (cluster_.is_self(owner)) break;
+    try {
+      // Bound the park slightly past the server-side wait so a healthy
+      // owner's timeout reply (a miss) wins over the client timeout.
+      const Json reply =
+          cluster_.request(owner, request, /*fresh_connection=*/true,
+                           wait_s > 0.0 ? wait_s + 5.0 : 0.0);
+      const Json* ok = reply.get("ok");
+      if (ok == nullptr || !ok->as_bool(false)) {
+        throw ContractError("owner shard rejected cache_fetch_or_lock");
+      }
+      if (i > 0) replica_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      const Json* hit = reply.get("hit");
+      if (hit != nullptr && hit->as_bool(false)) {
+        const Json* payload = reply.get("result");
+        if (payload == nullptr) throw ContractError("cache hit without a result");
+        JobResult result = job_result_from_json(*payload);
+        result.cache_hit = true;
+        // Fill the local LRU, clear our local inflight marker, wake local
+        // waiters. cache_hit=true also keeps it off the local disk mirror.
+        local_.publish(key, result);
+        remote_hits_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      // Cluster-wide miss: this node is now the owner at both levels, and
+      // owes the publish/abandon to the member that granted the lock.
+      remote_misses_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      remote_owned_[key] = owner;
+      return std::nullopt;
+    } catch (const std::exception& e) {
+      peer_failures_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("distributed cache: owner " + owner + " unreachable for " + key +
+               " (" + e.what() + ")" +
+               (i + 1 < owners.size() && !cluster_.is_self(owners[i + 1])
+                    ? "; trying next replica"
+                    : "; degrading to local solve"));
     }
-    const Json* hit = reply.get("hit");
-    if (hit != nullptr && hit->as_bool(false)) {
-      const Json* payload = reply.get("result");
-      if (payload == nullptr) throw ContractError("cache hit without a result");
-      JobResult result = job_result_from_json(*payload);
-      result.cache_hit = true;
-      // Fill the local LRU, clear our local inflight marker, wake local
-      // waiters. cache_hit=true also keeps it off the local disk mirror.
-      local_.publish(key, result);
-      remote_hits_.fetch_add(1, std::memory_order_relaxed);
-      return result;
-    }
-    // Cluster-wide miss: this node is now the owner at both levels.
-    remote_misses_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
-    remote_owned_.insert(key);
-    return std::nullopt;
-  } catch (const std::exception& e) {
-    // Degrade to local-only ownership: solve here. Never wrong, only
-    // possibly duplicated work.
-    peer_failures_.fetch_add(1, std::memory_order_relaxed);
-    log_warn("distributed cache: owner " + owner + " unreachable for " + key +
-             " (" + e.what() + "); degrading to local solve");
-    return std::nullopt;
   }
+  // Every remote owner failed (or the chain reached self): solve here.
+  // Never wrong, only possibly duplicated work.
+  return std::nullopt;
 }
 
-bool DistributedCache::take_remote_ownership_back(const std::string& key) {
+std::optional<std::string> DistributedCache::take_remote_ownership_back(
+    const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  return remote_owned_.erase(key) > 0;
+  auto it = remote_owned_.find(key);
+  if (it == remote_owned_.end()) return std::nullopt;
+  std::string member = std::move(it->second);
+  remote_owned_.erase(it);
+  return member;
 }
 
 void DistributedCache::publish(const std::string& key, const JobResult& result) {
   local_.publish(key, result);
-  if (!take_remote_ownership_back(key)) return;
-  Json request = Json::object();
-  request.set("cmd", result.interrupted ? "cache_abandon" : "cache_publish");
-  request.set("key", key);
-  if (!result.interrupted) {
-    request.set("result", job_result_to_json(result, /*include_solution=*/true));
+  const std::optional<std::string> locked = take_remote_ownership_back(key);
+  if (result.interrupted) {
+    // A best-so-far incumbent is not canonical: release the remote lock
+    // (promoting one of the owner's waiters) and replicate nothing.
+    if (!locked) return;
+    Json request = Json::object();
+    request.set("cmd", "cache_abandon");
+    request.set("key", key);
+    try {
+      cluster_.request(*locked, request);
+      remote_abandons_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      peer_failures_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("distributed cache: abandon to owner failed for " + key + " (" +
+               e.what() + ")");
+    }
+    return;
   }
-  try {
-    cluster_.request(cluster_.owner_of(key), request);
-    (result.interrupted ? remote_abandons_ : remote_publishes_)
-        .fetch_add(1, std::memory_order_relaxed);
-  } catch (const std::exception& e) {
-    peer_failures_.fetch_add(1, std::memory_order_relaxed);
-    log_warn("distributed cache: publish to owner failed for " + key + " (" +
-             e.what() + ")");
+  // Publish to the lock grantor first (it has parked fetchers), then to
+  // the remaining owners in the chain for replication. Without a lock and
+  // without replicas there is nothing owed remotely (pre-replication
+  // behaviour preserved).
+  std::vector<std::string> targets;
+  if (locked) targets.push_back(*locked);
+  if (owner_count() > 1) {
+    for (const std::string& owner : cluster_.owners_of(key, owner_count())) {
+      if (cluster_.is_self(owner)) continue;
+      if (locked && owner == *locked) continue;
+      targets.push_back(owner);
+    }
+  }
+  if (targets.empty()) return;
+  Json request = Json::object();
+  request.set("cmd", "cache_publish");
+  request.set("key", key);
+  request.set("result", job_result_to_json(result, /*include_solution=*/true));
+  for (const std::string& target : targets) {
+    try {
+      cluster_.request(target, request);
+      remote_publishes_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      peer_failures_.fetch_add(1, std::memory_order_relaxed);
+      log_warn("distributed cache: publish to " + target + " failed for " +
+               key + " (" + e.what() + ")");
+    }
   }
 }
 
 void DistributedCache::abandon(const std::string& key) {
   local_.abandon(key);
-  if (!take_remote_ownership_back(key)) return;
+  const std::optional<std::string> locked = take_remote_ownership_back(key);
+  if (!locked) return;
   Json request = Json::object();
   request.set("cmd", "cache_abandon");
   request.set("key", key);
   try {
-    cluster_.request(cluster_.owner_of(key), request);
+    cluster_.request(*locked, request);
     remote_abandons_.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::exception& e) {
     peer_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +157,7 @@ DistCacheStats DistributedCache::stats() const {
   out.remote_publishes = remote_publishes_.load(std::memory_order_relaxed);
   out.remote_abandons = remote_abandons_.load(std::memory_order_relaxed);
   out.peer_failures = peer_failures_.load(std::memory_order_relaxed);
+  out.replica_fallbacks = replica_fallbacks_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -1,25 +1,37 @@
 // Two-level distributed solution cache: the local sharded SolutionCache in
-// front of a consistent-hash ring of peers.
+// front of a consistent-hash ring of peers, with optional replication.
 //
 // Read path (fetch_or_lock):
 //   1. Local cache first. A local hit never touches the network; a local
 //      miss makes this node the *local* owner (local dedup preserved).
-//   2. If the ring assigns the key to a peer, ask that owner shard with a
+//   2. If the ring assigns the key to a peer, ask the owner shard with a
 //      blocking cache_fetch_or_lock RPC. The owner's SolutionCache applies
 //      its own inflight dedup, so N identical concurrent jobs anywhere in
 //      the cluster collapse onto ONE solve: every other node parks inside
 //      this RPC until the owner's entry is published.
-//   3. A remote hit is published into the local cache (fills the local LRU
+//   3. When the owner is down or the RPC fails, the call *walks the
+//      successor chain* (ring().owners(key, 1 + replicas)): with
+//      --cache-replicas N a crashed primary's key is usually already
+//      replicated on the next N members, so the fetch is served there
+//      instead of degrading. Only when every owner in the chain is
+//      unreachable does the node fall back to a local solve.
+//   4. A remote hit is published into the local cache (fills the local LRU
 //      and wakes local waiters) and returned. A remote miss makes this
-//      node the *remote* owner too -- it must publish/abandon both levels.
+//      node the *remote* owner too -- it must publish/abandon back to the
+//      member that granted the lock.
+//
+// Write path (publish): the result lands in the local cache, then in the
+// member that granted the remote lock (waking its parked fetchers), then
+// best-effort in every other owner in the successor chain (replication).
 //
 // Failure model: any peer error degrades to local-only behaviour (the
 // local miss stands, the job is solved here) and bumps `peer_failures`.
 // The cache can therefore only ever cost a duplicate solve, never return
-// a wrong or stale result. Known limitation (documented in DESIGN.md): a
-// node that crashes while holding a *remote* ownership leaves the owner's
-// inflight marker behind, parking later fetches for that one key until
-// the owner daemon restarts.
+// a wrong or stale result. The pre-replication park hazard -- a borrower
+// crashing while holding a remote lock left the owner's inflight marker
+// parking later fetches forever -- is now bounded by
+// ClusterOptions::blocking_wait_s on both sides of the RPC: waiters time
+// out into an additional (duplicate) solve instead of hanging.
 #pragma once
 
 #include <atomic>
@@ -27,7 +39,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "svc/cluster.hpp"
 #include "svc/solution_cache.hpp"
@@ -39,41 +51,48 @@ struct DistCacheStats {
   std::uint64_t remote_misses = 0;     ///< Became cluster-wide owner.
   std::uint64_t remote_publishes = 0;  ///< Results pushed to owner shards.
   std::uint64_t remote_abandons = 0;
-  std::uint64_t peer_failures = 0;     ///< RPCs that degraded to local-only.
+  std::uint64_t peer_failures = 0;        ///< RPCs that failed outright.
+  std::uint64_t replica_fallbacks = 0;    ///< Fetches served past the primary.
 };
 
 class DistributedCache {
  public:
-  /// Both referents must outlive the cache.
+  /// Both referents must outlive the cache. Replication degree and wait
+  /// bounds come from cluster.options().
   DistributedCache(SolutionCache& local, Cluster& cluster)
       : local_(local), cluster_(cluster) {}
 
   /// SolutionCache::fetch_or_lock semantics, cluster-wide. Blocks on both
-  /// local and remote inflight solves of the same key.
+  /// local and remote inflight solves of the same key, bounded by
+  /// ClusterOptions::blocking_wait_s for the remote side.
   std::optional<JobResult> fetch_or_lock(const std::string& key);
 
-  /// Publishes locally, then (when this node took remote ownership) to the
-  /// ring owner, best-effort.
+  /// Publishes locally, then to the member that granted the remote lock,
+  /// then (best-effort) to the remaining owners in the successor chain.
   void publish(const std::string& key, const JobResult& result);
   void abandon(const std::string& key);
 
   DistCacheStats stats() const;
 
  private:
-  bool take_remote_ownership_back(const std::string& key);
+  std::optional<std::string> take_remote_ownership_back(const std::string& key);
+  std::size_t owner_count() const;
 
   SolutionCache& local_;
   Cluster& cluster_;
 
   std::mutex mu_;
-  /// Keys this node owes a publish/abandon to a remote owner shard for.
-  std::unordered_set<std::string> remote_owned_;
+  /// key -> the member whose shard granted this node the in-flight lock
+  /// (the publish/abandon obligation is to *that* member, even if the
+  /// ring has changed since).
+  std::unordered_map<std::string, std::string> remote_owned_;
 
   std::atomic<std::uint64_t> remote_hits_{0};
   std::atomic<std::uint64_t> remote_misses_{0};
   std::atomic<std::uint64_t> remote_publishes_{0};
   std::atomic<std::uint64_t> remote_abandons_{0};
   std::atomic<std::uint64_t> peer_failures_{0};
+  std::atomic<std::uint64_t> replica_fallbacks_{0};
 };
 
 }  // namespace svtox::svc

@@ -1,11 +1,15 @@
 #include "svc/dist_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -76,8 +80,16 @@ struct Task {
 /// (duplicate completions are byte-identical anyway).
 class TaskBoard {
  public:
+  /// Tasks already marked done (restored from a ledger) are counted and
+  /// never enqueued -- their recorded solutions go straight to the merge.
   explicit TaskBoard(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
-    for (std::size_t i = 0; i < tasks_.size(); ++i) ready_.push_back(i);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].done) {
+        ++done_count_;
+      } else {
+        ready_.push_back(i);
+      }
+    }
   }
 
   const Task& peek(std::size_t index) const { return tasks_[index]; }
@@ -109,6 +121,7 @@ class TaskBoard {
     task.solution = std::move(solution);
     task.interrupted = interrupted;
     ++done_count_;
+    ++version_;
     cv_.notify_all();
   }
 
@@ -120,6 +133,7 @@ class TaskBoard {
     if (task.done || progress <= task.token_progress) return;
     task.token = std::move(token);
     task.token_progress = progress;
+    ++version_;
   }
 
   bool all_done() const {
@@ -136,12 +150,26 @@ class TaskBoard {
 
   std::vector<Task> take() { return std::move(tasks_); }
 
+  /// Consistent copy of every task, for the ledger writer.
+  std::vector<Task> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_;
+  }
+
+  /// Bumped on every completion/token refresh -- the ledger writer's
+  /// "something changed" signal.
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Task> tasks_;
   std::deque<std::size_t> ready_;
   std::size_t done_count_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 /// Pulls the worker's latest on-disk checkpoint for `index` and refreshes
@@ -279,6 +307,134 @@ std::vector<bool> prefix_bits(const std::string& bits) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Job ledger: the coordinator-failover journal. One JSON document holding
+// the (inlined) spec plus each subtree's latest migration token and
+// completion state, refreshed whenever board progress lands. Completed
+// subtrees are stored as synthesized tree_done tokens -- the checkpoint
+// format already carries the full solution and counters, so a resume
+// restores them verbatim through the exact code path a worker's terminal
+// checkpoint takes.
+
+/// A tree_done token for a settled subtree; checkpoint_solution() inverts
+/// this exactly (interrupted = !tree_done = false).
+std::string synth_done_token(const Task& task) {
+  opt::SearchCheckpoint checkpoint;
+  checkpoint.fingerprint = task.fingerprint;
+  checkpoint.tree_done = true;
+  checkpoint.probes_done = 0;
+  checkpoint.nodes = task.solution.nodes_visited;
+  checkpoint.leaves = task.solution.states_explored;
+  checkpoint.elapsed_s = task.solution.runtime_s;
+  checkpoint.sleep_vector = task.solution.sleep_vector;
+  checkpoint.config = task.solution.config;
+  checkpoint.leakage_na = task.solution.leakage_na;
+  checkpoint.delay_ps = task.solution.delay_ps;
+  return opt::write_checkpoint(checkpoint);
+}
+
+/// Atomic (temp + rename) best-effort write. Losing a ledger write costs
+/// re-solved subtrees after a crash, never the current run.
+void write_ledger_file(const std::string& path, const Json& header,
+                       const std::vector<Task>& tasks) {
+  Json doc = header;
+  Json::Array entries;
+  entries.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    // A cancelled (interrupted) completion holds a best-so-far incumbent,
+    // not the subtree's canonical result: journal it as unfinished with
+    // its latest token so a resume finishes the work instead of merging a
+    // partial answer as final.
+    const bool settled = task.done && !task.interrupted;
+    Json entry = Json::object();
+    entry.set("bits", task.bits);
+    entry.set("done", settled);
+    entry.set("token", settled ? synth_done_token(task) : task.token);
+    entries.push_back(std::move(entry));
+  }
+  doc.set("tasks", Json(std::move(entries)));
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw Error(ErrorCode::kIo, "cannot write " + tmp);
+      out << doc.dump() << '\n';
+      out.flush();
+      if (!out) throw Error(ErrorCode::kIo, "short write on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw Error(ErrorCode::kIo, "cannot rename " + tmp);
+    }
+  } catch (const std::exception& e) {
+    log_warn(std::string("job ledger: ") + e.what());
+  }
+}
+
+/// Restores prior progress from `path` into the freshly recomputed task
+/// set. Every entry must match a task (bits + token fingerprint, which
+/// covers the circuit, penalty and every search knob); any mismatch or
+/// parse failure discards the whole ledger -- resuming is optional, never
+/// load-bearing. Returns true when anything was restored.
+bool load_ledger_file(const std::string& path, std::vector<Task>& tasks) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  bool restored = false;
+  std::vector<Task> patched = tasks;
+  try {
+    const Json doc = Json::parse(text.str());
+    const Json* magic = doc.get("svtox_ledger");
+    if (magic == nullptr || magic->as_int() != 1) {
+      throw Error(ErrorCode::kParse, "not a svtox job ledger");
+    }
+    const Json* entries = doc.get("tasks");
+    if (entries == nullptr || !entries->is_array()) {
+      throw Error(ErrorCode::kParse, "ledger without a tasks array");
+    }
+    for (const Json& entry : entries->as_array()) {
+      const Json* bits = entry.get("bits");
+      const Json* token = entry.get("token");
+      if (bits == nullptr || token == nullptr) {
+        throw Error(ErrorCode::kParse, "malformed ledger entry");
+      }
+      auto it = std::find_if(
+          patched.begin(), patched.end(),
+          [&](const Task& task) { return task.bits == bits->as_string(); });
+      if (it == patched.end()) {
+        throw Error(ErrorCode::kParse, "subtree '" + bits->as_string() + "' not in this job");
+      }
+      const opt::SearchCheckpoint checkpoint =
+          opt::parse_checkpoint(token->as_string());
+      if (checkpoint.fingerprint != it->fingerprint) {
+        throw Error(ErrorCode::kParse, "token fingerprint mismatch for subtree " + it->bits);
+      }
+      const Json* done = entry.get("done");
+      if (done != nullptr && done->as_bool(false)) {
+        if (!checkpoint.tree_done) {
+          throw Error(ErrorCode::kParse, "done entry without a tree_done token");
+        }
+        it->done = true;
+        it->interrupted = false;
+        it->solution = checkpoint_solution(checkpoint);
+        it->token = token->as_string();
+        it->token_progress = checkpoint_progress(checkpoint);
+        restored = true;
+      } else if (checkpoint_progress(checkpoint) > it->token_progress) {
+        it->token = token->as_string();
+        it->token_progress = checkpoint_progress(checkpoint);
+        restored = true;
+      }
+    }
+  } catch (const std::exception& e) {
+    log_warn("job ledger: discarding " + path + " (" + e.what() + ")");
+    return false;
+  }
+  tasks = std::move(patched);
+  return restored;
+}
+
 }  // namespace
 
 core::MethodResult distributed_search(const JobSpec& spec, DistSearchContext& ctx) {
@@ -380,7 +536,45 @@ core::MethodResult distributed_search(const JobSpec& spec, DistSearchContext& ct
     task.token = opt::write_checkpoint(token);
   }
 
+  // Coordinator failover: adopt any prior run's ledger before the board is
+  // built, so completed subtrees never re-enter the ready queue.
+  const bool journal = !ctx.ledger_path.empty();
+  if (journal && load_ledger_file(ctx.ledger_path, tasks)) {
+    const std::size_t already_done = static_cast<std::size_t>(std::count_if(
+        tasks.begin(), tasks.end(), [](const Task& t) { return t.done; }));
+    log_info("distributed search: adopted ledger " + ctx.ledger_path + " (" +
+             std::to_string(already_done) + "/" + std::to_string(count) +
+             " subtrees already complete)");
+    if (ctx.adopted != nullptr) {
+      ctx.adopted->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   TaskBoard board(std::move(tasks));
+
+  Json ledger_header = Json::object();
+  std::thread ledger_writer;
+  std::atomic<bool> ledger_stop{false};
+  if (journal) {
+    ledger_header.set("svtox_ledger", 1);
+    ledger_header.set("owner", ctx.cluster != nullptr
+                                   ? ctx.cluster->options().self
+                                   : std::string());
+    ledger_header.set("spec", job_spec_to_json(spec));
+    // Initial write before any work: a coordinator crash from here on
+    // leaves an adoptable journal.
+    write_ledger_file(ctx.ledger_path, ledger_header, board.snapshot());
+    ledger_writer = std::thread([&board, &ctx, &ledger_header, &ledger_stop] {
+      std::uint64_t written = board.version();
+      while (!ledger_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const std::uint64_t version = board.version();
+        if (version == written) continue;
+        write_ledger_file(ctx.ledger_path, ledger_header, board.snapshot());
+        written = version;
+      }
+    });
+  }
 
   JobSpec base_spec = spec;  // outlives the dispatcher threads
   std::vector<std::thread> dispatchers;
@@ -420,11 +614,38 @@ core::MethodResult distributed_search(const JobSpec& spec, DistSearchContext& ct
       config.checkpoint_path = ctx.checkpoint_dir + "/" + board.peek(index).key + ".ckpt";
     }
     const core::MethodResult run = ctx.optimizer.run(method, config);
+    if (run.solution.interrupted && journal && !config.checkpoint_path.empty()) {
+      // Cancelled inline run: pull its last on-disk snapshot into the
+      // board token so the final ledger write resumes from it instead of
+      // from the stale pre-run token.
+      if (const std::optional<opt::SearchCheckpoint> snap =
+              opt::load_checkpoint_file(config.checkpoint_path,
+                                        board.peek(index).fingerprint)) {
+        board.update_token(index, opt::write_checkpoint(*snap),
+                           checkpoint_progress(*snap));
+      }
+    }
     board.complete(index, run.solution, run.solution.interrupted);
   }
   for (std::thread& dispatcher : dispatchers) dispatcher.join();
+  if (ledger_writer.joinable()) {
+    ledger_stop.store(true, std::memory_order_relaxed);
+    ledger_writer.join();
+  }
 
   const std::vector<Task> done = board.take();
+  if (journal) {
+    bool any_interrupted = false;
+    for (const Task& task : done) any_interrupted |= task.interrupted;
+    if (any_interrupted) {
+      // Keep the journal current so a resubmission (or an adopting peer)
+      // resumes from every subtree's final token.
+      write_ledger_file(ctx.ledger_path, ledger_header, done);
+    } else {
+      std::remove(ctx.ledger_path.c_str());
+      std::remove((ctx.ledger_path + ".tmp").c_str());
+    }
+  }
   opt::Solution best = seed;
   std::uint64_t nodes = seed.nodes_visited;
   std::uint64_t leaves = seed.states_explored;

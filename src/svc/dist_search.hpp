@@ -23,6 +23,20 @@
 //    or lets it run past steal_after_s (straggler / wedged node). A peer
 //    error requeues the task and retires the dispatcher; the inline drain
 //    is always a sufficient fallback.
+//
+// Coordinator failover: when `ledger_path` is set, the coordinator
+// journals a job ledger -- the (inlined) spec, plus each subtree's latest
+// migration token and completion state -- to disk with the same atomic
+// temp+rename discipline as SearchCheckpoint, refreshed by a small
+// background thread whenever progress lands. A restarted daemon (or a
+// peer that adopted the orphaned ledger via `adopt_jobs`) re-runs the
+// same spec: distributed_search finds the ledger, restores completed
+// subtrees verbatim (their tree_done tokens carry the full solution and
+// counters) and seeds the rest from their recorded tokens. Because every
+// subtree is a pure function of the spec, the resumed merge is
+// byte-identical to an uninterrupted run -- completed subtrees are never
+// re-solved and the counter totals stay seed + sum(shards). The ledger is
+// deleted on clean completion.
 #pragma once
 
 #include <atomic>
@@ -45,6 +59,11 @@ struct DistSearchContext {
   double poll_interval_s = 0.05;      ///< Remote status poll cadence.
   double queued_grace_s = 5.0;        ///< Steal from a peer that never starts.
   double steal_after_s = 30.0;        ///< Steal from a straggler.
+  /// Durable job ledger path (".ledger"); empty = no failover journal.
+  std::string ledger_path;
+  /// Bumped once when an existing ledger with restorable progress was
+  /// adopted (the svtox_jobs_adopted_total counter).
+  std::atomic<std::uint64_t>* adopted = nullptr;
 };
 
 /// Runs `spec` (subtrees >= 2, a splittable method, bench already inlined

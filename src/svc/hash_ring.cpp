@@ -44,4 +44,26 @@ const std::string& HashRing::owner(const std::string& key) const {
   return members_[it->second];
 }
 
+std::vector<std::string> HashRing::owners(const std::string& key,
+                                          std::size_t r) const {
+  if (r < 1) throw ContractError("hash ring owners() needs r >= 1");
+  const std::uint64_t h = Fnv().str(key).value();
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const auto& point, std::uint64_t value) { return point.first < value; });
+  const std::size_t start =
+      it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+  const std::size_t want = std::min(r, members_.size());
+  std::vector<std::string> out;
+  out.reserve(want);
+  std::vector<bool> taken(members_.size(), false);
+  for (std::size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+    const std::size_t m = points_[(start + step) % points_.size()].second;
+    if (taken[m]) continue;
+    taken[m] = true;
+    out.push_back(members_[m]);
+  }
+  return out;
+}
+
 }  // namespace svtox::svc

@@ -12,9 +12,11 @@
 //  * Virtual nodes smooth the key distribution, so one member does not
 //    own a disproportionate arc just because its single hash landed badly.
 //
-// The ring is immutable after construction -- membership is static per
-// daemon invocation (no failure detector); a dead owner degrades reads to
-// local-only at the call site instead of re-ringing.
+// A HashRing instance is immutable after construction; dynamic membership
+// is layered on top by svc::Cluster, which swaps whole ring snapshots
+// behind an epoch counter. `owners(key, r)` returns the successor list
+// (primary plus the next r-1 distinct members walking the ring), which the
+// distributed cache uses for replication and owner-failure fallback.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,12 @@ class HashRing {
   /// The member owning `key`. Deterministic across processes for equal
   /// member sets.
   const std::string& owner(const std::string& key) const;
+
+  /// The first min(r, size()) distinct members at or after FNV-1a(key),
+  /// walking the ring clockwise: owners(key, r)[0] == owner(key), and the
+  /// rest are the replica successors in deterministic order. Throws
+  /// ContractError when r < 1.
+  std::vector<std::string> owners(const std::string& key, std::size_t r) const;
 
   const std::vector<std::string>& members() const { return members_; }
   std::size_t size() const { return members_.size(); }

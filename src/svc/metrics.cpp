@@ -1,5 +1,7 @@
 #include "svc/metrics.hpp"
 
+#include <cstdio>
+
 namespace svtox::svc {
 
 namespace {
@@ -19,12 +21,20 @@ void sample(std::string& out, const std::string& name, const std::string& labels
   out += name + "{" + labels + "} " + std::to_string(value) + "\n";
 }
 
+void sample_f(std::string& out, const std::string& name, const std::string& labels,
+              double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out += name + "{" + labels + "} " + buffer + "\n";
+}
+
 }  // namespace
 
 std::string render_prometheus(const SchedulerStats& scheduler,
                               const std::vector<CacheStats>& shards,
                               const DistCacheStats* dist,
-                              const ServerNetStats& net) {
+                              const ServerNetStats& net,
+                              const std::vector<PeerHealthSnapshot>* peers) {
   std::string out;
   out.reserve(4096);
 
@@ -35,6 +45,11 @@ std::string render_prometheus(const SchedulerStats& scheduler,
   sample(out, "svtox_jobs_total", "event=\"cancelled\"", scheduler.cancelled);
   sample(out, "svtox_jobs_total", "event=\"executed\"", scheduler.executed);
   sample(out, "svtox_jobs_total", "event=\"retried\"", scheduler.retried);
+
+  header(out, "svtox_jobs_adopted_total",
+         "Coordinator job ledgers adopted and resumed after a failover.",
+         "counter");
+  sample(out, "svtox_jobs_adopted_total", scheduler.jobs_adopted);
 
   header(out, "svtox_queue_depth", "Jobs waiting in the priority queue.", "gauge");
   sample(out, "svtox_queue_depth", scheduler.queued);
@@ -81,6 +96,27 @@ std::string render_prometheus(const SchedulerStats& scheduler,
            dist->remote_abandons);
     sample(out, "svtox_dist_cache_total", "event=\"peer_failure\"",
            dist->peer_failures);
+    header(out, "svtox_cache_replica_fallbacks_total",
+           "Cache fetches served by a successor after the primary owner failed.",
+           "counter");
+    sample(out, "svtox_cache_replica_fallbacks_total", dist->replica_fallbacks);
+  }
+
+  if (peers != nullptr && !peers->empty()) {
+    header(out, "svtox_peer_up",
+           "Peer health from heartbeats (1 up, 0.5 suspect, 0 down).", "gauge");
+    for (const PeerHealthSnapshot& peer : *peers) {
+      const double up = peer.health == PeerHealth::kUp     ? 1.0
+                        : peer.health == PeerHealth::kSuspect ? 0.5
+                                                              : 0.0;
+      sample_f(out, "svtox_peer_up", "peer=\"" + peer.member + "\"", up);
+    }
+    header(out, "svtox_heartbeat_latency_seconds",
+           "Smoothed heartbeat round-trip time per peer.", "gauge");
+    for (const PeerHealthSnapshot& peer : *peers) {
+      sample_f(out, "svtox_heartbeat_latency_seconds",
+               "peer=\"" + peer.member + "\"", peer.latency_s);
+    }
   }
 
   header(out, "svtox_net_bytes_total", "Request/response bytes by transport.",

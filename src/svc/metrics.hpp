@@ -28,10 +28,12 @@ struct ServerNetStats {
 };
 
 /// Renders all daemon counters as Prometheus text. `dist` may be null
-/// (daemon running without --peers).
+/// (daemon running without --peers); `peers` may be null or empty (no
+/// cluster, or heartbeats disabled).
 std::string render_prometheus(const SchedulerStats& scheduler,
                               const std::vector<CacheStats>& shards,
                               const DistCacheStats* dist,
-                              const ServerNetStats& net);
+                              const ServerNetStats& net,
+                              const std::vector<PeerHealthSnapshot>* peers = nullptr);
 
 }  // namespace svtox::svc

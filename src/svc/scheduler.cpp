@@ -1,7 +1,9 @@
 #include "svc/scheduler.hpp"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -395,8 +397,75 @@ SchedulerStats Scheduler::stats() const {
   out.queued = queue_->size();
   out.running = running_.load(std::memory_order_relaxed);
   out.workers = options_.workers;
+  out.jobs_adopted = jobs_adopted_.load(std::memory_order_relaxed);
   out.cache = cache_->stats();
   return out;
+}
+
+void Scheduler::release_ledger(const std::string& path) {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  auto it = std::find(active_ledgers_.begin(), active_ledgers_.end(), path);
+  if (it != active_ledgers_.end()) active_ledgers_.erase(it);
+}
+
+std::size_t Scheduler::adopt_orphaned_jobs(bool force) {
+  if (options_.checkpoint_dir.empty()) return 0;
+  std::vector<std::string> ledgers;
+  if (DIR* dir = ::opendir(options_.checkpoint_dir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      const std::string suffix = ".ledger";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        ledgers.push_back(options_.checkpoint_dir + "/" + name);
+      }
+    }
+    ::closedir(dir);
+  }
+  std::size_t adopted = 0;
+  for (const std::string& path : ledgers) {
+    {
+      std::lock_guard<std::mutex> lock(ledger_mu_);
+      if (std::find(active_ledgers_.begin(), active_ledgers_.end(), path) !=
+          active_ledgers_.end()) {
+        continue;  // a job of ours is journaling to it right now
+      }
+    }
+    try {
+      std::ifstream in(path);
+      if (!in) continue;
+      std::ostringstream text;
+      text << in.rdbuf();
+      const Json doc = Json::parse(text.str());
+      const Json* magic = doc.get("svtox_ledger");
+      const Json* spec_json = doc.get("spec");
+      if (magic == nullptr || magic->as_int() != 1 || spec_json == nullptr) {
+        log_warn("adopt: ignoring malformed ledger " + path);
+        continue;
+      }
+      const Json* owner_json = doc.get("owner");
+      const std::string owner =
+          owner_json != nullptr ? owner_json->as_string() : std::string();
+      if (!force && !owner.empty() && cluster_ != nullptr &&
+          !cluster_->is_self(owner) &&
+          cluster_->health(owner) != PeerHealth::kDown) {
+        // The recorded coordinator is (still) alive: the orphan is not an
+        // orphan. An operator can override with force.
+        continue;
+      }
+      JobSpec spec = job_spec_from_json(*spec_json);
+      if (const std::optional<JobId> id = try_submit(spec)) {
+        log_info("adopt: resubmitted ledger " + path + " (owner '" + owner +
+                 "') as job " + std::to_string(*id));
+        ++adopted;
+      } else {
+        log_warn("adopt: queue full, leaving ledger " + path + " for later");
+      }
+    } catch (const std::exception& e) {
+      log_warn("adopt: skipping ledger " + path + " (" + e.what() + ")");
+    }
+  }
+  return adopted;
 }
 
 void Scheduler::finish(JobRecord& record, JobResult result, JobStatus status) {
@@ -538,7 +607,26 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
                                options_.dist_poll_interval_s,
                                /*queued_grace_s=*/5.0,
                                options_.dist_steal_after_s};
-        run = distributed_search(spec, dist);
+        dist.adopted = &jobs_adopted_;
+        if (!options_.checkpoint_dir.empty()) {
+          // Content-addressed failover journal: any resubmission of the
+          // same coordinator job (this daemon restarted, or a peer that
+          // adopted the orphan) finds and resumes it.
+          dist.ledger_path = options_.checkpoint_dir + "/" + job_key + ".ledger";
+        }
+        // Mark the ledger live so adopt_orphaned_jobs never resubmits a
+        // job this scheduler is still running.
+        if (!dist.ledger_path.empty()) {
+          std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+          active_ledgers_.push_back(dist.ledger_path);
+        }
+        try {
+          run = distributed_search(spec, dist);
+        } catch (...) {
+          if (!dist.ledger_path.empty()) release_ledger(dist.ledger_path);
+          throw;
+        }
+        if (!dist.ledger_path.empty()) release_ledger(dist.ledger_path);
       } else {
         run = optimizer.run(method, config);
       }

@@ -57,6 +57,7 @@ struct SchedulerStats {
   std::uint64_t cancelled = 0;
   std::uint64_t executed = 0;    ///< Actually solved (not cache-served).
   std::uint64_t retried = 0;     ///< Re-run attempts after retryable errors.
+  std::uint64_t jobs_adopted = 0;  ///< Coordinator ledgers restored (failover).
   std::size_t queued = 0;
   std::size_t running = 0;
   int workers = 0;
@@ -123,6 +124,15 @@ class Scheduler {
   SchedulerStats stats() const;
   SolutionCache& cache() { return *cache_; }
 
+  /// Coordinator failover: scans checkpoint_dir for orphaned job ledgers
+  /// (left by a crashed coordinator) and resubmits their specs, which
+  /// resume from the journaled per-subtree tokens. Ledgers owned by this
+  /// scheduler's currently-running jobs are never adopted; ledgers whose
+  /// recorded owner is another cluster member are only adopted when that
+  /// member is down (or `force` is set). Returns the number of jobs
+  /// resubmitted.
+  std::size_t adopt_orphaned_jobs(bool force = false);
+
   /// Stops the pool. drain=true (the default, and what the destructor
   /// does) lets queued jobs run to completion first; drain=false cancels
   /// the backlog and only finishes the jobs already running. With
@@ -143,6 +153,7 @@ class Scheduler {
   void execute(WorkerState& state, JobRecord& record);
   std::shared_ptr<JobRecord> find(JobId id) const;
   void finish(JobRecord& record, JobResult result, JobStatus status);
+  void release_ledger(const std::string& path);
 
   Options options_;
   std::unique_ptr<SolutionCache> cache_;
@@ -167,8 +178,14 @@ class Scheduler {
   std::mutex shutdown_mu_;  ///< Serializes shutdown(); taken before mu_.
   bool stopped_ = false;    ///< Guarded by shutdown_mu_.
 
+  std::mutex ledger_mu_;
+  /// Ledger paths of coordinator jobs currently running here -- never
+  /// candidates for adoption (they are not orphaned).
+  std::vector<std::string> active_ledgers_;
+
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> jobs_adopted_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -342,6 +342,7 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     jobs.set("cancelled", stats.cancelled);
     jobs.set("executed", stats.executed);
     jobs.set("retried", stats.retried);
+    jobs.set("adopted", stats.jobs_adopted);
     jobs.set("queued", stats.queued);
     jobs.set("running", stats.running);
     jobs.set("workers", stats.workers);
@@ -362,7 +363,30 @@ Json Server::dispatch(const Json& request, bool& close_after) {
       dist_json.set("remote_publishes", d.remote_publishes);
       dist_json.set("remote_abandons", d.remote_abandons);
       dist_json.set("peer_failures", d.peer_failures);
+      dist_json.set("replica_fallbacks", d.replica_fallbacks);
       reply.set("dist_cache", dist_json);
+    }
+    if (const Cluster* cluster = scheduler_.cluster()) {
+      Json cluster_json = Json::object();
+      cluster_json.set("self", cluster->self());
+      cluster_json.set("epoch", cluster->epoch());
+      Json::Array members;
+      for (const std::string& member : cluster->members()) {
+        members.push_back(Json(member));
+      }
+      cluster_json.set("members", Json(std::move(members)));
+      Json::Array peers;
+      for (const PeerHealthSnapshot& peer : cluster->health_snapshot()) {
+        Json peer_json = Json::object();
+        peer_json.set("member", peer.member);
+        peer_json.set("health", peer_health_name(peer.health));
+        peer_json.set("latency_s", peer.latency_s);
+        peer_json.set("since_ok_s", peer.since_ok_s);
+        peer_json.set("failures", peer.failures);
+        peers.push_back(std::move(peer_json));
+      }
+      cluster_json.set("peers", Json(std::move(peers)));
+      reply.set("cluster", cluster_json);
     }
     const ServerNetStats net = net_stats();
     Json net_json = Json::object();
@@ -383,11 +407,15 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     DistCacheStats dist_stats;
     const DistributedCache* dist = scheduler_.dist_cache();
     if (dist != nullptr) dist_stats = dist->stats();
+    std::vector<PeerHealthSnapshot> peers;
+    if (const Cluster* cluster = scheduler_.cluster()) {
+      peers = cluster->health_snapshot();
+    }
     Json reply = Json::object();
     reply.set("ok", true);
     reply.set("metrics", render_prometheus(stats, shards,
                                            dist != nullptr ? &dist_stats : nullptr,
-                                           net_stats()));
+                                           net_stats(), &peers));
     return reply;
   }
 
@@ -430,9 +458,12 @@ Json Server::dispatch(const Json& request, bool& close_after) {
     // Blocks while this shard has an inflight solve for the key: a remote
     // caller parking here until the local publish IS the cluster-wide
     // dedup. A miss makes the caller this shard's inflight owner -- it
-    // owes a cache_publish or cache_abandon.
+    // owes a cache_publish or cache_abandon. `wait_s` bounds the park so a
+    // crashed owner degrades the caller to a duplicate solve, not a hang.
+    const Json* wait = request.get("wait_s");
+    const double wait_s = wait != nullptr ? wait->as_number(0.0) : 0.0;
     if (std::optional<JobResult> hit =
-            scheduler_.cache().fetch_or_lock(key->as_string())) {
+            scheduler_.cache().fetch_or_lock(key->as_string(), wait_s)) {
       reply.set("hit", true);
       reply.set("result", job_result_to_json(*hit, /*include_solution=*/true));
     } else {
@@ -454,6 +485,81 @@ Json Server::dispatch(const Json& request, bool& close_after) {
       scheduler_.cache().publish(key->as_string(), job_result_from_json(*payload));
     } else {
       scheduler_.cache().abandon(key->as_string());
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    return reply;
+  }
+
+  if (cmd == "ping") {
+    // The heartbeat probe: deliberately cheap (no scheduler locks) so a
+    // loaded daemon still answers within the suspect window.
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("pong", true);
+    if (const Cluster* cluster = scheduler_.cluster()) {
+      reply.set("self", cluster->self());
+      reply.set("epoch", cluster->epoch());
+    }
+    return reply;
+  }
+
+  if (cmd == "cluster_reload") {
+    Cluster* cluster = scheduler_.cluster();
+    if (cluster == nullptr) {
+      return error_reply("daemon is not running in cluster mode");
+    }
+    bool changed = false;
+    const Json* members = request.get("members");
+    if (members != nullptr && members->is_array()) {
+      std::vector<std::string> list;
+      for (const Json& member : members->as_array()) {
+        if (!member.is_string()) {
+          return error_reply("'members' must be an array of host:port strings");
+        }
+        list.push_back(member.as_string());
+      }
+      changed = cluster->reload(std::move(list));
+    } else {
+      changed = cluster->reload_from_file();
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("changed", changed);
+    reply.set("epoch", cluster->epoch());
+    Json::Array list;
+    for (const std::string& member : cluster->members()) {
+      list.push_back(Json(member));
+    }
+    reply.set("members", Json(std::move(list)));
+    return reply;
+  }
+
+  if (cmd == "adopt_jobs") {
+    const Json* force = request.get("force");
+    const std::size_t adopted =
+        scheduler_.adopt_orphaned_jobs(force != nullptr && force->as_bool(false));
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("adopted", adopted);
+    return reply;
+  }
+
+  if (cmd == "failpoints") {
+    // Chaos control plane: reconfigure the process-wide fail points at
+    // runtime (the chaos harness injects partitions this way). Only
+    // meaningful in instrumented builds; Release compiles the hooks out.
+    if (!FailPoints::compiled_in()) {
+      return error_reply("fail points are not compiled into this build");
+    }
+    const Json* spec = request.get("spec");
+    if (spec == nullptr || !spec->is_string()) {
+      return error_reply("'failpoints' needs a string 'spec'");
+    }
+    if (spec->as_string().empty()) {
+      FailPoints::instance().clear();
+    } else {
+      FailPoints::instance().configure(spec->as_string());
     }
     Json reply = Json::object();
     reply.set("ok", true);

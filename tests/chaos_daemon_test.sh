@@ -1,0 +1,246 @@
+#!/usr/bin/env bash
+# Network-chaos and failover smoke test for the self-healing cluster.
+#
+# Runs one batch manifest four ways and requires every run's result table
+# (runtime stripped) and solution files to be byte-identical to a 1-node
+# reference:
+#   1. single standalone daemon (the reference),
+#   2. a 3-node cluster with heartbeats + cache replication, where one
+#      worker gets fail-point-injected resets/delays on its transport and
+#      a second worker is SIGKILLed mid-run,
+#   3. a 2-node cluster whose *coordinator* is SIGKILLed mid-batch and
+#      restarted on the same port: the restarted daemon must adopt the
+#      on-disk job ledger and resume the merge without re-solving the
+#      completed subtrees (asserted via the jobs.adopted stats counter),
+# plus a membership phase:
+#   4. a daemon booted from a one-line peers file discovers a second node
+#      after the file is rewritten and SIGHUPed (epoch bump + peer up).
+#
+# usage: chaos_daemon_test.sh <svtox> <svtoxd> <workdir> <failpoints>
+#   <failpoints> is the build's SVTOX_FAILPOINTS value; anything but
+#   1/ON/TRUE skips the test (exit 77, ctest SKIP_RETURN_CODE).
+set -u
+
+SVTOX=$1
+SVTOXD=$2
+WORK=$3
+FAILPOINTS=${4:-0}
+
+case "$FAILPOINTS" in
+  1|ON|on|TRUE|true|YES|yes) ;;
+  *) echo "SKIP: fail points compiled out (SVTOX_FAILPOINTS=$FAILPOINTS)"; exit 77 ;;
+esac
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+PIDS=()
+
+stop_all() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -TERM "$pid" 2>/dev/null
+  done
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    wait "$pid" 2>/dev/null
+  done
+  PIDS=()
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/*.log; do
+    [ -f "$log" ] && tail -40 "$log" | sed "s#^#  $(basename "$log"): #" >&2
+  done
+  stop_all
+  exit 1
+}
+
+launch() {  # <name> <port> [extra svtoxd args...]
+  local name=$1 port=$2
+  shift 2
+  local log="$WORK/$name.log"
+  : > "$log"
+  "$SVTOXD" --socket "$WORK/$name.sock" --workers 2 --listen-tcp "$port" \
+      --steal-after 10 "$@" > "$log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 50); do
+    grep -q "listening on tcp://" "$log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if grep -q "listening on tcp://" "$log" 2>/dev/null; then
+    PIDS+=("$pid")
+    LAUNCHED_PID=$pid
+    return 0
+  fi
+  wait "$pid" 2>/dev/null
+  return 1
+}
+
+forget_pid() {  # <pid> -- drop a PID we killed ourselves from the registry
+  local keep=()
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    [ "$pid" = "$1" ] || keep+=("$pid")
+  done
+  PIDS=(${keep[@]+"${keep[@]}"})
+}
+
+pick_ports() {  # <n> -> PORTS[]
+  PORTS=()
+  local tries=0
+  while [ "${#PORTS[@]}" -lt "$1" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 200 ] && fail "could not pick $1 distinct ports"
+    local p=$((20000 + RANDOM % 20000))
+    local dup=0
+    for q in ${PORTS[@]+"${PORTS[@]}"}; do [ "$q" = "$p" ] && dup=1; done
+    [ "$dup" = 0 ] && PORTS+=("$p")
+  done
+}
+
+raw() {  # <port> <json> -- one raw request; prints the reply
+  "$SVTOX" cmd --tcp "127.0.0.1:$1" --json "$2" 2>/dev/null
+}
+
+# The manifest: cache off so every run solves fresh (byte-identity is the
+# point); coordinator (subtree) jobs lead so worker kills land mid-merge.
+MANIFEST=$WORK/manifest.json
+cat > "$MANIFEST" <<EOF
+{"circuit":"c432","method":"state","penalty":10,"max_leaves":300,"time_limit":600,"subtrees":4,"vectors":500,"cache":false}
+{"circuit":"c880","method":"heu2","penalty":5,"max_leaves":400,"time_limit":600,"subtrees":4,"vectors":500,"cache":false}
+{"circuit":"c880","method":"heu1","penalty":5,"vectors":500,"cache":false}
+EOF
+
+# Result lines vary in runtime across runs, and in the client-side job id
+# when a batch resubmits after a daemon crash; strip both for the table.
+table_of() {  # <ndjson-file> <out-table>
+  sed -E 's/"runtime_s":[0-9.eE+-]+,?//; s/,?"job":[0-9]+//' "$1" > "$2"
+}
+
+run_batch() {  # <port> <tag>
+  local port=$1 tag=$2
+  mkdir -p "$WORK/out_$tag"
+  "$SVTOX" batch --manifest "$MANIFEST" --tcp "127.0.0.1:$port" \
+      --output-dir "$WORK/out_$tag" > "$WORK/results_$tag.json" 2> "$WORK/batch_$tag.log" \
+      || fail "batch $tag failed: $(cat "$WORK/batch_$tag.log")"
+  table_of "$WORK/results_$tag.json" "$WORK/table_$tag.txt"
+}
+
+compare_to_reference() {  # <tag>
+  local tag=$1
+  cmp -s "$WORK/table_ref.txt" "$WORK/table_$tag.txt" \
+      || fail "$tag result table differs from single-node reference
+$(diff "$WORK/table_ref.txt" "$WORK/table_$tag.txt" | head -10)"
+  for ref in "$WORK"/out_ref/*.solution; do
+    local name
+    name=$(basename "$ref")
+    cmp -s "$ref" "$WORK/out_$tag/$name" \
+        || fail "$tag solution $name differs from single-node reference"
+  done
+}
+
+HB="--heartbeat-interval 0.2 --suspect-after 0.6 --down-after 2"
+
+# --- Run 1: single-node reference. -----------------------------------------
+pick_ports 1
+launch ref "${PORTS[0]}" || fail "could not start reference daemon"
+run_batch "${PORTS[0]}" ref
+stop_all
+
+# --- Run 2: 3-node cluster under injected network chaos + a worker kill. ---
+pick_ports 3
+PA=${PORTS[0]} PB=${PORTS[1]} PC=${PORTS[2]}
+PEERS="127.0.0.1:$PA,127.0.0.1:$PB,127.0.0.1:$PC"
+launch a_chaos "$PA" --peers "$PEERS" --self "127.0.0.1:$PA" $HB \
+    --cache-replicas 1 --checkpoint-dir "$WORK/ckpt_a" \
+    || fail "could not start chaos node a"
+launch b_chaos "$PB" --peers "$PEERS" --self "127.0.0.1:$PB" $HB \
+    --cache-replicas 1 || fail "could not start chaos node b"
+launch c_chaos "$PC" --peers "$PEERS" --self "127.0.0.1:$PC" $HB \
+    --cache-replicas 1 || fail "could not start chaos node c"
+C_PID=$LAUNCHED_PID
+
+# Arm chaos on worker b: the first 60 receives each eat a 2 ms delay, and
+# 3 sends die with an injected RST mid-frame. Peers must retry/steal
+# around it; the client never talks to b directly.
+raw "$PB" '{"cmd":"failpoints","spec":"net_recv=delay*60:2,net_send=reset-after*3:65536"}' \
+    | grep -q '"ok":true' || fail "could not arm fail points on node b"
+
+mkdir -p "$WORK/out_chaos"
+"$SVTOX" batch --manifest "$MANIFEST" --tcp "127.0.0.1:$PA" \
+    --output-dir "$WORK/out_chaos" > "$WORK/results_chaos.json" 2> "$WORK/batch_chaos.log" &
+BATCH_PID=$!
+sleep 2
+kill -KILL "$C_PID" 2>/dev/null || echo "note: node c exited before the kill" >&2
+forget_pid "$C_PID"
+wait "$BATCH_PID" || fail "chaos batch failed: $(cat "$WORK/batch_chaos.log")"
+table_of "$WORK/results_chaos.json" "$WORK/table_chaos.txt"
+compare_to_reference chaos
+stop_all
+
+# --- Run 3: coordinator SIGKILLed mid-batch, restarted, ledger adopted. ----
+pick_ports 2
+PA=${PORTS[0]} PB=${PORTS[1]}
+PEERS="127.0.0.1:$PA,127.0.0.1:$PB"
+launch a_fo "$PB" --peers "$PEERS" --self "127.0.0.1:$PB" $HB \
+    || fail "could not start failover worker"
+launch c_fo "$PA" --peers "$PEERS" --self "127.0.0.1:$PA" $HB \
+    --checkpoint-dir "$WORK/ckpt_fo" --checkpoint-every 0.2 \
+    || fail "could not start failover coordinator"
+CO_PID=$LAUNCHED_PID
+mkdir -p "$WORK/out_failover"
+"$SVTOX" batch --manifest "$MANIFEST" --tcp "127.0.0.1:$PA" \
+    --output-dir "$WORK/out_failover" > "$WORK/results_failover.json" \
+    2> "$WORK/batch_failover.log" &
+BATCH_PID=$!
+sleep 2
+kill -KILL "$CO_PID" 2>/dev/null || echo "note: coordinator finished early" >&2
+forget_pid "$CO_PID"
+ls "$WORK/ckpt_fo"/*.ledger >/dev/null 2>&1 \
+    || echo "note: no ledger on disk at kill time (batch may have finished)" >&2
+sleep 0.5
+# Same port, same checkpoint dir: the client's resubmit lands on the
+# restarted daemon, which finds the job's ledger and resumes the merge.
+launch c_fo2 "$PA" --peers "$PEERS" --self "127.0.0.1:$PA" $HB \
+    --checkpoint-dir "$WORK/ckpt_fo" --checkpoint-every 0.2 --adopt-jobs \
+    || fail "could not restart failover coordinator"
+wait "$BATCH_PID" || fail "failover batch failed: $(cat "$WORK/batch_failover.log")"
+table_of "$WORK/results_failover.json" "$WORK/table_failover.txt"
+compare_to_reference failover
+raw "$PA" '{"cmd":"stats"}' > "$WORK/stats_failover.json" \
+    || fail "stats after failover failed"
+grep -Eq '"adopted":[1-9]' "$WORK/stats_failover.json" \
+    || fail "restarted coordinator adopted no job ledger: $(cat "$WORK/stats_failover.json")"
+# Clean completion after the resume removes the ledger again.
+if ls "$WORK/ckpt_fo"/*.ledger >/dev/null 2>&1; then
+  fail "ledger left behind after the resumed job completed"
+fi
+stop_all
+
+# --- Run 4: peers-file membership reload via SIGHUP. -----------------------
+pick_ports 2
+PA=${PORTS[0]} PB=${PORTS[1]}
+PEERS_FILE=$WORK/peers.txt
+echo "127.0.0.1:$PA" > "$PEERS_FILE"
+launch a_reload "$PA" --peers-file "$PEERS_FILE" --self "127.0.0.1:$PA" $HB \
+    || fail "could not start reload daemon"
+A_PID=$LAUNCHED_PID
+launch b_reload "$PB" || fail "could not start reload peer"
+raw "$PA" '{"cmd":"stats"}' | grep -q '"epoch":1' \
+    || fail "fresh daemon should be at membership epoch 1"
+printf '127.0.0.1:%s\n127.0.0.1:%s\n' "$PA" "$PB" > "$PEERS_FILE"
+kill -HUP "$A_PID" || fail "could not SIGHUP reload daemon"
+UP=0
+for _ in $(seq 1 50); do
+  STATS=$(raw "$PA" '{"cmd":"stats"}')
+  if echo "$STATS" | grep -q '"epoch":2' &&
+     echo "$STATS" | grep -q "127.0.0.1:$PB\",\"health\":\"up\""; then
+    UP=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$UP" = 1 ] || fail "SIGHUP reload did not pick up the new peer: $STATS"
+stop_all
+
+echo "PASS: chaos / worker-kill / coordinator-failover runs byte-identical to single node; ledger adopted; SIGHUP membership reload works"
+exit 0

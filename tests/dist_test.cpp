@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <optional>
 #include <regex>
 #include <set>
@@ -14,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/conn.hpp"
 #include "net/listener.hpp"
 #include "svc/client.hpp"
 #include "svc/cluster.hpp"
@@ -22,6 +24,7 @@
 #include "svc/scheduler.hpp"
 #include "svc/server.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace svtox {
 namespace {
@@ -60,6 +63,61 @@ TEST(HashRing, SingleMemberOwnsEverything) {
   const svc::HashRing ring({"only:1"});
   EXPECT_EQ(ring.owner("anything"), "only:1");
   EXPECT_EQ(ring.owner(""), "only:1");
+}
+
+TEST(HashRing, OwnersAreDistinctStartWithOwnerAndClamp) {
+  const std::vector<std::string> members = {"a:1", "b:2", "c:3", "d:4", "e:5"};
+  const svc::HashRing ring(members);
+  EXPECT_THROW(ring.owners("k", 0), ContractError);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::vector<std::string> owners = ring.owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.owner(key));
+    std::set<std::string> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), owners.size()) << "duplicate successor for " << key;
+    // Asking for more replicas than members clamps to the full set.
+    EXPECT_EQ(ring.owners(key, 99).size(), members.size());
+  }
+}
+
+TEST(HashRing, OwnersAgreeAcrossInsertionOrders) {
+  const svc::HashRing forward({"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000",
+                               "10.0.0.4:7000"});
+  const svc::HashRing backward({"10.0.0.4:7000", "10.0.0.3:7000", "10.0.0.2:7000",
+                                "10.0.0.1:7000"});
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(forward.owners(key, 3), backward.owners(key, 3));
+  }
+}
+
+TEST(HashRing, RemovingOneMemberOnlyMovesItsOwnKeys) {
+  const std::vector<std::string> members = {"a:1", "b:2", "c:3", "d:4", "e:5"};
+  const std::string removed = "c:3";
+  std::vector<std::string> rest;
+  for (const std::string& m : members) {
+    if (m != removed) rest.push_back(m);
+  }
+  const svc::HashRing before(members);
+  const svc::HashRing after(rest);
+  const int kKeys = 4000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (before.owner(key) == removed) {
+      ++moved;  // must move; its owner left the ring
+      EXPECT_NE(after.owner(key), removed);
+    } else {
+      // Consistent hashing's defining property: keys not owned by the
+      // departed member keep their owner.
+      EXPECT_EQ(after.owner(key), before.owner(key));
+    }
+  }
+  // The removed member owned ~1/N of the space; allow 2x slack for hash
+  // imbalance at 64 vnodes.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 2 * kKeys / static_cast<int>(members.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -380,6 +438,128 @@ TEST(DistCache, UnreachablePeerDegradesToLocalSolves) {
   EXPECT_GE(dist->get("peer_failures")->as_int(), 1);
 
   node.shutdown();  // before `cluster` leaves scope
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership and the failure detector
+// ---------------------------------------------------------------------------
+
+TEST(DistCluster, ReloadSwapsRingAndBumpsEpoch) {
+  svc::ClusterOptions options;
+  options.members = {"10.0.0.1:7000", "10.0.0.2:7000"};
+  options.self = "10.0.0.1:7000";
+  svc::Cluster cluster(options);
+  EXPECT_EQ(cluster.epoch(), 1u);
+  EXPECT_EQ(cluster.size(), 2u);
+
+  // Adding a member changes the set: new ring, new epoch.
+  EXPECT_TRUE(cluster.reload({"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"}));
+  EXPECT_EQ(cluster.epoch(), 2u);
+  EXPECT_EQ(cluster.size(), 3u);
+
+  // Reloading the identical set (any order) is a no-op: no epoch churn.
+  EXPECT_FALSE(cluster.reload({"10.0.0.3:7000", "10.0.0.1:7000", "10.0.0.2:7000"}));
+  EXPECT_EQ(cluster.epoch(), 2u);
+
+  // Dropping self is invalid; the ring is untouched.
+  EXPECT_THROW(cluster.reload({"10.0.0.2:7000", "10.0.0.3:7000"}), ContractError);
+  EXPECT_EQ(cluster.size(), 3u);
+}
+
+TEST(DistCluster, HeartbeatMarksKilledPeerDownThenFailsFast) {
+  Node a("hb_a"), b("hb_b");
+  svc::ClusterOptions options;
+  options.members = {a.tcp(), b.tcp()};
+  options.self = a.tcp();
+  options.connect_attempts = 1;
+  options.heartbeat_interval_s = 0.05;
+  options.suspect_after_s = 0.15;
+  options.down_after_s = 0.5;
+  svc::Cluster cluster(options);
+  cluster.start();
+
+  // First successful ping: the peer reports up.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cluster.health(b.tcp()) != svc::PeerHealth::kUp &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(cluster.health(b.tcp()), svc::PeerHealth::kUp);
+
+  // Kill the peer; the detector must degrade it to down on its own.
+  b.shutdown();
+  while (cluster.health(b.tcp()) != svc::PeerHealth::kDown &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(cluster.health(b.tcp()), svc::PeerHealth::kDown);
+
+  // Requests to a down peer fail fast instead of burning a connect timeout.
+  Json ping = Json::object();
+  ping.set("cmd", "ping");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(cluster.request(b.tcp(), ping), Error);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 1.0);
+
+  cluster.stop();
+  a.shutdown();
+}
+
+// A crashed inflight owner must never wedge a caller: the first
+// fetch_or_lock takes the inflight lock and then "dies" (never publishes,
+// never abandons); the second passes wait_s and must come back a duplicate
+// solver within that bound instead of parking forever.
+TEST(DistCache, CrashedOwnerFetchOrLockDegradesWithinBoundedWait) {
+  Node node("boundedwait");
+  svc::Client owner(node.address());
+  svc::Client caller(node.address());
+
+  Json lock = Json::object();
+  lock.set("cmd", "cache_fetch_or_lock");
+  lock.set("key", "crashed_owner_key");
+  const Json granted = owner.request(lock);
+  ASSERT_TRUE(granted.get("ok")->as_bool(false));
+  ASSERT_FALSE(granted.get("hit")->as_bool(true));  // miss -> lock granted
+
+  Json bounded = lock;
+  bounded.set("wait_s", 0.3);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Json reply = caller.request(bounded);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ASSERT_TRUE(reply.get("ok")->as_bool(false));
+  EXPECT_FALSE(reply.get("hit")->as_bool(true));  // degraded to duplicate solve
+  EXPECT_GE(elapsed, 0.2);  // it did wait for the owner first
+  EXPECT_LT(elapsed, 5.0);  // ... but came back near the bound, not never
+}
+
+// Regression: an aborted handshake (connection reset between SYN and the
+// first frame) must not tear down the accept loop -- inject the reset with
+// a fail point, then prove the server still answers.
+TEST(DistNet, InjectedAcceptResetKeepsListenerServing) {
+  if (!FailPoints::compiled_in()) {
+    GTEST_SKIP() << "fail points compiled out (SVTOX_FAILPOINTS=0)";
+  }
+  Node node("acceptreset");
+  FailPoints::instance().configure("net_accept=reset-after*2");
+  // Two doomed handshakes: the server accepts and immediately resets each.
+  for (int i = 0; i < 2; ++i) {
+    net::Conn doomed(net::connect_tcp("127.0.0.1", node.server.tcp_port(), 2.0));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (FailPoints::instance().triggers("net_accept") < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(FailPoints::instance().triggers("net_accept"), 2u);
+  FailPoints::instance().clear();
+
+  // The listener survived: a normal client round-trips fine.
+  svc::Client client(node.address());
+  const Json stats = client.stats();
+  ASSERT_NE(stats.get("jobs"), nullptr);
 }
 
 }  // namespace

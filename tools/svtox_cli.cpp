@@ -15,6 +15,9 @@
 //   svtox batch      --manifest FILE (--socket PATH | --tcp HOST:PORT | --local)
 //                    [--workers N] [--cache-dir DIR] [--output-dir DIR]
 //   svtox stats      (--socket PATH | --tcp HOST:PORT) [--prometheus]
+//                    [--timeout SEC]
+//   svtox cmd        (--socket PATH | --tcp HOST:PORT) --json '{"cmd":...}'
+//                    [--timeout SEC]
 //   svtox hier       (--bench file.bench | --circuit NAME | --scale PRESET)
 //                    [--penalty PCT] [--method heu1|heu2|state|vtstate]
 //                    [--max-gates N] [--threads N] [--cache-dir DIR]
@@ -44,12 +47,25 @@
 // streaming one JSON result line per job; options per job are documented
 // in src/svc/job.hpp. `stats` queries a running daemon: by default the
 // stats JSON (job counters, per-shard cache hit/miss/inflight/eviction
-// counts, distributed-cache and network counters), with `--prometheus` the
-// same numbers in Prometheus text exposition format.
+// counts, distributed-cache, cluster-health and network counters), with
+// `--prometheus` the same numbers in Prometheus text exposition format.
+// Both `stats` and `cmd` bound their whole connect+request under
+// `--timeout` (default 2s/10s), so pointing them at a dead daemon fails
+// fast with a clean error instead of hanging in reconnect backoff.
+//
+// `cmd` sends one raw JSON request verbatim and prints the reply -- the
+// operator/chaos control plane for requests without a dedicated
+// subcommand (`failpoints`, `cluster_reload`, `adopt_jobs`, `ping`).
+//
+// `batch` against a daemon survives a daemon crash or restart: on a lost
+// connection it reconnects (bounded retry) and resubmits every
+// uncollected job. Server-side checkpoints and coordinator job ledgers
+// make those resubmissions resume rather than restart.
 #include <sys/stat.h>
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cmath>
 #include <cstdio>
@@ -60,6 +76,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/optimizer.hpp"
@@ -97,7 +114,7 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: svtox <characterize|optimize|hier|sweep|suite|batch|stats|"
-               "verify|timing> [options]\n"
+               "cmd|verify|timing> [options]\n"
                "see the header of tools/svtox_cli.cpp or README.md for details\n");
   return 2;
 }
@@ -119,7 +136,8 @@ const std::map<std::string, std::set<std::string>>& allowed_options() {
         "uniform-stack", "vt-only", "nitrided"}},
       {"batch",
        {"manifest", "socket", "tcp", "local", "workers", "cache-dir", "output-dir"}},
-      {"stats", {"socket", "tcp", "prometheus"}},
+      {"stats", {"socket", "tcp", "prometheus", "timeout"}},
+      {"cmd", {"socket", "tcp", "json", "timeout"}},
       {"hier",
        {"bench", "circuit", "scale", "penalty", "method", "max-gates", "threads",
         "cache-dir", "time-limit", "compare-flat", "output", "two-point",
@@ -557,10 +575,48 @@ int cmd_batch(const Args& args) {
     ids.push_back(client ? client->submit(spec) : scheduler->submit(spec));
   }
 
+  // Failover: a crashed/restarted daemon loses our connection AND our job
+  // ids. Reconnect (bounded) and resubmit every uncollected job --
+  // server-side checkpoints and coordinator ledgers turn the resubmission
+  // into a resume, not a restart.
+  auto resubmit_from = [&](std::size_t from) -> bool {
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      try {
+        svc::ClientOptions reconnect_options;
+        reconnect_options.connect_timeout_s = 2.0;
+        client.emplace(daemon_address(args), reconnect_options);
+        for (std::size_t j = from; j < specs.size(); ++j) {
+          ids[j] = client->submit(specs[j]);
+        }
+        return true;
+      } catch (const std::exception&) {
+        client.reset();
+      }
+    }
+    return false;
+  };
+
   int failures = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const svc::JobResult result =
-        client ? client->result(ids[i]) : scheduler->wait(ids[i]);
+    svc::JobResult result;
+    if (client) {
+      for (int tries = 0;; ++tries) {
+        try {
+          result = client->result(ids[i]);
+          break;
+        } catch (const Error& e) {
+          if (tries >= 2) throw;
+          std::fprintf(stderr,
+                       "batch: daemon connection lost (%s); resubmitting %zu "
+                       "uncollected job(s)\n",
+                       e.what(), specs.size() - i);
+          if (!resubmit_from(i)) throw;
+        }
+      }
+    } else {
+      result = scheduler->wait(ids[i]);
+    }
     if (result.status != svc::JobStatus::kDone) ++failures;
     if (!output_dir.empty() && !result.solution_text.empty()) {
       const std::string path = output_dir + "/" + solution_name(result, i);
@@ -582,7 +638,12 @@ int cmd_stats(const Args& args) {
     std::fprintf(stderr, "stats needs exactly one of --socket PATH or --tcp HOST:PORT\n");
     return 2;
   }
-  svc::Client client(daemon_address(args));
+  // Interactive probe: fail fast against a dead daemon (clean error, exit
+  // 1) instead of sitting in reconnect backoff.
+  svc::ClientOptions options;
+  options.connect_timeout_s = 1.0;
+  options.total_deadline_s = parse_double(args.get("timeout", "2"));
+  svc::Client client(daemon_address(args), options);
   if (args.has("prometheus")) {
     // Scrape-ready text: what a Prometheus exporter sidecar would relay.
     svc::Json request = svc::Json::object();
@@ -601,6 +662,25 @@ int cmd_stats(const Args& args) {
   }
   std::printf("%s\n", client.stats().dump().c_str());
   return 0;
+}
+
+int cmd_raw(const Args& args) {
+  if (args.has("socket") == args.has("tcp")) {
+    std::fprintf(stderr, "cmd needs exactly one of --socket PATH or --tcp HOST:PORT\n");
+    return 2;
+  }
+  if (!args.has("json")) {
+    std::fprintf(stderr, "cmd requires --json '{\"cmd\":...}'\n");
+    return 2;
+  }
+  svc::ClientOptions options;
+  options.connect_timeout_s = 2.0;
+  options.total_deadline_s = parse_double(args.get("timeout", "10"));
+  svc::Client client(daemon_address(args), options);
+  const svc::Json reply = client.request(svc::Json::parse(args.get("json")));
+  std::printf("%s\n", reply.dump().c_str());
+  const svc::Json* ok = reply.get("ok");
+  return ok != nullptr && ok->as_bool(false) ? 0 : 1;
 }
 
 int cmd_timing(const Args& args) {
@@ -672,6 +752,7 @@ int main(int argc, char** argv) {
     if (args.command == "suite") return cmd_suite(args);
     if (args.command == "batch") return cmd_batch(args);
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "cmd") return cmd_raw(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "timing") return cmd_timing(args);
   } catch (const std::exception& e) {

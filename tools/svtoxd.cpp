@@ -4,7 +4,9 @@
 //          [--cache-capacity N] [--cache-dir DIR] [--contexts N]
 //          [--checkpoint-dir DIR] [--checkpoint-every SEC]
 //          [--listen-tcp [HOST:]PORT] [--peers A,B,...] [--self HOST:PORT]
-//          [--max-connections N] [--steal-after SEC]
+//          [--peers-file PATH] [--heartbeat-interval SEC]
+//          [--suspect-after SEC] [--down-after SEC] [--cache-replicas N]
+//          [--adopt-jobs] [--max-connections N] [--steal-after SEC]
 //
 // Listens on a Unix-domain socket (newline-delimited JSON) and optionally
 // on TCP (--listen-tcp; the same JSON in length-prefixed frames) -- the
@@ -20,6 +22,15 @@
 // peers with checkpoint-token work-stealing. The peer list must be the
 // same on every member; --self names this daemon's own TCP address in that
 // list (default: 127.0.0.1:<bound port>).
+//
+// Self-healing: --heartbeat-interval starts a prober that pings every peer
+// and classifies it up/suspect/down (--suspect-after / --down-after);
+// down peers are routed around until they answer again. --cache-replicas N
+// replicates cache entries to the next N ring successors so a crashed
+// owner's keys stay served. --peers-file PATH makes membership dynamic:
+// SIGHUP (or a `cluster_reload` request) re-reads the file and swaps the
+// ring atomically. --adopt-jobs scans --checkpoint-dir at startup for job
+// ledgers orphaned by a crashed coordinator and resumes them.
 //
 // Exits on a `shutdown` request (draining the backlog unless
 // {"drain":false}). SIGINT/SIGTERM interrupt running searches instead of
@@ -51,7 +62,10 @@ int usage() {
                "              [--cache-capacity N] [--cache-dir DIR] [--contexts N]\n"
                "              [--checkpoint-dir DIR] [--checkpoint-every SEC]\n"
                "              [--listen-tcp [HOST:]PORT] [--peers A,B,...]\n"
-               "              [--self HOST:PORT] [--max-connections N]\n"
+               "              [--self HOST:PORT] [--peers-file PATH]\n"
+               "              [--heartbeat-interval SEC] [--suspect-after SEC]\n"
+               "              [--down-after SEC] [--cache-replicas N]\n"
+               "              [--adopt-jobs] [--max-connections N]\n"
                "              [--steal-after SEC]\n");
   return 2;
 }
@@ -64,8 +78,9 @@ int g_signal_pipe[2] = {-1, -1};
 // checkpoint) from a protocol shutdown (honor the request's drain flag).
 std::atomic<bool> g_signalled{false};
 
-void on_signal(int) {
-  const char byte = 1;
+void on_signal(int sig) {
+  // 1 = terminate (SIGINT/SIGTERM), 2 = reload peers file (SIGHUP).
+  const char byte = sig == SIGHUP ? 2 : 1;
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -105,6 +120,12 @@ int main(int argc, char** argv) {
   options.workers = 0;  // all hardware threads
   std::vector<std::string> peers;
   std::string self_address;
+  std::string peers_file;
+  double heartbeat_interval_s = 0.0;
+  double suspect_after_s = 3.0;
+  double down_after_s = 10.0;
+  int cache_replicas = 0;
+  bool adopt_jobs = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
@@ -139,6 +160,13 @@ int main(int argc, char** argv) {
       }
     } else if (key == "--peers") peers = split_csv(value());
     else if (key == "--self") self_address = value();
+    else if (key == "--peers-file") peers_file = value();
+    else if (key == "--heartbeat-interval")
+      heartbeat_interval_s = std::atof(value().c_str());
+    else if (key == "--suspect-after") suspect_after_s = std::atof(value().c_str());
+    else if (key == "--down-after") down_after_s = std::atof(value().c_str());
+    else if (key == "--cache-replicas") cache_replicas = std::atoi(value().c_str());
+    else if (key == "--adopt-jobs") adopt_jobs = true;
     else if (key == "--max-connections")
       server_options.max_connections = static_cast<std::size_t>(std::atol(value().c_str()));
     else if (key == "--steal-after")
@@ -150,8 +178,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!peers.empty() && server_options.tcp_port < 0) {
-    std::fprintf(stderr, "svtoxd: --peers requires --listen-tcp\n");
+  if ((!peers.empty() || !peers_file.empty()) && server_options.tcp_port < 0) {
+    std::fprintf(stderr, "svtoxd: --peers/--peers-file requires --listen-tcp\n");
     return 2;
   }
 
@@ -168,13 +196,30 @@ int main(int argc, char** argv) {
     // listener is bound (an ephemeral --listen-tcp 0 needs the real port
     // for the default self address).
     std::optional<svtox::svc::Cluster> cluster;
-    if (!peers.empty()) {
+    if (!peers.empty() || !peers_file.empty()) {
       svtox::svc::ClusterOptions cluster_options;
-      cluster_options.members = peers;
       cluster_options.self =
           self_address.empty() ? "127.0.0.1:" + std::to_string(server.tcp_port())
                                : self_address;
+      // A file-only start boots with just self; the reload below fills in
+      // the real membership (and SIGHUP keeps it current).
+      cluster_options.members =
+          peers.empty() ? std::vector<std::string>{cluster_options.self} : peers;
+      cluster_options.peers_file = absolute_dir(peers_file);
+      cluster_options.heartbeat_interval_s = heartbeat_interval_s;
+      cluster_options.suspect_after_s = suspect_after_s;
+      cluster_options.down_after_s = down_after_s;
+      cluster_options.cache_replicas = cache_replicas;
       cluster.emplace(cluster_options);
+      if (!peers_file.empty()) {
+        try {
+          cluster->reload_from_file();
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "svtoxd: cannot read peers file: %s\n", e.what());
+          return 2;
+        }
+      }
+      cluster->start();  // no-op when heartbeat_interval_s <= 0
       scheduler.set_cluster(&*cluster);
     }
 
@@ -184,12 +229,26 @@ int main(int argc, char** argv) {
     }
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::signal(SIGHUP, on_signal);
     std::signal(SIGPIPE, SIG_IGN);
-    std::thread signal_watcher([&server] {
+    std::thread signal_watcher([&server, &cluster] {
       char byte;
-      if (::read(g_signal_pipe[0], &byte, 1) > 0) {
+      while (::read(g_signal_pipe[0], &byte, 1) > 0) {
+        if (byte == 2) {
+          // SIGHUP: membership reload. Never fatal -- a bad file keeps the
+          // current ring.
+          if (cluster && !cluster->options().peers_file.empty()) {
+            try {
+              cluster->reload_from_file();
+            } catch (const std::exception& e) {
+              std::fprintf(stderr, "svtoxd: peers reload failed: %s\n", e.what());
+            }
+          }
+          continue;
+        }
         g_signalled.store(true);
         server.stop();
+        return;
       }
     });
 
@@ -204,6 +263,17 @@ int main(int argc, char** argv) {
     }
     if (!options.checkpoint_dir.empty()) {
       std::printf("svtoxd: checkpoint dir %s\n", options.checkpoint_dir.c_str());
+    }
+    if (cluster && heartbeat_interval_s > 0.0) {
+      std::printf("svtoxd: heartbeats every %.3gs (suspect %.3gs, down %.3gs)\n",
+                  heartbeat_interval_s, suspect_after_s, down_after_s);
+    }
+    if (adopt_jobs) {
+      const std::size_t adopted = scheduler.adopt_orphaned_jobs();
+      if (adopted > 0) {
+        std::printf("svtoxd: adopted %zu orphaned job%s from %s\n", adopted,
+                    adopted == 1 ? "" : "s", options.checkpoint_dir.c_str());
+      }
     }
     std::fflush(stdout);
 
