@@ -398,12 +398,15 @@ int main(int argc, char** argv) {
     row.set("build_s", build_s);
     row.set("hier_s", hr.runtime_s);
     row.set("partitions", hr.partitions);
+    row.set("levels", hr.levels);
     row.set("unique_solves", static_cast<double>(hr.unique_solves));
     row.set("cache_hits", static_cast<double>(hr.cache_hits));
     row.set("leakage_ua", hr.solution.leakage_na / 1e3);
     row.set("delay_ps", hr.solution.delay_ps);
     row.set("constraint_ps", hr.constraint_ps);
     row.set("repaired_gates", hr.repaired_gates);
+    row.set("refine_passes", hr.refine_passes_run);
+    row.set("refine_accepted", hr.refine_accepted);
     row.set("peak_rss_mib", rss);
     hier_rows.push_back(std::move(row));
   }
@@ -421,22 +424,38 @@ int main(int argc, char** argv) {
     const opt::AssignmentProblem problem(circuit, options.penalty_fraction);
     const opt::Solution flat = opt::heuristic1(problem);
     const double flat_s = timer.seconds();
-    const double gap =
-        100.0 * (hier.solution.leakage_na - flat.leakage_na) / flat.leakage_na;
+    const double ratio = hier.solution.leakage_na / flat.leakage_na;
+    const double gap = 100.0 * (ratio - 1.0);
     std::printf(
         "\ngap on c6288: hier %.3f uA (%.2fs) vs flat heu1 %.3f uA (%.2fs) "
-        "-> %+.1f%%\n",
+        "-> %+.1f%% (ratio %.4f)\n",
         hier.solution.leakage_na / 1e3, hier.runtime_s, flat.leakage_na / 1e3,
-        flat_s, gap);
+        flat_s, gap, ratio);
+    // The quality gate of the boundary-aware sweep + stitch-refine flow:
+    // the same assertion `svtox hier --compare-flat --max-gap` enforces.
+    const double max_gap = bench::env_double("SVTOX_SCALE_MAX_GAP", 1.10);
+    if (ratio > max_gap) {
+      std::fprintf(stderr,
+                   "FATAL: c6288 hier/flat leakage ratio %.4f exceeds %.4f "
+                   "(SVTOX_SCALE_MAX_GAP)\n",
+                   ratio, max_gap);
+      return 4;
+    }
 
     svc::Json row = svc::Json::object();
     row.set("circuit", "c6288");
     row.set("partition_max_gates", options.partition.max_gates);
     row.set("hier_leakage_ua", hier.solution.leakage_na / 1e3);
     row.set("hier_s", hier.runtime_s);
+    row.set("hier_levels", hier.levels);
+    row.set("hier_repaired_gates", hier.repaired_gates);
+    row.set("refine_passes", hier.refine_passes_run);
+    row.set("refine_accepted", hier.refine_accepted);
     row.set("flat_leakage_ua", flat.leakage_na / 1e3);
     row.set("flat_s", flat_s);
     row.set("gap_percent", gap);
+    row.set("hier_gap_ratio", ratio);
+    row.set("max_gap_ratio", max_gap);
     doc.set("gap_vs_flat", row);
   }
 

@@ -1,5 +1,7 @@
 #include "core/optimizer.hpp"
 
+#include <cstring>
+
 #include "sim/leakage_eval.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -37,18 +39,49 @@ StandbyOptimizer::StandbyOptimizer(const netlist::Netlist& netlist)
 
 StandbyOptimizer::~StandbyOptimizer() = default;
 
-const opt::AssignmentProblem& StandbyOptimizer::problem_for(double penalty) {
-  auto it = problems_.find(penalty);
+namespace {
+
+/// FNV-1a over the boundary points' bit patterns: a stable map key that
+/// separates problems built against different upstream timing contexts.
+/// Empty boundaries hash to 0, so the historical (penalty-only) entries
+/// keep their identity.
+std::uint64_t boundary_fingerprint(const sta::BoundaryTiming& boundary) {
+  if (boundary.empty()) return 0;
+  std::uint64_t hash = 14695981039346656037ULL;
+  auto feed = [&hash](double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const sta::BoundaryTiming::Point& point : boundary.points) {
+    feed(point.arrival_ps);
+    feed(point.slew_ps);
+  }
+  return hash;
+}
+
+}  // namespace
+
+const opt::AssignmentProblem& StandbyOptimizer::problem_for(
+    double penalty, const sta::BoundaryTiming& boundary) {
+  const auto key = std::make_pair(penalty, boundary_fingerprint(boundary));
+  auto it = problems_.find(key);
   if (it == problems_.end()) {
+    opt::ProblemOptions options;
+    options.boundary = boundary;
     it = problems_
-             .emplace(penalty,
-                      std::make_unique<opt::AssignmentProblem>(*netlist_, penalty))
+             .emplace(key, std::make_unique<opt::AssignmentProblem>(*netlist_, penalty,
+                                                                    options))
              .first;
   }
   return *it->second;
 }
 
-const opt::AssignmentProblem& StandbyOptimizer::vt_problem_for(double penalty) {
+const opt::AssignmentProblem& StandbyOptimizer::vt_problem_for(
+    double penalty, const sta::BoundaryTiming& boundary) {
   if (vt_library_ == nullptr) {
     // The Vt+state baseline [12] sees the same circuit through a dual-Vt
     // library with no thick-oxide versions.
@@ -60,11 +93,14 @@ const opt::AssignmentProblem& StandbyOptimizer::vt_problem_for(double penalty) {
     vt_netlist_ = std::make_unique<netlist::Netlist>(
         netlist::rebind(*netlist_, *vt_library_));
   }
-  auto it = vt_problems_.find(penalty);
+  const auto key = std::make_pair(penalty, boundary_fingerprint(boundary));
+  auto it = vt_problems_.find(key);
   if (it == vt_problems_.end()) {
+    opt::ProblemOptions options;
+    options.boundary = boundary;
     it = vt_problems_
-             .emplace(penalty,
-                      std::make_unique<opt::AssignmentProblem>(*vt_netlist_, penalty))
+             .emplace(key, std::make_unique<opt::AssignmentProblem>(*vt_netlist_,
+                                                                    penalty, options))
              .first;
   }
   return *it->second;
@@ -107,6 +143,7 @@ SearchPlan StandbyOptimizer::search_plan(Method method, const RunConfig& config)
   options.checkpoint_every_leaves = config.checkpoint_every_leaves;
   options.subtree_prefix = config.subtree_prefix;
   options.resume_text = config.resume_text;
+  options.pinned_inputs = config.pinned_inputs;
 
   switch (method) {
     case Method::kAverageRandom:
@@ -150,25 +187,27 @@ MethodResult StandbyOptimizer::run(Method method, const RunConfig& config) {
       result.leakage_ua = avg_ua;
       break;
     case Method::kStateOnly: {
-      result.solution =
-          opt::state_only_search(problem_for(config.penalty_fraction), options);
+      result.solution = opt::state_only_search(
+          problem_for(config.penalty_fraction, config.boundary), options);
       break;
     }
     case Method::kVtState: {
-      result.solution =
-          opt::heuristic2(vt_problem_for(config.penalty_fraction), options);
+      result.solution = opt::heuristic2(
+          vt_problem_for(config.penalty_fraction, config.boundary), options);
       break;
     }
     case Method::kHeu1:
-      result.solution =
-          opt::heuristic1(problem_for(config.penalty_fraction), config.gate_order);
+      result.solution = opt::heuristic1(
+          problem_for(config.penalty_fraction, config.boundary), options);
       break;
     case Method::kHeu2: {
-      result.solution = opt::heuristic2(problem_for(config.penalty_fraction), options);
+      result.solution = opt::heuristic2(
+          problem_for(config.penalty_fraction, config.boundary), options);
       break;
     }
     case Method::kExact: {
-      result.solution = opt::exact_search(problem_for(config.penalty_fraction), options);
+      result.solution = opt::exact_search(
+          problem_for(config.penalty_fraction, config.boundary), options);
       break;
     }
   }

@@ -78,6 +78,16 @@ struct RunConfig {
   /// when it carries more progress) -- the distributed coordinator's
   /// migration token. See opt::SearchOptions::resume_text.
   std::string resume_text;
+  /// Boundary-aware cone solve (hierarchical flow): when non-empty, one
+  /// entry per control point pinning it to a constant (kX = free). The
+  /// state search never branches on pinned inputs and the returned sleep
+  /// vector carries the pinned values verbatim. Forces a serial search.
+  /// See opt::SearchOptions::pinned_inputs.
+  std::vector<sim::Tri> pinned_inputs;
+  /// Measured upstream arrival/slew per control point (empty = defaults).
+  /// Changes the delay budget and every leaf's timing, so runs with
+  /// different boundaries use distinct cached AssignmentProblems.
+  sta::BoundaryTiming boundary;
 };
 
 /// The exact (options, bound kind, state-only) tuple run() hands the state
@@ -133,16 +143,23 @@ class StandbyOptimizer {
   static SearchPlan search_plan(Method method, const RunConfig& config);
 
  private:
-  const opt::AssignmentProblem& problem_for(double penalty);
-  const opt::AssignmentProblem& vt_problem_for(double penalty);
+  const opt::AssignmentProblem& problem_for(double penalty,
+                                            const sta::BoundaryTiming& boundary = {});
+  const opt::AssignmentProblem& vt_problem_for(double penalty,
+                                               const sta::BoundaryTiming& boundary = {});
 
   const netlist::Netlist* netlist_;
-  std::map<double, std::unique_ptr<opt::AssignmentProblem>> problems_;
+  /// Keyed by (penalty, boundary fingerprint): jobs with different boundary
+  /// seeds must not share an AssignmentProblem (the budget differs). The
+  /// default no-boundary key is (penalty, 0).
+  std::map<std::pair<double, std::uint64_t>, std::unique_ptr<opt::AssignmentProblem>>
+      problems_;
 
   // Lazy Vt-only twin (for the kVtState baseline).
   std::unique_ptr<liberty::Library> vt_library_;
   std::unique_ptr<netlist::Netlist> vt_netlist_;
-  std::map<double, std::unique_ptr<opt::AssignmentProblem>> vt_problems_;
+  std::map<std::pair<double, std::uint64_t>, std::unique_ptr<opt::AssignmentProblem>>
+      vt_problems_;
 
   std::map<std::pair<int, std::uint64_t>, double> random_cache_ua_;
   std::optional<sta::DelayBudget> budget_;

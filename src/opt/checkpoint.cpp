@@ -126,6 +126,21 @@ std::uint64_t search_fingerprint(const AssignmentProblem& problem,
     blob += "|st:";
     for (const bool bit : options.subtree_prefix) blob += bit ? '1' : '0';
   }
+  // Same append-when-set rule for the boundary-aware knobs: pinned inputs
+  // and seeded boundary timing both change which leaf wins, but unpinned
+  // default-seeded searches keep their historical fingerprints.
+  if (!options.pinned_inputs.empty()) {
+    blob += "|pin:";
+    for (const sim::Tri pin : options.pinned_inputs) {
+      blob += pin == sim::Tri::kOne ? '1' : pin == sim::Tri::kZero ? '0' : 'x';
+    }
+  }
+  if (!problem.boundary().empty()) {
+    blob += "|bt:";
+    for (const sta::BoundaryTiming::Point& point : problem.boundary().points) {
+      blob += dump_f64(point.arrival_ps) + ',' + dump_f64(point.slew_ps) + ';';
+    }
+  }
   return fnv1a64(blob);
 }
 

@@ -151,6 +151,7 @@ Solution assign_gates_greedy(const AssignmentProblem& problem,
   const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
   sim::CircuitConfig config = initial_config(problem.netlist(), contexts);
   sta::TimingState timing(problem.netlist());
+  timing.set_boundary(problem.boundary());
   timing.analyze(config);
   sta::TimingSnapshot baseline;
   timing.snapshot(baseline);
@@ -284,6 +285,7 @@ Solution assign_gates_exact(const AssignmentProblem& problem,
   const std::vector<GateContext> contexts = build_contexts(problem, sleep_vector);
   sim::CircuitConfig config = initial_config(problem.netlist(), contexts);
   sta::TimingState timing(problem.netlist());
+  timing.set_boundary(problem.boundary());
   timing.analyze(config);
   sta::TimingSnapshot baseline;
   timing.snapshot(baseline);

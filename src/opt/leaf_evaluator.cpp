@@ -15,6 +15,7 @@ LeafEvaluator::LeafEvaluator(const AssignmentProblem& problem)
   for (int g = 0; g < netlist.num_gates(); ++g) refresh_gate(g);
   config_ = initial_config(netlist, contexts_);
   fastest_config_ = sim::fastest_config(netlist);
+  timing_.set_boundary(problem.boundary());
   // One analyze serves every leaf: the all-fastest arrival times do not
   // depend on the sleep vector, and pin tables within a symmetric group are
   // identical for the uniform-corner fastest version, so the mappings the

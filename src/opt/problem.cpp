@@ -18,7 +18,13 @@ AssignmentProblem::AssignmentProblem(const netlist::Netlist& netlist,
   if (penalty_fraction < 0.0 || penalty_fraction > 1.0) {
     throw ContractError("AssignmentProblem: penalty fraction must be in [0, 1]");
   }
-  budget_ = sta::compute_delay_budget(netlist);
+  if (!options_.boundary.points.empty() &&
+      options_.boundary.points.size() !=
+          static_cast<std::size_t>(netlist.num_control_points())) {
+    throw ContractError(
+        "AssignmentProblem: boundary timing needs one point per control point");
+  }
+  budget_ = sta::compute_delay_budget(netlist, options_.boundary);
   constraint_ps_ = budget_.constraint_ps(penalty_fraction);
 
   // Per-cell caches.

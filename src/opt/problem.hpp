@@ -26,6 +26,12 @@ struct ProblemOptions {
   /// every library version is on the menu (sorted by leakage at that raw
   /// state).
   bool use_pin_reorder = true;
+  /// Measured upstream arrival/slew at every control point (empty =
+  /// defaults). The hierarchical flow sets this on cone problems so the
+  /// delay budget and every leaf's timing see the arrivals the cone's
+  /// boundary inputs have in the enclosing circuit, instead of the
+  /// zero-arrival relaxation the global verify would then have to repair.
+  sta::BoundaryTiming boundary;
 };
 
 /// Immutable problem description + caches. Construct once per (netlist,
@@ -41,6 +47,10 @@ class AssignmentProblem {
   double constraint_ps() const { return constraint_ps_; }
   double penalty_fraction() const { return penalty_; }
   bool use_pin_reorder() const { return options_.use_pin_reorder; }
+  /// The boundary seeds this problem was built with (empty = defaults).
+  /// Evaluators constructing their own TimingState must apply these so
+  /// every delay they measure is consistent with the budget above.
+  const sta::BoundaryTiming& boundary() const { return options_.boundary; }
 
   /// The sorted variant menu for `gate`. With pin reordering (default) the
   /// state must be *canonical*; with reordering disabled it is the raw

@@ -228,6 +228,22 @@ class DfsWorker {
       engine_.undo();
       return;
     }
+    if (!ctx_.options.pinned_inputs.empty()) {
+      // Pinned to a constant (boundary-aware cone solve): descend the
+      // prescribed value only -- no sibling, no bound probe, no pruning --
+      // exactly like a subtree restriction, but addressed by control-point
+      // index instead of tree depth. A replayed checkpoint of a pinned
+      // search recorded this same branch by construction.
+      const int pin_pi = ctx_.problem.input_order()[depth];
+      const sim::Tri pin =
+          ctx_.options.pinned_inputs[static_cast<std::size_t>(pin_pi)];
+      if (pin != sim::Tri::kX) {
+        engine_.set_input(pin_pi, pin);
+        dfs(depth + 1);
+        engine_.undo();
+        return;
+      }
+    }
 
     const int pi = ctx_.problem.input_order()[depth];
     // Bound both branches to order (and, beyond the first leaf, prune).
@@ -280,6 +296,14 @@ class DfsWorker {
     for (std::size_t depth = 0; depth < n; ++depth) {
       ctx_.nodes.fetch_add(1, std::memory_order_relaxed);
       const int pi = ctx_.problem.input_order()[depth];
+      if (!ctx_.options.pinned_inputs.empty()) {
+        const sim::Tri pin =
+            ctx_.options.pinned_inputs[static_cast<std::size_t>(pi)];
+        if (pin != sim::Tri::kX) {
+          engine_.set_input(pi, pin);
+          continue;
+        }
+      }
       double bounds[2];
       for (int v = 0; v < 2; ++v) {
         bounds[v] = engine_.set_input(pi, v == 0 ? sim::Tri::kZero : sim::Tri::kOne);
@@ -501,6 +525,19 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
     options.threads = 1;
     options.random_probes = 0;
   }
+  if (!options.pinned_inputs.empty()) {
+    if (options.pinned_inputs.size() != static_cast<std::size_t>(n)) {
+      throw ContractError("pinned_inputs needs one entry per control point");
+    }
+    if (!options.subtree_prefix.empty()) {
+      throw ContractError("pinned_inputs and subtree_prefix are mutually exclusive");
+    }
+    // Pins shrink the tree to the free inputs. The parallel root split and
+    // its packed prescreen enumerate raw top-level prefixes and would flip
+    // pinned values, so a pinned search runs serial -- the hierarchical
+    // flow parallelizes across cones, not within one.
+    options.threads = 1;
+  }
 
   CheckpointSink sink;
   std::optional<SearchCheckpoint> resume;
@@ -637,6 +674,12 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
     for (std::vector<bool>& vector : probes) {
       vector.resize(static_cast<std::size_t>(n));
       for (std::size_t i = 0; i < vector.size(); ++i) vector[i] = rng.next_bool();
+      // Pinned bits are overwritten after generation so the Rng stream --
+      // and hence every free bit -- matches the unpinned sweep's.
+      for (std::size_t i = 0; i < options.pinned_inputs.size(); ++i) {
+        const sim::Tri pin = options.pinned_inputs[i];
+        if (pin != sim::Tri::kX) vector[i] = pin == sim::Tri::kOne;
+      }
     }
     if (checkpointing) {
       // Serial indexed sweep so the frontier is a single resume index;
@@ -709,10 +752,17 @@ Solution run_search(const AssignmentProblem& problem, const SearchOptions& calle
 
 Solution heuristic1(const AssignmentProblem& problem, GateOrder gate_order) {
   SearchOptions options;
-  options.max_leaves = 1;
-  options.time_limit_s = 0.0;
   options.gate_order = gate_order;
-  return run_search(problem, options, BoundKind::kMinVariant, /*state_only=*/false);
+  return heuristic1(problem, options);
+}
+
+Solution heuristic1(const AssignmentProblem& problem, const SearchOptions& options) {
+  SearchOptions heu1 = options;
+  heu1.max_leaves = 1;
+  heu1.time_limit_s = 0.0;
+  heu1.exact_leaves = false;
+  heu1.random_probes = 0;
+  return run_search(problem, heu1, BoundKind::kMinVariant, /*state_only=*/false);
 }
 
 Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,

@@ -124,6 +124,17 @@ struct SearchOptions {
   /// same leaf budget. Forces a serial search and disables the random
   /// probe sweep (the sweep is a whole-tree construct).
   std::vector<bool> subtree_prefix;
+  /// When non-empty (one entry per control point, by control-point index,
+  /// NOT by input_order position), pins control points to constants the
+  /// search never branches on: kZero/kOne fix the input's value at every
+  /// leaf, kX leaves it free. The state tree shrinks to the free inputs --
+  /// pinned depths descend the prescribed branch with no sibling, no bound
+  /// probe and no pruning -- and the random-probe sweep overwrites the
+  /// pinned bits of every generated probe (the Rng stream is unchanged, so
+  /// free bits match the unpinned sweep's). The hierarchical flow pins a
+  /// cone's boundary inputs to their already-stitched upstream values.
+  /// Forces a serial search; mutually exclusive with subtree_prefix.
+  std::vector<sim::Tri> pinned_inputs;
   /// In-memory checkpoint blob (opt/checkpoint.hpp text format) to resume
   /// from, used to migrate a subtree between processes without a shared
   /// filesystem. Must carry the search's fingerprint. When both this and
@@ -140,6 +151,10 @@ struct SearchOptions {
 /// Heuristic 1: single downward traversal (paper Sec. 5).
 Solution heuristic1(const AssignmentProblem& problem,
                     GateOrder gate_order = GateOrder::kBySavings);
+
+/// Heuristic 1 with the full knob set (pinned inputs in particular); the
+/// leaf budget and time limit are overridden to Heu1's single descent.
+Solution heuristic1(const AssignmentProblem& problem, const SearchOptions& options);
 
 /// Heuristic 2: Heu1 plus time-limited continued state search.
 Solution heuristic2(const AssignmentProblem& problem, double time_limit_s,

@@ -53,6 +53,7 @@ UnknownStateResult assign_unknown_state(const AssignmentProblem& problem,
   UnknownStateResult result;
   result.config = sim::fastest_config(netlist);
   sta::TimingState timing(netlist);
+  timing.set_boundary(problem.boundary());
   double delay = timing.analyze(result.config);
 
   // Visit gates by expected savings, mirroring the state-aware greedy.

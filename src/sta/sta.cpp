@@ -286,6 +286,15 @@ TimingState::TimingState(const netlist::Netlist& netlist)
   }
 }
 
+void TimingState::set_boundary(const BoundaryTiming& boundary) {
+  if (!boundary.points.empty() &&
+      boundary.points.size() !=
+          static_cast<std::size_t>(netlist_->num_control_points())) {
+    throw ContractError("TimingState::set_boundary: one point per control point");
+  }
+  boundary_ = boundary;
+}
+
 void TimingState::use_load_slices(const LoadSlicedTables* slices) {
   slices_ = slices;
   slice_views_.clear();
@@ -301,8 +310,17 @@ double TimingState::analyze(const sim::CircuitConfig& config, double delay_scale
     throw ContractError("TimingState::analyze: config size mismatch");
   }
   const double pi_slew = netlist_->library().tech().default_pi_slew_ps;
-  for (std::uint32_t s : flat_->control_points()) {
-    sig_[s] = {0.0, 0.0, pi_slew, pi_slew};
+  if (boundary_.points.empty()) {
+    for (std::uint32_t s : flat_->control_points()) {
+      sig_[s] = {0.0, 0.0, pi_slew, pi_slew};
+    }
+  } else {
+    const std::vector<std::uint32_t>& cps = flat_->control_points();
+    for (std::size_t i = 0; i < cps.size(); ++i) {
+      const BoundaryTiming::Point& b = boundary_.points[i];
+      const double slew = b.slew_ps > 0.0 ? b.slew_ps : pi_slew;
+      sig_[cps[i]] = {b.arrival_ps, b.arrival_ps, slew, slew};
+    }
   }
   for (std::uint32_t g : flat_->topo_order()) {
     sig_[flat_->output(g)] = evaluate_gate(*netlist_, config, static_cast<int>(g),
@@ -499,8 +517,14 @@ std::vector<int> TimingState::critical_path(const sim::CircuitConfig& config) co
 }
 
 DelayBudget compute_delay_budget(const netlist::Netlist& netlist) {
+  return compute_delay_budget(netlist, BoundaryTiming{});
+}
+
+DelayBudget compute_delay_budget(const netlist::Netlist& netlist,
+                                 const BoundaryTiming& boundary) {
   DelayBudget budget;
   TimingState timing(netlist);
+  timing.set_boundary(boundary);
   const sim::CircuitConfig fast = sim::fastest_config(netlist);
   budget.fast_delay_ps = timing.analyze(fast);
 
@@ -513,6 +537,7 @@ DelayBudget compute_delay_budget(const netlist::Netlist& netlist) {
       model::resistance_factor(tech, model::VtClass::kHigh, model::ToxClass::kThick);
 
   TimingState slow(netlist);
+  slow.set_boundary(boundary);
   budget.slow_delay_ps = slow.analyze(fast, scale);
   return budget;
 }

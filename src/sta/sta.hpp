@@ -95,6 +95,21 @@ class LoadSlicedTables {
   std::vector<std::vector<PinSlices>> blocks_;  ///< Per (cell, load), [variant*pins+pin].
 };
 
+/// Measured upstream timing at the control points, used to seed a cone's
+/// analysis with the arrival/slew its boundary inputs actually see in the
+/// enclosing circuit (instead of the default zero-arrival / library-slew
+/// seed). One entry per control point, in Netlist::control_points() order;
+/// empty = defaults everywhere. A point with slew_ps <= 0 keeps the
+/// library's default primary-input slew.
+struct BoundaryTiming {
+  struct Point {
+    double arrival_ps = 0.0;
+    double slew_ps = 0.0;
+  };
+  std::vector<Point> points;
+  bool empty() const { return points.empty(); }
+};
+
 /// Mutable timing state of one netlist under a circuit configuration.
 class TimingState {
  public:
@@ -104,6 +119,15 @@ class TimingState {
   /// [ps]. `delay_scale` multiplies every stage delay and slew; it models
   /// uniform corner shifts (used for the all-slow budget endpoint).
   double analyze(const sim::CircuitConfig& config, double delay_scale = 1.0);
+
+  /// Seeds every subsequent analyze() with measured control-point
+  /// arrivals/slews instead of the zero-arrival default. The seeds are not
+  /// scaled by `delay_scale` -- the upstream context is fixed; only this
+  /// cone's devices shift with the corner. Pass an empty BoundaryTiming to
+  /// restore the defaults; a non-empty one must have exactly one point per
+  /// control point. Incremental updates never touch control-point timing,
+  /// so the seeds survive update_after_gate_change/revert unchanged.
+  void set_boundary(const BoundaryTiming& boundary);
 
   /// Re-propagates timing after `gate`'s configuration changed, touching
   /// only the affected cone. Appends previous values of every modified
@@ -174,6 +198,7 @@ class TimingState {
   const netlist::Netlist* netlist_;
   const netlist::FlatNetlist* flat_;  ///< SoA view; hot loops read this.
   const LoadSlicedTables* slices_ = nullptr;  ///< Optional, caller-owned.
+  BoundaryTiming boundary_;        ///< Empty = default control-point seeds.
   std::vector<SignalTiming> sig_;  // per signal
   std::vector<double> load_ff_;    // per signal
   std::vector<int> topo_rank_;     // per gate
@@ -226,5 +251,11 @@ struct DelayBudget {
 /// temporary worst-case configuration over the library's variants by
 /// scaling each gate's slowest available version).
 DelayBudget compute_delay_budget(const netlist::Netlist& netlist);
+
+/// Budget endpoints with the control points seeded from `boundary` (both
+/// the fast and the slow analysis see the same upstream context). With an
+/// empty boundary this is exactly compute_delay_budget(netlist).
+DelayBudget compute_delay_budget(const netlist::Netlist& netlist,
+                                 const BoundaryTiming& boundary);
 
 }  // namespace svtox::sta

@@ -115,6 +115,11 @@ std::string cache_key(std::uint64_t library_fp, std::uint64_t netlist_fp,
     h.i64(knobs.subtrees);
     h.str(knobs.subtree_prefix);
   }
+  if (!knobs.pinned_inputs.empty() || !knobs.boundary_timing.empty()) {
+    h.str("hier");
+    h.str(knobs.pinned_inputs);
+    h.str(knobs.boundary_timing);
+  }
   return hex64(library_fp) + "." + hex64(netlist_fp) + "." + hex64(h.value());
 }
 

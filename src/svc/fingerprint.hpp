@@ -73,6 +73,13 @@ struct RunKnobs {
   /// (empty = whole tree). Keyed so every shard gets its own cache entry
   /// and checkpoint file.
   std::string subtree_prefix;
+  /// Boundary-aware cone solve (hierarchical flow): the '0'/'1'/'x'
+  /// pinned-input string and the "arrival:slew,..." boundary-timing seeds.
+  /// Both change the solution, so cones solved under different stitched
+  /// contexts must not alias one cache entry; empty keeps the historical
+  /// (context-free) keys.
+  std::string pinned_inputs;
+  std::string boundary_timing;
 };
 
 /// The solution-cache key: "<library>.<netlist>.<knobs>" as three 16-digit

@@ -1,14 +1,30 @@
-// Hierarchical standby optimization: partition -> per-cone solve -> stitch.
+// Hierarchical standby optimization: partition -> boundary-aware level
+// sweep -> stitch -> refine.
 //
 // Scales the paper's method to 100k..1M-gate circuits where the flat state
 // tree is out of reach. The circuit is cut into gate-budgeted clusters
 // (opt/partition.hpp); each cluster becomes an independent standby
 // instance whose boundary signals are controllable primary inputs, solved
 // through the Scheduler as parallel jobs (the content-addressed
-// SolutionCache dedups structurally identical cones to one solve). The
-// stitch pass reconciles boundary choices on the real circuit:
-//  * sleep bits: first-partition-wins votes over the global control
-//    points, remaining points forced to 0;
+// SolutionCache dedups structurally identical cones to one solve).
+//
+// Cones are dispatched level by level over the partition DAG (a
+// partition's level is one more than the deepest partition driving any of
+// its boundary inputs). When a level-L cone is scheduled, every boundary
+// input driven by an already-solved upstream partition is *pinned* to its
+// stitched simulated value (JobSpec::pinned_inputs), and its measured
+// upstream arrival/slew from a global STA of the stitched-so-far config
+// seeds the cone's timing (JobSpec::boundary_timing; the STA refreshes
+// once ~1/16 of the gates were reconfigured since the last analysis, so
+// deep partition DAGs do not pay one full-circuit analysis per level) --
+// so the cone optimizes against its real logical and electrical context
+// instead of a free-boundary relaxation. Same-level cones still run in parallel; both
+// context strings are part of the cone's cache key, so hits stay sound.
+//
+// The stitch reconciles the remaining choices on the real circuit:
+//  * sleep bits: votes over the global control points in ascending
+//    partition-id order within each level (deterministic under any worker
+//    count), remaining points forced to 0;
 //  * gate configs: copied per gate from the cone solutions (cells and pin
 //    order are preserved by the canonical cone text, so variants and pin
 //    mappings transfer verbatim);
@@ -16,11 +32,18 @@
 //    then exact table evaluation -- no cone-level approximation survives
 //    into the reported number;
 //  * delay: a full STA of the stitched config against the *global*
-//    constraint. Each cone was solved against its own local budget at the
-//    same penalty fraction, which does not compose exactly, so a repair
-//    loop walks the critical path resetting gates to their fastest
-//    variant until the global constraint holds (it must: the all-fast
-//    configuration meets any constraint with penalty >= 0).
+//    constraint, with a repair loop that walks the critical path resetting
+//    gates to their fastest variant until the constraint holds (it must:
+//    the all-fast configuration meets any constraint with penalty >= 0).
+//
+// A stitch-refine loop then re-solves the K partitions with the largest
+// exact leakage contribution, this time with *every* boundary input pinned
+// (control points to their voted sleep bits, driven boundaries to their
+// simulated values) -- the sleep vector and hence all signal values stay
+// fixed, so per-partition contributions are independent and only the delay
+// couples globally. A pass is accepted only if the exact global leakage
+// improves after re-repair; the loop stops when a pass fails to improve or
+// the pass budget is exhausted.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +83,18 @@ struct HierOptions {
   bool vt_only = false;
   /// Solution-cache disk directory for cone solutions; empty = memory only.
   std::string cache_dir;
+  /// Pin boundary inputs driven by already-solved upstream partitions to
+  /// their stitched simulated values (the level sweep). Off reproduces the
+  /// legacy free-boundary relaxation.
+  bool pin_boundaries = true;
+  /// Seed each cone's boundary inputs with the measured upstream
+  /// arrival/slew from the global STA of the stitched-so-far config.
+  bool seed_boundary_timing = true;
+  /// Stitch-refine budget: up to this many passes re-solve the
+  /// `refine_worst` partitions with the largest exact leakage
+  /// contribution, all boundaries pinned. 0 disables refinement.
+  int refine_passes = 2;
+  int refine_worst = 8;
 };
 
 struct HierResult {
@@ -71,7 +106,16 @@ struct HierResult {
   int partitions = 0;
   std::uint64_t unique_solves = 0;  ///< Cone jobs actually executed.
   std::uint64_t cache_hits = 0;     ///< Cone jobs served from the cache.
-  int repaired_gates = 0;  ///< Gates reset to fastest by the delay repair.
+  int repaired_gates = 0;  ///< Gates changed by the stitched-config delay
+                           ///< repair: critical-path fastest-resets, or
+                           ///< config diffs when the local repair would
+                           ///< reset > ~0.5% of the gates and the global
+                           ///< greedy re-assignment fallback runs instead.
+  int levels = 0;               ///< Depth of the partition DAG sweep.
+  int refine_passes_run = 0;    ///< Refine passes executed (incl. a final
+                                ///< non-improving one, if any).
+  int refine_accepted = 0;      ///< Partition re-solves that improved and
+                                ///< were kept across accepted passes.
   double runtime_s = 0.0;
 };
 

@@ -1,5 +1,7 @@
 #include "svc/job.hpp"
 
+#include <stdexcept>
+
 #include "util/error.hpp"
 
 namespace svtox::svc {
@@ -58,6 +60,7 @@ JobSpec job_spec_from_json(const Json& json) {
       "circuit", "bench", "bench_text", "nitrided", "two_point", "uniform_stack", "vt_only",
       "method", "penalty", "time_limit", "vectors", "seed", "threads",
       "max_leaves", "subtrees", "subtree_prefix", "resume_text",
+      "pins", "boundary",
       "priority", "deadline", "cache", "retries", "label"};
   for (const auto& [key, value] : json.as_object()) {
     (void)value;
@@ -84,6 +87,8 @@ JobSpec job_spec_from_json(const Json& json) {
   spec.subtrees = static_cast<int>(number_field(json, "subtrees", 0));
   spec.subtree_prefix = string_field(json, "subtree_prefix", "");
   spec.resume_text = string_field(json, "resume_text", "");
+  spec.pinned_inputs = string_field(json, "pins", "");
+  spec.boundary_timing = string_field(json, "boundary", "");
   spec.priority = static_cast<int>(number_field(json, "priority", 0));
   spec.deadline_s = number_field(json, "deadline", 0.0);
   spec.use_cache = bool_field(json, "cache", true);
@@ -147,6 +152,23 @@ void validate_job_spec(const JobSpec& spec) {
   if (!spec.resume_text.empty() && !tree_method) {
     throw ContractError("resume_text requires a tree-search method");
   }
+  if (!spec.pinned_inputs.empty()) {
+    if (spec.pinned_inputs.find_first_not_of("01x") != std::string::npos) {
+      throw ContractError("pins must be '0'/'1'/'x' chars, one per control point");
+    }
+    if (spec.subtrees != 0 || !spec.subtree_prefix.empty() ||
+        !spec.resume_text.empty()) {
+      throw ContractError(
+          "pins cannot combine with the distributed subtree knobs "
+          "(a pinned search is serial)");
+    }
+    if (spec.method == "average") {
+      throw ContractError("pins require a method that searches the state tree");
+    }
+  }
+  if (!spec.boundary_timing.empty()) {
+    parse_boundary_timing(spec.boundary_timing);  // shape check; throws
+  }
 }
 
 Json job_spec_to_json(const JobSpec& spec) {
@@ -168,12 +190,57 @@ Json job_spec_to_json(const JobSpec& spec) {
   if (spec.subtrees != 0) json.set("subtrees", spec.subtrees);
   if (!spec.subtree_prefix.empty()) json.set("subtree_prefix", spec.subtree_prefix);
   if (!spec.resume_text.empty()) json.set("resume_text", spec.resume_text);
+  if (!spec.pinned_inputs.empty()) json.set("pins", spec.pinned_inputs);
+  if (!spec.boundary_timing.empty()) json.set("boundary", spec.boundary_timing);
   if (spec.priority != 0) json.set("priority", spec.priority);
   if (spec.deadline_s > 0.0) json.set("deadline", spec.deadline_s);
   if (!spec.use_cache) json.set("cache", false);
   if (spec.retries != 0) json.set("retries", spec.retries);
   if (!spec.label.empty()) json.set("label", spec.label);
   return json;
+}
+
+std::vector<sim::Tri> parse_pinned_inputs(const std::string& pins) {
+  std::vector<sim::Tri> out;
+  out.reserve(pins.size());
+  for (const char c : pins) {
+    switch (c) {
+      case '0': out.push_back(sim::Tri::kZero); break;
+      case '1': out.push_back(sim::Tri::kOne); break;
+      case 'x': out.push_back(sim::Tri::kX); break;
+      default:
+        throw ContractError("pins must be '0'/'1'/'x' chars, one per control point");
+    }
+  }
+  return out;
+}
+
+sta::BoundaryTiming parse_boundary_timing(const std::string& text) {
+  sta::BoundaryTiming boundary;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string pair =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      throw ContractError("boundary timing wants 'arrival:slew' pairs, got '" + pair + "'");
+    }
+    sta::BoundaryTiming::Point point;
+    try {
+      std::size_t used = 0;
+      point.arrival_ps = std::stod(pair.substr(0, colon), &used);
+      if (used != colon) throw std::invalid_argument(pair);
+      point.slew_ps = std::stod(pair.substr(colon + 1), &used);
+      if (used != pair.size() - colon - 1) throw std::invalid_argument(pair);
+    } catch (const std::exception&) {
+      throw ContractError("boundary timing pair '" + pair + "' is not numeric");
+    }
+    boundary.points.push_back(point);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return boundary;
 }
 
 Json job_result_to_json(const JobResult& result, bool include_solution) {

@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/sim.hpp"
+#include "sta/sta.hpp"
 #include "svc/json.hpp"
 
 namespace svtox::svc {
@@ -71,6 +74,20 @@ struct JobSpec {
   /// from (the migration token; opt/checkpoint.hpp text format).
   std::string resume_text;
 
+  // --- Boundary-aware cone solve (hierarchical flow). ------------------
+  /// One char per control point of the resolved netlist: '0'/'1' pin the
+  /// input to that constant (the search never branches on it and the
+  /// returned sleep vector carries the value verbatim), 'x' leaves it
+  /// free. Empty = no pins. JSON key "pins". Mutually exclusive with the
+  /// distributed subtree knobs (pins force a serial search).
+  std::string pinned_inputs;
+  /// Per-control-point upstream timing seeds as comma-separated
+  /// "<arrival_ps>:<slew_ps>" pairs (one per control point, netlist
+  /// control-point order); empty = default zero-arrival seeds. JSON key
+  /// "boundary". Changes the cone's delay budget, so it is part of the
+  /// cache key.
+  std::string boundary_timing;
+
   // --- Service-level. --------------------------------------------------
   int priority = 0;        ///< Higher runs first; FIFO within a priority.
   double deadline_s = 0.0; ///< Wall-clock budget from submission; 0 = none.
@@ -93,6 +110,14 @@ void validate_job_spec(const JobSpec& spec);
 /// checked via validate_job_spec; throws ContractError on violations.
 JobSpec job_spec_from_json(const Json& json);
 Json job_spec_to_json(const JobSpec& spec);
+
+/// Decodes JobSpec::pinned_inputs ('0'/'1'/'x' per control point) into the
+/// search's typed form; throws ContractError on other characters.
+std::vector<sim::Tri> parse_pinned_inputs(const std::string& pins);
+
+/// Decodes JobSpec::boundary_timing ("arrival:slew,arrival:slew,...") into
+/// sta::BoundaryTiming; throws ContractError on malformed pairs.
+sta::BoundaryTiming parse_boundary_timing(const std::string& text);
 
 /// Outcome of one job.
 struct JobResult {

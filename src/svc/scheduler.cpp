@@ -552,6 +552,8 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
       knobs.max_leaves = spec.max_leaves;
       knobs.subtrees = spec.subtrees;
       knobs.subtree_prefix = spec.subtree_prefix;
+      knobs.pinned_inputs = spec.pinned_inputs;
+      knobs.boundary_timing = spec.boundary_timing;
       const std::string job_key = cache_key(library->fp, circuit->fp, knobs);
 
       if (cacheable && !cache_checked) {
@@ -594,6 +596,27 @@ void Scheduler::execute(WorkerState& state, JobRecord& record) {
           config.subtree_prefix[i] = spec.subtree_prefix[i] == '1';
         }
         config.resume_text = spec.resume_text;
+      }
+      if (!spec.pinned_inputs.empty()) {
+        // Boundary-aware cone solve: length-check against the *resolved*
+        // netlist (validate_job_spec cannot -- it never sees the circuit).
+        if (spec.pinned_inputs.size() !=
+            static_cast<std::size_t>(circuit->netlist.num_control_points())) {
+          throw ContractError("pins want one char per control point (" +
+                              std::to_string(circuit->netlist.num_control_points()) +
+                              "), got " + std::to_string(spec.pinned_inputs.size()));
+        }
+        config.pinned_inputs = parse_pinned_inputs(spec.pinned_inputs);
+      }
+      if (!spec.boundary_timing.empty()) {
+        config.boundary = parse_boundary_timing(spec.boundary_timing);
+        if (config.boundary.points.size() !=
+            static_cast<std::size_t>(circuit->netlist.num_control_points())) {
+          throw ContractError(
+              "boundary timing wants one arrival:slew pair per control point (" +
+              std::to_string(circuit->netlist.num_control_points()) + "), got " +
+              std::to_string(config.boundary.points.size()));
+        }
       }
       core::MethodResult run;
       if (spec.subtrees >= 2) {

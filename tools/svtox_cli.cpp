@@ -21,7 +21,9 @@
 //   svtox hier       (--bench file.bench | --circuit NAME | --scale PRESET)
 //                    [--penalty PCT] [--method heu1|heu2|state|vtstate]
 //                    [--max-gates N] [--threads N] [--cache-dir DIR]
-//                    [--time-limit SEC] [--compare-flat] [-o solution.txt]
+//                    [--time-limit SEC] [--refine-passes N] [--refine-worst K]
+//                    [--no-pin-boundaries] [--no-seed-boundary]
+//                    [--compare-flat] [--max-gap RATIO] [-o solution.txt]
 //   svtox verify     (--bench file.bench | --circuit NAME) --solution FILE
 //   svtox timing     (--bench file.bench | --circuit NAME)
 //                    [--solution FILE] [--required PS]
@@ -37,6 +39,12 @@
 // PRESET` builds one of the 10k..1M-gate generated circuits
 // (netlist::scale_circuit_names()), `--max-gates` caps the partition size
 // and `--compare-flat` also runs flat Heu1 and prints the leakage gap.
+// `--no-pin-boundaries` / `--no-seed-boundary` disable the boundary-aware
+// level sweep's pins and timing seeds (the legacy free-boundary
+// relaxation), `--refine-passes` / `--refine-worst` budget the
+// stitch-refine loop, and `--max-gap RATIO` (with `--compare-flat`) exits
+// with code 4 when hier/flat leakage exceeds RATIO -- the quality gate CI
+// and bench_scale run.
 //
 // `sweep` and `suite` run their jobs through the svc::Scheduler, so
 // `--threads N` solves independent rows concurrently and `--cache-dir`
@@ -140,8 +148,9 @@ const std::map<std::string, std::set<std::string>>& allowed_options() {
       {"cmd", {"socket", "tcp", "json", "timeout"}},
       {"hier",
        {"bench", "circuit", "scale", "penalty", "method", "max-gates", "threads",
-        "cache-dir", "time-limit", "compare-flat", "output", "two-point",
-        "uniform-stack", "vt-only", "nitrided"}},
+        "cache-dir", "time-limit", "compare-flat", "max-gap", "refine-passes",
+        "refine-worst", "no-pin-boundaries", "no-seed-boundary", "output",
+        "two-point", "uniform-stack", "vt-only", "nitrided"}},
       {"verify",
        {"bench", "circuit", "solution", "two-point", "uniform-stack", "vt-only",
         "nitrided"}},
@@ -169,7 +178,8 @@ Args parse_args(int argc, char** argv) {
     // Flags without values.
     if (key == "two-point" || key == "uniform-stack" || key == "vt-only" ||
         key == "nitrided" || key == "no-reorder" || key == "local" ||
-        key == "compare-flat" || key == "prometheus") {
+        key == "compare-flat" || key == "prometheus" ||
+        key == "no-pin-boundaries" || key == "no-seed-boundary") {
       args.options[key] = "1";
       continue;
     }
@@ -372,28 +382,50 @@ int cmd_hier(const Args& args) {
   options.two_point = args.has("two-point");
   options.uniform_stack = args.has("uniform-stack");
   options.vt_only = args.has("vt-only");
+  options.pin_boundaries = !args.has("no-pin-boundaries");
+  options.seed_boundary_timing = !args.has("no-seed-boundary");
+  options.refine_passes = static_cast<int>(parse_double(args.get("refine-passes", "2")));
+  options.refine_worst = static_cast<int>(parse_double(args.get("refine-worst", "8")));
+  if (args.has("max-gap") && !args.has("compare-flat")) {
+    std::fprintf(stderr, "--max-gap requires --compare-flat\n");
+    return 2;
+  }
 
   const svc::HierResult hr = svc::optimize_hierarchical(circuit, options);
-  std::printf("%s: %d gates, %d partitions (max %d gates each)\n",
+  std::printf("%s: %d gates, %d partitions (max %d gates each, %d levels)\n",
               circuit.name().c_str(), circuit.num_gates(), hr.partitions,
-              options.partition.max_gates);
-  std::printf("cone jobs: %llu solved, %llu from cache\n",
+              options.partition.max_gates, hr.levels);
+  std::printf("cone jobs: %llu solved, %llu from cache; refine: %d passes, "
+              "%d re-solves kept\n",
               static_cast<unsigned long long>(hr.unique_solves),
-              static_cast<unsigned long long>(hr.cache_hits));
+              static_cast<unsigned long long>(hr.cache_hits),
+              hr.refine_passes_run, hr.refine_accepted);
   std::printf("hier %s: %.3f uA, delay %.0f ps (constraint %.0f ps, "
               "%d gates repaired), %s\n",
               options.method.c_str(), hr.solution.leakage_na / 1e3,
               hr.solution.delay_ps, hr.constraint_ps, hr.repaired_gates,
               report::format_seconds(hr.runtime_s).c_str());
 
+  int gap_status = 0;
   if (args.has("compare-flat")) {
     const opt::AssignmentProblem problem(circuit, options.penalty_fraction);
     const opt::Solution flat = opt::heuristic1(problem);
+    const double ratio = hr.solution.leakage_na / flat.leakage_na;
     std::printf("flat heu1: %.3f uA, delay %.0f ps, %s (hier gap %+.1f%%)\n",
                 flat.leakage_na / 1e3, flat.delay_ps,
                 report::format_seconds(flat.runtime_s).c_str(),
-                100.0 * (hr.solution.leakage_na - flat.leakage_na) /
-                    flat.leakage_na);
+                100.0 * (ratio - 1.0));
+    if (args.has("max-gap")) {
+      const double max_gap = parse_double(args.get("max-gap"));
+      if (ratio > max_gap) {
+        std::fprintf(stderr,
+                     "FAIL: hier/flat leakage ratio %.4f exceeds --max-gap %.4f\n",
+                     ratio, max_gap);
+        gap_status = 4;
+      } else {
+        std::printf("gap check passed: ratio %.4f <= %.4f\n", ratio, max_gap);
+      }
+    }
   }
 
   if (args.has("output")) {
@@ -406,7 +438,7 @@ int cmd_hier(const Args& args) {
     core::write_solution(hr.solution, circuit, out);
     std::printf("solution written to %s\n", path.c_str());
   }
-  return 0;
+  return gap_status;
 }
 
 int cmd_sweep(const Args& args) {
